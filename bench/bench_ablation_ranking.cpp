@@ -1,0 +1,63 @@
+// Ablation: how often does the idleness-only (TYPE 2 Wait Time) ranking
+// agree with the critical-path (TYPE 1 CP Time) ranking about the single
+// most important lock? This quantifies the paper's core argument across
+// the whole case-study suite: when the two disagree, optimizing the
+// Wait-Time pick wastes effort (§II, Fig. 6).
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+using namespace cla;
+
+namespace {
+
+const analysis::LockStats* top_by_wait(const AnalysisResult& result) {
+  const analysis::LockStats* best = nullptr;
+  for (const auto& lock : result.locks) {
+    if (best == nullptr || lock.avg_wait_fraction > best->avg_wait_fraction) {
+      best = &lock;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Ablation: CP-Time ranking vs Wait-Time ranking");
+
+  struct Case {
+    const char* workload;
+    std::uint32_t threads;
+  };
+  const Case cases[] = {
+      {"micro", 4},     {"radiosity", 8},  {"radiosity", 24}, {"tsp", 24},
+      {"uts", 24},      {"water", 24},     {"volrend", 24},   {"raytrace", 24},
+      {"ldap", 16},
+  };
+
+  util::Table table({"Workload", "Threads", "Top by CP Time", "Top by Wait Time",
+                     "Agree?", "CP% of CP-pick", "CP% of Wait-pick"});
+  std::size_t disagreements = 0;
+  for (const Case& c : cases) {
+    workloads::WorkloadConfig config;
+    config.threads = c.threads;
+    const auto result = bench::run(c.workload, config);
+    if (result.analysis.locks.empty()) continue;
+    const auto& by_cp = result.analysis.locks.front();
+    const auto* by_wait = top_by_wait(result.analysis);
+    const bool agree = by_wait != nullptr && by_wait->name == by_cp.name;
+    if (!agree) ++disagreements;
+    table.add_row({c.workload, std::to_string(c.threads), by_cp.name,
+                   by_wait ? by_wait->name : "-", agree ? "yes" : "NO",
+                   util::percent_string(by_cp.cp_time_fraction),
+                   util::percent_string(by_wait ? by_wait->cp_time_fraction : 0)});
+  }
+  std::printf("%s", table.to_text().c_str());
+  std::printf(
+      "\n%zu of %zu cases would mislead an idleness-only profiler.\n"
+      "Where the metrics disagree, the Wait-Time pick has the lower actual\n"
+      "critical-path impact — optimizing it cannot pay off proportionally.\n",
+      disagreements, std::size(cases));
+  return 0;
+}

@@ -1,0 +1,94 @@
+// google-benchmark microbenches for the analysis module itself: indexing,
+// wake-up resolution, the backward walk and full analysis throughput on a
+// realistic trace (the 16-thread Radiosity workload, ~80k events).
+#include <benchmark/benchmark.h>
+
+#include "cla/analysis/analyzer.hpp"
+#include "cla/sim/engine.hpp"
+#include "cla/workloads/workload.hpp"
+#include <vector>
+
+namespace {
+
+const cla::trace::Trace& radiosity_trace() {
+  static const cla::trace::Trace trace = [] {
+    cla::workloads::WorkloadConfig config;
+    config.threads = 16;
+    return cla::workloads::run_workload("radiosity", config).trace;
+  }();
+  return trace;
+}
+
+void BM_TraceIndexBuild(benchmark::State& state) {
+  const auto& trace = radiosity_trace();
+  for (auto _ : state) {
+    cla::analysis::TraceIndex index(trace);
+    benchmark::DoNotOptimize(index.mutexes().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.event_count()));
+}
+BENCHMARK(BM_TraceIndexBuild);
+
+void BM_WakeupResolution(benchmark::State& state) {
+  const auto& trace = radiosity_trace();
+  const cla::analysis::TraceIndex index(trace);
+  for (auto _ : state) {
+    cla::analysis::WakeupResolver resolver(index);
+    benchmark::DoNotOptimize(&resolver);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.event_count()));
+}
+BENCHMARK(BM_WakeupResolution);
+
+void BM_CriticalPathWalk(benchmark::State& state) {
+  const auto& trace = radiosity_trace();
+  const cla::analysis::TraceIndex index(trace);
+  const cla::analysis::WakeupResolver resolver(index);
+  for (auto _ : state) {
+    auto path = cla::analysis::compute_critical_path(index, resolver);
+    benchmark::DoNotOptimize(path.intervals.size());
+  }
+}
+BENCHMARK(BM_CriticalPathWalk);
+
+void BM_FullAnalysis(benchmark::State& state) {
+  const auto& trace = radiosity_trace();
+  for (auto _ : state) {
+    auto result = cla::analysis::analyze(trace);
+    benchmark::DoNotOptimize(result.locks.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.event_count()));
+}
+BENCHMARK(BM_FullAnalysis);
+
+void BM_SimEngineThroughput(benchmark::State& state) {
+  // Sync-operation throughput of the virtual-time engine itself.
+  for (auto _ : state) {
+    cla::sim::Engine engine;
+    const auto mutex = engine.create_mutex("m");
+    engine.run([&](cla::sim::TaskCtx& main) {
+      std::vector<cla::sim::TaskId> kids;
+      for (int i = 0; i < 4; ++i) {
+        kids.push_back(main.spawn([&](cla::sim::TaskCtx& task) {
+          for (int k = 0; k < 500; ++k) {
+            task.lock(mutex);
+            task.compute(5);
+            task.unlock(mutex);
+            task.compute(20);
+          }
+        }));
+      }
+      for (const auto kid : kids) main.join(kid);
+    });
+    benchmark::DoNotOptimize(engine.completion_time());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * 500 * 2);  // lock+unlock ops
+}
+BENCHMARK(BM_SimEngineThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Each bench_figN binary regenerates one table/figure of the paper's
+// evaluation section and prints (a) the measured table and (b) the
+// paper's published values for side-by-side comparison. Absolute numbers
+// are not expected to match (the substrate is a virtual-time simulator,
+// not a POWER7); the *shape* — rankings, divergences, crossovers — is
+// what EXPERIMENTS.md tracks.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "cla/core/cla.hpp"
+#include "cla/util/stats.hpp"
+#include "cla/util/table.hpp"
+
+namespace cla::bench {
+
+inline RunAnalysis run(const std::string& workload,
+                       workloads::WorkloadConfig config) {
+  return run_and_analyze(workload, config);
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+inline void paper_note(const std::string& note) {
+  std::printf("[paper] %s\n", note.c_str());
+}
+
+/// Prints the top-N lock comparison the way Figs. 6/8/9 lay it out.
+inline void print_comparison(const AnalysisResult& result, std::size_t top) {
+  analysis::ReportOptions options;
+  options.top_locks = top;
+  std::printf("%s", analysis::comparison_table(result, options).to_text().c_str());
+}
+
+}  // namespace cla::bench

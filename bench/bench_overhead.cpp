@@ -1,0 +1,130 @@
+// google-benchmark microbenches for the instrumentation runtime (the
+// paper §IV.A overhead claim: ~5 % on the applications studied).
+//
+// Measures the cost of one MAGIC() record, the instrumented vs plain
+// mutex round trip, trace serialization throughput, and an end-to-end
+// instrumented vs uninstrumented workload comparison.
+#include <benchmark/benchmark.h>
+#include <pthread.h>
+
+#include <sstream>
+
+#include "cla/runtime/hooks.hpp"
+#include "cla/trace/trace_io.hpp"
+#include "cla/util/clock.hpp"
+
+namespace {
+
+using cla::rt::Recorder;
+
+void BM_TimestampRead(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cla::util::now_ns());
+  }
+}
+BENCHMARK(BM_TimestampRead);
+
+void BM_RecorderRecord(benchmark::State& state) {
+  Recorder& recorder = Recorder::instance();
+  recorder.reset();
+  recorder.ensure_current_thread();
+  for (auto _ : state) {
+    recorder.record(cla::trace::EventType::MutexAcquire, 42);
+  }
+  state.SetItemsProcessed(state.iterations());
+  recorder.reset();
+}
+BENCHMARK(BM_RecorderRecord);
+
+void BM_PlainMutexRoundTrip(benchmark::State& state) {
+  pthread_mutex_t mutex = PTHREAD_MUTEX_INITIALIZER;
+  for (auto _ : state) {
+    pthread_mutex_lock(&mutex);
+    benchmark::ClobberMemory();
+    pthread_mutex_unlock(&mutex);
+  }
+}
+BENCHMARK(BM_PlainMutexRoundTrip);
+
+void BM_InstrumentedMutexRoundTrip(benchmark::State& state) {
+  Recorder& recorder = Recorder::instance();
+  recorder.reset();
+  recorder.ensure_current_thread();
+  cla::rt::InstrumentedMutex mutex("bench");
+  for (auto _ : state) {
+    mutex.lock();
+    benchmark::ClobberMemory();
+    mutex.unlock();
+    // Keep memory bounded on long runs.
+    if (recorder.event_count() > 8'000'000) {
+      state.PauseTiming();
+      recorder.reset();
+      recorder.ensure_current_thread();
+      state.ResumeTiming();
+    }
+  }
+  recorder.reset();
+}
+BENCHMARK(BM_InstrumentedMutexRoundTrip);
+
+// End-to-end: a lock-heavy loop with and without instrumentation. The
+// ratio of the two is the analog of the paper's ~5 % claim (theirs was
+// measured on whole applications, where sync ops are sparser).
+void BM_UninstrumentedWorkload(benchmark::State& state) {
+  pthread_mutex_t mutex = PTHREAD_MUTEX_INITIALIZER;
+  volatile long counter = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      pthread_mutex_lock(&mutex);
+      for (int k = 0; k < 50; ++k) counter = counter + 1;
+      pthread_mutex_unlock(&mutex);
+    }
+  }
+}
+BENCHMARK(BM_UninstrumentedWorkload);
+
+void BM_InstrumentedWorkload(benchmark::State& state) {
+  Recorder& recorder = Recorder::instance();
+  recorder.reset();
+  recorder.ensure_current_thread();
+  cla::rt::InstrumentedMutex mutex("bench");
+  volatile long counter = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      mutex.lock();
+      for (int k = 0; k < 50; ++k) counter = counter + 1;
+      mutex.unlock();
+    }
+    if (recorder.event_count() > 8'000'000) {
+      state.PauseTiming();
+      recorder.reset();
+      recorder.ensure_current_thread();
+      state.ResumeTiming();
+    }
+  }
+  recorder.reset();
+}
+BENCHMARK(BM_InstrumentedWorkload);
+
+void BM_TraceSerialization(benchmark::State& state) {
+  Recorder& recorder = Recorder::instance();
+  recorder.reset();
+  recorder.ensure_current_thread();
+  for (int i = 0; i < 100'000; ++i) {
+    recorder.record(cla::trace::EventType::MutexAcquire, 42);
+  }
+  recorder.thread_exit();
+  const cla::trace::Trace trace = recorder.collect();
+  for (auto _ : state) {
+    std::ostringstream out;
+    cla::trace::write_trace(trace, out);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.event_count()) * 32);
+}
+BENCHMARK(BM_TraceSerialization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

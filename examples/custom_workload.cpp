@@ -1,0 +1,69 @@
+// Writing your own workload against the execution-backend abstraction:
+// the same code runs deterministically in virtual time (sim) or on real
+// pthreads, and both produce analyzable traces.
+//
+//   $ ./custom_workload [sim|pthread]
+//
+// The scenario models a pipelined image filter: stage A threads produce
+// tiles into a shared two-lock queue, stage B threads consume them and
+// commit under a single output lock. The output lock is the deliberate
+// bottleneck — the analysis should identify it.
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "cla/core/cla.hpp"
+#include "cla/queue/queues.hpp"
+#include "cla/util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cla;
+  const std::string backend_name = argc > 1 ? argv[1] : "sim";
+
+  auto backend = exec::make_backend(backend_name);
+  queue::TwoLockQueue<std::uint64_t> tiles(*backend, "tiles", 8);
+  const exec::MutexHandle output_lock = backend->create_mutex("output_lock");
+  const exec::BarrierHandle start_line = backend->create_barrier("start", 6);
+
+  constexpr std::uint64_t kTilesPerProducer = 60;
+
+  backend->run(6, [&](exec::Ctx& ctx) {
+    ctx.barrier_wait(start_line);
+    if (ctx.worker_index() < 3) {
+      // Stage A: producers render tiles (mostly parallel work).
+      util::Rng rng(1234 + ctx.worker_index());
+      for (std::uint64_t i = 0; i < kTilesPerProducer; ++i) {
+        ctx.compute(150 + rng.below(100));  // render
+        tiles.enqueue(ctx, rng.next() % 1000);
+      }
+    } else {
+      // Stage B: consumers composite into the shared output buffer.
+      std::uint64_t dry = 0;
+      while (dry < 3) {
+        const std::optional<std::uint64_t> tile = tiles.dequeue(ctx);
+        if (!tile) {
+          ++dry;
+          ctx.compute(100);
+          continue;
+        }
+        dry = 0;
+        ctx.compute(60);  // blend
+        exec::ScopedLock guard(ctx, output_lock);
+        ctx.compute(90);  // serialize into the output buffer
+      }
+    }
+  });
+
+  std::printf("backend=%s completion=%llu ns\n", backend_name.c_str(),
+              static_cast<unsigned long long>(backend->completion_time()));
+  const AnalysisResult result = analyze(backend->take_trace());
+  std::printf("%s", analysis::render_report(result, {.top_locks = 4}).c_str());
+
+  const analysis::LockStats* out = result.find_lock("output_lock");
+  if (out != nullptr) {
+    std::printf("\noutput_lock holds %.1f%% of the critical path — the "
+                "composite stage is the bottleneck.\n",
+                out->cp_time_fraction * 100);
+  }
+  return 0;
+}

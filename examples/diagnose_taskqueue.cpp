@@ -1,0 +1,85 @@
+// Case study walkthrough: the full identification -> quantification ->
+// validation workflow of the paper's §V.D, on the Radiosity-style
+// task-queue workload.
+//
+//   $ ./diagnose_taskqueue [threads]
+//
+// Steps:
+//   1. profile the original application and rank locks by CP Time;
+//   2. quantify the top lock via the two metrics (contention probability
+//      and hot critical section size along the critical path);
+//   3. apply the suggested optimization (split the single queue lock into
+//      a Michael & Scott two-lock queue) and measure the real speedup;
+//   4. contrast with the lock a wait-time profiler would have picked.
+#include <cstdio>
+#include <cstdlib>
+
+#include "cla/core/cla.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cla;
+  const std::uint32_t threads =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 16;
+
+  workloads::WorkloadConfig config;
+  config.threads = threads;
+
+  std::printf("== step 1: identification (original run, %u threads)\n", threads);
+  const auto original = run_and_analyze("radiosity", config);
+  std::printf("%s\n",
+              analysis::type1_table(original.analysis, {.top_locks = 3})
+                  .to_text()
+                  .c_str());
+  const analysis::LockStats& top = original.analysis.locks.front();
+  std::printf("most critical lock: %s (%.2f%% of the critical path)\n\n",
+              top.name.c_str(), top.cp_time_fraction * 100);
+
+  std::printf("== step 2: quantification of %s\n", top.name.c_str());
+  std::printf("%s",
+              analysis::contention_table(original.analysis, {.top_locks = 1})
+                  .to_text()
+                  .c_str());
+  std::printf("%s\n",
+              analysis::size_table(original.analysis, {.top_locks = 1})
+                  .to_text()
+                  .c_str());
+  std::printf(
+      "high contention on the path plus a sizeable hot critical section\n"
+      "=> the lock dominates the path; a finer-grained queue should help.\n\n");
+
+  std::printf("== step 3: validation (two-lock queue optimization)\n");
+  config.optimized = true;
+  const auto optimized = run_and_analyze("radiosity", config);
+  const double improvement =
+      static_cast<double>(original.run.completion_time) /
+          static_cast<double>(optimized.run.completion_time) -
+      1.0;
+  std::printf("completion: %llu -> %llu ns  (%.2f%% improvement)\n",
+              static_cast<unsigned long long>(original.run.completion_time),
+              static_cast<unsigned long long>(optimized.run.completion_time),
+              improvement * 100);
+  std::printf("%s\n",
+              analysis::type1_table(optimized.analysis, {.top_locks = 3})
+                  .to_text()
+                  .c_str());
+  std::printf(
+      "note: the end-to-end gain is smaller than the lock's CP share —\n"
+      "segments that were overlapped before now surface on the path\n"
+      "(the paper observes exactly this: 39%% CP share, 7%% speedup).\n\n");
+
+  std::printf("== step 4: what an idleness profiler would have done\n");
+  const analysis::LockStats* wait_pick = nullptr;
+  for (const auto& lock : original.analysis.locks) {
+    if (wait_pick == nullptr ||
+        lock.avg_wait_fraction > wait_pick->avg_wait_fraction) {
+      wait_pick = &lock;
+    }
+  }
+  if (wait_pick != nullptr) {
+    std::printf("top lock by Wait Time: %s (wait %.2f%%, but only %.2f%% of "
+                "the critical path)\n",
+                wait_pick->name.c_str(), wait_pick->avg_wait_fraction * 100,
+                wait_pick->cp_time_fraction * 100);
+  }
+  return 0;
+}

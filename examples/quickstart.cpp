@@ -1,0 +1,62 @@
+// Quickstart: script a small multithreaded execution in virtual time,
+// run critical lock analysis on it, and read the results.
+//
+//   $ ./quickstart
+//
+// The scenario: four workers funnel updates through a shared `stats`
+// lock and do independent work under their own `shard` locks. Which lock
+// should you optimize? Wait-time profiling and critical lock analysis
+// give different answers — this is the paper's core point.
+#include <cstdio>
+
+#include "cla/core/cla.hpp"
+
+int main() {
+  using namespace cla;
+
+  // 1. Build an execution. The sim::Engine provides pthread-equivalent
+  //    primitives in deterministic virtual time; the same workload could
+  //    run on real threads via cla::exec::make_pthread_backend().
+  sim::Engine engine;
+  const auto stats_lock = engine.create_mutex("stats");
+  std::vector<sim::MutexId> shard_locks;
+  for (int i = 0; i < 4; ++i) {
+    shard_locks.push_back(engine.create_mutex("shard[" + std::to_string(i) + "]"));
+  }
+
+  engine.run([&](sim::TaskCtx& main) {
+    std::vector<sim::TaskId> workers;
+    for (int i = 0; i < 4; ++i) {
+      workers.push_back(main.spawn([&, i](sim::TaskCtx& task) {
+        for (int round = 0; round < 50; ++round) {
+          task.compute(60 + 10 * i);    // parse a request
+          task.lock(shard_locks[i]);    // per-shard update: uncontended
+          task.compute(30);
+          task.unlock(shard_locks[i]);
+          task.lock(stats_lock);        // global stats: everyone serializes
+          task.compute(45);
+          task.unlock(stats_lock);
+        }
+      }));
+    }
+    for (const auto worker : workers) main.join(worker);
+  });
+
+  // 2. Analyze the trace: identification (which locks are critical) and
+  //    quantification (how much of the critical path they occupy).
+  const trace::Trace trace = engine.take_trace();
+  const AnalysisResult result = analyze(trace);
+
+  std::printf("%s\n", analysis::render_report(result, {.top_locks = 3}).c_str());
+
+  // 3. Ask the actionable question: if I shrink a lock's critical
+  //    sections, what is the most I can gain?
+  for (const auto& estimate : analysis::rank_optimization_targets(result)) {
+    std::printf("eliminating %-10s on-path time would save at most %6llu ns "
+                "(speedup <= %.3fx)\n",
+                estimate.lock.c_str(),
+                static_cast<unsigned long long>(estimate.saved_ns),
+                estimate.predicted_speedup);
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include "cla/analysis/analyzer.hpp"
+
+namespace cla::analysis {
+
+AnalysisResult analyze(const trace::Trace& trace, const AnalyzeOptions& options) {
+  if (options.validate) trace.validate();
+  const TraceIndex index(trace);
+  const WakeupResolver resolver(index);
+  CriticalPath path = compute_critical_path(index, resolver);
+  return compute_stats(index, std::move(path), options.stats);
+}
+
+}  // namespace cla::analysis

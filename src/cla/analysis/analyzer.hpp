@@ -1,0 +1,19 @@
+// One-call entry point of the analysis module (paper Fig. 3, right box).
+#pragma once
+
+#include "cla/analysis/stats.hpp"
+#include "cla/trace/trace.hpp"
+
+namespace cla::analysis {
+
+struct AnalyzeOptions {
+  /// Validate the trace's structural invariants before analyzing.
+  bool validate = true;
+  StatsOptions stats;
+};
+
+/// Runs the full pipeline: validate -> index -> resolve wake-ups ->
+/// backward critical-path walk -> TYPE 1 / TYPE 2 statistics.
+AnalysisResult analyze(const trace::Trace& trace, const AnalyzeOptions& options = {});
+
+}  // namespace cla::analysis

@@ -1,0 +1,119 @@
+#include "cla/analysis/critical_path.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "cla/util/error.hpp"
+
+namespace cla::analysis {
+
+std::uint64_t CriticalPath::thread_time(trace::ThreadId tid) const {
+  if (tid >= per_thread.size()) return 0;
+  std::uint64_t total = 0;
+  for (const auto& iv : per_thread[tid]) total += iv.length();
+  return total;
+}
+
+std::uint64_t CriticalPath::overlap(trace::ThreadId tid, std::uint64_t begin,
+                                    std::uint64_t end) const {
+  if (tid >= per_thread.size() || begin >= end) return 0;
+  const auto& ivs = per_thread[tid];
+  // First interval that might overlap: the one before the first whose
+  // begin_ts >= begin, then scan forward while interval.begin < end.
+  auto it = std::lower_bound(
+      ivs.begin(), ivs.end(), begin,
+      [](const PathInterval& iv, std::uint64_t ts) { return iv.begin_ts < ts; });
+  if (it != ivs.begin()) --it;
+  std::uint64_t total = 0;
+  for (; it != ivs.end() && it->begin_ts < end; ++it) {
+    const std::uint64_t lo = std::max(it->begin_ts, begin);
+    const std::uint64_t hi = std::min(it->end_ts, end);
+    if (hi > lo) total += hi - lo;
+  }
+  // Guard against marginal double counting from overlapping raw intervals.
+  return std::min(total, end - begin);
+}
+
+CriticalPath compute_critical_path(const TraceIndex& index,
+                                   const WakeupResolver& resolver) {
+  const trace::Trace& t = index.trace();
+  CriticalPath path;
+  path.last_thread = index.last_finished_thread();
+
+  trace::ThreadId tid = path.last_thread;
+  auto events = t.thread_events(tid);
+  std::uint32_t idx = static_cast<std::uint32_t>(events.size() - 1);
+  std::uint64_t cur_time = events[idx].ts;
+  path.end_ts = cur_time;
+
+  // Guards termination on malformed traces whose releaser relation has a
+  // cycle (impossible for a consistent happens-before order).
+  std::set<EventRef> jumped_from;
+
+  for (;;) {
+    const trace::Event& e = events[idx];
+    if (trace::is_wakeup(e.type)) {
+      const Resolution& r = resolver.resolve(tid, idx);
+      const EventRef here{tid, idx};
+      if (r.blocked && r.releaser.valid() && !jumped_from.contains(here)) {
+        jumped_from.insert(here);
+        if (cur_time > e.ts) {
+          path.intervals.push_back(PathInterval{tid, e.ts, cur_time});
+        }
+        path.jumps.push_back(PathJump{here, r.releaser, e.type, e.object});
+        tid = r.releaser.tid;
+        events = t.thread_events(tid);
+        idx = r.releaser.index;
+        cur_time = std::min(cur_time, events[idx].ts);
+        // The releasing event itself (Released / Arrive / Signal / Create /
+        // Exit) is never a wake-up, so continue scanning below it.
+        if (idx == 0) {
+          // Releaser is the thread's first event — can only be ThreadStart,
+          // which is a wake-up; loop once more to process it.
+          continue;
+        }
+        --idx;
+        continue;
+      }
+      if (r.blocked && r.releaser.valid()) {
+        // Cycle guard triggered: fall through and keep walking backwards.
+      }
+    }
+    if (idx == 0) {
+      // Reached the thread's ThreadStart with no (further) releaser:
+      // the beginning of the execution.
+      if (cur_time > e.ts) {
+        path.intervals.push_back(PathInterval{tid, events[0].ts, cur_time});
+      }
+      path.start_ts = events[0].ts;
+      break;
+    }
+    --idx;
+  }
+
+  std::reverse(path.intervals.begin(), path.intervals.end());
+  std::reverse(path.jumps.begin(), path.jumps.end());
+
+  // Build per-thread merged interval lists.
+  path.per_thread.resize(t.thread_count());
+  for (const auto& iv : path.intervals) path.per_thread[iv.tid].push_back(iv);
+  for (auto& ivs : path.per_thread) {
+    std::sort(ivs.begin(), ivs.end(),
+              [](const PathInterval& a, const PathInterval& b) {
+                return a.begin_ts < b.begin_ts;
+              });
+    // Merge touching/overlapping intervals.
+    std::vector<PathInterval> merged;
+    for (const auto& iv : ivs) {
+      if (!merged.empty() && iv.begin_ts <= merged.back().end_ts) {
+        merged.back().end_ts = std::max(merged.back().end_ts, iv.end_ts);
+      } else {
+        merged.push_back(iv);
+      }
+    }
+    ivs = std::move(merged);
+  }
+  return path;
+}
+
+}  // namespace cla::analysis

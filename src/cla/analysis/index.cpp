@@ -1,0 +1,277 @@
+#include "cla/analysis/index.hpp"
+
+#include <algorithm>
+
+#include "cla/util/error.hpp"
+
+namespace cla::analysis {
+
+namespace {
+
+using trace::Event;
+using trace::EventType;
+
+constexpr std::uint64_t kUnreleased = ~static_cast<std::uint64_t>(0);
+
+bool is_sync_op(EventType type) noexcept {
+  switch (type) {
+    case EventType::MutexAcquire:
+    case EventType::MutexAcquired:
+    case EventType::MutexReleased:
+    case EventType::BarrierArrive:
+    case EventType::BarrierLeave:
+    case EventType::CondWaitBegin:
+    case EventType::CondWaitEnd:
+    case EventType::CondSignal:
+    case EventType::CondBroadcast:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+TraceIndex::TraceIndex(const trace::Trace& t) : trace_(&t) {
+  const auto thread_count = static_cast<trace::ThreadId>(t.thread_count());
+  threads_.resize(thread_count);
+
+  // Per-(thread, object) in-flight state while scanning forward.
+  struct PendingCs {
+    std::uint32_t acquire_idx = 0;
+    std::uint64_t acquire_ts = 0;
+    bool open = false;
+  };
+  struct PendingBarrier {
+    std::uint32_t arrive_idx = 0;
+    std::uint64_t arrive_ts = 0;
+    std::uint64_t recorded_episode = trace::kNoArg;
+    std::uint32_t ordinal = 0;  ///< how many waits this thread completed
+    bool open = false;
+  };
+  struct PendingCond {
+    std::uint32_t begin_idx = 0;
+    std::uint64_t begin_ts = 0;
+    bool open = false;
+  };
+
+  for (trace::ThreadId tid = 0; tid < thread_count; ++tid) {
+    const auto events = t.thread_events(tid);
+    CLA_CHECK(!events.empty(), "trace thread has no events");
+    ThreadInfo& info = threads_[tid];
+    info.start_ts = events.front().ts;
+    info.exit_ts = events.back().ts;
+    info.exit_idx = static_cast<std::uint32_t>(events.size() - 1);
+    if (events.front().type == EventType::ThreadStart &&
+        events.front().object != trace::kNoObject) {
+      info.parent = static_cast<trace::ThreadId>(events.front().object);
+    }
+
+    std::map<trace::ObjectId, PendingCs> pending_cs;
+    std::map<trace::ObjectId, PendingBarrier> pending_barrier;
+    PendingCond pending_cond;  // waits cannot nest on one thread
+    trace::ObjectId pending_cond_id = trace::kNoObject;
+
+    for (std::uint32_t i = 0; i < events.size(); ++i) {
+      const Event& e = events[i];
+      if (is_sync_op(e.type)) ++info.sync_ops;
+      switch (e.type) {
+        case EventType::ThreadCreate:
+          creates_[static_cast<trace::ThreadId>(e.object)] = EventRef{tid, i};
+          break;
+        case EventType::MutexAcquire: {
+          auto& p = pending_cs[e.object];
+          if (!p.open) {  // ignore recursive re-acquire of a held lock
+            p = PendingCs{i, e.ts, true};
+          }
+          break;
+        }
+        case EventType::MutexAcquired: {
+          auto& p = pending_cs[e.object];
+          if (p.open) {
+            CsRecord cs;
+            cs.tid = tid;
+            cs.acquire_idx = p.acquire_idx;
+            cs.acquired_idx = i;
+            cs.acquire_ts = p.acquire_ts;
+            cs.acquired_ts = e.ts;
+            cs.released_ts = kUnreleased;  // filled on MutexReleased
+            cs.contended = (e.arg != trace::kNoArg) && (e.arg & 1);
+            auto& mi = mutexes_[e.object];
+            mi.id = e.object;
+            mi.sections.push_back(cs);
+            p.open = false;
+          }
+          break;
+        }
+        case EventType::MutexReleased: {
+          auto& mi = mutexes_[e.object];
+          // This thread scans its events in order and sections append in
+          // acquisition order, so its open section is the rearmost one.
+          for (auto it = mi.sections.rbegin(); it != mi.sections.rend(); ++it) {
+            if (it->tid == tid && it->released_ts == kUnreleased) {
+              it->released_idx = i;
+              it->released_ts = e.ts;
+              break;
+            }
+          }
+          break;
+        }
+        case EventType::BarrierArrive: {
+          auto& p = pending_barrier[e.object];
+          p.arrive_idx = i;
+          p.arrive_ts = e.ts;
+          p.recorded_episode = e.arg;
+          p.open = true;
+          break;
+        }
+        case EventType::BarrierLeave: {
+          auto& p = pending_barrier[e.object];
+          if (p.open) {
+            BarrierWaitRecord w;
+            w.tid = tid;
+            w.arrive_idx = p.arrive_idx;
+            w.leave_idx = i;
+            w.arrive_ts = p.arrive_ts;
+            w.leave_ts = e.ts;
+            // An episode recorded by the producer is preferred, but it is
+            // untrusted input: an absurd value (corrupt trace) falls back
+            // to the per-thread wait ordinal, which is always coherent.
+            w.episode = p.recorded_episode != trace::kNoArg &&
+                                p.recorded_episode <= (1u << 24)
+                            ? static_cast<std::uint32_t>(p.recorded_episode)
+                            : p.ordinal;
+            auto& bi = barriers_[e.object];
+            bi.id = e.object;
+            bi.waits.push_back(w);
+            leave_pos_[{tid, i}] = static_cast<std::uint32_t>(bi.waits.size() - 1);
+            ++p.ordinal;
+            p.open = false;
+          }
+          break;
+        }
+        case EventType::CondWaitBegin: {
+          pending_cond = PendingCond{i, e.ts, true};
+          pending_cond_id = e.object;
+          break;
+        }
+        case EventType::CondWaitEnd: {
+          if (pending_cond.open && pending_cond_id == e.object) {
+            CondWaitRecord w;
+            w.tid = tid;
+            w.begin_idx = pending_cond.begin_idx;
+            w.end_idx = i;
+            w.begin_ts = pending_cond.begin_ts;
+            w.end_ts = e.ts;
+            auto& ci = conds_[e.object];
+            ci.id = e.object;
+            ci.waits.push_back(w);
+            cond_end_pos_[{tid, i}] = static_cast<std::uint32_t>(ci.waits.size() - 1);
+            pending_cond.open = false;
+          }
+          break;
+        }
+        case EventType::CondSignal:
+        case EventType::CondBroadcast: {
+          auto& ci = conds_[e.object];
+          ci.id = e.object;
+          ci.signals.push_back(CondSignalRecord{
+              tid, i, e.ts, e.type == EventType::CondBroadcast});
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  // Close any sections missing a release (thread exited holding a lock —
+  // tolerated: treat the exit as the release point).
+  for (auto& [id, mi] : mutexes_) {
+    (void)id;
+    for (auto& cs : mi.sections) {
+      if (cs.released_ts == kUnreleased) {
+        cs.released_ts = threads_[cs.tid].exit_ts;
+        cs.released_idx = threads_[cs.tid].exit_idx;
+      }
+    }
+    std::stable_sort(mi.sections.begin(), mi.sections.end(),
+                     [](const CsRecord& a, const CsRecord& b) {
+                       return a.acquired_ts < b.acquired_ts;
+                     });
+    for (std::uint32_t pos = 0; pos < mi.sections.size(); ++pos) {
+      const auto& cs = mi.sections[pos];
+      acquired_pos_[{cs.tid, cs.acquired_idx}] = pos;
+    }
+  }
+
+  // Group barrier waits into episodes and find each episode's last
+  // arriver. Episode numbers are renumbered densely: clipped traces keep
+  // the original generation counters, which need not start at zero.
+  for (auto& [id, bi] : barriers_) {
+    (void)id;
+    std::map<std::uint32_t, std::uint32_t> dense;  // recorded -> dense index
+    for (auto& w : bi.waits) {
+      auto [it, inserted] =
+          dense.try_emplace(w.episode, static_cast<std::uint32_t>(dense.size()));
+      (void)inserted;
+      w.episode = it->second;
+    }
+    bi.episodes.resize(dense.size());
+    for (std::uint32_t wi = 0; wi < bi.waits.size(); ++wi) {
+      bi.episodes[bi.waits[wi].episode].waits.push_back(wi);
+    }
+    for (auto& ep : bi.episodes) {
+      if (ep.waits.empty()) continue;
+      ep.last_arriver = ep.waits.front();
+      for (std::uint32_t wi : ep.waits) {
+        const auto& cand = bi.waits[wi];
+        const auto& best = bi.waits[ep.last_arriver];
+        if (cand.arrive_ts > best.arrive_ts ||
+            (cand.arrive_ts == best.arrive_ts && cand.tid < best.tid)) {
+          ep.last_arriver = wi;
+        }
+      }
+    }
+  }
+
+  // Sort condvar signals by time for binary-search matching.
+  for (auto& [id, ci] : conds_) {
+    (void)id;
+    std::stable_sort(ci.signals.begin(), ci.signals.end(),
+                     [](const CondSignalRecord& a, const CondSignalRecord& b) {
+                       return a.ts < b.ts;
+                     });
+  }
+
+  // Last finished thread (max exit ts, ties toward lower tid).
+  last_thread_ = 0;
+  for (trace::ThreadId tid = 1; tid < thread_count; ++tid) {
+    if (threads_[tid].exit_ts > threads_[last_thread_].exit_ts) last_thread_ = tid;
+  }
+}
+
+EventRef TraceIndex::create_event(trace::ThreadId child) const {
+  auto it = creates_.find(child);
+  return it == creates_.end() ? EventRef{} : it->second;
+}
+
+std::uint32_t TraceIndex::section_of(trace::ThreadId tid,
+                                     std::uint32_t acquired_idx) const {
+  auto it = acquired_pos_.find({tid, acquired_idx});
+  return it == acquired_pos_.end() ? npos32 : it->second;
+}
+
+std::uint32_t TraceIndex::barrier_wait_of(trace::ThreadId tid,
+                                          std::uint32_t leave_idx) const {
+  auto it = leave_pos_.find({tid, leave_idx});
+  return it == leave_pos_.end() ? npos32 : it->second;
+}
+
+std::uint32_t TraceIndex::cond_wait_of(trace::ThreadId tid,
+                                       std::uint32_t end_idx) const {
+  auto it = cond_end_pos_.find({tid, end_idx});
+  return it == cond_end_pos_.end() ? npos32 : it->second;
+}
+
+}  // namespace cla::analysis

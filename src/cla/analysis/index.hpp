@@ -1,0 +1,167 @@
+// Forward indexing of a trace by synchronization primitive.
+//
+// The critical-lock algorithm (paper Fig. 2) needs, for every blocking
+// wake-up, "the segment that released me". This index precomputes the
+// per-primitive structures that make that lookup O(log n):
+//   - per-mutex critical sections in acquisition order (owner chain),
+//   - per-barrier episodes with their last arriver,
+//   - per-condvar signal lists and wait records,
+//   - thread lifecycle (create/join/exit) relations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cla/trace/trace.hpp"
+
+namespace cla::analysis {
+
+/// Position of an event inside a trace: (thread, index into its stream).
+struct EventRef {
+  trace::ThreadId tid = trace::kNoThread;
+  std::uint32_t index = 0;
+
+  bool valid() const noexcept { return tid != trace::kNoThread; }
+  friend bool operator==(const EventRef&, const EventRef&) = default;
+  friend auto operator<=>(const EventRef&, const EventRef&) = default;
+};
+
+/// One execution of a critical section (MutexAcquire/Acquired/Released).
+struct CsRecord {
+  trace::ThreadId tid = 0;
+  std::uint32_t acquire_idx = 0;
+  std::uint32_t acquired_idx = 0;
+  std::uint32_t released_idx = 0;
+  std::uint64_t acquire_ts = 0;   ///< request issued
+  std::uint64_t acquired_ts = 0;  ///< lock obtained
+  std::uint64_t released_ts = 0;  ///< lock released
+  bool contended = false;
+
+  std::uint64_t wait_time() const noexcept { return acquired_ts - acquire_ts; }
+  std::uint64_t hold_time() const noexcept { return released_ts - acquired_ts; }
+};
+
+/// All critical sections of one mutex, sorted by acquired_ts (the total
+/// order of ownership). sections[k-1] released the lock that sections[k]
+/// obtained — the paper's "thread holding the same lock adjacently before
+/// the blocked thread".
+struct MutexIndex {
+  trace::ObjectId id = trace::kNoObject;
+  std::vector<CsRecord> sections;
+};
+
+/// One thread's passage through a barrier (Arrive .. Leave).
+struct BarrierWaitRecord {
+  trace::ThreadId tid = 0;
+  std::uint32_t arrive_idx = 0;
+  std::uint32_t leave_idx = 0;
+  std::uint64_t arrive_ts = 0;
+  std::uint64_t leave_ts = 0;
+  std::uint32_t episode = 0;
+};
+
+/// One barrier generation: which waits belong to it and who arrived last
+/// ("the thread reaching the same barrier lastly is the desired one").
+struct BarrierEpisode {
+  std::vector<std::uint32_t> waits;  ///< indices into BarrierIndex::waits
+  std::uint32_t last_arriver = 0;    ///< index into BarrierIndex::waits
+};
+
+struct BarrierIndex {
+  trace::ObjectId id = trace::kNoObject;
+  std::vector<BarrierWaitRecord> waits;
+  std::vector<BarrierEpisode> episodes;
+};
+
+/// A signal/broadcast on a condition variable.
+struct CondSignalRecord {
+  trace::ThreadId tid = 0;
+  std::uint32_t idx = 0;
+  std::uint64_t ts = 0;
+  bool broadcast = false;
+};
+
+/// A wait on a condition variable (WaitBegin .. WaitEnd).
+struct CondWaitRecord {
+  trace::ThreadId tid = 0;
+  std::uint32_t begin_idx = 0;
+  std::uint32_t end_idx = 0;
+  std::uint64_t begin_ts = 0;
+  std::uint64_t end_ts = 0;
+};
+
+struct CondIndex {
+  trace::ObjectId id = trace::kNoObject;
+  std::vector<CondSignalRecord> signals;  ///< sorted by ts
+  std::vector<CondWaitRecord> waits;
+};
+
+/// Lifecycle facts about one thread.
+struct ThreadInfo {
+  std::uint64_t start_ts = 0;
+  std::uint64_t exit_ts = 0;
+  std::uint32_t exit_idx = 0;
+  trace::ThreadId parent = trace::kNoThread;
+  std::size_t sync_ops = 0;  ///< mutex/barrier/cond events (not lifecycle)
+
+  std::uint64_t duration() const noexcept { return exit_ts - start_ts; }
+};
+
+/// Immutable per-primitive index over one trace.
+class TraceIndex {
+ public:
+  explicit TraceIndex(const trace::Trace& trace);
+  /// The index keeps a reference to the trace: temporaries are rejected.
+  explicit TraceIndex(trace::Trace&&) = delete;
+
+  const trace::Trace& trace() const noexcept { return *trace_; }
+
+  const std::map<trace::ObjectId, MutexIndex>& mutexes() const noexcept {
+    return mutexes_;
+  }
+  const std::map<trace::ObjectId, BarrierIndex>& barriers() const noexcept {
+    return barriers_;
+  }
+  const std::map<trace::ObjectId, CondIndex>& conds() const noexcept {
+    return conds_;
+  }
+  const std::vector<ThreadInfo>& threads() const noexcept { return threads_; }
+
+  /// The ThreadCreate event in `parent` that spawned `child`; invalid if
+  /// the trace does not record it.
+  EventRef create_event(trace::ThreadId child) const;
+
+  /// For a MutexAcquired event position, the index of its CsRecord within
+  /// its mutex's `sections` (ownership order); npos32 if unknown.
+  std::uint32_t section_of(trace::ThreadId tid, std::uint32_t acquired_idx) const;
+
+  /// For a BarrierLeave event position, the index of its BarrierWaitRecord
+  /// within its barrier's `waits`; npos32 if unknown.
+  std::uint32_t barrier_wait_of(trace::ThreadId tid, std::uint32_t leave_idx) const;
+
+  /// For a CondWaitEnd event position, the index of its CondWaitRecord
+  /// within its condvar's `waits`; npos32 if unknown.
+  std::uint32_t cond_wait_of(trace::ThreadId tid, std::uint32_t end_idx) const;
+
+  /// The thread that finished last (maximum ThreadExit timestamp; ties
+  /// break toward the lowest tid). The paper's walk starts there.
+  trace::ThreadId last_finished_thread() const noexcept { return last_thread_; }
+
+  static constexpr std::uint32_t npos32 = ~static_cast<std::uint32_t>(0);
+
+ private:
+  const trace::Trace* trace_;
+  std::map<trace::ObjectId, MutexIndex> mutexes_;
+  std::map<trace::ObjectId, BarrierIndex> barriers_;
+  std::map<trace::ObjectId, CondIndex> conds_;
+  std::vector<ThreadInfo> threads_;
+  std::map<trace::ThreadId, EventRef> creates_;
+  // (tid, event_idx) -> position in the owning primitive's record vector.
+  std::map<std::pair<trace::ThreadId, std::uint32_t>, std::uint32_t> acquired_pos_;
+  std::map<std::pair<trace::ThreadId, std::uint32_t>, std::uint32_t> leave_pos_;
+  std::map<std::pair<trace::ThreadId, std::uint32_t>, std::uint32_t> cond_end_pos_;
+  trace::ThreadId last_thread_ = 0;
+};
+
+}  // namespace cla::analysis

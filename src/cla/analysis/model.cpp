@@ -1,0 +1,63 @@
+#include "cla/analysis/model.hpp"
+
+#include <algorithm>
+
+#include "cla/util/error.hpp"
+
+namespace cla::analysis {
+
+double SpeedupModel::contention_at(const LockTerm& term,
+                                   std::uint32_t threads) const {
+  if (term.contention_prob >= 0.0) return std::min(1.0, term.contention_prob);
+  if (threads <= 1) return 0.0;
+  const double parallel = std::max(1e-9, 1.0 - sequential_fraction);
+  return std::min(1.0, static_cast<double>(threads - 1) * term.cs_fraction /
+                           parallel);
+}
+
+double SpeedupModel::predict_speedup(std::uint32_t threads) const {
+  CLA_CHECK(threads >= 1, "model needs at least one thread");
+  const double n = static_cast<double>(threads);
+  double cs_total = 0.0;
+  double cs_time = 0.0;
+  for (const LockTerm& term : locks) {
+    cs_total += term.cs_fraction;
+    const double p = contention_at(term, threads);
+    cs_time += term.cs_fraction * ((1.0 - p) / n + p);
+  }
+  cs_total = std::min(cs_total, 1.0 - sequential_fraction);
+  const double parallel = std::max(0.0, 1.0 - sequential_fraction - cs_total);
+  const double t_n = sequential_fraction + parallel / n + cs_time;
+  return 1.0 / t_n;
+}
+
+SpeedupModel fit_model(const AnalysisResult& profile,
+                       double sequential_fraction) {
+  CLA_CHECK(sequential_fraction >= 0.0 && sequential_fraction < 1.0,
+            "sequential fraction must be in [0,1)");
+  CLA_CHECK(profile.completion_time > 0, "profile has zero completion time");
+  SpeedupModel model;
+  model.sequential_fraction = sequential_fraction;
+  const double t1 = static_cast<double>(profile.completion_time);
+  for (const LockStats& lock : profile.locks) {
+    LockTerm term;
+    term.name = lock.name;
+    term.cs_fraction = static_cast<double>(lock.total_hold) / t1;
+    if (term.cs_fraction > 0.0) model.locks.push_back(std::move(term));
+  }
+  std::sort(model.locks.begin(), model.locks.end(),
+            [](const LockTerm& a, const LockTerm& b) {
+              return a.cs_fraction > b.cs_fraction;
+            });
+  return model;
+}
+
+void calibrate_contention(SpeedupModel& model, const AnalysisResult& profile) {
+  for (LockTerm& term : model.locks) {
+    if (const LockStats* measured = profile.find_lock(term.name)) {
+      term.contention_prob = measured->avg_contention_prob;
+    }
+  }
+}
+
+}  // namespace cla::analysis

@@ -1,0 +1,71 @@
+// Critical-section-aware speedup model (Eyerman & Eeckhout, ISCA 2010 —
+// the paper's reference [10], whose two limiting factors §III.B turns
+// into the TYPE 1 metrics).
+//
+// Amdahl's law extended with critical sections: of the normalized
+// single-thread execution, a fraction `sequential` cannot parallelize, a
+// fraction `cs` executes inside critical sections (per lock), and the
+// rest scales perfectly. A critical section serializes with its lock's
+// contention probability:
+//
+//   T(n)/T(1) =  sequential
+//              + (1 - sequential - sum_cs) / n
+//              + sum over locks of cs_l * ( (1 - P_l(n)) / n  +  P_l(n) )
+//
+// where P_l(n), the probability an execution of lock l's critical
+// section contends, is estimated from the lock's utilisation:
+//   P_l(n) = min(1, (n - 1) * cs_l / (1 - sequential))
+// (n-1 other threads each inside l's critical section cs_l of their
+// parallel time — the model's "contention probability" input, which the
+// analyzer can also measure directly at a given thread count).
+//
+// The model's assumption that every critical section matters equally is
+// exactly what critical lock analysis refines — comparing its prediction
+// with measured runs (bench_model_validation) shows where the
+// path-aware analysis adds information.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cla/analysis/stats.hpp"
+
+namespace cla::analysis {
+
+/// One lock's contribution to the model.
+struct LockTerm {
+  std::string name;
+  double cs_fraction = 0.0;       ///< of single-thread execution time
+  double contention_prob = -1.0;  ///< measured; < 0 = estimate from model
+};
+
+/// The fitted model.
+struct SpeedupModel {
+  double sequential_fraction = 0.0;
+  std::vector<LockTerm> locks;
+
+  /// Estimated contention probability of `term` at `threads`.
+  double contention_at(const LockTerm& term, std::uint32_t threads) const;
+
+  /// Predicted T(1)/T(n).
+  double predict_speedup(std::uint32_t threads) const;
+
+  /// Predicted completion time given the single-thread time.
+  double predict_completion(double t1, std::uint32_t threads) const {
+    return t1 / predict_speedup(threads);
+  }
+};
+
+/// Fits the model from a single-thread profile: per-lock cs fractions are
+/// the locks' total hold fractions; `sequential_fraction` is supplied by
+/// the caller (0 for fully data-parallel workloads). Contention is left
+/// to the utilisation estimate.
+SpeedupModel fit_model(const AnalysisResult& single_thread_profile,
+                       double sequential_fraction = 0.0);
+
+/// Refines a fitted model with contention probabilities measured at a
+/// concrete thread count (TYPE 2 Avg. Cont. Prob of a profiled run).
+void calibrate_contention(SpeedupModel& model, const AnalysisResult& profile);
+
+}  // namespace cla::analysis

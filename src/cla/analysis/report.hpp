@@ -1,0 +1,44 @@
+// Report rendering: the paper's statistics tables as text, CSV and JSON.
+//
+// Column names match Table 2 so outputs can be compared side by side with
+// the paper's Figs. 6, 8, 9, 10, 11, 13 and 14.
+#pragma once
+
+#include <string>
+
+#include "cla/analysis/stats.hpp"
+#include "cla/util/table.hpp"
+
+namespace cla::analysis {
+
+/// How many locks a table includes (paper figures show the top 2-3).
+struct ReportOptions {
+  std::size_t top_locks = 0;  ///< 0 = all
+};
+
+/// TYPE 1 table: Lock | CP Time % | Invo. # on CP | Cont. Prob. on CP %.
+util::Table type1_table(const AnalysisResult& result, const ReportOptions& = {});
+
+/// TYPE 2 table: Lock | Wait Time % | Avg. Invo. # | Avg. Cont. Prob % |
+/// Avg. Hold Time %.
+util::Table type2_table(const AnalysisResult& result, const ReportOptions& = {});
+
+/// Fig. 6/8/9-style comparison: Lock | CP Time % | Wait Time %.
+util::Table comparison_table(const AnalysisResult& result, const ReportOptions& = {});
+
+/// Fig. 10/14-style contention-probability table:
+/// Lock | Invo. # on CP | Cont. Prob. on CP % | Avg. Invo. # |
+/// Avg. Cont. Prob % | Incr. Times of Invo. #.
+util::Table contention_table(const AnalysisResult& result, const ReportOptions& = {});
+
+/// Fig. 11/13-style critical-section-size table:
+/// Lock | CP Time % | Avg. Hold Time % | Incr. Times of CS Size.
+util::Table size_table(const AnalysisResult& result, const ReportOptions& = {});
+
+/// Full human-readable report: summary, TYPE 1, TYPE 2, barriers, threads.
+std::string render_report(const AnalysisResult& result, const ReportOptions& = {});
+
+/// Machine-readable JSON export of every metric.
+std::string render_json(const AnalysisResult& result);
+
+}  // namespace cla::analysis

@@ -1,0 +1,142 @@
+#include "cla/analysis/resolver.hpp"
+
+#include <algorithm>
+
+#include "cla/util/error.hpp"
+
+namespace cla::analysis {
+
+namespace {
+
+using trace::Event;
+using trace::EventType;
+
+/// Latest signal/broadcast of `ci` with ts in (begin, end], preferring a
+/// different thread than `waiter`; falls back to the latest signal <= end.
+EventRef match_cond_signal(const CondIndex& ci, const CondWaitRecord& wait) {
+  EventRef best{};
+  // signals are sorted by ts; walk the range (begin_ts, end_ts] backwards.
+  auto upper = std::upper_bound(
+      ci.signals.begin(), ci.signals.end(), wait.end_ts,
+      [](std::uint64_t ts, const CondSignalRecord& s) { return ts < s.ts; });
+  for (auto it = upper; it != ci.signals.begin();) {
+    --it;
+    if (it->ts <= wait.begin_ts) break;
+    if (it->tid == wait.tid) continue;  // a thread cannot signal itself awake
+    best = EventRef{it->tid, it->idx};
+    break;
+  }
+  if (!best.valid()) {
+    // Timestamp skew fallback: latest foreign signal at or before wake-up.
+    for (auto it = upper; it != ci.signals.begin();) {
+      --it;
+      if (it->tid == wait.tid) continue;
+      best = EventRef{it->tid, it->idx};
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+WakeupResolver::WakeupResolver(const TraceIndex& index) {
+  const trace::Trace& t = index.trace();
+  per_thread_.resize(t.thread_count());
+  for (trace::ThreadId tid = 0; tid < t.thread_count(); ++tid) {
+    const auto events = t.thread_events(tid);
+    per_thread_[tid].resize(events.size());
+    for (std::uint32_t i = 0; i < events.size(); ++i) {
+      const Event& e = events[i];
+      if (!trace::is_wakeup(e.type)) continue;
+      Resolution& r = per_thread_[tid][i];
+      switch (e.type) {
+        case EventType::ThreadStart: {
+          if (tid == 0) break;  // initial thread: nothing released it
+          const EventRef create = index.create_event(tid);
+          if (create.valid()) {
+            r.releaser = create;
+            r.blocked = true;  // a thread can never run before creation
+          }
+          break;
+        }
+        case EventType::JoinEnd: {
+          const auto target = static_cast<trace::ThreadId>(e.object);
+          if (target >= index.threads().size()) break;
+          const ThreadInfo& ti = index.threads()[target];
+          // Find the matching JoinBegin (the previous event on this thread
+          // with the same target); blocked iff the target outlived it.
+          std::uint64_t begin_ts = e.ts;
+          for (std::uint32_t j = i; j-- > 0;) {
+            if (events[j].type == EventType::JoinBegin &&
+                events[j].object == e.object) {
+              begin_ts = events[j].ts;
+              break;
+            }
+          }
+          if (ti.exit_ts > begin_ts) {
+            r.releaser = EventRef{target, ti.exit_idx};
+            r.blocked = true;
+          }
+          break;
+        }
+        case EventType::MutexAcquired: {
+          const bool contended = (e.arg != trace::kNoArg) && (e.arg & 1);
+          if (!contended) break;
+          r.blocked = true;
+          auto mit = index.mutexes().find(e.object);
+          if (mit == index.mutexes().end()) break;
+          const auto pos = index.section_of(tid, i);
+          if (pos == TraceIndex::npos32 || pos == 0) break;
+          const CsRecord& prev = mit->second.sections[pos - 1];
+          r.releaser = EventRef{prev.tid, prev.released_idx};
+          break;
+        }
+        case EventType::BarrierLeave: {
+          auto bit = index.barriers().find(e.object);
+          if (bit == index.barriers().end()) break;
+          const auto wpos = index.barrier_wait_of(tid, i);
+          if (wpos == TraceIndex::npos32) break;
+          const BarrierIndex& bi = bit->second;
+          const BarrierWaitRecord& w = bi.waits[wpos];
+          CLA_ASSERT(w.episode < bi.episodes.size(), "barrier episode out of range");
+          const BarrierEpisode& ep = bi.episodes[w.episode];
+          if (ep.waits.empty()) break;
+          const BarrierWaitRecord& last = bi.waits[ep.last_arriver];
+          if (last.tid == tid && ep.last_arriver == wpos) {
+            // The last arriver never blocked; the path stays on its thread.
+            break;
+          }
+          r.blocked = true;
+          r.releaser = EventRef{last.tid, last.arrive_idx};
+          break;
+        }
+        case EventType::CondWaitEnd: {
+          auto cit = index.conds().find(e.object);
+          if (cit == index.conds().end()) break;
+          const auto wpos = index.cond_wait_of(tid, i);
+          if (wpos == TraceIndex::npos32) break;
+          const CondWaitRecord& wait = cit->second.waits[wpos];
+          if (wait.end_ts == wait.begin_ts) break;  // did not block
+          const EventRef signal = match_cond_signal(cit->second, wait);
+          if (signal.valid()) {
+            r.blocked = true;
+            r.releaser = signal;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+}
+
+const Resolution& WakeupResolver::resolve(trace::ThreadId tid,
+                                          std::uint32_t idx) const {
+  CLA_ASSERT(tid < per_thread_.size() && idx < per_thread_[tid].size(),
+             "resolve() position out of range");
+  return per_thread_[tid][idx];
+}
+
+}  // namespace cla::analysis

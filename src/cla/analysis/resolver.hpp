@@ -1,0 +1,44 @@
+// Wake-up resolution: "find_the_segment_released_me" (paper Fig. 2 line 10).
+//
+// For every event at which a thread resumes from a potentially blocking
+// wait, the resolver answers two questions the backward walker asks:
+//   - did this wait actually block?
+//   - which event on which thread released / unblocked it?
+//
+// Resolution rules (paper §IV.B):
+//   mutex   -> the release by the thread that held the lock adjacently
+//              before the blocked thread (previous owner in acquisition
+//              order);
+//   barrier -> the arrival of the last thread to reach the barrier in the
+//              same episode;
+//   condvar -> the latest signal/broadcast of the same condvar inside the
+//              wait window;
+//   join    -> the joined thread's exit;
+//   start   -> the parent's ThreadCreate.
+#pragma once
+
+#include <vector>
+
+#include "cla/analysis/index.hpp"
+
+namespace cla::analysis {
+
+/// Resolution of one wake-up event.
+struct Resolution {
+  EventRef releaser;     ///< invalid when no releasing event exists
+  bool blocked = false;  ///< whether the wait actually blocked
+};
+
+class WakeupResolver {
+ public:
+  explicit WakeupResolver(const TraceIndex& index);
+
+  /// Resolution for the event at (tid, idx). Events that are not wake-ups
+  /// resolve to {invalid, false}.
+  const Resolution& resolve(trace::ThreadId tid, std::uint32_t idx) const;
+
+ private:
+  std::vector<std::vector<Resolution>> per_thread_;
+};
+
+}  // namespace cla::analysis

@@ -1,0 +1,158 @@
+#include "cla/analysis/stats.hpp"
+
+#include <algorithm>
+
+#include "cla/util/stats.hpp"
+
+namespace cla::analysis {
+
+using util::safe_ratio;
+
+const LockStats* AnalysisResult::find_lock(const std::string& lock_name) const {
+  for (const auto& ls : locks)
+    if (ls.name == lock_name) return &ls;
+  return nullptr;
+}
+
+AnalysisResult compute_stats(const TraceIndex& index, CriticalPath path,
+                             const StatsOptions& options) {
+  const trace::Trace& t = index.trace();
+  AnalysisResult result;
+  result.completion_time = path.length();
+
+  // --- thread stats & the TYPE 2 averaging denominator ---
+  std::vector<bool> is_worker(t.thread_count(), false);
+  for (trace::ThreadId tid = 0; tid < t.thread_count(); ++tid) {
+    const ThreadInfo& info = index.threads()[tid];
+    ThreadStats ts;
+    ts.tid = tid;
+    ts.name = t.thread_display_name(tid);
+    ts.duration = info.duration();
+    ts.cp_time = path.thread_time(tid);
+    ts.sync_ops = info.sync_ops;
+    result.threads.push_back(std::move(ts));
+    is_worker[tid] = !options.worker_threads_only || info.sync_ops > 0;
+  }
+  std::size_t workers = 0;
+  for (bool w : is_worker) workers += w ? 1 : 0;
+  if (workers == 0) {  // degenerate trace: average over everything
+    std::fill(is_worker.begin(), is_worker.end(), true);
+    workers = t.thread_count();
+  }
+  result.worker_threads = workers;
+
+  const double cp_len = static_cast<double>(path.length());
+
+  // --- per-lock stats ---
+  for (const auto& [id, mi] : index.mutexes()) {
+    LockStats ls;
+    ls.id = id;
+    ls.name = t.object_display_name(id, "mutex");
+
+    // Per-thread wait/hold accumulation for the TYPE 2 fractions.
+    std::vector<std::uint64_t> wait_per_thread(t.thread_count(), 0);
+    std::vector<std::uint64_t> hold_per_thread(t.thread_count(), 0);
+
+    for (const CsRecord& cs : mi.sections) {
+      ++ls.invocations;
+      if (cs.contended) ++ls.contended;
+      ls.total_wait += cs.wait_time();
+      ls.total_hold += cs.hold_time();
+      wait_per_thread[cs.tid] += cs.wait_time();
+      hold_per_thread[cs.tid] += cs.hold_time();
+      result.threads[cs.tid].lock_wait_time += cs.wait_time();
+      result.threads[cs.tid].lock_hold_time += cs.hold_time();
+
+      // TYPE 1: does this critical section lie on the critical path?
+      const std::uint64_t on_path =
+          path.overlap(cs.tid, cs.acquired_ts, cs.released_ts);
+      if (on_path > 0) {
+        ++ls.cp_invocations;
+        if (cs.contended) ++ls.cp_contended;
+        ls.cp_hold_time += on_path;
+      }
+    }
+
+    double wait_fraction_sum = 0.0;
+    double hold_fraction_sum = 0.0;
+    for (trace::ThreadId tid = 0; tid < t.thread_count(); ++tid) {
+      if (!is_worker[tid]) continue;
+      const double dur = static_cast<double>(index.threads()[tid].duration());
+      wait_fraction_sum += safe_ratio(static_cast<double>(wait_per_thread[tid]), dur);
+      hold_fraction_sum += safe_ratio(static_cast<double>(hold_per_thread[tid]), dur);
+    }
+    const auto worker_count = static_cast<double>(workers);
+    ls.avg_wait_fraction = wait_fraction_sum / worker_count;
+    ls.avg_hold_fraction = hold_fraction_sum / worker_count;
+    ls.avg_invocations = static_cast<double>(ls.invocations) / worker_count;
+    ls.avg_contention_prob =
+        safe_ratio(static_cast<double>(ls.contended),
+                   static_cast<double>(ls.invocations));
+
+    ls.cp_time_fraction = safe_ratio(static_cast<double>(ls.cp_hold_time), cp_len);
+    ls.cp_contention_prob =
+        safe_ratio(static_cast<double>(ls.cp_contended),
+                   static_cast<double>(ls.cp_invocations));
+    ls.invocation_increase =
+        safe_ratio(static_cast<double>(ls.cp_invocations), ls.avg_invocations);
+    ls.hold_increase = safe_ratio(ls.cp_time_fraction, ls.avg_hold_fraction);
+
+    result.locks.push_back(std::move(ls));
+  }
+  std::sort(result.locks.begin(), result.locks.end(),
+            [](const LockStats& a, const LockStats& b) {
+              if (a.cp_hold_time != b.cp_hold_time)
+                return a.cp_hold_time > b.cp_hold_time;
+              if (a.total_wait != b.total_wait) return a.total_wait > b.total_wait;
+              return a.name < b.name;
+            });
+
+  // --- barrier stats ---
+  for (const auto& [id, bi] : index.barriers()) {
+    BarrierStats bs;
+    bs.id = id;
+    bs.name = t.object_display_name(id, "barrier");
+    bs.episodes = bi.episodes.size();
+    bs.waits = bi.waits.size();
+    std::vector<std::uint64_t> wait_per_thread(t.thread_count(), 0);
+    for (const auto& w : bi.waits) {
+      bs.total_wait_time += w.leave_ts - w.arrive_ts;
+      wait_per_thread[w.tid] += w.leave_ts - w.arrive_ts;
+    }
+    double fraction_sum = 0.0;
+    for (trace::ThreadId tid = 0; tid < t.thread_count(); ++tid) {
+      if (!is_worker[tid]) continue;
+      fraction_sum += safe_ratio(static_cast<double>(wait_per_thread[tid]),
+                                 static_cast<double>(index.threads()[tid].duration()));
+    }
+    bs.avg_wait_fraction = fraction_sum / static_cast<double>(workers);
+    result.barriers.push_back(std::move(bs));
+  }
+
+  // --- condvar stats ---
+  for (const auto& [id, ci] : index.conds()) {
+    CondStats cs;
+    cs.id = id;
+    cs.name = t.object_display_name(id, "cond");
+    cs.waits = ci.waits.size();
+    cs.signals = ci.signals.size();
+    for (const auto& w : ci.waits) cs.total_wait_time += w.end_ts - w.begin_ts;
+    result.conds.push_back(std::move(cs));
+  }
+
+  // --- attribute path jumps to barriers/conds ---
+  for (const PathJump& jump : path.jumps) {
+    if (jump.kind == trace::EventType::BarrierLeave) {
+      for (auto& bs : result.barriers)
+        if (bs.id == jump.object) ++bs.cp_jumps;
+    } else if (jump.kind == trace::EventType::CondWaitEnd) {
+      for (auto& cs : result.conds)
+        if (cs.id == jump.object) ++cs.cp_jumps;
+    }
+  }
+
+  result.path = std::move(path);
+  return result;
+}
+
+}  // namespace cla::analysis

@@ -1,0 +1,41 @@
+#include "cla/analysis/whatif.hpp"
+
+#include <algorithm>
+
+#include "cla/util/error.hpp"
+
+namespace cla::analysis {
+
+WhatIfEstimate estimate_shrink(const AnalysisResult& result,
+                               const std::string& lock_name,
+                               double shrink_factor) {
+  CLA_CHECK(shrink_factor >= 0.0 && shrink_factor <= 1.0,
+            "shrink factor must be in [0,1]");
+  WhatIfEstimate est;
+  est.lock = lock_name;
+  est.shrink_factor = shrink_factor;
+  const LockStats* ls = result.find_lock(lock_name);
+  if (ls == nullptr || result.completion_time == 0) return est;
+  est.saved_ns = static_cast<std::uint64_t>(
+      static_cast<double>(ls->cp_hold_time) * shrink_factor);
+  est.saved_ns = std::min(est.saved_ns, result.completion_time - 1);
+  est.predicted_speedup = static_cast<double>(result.completion_time) /
+                          static_cast<double>(result.completion_time - est.saved_ns);
+  return est;
+}
+
+std::vector<WhatIfEstimate> rank_optimization_targets(const AnalysisResult& result) {
+  std::vector<WhatIfEstimate> estimates;
+  estimates.reserve(result.locks.size());
+  for (const LockStats& ls : result.locks) {
+    estimates.push_back(estimate_shrink(result, ls.name, 1.0));
+  }
+  std::sort(estimates.begin(), estimates.end(),
+            [](const WhatIfEstimate& a, const WhatIfEstimate& b) {
+              if (a.saved_ns != b.saved_ns) return a.saved_ns > b.saved_ns;
+              return a.lock < b.lock;
+            });
+  return estimates;
+}
+
+}  // namespace cla::analysis

@@ -1,0 +1,13 @@
+#include "cla/core/cla.hpp"
+
+namespace cla {
+
+RunAnalysis run_and_analyze(const std::string& workload,
+                            const workloads::WorkloadConfig& config) {
+  RunAnalysis out;
+  out.run = workloads::run_workload(workload, config);
+  out.analysis = analyze(out.run.trace);
+  return out;
+}
+
+}  // namespace cla

@@ -1,0 +1,49 @@
+// CLA public facade — one header that exposes the full workflow of the
+// paper's tool (Fig. 3):
+//
+//   1. obtain a trace
+//        - run an instrumented workload (cla::workloads / cla::exec),
+//        - script a virtual-time execution (cla::sim),
+//        - load a .clat file recorded via the LD_PRELOAD interposer
+//          (cla::trace::read_trace_file), or
+//        - record in-process with cla::rt wrappers;
+//   2. analyze it (cla::analyze -> TYPE 1 + TYPE 2 statistics);
+//   3. render reports (cla::analysis::render_report / tables / timeline).
+#pragma once
+
+#include "cla/analysis/analyzer.hpp"
+#include "cla/analysis/report.hpp"
+#include "cla/analysis/timeline.hpp"
+#include "cla/analysis/model.hpp"
+#include "cla/analysis/whatif.hpp"
+#include "cla/exec/backend.hpp"
+#include "cla/sim/engine.hpp"
+#include "cla/trace/builder.hpp"
+#include "cla/trace/clip.hpp"
+#include "cla/trace/trace.hpp"
+#include "cla/trace/trace_io.hpp"
+#include "cla/workloads/workload.hpp"
+
+namespace cla {
+
+/// Library version.
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+/// Runs critical lock analysis on a trace (validate -> critical path ->
+/// metrics). See cla::analysis::AnalysisResult for the outputs.
+using analysis::analyze;
+using analysis::AnalysisResult;
+using analysis::AnalyzeOptions;
+
+/// Convenience: run a named workload and analyze its trace in one call.
+struct RunAnalysis {
+  workloads::WorkloadResult run;
+  AnalysisResult analysis;
+};
+
+RunAnalysis run_and_analyze(const std::string& workload,
+                            const workloads::WorkloadConfig& config = {});
+
+}  // namespace cla

@@ -1,0 +1,107 @@
+// Execution backend abstraction.
+//
+// Case-study workloads (micro-benchmark, Radiosity-like, TSP, UTS, ...)
+// are written once against this interface and can run on:
+//   - SimBackend      deterministic virtual time (cla::sim) — the default
+//                     substrate for reproducing the paper's figures, and
+//   - PthreadBackend  real POSIX threads with the Fig. 4 instrumentation
+//                     (cla::rt) — real wall-clock behaviour on multicore.
+//
+// `compute(units)` models work: virtual nanoseconds on the simulator, a
+// calibrated busy-spin on pthreads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cla/trace/trace.hpp"
+
+namespace cla::exec {
+
+struct MutexHandle { std::uint32_t index = 0; };
+struct BarrierHandle { std::uint32_t index = 0; };
+struct CondHandle { std::uint32_t index = 0; };
+
+/// Per-thread operations available to a workload body.
+class Ctx {
+ public:
+  virtual ~Ctx() = default;
+
+  virtual void compute(std::uint64_t units) = 0;
+  virtual void lock(MutexHandle mutex) = 0;
+  virtual void unlock(MutexHandle mutex) = 0;
+  virtual void barrier_wait(BarrierHandle barrier) = 0;
+  virtual void cond_wait(CondHandle cond, MutexHandle mutex) = 0;
+  virtual void cond_signal(CondHandle cond) = 0;
+  virtual void cond_broadcast(CondHandle cond) = 0;
+
+  /// Phase markers: delimit a region of interest for
+  /// cla::trace::clip_to_phase (e.g. the parallel phase the paper
+  /// profiles in Radiosity).
+  virtual void phase_begin() = 0;
+  virtual void phase_end() = 0;
+
+  /// Dense worker index in [0, thread_count).
+  virtual std::uint32_t worker_index() const = 0;
+};
+
+/// RAII critical section: lock on construction, unlock on destruction.
+class ScopedLock {
+ public:
+  ScopedLock(Ctx& ctx, MutexHandle mutex) : ctx_(&ctx), mutex_(mutex) {
+    ctx_->lock(mutex_);
+  }
+  ~ScopedLock() { ctx_->unlock(mutex_); }
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+ private:
+  Ctx* ctx_;
+  MutexHandle mutex_;
+};
+
+/// One backend instance drives one run: create primitives, run the
+/// workers, take the trace.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual MutexHandle create_mutex(std::string name) = 0;
+  virtual BarrierHandle create_barrier(std::string name, std::uint32_t count) = 0;
+  virtual CondHandle create_cond(std::string name) = 0;
+
+  /// Requests accelerated-critical-section treatment for the mutex that
+  /// will be created under `lock_name` (paper §VII / Suleman et al.):
+  /// compute() inside its critical sections is scaled by `factor` < 1.
+  /// The simulator honours this; the pthread backend ignores it (ACS
+  /// needs hardware support) and returns false.
+  virtual bool request_acceleration(std::string lock_name, double factor) {
+    (void)lock_name;
+    (void)factor;
+    return false;
+  }
+
+  /// Spawns `thread_count` workers running `body`, joins them, and keeps
+  /// the trace available for take_trace(). A coordinator thread performs
+  /// the spawn/join (it appears in the trace as thread 0).
+  virtual void run(std::uint32_t thread_count,
+                   const std::function<void(Ctx&)>& body) = 0;
+
+  /// Completion time of the last run in ns (virtual or real).
+  virtual std::uint64_t completion_time() const = 0;
+
+  /// Trace of the last run. Each Backend instance is single-shot: create
+  /// a fresh backend for another run.
+  virtual trace::Trace take_trace() = 0;
+};
+
+/// Factory helpers.
+std::unique_ptr<Backend> make_sim_backend();
+std::unique_ptr<Backend> make_pthread_backend(std::uint64_t compute_unit_ns = 1);
+
+/// Creates a backend by name: "sim" or "pthread".
+std::unique_ptr<Backend> make_backend(const std::string& name);
+
+}  // namespace cla::exec

@@ -1,0 +1,118 @@
+#include <deque>
+
+#include "cla/exec/backend.hpp"
+#include "cla/runtime/hooks.hpp"
+#include "cla/util/clock.hpp"
+#include "cla/util/error.hpp"
+
+namespace cla::exec {
+
+namespace {
+
+/// Backend over real POSIX threads with Fig. 4 instrumentation.
+///
+/// compute(units) busy-spins for units * compute_unit_ns so CPU time maps
+/// linearly onto the workload's abstract work units.
+class PthreadBackend final : public Backend {
+ public:
+  explicit PthreadBackend(std::uint64_t compute_unit_ns)
+      : compute_unit_ns_(compute_unit_ns) {
+    // Single-shot global recorder: make sure no stale state leaks in.
+    rt::Recorder::instance().reset();
+    rt::Recorder::instance().ensure_current_thread();
+  }
+
+  MutexHandle create_mutex(std::string name) override {
+    mutexes_.emplace_back(std::move(name));
+    return MutexHandle{static_cast<std::uint32_t>(mutexes_.size() - 1)};
+  }
+
+  BarrierHandle create_barrier(std::string name, std::uint32_t count) override {
+    barriers_.emplace_back(count, std::move(name));
+    return BarrierHandle{static_cast<std::uint32_t>(barriers_.size() - 1)};
+  }
+
+  CondHandle create_cond(std::string name) override {
+    conds_.emplace_back(std::move(name));
+    return CondHandle{static_cast<std::uint32_t>(conds_.size() - 1)};
+  }
+
+  void run(std::uint32_t thread_count,
+           const std::function<void(Ctx&)>& body) override;
+
+  std::uint64_t completion_time() const override { return completion_time_; }
+
+  trace::Trace take_trace() override { return std::move(trace_); }
+
+ private:
+  friend class PthreadCtx;
+  std::uint64_t compute_unit_ns_;
+  // deques: stable addresses, required because object ids are addresses.
+  std::deque<rt::InstrumentedMutex> mutexes_;
+  std::deque<rt::InstrumentedBarrier> barriers_;
+  std::deque<rt::InstrumentedCond> conds_;
+  trace::Trace trace_;
+  std::uint64_t completion_time_ = 0;
+};
+
+class PthreadCtx final : public Ctx {
+ public:
+  PthreadCtx(PthreadBackend& backend, std::uint32_t index)
+      : backend_(&backend), index_(index) {}
+
+  void compute(std::uint64_t units) override {
+    util::spin_for_ns(units * backend_->compute_unit_ns_);
+  }
+  void lock(MutexHandle mutex) override {
+    backend_->mutexes_.at(mutex.index).lock();
+  }
+  void unlock(MutexHandle mutex) override {
+    backend_->mutexes_.at(mutex.index).unlock();
+  }
+  void barrier_wait(BarrierHandle barrier) override {
+    backend_->barriers_.at(barrier.index).wait();
+  }
+  void cond_wait(CondHandle cond, MutexHandle mutex) override {
+    backend_->conds_.at(cond.index).wait(backend_->mutexes_.at(mutex.index));
+  }
+  void cond_signal(CondHandle cond) override {
+    backend_->conds_.at(cond.index).signal();
+  }
+  void cond_broadcast(CondHandle cond) override {
+    backend_->conds_.at(cond.index).broadcast();
+  }
+  void phase_begin() override { rt::phase_begin(); }
+  void phase_end() override { rt::phase_end(); }
+  std::uint32_t worker_index() const override { return index_; }
+
+ private:
+  PthreadBackend* backend_;
+  std::uint32_t index_;
+};
+
+void PthreadBackend::run(std::uint32_t thread_count,
+                         const std::function<void(Ctx&)>& body) {
+  CLA_CHECK(thread_count > 0, "need at least one worker thread");
+  rt::run_instrumented_threads(thread_count, [this, &body](std::uint32_t i) {
+    PthreadCtx ctx(*this, i);
+    body(ctx);
+  });
+  rt::Recorder::instance().thread_exit();
+  trace_ = rt::Recorder::instance().collect();
+  completion_time_ = trace_.end_ts() - trace_.start_ts();
+}
+
+}  // namespace
+
+std::unique_ptr<Backend> make_pthread_backend(std::uint64_t compute_unit_ns) {
+  return std::make_unique<PthreadBackend>(compute_unit_ns);
+}
+
+std::unique_ptr<Backend> make_backend(const std::string& name) {
+  if (name == "sim") return make_sim_backend();
+  if (name == "pthread") return make_pthread_backend();
+  CLA_CHECK(false, "unknown backend '" + name + "' (expected sim|pthread)");
+  return nullptr;  // unreachable
+}
+
+}  // namespace cla::exec

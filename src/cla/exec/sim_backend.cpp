@@ -1,0 +1,115 @@
+#include <vector>
+
+#include "cla/exec/backend.hpp"
+#include "cla/sim/engine.hpp"
+#include "cla/util/error.hpp"
+
+namespace cla::exec {
+
+namespace {
+
+class SimCtx;
+
+/// Backend over the deterministic virtual-time engine.
+class SimBackend final : public Backend {
+ public:
+  MutexHandle create_mutex(std::string name) override {
+    auto pending = pending_accel_.find(name);
+    mutexes_.push_back(engine_.create_mutex(std::move(name)));
+    if (pending != pending_accel_.end()) {
+      engine_.accelerate_mutex(mutexes_.back(), pending->second);
+    }
+    return MutexHandle{static_cast<std::uint32_t>(mutexes_.size() - 1)};
+  }
+
+  bool request_acceleration(std::string lock_name, double factor) override {
+    pending_accel_[std::move(lock_name)] = factor;
+    return true;
+  }
+
+  BarrierHandle create_barrier(std::string name, std::uint32_t count) override {
+    barriers_.push_back(engine_.create_barrier(count, std::move(name)));
+    return BarrierHandle{static_cast<std::uint32_t>(barriers_.size() - 1)};
+  }
+
+  CondHandle create_cond(std::string name) override {
+    conds_.push_back(engine_.create_cond(std::move(name)));
+    return CondHandle{static_cast<std::uint32_t>(conds_.size() - 1)};
+  }
+
+  void run(std::uint32_t thread_count,
+           const std::function<void(Ctx&)>& body) override;
+
+  std::uint64_t completion_time() const override {
+    return engine_.completion_time();
+  }
+
+  trace::Trace take_trace() override { return engine_.take_trace(); }
+
+ private:
+  friend class SimCtx;
+  sim::Engine engine_;
+  std::map<std::string, double> pending_accel_;
+  std::vector<sim::MutexId> mutexes_;
+  std::vector<sim::BarrierId> barriers_;
+  std::vector<sim::CondId> conds_;
+};
+
+class SimCtx final : public Ctx {
+ public:
+  SimCtx(SimBackend& backend, sim::TaskCtx& task, std::uint32_t index)
+      : backend_(&backend), task_(&task), index_(index) {}
+
+  void compute(std::uint64_t units) override { task_->compute(units); }
+  void lock(MutexHandle mutex) override {
+    task_->lock(backend_->mutexes_.at(mutex.index));
+  }
+  void unlock(MutexHandle mutex) override {
+    task_->unlock(backend_->mutexes_.at(mutex.index));
+  }
+  void barrier_wait(BarrierHandle barrier) override {
+    task_->barrier_wait(backend_->barriers_.at(barrier.index));
+  }
+  void cond_wait(CondHandle cond, MutexHandle mutex) override {
+    task_->cond_wait(backend_->conds_.at(cond.index),
+                     backend_->mutexes_.at(mutex.index));
+  }
+  void cond_signal(CondHandle cond) override {
+    task_->cond_signal(backend_->conds_.at(cond.index));
+  }
+  void cond_broadcast(CondHandle cond) override {
+    task_->cond_broadcast(backend_->conds_.at(cond.index));
+  }
+  void phase_begin() override { task_->phase_begin(); }
+  void phase_end() override { task_->phase_end(); }
+  std::uint32_t worker_index() const override { return index_; }
+
+ private:
+  SimBackend* backend_;
+  sim::TaskCtx* task_;
+  std::uint32_t index_;
+};
+
+void SimBackend::run(std::uint32_t thread_count,
+                     const std::function<void(Ctx&)>& body) {
+  CLA_CHECK(thread_count > 0, "need at least one worker thread");
+  engine_.run([&](sim::TaskCtx& main) {
+    std::vector<sim::TaskId> workers;
+    workers.reserve(thread_count);
+    for (std::uint32_t i = 0; i < thread_count; ++i) {
+      workers.push_back(main.spawn([this, &body, i](sim::TaskCtx& task) {
+        SimCtx ctx(*this, task, i);
+        body(ctx);
+      }));
+    }
+    for (const sim::TaskId worker : workers) main.join(worker);
+  });
+}
+
+}  // namespace
+
+std::unique_ptr<Backend> make_sim_backend() {
+  return std::make_unique<SimBackend>();
+}
+
+}  // namespace cla::exec

@@ -1,0 +1,331 @@
+// LD_PRELOAD interposition library (paper §IV.A, Figs. 3-4).
+//
+// Preload this library to profile an *uninstrumented* pthread application:
+//
+//   CLA_TRACE_FILE=/tmp/app.clat LD_PRELOAD=./libcla_interpose.so ./app
+//   cla-analyze /tmp/app.clat
+//
+// Every pthread synchronization routine that can block is overridden; the
+// override records the paper's MAGIC() events around a call to the real
+// routine (resolved once with dlsym(RTLD_NEXT, ...)). Synchronization
+// object ids are the objects' addresses. The trace is flushed to
+// $CLA_TRACE_FILE at process exit.
+//
+// Re-entrancy: the recorder itself may take a std::mutex during thread
+// registration, which would recurse into these hooks; a thread-local
+// guard routes such nested calls straight to the real routines.
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE
+#endif
+
+#include <dlfcn.h>
+#include <pthread.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "cla/runtime/recorder.hpp"
+#include "cla/trace/trace_io.hpp"
+
+namespace {
+
+using cla::rt::Recorder;
+using cla::trace::EventType;
+using cla::trace::ObjectId;
+
+// ---- real symbol resolution -------------------------------------------
+
+template <typename Fn>
+Fn resolve(const char* name) {
+  void* symbol = dlsym(RTLD_NEXT, name);
+  if (symbol == nullptr) {
+    std::fprintf(stderr, "cla_interpose: cannot resolve %s\n", name);
+    std::abort();
+  }
+  return reinterpret_cast<Fn>(symbol);
+}
+
+struct RealPthread {
+  int (*mutex_lock)(pthread_mutex_t*) =
+      resolve<int (*)(pthread_mutex_t*)>("pthread_mutex_lock");
+  int (*mutex_trylock)(pthread_mutex_t*) =
+      resolve<int (*)(pthread_mutex_t*)>("pthread_mutex_trylock");
+  int (*mutex_unlock)(pthread_mutex_t*) =
+      resolve<int (*)(pthread_mutex_t*)>("pthread_mutex_unlock");
+  int (*barrier_init)(pthread_barrier_t*, const pthread_barrierattr_t*,
+                      unsigned) =
+      resolve<int (*)(pthread_barrier_t*, const pthread_barrierattr_t*,
+                      unsigned)>("pthread_barrier_init");
+  int (*barrier_wait)(pthread_barrier_t*) =
+      resolve<int (*)(pthread_barrier_t*)>("pthread_barrier_wait");
+  int (*cond_wait)(pthread_cond_t*, pthread_mutex_t*) =
+      resolve<int (*)(pthread_cond_t*, pthread_mutex_t*)>("pthread_cond_wait");
+  int (*cond_timedwait)(pthread_cond_t*, pthread_mutex_t*,
+                        const struct timespec*) =
+      resolve<int (*)(pthread_cond_t*, pthread_mutex_t*,
+                      const struct timespec*)>("pthread_cond_timedwait");
+  int (*cond_signal)(pthread_cond_t*) =
+      resolve<int (*)(pthread_cond_t*)>("pthread_cond_signal");
+  int (*cond_broadcast)(pthread_cond_t*) =
+      resolve<int (*)(pthread_cond_t*)>("pthread_cond_broadcast");
+  int (*create)(pthread_t*, const pthread_attr_t*, void* (*)(void*), void*) =
+      resolve<int (*)(pthread_t*, const pthread_attr_t*, void* (*)(void*),
+                      void*)>("pthread_create");
+  int (*join)(pthread_t, void**) =
+      resolve<int (*)(pthread_t, void**)>("pthread_join");
+};
+
+RealPthread& real() {
+  static RealPthread fns;
+  return fns;
+}
+
+// ---- re-entrancy guard --------------------------------------------------
+
+thread_local int tls_in_hook = 0;
+
+struct HookGuard {
+  bool armed;
+  HookGuard() : armed(tls_in_hook == 0) { ++tls_in_hook; }
+  ~HookGuard() { --tls_in_hook; }
+  HookGuard(const HookGuard&) = delete;
+  HookGuard& operator=(const HookGuard&) = delete;
+};
+
+// ---- barrier participant tracking ---------------------------------------
+
+struct BarrierShadow {
+  unsigned participants = 0;
+  std::atomic<std::uint64_t> arrivals{0};
+};
+
+// Spinlock-protected maps: must not use pthread mutexes (we override them).
+std::atomic_flag g_barrier_lock = ATOMIC_FLAG_INIT;
+std::map<void*, BarrierShadow>* g_barriers = nullptr;
+
+std::atomic_flag g_thread_map_lock = ATOMIC_FLAG_INIT;
+std::map<pthread_t, cla::trace::ThreadId>* g_thread_ids = nullptr;
+
+void remember_thread(pthread_t handle, cla::trace::ThreadId tid) {
+  while (g_thread_map_lock.test_and_set(std::memory_order_acquire)) {}
+  if (g_thread_ids == nullptr)
+    g_thread_ids = new std::map<pthread_t, cla::trace::ThreadId>();
+  (*g_thread_ids)[handle] = tid;
+  g_thread_map_lock.clear(std::memory_order_release);
+}
+
+cla::trace::ThreadId lookup_thread(pthread_t handle) {
+  while (g_thread_map_lock.test_and_set(std::memory_order_acquire)) {}
+  cla::trace::ThreadId tid = cla::trace::kNoThread;
+  if (g_thread_ids != nullptr) {
+    auto it = g_thread_ids->find(handle);
+    if (it != g_thread_ids->end()) tid = it->second;
+  }
+  g_thread_map_lock.clear(std::memory_order_release);
+  return tid;
+}
+
+BarrierShadow* barrier_shadow(pthread_barrier_t* barrier, bool create_entry) {
+  while (g_barrier_lock.test_and_set(std::memory_order_acquire)) {}
+  if (g_barriers == nullptr) g_barriers = new std::map<void*, BarrierShadow>();
+  BarrierShadow* shadow = nullptr;
+  auto it = g_barriers->find(barrier);
+  if (it != g_barriers->end()) {
+    shadow = &it->second;
+  } else if (create_entry) {
+    shadow = &(*g_barriers)[barrier];
+  }
+  g_barrier_lock.clear(std::memory_order_release);
+  return shadow;
+}
+
+// ---- trace flushing ------------------------------------------------------
+
+struct FlushAtExit {
+  FlushAtExit() {
+    // Ensure the main thread is thread 0 and real symbols are resolved
+    // before the application creates any threads.
+    (void)real();
+    Recorder::instance().ensure_current_thread();
+  }
+  ~FlushAtExit() {
+    HookGuard guard;  // recorder may lock during collect()
+    Recorder& recorder = Recorder::instance();
+    if (recorder.event_count() == 0) return;
+    const char* path = std::getenv("CLA_TRACE_FILE");
+    if (path == nullptr) path = "cla_trace.clat";
+    try {
+      cla::trace::Trace trace = recorder.collect();
+      cla::trace::write_trace_file(trace, path);
+      std::fprintf(stderr, "cla_interpose: wrote %zu events to %s\n",
+                   trace.event_count(), path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cla_interpose: failed to write trace: %s\n",
+                   e.what());
+    }
+  }
+};
+
+FlushAtExit g_flush;
+
+ObjectId oid(const void* address) {
+  return reinterpret_cast<ObjectId>(address);
+}
+
+// ---- pthread_create trampoline ------------------------------------------
+
+struct StartPayload {
+  void* (*fn)(void*);
+  void* arg;
+  cla::trace::ThreadId tid;
+  cla::trace::ThreadId parent;
+};
+
+void* start_trampoline(void* raw) {
+  StartPayload payload = *static_cast<StartPayload*>(raw);
+  delete static_cast<StartPayload*>(raw);
+  {
+    HookGuard guard;
+    Recorder::instance().bind_current_thread(payload.tid, payload.parent);
+  }
+  void* result = payload.fn(payload.arg);
+  {
+    HookGuard guard;
+    Recorder::instance().thread_exit();
+  }
+  return result;
+}
+
+}  // namespace
+
+// ---- interposed entry points --------------------------------------------
+
+extern "C" {
+
+int pthread_mutex_lock(pthread_mutex_t* mutex) {
+  HookGuard guard;
+  if (!guard.armed) return real().mutex_lock(mutex);
+  Recorder& recorder = Recorder::instance();
+  recorder.record(EventType::MutexAcquire, oid(mutex));
+  bool contended = false;
+  int rc = real().mutex_trylock(mutex);
+  if (rc == EBUSY) {
+    contended = true;
+    rc = real().mutex_lock(mutex);
+  }
+  recorder.record(EventType::MutexAcquired, oid(mutex), contended ? 1 : 0);
+  return rc;
+}
+
+int pthread_mutex_unlock(pthread_mutex_t* mutex) {
+  HookGuard guard;
+  if (!guard.armed) return real().mutex_unlock(mutex);
+  const int rc = real().mutex_unlock(mutex);
+  Recorder::instance().record(EventType::MutexReleased, oid(mutex));
+  return rc;
+}
+
+int pthread_barrier_init(pthread_barrier_t* barrier,
+                         const pthread_barrierattr_t* attr, unsigned count) {
+  HookGuard guard;
+  if (guard.armed) {
+    BarrierShadow* shadow = barrier_shadow(barrier, /*create_entry=*/true);
+    shadow->participants = count;
+    shadow->arrivals.store(0, std::memory_order_relaxed);
+  }
+  return real().barrier_init(barrier, attr, count);
+}
+
+int pthread_barrier_wait(pthread_barrier_t* barrier) {
+  HookGuard guard;
+  if (!guard.armed) return real().barrier_wait(barrier);
+  Recorder& recorder = Recorder::instance();
+  std::uint64_t episode = cla::trace::kNoArg;
+  if (BarrierShadow* shadow = barrier_shadow(barrier, /*create_entry=*/false);
+      shadow != nullptr && shadow->participants > 0) {
+    episode = shadow->arrivals.fetch_add(1, std::memory_order_relaxed) /
+              shadow->participants;
+  }
+  recorder.record(EventType::BarrierArrive, oid(barrier), episode);
+  const int rc = real().barrier_wait(barrier);
+  recorder.record(EventType::BarrierLeave, oid(barrier), episode);
+  return rc;
+}
+
+int pthread_cond_wait(pthread_cond_t* cond, pthread_mutex_t* mutex) {
+  HookGuard guard;
+  if (!guard.armed) return real().cond_wait(cond, mutex);
+  Recorder& recorder = Recorder::instance();
+  recorder.record(EventType::MutexReleased, oid(mutex));
+  recorder.record(EventType::CondWaitBegin, oid(cond), oid(mutex));
+  const int rc = real().cond_wait(cond, mutex);
+  recorder.record(EventType::CondWaitEnd, oid(cond), oid(mutex));
+  recorder.record(EventType::MutexAcquire, oid(mutex));
+  recorder.record(EventType::MutexAcquired, oid(mutex), 0);
+  return rc;
+}
+
+int pthread_cond_timedwait(pthread_cond_t* cond, pthread_mutex_t* mutex,
+                           const struct timespec* abstime) {
+  HookGuard guard;
+  if (!guard.armed) return real().cond_timedwait(cond, mutex, abstime);
+  Recorder& recorder = Recorder::instance();
+  recorder.record(EventType::MutexReleased, oid(mutex));
+  recorder.record(EventType::CondWaitBegin, oid(cond), oid(mutex));
+  const int rc = real().cond_timedwait(cond, mutex, abstime);
+  recorder.record(EventType::CondWaitEnd, oid(cond), oid(mutex));
+  recorder.record(EventType::MutexAcquire, oid(mutex));
+  recorder.record(EventType::MutexAcquired, oid(mutex), 0);
+  return rc;
+}
+
+int pthread_cond_signal(pthread_cond_t* cond) {
+  HookGuard guard;
+  if (guard.armed) Recorder::instance().record(EventType::CondSignal, oid(cond));
+  return real().cond_signal(cond);
+}
+
+int pthread_cond_broadcast(pthread_cond_t* cond) {
+  HookGuard guard;
+  if (guard.armed)
+    Recorder::instance().record(EventType::CondBroadcast, oid(cond));
+  return real().cond_broadcast(cond);
+}
+
+int pthread_create(pthread_t* thread, const pthread_attr_t* attr,
+                   void* (*start_routine)(void*), void* arg) {
+  HookGuard guard;
+  if (!guard.armed) return real().create(thread, attr, start_routine, arg);
+  Recorder& recorder = Recorder::instance();
+  const cla::trace::ThreadId parent = recorder.ensure_current_thread();
+  const cla::trace::ThreadId child = recorder.allocate_thread();
+  recorder.record(EventType::ThreadCreate, static_cast<ObjectId>(child));
+  auto* payload = new StartPayload{start_routine, arg, child, parent};
+  const int rc = real().create(thread, attr, &start_trampoline, payload);
+  if (rc != 0) {
+    delete payload;
+  } else {
+    remember_thread(*thread, child);
+  }
+  return rc;
+}
+
+int pthread_join(pthread_t thread, void** retval) {
+  HookGuard guard;
+  if (!guard.armed) return real().join(thread, retval);
+  Recorder& recorder = Recorder::instance();
+  const cla::trace::ThreadId target = lookup_thread(thread);
+  if (target == cla::trace::kNoThread) {
+    // A thread created before this library loaded; nothing to trace.
+    return real().join(thread, retval);
+  }
+  recorder.record(EventType::JoinBegin, static_cast<ObjectId>(target));
+  const int rc = real().join(thread, retval);
+  recorder.record(EventType::JoinEnd, static_cast<ObjectId>(target));
+  return rc;
+}
+
+}  // extern "C"

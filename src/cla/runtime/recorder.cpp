@@ -1,0 +1,150 @@
+#include "cla/runtime/recorder.hpp"
+
+#include <algorithm>
+
+#include "cla/util/clock.hpp"
+#include "cla/util/error.hpp"
+
+namespace cla::rt {
+
+namespace {
+
+struct TlsBinding {
+  Recorder* recorder = nullptr;
+  void* buffer = nullptr;
+  std::uint64_t epoch = 0;
+};
+
+thread_local TlsBinding tls_binding;
+
+}  // namespace
+
+Recorder& Recorder::instance() {
+  static Recorder recorder;
+  return recorder;
+}
+
+trace::ThreadId Recorder::allocate_thread() {
+  return next_tid_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Recorder::bind_current_thread(trace::ThreadId tid, trace::ThreadId parent) {
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->tid = tid;
+  buffer->events.reserve(1024);
+  ThreadBuffer* raw = buffer.get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(std::move(buffer));
+  }
+  tls_binding = TlsBinding{this, raw, epoch_.load(std::memory_order_relaxed)};
+  raw->events.push_back(trace::Event{
+      util::now_ns(),
+      parent == trace::kNoThread ? trace::kNoObject
+                                 : static_cast<trace::ObjectId>(parent),
+      trace::kNoArg, trace::EventType::ThreadStart, 0, tid});
+}
+
+trace::ThreadId Recorder::ensure_current_thread() {
+  if (ThreadBuffer* buffer = current_buffer()) return buffer->tid;
+  const trace::ThreadId tid = allocate_thread();
+  bind_current_thread(tid, trace::kNoThread);
+  return tid;
+}
+
+Recorder::ThreadBuffer* Recorder::current_buffer() {
+  const TlsBinding& binding = tls_binding;
+  if (binding.recorder != this ||
+      binding.epoch != epoch_.load(std::memory_order_relaxed)) {
+    return nullptr;
+  }
+  return static_cast<ThreadBuffer*>(binding.buffer);
+}
+
+void Recorder::thread_exit() {
+  record(trace::EventType::ThreadExit, trace::kNoObject);
+}
+
+void Recorder::record(trace::EventType type, trace::ObjectId object,
+                      std::uint64_t arg) {
+  record_at(type, util::now_ns(), object, arg);
+}
+
+void Recorder::record_at(trace::EventType type, std::uint64_t ts,
+                         trace::ObjectId object, std::uint64_t arg) {
+  ThreadBuffer* buffer = current_buffer();
+  if (buffer == nullptr) {
+    ensure_current_thread();
+    buffer = current_buffer();
+  }
+  buffer->events.push_back(trace::Event{ts, object, arg, type, 0, buffer->tid});
+}
+
+void Recorder::name_object(trace::ObjectId object, std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  object_names_.emplace_back(object, std::move(name));
+}
+
+void Recorder::name_thread(trace::ThreadId tid, std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  thread_names_.emplace_back(tid, std::move(name));
+}
+
+std::size_t Recorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->events.size();
+  return total;
+}
+
+trace::Trace Recorder::collect() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace::Trace out;
+
+  std::uint64_t min_ts = ~0ull;
+  for (const auto& buffer : buffers_) {
+    if (!buffer->events.empty()) min_ts = std::min(min_ts, buffer->events.front().ts);
+  }
+  if (min_ts == ~0ull) min_ts = 0;
+
+  for (auto& buffer : buffers_) {
+    if (buffer->events.empty()) continue;
+    // Per-thread timestamps must be monotone; rdtsc can regress slightly
+    // on some VMs / across calibration, so repair the raw stream first —
+    // doing this after the shift would propagate an underflow instead.
+    for (std::size_t i = 1; i < buffer->events.size(); ++i) {
+      if (buffer->events[i].ts < buffer->events[i - 1].ts)
+        buffer->events[i].ts = buffer->events[i - 1].ts;
+    }
+    for (auto& event : buffer->events) {
+      event.ts = event.ts > min_ts ? event.ts - min_ts : 0;
+    }
+    if (buffer->events.back().type != trace::EventType::ThreadExit) {
+      buffer->events.push_back(trace::Event{buffer->events.back().ts,
+                                            trace::kNoObject, trace::kNoArg,
+                                            trace::EventType::ThreadExit, 0,
+                                            buffer->tid});
+    }
+    out.add_thread_stream(buffer->tid, std::move(buffer->events));
+  }
+  for (auto& [object, name] : object_names_) out.set_object_name(object, name);
+  for (auto& [tid, name] : thread_names_) out.set_thread_name(tid, name);
+
+  buffers_.clear();
+  object_names_.clear();
+  thread_names_.clear();
+  next_tid_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+void Recorder::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.clear();
+  object_names_.clear();
+  thread_names_.clear();
+  next_tid_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace cla::rt

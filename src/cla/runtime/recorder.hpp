@@ -1,0 +1,86 @@
+// Event recorder — the in-process half of the instrumentation module
+// (paper §IV.A).
+//
+// Threads register once and then append events to a thread-local buffer
+// with one timestamp read and one store per MAGIC() point; no locks are
+// taken on the hot path. When the run completes, collect() stitches the
+// per-thread buffers into a trace::Trace (and the LD_PRELOAD interposer
+// flushes it to a .clat file).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cla/trace/trace.hpp"
+
+namespace cla::rt {
+
+class Recorder {
+ public:
+  Recorder() = default;
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Process-wide recorder used by the instrumented pthread wrappers and
+  /// the LD_PRELOAD interposer.
+  static Recorder& instance();
+
+  /// Reserves a thread id for a thread that is about to start (called by
+  /// the creating thread so ThreadCreate can reference the child).
+  trace::ThreadId allocate_thread();
+
+  /// Binds the calling OS thread to `tid` and records ThreadStart.
+  /// `parent` is the creating thread (kNoThread for the initial thread).
+  void bind_current_thread(trace::ThreadId tid, trace::ThreadId parent);
+
+  /// Registers the calling thread if it is unknown (allocates an id with
+  /// no recorded parent) and returns its id. Cheap when already bound.
+  trace::ThreadId ensure_current_thread();
+
+  /// Records ThreadExit for the calling thread.
+  void thread_exit();
+
+  /// Appends an event for the calling thread; timestamps with now_ns().
+  void record(trace::EventType type, trace::ObjectId object,
+              std::uint64_t arg = trace::kNoArg);
+
+  /// Records with an explicit timestamp (used when the timestamp must be
+  /// taken before other bookkeeping, e.g. barrier arrival).
+  void record_at(trace::EventType type, std::uint64_t ts,
+                 trace::ObjectId object, std::uint64_t arg = trace::kNoArg);
+
+  void name_object(trace::ObjectId object, std::string name);
+  void name_thread(trace::ThreadId tid, std::string name);
+
+  /// Number of events currently buffered (all threads).
+  std::size_t event_count() const;
+
+  /// Assembles the trace: timestamps are shifted so the earliest event is
+  /// at t=0, and any thread missing a ThreadExit gets one at its last
+  /// event's timestamp. Buffers are consumed.
+  trace::Trace collect();
+
+  /// Drops all buffered events and thread bindings (between runs). The
+  /// calling thread must re-register afterwards.
+  void reset();
+
+ private:
+  struct ThreadBuffer {
+    trace::ThreadId tid = 0;
+    std::vector<trace::Event> events;
+  };
+
+  ThreadBuffer* current_buffer();
+
+  mutable std::mutex mutex_;  // guards registration and collection only
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<trace::ThreadId> next_tid_{0};
+  std::vector<std::pair<trace::ObjectId, std::string>> object_names_;
+  std::vector<std::pair<trace::ThreadId, std::string>> thread_names_;
+  std::atomic<std::uint64_t> epoch_{0};  // invalidates thread-local caches
+};
+
+}  // namespace cla::rt

@@ -1,0 +1,568 @@
+#include "cla/sim/engine.hpp"
+
+#include <ucontext.h>
+
+#include <algorithm>
+#include <map>
+
+#include "cla/util/error.hpp"
+
+namespace cla::sim {
+
+namespace {
+
+using trace::Event;
+using trace::EventType;
+using trace::kNoArg;
+using trace::kNoObject;
+using trace::ObjectId;
+
+enum class TaskState { Ready, PendingOp, Blocked, Done };
+
+enum class OpKind {
+  None,
+  Lock,
+  Unlock,
+  BarrierWait,
+  CondWait,
+  CondSignal,
+  CondBroadcast,
+  Spawn,
+  Join,
+  Exit,
+};
+
+struct PendingOp {
+  OpKind kind = OpKind::None;
+  ObjectId object = kNoObject;
+  ObjectId object2 = kNoObject;          // CondWait's mutex
+  TaskId target = trace::kNoThread;      // Join target / Spawn result
+  std::function<void(TaskCtx&)> body;    // Spawn body
+};
+
+}  // namespace
+
+struct Engine::Impl {
+  explicit Impl(Engine& owner, EngineOptions opts)
+      : engine(owner), options(opts) {}
+
+  struct Task {
+    TaskId tid = 0;
+    TaskState state = TaskState::Ready;
+    std::uint64_t clock = 0;
+    PendingOp op;
+    std::function<void(TaskCtx&)> body;
+    std::vector<char> stack;
+    ucontext_t ctx{};
+    bool started = false;  // makecontext done & fiber entered at least once
+    std::vector<TaskId> joiners;
+    std::exception_ptr error;
+    TaskId spawn_result = trace::kNoThread;  // child tid of the last Spawn op
+    std::vector<ObjectId> held;              // currently held mutexes
+    double compute_factor = 1.0;             // min acceleration among held
+  };
+
+  struct Mutex {
+    ObjectId id;
+    TaskId owner = trace::kNoThread;
+    std::deque<TaskId> waiters;
+    double accel_factor = 1.0;  // compute() scaling while held
+  };
+
+  void refresh_compute_factor(Task& task) {
+    double factor = 1.0;
+    for (const ObjectId id : task.held) {
+      factor = std::min(factor, mutexes.at(id).accel_factor);
+    }
+    task.compute_factor = factor;
+  }
+
+  struct Barrier {
+    ObjectId id;
+    std::uint32_t participants = 0;
+    std::uint32_t generation = 0;
+    std::vector<TaskId> arrived;
+  };
+
+  struct Cond {
+    ObjectId id;
+    std::deque<TaskId> waiters;
+  };
+
+  Engine& engine;
+  EngineOptions options;
+  std::vector<std::unique_ptr<Task>> tasks;
+  std::map<ObjectId, Mutex> mutexes;
+  std::map<ObjectId, Barrier> barriers;
+  std::map<ObjectId, Cond> conds;
+  trace::Trace trace;
+  ObjectId next_object = 1;
+  ucontext_t sched_ctx{};
+  Task* current = nullptr;
+  bool running = false;
+
+  // ---- trace helpers -------------------------------------------------
+  void emit(TaskId tid, EventType type, std::uint64_t ts,
+            ObjectId object = kNoObject, std::uint64_t arg = kNoArg) {
+    trace.add(Event{ts, object, arg, type, 0, tid});
+  }
+
+  // ---- fiber plumbing ------------------------------------------------
+  static void trampoline();
+
+  Task& make_task(std::function<void(TaskCtx&)> body, std::uint64_t clock) {
+    auto task = std::make_unique<Task>();
+    task->tid = static_cast<TaskId>(tasks.size());
+    task->clock = clock;
+    task->body = std::move(body);
+    task->stack.resize(options.stack_size);
+    tasks.push_back(std::move(task));
+    return *tasks.back();
+  }
+
+  void resume(Task& task) {
+    if (!task.started) {
+      task.started = true;
+      getcontext(&task.ctx);
+      task.ctx.uc_stack.ss_sp = task.stack.data();
+      task.ctx.uc_stack.ss_size = task.stack.size();
+      task.ctx.uc_link = &sched_ctx;
+      makecontext(&task.ctx, reinterpret_cast<void (*)()>(&Impl::trampoline), 0);
+    }
+    current = &task;
+    swapcontext(&sched_ctx, &task.ctx);
+    current = nullptr;
+  }
+
+  // Called on the task fiber: park with the already-filled pending op.
+  void park(Task& task) {
+    task.state = TaskState::PendingOp;
+    swapcontext(&task.ctx, &sched_ctx);
+  }
+
+  void run_current_task() {
+    Task& task = *current;
+    try {
+      TaskCtx ctx(engine, task.tid);
+      task.body(ctx);
+    } catch (...) {
+      task.error = std::current_exception();
+    }
+    task.op = PendingOp{};
+    task.op.kind = OpKind::Exit;
+    park(task);
+    CLA_ASSERT(false, "resumed a finished task fiber");
+  }
+
+  // ---- scheduler -----------------------------------------------------
+  Task* pick_next() {
+    Task* best = nullptr;
+    for (auto& task : tasks) {
+      if (task->state != TaskState::Ready && task->state != TaskState::PendingOp)
+        continue;
+      if (best == nullptr || task->clock < best->clock ||
+          (task->clock == best->clock && task->tid < best->tid)) {
+        best = task.get();
+      }
+    }
+    return best;
+  }
+
+  bool all_done() const {
+    return std::all_of(tasks.begin(), tasks.end(), [](const auto& t) {
+      return t->state == TaskState::Done;
+    });
+  }
+
+  void wake(Task& task, std::uint64_t at) {
+    task.clock = std::max(task.clock, at + options.wakeup_latency);
+    task.state = TaskState::Ready;
+  }
+
+  // Lock acquisition path shared by Lock ops and condvar re-acquisition.
+  // Returns true if the task now owns the mutex (did not block).
+  bool acquire(Task& task, Mutex& mutex, std::uint64_t at) {
+    emit(task.tid, EventType::MutexAcquire, at, mutex.id);
+    if (mutex.owner == trace::kNoThread) {
+      mutex.owner = task.tid;
+      task.held.push_back(mutex.id);
+      refresh_compute_factor(task);
+      emit(task.tid, EventType::MutexAcquired, at, mutex.id, 0);
+      return true;
+    }
+    mutex.waiters.push_back(task.tid);
+    task.state = TaskState::Blocked;
+    return false;
+  }
+
+  void release(Task& task, Mutex& mutex, std::uint64_t at) {
+    CLA_CHECK(mutex.owner == task.tid,
+              "task " + std::to_string(task.tid) + " unlocked mutex " +
+                  std::to_string(mutex.id) + " it does not own");
+    emit(task.tid, EventType::MutexReleased, at, mutex.id);
+    mutex.owner = trace::kNoThread;
+    std::erase(task.held, mutex.id);
+    refresh_compute_factor(task);
+    if (!mutex.waiters.empty()) {
+      const TaskId next = mutex.waiters.front();
+      mutex.waiters.pop_front();
+      Task& waiter = *tasks[next];
+      mutex.owner = next;
+      waiter.held.push_back(mutex.id);
+      refresh_compute_factor(waiter);
+      wake(waiter, at);
+      emit(next, EventType::MutexAcquired, waiter.clock, mutex.id, 1);
+    }
+  }
+
+  void process_op(Task& task) {
+    const std::uint64_t at = task.clock;
+    PendingOp op = std::move(task.op);
+    task.op = PendingOp{};
+    switch (op.kind) {
+      case OpKind::Lock: {
+        Mutex& mutex = find_mutex(op.object);
+        if (acquire(task, mutex, at)) task.state = TaskState::Ready;
+        break;
+      }
+      case OpKind::Unlock: {
+        release(task, find_mutex(op.object), at);
+        task.state = TaskState::Ready;
+        break;
+      }
+      case OpKind::BarrierWait: {
+        Barrier& barrier = find_barrier(op.object);
+        emit(task.tid, EventType::BarrierArrive, at, barrier.id,
+             barrier.generation);
+        barrier.arrived.push_back(task.tid);
+        if (barrier.arrived.size() == barrier.participants) {
+          // `task` arrived last; ops are processed in clock order, so `at`
+          // is the episode's maximum arrival time.
+          for (const TaskId tid : barrier.arrived) {
+            Task& waiter = *tasks[tid];
+            if (tid != task.tid) wake(waiter, at);
+            else waiter.state = TaskState::Ready;
+            emit(tid, EventType::BarrierLeave, waiter.clock, barrier.id,
+                 barrier.generation);
+          }
+          barrier.arrived.clear();
+          ++barrier.generation;
+        } else {
+          task.state = TaskState::Blocked;
+        }
+        break;
+      }
+      case OpKind::CondWait: {
+        Mutex& mutex = find_mutex(op.object2);
+        release(task, mutex, at);
+        emit(task.tid, EventType::CondWaitBegin, at, op.object, op.object2);
+        Cond& cond = find_cond(op.object);
+        cond.waiters.push_back(task.tid);
+        task.state = TaskState::Blocked;
+        // Remember which mutex to re-acquire on wake-up.
+        task.op.object2 = op.object2;
+        break;
+      }
+      case OpKind::CondSignal:
+      case OpKind::CondBroadcast: {
+        Cond& cond = find_cond(op.object);
+        emit(task.tid,
+             op.kind == OpKind::CondSignal ? EventType::CondSignal
+                                           : EventType::CondBroadcast,
+             at, cond.id);
+        const std::size_t count =
+            op.kind == OpKind::CondSignal ? std::min<std::size_t>(1, cond.waiters.size())
+                                          : cond.waiters.size();
+        for (std::size_t i = 0; i < count; ++i) {
+          const TaskId tid = cond.waiters.front();
+          cond.waiters.pop_front();
+          Task& waiter = *tasks[tid];
+          const ObjectId mutex_id = waiter.op.object2;
+          waiter.op = PendingOp{};
+          wake(waiter, at);
+          emit(tid, EventType::CondWaitEnd, waiter.clock, cond.id, mutex_id);
+          // Re-acquire the mutex; may block again (without a CondWait).
+          Mutex& mutex = find_mutex(mutex_id);
+          if (!acquire(waiter, mutex, waiter.clock)) {
+            // stays Blocked in the mutex waiter queue
+          }
+        }
+        task.state = TaskState::Ready;
+        break;
+      }
+      case OpKind::Spawn: {
+        Task& child = make_task(std::move(op.body), at);
+        emit(task.tid, EventType::ThreadCreate, at,
+             static_cast<ObjectId>(child.tid));
+        emit(child.tid, EventType::ThreadStart, at,
+             static_cast<ObjectId>(task.tid));
+        child.state = TaskState::Ready;
+        task.spawn_result = child.tid;
+        task.state = TaskState::Ready;
+        break;
+      }
+      case OpKind::Join: {
+        Task& target = *tasks[op.target];
+        emit(task.tid, EventType::JoinBegin, at,
+             static_cast<ObjectId>(op.target));
+        if (target.state == TaskState::Done) {
+          emit(task.tid, EventType::JoinEnd, at,
+               static_cast<ObjectId>(op.target));
+          task.state = TaskState::Ready;
+        } else {
+          target.joiners.push_back(task.tid);
+          task.state = TaskState::Blocked;
+        }
+        break;
+      }
+      case OpKind::Exit: {
+        emit(task.tid, EventType::ThreadExit, at);
+        task.state = TaskState::Done;
+        for (const TaskId tid : task.joiners) {
+          Task& joiner = *tasks[tid];
+          wake(joiner, at);
+          emit(tid, EventType::JoinEnd, joiner.clock,
+               static_cast<ObjectId>(task.tid));
+        }
+        task.joiners.clear();
+        break;
+      }
+      case OpKind::None:
+        CLA_ASSERT(false, "empty pending op");
+    }
+  }
+
+  Mutex& find_mutex(ObjectId id) {
+    auto it = mutexes.find(id);
+    CLA_CHECK(it != mutexes.end(), "unknown mutex id " + std::to_string(id));
+    return it->second;
+  }
+  Barrier& find_barrier(ObjectId id) {
+    auto it = barriers.find(id);
+    CLA_CHECK(it != barriers.end(), "unknown barrier id " + std::to_string(id));
+    return it->second;
+  }
+  Cond& find_cond(ObjectId id) {
+    auto it = conds.find(id);
+    CLA_CHECK(it != conds.end(), "unknown cond id " + std::to_string(id));
+    return it->second;
+  }
+};
+
+namespace {
+// The engine runs strictly single-threaded, so a plain global is safe and
+// keeps makecontext's no-argument trampoline simple.
+Engine::Impl* g_current_impl = nullptr;
+}  // namespace
+
+void Engine::Impl::trampoline() {
+  CLA_ASSERT(g_current_impl != nullptr, "fiber started without engine");
+  g_current_impl->run_current_task();
+}
+
+Engine::Engine(EngineOptions options)
+    : impl_(std::make_unique<Impl>(*this, options)) {}
+
+Engine::~Engine() = default;
+
+MutexId Engine::create_mutex(std::string name) {
+  const ObjectId id = impl_->next_object++;
+  impl_->mutexes[id] = Impl::Mutex{id, trace::kNoThread, {}};
+  if (!name.empty()) impl_->trace.set_object_name(id, std::move(name));
+  return MutexId{id};
+}
+
+BarrierId Engine::create_barrier(std::uint32_t participants, std::string name) {
+  CLA_CHECK(participants > 0, "barrier needs at least one participant");
+  const ObjectId id = impl_->next_object++;
+  Impl::Barrier barrier;
+  barrier.id = id;
+  barrier.participants = participants;
+  impl_->barriers[id] = std::move(barrier);
+  if (!name.empty()) impl_->trace.set_object_name(id, std::move(name));
+  return BarrierId{id};
+}
+
+void Engine::accelerate_mutex(MutexId mutex, double factor) {
+  CLA_CHECK(factor > 0.0, "acceleration factor must be positive");
+  CLA_CHECK(!impl_->running, "accelerate_mutex must precede run()");
+  impl_->find_mutex(mutex.id).accel_factor = factor;
+}
+
+CondId Engine::create_cond(std::string name) {
+  const ObjectId id = impl_->next_object++;
+  Impl::Cond cond;
+  cond.id = id;
+  impl_->conds[id] = std::move(cond);
+  if (!name.empty()) impl_->trace.set_object_name(id, std::move(name));
+  return CondId{id};
+}
+
+void Engine::run(std::function<void(TaskCtx&)> main_body) {
+  Impl& impl = *impl_;
+  CLA_CHECK(!impl.running, "Engine::run is not reentrant");
+  impl.running = true;
+  g_current_impl = &impl;
+
+  Impl::Task& main_task = impl.make_task(std::move(main_body), 0);
+  impl.emit(main_task.tid, EventType::ThreadStart, 0);
+  main_task.state = TaskState::Ready;
+
+  struct Cleanup {
+    Impl& impl;
+    ~Cleanup() {
+      impl.running = false;
+      g_current_impl = nullptr;
+    }
+  } cleanup{impl};
+
+  while (!impl.all_done()) {
+    Impl::Task* next = impl.pick_next();
+    CLA_CHECK(next != nullptr, "deadlock: tasks blocked with nothing runnable");
+    if (next->state == TaskState::PendingOp) {
+      impl.process_op(*next);
+    } else {
+      impl.resume(*next);
+    }
+  }
+  completion_time_ = 0;
+  for (const auto& task : impl.tasks) {
+    completion_time_ = std::max(completion_time_, task->clock);
+  }
+
+  for (const auto& task : impl.tasks) {
+    if (task->error) std::rethrow_exception(task->error);
+  }
+}
+
+trace::Trace Engine::take_trace() {
+  trace::Trace out = std::move(impl_->trace);
+  impl_->trace = trace::Trace{};
+  impl_->tasks.clear();
+  for (auto& [id, mutex] : impl_->mutexes) {
+    (void)id;
+    mutex.owner = trace::kNoThread;
+    mutex.waiters.clear();
+  }
+  for (auto& [id, barrier] : impl_->barriers) {
+    (void)id;
+    barrier.generation = 0;
+    barrier.arrived.clear();
+  }
+  for (auto& [id, cond] : impl_->conds) {
+    (void)id;
+    cond.waiters.clear();
+  }
+  // Re-attach names for reuse? Names moved with the trace; a reused engine
+  // should create fresh primitives instead.
+  return out;
+}
+
+// ---- TaskCtx --------------------------------------------------------
+
+namespace {
+Engine::Impl& impl_of(Engine* engine) {
+  // TaskCtx only lives inside Engine::run, so g_current_impl is valid and
+  // always equals the engine's impl.
+  (void)engine;
+  CLA_ASSERT(g_current_impl != nullptr, "TaskCtx used outside Engine::run");
+  return *g_current_impl;
+}
+}  // namespace
+
+std::uint64_t TaskCtx::now() const noexcept {
+  return g_current_impl == nullptr ? 0 : g_current_impl->tasks[tid_]->clock;
+}
+
+void TaskCtx::compute(std::uint64_t ns) {
+  auto& task = *impl_of(engine_).tasks[tid_];
+  if (task.compute_factor == 1.0) {
+    task.clock += ns;
+  } else {
+    // Accelerated critical section: work inside the held lock is cheaper.
+    task.clock += static_cast<std::uint64_t>(
+        static_cast<double>(ns) * task.compute_factor + 0.5);
+  }
+}
+
+void TaskCtx::phase_begin() {
+  // Non-blocking: the fiber runs exclusively, so emitting directly into
+  // the trace is safe and needs no scheduler round trip.
+  auto& impl = impl_of(engine_);
+  impl.emit(tid_, EventType::PhaseBegin, impl.tasks[tid_]->clock);
+}
+
+void TaskCtx::phase_end() {
+  auto& impl = impl_of(engine_);
+  impl.emit(tid_, EventType::PhaseEnd, impl.tasks[tid_]->clock);
+}
+
+void TaskCtx::lock(MutexId mutex) {
+  auto& impl = impl_of(engine_);
+  auto& task = *impl.tasks[tid_];
+  task.op.kind = OpKind::Lock;
+  task.op.object = mutex.id;
+  impl.park(task);
+}
+
+void TaskCtx::unlock(MutexId mutex) {
+  auto& impl = impl_of(engine_);
+  auto& task = *impl.tasks[tid_];
+  task.op.kind = OpKind::Unlock;
+  task.op.object = mutex.id;
+  impl.park(task);
+}
+
+void TaskCtx::barrier_wait(BarrierId barrier) {
+  auto& impl = impl_of(engine_);
+  auto& task = *impl.tasks[tid_];
+  task.op.kind = OpKind::BarrierWait;
+  task.op.object = barrier.id;
+  impl.park(task);
+}
+
+void TaskCtx::cond_wait(CondId cond, MutexId mutex) {
+  auto& impl = impl_of(engine_);
+  auto& task = *impl.tasks[tid_];
+  task.op.kind = OpKind::CondWait;
+  task.op.object = cond.id;
+  task.op.object2 = mutex.id;
+  impl.park(task);
+}
+
+void TaskCtx::cond_signal(CondId cond) {
+  auto& impl = impl_of(engine_);
+  auto& task = *impl.tasks[tid_];
+  task.op.kind = OpKind::CondSignal;
+  task.op.object = cond.id;
+  impl.park(task);
+}
+
+void TaskCtx::cond_broadcast(CondId cond) {
+  auto& impl = impl_of(engine_);
+  auto& task = *impl.tasks[tid_];
+  task.op.kind = OpKind::CondBroadcast;
+  task.op.object = cond.id;
+  impl.park(task);
+}
+
+TaskId TaskCtx::spawn(std::function<void(TaskCtx&)> body) {
+  auto& impl = impl_of(engine_);
+  auto& task = *impl.tasks[tid_];
+  task.op.kind = OpKind::Spawn;
+  task.op.body = std::move(body);
+  impl.park(task);
+  // The scheduler assigned the child tid while this fiber was parked.
+  return task.spawn_result;
+}
+
+void TaskCtx::join(TaskId target) {
+  auto& impl = impl_of(engine_);
+  CLA_CHECK(target < impl.tasks.size(), "join of unknown task");
+  auto& task = *impl.tasks[tid_];
+  task.op.kind = OpKind::Join;
+  task.op.target = target;
+  impl.park(task);
+}
+
+}  // namespace cla::sim

@@ -1,0 +1,121 @@
+// Deterministic virtual-time execution engine.
+//
+// Substitute for the paper's 24-thread POWER7 testbed: tasks are scripted
+// in C++ against pthread-equivalent primitives (mutex, barrier, condition
+// variable, spawn/join) and executed by a conservative discrete-event
+// scheduler. Virtual time only advances through TaskCtx::compute(), and
+// synchronization operations are processed in global virtual-time order,
+// so every run is bit-reproducible — including 24-"thread" executions on a
+// single-core host.
+//
+// The engine emits exactly the trace::Trace the real instrumentation
+// runtime emits, so the analysis module cannot tell the difference.
+//
+// Implementation: each task is a ucontext fiber; exactly one fiber runs at
+// a time and yields to the scheduler at every synchronization operation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cla/trace/trace.hpp"
+
+namespace cla::sim {
+
+using TaskId = trace::ThreadId;
+struct MutexId { trace::ObjectId id; };
+struct BarrierId { trace::ObjectId id; };
+struct CondId { trace::ObjectId id; };
+
+class Engine;
+
+/// Handle passed to task bodies; every method may switch fibers.
+class TaskCtx {
+ public:
+  /// Advances this task's virtual clock by `ns` nanoseconds of "work".
+  void compute(std::uint64_t ns);
+
+  void lock(MutexId mutex);
+  void unlock(MutexId mutex);
+  void barrier_wait(BarrierId barrier);
+
+  /// Atomically releases `mutex` and waits for a signal; re-acquires the
+  /// mutex before returning (pthread_cond_wait semantics, no spurious
+  /// wake-ups).
+  void cond_wait(CondId cond, MutexId mutex);
+  void cond_signal(CondId cond);
+  void cond_broadcast(CondId cond);
+
+  /// Spawns a new task that starts at this task's current virtual time.
+  TaskId spawn(std::function<void(TaskCtx&)> body);
+  void join(TaskId task);
+
+  /// Phase markers: delimit a region of interest (e.g. "the parallel
+  /// phase") that cla::trace::clip_to_phase() can later isolate.
+  void phase_begin();
+  void phase_end();
+
+  TaskId tid() const noexcept { return tid_; }
+  std::uint64_t now() const noexcept;  ///< this task's virtual clock
+
+ private:
+  friend class Engine;
+  TaskCtx(Engine& engine, TaskId tid) : engine_(&engine), tid_(tid) {}
+  Engine* engine_;
+  TaskId tid_;
+};
+
+struct EngineOptions {
+  std::size_t stack_size = 256 * 1024;  ///< fiber stack bytes
+  /// Extra virtual ns between a release and the blocked waiter resuming
+  /// (0 = the idealized hand-off of the paper's Fig. 1 example).
+  std::uint64_t wakeup_latency = 0;
+};
+
+/// The virtual machine. Create primitives, run a root task, take the trace.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  MutexId create_mutex(std::string name = {});
+  BarrierId create_barrier(std::uint32_t participants, std::string name = {});
+  CondId create_cond(std::string name = {});
+
+  /// Accelerated critical sections (the paper's §VII future work, after
+  /// Suleman et al. [25]): while a task holds `mutex`, its compute() cost
+  /// is scaled by `factor` (< 1.0 models shipping the critical section to
+  /// a fast core). Profile-guided use: accelerate the locks critical lock
+  /// analysis ranks first. Must be called before run().
+  void accelerate_mutex(MutexId mutex, double factor);
+
+  /// Runs `main_body` as task 0 until every spawned task finishes.
+  /// Rethrows the first exception any task body threw. Throws
+  /// cla::util::Error on deadlock (blocked tasks, nothing runnable).
+  void run(std::function<void(TaskCtx&)> main_body);
+
+  /// Completion time of the last run() in virtual ns.
+  std::uint64_t completion_time() const noexcept { return completion_time_; }
+
+  /// The trace of the last run(). Resets the engine's trace state.
+  trace::Trace take_trace();
+
+  /// Implementation type; defined in engine.cpp only (pimpl).
+  struct Impl;
+
+ private:
+  friend class TaskCtx;
+
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t completion_time_ = 0;
+};
+
+}  // namespace cla::sim

@@ -1,0 +1,108 @@
+#include "cla/trace/builder.hpp"
+
+#include "cla/util/error.hpp"
+
+namespace cla::trace {
+
+ThreadScript& ThreadScript::emit(EventType type, std::uint64_t ts,
+                                 ObjectId object, std::uint64_t arg) {
+  builder_->trace_.add(Event{ts, object, arg, type, 0, tid_});
+  return *this;
+}
+
+ThreadScript& ThreadScript::start(std::uint64_t ts, ThreadId parent) {
+  return emit(EventType::ThreadStart, ts,
+              parent == kNoThread ? kNoObject : static_cast<ObjectId>(parent));
+}
+
+ThreadScript& ThreadScript::exit(std::uint64_t ts) {
+  return emit(EventType::ThreadExit, ts, kNoObject);
+}
+
+ThreadScript& ThreadScript::create(std::uint64_t ts, ThreadId child) {
+  return emit(EventType::ThreadCreate, ts, static_cast<ObjectId>(child));
+}
+
+ThreadScript& ThreadScript::join(ThreadId target, std::uint64_t begin_ts,
+                                 std::uint64_t end_ts) {
+  emit(EventType::JoinBegin, begin_ts, static_cast<ObjectId>(target));
+  return emit(EventType::JoinEnd, end_ts, static_cast<ObjectId>(target));
+}
+
+ThreadScript& ThreadScript::lock(ObjectId mutex, std::uint64_t acquire_ts,
+                                 std::uint64_t acquired_ts,
+                                 std::uint64_t released_ts) {
+  CLA_CHECK(acquire_ts <= acquired_ts && acquired_ts <= released_ts,
+            "lock timestamps must be ordered");
+  emit(EventType::MutexAcquire, acquire_ts, mutex);
+  emit(EventType::MutexAcquired, acquired_ts, mutex,
+       acquired_ts > acquire_ts ? 1 : 0);
+  return emit(EventType::MutexReleased, released_ts, mutex);
+}
+
+ThreadScript& ThreadScript::lock_uncontended(ObjectId mutex, std::uint64_t ts,
+                                             std::uint64_t released_ts) {
+  return lock(mutex, ts, ts, released_ts);
+}
+
+ThreadScript& ThreadScript::acquire(ObjectId mutex, std::uint64_t ts) {
+  return emit(EventType::MutexAcquire, ts, mutex);
+}
+
+ThreadScript& ThreadScript::acquired(ObjectId mutex, std::uint64_t ts,
+                                     bool contended) {
+  return emit(EventType::MutexAcquired, ts, mutex, contended ? 1 : 0);
+}
+
+ThreadScript& ThreadScript::released(ObjectId mutex, std::uint64_t ts) {
+  return emit(EventType::MutexReleased, ts, mutex);
+}
+
+ThreadScript& ThreadScript::barrier(ObjectId barrier_id, std::uint64_t arrive_ts,
+                                    std::uint64_t leave_ts, std::uint64_t episode) {
+  CLA_CHECK(arrive_ts <= leave_ts, "barrier timestamps must be ordered");
+  emit(EventType::BarrierArrive, arrive_ts, barrier_id, episode);
+  return emit(EventType::BarrierLeave, leave_ts, barrier_id, episode);
+}
+
+ThreadScript& ThreadScript::cond_wait(ObjectId cond, ObjectId mutex,
+                                      std::uint64_t begin_ts, std::uint64_t end_ts) {
+  CLA_CHECK(begin_ts <= end_ts, "cond wait timestamps must be ordered");
+  // cond_wait releases the mutex, sleeps, and re-acquires before returning.
+  emit(EventType::MutexReleased, begin_ts, mutex);
+  emit(EventType::CondWaitBegin, begin_ts, cond, mutex);
+  emit(EventType::CondWaitEnd, end_ts, cond, mutex);
+  emit(EventType::MutexAcquire, end_ts, mutex);
+  return emit(EventType::MutexAcquired, end_ts, mutex, 0);
+}
+
+ThreadScript& ThreadScript::cond_signal(ObjectId cond, std::uint64_t ts) {
+  return emit(EventType::CondSignal, ts, cond);
+}
+
+ThreadScript& ThreadScript::cond_broadcast(ObjectId cond, std::uint64_t ts) {
+  return emit(EventType::CondBroadcast, ts, cond);
+}
+
+ThreadScript TraceBuilder::thread(ThreadId tid) { return ThreadScript(*this, tid); }
+
+void TraceBuilder::name_object(ObjectId object, std::string name) {
+  trace_.set_object_name(object, std::move(name));
+}
+
+void TraceBuilder::name_thread(ThreadId tid, std::string name) {
+  trace_.set_thread_name(tid, std::move(name));
+}
+
+Trace TraceBuilder::finish() {
+  trace_.validate();
+  return finish_unchecked();
+}
+
+Trace TraceBuilder::finish_unchecked() {
+  Trace out = std::move(trace_);
+  trace_ = Trace{};
+  return out;
+}
+
+}  // namespace cla::trace

@@ -1,0 +1,95 @@
+// Fluent trace construction for tests and documentation examples.
+//
+// Lets a test script an execution like the paper's Fig. 1 directly in
+// timestamps, with the mutex/barrier/condvar event protocol generated
+// correctly. All times are plain integers (interpreted as nanoseconds).
+#pragma once
+
+#include <string>
+
+#include "cla/trace/trace.hpp"
+
+namespace cla::trace {
+
+class TraceBuilder;
+
+/// Per-thread scripting handle returned by TraceBuilder::thread().
+class ThreadScript {
+ public:
+  /// Thread lifecycle. start() is implicit at construction time for
+  /// thread 0; spawned threads record their parent.
+  ThreadScript& start(std::uint64_t ts, ThreadId parent = kNoThread);
+  ThreadScript& exit(std::uint64_t ts);
+
+  /// Records ThreadCreate of `child` at `ts` (pair with child.start()).
+  ThreadScript& create(std::uint64_t ts, ThreadId child);
+
+  /// Records a join of `target` spanning [begin_ts, end_ts].
+  ThreadScript& join(ThreadId target, std::uint64_t begin_ts, std::uint64_t end_ts);
+
+  /// Full critical section: acquire at `acquire_ts`, obtain at
+  /// `acquired_ts` (contended iff acquired_ts > acquire_ts), release at
+  /// `released_ts`.
+  ThreadScript& lock(ObjectId mutex, std::uint64_t acquire_ts,
+                     std::uint64_t acquired_ts, std::uint64_t released_ts);
+
+  /// Uncontended critical section [ts, released_ts].
+  ThreadScript& lock_uncontended(ObjectId mutex, std::uint64_t ts,
+                                 std::uint64_t released_ts);
+
+  /// Individual mutex events, for tests that need partial protocols.
+  ThreadScript& acquire(ObjectId mutex, std::uint64_t ts);
+  ThreadScript& acquired(ObjectId mutex, std::uint64_t ts, bool contended);
+  ThreadScript& released(ObjectId mutex, std::uint64_t ts);
+
+  /// Barrier wait spanning [arrive_ts, leave_ts]; episode may be provided
+  /// or left to the analyzer's per-thread-ordinal inference.
+  ThreadScript& barrier(ObjectId barrier, std::uint64_t arrive_ts,
+                        std::uint64_t leave_ts, std::uint64_t episode = kNoArg);
+
+  /// Condition-variable wait [begin_ts, end_ts] on `cond` with `mutex`.
+  /// Emits the mutex release/re-acquire events the real protocol implies.
+  ThreadScript& cond_wait(ObjectId cond, ObjectId mutex, std::uint64_t begin_ts,
+                          std::uint64_t end_ts);
+  ThreadScript& cond_signal(ObjectId cond, std::uint64_t ts);
+  ThreadScript& cond_broadcast(ObjectId cond, std::uint64_t ts);
+
+  ThreadId tid() const noexcept { return tid_; }
+
+ private:
+  friend class TraceBuilder;
+  ThreadScript(TraceBuilder& builder, ThreadId tid) : builder_(&builder), tid_(tid) {}
+
+  ThreadScript& emit(EventType type, std::uint64_t ts, ObjectId object,
+                     std::uint64_t arg = kNoArg);
+
+  TraceBuilder* builder_;
+  ThreadId tid_;
+};
+
+/// Builds traces event-by-event with protocol sugar. Typical use:
+///
+///   TraceBuilder b;
+///   auto t0 = b.thread(0).start(0);
+///   t0.lock_uncontended(L1, 2, 5).exit(30);
+///   Trace trace = b.finish();
+class TraceBuilder {
+ public:
+  /// Returns the scripting handle for `tid`, creating the thread if new.
+  ThreadScript thread(ThreadId tid);
+
+  void name_object(ObjectId object, std::string name);
+  void name_thread(ThreadId tid, std::string name);
+
+  /// Validates and returns the trace; the builder is left empty.
+  Trace finish();
+
+  /// Returns the trace without validating (for negative tests).
+  Trace finish_unchecked();
+
+ private:
+  friend class ThreadScript;
+  Trace trace_;
+};
+
+}  // namespace cla::trace

@@ -1,0 +1,96 @@
+// Synchronization event model.
+//
+// Both trace producers — the real pthread instrumentation runtime and the
+// deterministic virtual-time simulator — emit streams of these events, one
+// per MAGIC() point of the paper's Fig. 4. The analysis module consumes
+// them without knowing the source.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cla::trace {
+
+/// Thread identifiers are dense indices assigned in registration order;
+/// thread 0 is always the initial (main) thread.
+using ThreadId = std::uint32_t;
+
+/// Synchronization object identifier. In the real runtime this is the
+/// object's address; in the simulator it is a small dense id. Names are
+/// attached via Trace::set_object_name.
+using ObjectId = std::uint64_t;
+
+/// Sentinel for "no object" / "no thread".
+inline constexpr ObjectId kNoObject = ~static_cast<ObjectId>(0);
+inline constexpr ThreadId kNoThread = ~static_cast<ThreadId>(0);
+
+/// Event kinds, one per instrumented MAGIC() position (paper Fig. 4) plus
+/// thread lifecycle events needed to stitch the critical path together.
+enum class EventType : std::uint16_t {
+  // Thread lifecycle. ThreadStart.object = parent thread id (kNoObject for
+  // the initial thread); ThreadCreate.object = child thread id.
+  ThreadStart = 1,
+  ThreadExit = 2,
+  ThreadCreate = 3,
+  JoinBegin = 4,   ///< object = joined thread id
+  JoinEnd = 5,     ///< object = joined thread id
+
+  // Mutexes. object = mutex id.
+  MutexAcquire = 10,   ///< "acquire the lock": the request is issued
+  MutexAcquired = 11,  ///< "obtain the lock": arg = 1 if the request contended
+  MutexReleased = 12,  ///< "release the lock"
+
+  // Barriers. object = barrier id; arg = episode (generation) if the
+  // producer knows it, kNoArg otherwise (the resolver then infers episodes
+  // from per-thread wait ordinals).
+  BarrierArrive = 20,
+  BarrierLeave = 21,
+
+  // Condition variables. object = condvar id.
+  CondWaitBegin = 30,  ///< arg = mutex id released while waiting
+  CondWaitEnd = 31,    ///< woken up (mutex re-acquired is traced separately)
+  CondSignal = 32,
+  CondBroadcast = 33,
+
+  // Optional phase markers (extension): restrict analysis to a region.
+  PhaseBegin = 40,
+  PhaseEnd = 41,
+};
+
+inline constexpr std::uint64_t kNoArg = ~static_cast<std::uint64_t>(0);
+
+/// One traced synchronization event. 32 bytes, trivially copyable; traces
+/// are written to disk as flat arrays of these.
+struct Event {
+  std::uint64_t ts;     ///< timestamp, nanoseconds (virtual or real)
+  ObjectId object;      ///< synchronization object (see EventType docs)
+  std::uint64_t arg;    ///< type-specific payload (see EventType docs)
+  EventType type;
+  std::uint16_t reserved = 0;
+  ThreadId tid;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+static_assert(sizeof(Event) == 32, "Event must stay 32 bytes (trace format)");
+
+/// Human-readable event type name (for dumps and error messages).
+std::string_view to_string(EventType type) noexcept;
+
+/// True for events that mark a thread resuming after a potentially
+/// blocking wait (the "segment blocked in the beginning" test of Fig. 2
+/// applies at these events).
+constexpr bool is_wakeup(EventType type) noexcept {
+  switch (type) {
+    case EventType::ThreadStart:
+    case EventType::JoinEnd:
+    case EventType::MutexAcquired:
+    case EventType::BarrierLeave:
+    case EventType::CondWaitEnd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace cla::trace

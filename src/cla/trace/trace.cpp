@@ -1,0 +1,200 @@
+#include "cla/trace/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cla/util/error.hpp"
+
+namespace cla::trace {
+
+std::string_view to_string(EventType type) noexcept {
+  switch (type) {
+    case EventType::ThreadStart: return "ThreadStart";
+    case EventType::ThreadExit: return "ThreadExit";
+    case EventType::ThreadCreate: return "ThreadCreate";
+    case EventType::JoinBegin: return "JoinBegin";
+    case EventType::JoinEnd: return "JoinEnd";
+    case EventType::MutexAcquire: return "MutexAcquire";
+    case EventType::MutexAcquired: return "MutexAcquired";
+    case EventType::MutexReleased: return "MutexReleased";
+    case EventType::BarrierArrive: return "BarrierArrive";
+    case EventType::BarrierLeave: return "BarrierLeave";
+    case EventType::CondWaitBegin: return "CondWaitBegin";
+    case EventType::CondWaitEnd: return "CondWaitEnd";
+    case EventType::CondSignal: return "CondSignal";
+    case EventType::CondBroadcast: return "CondBroadcast";
+    case EventType::PhaseBegin: return "PhaseBegin";
+    case EventType::PhaseEnd: return "PhaseEnd";
+  }
+  return "Unknown";
+}
+
+void Trace::add(const Event& event) {
+  if (event.tid >= threads_.size()) threads_.resize(event.tid + 1);
+  threads_[event.tid].push_back(event);
+}
+
+void Trace::add_thread_stream(ThreadId tid, std::vector<Event> events) {
+  if (tid >= threads_.size()) threads_.resize(tid + 1);
+  auto& stream = threads_[tid];
+  if (stream.empty()) {
+    stream = std::move(events);
+  } else {
+    stream.insert(stream.end(), events.begin(), events.end());
+    std::stable_sort(stream.begin(), stream.end(),
+                     [](const Event& a, const Event& b) { return a.ts < b.ts; });
+  }
+}
+
+std::span<const Event> Trace::thread_events(ThreadId tid) const {
+  CLA_CHECK(tid < threads_.size(), "thread id out of range");
+  return threads_[tid];
+}
+
+std::size_t Trace::event_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& stream : threads_) n += stream.size();
+  return n;
+}
+
+std::uint64_t Trace::start_ts() const noexcept {
+  std::uint64_t ts = ~0ull;
+  for (const auto& stream : threads_)
+    if (!stream.empty()) ts = std::min(ts, stream.front().ts);
+  return ts == ~0ull ? 0 : ts;
+}
+
+std::uint64_t Trace::end_ts() const noexcept {
+  std::uint64_t ts = 0;
+  for (const auto& stream : threads_)
+    if (!stream.empty()) ts = std::max(ts, stream.back().ts);
+  return ts;
+}
+
+void Trace::set_object_name(ObjectId object, std::string name) {
+  object_names_[object] = std::move(name);
+}
+
+const std::string* Trace::object_name(ObjectId object) const {
+  auto it = object_names_.find(object);
+  return it == object_names_.end() ? nullptr : &it->second;
+}
+
+std::string Trace::object_display_name(ObjectId object,
+                                       std::string_view prefix) const {
+  if (const auto* name = object_name(object)) return *name;
+  return std::string(prefix) + "@" + std::to_string(object);
+}
+
+void Trace::set_thread_name(ThreadId tid, std::string name) {
+  thread_names_[tid] = std::move(name);
+}
+
+std::string Trace::thread_display_name(ThreadId tid) const {
+  auto it = thread_names_.find(tid);
+  if (it != thread_names_.end()) return it->second;
+  return "T" + std::to_string(tid);
+}
+
+namespace {
+
+/// Per-(thread, mutex) protocol state for validation. Recursive mutexes
+/// are allowed: depth counts nested Acquired/Released pairs.
+struct MutexState {
+  int depth = 0;
+  bool acquiring = false;
+};
+
+}  // namespace
+
+void Trace::validate() const {
+  CLA_CHECK(!threads_.empty(), "trace has no threads");
+  for (ThreadId tid = 0; tid < threads_.size(); ++tid) {
+    const auto& stream = threads_[tid];
+    const std::string tname = thread_display_name(tid);
+    CLA_CHECK(!stream.empty(), "thread " + tname + " has no events");
+    CLA_CHECK(stream.front().type == EventType::ThreadStart,
+              "thread " + tname + " does not begin with ThreadStart");
+    CLA_CHECK(stream.back().type == EventType::ThreadExit,
+              "thread " + tname + " does not end with ThreadExit");
+
+    std::map<ObjectId, MutexState> mutexes;
+    std::map<ObjectId, bool> barrier_inside;  // true between Arrive and Leave
+    std::uint64_t prev_ts = 0;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const Event& e = stream[i];
+      CLA_CHECK(e.tid == tid, "event tid mismatch in thread " + tname);
+      CLA_CHECK(e.ts >= prev_ts,
+                "timestamps of thread " + tname + " go backwards at event " +
+                    std::to_string(i) + " (" + std::string(to_string(e.type)) + ")");
+      prev_ts = e.ts;
+      auto protocol_error = [&](const char* what) {
+        ::cla::util::throw_error(
+            __FILE__, __LINE__,
+            "thread " + tname + ": " + what + " at event " + std::to_string(i) +
+                " (" + std::string(to_string(e.type)) + " object " +
+                std::to_string(e.object) + ")");
+      };
+      switch (e.type) {
+        case EventType::ThreadStart:
+          if (i != 0) protocol_error("ThreadStart not first");
+          break;
+        case EventType::ThreadExit:
+          if (i + 1 != stream.size()) protocol_error("ThreadExit not last");
+          break;
+        case EventType::MutexAcquire: {
+          auto& st = mutexes[e.object];
+          if (st.acquiring)
+            protocol_error("MutexAcquire while already acquiring");
+          st.acquiring = true;
+          break;
+        }
+        case EventType::MutexAcquired: {
+          auto& st = mutexes[e.object];
+          if (!st.acquiring)
+            protocol_error("MutexAcquired without MutexAcquire");
+          st.acquiring = false;
+          ++st.depth;
+          break;
+        }
+        case EventType::MutexReleased: {
+          auto& st = mutexes[e.object];
+          if (st.depth <= 0)
+            protocol_error("MutexReleased without holding");
+          --st.depth;
+          break;
+        }
+        case EventType::BarrierArrive: {
+          auto& inside = barrier_inside[e.object];
+          if (inside) protocol_error("BarrierArrive while inside barrier");
+          inside = true;
+          break;
+        }
+        case EventType::BarrierLeave: {
+          auto& inside = barrier_inside[e.object];
+          if (!inside) protocol_error("BarrierLeave without BarrierArrive");
+          inside = false;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+}
+
+std::string Trace::dump() const {
+  std::ostringstream out;
+  for (ThreadId tid = 0; tid < threads_.size(); ++tid) {
+    out << "== " << thread_display_name(tid) << " ==\n";
+    for (const Event& e : threads_[tid]) {
+      out << "  " << e.ts << "  " << to_string(e.type);
+      if (e.object != kNoObject) out << " obj=" << e.object;
+      if (e.arg != kNoArg) out << " arg=" << e.arg;
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace cla::trace

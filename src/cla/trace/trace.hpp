@@ -1,0 +1,78 @@
+// In-memory trace container: per-thread event streams plus name tables.
+//
+// This is the hand-off point of the paper's two-stage workflow (Fig. 3):
+// the instrumentation module (or the simulator) produces a Trace, the
+// analysis module consumes it.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cla/trace/event.hpp"
+
+namespace cla::trace {
+
+/// A complete execution trace of one program run.
+///
+/// Invariants (checked by validate()):
+///  - events of each thread are sorted by timestamp (stable, non-strict);
+///  - thread 0 exists and every thread has a ThreadStart as its first and
+///    a ThreadExit as its last event;
+///  - mutex events per (thread, mutex) follow Acquire -> Acquired ->
+///    Released cycles; barrier events alternate Arrive/Leave.
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Appends an event to its thread's stream. Events must arrive in
+  /// non-decreasing timestamp order per thread (enforced by validate()).
+  void add(const Event& event);
+
+  /// Appends a whole per-thread stream (used by trace readers and the
+  /// runtime flush path). Stream must be sorted by timestamp.
+  void add_thread_stream(ThreadId tid, std::vector<Event> events);
+
+  std::size_t thread_count() const noexcept { return threads_.size(); }
+  std::span<const Event> thread_events(ThreadId tid) const;
+
+  /// Total number of events across all threads.
+  std::size_t event_count() const noexcept;
+
+  /// Earliest / latest timestamp in the trace; 0 if empty.
+  std::uint64_t start_ts() const noexcept;
+  std::uint64_t end_ts() const noexcept;
+
+  /// Attaches a human-readable name to a synchronization object (mutex,
+  /// barrier, condvar). Anonymous objects render as "mutex@<id>" etc.
+  void set_object_name(ObjectId object, std::string name);
+  const std::string* object_name(ObjectId object) const;
+
+  /// Name lookup that falls back to `<prefix>@<id>`.
+  std::string object_display_name(ObjectId object, std::string_view prefix) const;
+
+  void set_thread_name(ThreadId tid, std::string name);
+  std::string thread_display_name(ThreadId tid) const;
+
+  const std::map<ObjectId, std::string>& object_names() const noexcept {
+    return object_names_;
+  }
+  const std::map<ThreadId, std::string>& thread_names() const noexcept {
+    return thread_names_;
+  }
+
+  /// Checks the structural invariants above; throws cla::util::Error with
+  /// a precise diagnostic on the first violation.
+  void validate() const;
+
+  /// Renders a human-readable dump (debugging aid; O(events) big).
+  std::string dump() const;
+
+ private:
+  std::vector<std::vector<Event>> threads_;
+  std::map<ObjectId, std::string> object_names_;
+  std::map<ThreadId, std::string> thread_names_;
+};
+
+}  // namespace cla::trace

@@ -1,0 +1,129 @@
+#include "cla/trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <ostream>
+
+#include "cla/util/error.hpp"
+
+namespace cla::trace {
+
+namespace {
+
+template <typename T>
+void put(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  CLA_CHECK(s.size() <= std::numeric_limits<std::uint32_t>::max(), "name too long");
+  put(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  CLA_CHECK(in.good(), "trace stream truncated");
+  return value;
+}
+
+std::string get_string(std::istream& in) {
+  const auto len = get<std::uint32_t>(in);
+  CLA_CHECK(len <= (1u << 20), "trace name record suspiciously large");
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  CLA_CHECK(in.good(), "trace stream truncated in name record");
+  return s;
+}
+
+}  // namespace
+
+void write_trace(const Trace& trace, std::ostream& out) {
+  out.write(kTraceMagic, sizeof kTraceMagic);
+  put(out, kTraceVersion);
+  put(out, static_cast<std::uint32_t>(trace.thread_count()));
+
+  put(out, static_cast<std::uint32_t>(trace.object_names().size()));
+  for (const auto& [object, name] : trace.object_names()) {
+    put(out, object);
+    put_string(out, name);
+  }
+  put(out, static_cast<std::uint32_t>(trace.thread_names().size()));
+  for (const auto& [tid, name] : trace.thread_names()) {
+    put(out, tid);
+    put_string(out, name);
+  }
+  for (ThreadId tid = 0; tid < trace.thread_count(); ++tid) {
+    const auto events = trace.thread_events(tid);
+    put(out, tid);
+    put(out, static_cast<std::uint64_t>(events.size()));
+    out.write(reinterpret_cast<const char*>(events.data()),
+              static_cast<std::streamsize>(events.size() * sizeof(Event)));
+  }
+  CLA_CHECK(out.good(), "failed writing trace stream");
+}
+
+void write_trace_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CLA_CHECK(out.is_open(), "cannot open trace file for writing: " + path);
+  write_trace(trace, out);
+  out.flush();
+  CLA_CHECK(out.good(), "failed writing trace file: " + path);
+}
+
+Trace read_trace(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  CLA_CHECK(in.good() && std::memcmp(magic, kTraceMagic, 4) == 0,
+            "not a CLA trace (bad magic)");
+  const auto version = get<std::uint32_t>(in);
+  CLA_CHECK(version == kTraceVersion,
+            "unsupported trace version " + std::to_string(version));
+  const auto thread_count = get<std::uint32_t>(in);
+  CLA_CHECK(thread_count <= (1u << 20), "implausible thread count in trace");
+
+  Trace trace;
+  const auto object_names = get<std::uint32_t>(in);
+  for (std::uint32_t i = 0; i < object_names; ++i) {
+    const auto object = get<ObjectId>(in);
+    trace.set_object_name(object, get_string(in));
+  }
+  const auto thread_names = get<std::uint32_t>(in);
+  for (std::uint32_t i = 0; i < thread_names; ++i) {
+    const auto tid = get<ThreadId>(in);
+    trace.set_thread_name(tid, get_string(in));
+  }
+  for (std::uint32_t t = 0; t < thread_count; ++t) {
+    const auto tid = get<ThreadId>(in);
+    CLA_CHECK(tid <= (1u << 20), "implausible thread id in trace");
+    const auto count = get<std::uint64_t>(in);
+    // Read in bounded chunks so a corrupted count fails with a clean
+    // truncation error instead of attempting a gigantic allocation.
+    constexpr std::uint64_t kChunk = 1u << 16;
+    std::vector<Event> events;
+    for (std::uint64_t done = 0; done < count;) {
+      const std::uint64_t now = std::min(kChunk, count - done);
+      const std::size_t old_size = events.size();
+      events.resize(old_size + now);
+      in.read(reinterpret_cast<char*>(events.data() + old_size),
+              static_cast<std::streamsize>(now * sizeof(Event)));
+      CLA_CHECK(in.good(), "trace stream truncated in event block");
+      done += now;
+    }
+    trace.add_thread_stream(tid, std::move(events));
+  }
+  return trace;
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CLA_CHECK(in.is_open(), "cannot open trace file: " + path);
+  return read_trace(in);
+}
+
+}  // namespace cla::trace

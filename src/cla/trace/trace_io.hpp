@@ -1,0 +1,32 @@
+// Versioned binary trace file format (".clat").
+//
+// Layout (little-endian):
+//   magic "CLAT" | u32 version | u32 thread_count
+//   u32 object_name_count | { u64 object_id, u32 len, bytes }...
+//   u32 thread_name_count | { u32 tid, u32 len, bytes }...
+//   per thread: u32 tid | u64 event_count | event_count * 32-byte Event
+//
+// The format is what the instrumentation runtime flushes at process exit
+// and what `cla-analyze` consumes (paper Fig. 3's trace file).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cla/trace/trace.hpp"
+
+namespace cla::trace {
+
+inline constexpr char kTraceMagic[4] = {'C', 'L', 'A', 'T'};
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Writes `trace` to a stream / file. Throws cla::util::Error on IO failure.
+void write_trace(const Trace& trace, std::ostream& out);
+void write_trace_file(const Trace& trace, const std::string& path);
+
+/// Reads a trace back. Throws cla::util::Error on malformed input
+/// (bad magic, truncated stream, unsupported version).
+Trace read_trace(std::istream& in);
+Trace read_trace_file(const std::string& path);
+
+}  // namespace cla::trace

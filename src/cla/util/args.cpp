@@ -1,0 +1,73 @@
+#include "cla/util/args.hpp"
+
+#include <algorithm>
+
+#include "cla/util/error.hpp"
+
+namespace cla::util {
+
+Args::Args(int argc, const char* const* argv,
+           std::vector<std::string> known_options) {
+  program_ = argc > 0 ? argv[0] : "cla";
+  auto known = [&](const std::string& name) {
+    return std::find(known_options.begin(), known_options.end(), name) !=
+           known_options.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    CLA_CHECK(known(name), "unknown option --" + name + " (program " + program_ + ")");
+    if (!has_value && i + 1 < argc &&
+        std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+      has_value = true;
+    }
+    values_[name] = has_value ? value : "";
+  }
+}
+
+bool Args::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::optional<std::string> Args::get(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get_or(const std::string& name, std::string fallback) const {
+  auto v = get(name);
+  return v ? *v : std::move(fallback);
+}
+
+std::int64_t Args::get_int(const std::string& name, std::int64_t fallback) const {
+  auto v = get(name);
+  if (!v) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw Error("option --" + name + " expects an integer, got '" + *v + "'");
+  }
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  auto v = get(name);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw Error("option --" + name + " expects a number, got '" + *v + "'");
+  }
+}
+
+}  // namespace cla::util

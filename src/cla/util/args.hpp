@@ -1,0 +1,40 @@
+// Minimal command-line argument parsing for tools, examples and benches.
+//
+// Supports `--flag`, `--key value` and `--key=value` forms plus positional
+// arguments; unknown options raise cla::util::Error with a usage hint.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cla::util {
+
+class Args {
+ public:
+  /// Parses argv. Options must be registered up front so typos are caught.
+  Args(int argc, const char* const* argv,
+       std::vector<std::string> known_options);
+
+  /// True if `--name` appeared (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// String value of `--name value` / `--name=value`, if present.
+  std::optional<std::string> get(const std::string& name) const;
+
+  std::string get_or(const std::string& name, std::string fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cla::util

@@ -1,0 +1,18 @@
+#include "cla/util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cla::util {
+
+void throw_error(const char* file, int line, const std::string& message) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + message);
+}
+
+void assert_fail(const char* file, int line, const char* expr, const std::string& message) {
+  std::fprintf(stderr, "CLA internal error at %s:%d: assertion `%s` failed: %s\n",
+               file, line, expr, message.c_str());
+  std::abort();
+}
+
+}  // namespace cla::util

@@ -1,0 +1,37 @@
+// Error handling primitives shared across the CLA library.
+//
+// The library throws cla::util::Error for recoverable, user-facing failures
+// (bad trace file, malformed input) and uses CLA_ASSERT for internal
+// invariants whose violation indicates a bug in CLA itself.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cla::util {
+
+/// Exception type for all user-facing CLA failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Builds an Error message with "file:line: " prefix and throws it.
+[[noreturn]] void throw_error(const char* file, int line, const std::string& message);
+
+/// Aborts with a diagnostic; used for internal invariant violations.
+[[noreturn]] void assert_fail(const char* file, int line, const char* expr, const std::string& message);
+
+}  // namespace cla::util
+
+/// Throws cla::util::Error if `cond` does not hold (recoverable failure).
+#define CLA_CHECK(cond, msg)                                 \
+  do {                                                       \
+    if (!(cond)) ::cla::util::throw_error(__FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Aborts if `cond` does not hold (internal invariant; a CLA bug).
+#define CLA_ASSERT(cond, msg)                                          \
+  do {                                                                 \
+    if (!(cond)) ::cla::util::assert_fail(__FILE__, __LINE__, #cond, (msg)); \
+  } while (0)

@@ -1,0 +1,48 @@
+// Plain-text / CSV table rendering for reports.
+//
+// The analysis module renders the paper's TYPE 1 / TYPE 2 statistics tables
+// (Table 2, Figs. 6, 8-11, 13-14) through this helper so every report in
+// tools, examples and benches lines up identically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cla::util {
+
+/// Column alignment for text rendering.
+enum class Align { Left, Right };
+
+/// A simple row/column table with aligned text and CSV output.
+class Table {
+ public:
+  /// Creates a table with the given column headers (all right-aligned by
+  /// default except the first, which is left-aligned — the usual shape of
+  /// a "name | numbers..." report).
+  explicit Table(std::vector<std::string> headers);
+
+  /// Overrides the alignment of one column.
+  void set_align(std::size_t column, Align align);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Renders as an aligned text table with a header separator line.
+  std::string to_text() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing comma/quote/NL).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `decimals` fraction digits.
+std::string fixed(double value, int decimals);
+
+}  // namespace cla::util

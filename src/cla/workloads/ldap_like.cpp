@@ -1,0 +1,119 @@
+// OpenLDAP-like directory server (paper §V.C, Fig. 8).
+//
+// The paper's OpenLDAP result is a *negative* one: after a decade of
+// tuning, its locks are fine-grained or rarely taken, so critical
+// sections are not a significant bottleneck. This analog preserves that
+// structure: a load generator thread (SLAMD stand-in) pushes 10k search
+// requests through a condvar-signalled connection queue; each worker
+// resolves a request against a directory of entries protected by a large
+// array of per-entry locks, touching one entry lock briefly plus a
+// connection counter mutex. Every lock's CP share should come out well
+// under a few percent.
+//
+// Params:
+//   requests     search operations           (default 10000, as in Table 1)
+//   entries      directory entries           (default 10000)
+//   entry_locks  size of the entry-lock array (default 256)
+//   search_work  units per search            (default 140)
+//   entry_cs     units under an entry lock   (default 4)
+//   conn_cs      units under conn_mutex      (default 2)
+#include "cla/workloads/workload.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "cla/util/rng.hpp"
+
+namespace cla::workloads {
+
+WorkloadResult run_ldap(const WorkloadConfig& config) {
+  const auto requests = static_cast<std::uint64_t>(
+      config.param("requests", 10000.0) * config.scale);
+  const auto entry_lock_count =
+      static_cast<std::uint32_t>(config.param("entry_locks", 256.0));
+  const auto search_work =
+      static_cast<std::uint64_t>(config.param("search_work", 140.0));
+  const auto entry_cs = static_cast<std::uint64_t>(config.param("entry_cs", 4.0));
+  const auto conn_cs = static_cast<std::uint64_t>(config.param("conn_cs", 2.0));
+  const std::uint32_t workers = config.threads;
+
+  auto backend = make_workload_backend(config);
+  const exec::MutexHandle queue_mutex = backend->create_mutex("conn->c_mutex");
+  const exec::CondHandle queue_cond = backend->create_cond("conn->c_cond");
+  std::vector<exec::MutexHandle> entry_locks;
+  entry_locks.reserve(entry_lock_count);
+  for (std::uint32_t i = 0; i < entry_lock_count; ++i) {
+    entry_locks.push_back(
+        backend->create_mutex("entry_lock[" + std::to_string(i) + "]"));
+  }
+
+  // Connection queue shared between the generator (worker 0, the SLAMD
+  // stand-in on its dedicated core) and the slapd workers.
+  std::deque<std::uint64_t> pending;
+  bool closed = false;
+
+  backend->run(workers + 1, [&](exec::Ctx& ctx) {
+    util::Rng rng(config.seed * 262147 + ctx.worker_index());
+    if (ctx.worker_index() == 0) {
+      // Load generator: batch requests into the connection queue.
+      const std::uint64_t batch = 32;
+      std::uint64_t sent = 0;
+      while (sent < requests) {
+        const std::uint64_t now_batch = std::min(batch, requests - sent);
+        {
+          exec::ScopedLock guard(ctx, queue_mutex);
+          ctx.compute(conn_cs);
+          for (std::uint64_t b = 0; b < now_batch; ++b) {
+            pending.push_back(rng.next());
+          }
+        }
+        ctx.cond_broadcast(queue_cond);
+        sent += now_batch;
+        ctx.compute(search_work / 4);  // request generation pacing
+      }
+      {
+        exec::ScopedLock guard(ctx, queue_mutex);
+        ctx.compute(conn_cs);
+        closed = true;
+      }
+      ctx.cond_broadcast(queue_cond);
+      return;
+    }
+
+    // slapd worker.
+    while (true) {
+      std::uint64_t request = 0;
+      bool have = false;
+      {
+        ctx.lock(queue_mutex);
+        while (pending.empty() && !closed) {
+          ctx.cond_wait(queue_cond, queue_mutex);
+        }
+        ctx.compute(conn_cs);
+        if (!pending.empty()) {
+          request = pending.front();
+          pending.pop_front();
+          have = true;
+        }
+        const bool finished = !have && closed;
+        ctx.unlock(queue_mutex);
+        if (finished) break;
+      }
+      if (!have) continue;
+
+      // Search: index walk (pure compute) + one entry lock touch.
+      ctx.compute(search_work / 2 + rng.below(search_work));
+      const auto lock_idx =
+          static_cast<std::uint32_t>(request % entry_lock_count);
+      exec::ScopedLock guard(ctx, entry_locks[lock_idx]);
+      ctx.compute(entry_cs);
+    }
+  });
+
+  WorkloadResult result;
+  result.completion_time = backend->completion_time();
+  result.trace = backend->take_trace();
+  return result;
+}
+
+}  // namespace cla::workloads

@@ -1,0 +1,57 @@
+// The two-lock micro-benchmark of paper Fig. 5.
+//
+// Every thread executes, in order:
+//   lock(L1); <A units of work>; unlock(L1);
+//   lock(L2); <B units of work>; unlock(L2);
+// with B/A = 2.5e9/2.0e9 = 1.25 as in the paper. The second critical
+// section dominates the critical path (all B-sections serialize behind
+// each other once the pipeline fills), while L1 accumulates the larger
+// *wait* time — the divergence Fig. 6 demonstrates.
+//
+// Params:
+//   cs1 / cs2   work units inside CS1 / CS2 (default 2000 / 2500)
+//   opt_l1=1    shrink CS1 by `opt_amount` (validation run)
+//   opt_l2=1    shrink CS2 by `opt_amount` (validation run)
+//   opt_amount  units removed by an optimization (default 1000, i.e. the
+//               paper's "1 billion iterations")
+#include "cla/workloads/workload.hpp"
+
+#include "cla/util/error.hpp"
+
+namespace cla::workloads {
+
+WorkloadResult run_micro(const WorkloadConfig& config) {
+  const auto base1 = static_cast<std::uint64_t>(
+      config.param("cs1", 2000.0) * config.scale);
+  const auto base2 = static_cast<std::uint64_t>(
+      config.param("cs2", 2500.0) * config.scale);
+  const auto opt = static_cast<std::uint64_t>(
+      config.param("opt_amount", 1000.0) * config.scale);
+
+  std::uint64_t cs1 = base1;
+  std::uint64_t cs2 = base2;
+  if (config.param("opt_l1", 0.0) != 0.0) cs1 = cs1 > opt ? cs1 - opt : 0;
+  if (config.param("opt_l2", 0.0) != 0.0) cs2 = cs2 > opt ? cs2 - opt : 0;
+
+  auto backend = make_workload_backend(config);
+  const exec::MutexHandle l1 = backend->create_mutex("L1");
+  const exec::MutexHandle l2 = backend->create_mutex("L2");
+
+  backend->run(config.threads, [&](exec::Ctx& ctx) {
+    {
+      exec::ScopedLock guard(ctx, l1);
+      ctx.compute(cs1);  // for (i = 0; i < 2e9; i++) a++;
+    }
+    {
+      exec::ScopedLock guard(ctx, l2);
+      ctx.compute(cs2);  // for (j = 0; j < 2.5e9; j++) b++;
+    }
+  });
+
+  WorkloadResult result;
+  result.completion_time = backend->completion_time();
+  result.trace = backend->take_trace();
+  return result;
+}
+
+}  // namespace cla::workloads

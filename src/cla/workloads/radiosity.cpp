@@ -1,0 +1,199 @@
+// SPLASH-2 Radiosity analog (paper §V.D, Figs. 9-14).
+//
+// What matters for the paper's findings is Radiosity's locking structure,
+// which this workload reproduces:
+//   - per-thread task queues tq[i], each guarded by tq[i].qlock; both the
+//     enqueue and the dequeue take the queue's single lock;
+//   - every iteration's task batch is seeded into tq[0] — queue 0 is the
+//     hub all threads fetch from, and idle threads re-poll it (an empty
+//     dequeue still takes the lock). With a fixed problem size, raising
+//     the thread count multiplies the fetch/poll pressure on tq[0].qlock,
+//     which saturates — the tq[0].qlock blow-up of Fig. 9;
+//   - spawned refinement children go to the spawning thread's own queue
+//     (a small share is redistributed through tq[0]);
+//   - a free-list lock `freeInter` taken a few times per task with a
+//     medium critical section (interaction record allocation) — at low
+//     thread counts its size makes it the top critical lock;
+//   - a `pbar_lock` counter lock and a phase barrier `pbar`.
+//
+// The optimized variant (config.optimized) replaces every queue's single
+// lock with the Michael & Scott two-lock queue (q_head_lock/q_tail_lock),
+// exactly the paper's validation optimization [15].
+//
+// Params (defaults calibrated against the paper's Figs. 9-11 shapes):
+//   tasks        total task count                   (default 2400)
+//   task_work    mean work units per task           (default 650)
+//   qlock_cs     units held under a queue lock      (default 50)
+//   fi_cs        freeInter critical-section units   (default 8)
+//   fi_per_task  freeInter acquisitions per task    (default 3)
+//   spawn_prob   probability a task spawns a child  (default 0.5)
+//   p0           share of children redistributed through tq[0] (default 0.25)
+//   item_cs      per-item units inside batch queue ops (default 1)
+//   warmup       per-thread local warm-up tasks per phase (default 4)
+//   phases       barrier-separated phases           (default 6)
+//   poll_backoff idle compute units between tq[0] polls (default 20)
+#include "cla/workloads/workload.hpp"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "cla/queue/queues.hpp"
+#include "cla/util/rng.hpp"
+
+namespace cla::workloads {
+
+namespace {
+
+struct RadiosityParams {
+  std::uint64_t tasks;
+  std::uint64_t task_work;
+  std::uint64_t qlock_cs;
+  std::uint64_t fi_cs;
+  std::uint64_t fi_per_task;
+  double spawn_prob;
+  double p0;
+  std::uint64_t item_cs;
+  std::uint64_t warmup;
+  std::uint64_t phases;
+  std::uint64_t poll_backoff;
+};
+
+RadiosityParams read_params(const WorkloadConfig& config) {
+  RadiosityParams p;
+  p.tasks = static_cast<std::uint64_t>(config.param("tasks", 2400.0) * config.scale);
+  p.task_work = static_cast<std::uint64_t>(config.param("task_work", 650.0));
+  p.qlock_cs = static_cast<std::uint64_t>(config.param("qlock_cs", 50.0));
+  p.fi_cs = static_cast<std::uint64_t>(config.param("fi_cs", 8.0));
+  p.fi_per_task = static_cast<std::uint64_t>(config.param("fi_per_task", 3.0));
+  p.spawn_prob = config.param("spawn_prob", 0.5);
+  p.p0 = config.param("p0", 0.25);
+  p.item_cs = static_cast<std::uint64_t>(config.param("item_cs", 1.0));
+  p.warmup = static_cast<std::uint64_t>(config.param("warmup", 4.0));
+  p.phases = std::max<std::uint64_t>(1,
+      static_cast<std::uint64_t>(config.param("phases", 6.0)));
+  p.poll_backoff = static_cast<std::uint64_t>(config.param("poll_backoff", 20.0));
+  return p;
+}
+
+}  // namespace
+
+WorkloadResult run_radiosity(const WorkloadConfig& config) {
+  const RadiosityParams p = read_params(config);
+  const std::uint32_t n = config.threads;
+
+  auto backend = make_workload_backend(config);
+  const queue::LockMode mode =
+      config.optimized ? queue::LockMode::Split : queue::LockMode::Single;
+
+  std::vector<std::unique_ptr<queue::TaskQueue<std::uint64_t>>> queues;
+  queues.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    queues.push_back(std::make_unique<queue::TaskQueue<std::uint64_t>>(
+        *backend, "tq[" + std::to_string(i) + "]", mode, p.qlock_cs));
+  }
+  const exec::MutexHandle free_inter = backend->create_mutex("freeInter");
+  const exec::MutexHandle pbar_lock = backend->create_mutex("pbar_lock");
+  const exec::BarrierHandle pbar = backend->create_barrier("pbar", n);
+
+  const std::uint64_t tasks_per_phase =
+      std::max<std::uint64_t>(1, p.tasks / p.phases);
+  // Outstanding tasks in the current phase (seeded + spawned, not yet
+  // completed). Plain atomic read in the idle loop; all writes are atomic.
+  std::atomic<std::uint64_t> outstanding{0};
+  std::uint64_t phase_counter = 0;  // protected by pbar_lock
+
+  backend->run(n, [&](exec::Ctx& ctx) {
+    const std::uint32_t me = ctx.worker_index();
+    util::Rng rng(config.seed * 1000003 + me);
+
+    for (std::uint64_t phase = 0; phase < p.phases; ++phase) {
+      // Seeding: the phase's task batch lands in the tq[0] hub —
+      // Radiosity's per-iteration refinement batch. Thread 0 splices it in
+      // with one batch enqueue (building the list is unsynchronized).
+      const std::uint64_t warmup =
+          std::min<std::uint64_t>(p.warmup, tasks_per_phase / n);
+      if (me == 0) {
+        outstanding.store(tasks_per_phase, std::memory_order_relaxed);
+        std::vector<std::uint64_t> batch;
+        batch.reserve(tasks_per_phase - warmup * n);
+        for (std::uint64_t t = warmup * n; t < tasks_per_phase; ++t) {
+          batch.push_back(p.task_work / 2 + rng.below(p.task_work));
+        }
+        queues[0]->enqueue_batch(ctx, std::move(batch), p.item_cs);
+        exec::ScopedLock guard(ctx, pbar_lock);
+        ctx.compute(4);
+        ++phase_counter;
+      }
+      // A few tasks left over from the previous iteration start in each
+      // thread's own queue, staggering the first hub fetches.
+      for (std::uint64_t t = 0; t < warmup; ++t) {
+        queues[me]->enqueue(ctx, p.task_work / 2 + rng.below(p.task_work));
+      }
+      ctx.barrier_wait(pbar);
+      // The region between the barriers is one parallel phase; thread 0
+      // marks it so the analysis can be clipped per iteration.
+      if (me == 0) ctx.phase_begin();
+
+      // Guided self-scheduling out of the hub: fetch remaining/(2n) tasks
+      // per visit, so visits per task — and with them tq[0].qlock traffic
+      // and contention — grow with the thread count at fixed problem size.
+      std::vector<std::uint64_t> local;  // my fetched batch (LIFO)
+      while (true) {
+        if (local.empty()) {
+          // Refill from my own spawn queue first, then from the hub.
+          if (std::optional<std::uint64_t> own = queues[me]->dequeue(ctx)) {
+            local.push_back(*own);
+          } else {
+            const std::uint64_t left =
+                outstanding.load(std::memory_order_relaxed);
+            if (left == 0) break;
+            const std::size_t batch_size = std::max<std::size_t>(
+                1, static_cast<std::size_t>(left / (2 * n)));
+            local = queues[0]->dequeue_batch(ctx, batch_size, p.item_cs);
+            if (local.empty()) {
+              // Hub momentarily dry while peers still work: back off and
+              // re-poll (the empty probe still takes tq[0].qlock).
+              ctx.compute(p.poll_backoff);
+              continue;
+            }
+          }
+        }
+        const std::uint64_t task = local.back();
+        local.pop_back();
+
+        // Interaction records: allocate under freeInter (small CS).
+        for (std::uint64_t k = 0; k < p.fi_per_task; ++k) {
+          exec::ScopedLock guard(ctx, free_inter);
+          ctx.compute(p.fi_cs);
+        }
+
+        // The task's actual computation (visibility / form factors).
+        ctx.compute(task);
+
+        // A share of tasks spawns a refinement child; most children stay
+        // on the spawning thread's queue, some are redistributed through
+        // the hub.
+        if (rng.chance(p.spawn_prob)) {
+          outstanding.fetch_add(1, std::memory_order_relaxed);
+          const std::uint64_t child_work =
+              p.task_work / 2 + rng.below(p.task_work / 2);
+          const std::uint32_t target = rng.chance(p.p0) ? 0 : me;
+          queues[target]->enqueue(ctx, child_work);
+        }
+
+        outstanding.fetch_sub(1, std::memory_order_relaxed);
+      }
+      if (me == 0) ctx.phase_end();
+      ctx.barrier_wait(pbar);
+    }
+  });
+
+  (void)phase_counter;
+  WorkloadResult result;
+  result.completion_time = backend->completion_time();
+  result.trace = backend->take_trace();
+  return result;
+}
+
+}  // namespace cla::workloads

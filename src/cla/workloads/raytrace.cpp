@@ -1,0 +1,86 @@
+// Raytrace analog (paper Fig. 8, "car 256" input).
+//
+// The finding to reproduce: the `mem` lock — Raytrace's memory-allocator
+// lock, taken very frequently for small allocations while tracing rays —
+// has a CP Time far above its Wait Time: allocations happen on whichever
+// thread is currently critical, so they accumulate on the path even when
+// contention is modest. Jobs come from per-thread work queues (`jobLock`)
+// with stealing.
+//
+// Params:
+//   rays       primary rays / jobs           (default 1800)
+//   ray_work   units per ray                 (default 300)
+//   mem_cs     units per allocation under mem (default 5)
+//   allocs     allocations per ray           (default 2)
+//   job_cs     units under a job queue lock  (default 10)
+#include "cla/workloads/workload.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "cla/queue/queues.hpp"
+#include "cla/util/rng.hpp"
+
+namespace cla::workloads {
+
+WorkloadResult run_raytrace(const WorkloadConfig& config) {
+  const auto rays =
+      static_cast<std::uint64_t>(config.param("rays", 1800.0) * config.scale);
+  const auto ray_work = static_cast<std::uint64_t>(config.param("ray_work", 300.0));
+  const auto mem_cs = static_cast<std::uint64_t>(config.param("mem_cs", 5.0));
+  const auto allocs = static_cast<std::uint64_t>(config.param("allocs", 2.0));
+  const auto job_cs = static_cast<std::uint64_t>(config.param("job_cs", 10.0));
+  const std::uint32_t n = config.threads;
+
+  auto backend = make_workload_backend(config);
+  const exec::MutexHandle mem = backend->create_mutex("mem");
+
+  std::vector<std::unique_ptr<queue::CoarseQueue<std::uint64_t>>> jobs;
+  jobs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    jobs.push_back(std::make_unique<queue::CoarseQueue<std::uint64_t>>(
+        *backend, "jobLock[" + std::to_string(i) + "]", job_cs));
+  }
+
+  backend->run(n, [&](exec::Ctx& ctx) {
+    const std::uint32_t me = ctx.worker_index();
+    util::Rng rng(config.seed * 65537 + me);
+
+    // Static partition of primary rays into the per-thread job queues.
+    const std::uint64_t mine = rays / n + (me < rays % n ? 1 : 0);
+    for (std::uint64_t r = 0; r < mine; ++r) {
+      jobs[me]->enqueue(ctx, ray_work / 2 + rng.below(ray_work));
+    }
+
+    std::uint64_t dry = 0;
+    while (true) {
+      std::optional<std::uint64_t> job = jobs[me]->dequeue(ctx);
+      for (std::uint32_t k = 1; k < n && !job; ++k) {
+        job = jobs[(me + k) % n]->dequeue(ctx);
+      }
+      if (!job) {
+        if (++dry > 2) break;
+        ctx.compute(ray_work / 2);
+        continue;
+      }
+      dry = 0;
+
+      // Trace the ray: alternate compute with small allocator calls
+      // (BVH node / intersection record allocations under `mem`).
+      const std::uint64_t chunk = *job / (allocs + 1);
+      for (std::uint64_t a = 0; a < allocs; ++a) {
+        ctx.compute(chunk);
+        exec::ScopedLock guard(ctx, mem);
+        ctx.compute(mem_cs);
+      }
+      ctx.compute(*job - chunk * allocs);
+    }
+  });
+
+  WorkloadResult result;
+  result.completion_time = backend->completion_time();
+  result.trace = backend->take_trace();
+  return result;
+}
+
+}  // namespace cla::workloads

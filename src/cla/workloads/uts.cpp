@@ -1,0 +1,114 @@
+// Unbalanced Tree Search analog (paper Fig. 8, UTS -T8 -c 2 ST3).
+//
+// Each thread owns a work stack guarded by stackLock[i]; nodes are
+// expanded with a seeded geometric fan-out, and one designated subtree
+// (rooted under the thread with index `hot_thread`, default 5) is made
+// much deeper than the rest — the "unbalanced" part. Idle threads steal
+// from the other stacks.
+//
+// The published finding this reproduces: stackLock[5] shows essentially
+// no lock contention (Wait Time ~ 0) yet sits on the critical path —
+// the hot thread's own uncontended push/pop traffic is critical because
+// that thread IS the critical path. Idleness-based metrics miss it.
+//
+// Params:
+//   roots        initial nodes per thread             (default 12)
+//   node_work    work units per node expansion        (default 120)
+//   stack_cs     units under a stack lock             (default 5)
+//   fanout_prob  chance an expanded node yields children (default 0.45)
+//   hot_thread   index of the heavy subtree's owner   (default 5)
+//   hot_chain    length of the heavy serial chain     (default 900)
+#include "cla/workloads/workload.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "cla/queue/queues.hpp"
+#include "cla/util/rng.hpp"
+
+namespace cla::workloads {
+
+namespace {
+
+struct UtsNode {
+  std::uint32_t depth = 0;
+  bool hot = false;  ///< belongs to the heavy subtree
+};
+
+}  // namespace
+
+WorkloadResult run_uts(const WorkloadConfig& config) {
+  const auto roots = static_cast<std::uint64_t>(config.param("roots", 12.0) *
+                                                config.scale);
+  const auto node_work =
+      static_cast<std::uint64_t>(config.param("node_work", 120.0));
+  const auto stack_cs = static_cast<std::uint64_t>(config.param("stack_cs", 5.0));
+  const double fanout_prob = config.param("fanout_prob", 0.45);
+  const auto hot_chain =
+      static_cast<std::uint32_t>(config.param("hot_chain", 900.0) * config.scale);
+  const std::uint32_t n = config.threads;
+  const std::uint32_t hot_thread =
+      std::min<std::uint32_t>(static_cast<std::uint32_t>(config.param("hot_thread", 5.0)),
+                              n - 1);
+  const std::uint32_t max_depth = 40;
+
+  auto backend = make_workload_backend(config);
+
+  // Per-thread LIFO stacks; UTS's stacks are protected by one lock each.
+  std::vector<std::unique_ptr<queue::CoarseQueue<UtsNode>>> stacks;
+  std::vector<exec::MutexHandle> dummy;  // names come from CoarseQueue
+  stacks.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    stacks.push_back(std::make_unique<queue::CoarseQueue<UtsNode>>(
+        *backend, "stackLock[" + std::to_string(i) + "]", stack_cs));
+  }
+
+  backend->run(n, [&](exec::Ctx& ctx) {
+    const std::uint32_t me = ctx.worker_index();
+    util::Rng rng(config.seed * 7919 + me);
+
+    // Seed own roots; the hot thread's first root starts the heavy chain.
+    for (std::uint64_t r = 0; r < roots; ++r) {
+      stacks[me]->enqueue(ctx, UtsNode{0, me == hot_thread && r == 0});
+    }
+
+    std::uint64_t dry = 0;
+    while (true) {
+      std::optional<UtsNode> node = stacks[me]->dequeue(ctx);
+      if (!node) {
+        // Steal scan (round-robin from the right neighbour).
+        for (std::uint32_t k = 1; k < n && !node; ++k) {
+          node = stacks[(me + k) % n]->dequeue(ctx);
+        }
+      }
+      if (!node) {
+        if (++dry > 2) break;
+        ctx.compute(node_work / 2);
+        continue;
+      }
+      dry = 0;
+
+      ctx.compute(node_work);  // hash-based node expansion in real UTS
+
+      if (node->hot) {
+        // The unbalanced part: one deep, essentially serial chain rooted
+        // at the hot thread. Its owner's stackLock[hot] stays uncontended
+        // but on the critical path for the whole chain.
+        if (node->depth < hot_chain) {
+          stacks[hot_thread]->enqueue(ctx, UtsNode{node->depth + 1, true});
+        }
+      } else if (node->depth < max_depth && rng.uniform() < fanout_prob) {
+        // Subcritical geometric fan-out elsewhere: two children.
+        stacks[me]->enqueue(ctx, UtsNode{node->depth + 1, false});
+        stacks[me]->enqueue(ctx, UtsNode{node->depth + 1, false});
+      }
+    }
+  });
+
+  WorkloadResult result;
+  result.completion_time = backend->completion_time();
+  result.trace = backend->take_trace();
+  return result;
+}
+
+}  // namespace cla::workloads

@@ -1,0 +1,61 @@
+// Volrend analog (paper Fig. 8, "head" input).
+//
+// Volume rendering over image tiles: a global tile queue guarded by
+// Global->QLock hands out work; rendering a tile is moderately sized, so
+// QLock sees moderate contention that grows with the thread count, and a
+// small `Global->CountLock` tracks completed tiles.
+//
+// Params:
+//   tiles      image tiles               (default 900)
+//   tile_work  units per tile            (default 400)
+//   qlock_cs   units under QLock         (default 12)
+//   count_cs   units under CountLock     (default 3)
+#include "cla/workloads/workload.hpp"
+
+#include "cla/util/rng.hpp"
+
+namespace cla::workloads {
+
+WorkloadResult run_volrend(const WorkloadConfig& config) {
+  const auto tiles =
+      static_cast<std::uint64_t>(config.param("tiles", 900.0) * config.scale);
+  const auto tile_work = static_cast<std::uint64_t>(config.param("tile_work", 400.0));
+  const auto qlock_cs = static_cast<std::uint64_t>(config.param("qlock_cs", 12.0));
+  const auto count_cs = static_cast<std::uint64_t>(config.param("count_cs", 3.0));
+  const std::uint32_t n = config.threads;
+
+  auto backend = make_workload_backend(config);
+  const exec::MutexHandle qlock = backend->create_mutex("Global->QLock");
+  const exec::MutexHandle count_lock = backend->create_mutex("Global->CountLock");
+
+  std::uint64_t next_tile = 0;
+  std::uint64_t done = 0;
+
+  backend->run(n, [&](exec::Ctx& ctx) {
+    util::Rng rng(config.seed * 104729 + ctx.worker_index());
+    while (true) {
+      std::uint64_t tile;
+      {
+        exec::ScopedLock guard(ctx, qlock);
+        ctx.compute(qlock_cs);
+        tile = next_tile < tiles ? next_tile++ : tiles;
+      }
+      if (tile >= tiles) break;
+      // Ray casting through the tile; cost varies with opacity.
+      ctx.compute(tile_work / 2 + rng.below(tile_work));
+      {
+        exec::ScopedLock guard(ctx, count_lock);
+        ctx.compute(count_cs);
+        ++done;
+      }
+    }
+  });
+
+  (void)done;
+  WorkloadResult result;
+  result.completion_time = backend->completion_time();
+  result.trace = backend->take_trace();
+  return result;
+}
+
+}  // namespace cla::workloads

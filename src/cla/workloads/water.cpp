@@ -1,0 +1,94 @@
+// Water-nsquared analog (paper Fig. 8, "512 molec").
+//
+// Structure that matters: barrier-separated force/update phases over a
+// fixed molecule set, with a small `gl->IndexLock` taken when claiming the
+// next block of molecule pairs and per-molecule accumulation locks
+// (`MolLock[i]`) taken briefly when writing back forces. Critical
+// sections are tiny relative to the O(n^2) force computation, so locks
+// barely matter — barriers dominate — but IndexLock still appears on the
+// critical path with a small share.
+//
+// Params:
+//   molecules   molecule count            (default 512 as in Table 1)
+//   steps       timesteps                 (default 3)
+//   pair_work   units per pair interaction chunk (default 8)
+//   index_cs    units under IndexLock     (default 3)
+//   mol_cs      units under a MolLock     (default 3)
+//   mol_locks   number of molecule locks  (default 32)
+#include "cla/workloads/workload.hpp"
+
+#include <vector>
+
+#include "cla/util/rng.hpp"
+
+namespace cla::workloads {
+
+WorkloadResult run_water(const WorkloadConfig& config) {
+  const auto molecules = static_cast<std::uint64_t>(
+      config.param("molecules", 512.0) * config.scale);
+  const auto steps = static_cast<std::uint64_t>(config.param("steps", 3.0));
+  const auto pair_work = static_cast<std::uint64_t>(config.param("pair_work", 8.0));
+  const auto index_cs = static_cast<std::uint64_t>(config.param("index_cs", 3.0));
+  const auto mol_cs = static_cast<std::uint64_t>(config.param("mol_cs", 3.0));
+  const auto mol_lock_count =
+      static_cast<std::uint32_t>(config.param("mol_locks", 32.0));
+  const std::uint32_t n = config.threads;
+
+  auto backend = make_workload_backend(config);
+  const exec::MutexHandle index_lock = backend->create_mutex("gl->IndexLock");
+  std::vector<exec::MutexHandle> mol_locks;
+  mol_locks.reserve(mol_lock_count);
+  for (std::uint32_t i = 0; i < mol_lock_count; ++i) {
+    mol_locks.push_back(
+        backend->create_mutex("MolLock[" + std::to_string(i) + "]"));
+  }
+  const exec::BarrierHandle phase_barrier = backend->create_barrier("gl->bar", n);
+
+  // Block claim cursor, protected by IndexLock.
+  std::uint64_t next_block = 0;
+  const std::uint64_t block_size = 8;
+  const std::uint64_t blocks = (molecules + block_size - 1) / block_size;
+
+  backend->run(n, [&](exec::Ctx& ctx) {
+    util::Rng rng(config.seed * 31337 + ctx.worker_index());
+    for (std::uint64_t step = 0; step < steps; ++step) {
+      // Phase 1: force computation over dynamically claimed blocks.
+      while (true) {
+        std::uint64_t block;
+        {
+          exec::ScopedLock guard(ctx, index_lock);
+          ctx.compute(index_cs);
+          block = next_block < blocks ? next_block++ : blocks;
+        }
+        if (block >= blocks) break;
+        // O(molecules) pair interactions for this block (n-squared).
+        ctx.compute(pair_work * molecules / 8 + rng.below(pair_work * 8));
+        // Write back into a few molecules' accumulators.
+        for (int k = 0; k < 3; ++k) {
+          const auto lock_idx =
+              static_cast<std::uint32_t>(rng.below(mol_lock_count));
+          exec::ScopedLock guard(ctx, mol_locks[lock_idx]);
+          ctx.compute(mol_cs);
+        }
+      }
+      ctx.barrier_wait(phase_barrier);
+      // Thread 0 resets the cursor between phases (uncontended: everyone
+      // else is past the barrier and waits at the next one).
+      if (ctx.worker_index() == 0) {
+        exec::ScopedLock guard(ctx, index_lock);
+        ctx.compute(index_cs);
+        next_block = 0;
+      }
+      // Phase 2: position update, evenly partitioned, then sync.
+      ctx.compute(pair_work * molecules / std::max(1u, n));
+      ctx.barrier_wait(phase_barrier);
+    }
+  });
+
+  WorkloadResult result;
+  result.completion_time = backend->completion_time();
+  result.trace = backend->take_trace();
+  return result;
+}
+
+}  // namespace cla::workloads

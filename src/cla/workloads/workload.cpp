@@ -1,0 +1,101 @@
+#include "cla/workloads/workload.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "cla/util/error.hpp"
+
+namespace cla::workloads {
+
+namespace {
+
+struct Registry {
+  std::map<std::string, std::pair<std::string, WorkloadFn>> entries;
+  std::mutex mutex;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace
+
+void register_workload(std::string name, std::string description, WorkloadFn fn) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.entries[std::move(name)] = {std::move(description), std::move(fn)};
+}
+
+void register_all_workloads() {
+  static const bool once = [] {
+    register_workload("micro",
+                      "two-lock micro-benchmark (paper Fig. 5/6/7)", run_micro);
+    register_workload(
+        "radiosity",
+        "SPLASH-2 Radiosity analog: per-thread task queues, tq[0] shared "
+        "(paper Figs. 9-14)",
+        run_radiosity);
+    register_workload("tsp",
+                      "branch-and-bound TSP over a global Qlock queue "
+                      "(paper SV.E)",
+                      run_tsp);
+    register_workload("uts",
+                      "unbalanced tree search with per-thread stackLock[i] "
+                      "(paper Fig. 8)",
+                      run_uts);
+    register_workload("water",
+                      "Water-nsquared analog: barrier phases + IndexLock "
+                      "(paper Fig. 8)",
+                      run_water);
+    register_workload("volrend",
+                      "Volrend analog: global image-tile QLock "
+                      "(paper Fig. 8)",
+                      run_volrend);
+    register_workload("raytrace",
+                      "Raytrace analog: mem allocator lock + job queues "
+                      "(paper Fig. 8)",
+                      run_raytrace);
+    register_workload("ldap",
+                      "OpenLDAP-like server: fine-grained entry locks, "
+                      "negligible CS bottleneck (paper Fig. 8)",
+                      run_ldap);
+    return true;
+  }();
+  (void)once;
+}
+
+WorkloadResult run_workload(const std::string& name, const WorkloadConfig& config) {
+  register_all_workloads();
+  Registry& reg = registry();
+  WorkloadFn fn;
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto it = reg.entries.find(name);
+    CLA_CHECK(it != reg.entries.end(), "unknown workload '" + name + "'");
+    fn = it->second.second;
+  }
+  return fn(config);
+}
+
+std::unique_ptr<exec::Backend> make_workload_backend(const WorkloadConfig& config) {
+  auto backend = exec::make_backend(config.backend);
+  for (const auto& [lock_name, factor] : config.accelerate) {
+    backend->request_acceleration(lock_name, factor);
+  }
+  return backend;
+}
+
+std::vector<WorkloadInfo> list_workloads() {
+  register_all_workloads();
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<WorkloadInfo> out;
+  out.reserve(reg.entries.size());
+  for (const auto& [name, entry] : reg.entries) {
+    out.push_back(WorkloadInfo{name, entry.first});
+  }
+  return out;
+}
+
+}  // namespace cla::workloads

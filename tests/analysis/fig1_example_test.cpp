@@ -1,0 +1,212 @@
+// The paper's Fig. 1 / §II worked example, reconstructed so that every
+// number the text quotes is reproduced exactly:
+//   - critical path length 33 time units;
+//   - L2's hot critical sections: 4 invocations on the path, 3 units
+//     each => 12/33 = 36.36% CP time, 3 of 4 contended => 75%;
+//   - L1: one 1-unit invocation on the path => 1/33 = 3.03%, 0% contention;
+//   - L3: uncontended but on the path (T4's CS3) — still contributes;
+//   - L4: introduces the longest single wait (6 units for T4) yet lies
+//     entirely OFF the critical path => CP time 0. Previous idleness-based
+//     methods would rank it first; critical lock analysis ranks it last.
+//
+// The schedule (times in ns):
+//   main: creates T1..T4 at 0, joins them, exits at 33.
+//   T1: CS1 = L1[1,2), CS2 = L2[2,5) uncontended, exit 6.
+//   T2: waits for L2 from 3, holds [5,8), exit 9.
+//   T3: holds L4[0,6) uncontended, waits L2 from 6, holds [8,11), exit 12.
+//   T4: waits L4 from 0 (6 units idle!), holds [6,7); waits L2 from 7,
+//       holds [11,14); CS3 = L3[14,16); computes until exit 32.
+#include <gtest/gtest.h>
+
+#include "cla/analysis/analyzer.hpp"
+#include "cla/sim/engine.hpp"
+#include "cla/trace/builder.hpp"
+
+namespace cla::analysis {
+namespace {
+
+trace::Trace fig1_trace() {
+  trace::TraceBuilder b;
+  b.name_object(1, "L1");
+  b.name_object(2, "L2");
+  b.name_object(3, "L3");
+  b.name_object(4, "L4");
+  b.thread(0)
+      .start(0)
+      .create(0, 1)
+      .create(0, 2)
+      .create(0, 3)
+      .create(0, 4)
+      .join(1, 0, 6)
+      .join(2, 6, 9)
+      .join(3, 9, 12)
+      .join(4, 12, 32)
+      .exit(33);
+  b.thread(1).start(0, 0).lock(1, 1, 1, 2).lock(2, 2, 2, 5).exit(6);
+  b.thread(2).start(0, 0).lock(2, 3, 5, 8).exit(9);
+  b.thread(3).start(0, 0).lock(4, 0, 0, 6).lock(2, 6, 8, 11).exit(12);
+  b.thread(4)
+      .start(0, 0)
+      .lock(4, 0, 6, 7)
+      .lock(2, 7, 11, 14)
+      .lock(3, 14, 14, 16)
+      .exit(32);
+  return b.finish();
+}
+
+class Fig1Test : public ::testing::Test {
+ protected:
+  Fig1Test() : result_(analyze(fig1_trace())) {}
+
+  const LockStats& lock(const std::string& name) const {
+    const LockStats* ls = result_.find_lock(name);
+    EXPECT_NE(ls, nullptr) << name;
+    return *ls;
+  }
+
+  AnalysisResult result_;
+};
+
+TEST_F(Fig1Test, CriticalPathLengthIs33) {
+  EXPECT_EQ(result_.completion_time, 33u);
+  EXPECT_EQ(result_.path.start_ts, 0u);
+  EXPECT_EQ(result_.path.end_ts, 33u);
+}
+
+TEST_F(Fig1Test, L2DominatesWith4InvocationsAnd75PercentContention) {
+  const LockStats& l2 = lock("L2");
+  EXPECT_EQ(l2.cp_invocations, 4u);
+  EXPECT_EQ(l2.cp_hold_time, 12u);
+  EXPECT_NEAR(l2.cp_time_fraction, 12.0 / 33.0, 1e-9);  // 36.36%
+  EXPECT_NEAR(l2.cp_contention_prob, 0.75, 1e-9);       // 3 of 4
+}
+
+TEST_F(Fig1Test, L1HasOneSmallInvocationOnPath) {
+  const LockStats& l1 = lock("L1");
+  EXPECT_EQ(l1.cp_invocations, 1u);
+  EXPECT_EQ(l1.cp_hold_time, 1u);
+  EXPECT_NEAR(l1.cp_time_fraction, 1.0 / 33.0, 1e-9);  // 3.03%
+  EXPECT_DOUBLE_EQ(l1.cp_contention_prob, 0.0);
+}
+
+TEST_F(Fig1Test, UncontendedL3StillContributesToPath) {
+  const LockStats& l3 = lock("L3");
+  EXPECT_EQ(l3.cp_invocations, 1u);
+  EXPECT_EQ(l3.cp_hold_time, 2u);
+  EXPECT_DOUBLE_EQ(l3.cp_contention_prob, 0.0);
+  EXPECT_TRUE(l3.is_critical());
+}
+
+TEST_F(Fig1Test, LongestIdleLockL4IsOffTheCriticalPath) {
+  const LockStats& l4 = lock("L4");
+  // L4 caused the longest single wait in the whole execution...
+  EXPECT_EQ(l4.total_wait, 6u);
+  // ...yet none of its critical sections is on the critical path.
+  EXPECT_EQ(l4.cp_invocations, 0u);
+  EXPECT_EQ(l4.cp_hold_time, 0u);
+  EXPECT_FALSE(l4.is_critical());
+}
+
+TEST_F(Fig1Test, RankingByCpTimePutsL2FirstAndL4Last) {
+  ASSERT_EQ(result_.locks.size(), 4u);
+  EXPECT_EQ(result_.locks.front().name, "L2");
+  EXPECT_EQ(result_.locks.back().name, "L4");
+}
+
+TEST_F(Fig1Test, IdlenessRankingWouldMisleadinglyFavorL4) {
+  // The exact misleading conclusion §II warns about: by per-invocation
+  // idle time L4 looks most important; by critical-path impact it is
+  // irrelevant.
+  const LockStats& l4 = lock("L4");
+  const LockStats& l2 = lock("L2");
+  const double l4_max_wait = static_cast<double>(l4.total_wait);  // one wait
+  EXPECT_GT(l4_max_wait, 4.0);  // longer than any single L2 wait (max 4)
+  EXPECT_LT(l4.cp_time_fraction, l2.cp_time_fraction);
+}
+
+TEST_F(Fig1Test, PathJumpsFollowTheReleaseChain) {
+  // main <- join T4 <- L2 (T3) <- L2 (T2) <- L2 (T1) <- create (main)
+  ASSERT_GE(result_.path.jumps.size(), 5u);
+  const auto& jumps = result_.path.jumps;
+  // Chronological order: first jump is the earliest (thread start of T1).
+  EXPECT_EQ(jumps.front().kind, trace::EventType::ThreadStart);
+  EXPECT_EQ(jumps.back().kind, trace::EventType::JoinEnd);
+  std::size_t mutex_jumps = 0;
+  for (const auto& jump : jumps) {
+    if (jump.kind == trace::EventType::MutexAcquired) {
+      ++mutex_jumps;
+      EXPECT_EQ(jump.object, 2u);  // every lock hop crosses L2
+    }
+  }
+  EXPECT_EQ(mutex_jumps, 3u);
+}
+
+// The identical schedule executed through the virtual-time engine must
+// produce the same analysis — engine and hand-built trace agree.
+TEST(Fig1Sim, EngineReproducesTheExampleNumbers) {
+  sim::Engine engine;
+  const auto l1 = engine.create_mutex("L1");
+  const auto l2 = engine.create_mutex("L2");
+  const auto l3 = engine.create_mutex("L3");
+  const auto l4 = engine.create_mutex("L4");
+
+  engine.run([&](sim::TaskCtx& main) {
+    std::vector<sim::TaskId> workers;
+    workers.push_back(main.spawn([&](sim::TaskCtx& t1) {
+      t1.compute(1);
+      t1.lock(l1);
+      t1.compute(1);
+      t1.unlock(l1);
+      t1.lock(l2);
+      t1.compute(3);
+      t1.unlock(l2);
+      t1.compute(1);  // exit at 6
+    }));
+    workers.push_back(main.spawn([&](sim::TaskCtx& t2) {
+      t2.compute(3);
+      t2.lock(l2);  // blocked until T1 releases at 5
+      t2.compute(3);
+      t2.unlock(l2);
+      t2.compute(1);  // exit at 9
+    }));
+    workers.push_back(main.spawn([&](sim::TaskCtx& t3) {
+      t3.lock(l4);
+      t3.compute(6);
+      t3.unlock(l4);
+      t3.lock(l2);  // blocked until T2 releases at 8
+      t3.compute(3);
+      t3.unlock(l2);
+      t3.compute(1);  // exit at 12
+    }));
+    workers.push_back(main.spawn([&](sim::TaskCtx& t4) {
+      t4.lock(l4);  // blocked until T3 releases at 6
+      t4.compute(1);
+      t4.unlock(l4);
+      t4.lock(l2);  // blocked until T3 releases at 11
+      t4.compute(3);
+      t4.unlock(l2);
+      t4.lock(l3);
+      t4.compute(2);
+      t4.unlock(l3);
+      t4.compute(16);  // exit at 32
+    }));
+    for (const auto worker : workers) main.join(worker);
+    main.compute(1);  // exit at 33
+  });
+
+  EXPECT_EQ(engine.completion_time(), 33u);
+  const AnalysisResult result = analyze(engine.take_trace());
+  EXPECT_EQ(result.completion_time, 33u);
+  const LockStats* l2s = result.find_lock("L2");
+  ASSERT_NE(l2s, nullptr);
+  EXPECT_EQ(l2s->cp_invocations, 4u);
+  EXPECT_NEAR(l2s->cp_time_fraction, 12.0 / 33.0, 1e-9);
+  EXPECT_NEAR(l2s->cp_contention_prob, 0.75, 1e-9);
+  const LockStats* l4s = result.find_lock("L4");
+  ASSERT_NE(l4s, nullptr);
+  EXPECT_EQ(l4s->cp_invocations, 0u);
+  EXPECT_EQ(l4s->total_wait, 6u);
+}
+
+}  // namespace
+}  // namespace cla::analysis

@@ -1,0 +1,130 @@
+#include "cla/analysis/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cla/analysis/analyzer.hpp"
+#include "cla/core/cla.hpp"
+#include "cla/trace/builder.hpp"
+#include "cla/util/error.hpp"
+
+namespace cla::analysis {
+namespace {
+
+SpeedupModel simple_model(double cs_fraction, double sequential = 0.0) {
+  SpeedupModel model;
+  model.sequential_fraction = sequential;
+  model.locks.push_back(LockTerm{"L", cs_fraction, -1.0});
+  return model;
+}
+
+TEST(Model, OneThreadIsAlwaysSpeedupOne) {
+  for (double cs : {0.0, 0.1, 0.5}) {
+    EXPECT_NEAR(simple_model(cs).predict_speedup(1), 1.0, 1e-12) << cs;
+  }
+}
+
+TEST(Model, NoCriticalSectionsRecoversAmdahl) {
+  SpeedupModel model;
+  model.sequential_fraction = 0.25;
+  // Amdahl: 1 / (0.25 + 0.75/4) = 1/0.4375
+  EXPECT_NEAR(model.predict_speedup(4), 1.0 / 0.4375, 1e-12);
+}
+
+TEST(Model, FullyParallelScalesLinearly) {
+  SpeedupModel model;
+  EXPECT_NEAR(model.predict_speedup(8), 8.0, 1e-12);
+}
+
+TEST(Model, SaturatedCriticalSectionBoundsSpeedup) {
+  // With cs = 0.2 and full contention, T(n) -> 0.8/n + 0.2, so the
+  // asymptotic speedup is 5 (the paper's "fundamentally limited").
+  SpeedupModel model = simple_model(0.2);
+  model.locks[0].contention_prob = 1.0;
+  EXPECT_LT(model.predict_speedup(1024), 5.0 + 1e-9);
+  EXPECT_GT(model.predict_speedup(1024), 4.5);
+}
+
+TEST(Model, ContentionEstimateGrowsWithThreads) {
+  const SpeedupModel model = simple_model(0.1);
+  const double p2 = model.contention_at(model.locks[0], 2);
+  const double p8 = model.contention_at(model.locks[0], 8);
+  const double p64 = model.contention_at(model.locks[0], 64);
+  EXPECT_LT(p2, p8);
+  EXPECT_LT(p8, p64);
+  EXPECT_LE(p64, 1.0);
+  EXPECT_DOUBLE_EQ(model.contention_at(model.locks[0], 1), 0.0);
+}
+
+TEST(Model, MeasuredContentionOverridesEstimate) {
+  SpeedupModel model = simple_model(0.1);
+  model.locks[0].contention_prob = 0.42;
+  EXPECT_DOUBLE_EQ(model.contention_at(model.locks[0], 99), 0.42);
+}
+
+TEST(Model, MoreContentionMeansLessSpeedup) {
+  SpeedupModel low = simple_model(0.2);
+  low.locks[0].contention_prob = 0.1;
+  SpeedupModel high = simple_model(0.2);
+  high.locks[0].contention_prob = 0.9;
+  EXPECT_GT(low.predict_speedup(16), high.predict_speedup(16));
+}
+
+TEST(Model, FitFromSingleThreadProfile) {
+  trace::TraceBuilder b;
+  b.name_object(1, "big");
+  b.name_object(2, "small");
+  b.thread(0).start(0).lock(1, 0, 0, 30).lock(2, 40, 40, 50).exit(100);
+  const AnalysisResult profile = analyze(b.finish());
+  const SpeedupModel model = fit_model(profile);
+  ASSERT_EQ(model.locks.size(), 2u);
+  EXPECT_EQ(model.locks[0].name, "big");
+  EXPECT_NEAR(model.locks[0].cs_fraction, 0.3, 1e-12);
+  EXPECT_NEAR(model.locks[1].cs_fraction, 0.1, 1e-12);
+}
+
+TEST(Model, FitRejectsBadSequentialFraction) {
+  trace::TraceBuilder b;
+  b.thread(0).start(0).lock(1, 0, 0, 3).exit(10);
+  const AnalysisResult profile = analyze(b.finish());
+  EXPECT_THROW(fit_model(profile, -0.1), util::Error);
+  EXPECT_THROW(fit_model(profile, 1.0), util::Error);
+}
+
+TEST(Model, CalibrateTakesMeasuredContention) {
+  trace::TraceBuilder b;
+  b.name_object(1, "L");
+  b.thread(0).start(0).lock(1, 0, 0, 30).exit(100);
+  const AnalysisResult t1 = analyze(b.finish());
+  SpeedupModel model = fit_model(t1);
+
+  trace::TraceBuilder b2;
+  b2.name_object(1, "L");
+  b2.thread(0).start(0).lock(1, 0, 0, 30).exit(100);
+  b2.thread(1).start(0, trace::kNoThread).lock(1, 5, 30, 60).exit(100);
+  const AnalysisResult t2 = analyze(b2.finish_unchecked());
+  calibrate_contention(model, t2);
+  EXPECT_DOUBLE_EQ(model.locks[0].contention_prob, 0.5);  // 1 of 2 contended
+}
+
+TEST(Model, PredictionTracksSimulatedMicroBenchmark) {
+  // The Fig. 5 micro-benchmark is two fully-contended critical sections
+  // back to back; the model with measured contention must predict its
+  // poor scaling direction (speedup well below linear).
+  workloads::WorkloadConfig config;
+  config.threads = 1;
+  const auto t1 = cla::run_and_analyze("micro", config);
+  SpeedupModel model = fit_model(t1.analysis);
+  config.threads = 4;
+  const auto t4 = cla::run_and_analyze("micro", config);
+  calibrate_contention(model, t4.analysis);
+
+  const double predicted = model.predict_speedup(4);
+  const double measured = static_cast<double>(t1.run.completion_time) /
+                          static_cast<double>(t4.run.completion_time);
+  EXPECT_LT(predicted, 2.5);  // far below linear
+  EXPECT_LT(measured, 2.5);
+  EXPECT_NEAR(predicted, measured, 1.0);  // same scaling regime
+}
+
+}  // namespace
+}  // namespace cla::analysis

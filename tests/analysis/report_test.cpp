@@ -1,0 +1,107 @@
+#include "cla/analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cla/analysis/analyzer.hpp"
+#include "cla/trace/builder.hpp"
+
+namespace cla::analysis {
+namespace {
+
+trace::Trace sample_trace() {
+  trace::TraceBuilder b;
+  b.name_object(1, "L1");
+  b.name_object(2, "L2");
+  b.name_object(7, "bar");
+  b.thread(0).start(0).lock(1, 0, 0, 6).barrier(7, 6, 9, 0).exit(10);
+  b.thread(1)
+      .start(0, trace::kNoThread)
+      .lock(1, 1, 6, 8)
+      .lock(2, 8, 8, 9)
+      .barrier(7, 9, 9, 0)
+      .exit(20);
+  return b.finish_unchecked();
+}
+
+class ReportTest : public ::testing::Test {
+ protected:
+  ReportTest() : result_(analyze(sample_trace())) {}
+  AnalysisResult result_;
+};
+
+TEST_F(ReportTest, Type1TableMatchesPaperColumns) {
+  const util::Table table = type1_table(result_);
+  EXPECT_EQ(table.columns(), 4u);
+  EXPECT_EQ(table.rows(), result_.locks.size());
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("CP Time %"), std::string::npos);
+  EXPECT_NE(text.find("Invo. # on CP"), std::string::npos);
+  EXPECT_NE(text.find("Cont. Prob. on CP %"), std::string::npos);
+}
+
+TEST_F(ReportTest, Type2TableMatchesPaperColumns) {
+  const util::Table table = type2_table(result_);
+  EXPECT_EQ(table.columns(), 5u);
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("Wait Time %"), std::string::npos);
+  EXPECT_NE(text.find("Avg. Invo. #"), std::string::npos);
+  EXPECT_NE(text.find("Avg. Cont. Prob %"), std::string::npos);
+  EXPECT_NE(text.find("Avg. Hold Time %"), std::string::npos);
+}
+
+TEST_F(ReportTest, TopLocksLimitsRows) {
+  ReportOptions options;
+  options.top_locks = 1;
+  EXPECT_EQ(type1_table(result_, options).rows(), 1u);
+  EXPECT_EQ(comparison_table(result_, options).rows(), 1u);
+}
+
+TEST_F(ReportTest, ContentionTableHasIncreaseColumn) {
+  const util::Table table = contention_table(result_);
+  EXPECT_EQ(table.columns(), 6u);
+  EXPECT_NE(table.to_text().find("Incr. Times of Invo. #"), std::string::npos);
+}
+
+TEST_F(ReportTest, SizeTableHasIncreaseColumn) {
+  const util::Table table = size_table(result_);
+  EXPECT_EQ(table.columns(), 4u);
+  EXPECT_NE(table.to_text().find("Incr. Times of Critical Section Size"),
+            std::string::npos);
+}
+
+TEST_F(ReportTest, FullReportMentionsEverySection) {
+  const std::string report = render_report(result_);
+  EXPECT_NE(report.find("Critical Lock Analysis"), std::string::npos);
+  EXPECT_NE(report.find("TYPE 1"), std::string::npos);
+  EXPECT_NE(report.find("TYPE 2"), std::string::npos);
+  EXPECT_NE(report.find("barriers"), std::string::npos);
+  EXPECT_NE(report.find("threads"), std::string::npos);
+  EXPECT_NE(report.find("L1"), std::string::npos);
+  EXPECT_NE(report.find("L2"), std::string::npos);
+}
+
+TEST_F(ReportTest, JsonContainsLockRecords) {
+  const std::string json = render_json(result_);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"locks\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"L1\""), std::string::npos);
+  EXPECT_NE(json.find("\"cp_time_fraction\""), std::string::npos);
+  EXPECT_NE(json.find("\"barriers\""), std::string::npos);
+  // Balanced braces (crude structural sanity).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(ReportTest, JsonEscapesSpecialNames) {
+  trace::TraceBuilder b;
+  b.name_object(1, "lock\"with\\quote");
+  b.thread(0).start(0).lock(1, 0, 0, 5).exit(10);
+  const AnalysisResult result = analyze(b.finish());
+  const std::string json = render_json(result);
+  EXPECT_NE(json.find("lock\\\"with\\\\quote"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cla::analysis

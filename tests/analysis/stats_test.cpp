@@ -1,0 +1,168 @@
+#include "cla/analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cla/analysis/analyzer.hpp"
+#include "cla/trace/builder.hpp"
+
+namespace cla::analysis {
+namespace {
+
+using trace::TraceBuilder;
+
+// Two threads, one lock, clean handoff.
+trace::Trace handoff_trace() {
+  TraceBuilder b;
+  b.name_object(9, "Q");
+  b.thread(0).start(0).lock(9, 0, 0, 6).exit(10);
+  b.thread(1).start(0, trace::kNoThread).lock(9, 1, 6, 9).exit(20);
+  return b.finish_unchecked();
+}
+
+TEST(Stats, Type2TotalsAndAverages) {
+  const AnalysisResult result = analyze(handoff_trace());
+  const LockStats* q = result.find_lock("Q");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->invocations, 2u);
+  EXPECT_EQ(q->contended, 1u);
+  EXPECT_EQ(q->total_wait, 5u);   // T1 waited 1..6
+  EXPECT_EQ(q->total_hold, 9u);   // 6 + 3
+  EXPECT_DOUBLE_EQ(q->avg_contention_prob, 0.5);
+  EXPECT_DOUBLE_EQ(q->avg_invocations, 1.0);
+  // Wait fraction: T0 0/10, T1 5/20 -> mean 0.125.
+  EXPECT_NEAR(q->avg_wait_fraction, 0.125, 1e-12);
+  // Hold fraction: T0 6/10, T1 3/20 -> mean 0.375.
+  EXPECT_NEAR(q->avg_hold_fraction, 0.375, 1e-12);
+}
+
+TEST(Stats, Type1OnPathMetrics) {
+  const AnalysisResult result = analyze(handoff_trace());
+  const LockStats* q = result.find_lock("Q");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->cp_invocations, 2u);
+  EXPECT_EQ(q->cp_hold_time, 9u);
+  EXPECT_NEAR(q->cp_time_fraction, 9.0 / 20.0, 1e-12);
+  EXPECT_DOUBLE_EQ(q->cp_contention_prob, 0.5);
+  EXPECT_NEAR(q->invocation_increase, 2.0, 1e-12);  // 2 on CP / 1 avg
+  EXPECT_NEAR(q->hold_increase, (9.0 / 20.0) / 0.375, 1e-12);
+}
+
+TEST(Stats, PartialOverlapCountsOnlyOnPathTime) {
+  // T1 holds lock L across a blocking wait on M: only the on-path part of
+  // the L hold is charged to the critical path.
+  TraceBuilder b;
+  b.name_object(1, "L");
+  b.name_object(2, "M");
+  auto t0 = b.thread(0).start(0);
+  auto t1 = b.thread(1).start(0, trace::kNoThread);
+  t0.lock(2, 0, 0, 8);  // T0 holds M until 8
+  t0.exit(9);
+  t1.acquire(1, 0).acquired(1, 0, false);  // T1 takes L at 0
+  t1.lock(2, 1, 8, 12);                    // blocks on M from 1 to 8
+  t1.released(1, 14);                      // releases L at 14
+  t1.exit(20);
+  const AnalysisResult result = analyze(b.finish_unchecked());
+  const LockStats* l = result.find_lock("L");
+  ASSERT_NE(l, nullptr);
+  // L is held [0,14) but the backward walk leaves T1 at its blocked
+  // acquisition of M (wake at 8) and rides T0 before that, so only the
+  // [8,14) part of the hold is on the path: 6 of the 14 held units.
+  EXPECT_EQ(l->cp_invocations, 1u);
+  EXPECT_EQ(l->cp_hold_time, 6u);
+}
+
+TEST(Stats, WorkerThreadsOnlyExcludesCoordinators) {
+  TraceBuilder b;
+  b.name_object(9, "Q");
+  b.thread(0).start(0).create(0, 1).create(0, 2).join(1, 0, 18).join(2, 18, 19).exit(20);
+  b.thread(1).start(0, 0).lock(9, 1, 1, 9).exit(18);
+  b.thread(2).start(0, 0).lock(9, 2, 9, 15).exit(19);
+  const trace::Trace t = b.finish();
+
+  AnalyzeOptions workers_only;
+  workers_only.stats.worker_threads_only = true;
+  const AnalysisResult with_workers = analyze(t, workers_only);
+  EXPECT_EQ(with_workers.worker_threads, 2u);
+
+  AnalyzeOptions all_threads;
+  all_threads.stats.worker_threads_only = false;
+  const AnalysisResult with_all = analyze(t, all_threads);
+  EXPECT_EQ(with_all.worker_threads, 3u);
+
+  const LockStats* q_workers = with_workers.find_lock("Q");
+  const LockStats* q_all = with_all.find_lock("Q");
+  ASSERT_NE(q_workers, nullptr);
+  ASSERT_NE(q_all, nullptr);
+  EXPECT_DOUBLE_EQ(q_workers->avg_invocations, 1.0);
+  EXPECT_NEAR(q_all->avg_invocations, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, LocksSortedByCpHoldTime) {
+  TraceBuilder b;
+  b.name_object(1, "small");
+  b.name_object(2, "big");
+  b.thread(0).start(0).lock(1, 0, 0, 2).lock(2, 3, 3, 15).exit(20);
+  const AnalysisResult result = analyze(b.finish());
+  ASSERT_EQ(result.locks.size(), 2u);
+  EXPECT_EQ(result.locks[0].name, "big");
+  EXPECT_EQ(result.locks[1].name, "small");
+}
+
+TEST(Stats, BarrierStatsAggregate) {
+  // T0 blocks at the barrier and finishes last, so the walk crosses the
+  // barrier into the last arriver T1.
+  TraceBuilder b;
+  b.name_object(7, "pbar");
+  b.thread(0).start(0).barrier(7, 2, 8, 0).exit(12);
+  b.thread(1).start(0, trace::kNoThread).barrier(7, 8, 8, 0).exit(10);
+  const AnalysisResult result = analyze(b.finish_unchecked());
+  ASSERT_EQ(result.barriers.size(), 1u);
+  const BarrierStats& bs = result.barriers[0];
+  EXPECT_EQ(bs.name, "pbar");
+  EXPECT_EQ(bs.episodes, 1u);
+  EXPECT_EQ(bs.waits, 2u);
+  EXPECT_EQ(bs.total_wait_time, 6u);  // T0 waited 2..8
+  EXPECT_EQ(bs.cp_jumps, 1u);
+}
+
+TEST(Stats, CondStatsAggregate) {
+  TraceBuilder b;
+  b.name_object(8, "cv");
+  auto waiter = b.thread(0).start(0);
+  waiter.acquire(4, 1).acquired(4, 1, false);
+  waiter.cond_wait(8, 4, 2, 9);
+  waiter.released(4, 10).exit(15);
+  b.thread(1).start(0, trace::kNoThread).cond_signal(8, 9).exit(10);
+  const AnalysisResult result = analyze(b.finish_unchecked());
+  ASSERT_EQ(result.conds.size(), 1u);
+  EXPECT_EQ(result.conds[0].waits, 1u);
+  EXPECT_EQ(result.conds[0].signals, 1u);
+  EXPECT_EQ(result.conds[0].total_wait_time, 7u);
+  EXPECT_EQ(result.conds[0].cp_jumps, 1u);
+}
+
+TEST(Stats, ThreadStatsComputed) {
+  const AnalysisResult result = analyze(handoff_trace());
+  ASSERT_EQ(result.threads.size(), 2u);
+  EXPECT_EQ(result.threads[0].duration, 10u);
+  EXPECT_EQ(result.threads[1].duration, 20u);
+  EXPECT_EQ(result.threads[1].lock_wait_time, 5u);
+  EXPECT_EQ(result.threads[0].lock_hold_time, 6u);
+  EXPECT_GT(result.threads[1].cp_time, 0u);
+}
+
+TEST(Stats, FindLockReturnsNullForUnknown) {
+  const AnalysisResult result = analyze(handoff_trace());
+  EXPECT_EQ(result.find_lock("nonexistent"), nullptr);
+}
+
+TEST(Stats, UnnamedLockGetsDisplayName) {
+  TraceBuilder b;
+  b.thread(0).start(0).lock(1234, 1, 1, 4).exit(10);
+  const AnalysisResult result = analyze(b.finish());
+  ASSERT_EQ(result.locks.size(), 1u);
+  EXPECT_EQ(result.locks[0].name, "mutex@1234");
+}
+
+}  // namespace
+}  // namespace cla::analysis

@@ -1,0 +1,72 @@
+#include "cla/analysis/whatif.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cla/analysis/analyzer.hpp"
+#include "cla/trace/builder.hpp"
+#include "cla/util/error.hpp"
+
+namespace cla::analysis {
+namespace {
+
+trace::Trace sample_trace() {
+  trace::TraceBuilder b;
+  b.name_object(1, "L1");
+  b.name_object(2, "L2");
+  b.thread(0).start(0).lock(1, 0, 0, 10).lock(2, 10, 10, 40).exit(100);
+  return b.finish();
+}
+
+TEST(WhatIf, EstimatesSavingFromCpHoldTime) {
+  const AnalysisResult result = analyze(sample_trace());
+  const WhatIfEstimate est = estimate_shrink(result, "L2", 1.0);
+  EXPECT_EQ(est.saved_ns, 30u);
+  EXPECT_NEAR(est.predicted_speedup, 100.0 / 70.0, 1e-12);
+}
+
+TEST(WhatIf, PartialShrinkScalesLinearly) {
+  const AnalysisResult result = analyze(sample_trace());
+  const WhatIfEstimate est = estimate_shrink(result, "L2", 0.5);
+  EXPECT_EQ(est.saved_ns, 15u);
+  EXPECT_NEAR(est.predicted_speedup, 100.0 / 85.0, 1e-12);
+}
+
+TEST(WhatIf, UnknownLockGivesNeutralEstimate) {
+  const AnalysisResult result = analyze(sample_trace());
+  const WhatIfEstimate est = estimate_shrink(result, "nope", 1.0);
+  EXPECT_EQ(est.saved_ns, 0u);
+  EXPECT_DOUBLE_EQ(est.predicted_speedup, 1.0);
+}
+
+TEST(WhatIf, RejectsBadShrinkFactor) {
+  const AnalysisResult result = analyze(sample_trace());
+  EXPECT_THROW(estimate_shrink(result, "L1", -0.1), util::Error);
+  EXPECT_THROW(estimate_shrink(result, "L1", 1.5), util::Error);
+}
+
+TEST(WhatIf, RankingOrdersByBenefit) {
+  const AnalysisResult result = analyze(sample_trace());
+  const auto ranking = rank_optimization_targets(result);
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].lock, "L2");
+  EXPECT_EQ(ranking[1].lock, "L1");
+  EXPECT_GT(ranking[0].predicted_speedup, ranking[1].predicted_speedup);
+}
+
+TEST(WhatIf, OffPathLockPredictsNoBenefit) {
+  // An off-path contended lock (the paper's L4 case) must rank last with
+  // zero predicted saving.
+  trace::TraceBuilder b;
+  b.name_object(1, "crit");
+  b.name_object(4, "L4");
+  b.thread(0).start(0).lock(1, 0, 0, 30).exit(31);
+  b.thread(1).start(0, trace::kNoThread).lock(4, 0, 0, 10).exit(11);
+  b.thread(2).start(0, trace::kNoThread).lock(4, 1, 10, 12).exit(13);
+  const AnalysisResult result = analyze(b.finish_unchecked());
+  const WhatIfEstimate est = estimate_shrink(result, "L4", 1.0);
+  EXPECT_EQ(est.saved_ns, 0u);
+  EXPECT_DOUBLE_EQ(est.predicted_speedup, 1.0);
+}
+
+}  // namespace
+}  // namespace cla::analysis

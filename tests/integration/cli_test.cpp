@@ -1,0 +1,123 @@
+// CLI smoke tests: the cla-run / cla-analyze binaries drive the full
+// workflow from a user's shell.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace {
+
+std::string run_command(const std::string& command, int& exit_code) {
+  std::array<char, 4096> buffer{};
+  std::string output;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) {
+    exit_code = -1;
+    return output;
+  }
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  exit_code = pclose(pipe);
+  return output;
+}
+
+std::string tool(const char* name) {
+  // Tests run from the build tree; tools live in build/tools.
+  return (std::filesystem::path(CLA_TOOLS_DIR) / name).string();
+}
+
+TEST(Cli, RunListsWorkloads) {
+  int rc = 0;
+  const std::string out = run_command(tool("cla-run") + " --list", rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("micro"), std::string::npos);
+  EXPECT_NE(out.find("radiosity"), std::string::npos);
+  EXPECT_NE(out.find("ldap"), std::string::npos);
+}
+
+TEST(Cli, RunMicroPrintsBothMetricFamilies) {
+  int rc = 0;
+  const std::string out =
+      run_command(tool("cla-run") + " micro --threads 4 --top 2", rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("TYPE 1"), std::string::npos);
+  EXPECT_NE(out.find("TYPE 2"), std::string::npos);
+  EXPECT_NE(out.find("L2"), std::string::npos);
+  EXPECT_NE(out.find("83.33%"), std::string::npos);  // Fig. 6, exactly
+}
+
+TEST(Cli, RunRejectsUnknownWorkload) {
+  int rc = 0;
+  const std::string out = run_command(tool("cla-run") + " warpdrive", rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("unknown workload"), std::string::npos);
+}
+
+TEST(Cli, RunRejectsUnknownOption) {
+  int rc = 0;
+  const std::string out = run_command(tool("cla-run") + " micro --bogus", rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("unknown option"), std::string::npos);
+}
+
+TEST(Cli, RunWritesTraceAnalyzeReadsIt) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cla_cli_test.clat").string();
+  std::remove(path.c_str());
+  int rc = 0;
+  const std::string run_out = run_command(
+      tool("cla-run") + " micro --threads 4 --trace-out " + path, rc);
+  ASSERT_EQ(rc, 0) << run_out;
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  const std::string analyze_out =
+      run_command(tool("cla-analyze") + " " + path + " --top 2", rc);
+  EXPECT_EQ(rc, 0) << analyze_out;
+  EXPECT_NE(analyze_out.find("L2"), std::string::npos);
+  EXPECT_NE(analyze_out.find("TYPE 1"), std::string::npos);
+
+  const std::string whatif_out = run_command(
+      tool("cla-analyze") + " " + path + " --top 1 --whatif L2", rc);
+  EXPECT_EQ(rc, 0) << whatif_out;
+  EXPECT_NE(whatif_out.find("what-if"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, RunJsonOutputIsWellFormedish) {
+  int rc = 0;
+  const std::string out =
+      run_command(tool("cla-run") + " micro --threads 4 --json", rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("\"locks\""), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+}
+
+TEST(Cli, RunCsvOutput) {
+  int rc = 0;
+  const std::string out =
+      run_command(tool("cla-run") + " micro --threads 4 --csv", rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("Lock,CP Time %"), std::string::npos);
+}
+
+TEST(Cli, RunTimelineOutput) {
+  int rc = 0;
+  const std::string out =
+      run_command(tool("cla-run") + " micro --threads 4 --timeline", rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeRejectsMissingFile) {
+  int rc = 0;
+  const std::string out =
+      run_command(tool("cla-analyze") + " /no/such/file.clat", rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("cannot open"), std::string::npos);
+}
+
+}  // namespace

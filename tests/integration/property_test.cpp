@@ -1,0 +1,163 @@
+// Property-based testing: random virtual-time executions are generated
+// from seeds and the analysis invariants are checked on each. This sweeps
+// a far larger space of interleavings than the hand-written cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cla/analysis/analyzer.hpp"
+#include "cla/sim/engine.hpp"
+#include "cla/util/rng.hpp"
+
+namespace cla {
+namespace {
+
+/// Builds a random but deadlock-free execution: every task acquires locks
+/// in ascending id order (no cyclic waits), sprinkled with computes,
+/// barriers and spawns.
+trace::Trace random_execution(std::uint64_t seed) {
+  util::Rng setup_rng(seed);
+  const auto threads = static_cast<std::uint32_t>(setup_rng.range(2, 6));
+  const auto locks = static_cast<std::uint32_t>(setup_rng.range(1, 4));
+  const auto rounds = static_cast<std::uint32_t>(setup_rng.range(3, 12));
+  const bool use_barrier = setup_rng.chance(0.5);
+
+  sim::Engine engine;
+  std::vector<sim::MutexId> mutexes;
+  for (std::uint32_t i = 0; i < locks; ++i) {
+    mutexes.push_back(engine.create_mutex("L" + std::to_string(i)));
+  }
+  const sim::BarrierId barrier = engine.create_barrier(threads, "bar");
+
+  engine.run([&](sim::TaskCtx& main) {
+    std::vector<sim::TaskId> kids;
+    for (std::uint32_t i = 0; i < threads; ++i) {
+      kids.push_back(main.spawn([&, i](sim::TaskCtx& task) {
+        util::Rng rng(seed * 7919 + i);
+        for (std::uint32_t round = 0; round < rounds; ++round) {
+          task.compute(rng.range(1, 200));
+          // Acquire an ascending subset of locks.
+          std::vector<std::uint32_t> held;
+          for (std::uint32_t l = 0; l < locks; ++l) {
+            if (rng.chance(0.4)) {
+              task.lock(mutexes[l]);
+              held.push_back(l);
+              task.compute(rng.range(1, 60));
+            }
+          }
+          for (auto it = held.rbegin(); it != held.rend(); ++it) {
+            task.unlock(mutexes[*it]);
+          }
+          // Every task executes the same `rounds`, so all of them pass
+          // the barrier the same number of times — no one is stranded.
+          if (use_barrier && round % 4 == 3) task.barrier_wait(barrier);
+        }
+      }));
+    }
+    for (const auto kid : kids) main.join(kid);
+  });
+  return engine.take_trace();
+}
+
+class PropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropertyTest, TraceIsStructurallyValid) {
+  const trace::Trace t = random_execution(GetParam());
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST_P(PropertyTest, CriticalPathSpansTheExecution) {
+  const trace::Trace t = random_execution(GetParam());
+  const auto result = analysis::analyze(t);
+  // The path runs from the very beginning to the very end of the trace.
+  EXPECT_EQ(result.path.start_ts, t.start_ts());
+  EXPECT_EQ(result.path.end_ts, t.end_ts());
+  EXPECT_EQ(result.completion_time, t.end_ts() - t.start_ts());
+}
+
+TEST_P(PropertyTest, PathIntervalsAreOrderedAndWithinThreadLifetimes) {
+  const trace::Trace t = random_execution(GetParam());
+  const auto result = analysis::analyze(t);
+  const analysis::TraceIndex index(t);
+  for (trace::ThreadId tid = 0; tid < t.thread_count(); ++tid) {
+    const auto& info = index.threads()[tid];
+    std::uint64_t prev_end = 0;
+    for (const auto& iv : result.path.per_thread[tid]) {
+      EXPECT_LE(iv.begin_ts, iv.end_ts);
+      EXPECT_GE(iv.begin_ts, info.start_ts);
+      EXPECT_LE(iv.end_ts, info.exit_ts);
+      EXPECT_GE(iv.begin_ts, prev_end);  // disjoint & sorted
+      prev_end = iv.end_ts;
+    }
+  }
+}
+
+TEST_P(PropertyTest, PathIntervalTotalNeverExceedsCompletionTime) {
+  const trace::Trace t = random_execution(GetParam());
+  const auto result = analysis::analyze(t);
+  std::uint64_t total = 0;
+  for (const auto& iv : result.path.intervals) total += iv.length();
+  EXPECT_LE(total, result.completion_time);
+}
+
+TEST_P(PropertyTest, JumpsGoBackwardsInTime) {
+  const trace::Trace t = random_execution(GetParam());
+  const auto result = analysis::analyze(t);
+  for (const auto& jump : result.path.jumps) {
+    const auto& from = t.thread_events(jump.from.tid)[jump.from.index];
+    const auto& to = t.thread_events(jump.to.tid)[jump.to.index];
+    EXPECT_LE(to.ts, from.ts);
+    EXPECT_TRUE(trace::is_wakeup(from.type));
+    EXPECT_FALSE(trace::is_wakeup(to.type));
+  }
+}
+
+TEST_P(PropertyTest, LockStatisticsAreInternallyConsistent) {
+  const trace::Trace t = random_execution(GetParam());
+  const auto result = analysis::analyze(t);
+  for (const auto& lock : result.locks) {
+    EXPECT_LE(lock.cp_invocations, lock.invocations) << lock.name;
+    EXPECT_LE(lock.cp_contended, lock.cp_invocations) << lock.name;
+    EXPECT_LE(lock.contended, lock.invocations) << lock.name;
+    EXPECT_LE(lock.cp_hold_time, lock.total_hold) << lock.name;
+    EXPECT_GE(lock.cp_time_fraction, 0.0);
+    EXPECT_LE(lock.cp_time_fraction, 1.0 + 1e-9);
+    EXPECT_GE(lock.cp_contention_prob, 0.0);
+    EXPECT_LE(lock.cp_contention_prob, 1.0 + 1e-9);
+    EXPECT_GE(lock.avg_contention_prob, 0.0);
+    EXPECT_LE(lock.avg_contention_prob, 1.0 + 1e-9);
+    if (lock.is_critical()) EXPECT_GT(lock.cp_hold_time, 0u);
+  }
+}
+
+TEST_P(PropertyTest, SumOfLockCpTimesBoundedByPathTime) {
+  // Without nested locks (ascending order means nesting IS possible, but
+  // each interval is attributed per lock), the per-lock on-path hold of
+  // any single lock is bounded by the total on-path interval time.
+  const trace::Trace t = random_execution(GetParam());
+  const auto result = analysis::analyze(t);
+  std::uint64_t path_total = 0;
+  for (const auto& iv : result.path.intervals) path_total += iv.length();
+  for (const auto& lock : result.locks) {
+    EXPECT_LE(lock.cp_hold_time, path_total) << lock.name;
+  }
+}
+
+TEST_P(PropertyTest, AnalysisIsDeterministic) {
+  const trace::Trace t1 = random_execution(GetParam());
+  const trace::Trace t2 = random_execution(GetParam());
+  const auto r1 = analysis::analyze(t1);
+  const auto r2 = analysis::analyze(t2);
+  EXPECT_EQ(r1.completion_time, r2.completion_time);
+  ASSERT_EQ(r1.locks.size(), r2.locks.size());
+  for (std::size_t i = 0; i < r1.locks.size(); ++i) {
+    EXPECT_EQ(r1.locks[i].cp_hold_time, r2.locks[i].cp_hold_time);
+    EXPECT_EQ(r1.locks[i].cp_invocations, r2.locks[i].cp_invocations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace cla

@@ -1,0 +1,125 @@
+// Robustness: malformed and adversarial inputs must produce clean errors
+// (cla::util::Error), never crashes or hangs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cla/analysis/analyzer.hpp"
+#include "cla/trace/builder.hpp"
+#include "cla/trace/trace_io.hpp"
+#include "cla/util/error.hpp"
+#include "cla/util/rng.hpp"
+
+namespace cla {
+namespace {
+
+TEST(Robustness, RandomBytesAreRejectedAsTraces) {
+  util::Rng rng(2024);
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    std::string junk(rng.range(0, 512), '\0');
+    for (char& ch : junk) ch = static_cast<char>(rng.below(256));
+    std::stringstream in(junk);
+    EXPECT_THROW(trace::read_trace(in), util::Error) << "attempt " << attempt;
+  }
+}
+
+TEST(Robustness, BitFlippedTracesNeverCrashTheReader) {
+  trace::TraceBuilder b;
+  b.name_object(9, "L");
+  b.thread(0).start(0).create(0, 1).join(1, 1, 21).exit(22);
+  b.thread(1).start(0, 0).lock(9, 1, 1, 5).barrier(7, 6, 8, 0).exit(20);
+  std::stringstream buffer;
+  trace::write_trace(b.finish_unchecked(), buffer);
+  const std::string original = buffer.str();
+
+  util::Rng rng(77);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::string mutated = original;
+    const std::size_t pos = rng.below(mutated.size());
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << rng.below(8)));
+    std::stringstream in(mutated);
+    // Either it loads (the flip hit payload bytes) or it throws Error;
+    // both are fine — crashing or throwing anything else is not.
+    try {
+      const trace::Trace t = trace::read_trace(in);
+      // If it parsed, analysis must still terminate (validation may
+      // reject it, which is also acceptable).
+      try {
+        (void)analysis::analyze(t);
+      } catch (const util::Error&) {
+      }
+    } catch (const util::Error&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, EventLevelMutationsNeverHangTheAnalyzer) {
+  // Mutate structurally valid traces at the event level (types, args,
+  // objects) and require analyze() to terminate with a result or Error.
+  util::Rng rng(555);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    trace::TraceBuilder b;
+    b.thread(0).start(0).lock(9, 1, 3, 6).create(7, 1).join(1, 8, 18).exit(20);
+    b.thread(1).start(7, 0).lock(9, 8, 8, 12).barrier(5, 13, 15, 0).exit(17);
+    trace::Trace t = b.finish_unchecked();
+
+    // Rebuild with a few random field mutations.
+    trace::Trace mutated;
+    for (trace::ThreadId tid = 0; tid < t.thread_count(); ++tid) {
+      for (trace::Event e : t.thread_events(tid)) {
+        if (rng.chance(0.15)) {
+          switch (rng.below(3)) {
+            case 0:
+              e.type = static_cast<trace::EventType>(rng.range(1, 41));
+              break;
+            case 1:
+              e.object = rng.next();
+              break;
+            default:
+              e.arg = rng.next();
+              break;
+          }
+        }
+        mutated.add(e);
+      }
+    }
+    try {
+      (void)analysis::analyze(mutated);
+    } catch (const util::Error&) {
+      // clean rejection is fine
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, AnalyzeWithoutValidationSurvivesProtocolViolations) {
+  // Unbalanced protocols analyzed with validation off must not crash.
+  trace::TraceBuilder b;
+  auto t0 = b.thread(0).start(0);
+  t0.acquired(9, 2, true);   // Acquired without Acquire
+  t0.released(3, 4);         // Released without hold
+  t0.barrier(7, 5, 5, 0);
+  t0.cond_signal(8, 6);
+  t0.exit(10);
+  trace::Trace t = b.finish_unchecked();
+  analysis::AnalyzeOptions options;
+  options.validate = false;
+  EXPECT_NO_THROW({
+    const auto result = analysis::analyze(t, options);
+    (void)result;
+  });
+}
+
+TEST(Robustness, SingleEventThreads) {
+  trace::Trace t;
+  t.add(trace::Event{5, trace::kNoObject, trace::kNoArg,
+                     trace::EventType::ThreadStart, 0, 0});
+  analysis::AnalyzeOptions options;
+  options.validate = false;
+  const auto result = analysis::analyze(t, options);
+  EXPECT_EQ(result.completion_time, 0u);
+}
+
+}  // namespace
+}  // namespace cla

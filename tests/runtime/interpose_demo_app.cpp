@@ -1,0 +1,48 @@
+// Tiny *uninstrumented* pthread application used by the LD_PRELOAD
+// interposition integration test. Two locks with very different critical
+// section sizes, plus a barrier — enough structure for the analyzer to
+// find a critical lock.
+#include <pthread.h>
+
+#include <cstdio>
+
+namespace {
+
+pthread_mutex_t g_small = PTHREAD_MUTEX_INITIALIZER;
+pthread_mutex_t g_big = PTHREAD_MUTEX_INITIALIZER;
+pthread_barrier_t g_barrier;
+volatile long g_counter = 0;
+
+void burn(long iterations) {
+  for (long i = 0; i < iterations; ++i) g_counter = g_counter + 1;
+}
+
+void* worker(void*) {
+  pthread_barrier_wait(&g_barrier);
+  for (int round = 0; round < 20; ++round) {
+    pthread_mutex_lock(&g_small);
+    burn(2000);
+    pthread_mutex_unlock(&g_small);
+    pthread_mutex_lock(&g_big);
+    burn(20000);
+    pthread_mutex_unlock(&g_big);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kThreads = 4;
+  pthread_barrier_init(&g_barrier, nullptr, kThreads);
+  pthread_t threads[kThreads];
+  for (auto& thread : threads) {
+    pthread_create(&thread, nullptr, &worker, nullptr);
+  }
+  for (auto& thread : threads) {
+    pthread_join(thread, nullptr);
+  }
+  pthread_barrier_destroy(&g_barrier);
+  std::printf("counter=%ld\n", g_counter);
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "cla/runtime/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace cla::rt {
+namespace {
+
+class RecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Recorder::instance().reset(); }
+  void TearDown() override { Recorder::instance().reset(); }
+};
+
+TEST_F(RecorderTest, EnsureCurrentThreadAssignsDenseIds) {
+  Recorder& recorder = Recorder::instance();
+  const auto tid = recorder.ensure_current_thread();
+  EXPECT_EQ(tid, 0u);
+  // Re-registering the same thread is a no-op.
+  EXPECT_EQ(recorder.ensure_current_thread(), tid);
+}
+
+TEST_F(RecorderTest, RecordsEventsForCurrentThread) {
+  Recorder& recorder = Recorder::instance();
+  recorder.ensure_current_thread();
+  recorder.record(trace::EventType::MutexAcquire, 42);
+  recorder.record(trace::EventType::MutexAcquired, 42, 0);
+  recorder.record(trace::EventType::MutexReleased, 42);
+  recorder.thread_exit();
+  EXPECT_EQ(recorder.event_count(), 5u);  // start + 3 + exit
+  const trace::Trace t = recorder.collect();
+  EXPECT_NO_THROW(t.validate());
+  const auto events = t.thread_events(0);
+  EXPECT_EQ(events.front().type, trace::EventType::ThreadStart);
+  EXPECT_EQ(events.back().type, trace::EventType::ThreadExit);
+}
+
+TEST_F(RecorderTest, CollectNormalizesTimestampsToZero) {
+  Recorder& recorder = Recorder::instance();
+  recorder.ensure_current_thread();
+  recorder.record(trace::EventType::MutexAcquire, 1);
+  recorder.thread_exit();
+  const trace::Trace t = recorder.collect();
+  EXPECT_EQ(t.start_ts(), 0u);
+}
+
+TEST_F(RecorderTest, CollectAppendsMissingThreadExit) {
+  Recorder& recorder = Recorder::instance();
+  recorder.ensure_current_thread();
+  recorder.record(trace::EventType::MutexAcquire, 1);
+  // no explicit thread_exit
+  const trace::Trace t = recorder.collect();
+  EXPECT_EQ(t.thread_events(0).back().type, trace::EventType::ThreadExit);
+}
+
+TEST_F(RecorderTest, MultipleOsThreadsGetDistinctIds) {
+  Recorder& recorder = Recorder::instance();
+  const auto parent = recorder.ensure_current_thread();
+  trace::ThreadId child_tid = trace::kNoThread;
+  const trace::ThreadId reserved = recorder.allocate_thread();
+  recorder.record(trace::EventType::ThreadCreate,
+                  static_cast<trace::ObjectId>(reserved));
+  std::thread worker([&] {
+    recorder.bind_current_thread(reserved, parent);
+    child_tid = reserved;
+    recorder.record(trace::EventType::MutexAcquire, 7);
+    recorder.thread_exit();
+  });
+  worker.join();
+  recorder.thread_exit();
+  EXPECT_EQ(child_tid, 1u);
+  const trace::Trace t = recorder.collect();
+  EXPECT_EQ(t.thread_count(), 2u);
+  // Child records its parent in ThreadStart.object.
+  EXPECT_EQ(t.thread_events(1).front().object, static_cast<trace::ObjectId>(0));
+}
+
+TEST_F(RecorderTest, NamesSurviveCollection) {
+  Recorder& recorder = Recorder::instance();
+  recorder.ensure_current_thread();
+  recorder.name_object(42, "Qlock");
+  recorder.name_thread(0, "main");
+  recorder.thread_exit();
+  const trace::Trace t = recorder.collect();
+  ASSERT_NE(t.object_name(42), nullptr);
+  EXPECT_EQ(*t.object_name(42), "Qlock");
+  EXPECT_EQ(t.thread_display_name(0), "main");
+}
+
+TEST_F(RecorderTest, CollectResetsForNextRun) {
+  Recorder& recorder = Recorder::instance();
+  recorder.ensure_current_thread();
+  recorder.thread_exit();
+  (void)recorder.collect();
+  EXPECT_EQ(recorder.event_count(), 0u);
+  // A fresh registration starts at thread 0 again.
+  EXPECT_EQ(recorder.ensure_current_thread(), 0u);
+}
+
+TEST_F(RecorderTest, PerThreadTimestampsAreMonotone) {
+  Recorder& recorder = Recorder::instance();
+  recorder.ensure_current_thread();
+  for (int i = 0; i < 1000; ++i) {
+    recorder.record(trace::EventType::MutexAcquire, 1);
+    recorder.record(trace::EventType::MutexAcquired, 1, 0);
+    recorder.record(trace::EventType::MutexReleased, 1);
+  }
+  recorder.thread_exit();
+  const trace::Trace t = recorder.collect();
+  const auto events = t.thread_events(0);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts, events[i - 1].ts);
+  }
+}
+
+}  // namespace
+}  // namespace cla::rt

@@ -1,0 +1,117 @@
+// Accelerated critical sections (paper §VII future work): compute inside
+// an accelerated lock's critical sections is scaled down.
+#include <gtest/gtest.h>
+
+#include "cla/exec/backend.hpp"
+#include "cla/sim/engine.hpp"
+#include "cla/util/error.hpp"
+#include "cla/workloads/workload.hpp"
+
+namespace cla::sim {
+namespace {
+
+TEST(Acceleration, ScalesComputeInsideCriticalSection) {
+  Engine engine;
+  const MutexId m = engine.create_mutex("m");
+  engine.accelerate_mutex(m, 0.5);
+  engine.run([&](TaskCtx& main) {
+    main.compute(100);  // outside: full price
+    EXPECT_EQ(main.now(), 100u);
+    main.lock(m);
+    main.compute(100);  // inside: half price
+    main.unlock(m);
+    EXPECT_EQ(main.now(), 150u);
+    main.compute(100);  // outside again
+    EXPECT_EQ(main.now(), 250u);
+  });
+}
+
+TEST(Acceleration, AppliesToHandedOffWaiters) {
+  Engine engine;
+  const MutexId m = engine.create_mutex("m");
+  engine.accelerate_mutex(m, 0.25);
+  engine.run([&](TaskCtx& main) {
+    const TaskId t1 = main.spawn([&](TaskCtx& task) {
+      task.lock(m);
+      task.compute(40);  // 10 accelerated
+      task.unlock(m);
+    });
+    const TaskId t2 = main.spawn([&](TaskCtx& task) {
+      task.compute(1);
+      task.lock(m);      // blocked until 10
+      task.compute(40);  // 10 accelerated
+      task.unlock(m);
+      EXPECT_EQ(task.now(), 20u);
+    });
+    main.join(t1);
+    main.join(t2);
+  });
+  EXPECT_EQ(engine.completion_time(), 20u);
+}
+
+TEST(Acceleration, NestedLocksUseStrongestFactor) {
+  Engine engine;
+  const MutexId outer = engine.create_mutex("outer");
+  const MutexId inner = engine.create_mutex("inner");
+  engine.accelerate_mutex(outer, 0.5);
+  engine.accelerate_mutex(inner, 0.1);
+  engine.run([&](TaskCtx& main) {
+    main.lock(outer);
+    main.compute(100);  // x0.5 -> 50
+    main.lock(inner);
+    main.compute(100);  // min(0.5, 0.1) -> 10
+    main.unlock(inner);
+    main.compute(100);  // back to x0.5 -> 50
+    main.unlock(outer);
+    EXPECT_EQ(main.now(), 110u);
+  });
+}
+
+TEST(Acceleration, RejectsNonPositiveFactor) {
+  Engine engine;
+  const MutexId m = engine.create_mutex("m");
+  EXPECT_THROW(engine.accelerate_mutex(m, 0.0), util::Error);
+  EXPECT_THROW(engine.accelerate_mutex(m, -1.0), util::Error);
+}
+
+TEST(Acceleration, UnknownMutexRejected) {
+  Engine engine;
+  EXPECT_THROW(engine.accelerate_mutex(MutexId{404}, 0.5), util::Error);
+}
+
+TEST(Acceleration, SimBackendHonorsRequestByName) {
+  auto backend = exec::make_sim_backend();
+  EXPECT_TRUE(backend->request_acceleration("hot", 0.5));
+  const exec::MutexHandle hot = backend->create_mutex("hot");
+  const exec::MutexHandle cold = backend->create_mutex("cold");
+  backend->run(1, [&](exec::Ctx& ctx) {
+    {
+      exec::ScopedLock guard(ctx, hot);
+      ctx.compute(100);
+    }
+    {
+      exec::ScopedLock guard(ctx, cold);
+      ctx.compute(100);
+    }
+  });
+  EXPECT_EQ(backend->completion_time(), 150u);  // 50 + 100
+}
+
+TEST(Acceleration, PthreadBackendDeclinesGracefully) {
+  auto backend = exec::make_pthread_backend();
+  EXPECT_FALSE(backend->request_acceleration("anything", 0.5));
+}
+
+TEST(Acceleration, WorkloadConfigPlumbsThrough) {
+  workloads::WorkloadConfig base;
+  base.threads = 4;
+  const auto baseline = workloads::run_workload("micro", base);
+
+  workloads::WorkloadConfig accel = base;
+  accel.accelerate["L2"] = 0.5;
+  const auto boosted = workloads::run_workload("micro", accel);
+  EXPECT_LT(boosted.completion_time, baseline.completion_time);
+}
+
+}  // namespace
+}  // namespace cla::sim

@@ -1,0 +1,192 @@
+// Barrier and condition-variable semantics of the virtual-time engine.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "cla/sim/engine.hpp"
+#include "cla/util/error.hpp"
+
+namespace cla::sim {
+namespace {
+
+TEST(EngineBarrier, ReleasesAtLastArrival) {
+  Engine engine;
+  const BarrierId bar = engine.create_barrier(3, "bar");
+  engine.run([&](TaskCtx& main) {
+    std::vector<TaskId> kids;
+    for (int i = 0; i < 3; ++i) {
+      kids.push_back(main.spawn([&, i](TaskCtx& task) {
+        task.compute(10 * (i + 1));  // arrive at 10, 20, 30
+        task.barrier_wait(bar);
+        EXPECT_EQ(task.now(), 30u);  // everyone leaves at the last arrival
+      }));
+    }
+    for (const TaskId kid : kids) main.join(kid);
+    EXPECT_EQ(main.now(), 30u);
+  });
+}
+
+TEST(EngineBarrier, MultipleEpisodesIncrementGeneration) {
+  Engine engine;
+  const BarrierId bar = engine.create_barrier(2, "bar");
+  engine.run([&](TaskCtx& main) {
+    std::vector<TaskId> kids;
+    for (int i = 0; i < 2; ++i) {
+      kids.push_back(main.spawn([&, i](TaskCtx& task) {
+        for (int round = 0; round < 3; ++round) {
+          task.compute(static_cast<std::uint64_t>(5 * (i + 1)));
+          task.barrier_wait(bar);
+        }
+      }));
+    }
+    for (const TaskId kid : kids) main.join(kid);
+  });
+  const trace::Trace t = engine.take_trace();
+  // Generations 0,1,2 recorded in the barrier events' args.
+  std::set<std::uint64_t> generations;
+  for (trace::ThreadId tid = 0; tid < t.thread_count(); ++tid) {
+    for (const auto& e : t.thread_events(tid)) {
+      if (e.type == trace::EventType::BarrierArrive) generations.insert(e.arg);
+    }
+  }
+  EXPECT_EQ(generations, (std::set<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(EngineBarrier, RejectsZeroParticipants) {
+  Engine engine;
+  EXPECT_THROW(engine.create_barrier(0, "bad"), util::Error);
+}
+
+TEST(EngineCond, SignalWakesOneWaiterAndHandsOffMutex) {
+  Engine engine;
+  const MutexId m = engine.create_mutex("m");
+  const CondId cv = engine.create_cond("cv");
+  bool ready = false;
+  engine.run([&](TaskCtx& main) {
+    const TaskId waiter = main.spawn([&](TaskCtx& task) {
+      task.lock(m);
+      while (!ready) task.cond_wait(cv, m);
+      task.unlock(m);
+      EXPECT_GE(task.now(), 50u);
+    });
+    const TaskId signaler = main.spawn([&](TaskCtx& task) {
+      task.compute(50);
+      task.lock(m);
+      ready = true;
+      task.unlock(m);
+      task.cond_signal(cv);
+    });
+    main.join(waiter);
+    main.join(signaler);
+  });
+}
+
+TEST(EngineCond, BroadcastWakesAllWaiters) {
+  Engine engine;
+  const MutexId m = engine.create_mutex("m");
+  const CondId cv = engine.create_cond("cv");
+  bool go = false;
+  int woken = 0;
+  engine.run([&](TaskCtx& main) {
+    std::vector<TaskId> kids;
+    for (int i = 0; i < 3; ++i) {
+      kids.push_back(main.spawn([&](TaskCtx& task) {
+        task.lock(m);
+        while (!go) task.cond_wait(cv, m);
+        ++woken;
+        task.unlock(m);
+      }));
+    }
+    const TaskId signaler = main.spawn([&](TaskCtx& task) {
+      task.compute(10);
+      task.lock(m);
+      go = true;
+      task.unlock(m);
+      task.cond_broadcast(cv);
+    });
+    for (const TaskId kid : kids) main.join(kid);
+    main.join(signaler);
+  });
+  EXPECT_EQ(woken, 3);
+}
+
+TEST(EngineCond, WaitersReacquireMutexOneAtATime) {
+  Engine engine;
+  const MutexId m = engine.create_mutex("m");
+  const CondId cv = engine.create_cond("cv");
+  bool go = false;
+  engine.run([&](TaskCtx& main) {
+    std::vector<TaskId> kids;
+    for (int i = 0; i < 2; ++i) {
+      kids.push_back(main.spawn([&](TaskCtx& task) {
+        task.lock(m);
+        while (!go) task.cond_wait(cv, m);
+        task.compute(10);  // inside the re-acquired mutex
+        task.unlock(m);
+      }));
+    }
+    const TaskId signaler = main.spawn([&](TaskCtx& task) {
+      task.compute(5);
+      task.lock(m);
+      go = true;
+      task.unlock(m);
+      task.cond_broadcast(cv);
+    });
+    for (const TaskId kid : kids) main.join(kid);
+    main.join(signaler);
+    // Two 10-unit critical sections serialized after the broadcast at 5.
+    EXPECT_EQ(main.now(), 25u);
+  });
+}
+
+TEST(EngineCond, SignalWithNoWaitersIsLost) {
+  Engine engine;
+  const CondId cv = engine.create_cond("cv");
+  engine.run([&](TaskCtx& main) {
+    main.cond_signal(cv);
+    main.compute(1);
+  });
+  EXPECT_EQ(engine.completion_time(), 1u);
+}
+
+TEST(EngineCond, CondWaitTraceContainsHandoffProtocol) {
+  Engine engine;
+  const MutexId m = engine.create_mutex("m");
+  const CondId cv = engine.create_cond("cv");
+  bool go = false;
+  engine.run([&](TaskCtx& main) {
+    const TaskId waiter = main.spawn([&](TaskCtx& task) {
+      task.lock(m);
+      while (!go) task.cond_wait(cv, m);
+      task.unlock(m);
+    });
+    const TaskId signaler = main.spawn([&](TaskCtx& task) {
+      task.compute(5);
+      task.lock(m);
+      go = true;
+      task.unlock(m);
+      task.cond_signal(cv);
+    });
+    main.join(waiter);
+    main.join(signaler);
+  });
+  trace::Trace t = engine.take_trace();
+  EXPECT_NO_THROW(t.validate());
+  bool saw_wait_begin = false;
+  bool saw_wait_end = false;
+  bool saw_signal = false;
+  for (trace::ThreadId tid = 0; tid < t.thread_count(); ++tid) {
+    for (const auto& e : t.thread_events(tid)) {
+      saw_wait_begin |= e.type == trace::EventType::CondWaitBegin;
+      saw_wait_end |= e.type == trace::EventType::CondWaitEnd;
+      saw_signal |= e.type == trace::EventType::CondSignal;
+    }
+  }
+  EXPECT_TRUE(saw_wait_begin);
+  EXPECT_TRUE(saw_wait_end);
+  EXPECT_TRUE(saw_signal);
+}
+
+}  // namespace
+}  // namespace cla::sim

@@ -1,0 +1,237 @@
+#include "cla/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cla/util/error.hpp"
+
+namespace cla::sim {
+namespace {
+
+TEST(Engine, EmptyMainTaskCompletesAtZero) {
+  Engine engine;
+  engine.run([](TaskCtx&) {});
+  EXPECT_EQ(engine.completion_time(), 0u);
+}
+
+TEST(Engine, ComputeAdvancesVirtualTime) {
+  Engine engine;
+  engine.run([](TaskCtx& ctx) {
+    EXPECT_EQ(ctx.now(), 0u);
+    ctx.compute(100);
+    EXPECT_EQ(ctx.now(), 100u);
+    ctx.compute(50);
+    EXPECT_EQ(ctx.now(), 150u);
+  });
+  EXPECT_EQ(engine.completion_time(), 150u);
+}
+
+TEST(Engine, SpawnedTasksStartAtParentClock) {
+  Engine engine;
+  engine.run([](TaskCtx& main) {
+    main.compute(40);
+    const TaskId child = main.spawn([](TaskCtx& task) {
+      EXPECT_EQ(task.now(), 40u);
+      task.compute(10);
+    });
+    main.join(child);
+    EXPECT_EQ(main.now(), 50u);
+  });
+  EXPECT_EQ(engine.completion_time(), 50u);
+}
+
+TEST(Engine, JoinOfFinishedTaskDoesNotAdvanceClock) {
+  Engine engine;
+  engine.run([](TaskCtx& main) {
+    const TaskId child = main.spawn([](TaskCtx& task) { task.compute(5); });
+    main.compute(100);
+    main.join(child);
+    EXPECT_EQ(main.now(), 100u);
+  });
+}
+
+TEST(Engine, TasksRunInParallelVirtualTime) {
+  Engine engine;
+  engine.run([](TaskCtx& main) {
+    std::vector<TaskId> kids;
+    for (int i = 0; i < 4; ++i) {
+      kids.push_back(main.spawn([](TaskCtx& task) { task.compute(100); }));
+    }
+    for (const TaskId kid : kids) main.join(kid);
+    // Four independent 100-unit tasks overlap fully.
+    EXPECT_EQ(main.now(), 100u);
+  });
+}
+
+TEST(Engine, MutexSerializesCriticalSections) {
+  Engine engine;
+  const MutexId m = engine.create_mutex("m");
+  engine.run([&](TaskCtx& main) {
+    std::vector<TaskId> kids;
+    for (int i = 0; i < 3; ++i) {
+      kids.push_back(main.spawn([&](TaskCtx& task) {
+        task.lock(m);
+        task.compute(10);
+        task.unlock(m);
+      }));
+    }
+    for (const TaskId kid : kids) main.join(kid);
+    EXPECT_EQ(main.now(), 30u);  // three 10-unit sections serialized
+  });
+}
+
+TEST(Engine, MutexWakesWaitersInFifoOrder) {
+  Engine engine;
+  const MutexId m = engine.create_mutex("m");
+  std::vector<int> order;
+  engine.run([&](TaskCtx& main) {
+    std::vector<TaskId> kids;
+    for (int i = 0; i < 3; ++i) {
+      kids.push_back(main.spawn([&, i](TaskCtx& task) {
+        task.compute(i + 1);  // arrival order 1, 2, 3
+        task.lock(m);
+        order.push_back(i);
+        task.compute(20);
+        task.unlock(m);
+      }));
+    }
+    for (const TaskId kid : kids) main.join(kid);
+  });
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST(Engine, UnlockingUnownedMutexFails) {
+  Engine engine;
+  const MutexId m = engine.create_mutex("m");
+  EXPECT_THROW(engine.run([&](TaskCtx& main) { main.unlock(m); }), util::Error);
+}
+
+TEST(Engine, UnknownMutexFails) {
+  Engine engine;
+  EXPECT_THROW(engine.run([](TaskCtx& main) { main.lock(MutexId{999}); }),
+               util::Error);
+}
+
+TEST(Engine, DeadlockIsDetected) {
+  Engine engine;
+  const MutexId a = engine.create_mutex("a");
+  const MutexId b = engine.create_mutex("b");
+  EXPECT_THROW(
+      engine.run([&](TaskCtx& main) {
+        const TaskId t1 = main.spawn([&](TaskCtx& task) {
+          task.lock(a);
+          task.compute(10);
+          task.lock(b);  // waits for t2
+          task.unlock(b);
+          task.unlock(a);
+        });
+        const TaskId t2 = main.spawn([&](TaskCtx& task) {
+          task.lock(b);
+          task.compute(10);
+          task.lock(a);  // waits for t1 -> cycle
+          task.unlock(a);
+          task.unlock(b);
+        });
+        main.join(t1);
+        main.join(t2);
+      }),
+      util::Error);
+}
+
+TEST(Engine, TaskExceptionsPropagate) {
+  Engine engine;
+  EXPECT_THROW(engine.run([](TaskCtx& main) {
+    const TaskId child = main.spawn(
+        [](TaskCtx&) { throw std::runtime_error("task failed"); });
+    main.join(child);
+  }),
+               std::runtime_error);
+}
+
+TEST(Engine, WakeupLatencyDelaysHandoff) {
+  EngineOptions options;
+  options.wakeup_latency = 7;
+  Engine engine(options);
+  const MutexId m = engine.create_mutex("m");
+  engine.run([&](TaskCtx& main) {
+    const TaskId t1 = main.spawn([&](TaskCtx& task) {
+      task.lock(m);
+      task.compute(10);
+      task.unlock(m);
+    });
+    const TaskId t2 = main.spawn([&](TaskCtx& task) {
+      task.compute(1);
+      task.lock(m);  // blocked until 10, wakes at 17
+      task.unlock(m);
+      EXPECT_EQ(task.now(), 17u);
+    });
+    main.join(t1);
+    main.join(t2);
+  });
+}
+
+TEST(Engine, RunIsNotReentrant) {
+  Engine engine;
+  EXPECT_THROW(engine.run([&](TaskCtx& main) {
+    (void)main;
+    engine.run([](TaskCtx&) {});
+  }),
+               util::Error);
+}
+
+TEST(Engine, TraceIsValidAndConsumable) {
+  Engine engine;
+  const MutexId m = engine.create_mutex("m");
+  engine.run([&](TaskCtx& main) {
+    const TaskId child = main.spawn([&](TaskCtx& task) {
+      task.lock(m);
+      task.compute(3);
+      task.unlock(m);
+    });
+    main.join(child);
+  });
+  trace::Trace t = engine.take_trace();
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_EQ(t.thread_count(), 2u);
+  ASSERT_NE(t.object_name(m.id), nullptr);
+  EXPECT_EQ(*t.object_name(m.id), "m");
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine engine;
+    const MutexId m = engine.create_mutex("m");
+    const BarrierId bar = engine.create_barrier(3, "bar");
+    engine.run([&](TaskCtx& main) {
+      std::vector<TaskId> kids;
+      for (int i = 0; i < 3; ++i) {
+        kids.push_back(main.spawn([&, i](TaskCtx& task) {
+          task.compute(10 * (3 - i));
+          task.lock(m);
+          task.compute(5);
+          task.unlock(m);
+          task.barrier_wait(bar);
+          task.compute(static_cast<std::uint64_t>(i));
+        }));
+      }
+      for (const TaskId kid : kids) main.join(kid);
+    });
+    return engine.take_trace();
+  };
+  const trace::Trace a = run_once();
+  const trace::Trace b = run_once();
+  ASSERT_EQ(a.thread_count(), b.thread_count());
+  for (trace::ThreadId tid = 0; tid < a.thread_count(); ++tid) {
+    const auto ea = a.thread_events(tid);
+    const auto eb = b.thread_events(tid);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) EXPECT_EQ(ea[i], eb[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cla::sim

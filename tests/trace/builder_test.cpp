@@ -1,0 +1,106 @@
+#include "cla/trace/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cla/util/error.hpp"
+
+namespace cla::trace {
+namespace {
+
+TEST(Builder, LockEmitsProtocolTriple) {
+  TraceBuilder b;
+  b.thread(0).start(0).lock(5, 1, 3, 7).exit(10);
+  const Trace t = b.finish();
+  const auto events = t.thread_events(0);
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[1].type, EventType::MutexAcquire);
+  EXPECT_EQ(events[1].ts, 1u);
+  EXPECT_EQ(events[2].type, EventType::MutexAcquired);
+  EXPECT_EQ(events[2].ts, 3u);
+  EXPECT_EQ(events[2].arg, 1u);  // contended: acquired later than acquire
+  EXPECT_EQ(events[3].type, EventType::MutexReleased);
+  EXPECT_EQ(events[3].ts, 7u);
+}
+
+TEST(Builder, UncontendedLockHasZeroArg) {
+  TraceBuilder b;
+  b.thread(0).start(0).lock_uncontended(5, 2, 6).exit(10);
+  const Trace t = b.finish();
+  EXPECT_EQ(t.thread_events(0)[2].arg, 0u);
+}
+
+TEST(Builder, LockRejectsUnorderedTimestamps) {
+  TraceBuilder b;
+  auto script = b.thread(0).start(0);
+  EXPECT_THROW(script.lock(5, 5, 3, 7), util::Error);
+  EXPECT_THROW(script.lock(5, 1, 6, 4), util::Error);
+}
+
+TEST(Builder, BarrierEmitsArriveLeave) {
+  TraceBuilder b;
+  b.thread(0).start(0).barrier(9, 2, 8, 3).exit(10);
+  const Trace t = b.finish();
+  const auto events = t.thread_events(0);
+  EXPECT_EQ(events[1].type, EventType::BarrierArrive);
+  EXPECT_EQ(events[1].arg, 3u);
+  EXPECT_EQ(events[2].type, EventType::BarrierLeave);
+  EXPECT_EQ(events[2].ts, 8u);
+}
+
+TEST(Builder, CondWaitEmitsMutexHandoffProtocol) {
+  TraceBuilder b;
+  // Holding mutex 4: acquire it first, cond-wait, release after.
+  b.thread(0)
+      .start(0)
+      .lock_uncontended(4, 1, 1)  // degenerate: acquired, released at wait
+      .exit(20);
+  Trace degenerate = b.finish_unchecked();
+  (void)degenerate;
+
+  TraceBuilder b2;
+  auto script = b2.thread(0).start(0);
+  script.acquire(4, 1).acquired(4, 1, false);
+  script.cond_wait(8, 4, 3, 9);
+  script.released(4, 12).exit(20);
+  const Trace t = b2.finish();
+  const auto events = t.thread_events(0);
+  // start, acquire, acquired, released(3), CondWaitBegin, CondWaitEnd,
+  // acquire, acquired, released(12), exit
+  ASSERT_EQ(events.size(), 10u);
+  EXPECT_EQ(events[3].type, EventType::MutexReleased);
+  EXPECT_EQ(events[4].type, EventType::CondWaitBegin);
+  EXPECT_EQ(events[4].arg, 4u);  // mutex recorded in arg
+  EXPECT_EQ(events[5].type, EventType::CondWaitEnd);
+  EXPECT_EQ(events[6].type, EventType::MutexAcquire);
+  EXPECT_EQ(events[7].type, EventType::MutexAcquired);
+}
+
+TEST(Builder, CreateAndStartRecordRelationship) {
+  TraceBuilder b;
+  b.thread(0).start(0).create(2, 1).join(1, 3, 9).exit(10);
+  b.thread(1).start(2, 0).exit(8);
+  const Trace t = b.finish();
+  EXPECT_EQ(t.thread_events(0)[1].type, EventType::ThreadCreate);
+  EXPECT_EQ(t.thread_events(0)[1].object, 1u);
+  EXPECT_EQ(t.thread_events(1)[0].object, 0u);  // parent id
+}
+
+TEST(Builder, SignalAndBroadcast) {
+  TraceBuilder b;
+  b.thread(0).start(0).cond_signal(6, 2).cond_broadcast(6, 4).exit(5);
+  const Trace t = b.finish();
+  EXPECT_EQ(t.thread_events(0)[1].type, EventType::CondSignal);
+  EXPECT_EQ(t.thread_events(0)[2].type, EventType::CondBroadcast);
+}
+
+TEST(Builder, FinishValidatesAndResets) {
+  TraceBuilder b;
+  b.thread(0).start(0).exit(1);
+  EXPECT_NO_THROW(b.finish());
+  // After finish the builder is empty; finishing again gives empty trace,
+  // which validation rejects.
+  EXPECT_THROW(b.finish(), util::Error);
+}
+
+}  // namespace
+}  // namespace cla::trace

@@ -1,0 +1,107 @@
+#include "cla/trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "cla/trace/builder.hpp"
+#include "cla/util/error.hpp"
+
+namespace cla::trace {
+namespace {
+
+Trace sample_trace() {
+  TraceBuilder b;
+  b.name_object(42, "L1");
+  b.name_object(43, "tq[0].qlock");
+  b.name_thread(0, "main");
+  b.thread(0).start(0).create(0, 1).join(1, 1, 21).exit(22);
+  b.thread(1)
+      .start(0, 0)
+      .lock(42, 1, 1, 5)
+      .lock(43, 6, 9, 15)
+      .barrier(44, 16, 18)
+      .exit(20);
+  return b.finish_unchecked();
+}
+
+void expect_equal(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.thread_count(), b.thread_count());
+  ASSERT_EQ(a.event_count(), b.event_count());
+  for (ThreadId tid = 0; tid < a.thread_count(); ++tid) {
+    const auto ea = a.thread_events(tid);
+    const auto eb = b.thread_events(tid);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) EXPECT_EQ(ea[i], eb[i]);
+  }
+  EXPECT_EQ(a.object_names(), b.object_names());
+  EXPECT_EQ(a.thread_names(), b.thread_names());
+}
+
+TEST(TraceIo, StreamRoundTrip) {
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  write_trace(original, buffer);
+  const Trace loaded = read_trace(buffer);
+  expect_equal(original, loaded);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cla_io_test.clat").string();
+  const Trace original = sample_trace();
+  write_trace_file(original, path);
+  const Trace loaded = read_trace_file(path);
+  expect_equal(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream buffer("NOTATRACEFILE........");
+  EXPECT_THROW(read_trace(buffer), util::Error);
+}
+
+TEST(TraceIo, RejectsTruncatedStream) {
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  write_trace(original, buffer);
+  const std::string full = buffer.str();
+  for (std::size_t cut : {std::size_t{5}, std::size_t{12}, std::size_t{40}, full.size() - 8}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW(read_trace(truncated), util::Error) << "cut=" << cut;
+  }
+}
+
+TEST(TraceIo, RejectsUnsupportedVersion) {
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  write_trace(original, buffer);
+  std::string bytes = buffer.str();
+  bytes[4] = 99;  // version field follows the 4-byte magic
+  std::stringstream patched(bytes);
+  EXPECT_THROW(read_trace(patched), util::Error);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/dir/trace.clat"), util::Error);
+}
+
+TEST(TraceIo, UnwritablePathThrows) {
+  const Trace original = sample_trace();
+  EXPECT_THROW(write_trace_file(original, "/nonexistent/dir/trace.clat"),
+               util::Error);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  const Trace empty;
+  std::stringstream buffer;
+  write_trace(empty, buffer);
+  const Trace loaded = read_trace(buffer);
+  EXPECT_EQ(loaded.thread_count(), 0u);
+  EXPECT_EQ(loaded.event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace cla::trace

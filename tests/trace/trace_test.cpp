@@ -1,0 +1,174 @@
+#include "cla/trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cla/trace/builder.hpp"
+#include "cla/util/error.hpp"
+
+namespace cla::trace {
+namespace {
+
+TEST(Event, StaysThirtyTwoBytes) { EXPECT_EQ(sizeof(Event), 32u); }
+
+TEST(Event, WakeupClassification) {
+  EXPECT_TRUE(is_wakeup(EventType::ThreadStart));
+  EXPECT_TRUE(is_wakeup(EventType::JoinEnd));
+  EXPECT_TRUE(is_wakeup(EventType::MutexAcquired));
+  EXPECT_TRUE(is_wakeup(EventType::BarrierLeave));
+  EXPECT_TRUE(is_wakeup(EventType::CondWaitEnd));
+  EXPECT_FALSE(is_wakeup(EventType::MutexAcquire));
+  EXPECT_FALSE(is_wakeup(EventType::MutexReleased));
+  EXPECT_FALSE(is_wakeup(EventType::BarrierArrive));
+  EXPECT_FALSE(is_wakeup(EventType::CondSignal));
+  EXPECT_FALSE(is_wakeup(EventType::ThreadExit));
+  EXPECT_FALSE(is_wakeup(EventType::ThreadCreate));
+}
+
+TEST(Event, EveryTypeHasName) {
+  for (EventType type :
+       {EventType::ThreadStart, EventType::ThreadExit, EventType::ThreadCreate,
+        EventType::JoinBegin, EventType::JoinEnd, EventType::MutexAcquire,
+        EventType::MutexAcquired, EventType::MutexReleased,
+        EventType::BarrierArrive, EventType::BarrierLeave,
+        EventType::CondWaitBegin, EventType::CondWaitEnd, EventType::CondSignal,
+        EventType::CondBroadcast, EventType::PhaseBegin, EventType::PhaseEnd}) {
+    EXPECT_NE(to_string(type), "Unknown");
+  }
+}
+
+TEST(Trace, StartAndEndTimestamps) {
+  TraceBuilder b;
+  b.thread(0).start(5).exit(90);
+  b.thread(1).start(10, 0).exit(100);
+  // note: thread 1's start without a matching create is fine for these
+  // accessors (validate() is not called here).
+  const Trace t = b.finish_unchecked();
+  EXPECT_EQ(t.start_ts(), 5u);
+  EXPECT_EQ(t.end_ts(), 100u);
+  EXPECT_EQ(t.thread_count(), 2u);
+  EXPECT_EQ(t.event_count(), 4u);
+}
+
+TEST(Trace, EmptyTraceTimestampsAreZero) {
+  const Trace t;
+  EXPECT_EQ(t.start_ts(), 0u);
+  EXPECT_EQ(t.end_ts(), 0u);
+  EXPECT_EQ(t.event_count(), 0u);
+}
+
+TEST(Trace, ObjectNames) {
+  Trace t;
+  t.set_object_name(7, "freeInter");
+  ASSERT_NE(t.object_name(7), nullptr);
+  EXPECT_EQ(*t.object_name(7), "freeInter");
+  EXPECT_EQ(t.object_name(8), nullptr);
+  EXPECT_EQ(t.object_display_name(7, "mutex"), "freeInter");
+  EXPECT_EQ(t.object_display_name(8, "mutex"), "mutex@8");
+}
+
+TEST(Trace, ThreadNames) {
+  Trace t;
+  t.set_thread_name(2, "worker-2");
+  EXPECT_EQ(t.thread_display_name(2), "worker-2");
+  EXPECT_EQ(t.thread_display_name(3), "T3");
+}
+
+TEST(Trace, ValidateAcceptsWellFormedTrace) {
+  TraceBuilder b;
+  b.thread(0).start(0).create(1, 1).join(1, 2, 22).exit(25);
+  b.thread(1)
+      .start(1, 0)
+      .lock(42, 2, 2, 8)
+      .barrier(7, 9, 12)
+      .lock(42, 13, 15, 20)
+      .exit(22);
+  EXPECT_NO_THROW(b.finish());
+}
+
+TEST(TraceValidate, RejectsEmptyTrace) {
+  Trace t;
+  EXPECT_THROW(t.validate(), util::Error);
+}
+
+TEST(TraceValidate, RejectsMissingThreadStart) {
+  Trace t;
+  t.add(Event{0, kNoObject, kNoArg, EventType::ThreadExit, 0, 0});
+  EXPECT_THROW(t.validate(), util::Error);
+}
+
+TEST(TraceValidate, RejectsMissingThreadExit) {
+  Trace t;
+  t.add(Event{0, kNoObject, kNoArg, EventType::ThreadStart, 0, 0});
+  t.add(Event{1, 5, kNoArg, EventType::MutexAcquire, 0, 0});
+  EXPECT_THROW(t.validate(), util::Error);
+}
+
+TEST(TraceValidate, RejectsBackwardsTimestamps) {
+  TraceBuilder b;
+  b.thread(0).start(10).exit(5);
+  Trace t = b.finish_unchecked();
+  EXPECT_THROW(t.validate(), util::Error);
+}
+
+TEST(TraceValidate, RejectsAcquiredWithoutAcquire) {
+  TraceBuilder b;
+  b.thread(0).start(0).acquired(9, 4, false).released(9, 6).exit(10);
+  Trace t = b.finish_unchecked();
+  EXPECT_THROW(t.validate(), util::Error);
+}
+
+TEST(TraceValidate, RejectsReleaseWithoutHold) {
+  TraceBuilder b;
+  b.thread(0).start(0).released(9, 6).exit(10);
+  Trace t = b.finish_unchecked();
+  EXPECT_THROW(t.validate(), util::Error);
+}
+
+TEST(TraceValidate, RejectsBarrierLeaveWithoutArrive) {
+  Trace t;
+  t.add(Event{0, kNoObject, kNoArg, EventType::ThreadStart, 0, 0});
+  t.add(Event{1, 3, 0, EventType::BarrierLeave, 0, 0});
+  t.add(Event{2, kNoObject, kNoArg, EventType::ThreadExit, 0, 0});
+  EXPECT_THROW(t.validate(), util::Error);
+}
+
+TEST(TraceValidate, RejectsNestedBarrierArrive) {
+  Trace t;
+  t.add(Event{0, kNoObject, kNoArg, EventType::ThreadStart, 0, 0});
+  t.add(Event{1, 3, 0, EventType::BarrierArrive, 0, 0});
+  t.add(Event{2, 3, 0, EventType::BarrierArrive, 0, 0});
+  t.add(Event{3, kNoObject, kNoArg, EventType::ThreadExit, 0, 0});
+  EXPECT_THROW(t.validate(), util::Error);
+}
+
+TEST(Trace, DumpContainsEventsAndNames) {
+  TraceBuilder b;
+  b.name_object(42, "L1");
+  b.thread(0).start(0).lock_uncontended(42, 1, 3).exit(5);
+  const Trace t = b.finish();
+  const std::string dump = t.dump();
+  EXPECT_NE(dump.find("MutexAcquired"), std::string::npos);
+  EXPECT_NE(dump.find("ThreadExit"), std::string::npos);
+  EXPECT_NE(dump.find("T0"), std::string::npos);
+}
+
+TEST(Trace, AddThreadStreamMergesAndSorts) {
+  Trace t;
+  t.add_thread_stream(0, {Event{5, kNoObject, kNoArg, EventType::ThreadStart, 0, 0}});
+  t.add_thread_stream(
+      0, {Event{2, kNoObject, kNoArg, EventType::ThreadStart, 0, 0},
+          Event{9, kNoObject, kNoArg, EventType::ThreadExit, 0, 0}});
+  const auto events = t.thread_events(0);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].ts, 2u);
+  EXPECT_EQ(events[1].ts, 5u);
+  EXPECT_EQ(events[2].ts, 9u);
+}
+
+TEST(Trace, ThreadEventsOutOfRangeThrows) {
+  Trace t;
+  EXPECT_THROW(t.thread_events(0), util::Error);
+}
+
+}  // namespace
+}  // namespace cla::trace

@@ -1,0 +1,76 @@
+#include "cla/util/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cla/util/error.hpp"
+
+namespace cla::util {
+namespace {
+
+Args parse(std::vector<const char*> argv, std::vector<std::string> known) {
+  argv.insert(argv.begin(), "prog");
+  return Args(static_cast<int>(argv.size()), argv.data(), std::move(known));
+}
+
+TEST(Args, ParsesSeparateValue) {
+  const Args args = parse({"--threads", "8"}, {"threads"});
+  EXPECT_EQ(args.get_int("threads", 0), 8);
+}
+
+TEST(Args, ParsesEqualsValue) {
+  const Args args = parse({"--backend=sim"}, {"backend"});
+  EXPECT_EQ(args.get_or("backend", "x"), "sim");
+}
+
+TEST(Args, FlagWithoutValue) {
+  const Args args = parse({"--optimized"}, {"optimized"});
+  EXPECT_TRUE(args.has("optimized"));
+  EXPECT_FALSE(args.get("optimized").has_value());
+}
+
+TEST(Args, UnknownOptionThrows) {
+  EXPECT_THROW(parse({"--bogus"}, {"threads"}), Error);
+}
+
+TEST(Args, PositionalArguments) {
+  const Args args = parse({"micro", "--threads", "4", "extra"}, {"threads"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "micro");
+  EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(Args, IntFallback) {
+  const Args args = parse({}, {"threads"});
+  EXPECT_EQ(args.get_int("threads", 7), 7);
+}
+
+TEST(Args, BadIntThrows) {
+  const Args args = parse({"--threads", "abc"}, {"threads"});
+  EXPECT_THROW(args.get_int("threads", 0), Error);
+}
+
+TEST(Args, ParsesDouble) {
+  const Args args = parse({"--scale", "2.5"}, {"scale"});
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 1.0), 2.5);
+}
+
+TEST(Args, BadDoubleThrows) {
+  const Args args = parse({"--scale", "xyz"}, {"scale"});
+  EXPECT_THROW(args.get_double("scale", 1.0), Error);
+}
+
+TEST(Args, FlagFollowedByOption) {
+  // A flag followed by another option must not consume it as a value.
+  const Args args = parse({"--optimized", "--threads", "4"},
+                          {"optimized", "threads"});
+  EXPECT_TRUE(args.has("optimized"));
+  EXPECT_EQ(args.get_int("threads", 0), 4);
+}
+
+TEST(Args, RecordsProgramName) {
+  const Args args = parse({}, {});
+  EXPECT_EQ(args.program(), "prog");
+}
+
+}  // namespace
+}  // namespace cla::util

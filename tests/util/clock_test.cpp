@@ -1,0 +1,42 @@
+#include "cla/util/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cla::util {
+namespace {
+
+TEST(Clock, NowIsMonotonic) {
+  std::uint64_t prev = now_ns();
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t cur = now_ns();
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Clock, TicksAdvance) {
+  const std::uint64_t a = ticks();
+  std::uint64_t b = a;
+  for (int i = 0; i < 1000000 && b == a; ++i) b = ticks();
+  EXPECT_GT(b, a);
+}
+
+TEST(Clock, CalibrationIsPositive) { EXPECT_GT(ticks_per_ns(), 0.0); }
+
+TEST(Clock, TicksToNsScalesLinearly) {
+  const auto ns1 = ticks_to_ns(1000000);
+  const auto ns2 = ticks_to_ns(2000000);
+  EXPECT_NEAR(static_cast<double>(ns2), 2.0 * static_cast<double>(ns1),
+              static_cast<double>(ns1) * 0.01 + 2);
+}
+
+TEST(Clock, SpinForNsWaitsApproximately) {
+  const std::uint64_t start = now_ns();
+  spin_for_ns(2'000'000);  // 2 ms
+  const std::uint64_t elapsed = now_ns() - start;
+  EXPECT_GE(elapsed, 1'800'000u);   // allow 10% calibration slack
+  EXPECT_LT(elapsed, 200'000'000u); // and gross overshoot (scheduler noise)
+}
+
+}  // namespace
+}  // namespace cla::util

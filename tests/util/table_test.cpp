@@ -1,0 +1,75 @@
+#include "cla/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cla/util/error.hpp"
+
+namespace cla::util {
+namespace {
+
+TEST(Table, RendersAlignedText) {
+  Table table({"Lock", "CP Time %"});
+  table.add_row({"L2", "83.33%"});
+  table.add_row({"L1", "16.67%"});
+  const std::string text = table.to_text();
+  // Header, separator, two rows.
+  EXPECT_NE(text.find("Lock"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_NE(text.find("L2"), std::string::npos);
+  // First column is left aligned: "L2" starts at column 0 of its line.
+  EXPECT_NE(text.find("\nL2"), std::string::npos);
+  // Numeric column is right aligned under its header.
+  const auto header_line_end = text.find('\n');
+  const auto header = text.substr(0, header_line_end);
+  EXPECT_EQ(header.rfind("CP Time %"), header.size() - 9);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), Error);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), Error);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), Error);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table table({"a", "b", "c"});
+  EXPECT_EQ(table.columns(), 3u);
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1", "2", "3"});
+  EXPECT_EQ(table.rows(), 1u);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table table({"name", "value"});
+  table.add_row({"with,comma", "with\"quote"});
+  table.add_row({"plain", "line\nbreak"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+  EXPECT_NE(csv.find("plain"), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderRow) {
+  Table table({"x", "y"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.to_csv().substr(0, 4), "x,y\n");
+}
+
+TEST(Table, SetAlignValidatesColumn) {
+  Table table({"a"});
+  EXPECT_NO_THROW(table.set_align(0, Align::Left));
+  EXPECT_THROW(table.set_align(1, Align::Left), Error);
+}
+
+TEST(Fixed, FormatsDecimals) {
+  EXPECT_EQ(fixed(7.005, 2), "7.00");  // printf rounding of 7.005 stored as 7.00499...
+  EXPECT_EQ(fixed(1.0, 1), "1.0");
+  EXPECT_EQ(fixed(3.14159, 3), "3.142");
+}
+
+}  // namespace
+}  // namespace cla::util

@@ -1,0 +1,84 @@
+// Metamorphic workload properties: relations that must hold between runs
+// with systematically varied configurations.
+#include <gtest/gtest.h>
+
+#include "cla/analysis/analyzer.hpp"
+#include "cla/workloads/workload.hpp"
+
+namespace cla::workloads {
+namespace {
+
+class ScalableWorkloads : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScalableWorkloads, MoreWorkTakesLonger) {
+  WorkloadConfig small;
+  small.threads = 4;
+  small.scale = 0.25;
+  WorkloadConfig large = small;
+  large.scale = 0.5;
+  const auto a = run_workload(GetParam(), small);
+  const auto b = run_workload(GetParam(), large);
+  EXPECT_GT(b.completion_time, a.completion_time);
+}
+
+TEST_P(ScalableWorkloads, MoreThreadsNeverMuchSlower) {
+  // Parallel workloads at modest thread counts should speed up (virtual
+  // time, perfect cores) — allow a little contention-induced slack.
+  WorkloadConfig two;
+  two.threads = 2;
+  two.scale = 0.25;
+  WorkloadConfig eight = two;
+  eight.threads = 8;
+  const auto a = run_workload(GetParam(), two);
+  const auto b = run_workload(GetParam(), eight);
+  EXPECT_LT(static_cast<double>(b.completion_time),
+            static_cast<double>(a.completion_time) * 1.05)
+      << "8 threads slower than 2";
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ScalableWorkloads,
+                         ::testing::Values("radiosity", "volrend", "raytrace",
+                                           "water"));
+
+TEST(Metamorphic, MicroThreadCountScalesSerializedSection) {
+  // Completion of the micro-benchmark is cs1 + n*cs2 (the serialized L2
+  // chain) in the saturated regime — exactly linear in the thread count.
+  WorkloadConfig config;
+  std::uint64_t prev = 0;
+  for (const std::uint32_t threads : {2u, 4u, 8u}) {
+    config.threads = threads;
+    const auto run = run_workload("micro", config);
+    EXPECT_EQ(run.completion_time, 2000u + threads * 2500u);
+    EXPECT_GT(run.completion_time, prev);
+    prev = run.completion_time;
+  }
+}
+
+TEST(Metamorphic, RadiosityContentionGrowsWithThreads) {
+  WorkloadConfig config;
+  config.scale = 0.5;
+  double prev = -1.0;
+  for (const std::uint32_t threads : {4u, 12u, 24u}) {
+    config.threads = threads;
+    const auto run = run_workload("radiosity", config);
+    const auto result = analysis::analyze(run.trace);
+    const auto* tq0 = result.find_lock("tq[0].qlock");
+    ASSERT_NE(tq0, nullptr);
+    EXPECT_GT(tq0->avg_contention_prob, prev) << threads;
+    prev = tq0->avg_contention_prob;
+  }
+}
+
+TEST(Metamorphic, LdapThroughputScalesUntilGeneratorBound) {
+  WorkloadConfig config;
+  config.scale = 0.2;
+  config.threads = 2;
+  const auto two = run_workload("ldap", config);
+  config.threads = 8;
+  const auto eight = run_workload("ldap", config);
+  // More slapd workers must not hurt; the generator eventually bounds it.
+  EXPECT_LE(eight.completion_time, two.completion_time);
+}
+
+}  // namespace
+}  // namespace cla::workloads

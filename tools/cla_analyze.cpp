@@ -1,0 +1,65 @@
+// cla-analyze: run critical lock analysis on a recorded .clat trace file
+// (the analysis module of the paper's Fig. 3, as a standalone tool).
+//
+// Typical use with the LD_PRELOAD interposer:
+//   CLA_TRACE_FILE=/tmp/app.clat LD_PRELOAD=libcla_interpose.so ./app
+//   cla-analyze /tmp/app.clat
+#include <cstdio>
+#include <iostream>
+
+#include "cla/core/cla.hpp"
+#include "cla/util/args.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    cla::util::Args args(
+        argc, argv,
+        {"top", "json", "csv", "timeline", "whatif", "phase", "help"});
+    if (args.has("help") || args.positional().empty()) {
+      std::printf(
+          "usage: %s <trace.clat> [--top N] [--json] [--csv] [--timeline]\n"
+          "          [--phase K]     (restrict analysis to the K-th recorded\n"
+          "                           PhaseBegin/PhaseEnd region)\n"
+          "          [--whatif LOCK] (predicted upper-bound speedup from\n"
+          "                           eliminating LOCK's on-path time)\n",
+          argv[0]);
+      return args.has("help") ? 0 : 2;
+    }
+    cla::trace::Trace trace =
+        cla::trace::read_trace_file(args.positional().front());
+    if (args.has("phase")) {
+      trace = cla::trace::clip_to_phase(
+          trace, static_cast<std::size_t>(args.get_int("phase", 0)));
+    }
+    const cla::AnalysisResult result = cla::analyze(trace);
+
+    cla::analysis::ReportOptions report_options;
+    report_options.top_locks = static_cast<std::size_t>(args.get_int("top", 0));
+
+    if (args.has("json")) {
+      std::cout << cla::analysis::render_json(result);
+    } else if (args.has("csv")) {
+      std::cout << cla::analysis::type1_table(result, report_options).to_csv()
+                << '\n'
+                << cla::analysis::type2_table(result, report_options).to_csv();
+    } else {
+      std::cout << cla::analysis::render_report(result, report_options);
+    }
+    if (args.has("timeline")) {
+      const cla::analysis::TraceIndex index(trace);
+      std::cout << '\n' << cla::analysis::render_timeline(index, result.path);
+    }
+    if (auto lock = args.get("whatif")) {
+      const auto est = cla::analysis::estimate_shrink(result, *lock, 1.0);
+      std::printf(
+          "\nwhat-if: removing all on-path time of %s saves at most %llu ns "
+          "(predicted speedup <= %.3fx)\n",
+          lock->c_str(), static_cast<unsigned long long>(est.saved_ns),
+          est.predicted_speedup);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cla-analyze: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,130 @@
+// cla-run: run a case-study workload and report its critical lock
+// analysis (the full Fig. 3 workflow in one command).
+//
+// Usage:
+//   cla-run <workload> [--threads N] [--backend sim|pthread] [--optimized]
+//           [--seed S] [--scale X] [--param key=value ...]
+//           [--top N] [--timeline] [--json] [--csv]
+//           [--trace-out file.clat]
+//   cla-run --list
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "cla/core/cla.hpp"
+#include "cla/util/args.hpp"
+#include "cla/util/error.hpp"
+
+namespace {
+
+void print_usage(const char* prog) {
+  std::printf(
+      "usage: %s <workload> [options]\n"
+      "       %s --list\n"
+      "options:\n"
+      "  --threads N       worker threads (default 4)\n"
+      "  --backend B       sim | pthread (default sim)\n"
+      "  --optimized       run the paper's optimized lock variant\n"
+      "  --seed S          workload RNG seed (default 42)\n"
+      "  --scale X         work-size multiplier (default 1.0)\n"
+      "  --param k=v       workload-specific knob (repeatable via comma list)\n"
+      "  --accelerate l=f  scale compute inside lock l's critical sections\n"
+      "                    by factor f (<1 = faster; sim backend only)\n"
+      "  --top N           show only the top-N locks\n"
+      "  --timeline        print the ASCII execution timeline\n"
+      "  --json            print the JSON report instead of text\n"
+      "  --csv             print TYPE1/TYPE2 tables as CSV\n"
+      "  --trace-out FILE  also write the trace to FILE (.clat)\n",
+      prog, prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    cla::util::Args args(argc, argv,
+                         {"threads", "backend", "optimized", "seed", "scale",
+                          "param", "accelerate", "top", "timeline", "json",
+                          "csv", "trace-out", "list", "help"});
+    if (args.has("help")) {
+      print_usage(argv[0]);
+      return 0;
+    }
+    if (args.has("list")) {
+      for (const auto& info : cla::workloads::list_workloads()) {
+        std::printf("%-12s %s\n", info.name.c_str(), info.description.c_str());
+      }
+      return 0;
+    }
+    if (args.positional().empty()) {
+      print_usage(argv[0]);
+      return 2;
+    }
+
+    cla::workloads::WorkloadConfig config;
+    config.threads = static_cast<std::uint32_t>(args.get_int("threads", 4));
+    config.backend = args.get_or("backend", "sim");
+    config.optimized = args.has("optimized");
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    config.scale = args.get_double("scale", 1.0);
+    auto parse_pairs = [](const std::string& list, const char* option,
+                          std::map<std::string, double>& out) {
+      std::string rest = list;
+      while (!rest.empty()) {
+        const auto comma = rest.find(',');
+        const std::string pair = rest.substr(0, comma);
+        rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+        const auto eq = pair.find('=');
+        CLA_CHECK(eq != std::string::npos,
+                  std::string(option) + " expects k=v, got " + pair);
+        out[pair.substr(0, eq)] = std::stod(pair.substr(eq + 1));
+      }
+    };
+    if (auto params = args.get("param")) {
+      parse_pairs(*params, "--param", config.params);
+    }
+    if (auto accel = args.get("accelerate")) {
+      // e.g. --accelerate "tq[0].qlock=0.5" (SVII accelerated critical
+      // sections; honoured by the sim backend).
+      parse_pairs(*accel, "--accelerate", config.accelerate);
+    }
+
+    const std::string workload = args.positional().front();
+    const auto [run, result] = cla::run_and_analyze(workload, config);
+
+    std::printf("workload: %s  threads=%u backend=%s%s seed=%llu\n",
+                workload.c_str(), config.threads, config.backend.c_str(),
+                config.optimized ? " (optimized)" : "",
+                static_cast<unsigned long long>(config.seed));
+    std::printf("completion time: %llu ns, events: %zu\n\n",
+                static_cast<unsigned long long>(run.completion_time),
+                run.trace.event_count());
+
+    cla::analysis::ReportOptions report_options;
+    report_options.top_locks = static_cast<std::size_t>(args.get_int("top", 0));
+
+    if (args.has("json")) {
+      std::cout << cla::analysis::render_json(result);
+    } else if (args.has("csv")) {
+      std::cout << cla::analysis::type1_table(result, report_options).to_csv()
+                << '\n'
+                << cla::analysis::type2_table(result, report_options).to_csv();
+    } else {
+      std::cout << cla::analysis::render_report(result, report_options);
+    }
+
+    if (args.has("timeline")) {
+      const cla::analysis::TraceIndex index(run.trace);
+      std::cout << '\n'
+                << cla::analysis::render_timeline(index, result.path);
+    }
+    if (auto path = args.get("trace-out")) {
+      cla::trace::write_trace_file(run.trace, *path);
+      std::printf("\ntrace written to %s\n", path->c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cla-run: %s\n", e.what());
+    return 1;
+  }
+}

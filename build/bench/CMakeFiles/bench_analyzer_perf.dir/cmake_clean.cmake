@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analyzer_perf.dir/bench_analyzer_perf.cpp.o"
+  "CMakeFiles/bench_analyzer_perf.dir/bench_analyzer_perf.cpp.o.d"
+  "bench_analyzer_perf"
+  "bench_analyzer_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analyzer_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

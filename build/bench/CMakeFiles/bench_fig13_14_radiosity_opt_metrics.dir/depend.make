@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_14_radiosity_opt_metrics.
+# This may be replaced when dependencies are built.

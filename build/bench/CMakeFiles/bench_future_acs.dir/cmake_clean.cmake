@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_acs.dir/bench_future_acs.cpp.o"
+  "CMakeFiles/bench_future_acs.dir/bench_future_acs.cpp.o.d"
+  "bench_future_acs"
+  "bench_future_acs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_acs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

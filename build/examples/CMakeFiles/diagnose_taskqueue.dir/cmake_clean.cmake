@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_taskqueue.dir/diagnose_taskqueue.cpp.o"
+  "CMakeFiles/diagnose_taskqueue.dir/diagnose_taskqueue.cpp.o.d"
+  "diagnose_taskqueue"
+  "diagnose_taskqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_taskqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

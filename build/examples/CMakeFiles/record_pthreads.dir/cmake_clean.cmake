@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_pthreads.dir/record_pthreads.cpp.o"
+  "CMakeFiles/record_pthreads.dir/record_pthreads.cpp.o.d"
+  "record_pthreads"
+  "record_pthreads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_pthreads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

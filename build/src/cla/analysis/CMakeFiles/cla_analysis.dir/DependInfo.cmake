@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cla/analysis/analyzer.cpp" "src/cla/analysis/CMakeFiles/cla_analysis.dir/analyzer.cpp.o" "gcc" "src/cla/analysis/CMakeFiles/cla_analysis.dir/analyzer.cpp.o.d"
+  "/root/repo/src/cla/analysis/critical_path.cpp" "src/cla/analysis/CMakeFiles/cla_analysis.dir/critical_path.cpp.o" "gcc" "src/cla/analysis/CMakeFiles/cla_analysis.dir/critical_path.cpp.o.d"
+  "/root/repo/src/cla/analysis/index.cpp" "src/cla/analysis/CMakeFiles/cla_analysis.dir/index.cpp.o" "gcc" "src/cla/analysis/CMakeFiles/cla_analysis.dir/index.cpp.o.d"
+  "/root/repo/src/cla/analysis/model.cpp" "src/cla/analysis/CMakeFiles/cla_analysis.dir/model.cpp.o" "gcc" "src/cla/analysis/CMakeFiles/cla_analysis.dir/model.cpp.o.d"
+  "/root/repo/src/cla/analysis/report.cpp" "src/cla/analysis/CMakeFiles/cla_analysis.dir/report.cpp.o" "gcc" "src/cla/analysis/CMakeFiles/cla_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/cla/analysis/resolver.cpp" "src/cla/analysis/CMakeFiles/cla_analysis.dir/resolver.cpp.o" "gcc" "src/cla/analysis/CMakeFiles/cla_analysis.dir/resolver.cpp.o.d"
+  "/root/repo/src/cla/analysis/stats.cpp" "src/cla/analysis/CMakeFiles/cla_analysis.dir/stats.cpp.o" "gcc" "src/cla/analysis/CMakeFiles/cla_analysis.dir/stats.cpp.o.d"
+  "/root/repo/src/cla/analysis/timeline.cpp" "src/cla/analysis/CMakeFiles/cla_analysis.dir/timeline.cpp.o" "gcc" "src/cla/analysis/CMakeFiles/cla_analysis.dir/timeline.cpp.o.d"
+  "/root/repo/src/cla/analysis/whatif.cpp" "src/cla/analysis/CMakeFiles/cla_analysis.dir/whatif.cpp.o" "gcc" "src/cla/analysis/CMakeFiles/cla_analysis.dir/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cla/trace/CMakeFiles/cla_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cla/util/CMakeFiles/cla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

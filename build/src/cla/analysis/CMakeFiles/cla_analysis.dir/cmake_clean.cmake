@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_analysis.dir/analyzer.cpp.o"
+  "CMakeFiles/cla_analysis.dir/analyzer.cpp.o.d"
+  "CMakeFiles/cla_analysis.dir/critical_path.cpp.o"
+  "CMakeFiles/cla_analysis.dir/critical_path.cpp.o.d"
+  "CMakeFiles/cla_analysis.dir/index.cpp.o"
+  "CMakeFiles/cla_analysis.dir/index.cpp.o.d"
+  "CMakeFiles/cla_analysis.dir/model.cpp.o"
+  "CMakeFiles/cla_analysis.dir/model.cpp.o.d"
+  "CMakeFiles/cla_analysis.dir/report.cpp.o"
+  "CMakeFiles/cla_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/cla_analysis.dir/resolver.cpp.o"
+  "CMakeFiles/cla_analysis.dir/resolver.cpp.o.d"
+  "CMakeFiles/cla_analysis.dir/stats.cpp.o"
+  "CMakeFiles/cla_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/cla_analysis.dir/timeline.cpp.o"
+  "CMakeFiles/cla_analysis.dir/timeline.cpp.o.d"
+  "CMakeFiles/cla_analysis.dir/whatif.cpp.o"
+  "CMakeFiles/cla_analysis.dir/whatif.cpp.o.d"
+  "libcla_analysis.a"
+  "libcla_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

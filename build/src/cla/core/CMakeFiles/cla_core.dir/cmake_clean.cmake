@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_core.dir/cla.cpp.o"
+  "CMakeFiles/cla_core.dir/cla.cpp.o.d"
+  "libcla_core.a"
+  "libcla_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_exec.dir/pthread_backend.cpp.o"
+  "CMakeFiles/cla_exec.dir/pthread_backend.cpp.o.d"
+  "CMakeFiles/cla_exec.dir/sim_backend.cpp.o"
+  "CMakeFiles/cla_exec.dir/sim_backend.cpp.o.d"
+  "libcla_exec.a"
+  "libcla_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

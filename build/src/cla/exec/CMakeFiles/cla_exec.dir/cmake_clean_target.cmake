@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcla_exec.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_interpose.dir/interpose.cpp.o"
+  "CMakeFiles/cla_interpose.dir/interpose.cpp.o.d"
+  "CMakeFiles/cla_interpose.dir/recorder.cpp.o"
+  "CMakeFiles/cla_interpose.dir/recorder.cpp.o.d"
+  "libcla_interpose.pdb"
+  "libcla_interpose.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_interpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

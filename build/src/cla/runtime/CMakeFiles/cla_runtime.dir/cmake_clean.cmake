@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_runtime.dir/hooks.cpp.o"
+  "CMakeFiles/cla_runtime.dir/hooks.cpp.o.d"
+  "CMakeFiles/cla_runtime.dir/recorder.cpp.o"
+  "CMakeFiles/cla_runtime.dir/recorder.cpp.o.d"
+  "libcla_runtime.a"
+  "libcla_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_sim.dir/engine.cpp.o"
+  "CMakeFiles/cla_sim.dir/engine.cpp.o.d"
+  "libcla_sim.a"
+  "libcla_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cla/trace/builder.cpp" "src/cla/trace/CMakeFiles/cla_trace.dir/builder.cpp.o" "gcc" "src/cla/trace/CMakeFiles/cla_trace.dir/builder.cpp.o.d"
+  "/root/repo/src/cla/trace/clip.cpp" "src/cla/trace/CMakeFiles/cla_trace.dir/clip.cpp.o" "gcc" "src/cla/trace/CMakeFiles/cla_trace.dir/clip.cpp.o.d"
+  "/root/repo/src/cla/trace/trace.cpp" "src/cla/trace/CMakeFiles/cla_trace.dir/trace.cpp.o" "gcc" "src/cla/trace/CMakeFiles/cla_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/cla/trace/trace_io.cpp" "src/cla/trace/CMakeFiles/cla_trace.dir/trace_io.cpp.o" "gcc" "src/cla/trace/CMakeFiles/cla_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cla/util/CMakeFiles/cla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

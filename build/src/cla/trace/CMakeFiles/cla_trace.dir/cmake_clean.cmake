@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_trace.dir/builder.cpp.o"
+  "CMakeFiles/cla_trace.dir/builder.cpp.o.d"
+  "CMakeFiles/cla_trace.dir/clip.cpp.o"
+  "CMakeFiles/cla_trace.dir/clip.cpp.o.d"
+  "CMakeFiles/cla_trace.dir/trace.cpp.o"
+  "CMakeFiles/cla_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/cla_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/cla_trace.dir/trace_io.cpp.o.d"
+  "libcla_trace.a"
+  "libcla_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_util.dir/args.cpp.o"
+  "CMakeFiles/cla_util.dir/args.cpp.o.d"
+  "CMakeFiles/cla_util.dir/clock.cpp.o"
+  "CMakeFiles/cla_util.dir/clock.cpp.o.d"
+  "CMakeFiles/cla_util.dir/error.cpp.o"
+  "CMakeFiles/cla_util.dir/error.cpp.o.d"
+  "CMakeFiles/cla_util.dir/stats.cpp.o"
+  "CMakeFiles/cla_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cla_util.dir/table.cpp.o"
+  "CMakeFiles/cla_util.dir/table.cpp.o.d"
+  "libcla_util.a"
+  "libcla_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cla/workloads/ldap_like.cpp" "src/cla/workloads/CMakeFiles/cla_workloads.dir/ldap_like.cpp.o" "gcc" "src/cla/workloads/CMakeFiles/cla_workloads.dir/ldap_like.cpp.o.d"
+  "/root/repo/src/cla/workloads/micro.cpp" "src/cla/workloads/CMakeFiles/cla_workloads.dir/micro.cpp.o" "gcc" "src/cla/workloads/CMakeFiles/cla_workloads.dir/micro.cpp.o.d"
+  "/root/repo/src/cla/workloads/radiosity.cpp" "src/cla/workloads/CMakeFiles/cla_workloads.dir/radiosity.cpp.o" "gcc" "src/cla/workloads/CMakeFiles/cla_workloads.dir/radiosity.cpp.o.d"
+  "/root/repo/src/cla/workloads/raytrace.cpp" "src/cla/workloads/CMakeFiles/cla_workloads.dir/raytrace.cpp.o" "gcc" "src/cla/workloads/CMakeFiles/cla_workloads.dir/raytrace.cpp.o.d"
+  "/root/repo/src/cla/workloads/tsp.cpp" "src/cla/workloads/CMakeFiles/cla_workloads.dir/tsp.cpp.o" "gcc" "src/cla/workloads/CMakeFiles/cla_workloads.dir/tsp.cpp.o.d"
+  "/root/repo/src/cla/workloads/uts.cpp" "src/cla/workloads/CMakeFiles/cla_workloads.dir/uts.cpp.o" "gcc" "src/cla/workloads/CMakeFiles/cla_workloads.dir/uts.cpp.o.d"
+  "/root/repo/src/cla/workloads/volrend.cpp" "src/cla/workloads/CMakeFiles/cla_workloads.dir/volrend.cpp.o" "gcc" "src/cla/workloads/CMakeFiles/cla_workloads.dir/volrend.cpp.o.d"
+  "/root/repo/src/cla/workloads/water.cpp" "src/cla/workloads/CMakeFiles/cla_workloads.dir/water.cpp.o" "gcc" "src/cla/workloads/CMakeFiles/cla_workloads.dir/water.cpp.o.d"
+  "/root/repo/src/cla/workloads/workload.cpp" "src/cla/workloads/CMakeFiles/cla_workloads.dir/workload.cpp.o" "gcc" "src/cla/workloads/CMakeFiles/cla_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cla/exec/CMakeFiles/cla_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cla/trace/CMakeFiles/cla_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cla/util/CMakeFiles/cla_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cla/sim/CMakeFiles/cla_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cla/runtime/CMakeFiles/cla_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

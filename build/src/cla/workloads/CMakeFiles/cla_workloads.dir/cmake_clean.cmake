@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_workloads.dir/ldap_like.cpp.o"
+  "CMakeFiles/cla_workloads.dir/ldap_like.cpp.o.d"
+  "CMakeFiles/cla_workloads.dir/micro.cpp.o"
+  "CMakeFiles/cla_workloads.dir/micro.cpp.o.d"
+  "CMakeFiles/cla_workloads.dir/radiosity.cpp.o"
+  "CMakeFiles/cla_workloads.dir/radiosity.cpp.o.d"
+  "CMakeFiles/cla_workloads.dir/raytrace.cpp.o"
+  "CMakeFiles/cla_workloads.dir/raytrace.cpp.o.d"
+  "CMakeFiles/cla_workloads.dir/tsp.cpp.o"
+  "CMakeFiles/cla_workloads.dir/tsp.cpp.o.d"
+  "CMakeFiles/cla_workloads.dir/uts.cpp.o"
+  "CMakeFiles/cla_workloads.dir/uts.cpp.o.d"
+  "CMakeFiles/cla_workloads.dir/volrend.cpp.o"
+  "CMakeFiles/cla_workloads.dir/volrend.cpp.o.d"
+  "CMakeFiles/cla_workloads.dir/water.cpp.o"
+  "CMakeFiles/cla_workloads.dir/water.cpp.o.d"
+  "CMakeFiles/cla_workloads.dir/workload.cpp.o"
+  "CMakeFiles/cla_workloads.dir/workload.cpp.o.d"
+  "libcla_workloads.a"
+  "libcla_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

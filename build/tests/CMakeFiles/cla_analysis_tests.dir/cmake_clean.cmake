@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_analysis_tests.dir/analysis/critical_path_test.cpp.o"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/critical_path_test.cpp.o.d"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/fig1_example_test.cpp.o"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/fig1_example_test.cpp.o.d"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/index_test.cpp.o"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/index_test.cpp.o.d"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/model_test.cpp.o"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/model_test.cpp.o.d"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/nesting_test.cpp.o"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/nesting_test.cpp.o.d"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/report_test.cpp.o"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/report_test.cpp.o.d"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/resolver_test.cpp.o"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/resolver_test.cpp.o.d"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/stats_test.cpp.o"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/stats_test.cpp.o.d"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/timeline_test.cpp.o"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/timeline_test.cpp.o.d"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/whatif_test.cpp.o"
+  "CMakeFiles/cla_analysis_tests.dir/analysis/whatif_test.cpp.o.d"
+  "cla_analysis_tests"
+  "cla_analysis_tests.pdb"
+  "cla_analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

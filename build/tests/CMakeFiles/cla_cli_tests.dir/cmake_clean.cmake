@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_cli_tests.dir/integration/cli_test.cpp.o"
+  "CMakeFiles/cla_cli_tests.dir/integration/cli_test.cpp.o.d"
+  "cla_cli_tests"
+  "cla_cli_tests.pdb"
+  "cla_cli_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_cli_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_exec_queue_tests.dir/exec/backend_test.cpp.o"
+  "CMakeFiles/cla_exec_queue_tests.dir/exec/backend_test.cpp.o.d"
+  "CMakeFiles/cla_exec_queue_tests.dir/queue/queues_test.cpp.o"
+  "CMakeFiles/cla_exec_queue_tests.dir/queue/queues_test.cpp.o.d"
+  "cla_exec_queue_tests"
+  "cla_exec_queue_tests.pdb"
+  "cla_exec_queue_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_exec_queue_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

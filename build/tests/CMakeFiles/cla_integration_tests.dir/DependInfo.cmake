@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/pipeline_test.cpp" "tests/CMakeFiles/cla_integration_tests.dir/integration/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/cla_integration_tests.dir/integration/pipeline_test.cpp.o.d"
+  "/root/repo/tests/integration/property_test.cpp" "tests/CMakeFiles/cla_integration_tests.dir/integration/property_test.cpp.o" "gcc" "tests/CMakeFiles/cla_integration_tests.dir/integration/property_test.cpp.o.d"
+  "/root/repo/tests/integration/robustness_test.cpp" "tests/CMakeFiles/cla_integration_tests.dir/integration/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/cla_integration_tests.dir/integration/robustness_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cla/core/CMakeFiles/cla_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cla/analysis/CMakeFiles/cla_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cla/workloads/CMakeFiles/cla_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cla/exec/CMakeFiles/cla_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cla/sim/CMakeFiles/cla_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cla/runtime/CMakeFiles/cla_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cla/trace/CMakeFiles/cla_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cla/util/CMakeFiles/cla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

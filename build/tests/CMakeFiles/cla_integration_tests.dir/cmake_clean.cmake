@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_integration_tests.dir/integration/pipeline_test.cpp.o"
+  "CMakeFiles/cla_integration_tests.dir/integration/pipeline_test.cpp.o.d"
+  "CMakeFiles/cla_integration_tests.dir/integration/property_test.cpp.o"
+  "CMakeFiles/cla_integration_tests.dir/integration/property_test.cpp.o.d"
+  "CMakeFiles/cla_integration_tests.dir/integration/robustness_test.cpp.o"
+  "CMakeFiles/cla_integration_tests.dir/integration/robustness_test.cpp.o.d"
+  "cla_integration_tests"
+  "cla_integration_tests.pdb"
+  "cla_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_interpose_tests.dir/runtime/interpose_test.cpp.o"
+  "CMakeFiles/cla_interpose_tests.dir/runtime/interpose_test.cpp.o.d"
+  "cla_interpose_tests"
+  "cla_interpose_tests.pdb"
+  "cla_interpose_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_interpose_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_runtime_tests.dir/runtime/hooks_test.cpp.o"
+  "CMakeFiles/cla_runtime_tests.dir/runtime/hooks_test.cpp.o.d"
+  "CMakeFiles/cla_runtime_tests.dir/runtime/recorder_test.cpp.o"
+  "CMakeFiles/cla_runtime_tests.dir/runtime/recorder_test.cpp.o.d"
+  "cla_runtime_tests"
+  "cla_runtime_tests.pdb"
+  "cla_runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

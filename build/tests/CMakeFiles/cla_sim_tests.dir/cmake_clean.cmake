@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_sim_tests.dir/sim/acceleration_test.cpp.o"
+  "CMakeFiles/cla_sim_tests.dir/sim/acceleration_test.cpp.o.d"
+  "CMakeFiles/cla_sim_tests.dir/sim/engine_sync_test.cpp.o"
+  "CMakeFiles/cla_sim_tests.dir/sim/engine_sync_test.cpp.o.d"
+  "CMakeFiles/cla_sim_tests.dir/sim/engine_test.cpp.o"
+  "CMakeFiles/cla_sim_tests.dir/sim/engine_test.cpp.o.d"
+  "cla_sim_tests"
+  "cla_sim_tests.pdb"
+  "cla_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_trace_tests.dir/trace/builder_test.cpp.o"
+  "CMakeFiles/cla_trace_tests.dir/trace/builder_test.cpp.o.d"
+  "CMakeFiles/cla_trace_tests.dir/trace/clip_test.cpp.o"
+  "CMakeFiles/cla_trace_tests.dir/trace/clip_test.cpp.o.d"
+  "CMakeFiles/cla_trace_tests.dir/trace/trace_io_test.cpp.o"
+  "CMakeFiles/cla_trace_tests.dir/trace/trace_io_test.cpp.o.d"
+  "CMakeFiles/cla_trace_tests.dir/trace/trace_test.cpp.o"
+  "CMakeFiles/cla_trace_tests.dir/trace/trace_test.cpp.o.d"
+  "cla_trace_tests"
+  "cla_trace_tests.pdb"
+  "cla_trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_util_tests.dir/util/args_test.cpp.o"
+  "CMakeFiles/cla_util_tests.dir/util/args_test.cpp.o.d"
+  "CMakeFiles/cla_util_tests.dir/util/clock_test.cpp.o"
+  "CMakeFiles/cla_util_tests.dir/util/clock_test.cpp.o.d"
+  "CMakeFiles/cla_util_tests.dir/util/rng_test.cpp.o"
+  "CMakeFiles/cla_util_tests.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/cla_util_tests.dir/util/stats_test.cpp.o"
+  "CMakeFiles/cla_util_tests.dir/util/stats_test.cpp.o.d"
+  "CMakeFiles/cla_util_tests.dir/util/table_test.cpp.o"
+  "CMakeFiles/cla_util_tests.dir/util/table_test.cpp.o.d"
+  "cla_util_tests"
+  "cla_util_tests.pdb"
+  "cla_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

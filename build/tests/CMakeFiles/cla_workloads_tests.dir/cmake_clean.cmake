@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla_workloads_tests.dir/workloads/metamorphic_test.cpp.o"
+  "CMakeFiles/cla_workloads_tests.dir/workloads/metamorphic_test.cpp.o.d"
+  "CMakeFiles/cla_workloads_tests.dir/workloads/workloads_test.cpp.o"
+  "CMakeFiles/cla_workloads_tests.dir/workloads/workloads_test.cpp.o.d"
+  "cla_workloads_tests"
+  "cla_workloads_tests.pdb"
+  "cla_workloads_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla_workloads_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

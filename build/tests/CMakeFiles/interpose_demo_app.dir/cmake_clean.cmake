@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpose_demo_app.dir/runtime/interpose_demo_app.cpp.o"
+  "CMakeFiles/interpose_demo_app.dir/runtime/interpose_demo_app.cpp.o.d"
+  "interpose_demo_app"
+  "interpose_demo_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpose_demo_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

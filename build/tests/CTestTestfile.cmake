@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cla_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/cla_trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/cla_analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/cla_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/cla_runtime_tests[1]_include.cmake")
+include("/root/repo/build/tests/cla_exec_queue_tests[1]_include.cmake")
+include("/root/repo/build/tests/cla_workloads_tests[1]_include.cmake")
+include("/root/repo/build/tests/cla_integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/cla_cli_tests[1]_include.cmake")
+include("/root/repo/build/tests/cla_interpose_tests[1]_include.cmake")

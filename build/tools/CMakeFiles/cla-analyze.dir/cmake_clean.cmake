@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla-analyze.dir/cla_analyze.cpp.o"
+  "CMakeFiles/cla-analyze.dir/cla_analyze.cpp.o.d"
+  "cla-analyze"
+  "cla-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

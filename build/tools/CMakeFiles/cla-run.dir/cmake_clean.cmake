@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cla-run.dir/cla_run.cpp.o"
+  "CMakeFiles/cla-run.dir/cla_run.cpp.o.d"
+  "cla-run"
+  "cla-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cla-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -3,11 +3,9 @@
 namespace cla::analysis {
 
 AnalysisResult analyze(const trace::Trace& trace, const AnalyzeOptions& options) {
-  if (options.validate) trace.validate();
-  const TraceIndex index(trace);
-  const WakeupResolver resolver(index);
-  CriticalPath path = compute_critical_path(index, resolver);
-  return compute_stats(index, std::move(path), options.stats);
+  Pipeline pipeline(options);
+  pipeline.use_trace(trace);
+  return pipeline.take_result();
 }
 
 }  // namespace cla::analysis

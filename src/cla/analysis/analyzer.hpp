@@ -1,16 +1,19 @@
 // One-call entry point of the analysis module (paper Fig. 3, right box).
+//
+// This is a thin wrapper over the staged cla::analysis::Pipeline — use the
+// Pipeline directly for stage-by-stage control, per-stage profiling, or a
+// multi-threaded ExecutionPolicy.
 #pragma once
 
-#include "cla/analysis/stats.hpp"
+#include "cla/analysis/pipeline.hpp"
 #include "cla/trace/trace.hpp"
 
 namespace cla::analysis {
 
-struct AnalyzeOptions {
-  /// Validate the trace's structural invariants before analyzing.
-  bool validate = true;
-  StatsOptions stats;
-};
+/// Historical name of the consolidated options aggregate. The fields the
+/// old struct carried (`validate`, `stats`) are unchanged; the aggregate
+/// additionally carries the report/execution/load sub-structs.
+using AnalyzeOptions = Options;
 
 /// Runs the full pipeline: validate -> index -> resolve wake-ups ->
 /// backward critical-path walk -> TYPE 1 / TYPE 2 statistics.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cla/util/error.hpp"
+#include "cla/util/thread_pool.hpp"
 
 namespace cla::analysis {
 
@@ -30,11 +31,32 @@ bool is_sync_op(EventType type) noexcept {
   }
 }
 
-}  // namespace
+/// Partial index produced by scanning one thread's stream in isolation.
+/// Merging these in thread-id order reproduces, record for record, the
+/// structures a single forward scan over all threads would build — which
+/// is what makes pooled construction bit-identical to sequential.
+struct ThreadScan {
+  ThreadInfo info;
+  std::vector<std::pair<trace::ThreadId, EventRef>> creates;  ///< child, ref
+  std::map<trace::ObjectId, std::vector<CsRecord>> sections;
+  std::map<trace::ObjectId, std::vector<BarrierWaitRecord>> barrier_waits;
+  std::map<trace::ObjectId, std::vector<CondWaitRecord>> cond_waits;
+  std::map<trace::ObjectId, std::vector<CondSignalRecord>> signals;
+};
 
-TraceIndex::TraceIndex(const trace::Trace& t) : trace_(&t) {
-  const auto thread_count = static_cast<trace::ThreadId>(t.thread_count());
-  threads_.resize(thread_count);
+ThreadScan scan_thread(const trace::Trace& t, trace::ThreadId tid) {
+  const auto events = t.thread_events(tid);
+  CLA_CHECK(!events.empty(), "trace thread has no events");
+
+  ThreadScan scan;
+  ThreadInfo& info = scan.info;
+  info.start_ts = events.front().ts;
+  info.exit_ts = events.back().ts;
+  info.exit_idx = static_cast<std::uint32_t>(events.size() - 1);
+  if (events.front().type == EventType::ThreadStart &&
+      events.front().object != trace::kNoObject) {
+    info.parent = static_cast<trace::ThreadId>(events.front().object);
+  }
 
   // Per-(thread, object) in-flight state while scanning forward.
   struct PendingCs {
@@ -55,161 +77,214 @@ TraceIndex::TraceIndex(const trace::Trace& t) : trace_(&t) {
     bool open = false;
   };
 
-  for (trace::ThreadId tid = 0; tid < thread_count; ++tid) {
-    const auto events = t.thread_events(tid);
-    CLA_CHECK(!events.empty(), "trace thread has no events");
-    ThreadInfo& info = threads_[tid];
-    info.start_ts = events.front().ts;
-    info.exit_ts = events.back().ts;
-    info.exit_idx = static_cast<std::uint32_t>(events.size() - 1);
-    if (events.front().type == EventType::ThreadStart &&
-        events.front().object != trace::kNoObject) {
-      info.parent = static_cast<trace::ThreadId>(events.front().object);
-    }
+  std::map<trace::ObjectId, PendingCs> pending_cs;
+  std::map<trace::ObjectId, PendingBarrier> pending_barrier;
+  PendingCond pending_cond;  // waits cannot nest on one thread
+  trace::ObjectId pending_cond_id = trace::kNoObject;
 
-    std::map<trace::ObjectId, PendingCs> pending_cs;
-    std::map<trace::ObjectId, PendingBarrier> pending_barrier;
-    PendingCond pending_cond;  // waits cannot nest on one thread
-    trace::ObjectId pending_cond_id = trace::kNoObject;
-
-    for (std::uint32_t i = 0; i < events.size(); ++i) {
-      const Event& e = events[i];
-      if (is_sync_op(e.type)) ++info.sync_ops;
-      switch (e.type) {
-        case EventType::ThreadCreate:
-          creates_[static_cast<trace::ThreadId>(e.object)] = EventRef{tid, i};
-          break;
-        case EventType::MutexAcquire: {
-          auto& p = pending_cs[e.object];
-          if (!p.open) {  // ignore recursive re-acquire of a held lock
-            p = PendingCs{i, e.ts, true};
-          }
-          break;
+  for (std::uint32_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (is_sync_op(e.type)) ++info.sync_ops;
+    switch (e.type) {
+      case EventType::ThreadCreate:
+        scan.creates.emplace_back(static_cast<trace::ThreadId>(e.object),
+                                  EventRef{tid, i});
+        break;
+      case EventType::MutexAcquire: {
+        auto& p = pending_cs[e.object];
+        if (!p.open) {  // ignore recursive re-acquire of a held lock
+          p = PendingCs{i, e.ts, true};
         }
-        case EventType::MutexAcquired: {
-          auto& p = pending_cs[e.object];
-          if (p.open) {
-            CsRecord cs;
-            cs.tid = tid;
-            cs.acquire_idx = p.acquire_idx;
-            cs.acquired_idx = i;
-            cs.acquire_ts = p.acquire_ts;
-            cs.acquired_ts = e.ts;
-            cs.released_ts = kUnreleased;  // filled on MutexReleased
-            cs.contended = (e.arg != trace::kNoArg) && (e.arg & 1);
-            auto& mi = mutexes_[e.object];
-            mi.id = e.object;
-            mi.sections.push_back(cs);
-            p.open = false;
-          }
-          break;
-        }
-        case EventType::MutexReleased: {
-          auto& mi = mutexes_[e.object];
-          // This thread scans its events in order and sections append in
-          // acquisition order, so its open section is the rearmost one.
-          for (auto it = mi.sections.rbegin(); it != mi.sections.rend(); ++it) {
-            if (it->tid == tid && it->released_ts == kUnreleased) {
-              it->released_idx = i;
-              it->released_ts = e.ts;
-              break;
-            }
-          }
-          break;
-        }
-        case EventType::BarrierArrive: {
-          auto& p = pending_barrier[e.object];
-          p.arrive_idx = i;
-          p.arrive_ts = e.ts;
-          p.recorded_episode = e.arg;
-          p.open = true;
-          break;
-        }
-        case EventType::BarrierLeave: {
-          auto& p = pending_barrier[e.object];
-          if (p.open) {
-            BarrierWaitRecord w;
-            w.tid = tid;
-            w.arrive_idx = p.arrive_idx;
-            w.leave_idx = i;
-            w.arrive_ts = p.arrive_ts;
-            w.leave_ts = e.ts;
-            // An episode recorded by the producer is preferred, but it is
-            // untrusted input: an absurd value (corrupt trace) falls back
-            // to the per-thread wait ordinal, which is always coherent.
-            w.episode = p.recorded_episode != trace::kNoArg &&
-                                p.recorded_episode <= (1u << 24)
-                            ? static_cast<std::uint32_t>(p.recorded_episode)
-                            : p.ordinal;
-            auto& bi = barriers_[e.object];
-            bi.id = e.object;
-            bi.waits.push_back(w);
-            leave_pos_[{tid, i}] = static_cast<std::uint32_t>(bi.waits.size() - 1);
-            ++p.ordinal;
-            p.open = false;
-          }
-          break;
-        }
-        case EventType::CondWaitBegin: {
-          pending_cond = PendingCond{i, e.ts, true};
-          pending_cond_id = e.object;
-          break;
-        }
-        case EventType::CondWaitEnd: {
-          if (pending_cond.open && pending_cond_id == e.object) {
-            CondWaitRecord w;
-            w.tid = tid;
-            w.begin_idx = pending_cond.begin_idx;
-            w.end_idx = i;
-            w.begin_ts = pending_cond.begin_ts;
-            w.end_ts = e.ts;
-            auto& ci = conds_[e.object];
-            ci.id = e.object;
-            ci.waits.push_back(w);
-            cond_end_pos_[{tid, i}] = static_cast<std::uint32_t>(ci.waits.size() - 1);
-            pending_cond.open = false;
-          }
-          break;
-        }
-        case EventType::CondSignal:
-        case EventType::CondBroadcast: {
-          auto& ci = conds_[e.object];
-          ci.id = e.object;
-          ci.signals.push_back(CondSignalRecord{
-              tid, i, e.ts, e.type == EventType::CondBroadcast});
-          break;
-        }
-        default:
-          break;
+        break;
       }
+      case EventType::MutexAcquired: {
+        auto& p = pending_cs[e.object];
+        if (p.open) {
+          CsRecord cs;
+          cs.tid = tid;
+          cs.acquire_idx = p.acquire_idx;
+          cs.acquired_idx = i;
+          cs.acquire_ts = p.acquire_ts;
+          cs.acquired_ts = e.ts;
+          cs.released_ts = kUnreleased;  // filled on MutexReleased
+          cs.contended = (e.arg != trace::kNoArg) && (e.arg & 1);
+          scan.sections[e.object].push_back(cs);
+          p.open = false;
+        }
+        break;
+      }
+      case EventType::MutexReleased: {
+        // This thread scans its events in order and its sections append in
+        // acquisition order, so its open section is the rearmost one.
+        auto& secs = scan.sections[e.object];
+        for (auto it = secs.rbegin(); it != secs.rend(); ++it) {
+          if (it->released_ts == kUnreleased) {
+            it->released_idx = i;
+            it->released_ts = e.ts;
+            break;
+          }
+        }
+        break;
+      }
+      case EventType::BarrierArrive: {
+        auto& p = pending_barrier[e.object];
+        p.arrive_idx = i;
+        p.arrive_ts = e.ts;
+        p.recorded_episode = e.arg;
+        p.open = true;
+        break;
+      }
+      case EventType::BarrierLeave: {
+        auto& p = pending_barrier[e.object];
+        if (p.open) {
+          BarrierWaitRecord w;
+          w.tid = tid;
+          w.arrive_idx = p.arrive_idx;
+          w.leave_idx = i;
+          w.arrive_ts = p.arrive_ts;
+          w.leave_ts = e.ts;
+          // An episode recorded by the producer is preferred, but it is
+          // untrusted input: an absurd value (corrupt trace) falls back
+          // to the per-thread wait ordinal, which is always coherent.
+          w.episode = p.recorded_episode != trace::kNoArg &&
+                              p.recorded_episode <= (1u << 24)
+                          ? static_cast<std::uint32_t>(p.recorded_episode)
+                          : p.ordinal;
+          scan.barrier_waits[e.object].push_back(w);
+          ++p.ordinal;
+          p.open = false;
+        }
+        break;
+      }
+      case EventType::CondWaitBegin: {
+        pending_cond = PendingCond{i, e.ts, true};
+        pending_cond_id = e.object;
+        break;
+      }
+      case EventType::CondWaitEnd: {
+        if (pending_cond.open && pending_cond_id == e.object) {
+          CondWaitRecord w;
+          w.tid = tid;
+          w.begin_idx = pending_cond.begin_idx;
+          w.end_idx = i;
+          w.begin_ts = pending_cond.begin_ts;
+          w.end_ts = e.ts;
+          scan.cond_waits[e.object].push_back(w);
+          pending_cond.open = false;
+        }
+        break;
+      }
+      case EventType::CondSignal:
+      case EventType::CondBroadcast: {
+        scan.signals[e.object].push_back(CondSignalRecord{
+            tid, i, e.ts, e.type == EventType::CondBroadcast});
+        break;
+      }
+      default:
+        break;
     }
   }
 
   // Close any sections missing a release (thread exited holding a lock —
   // tolerated: treat the exit as the release point).
-  for (auto& [id, mi] : mutexes_) {
-    (void)id;
-    for (auto& cs : mi.sections) {
+  for (auto& [object, secs] : scan.sections) {
+    (void)object;
+    for (auto& cs : secs) {
       if (cs.released_ts == kUnreleased) {
-        cs.released_ts = threads_[cs.tid].exit_ts;
-        cs.released_idx = threads_[cs.tid].exit_idx;
+        cs.released_ts = info.exit_ts;
+        cs.released_idx = info.exit_idx;
       }
     }
+  }
+  return scan;
+}
+
+}  // namespace
+
+TraceIndex::TraceIndex(const trace::Trace& t) : TraceIndex(t, nullptr) {}
+
+TraceIndex::TraceIndex(const trace::Trace& t, util::ThreadPool* pool)
+    : trace_(&t) {
+  const auto thread_count = static_cast<trace::ThreadId>(t.thread_count());
+  threads_.resize(thread_count);
+
+  // --- per-thread scans: the O(events) part, fanned out across the pool.
+  // Slot tid is written only by iteration tid, so scheduling order cannot
+  // affect the result.
+  std::vector<ThreadScan> scans(thread_count);
+  const auto scan_one = [&](std::size_t tid) {
+    scans[tid] = scan_thread(t, static_cast<trace::ThreadId>(tid));
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(thread_count, scan_one);
+  } else {
+    for (trace::ThreadId tid = 0; tid < thread_count; ++tid) scan_one(tid);
+  }
+
+  // --- merge in thread-id order (reproduces the single-scan ordering).
+  for (trace::ThreadId tid = 0; tid < thread_count; ++tid) {
+    ThreadScan& scan = scans[tid];
+    threads_[tid] = scan.info;
+    for (const auto& [child, ref] : scan.creates) creates_[child] = ref;
+    for (auto& [object, secs] : scan.sections) {
+      auto& mi = mutexes_[object];
+      mi.id = object;
+      mi.sections.insert(mi.sections.end(), secs.begin(), secs.end());
+    }
+    for (auto& [object, waits] : scan.barrier_waits) {
+      auto& bi = barriers_[object];
+      bi.id = object;
+      for (const auto& w : waits) {
+        bi.waits.push_back(w);
+        leave_pos_[{tid, w.leave_idx}] =
+            static_cast<std::uint32_t>(bi.waits.size() - 1);
+      }
+    }
+    for (auto& [object, waits] : scan.cond_waits) {
+      auto& ci = conds_[object];
+      ci.id = object;
+      for (const auto& w : waits) {
+        ci.waits.push_back(w);
+        cond_end_pos_[{tid, w.end_idx}] =
+            static_cast<std::uint32_t>(ci.waits.size() - 1);
+      }
+    }
+    for (auto& [object, sigs] : scan.signals) {
+      auto& ci = conds_[object];
+      ci.id = object;
+      ci.signals.insert(ci.signals.end(), sigs.begin(), sigs.end());
+    }
+  }
+  scans.clear();
+
+  // --- per-primitive post-processing. Each iteration touches only its own
+  // primitive's records, so these loops fan out too; the shared position
+  // maps are filled sequentially afterwards.
+  std::vector<MutexIndex*> mutex_list;
+  mutex_list.reserve(mutexes_.size());
+  for (auto& [id, mi] : mutexes_) {
+    (void)id;
+    mutex_list.push_back(&mi);
+  }
+  const auto sort_mutex = [&](std::size_t k) {
+    auto& mi = *mutex_list[k];
     std::stable_sort(mi.sections.begin(), mi.sections.end(),
                      [](const CsRecord& a, const CsRecord& b) {
                        return a.acquired_ts < b.acquired_ts;
                      });
-    for (std::uint32_t pos = 0; pos < mi.sections.size(); ++pos) {
-      const auto& cs = mi.sections[pos];
-      acquired_pos_[{cs.tid, cs.acquired_idx}] = pos;
-    }
-  }
+  };
 
   // Group barrier waits into episodes and find each episode's last
   // arriver. Episode numbers are renumbered densely: clipped traces keep
   // the original generation counters, which need not start at zero.
+  std::vector<BarrierIndex*> barrier_list;
+  barrier_list.reserve(barriers_.size());
   for (auto& [id, bi] : barriers_) {
     (void)id;
+    barrier_list.push_back(&bi);
+  }
+  const auto build_episodes = [&](std::size_t k) {
+    auto& bi = *barrier_list[k];
     std::map<std::uint32_t, std::uint32_t> dense;  // recorded -> dense index
     for (auto& w : bi.waits) {
       auto [it, inserted] =
@@ -233,15 +308,49 @@ TraceIndex::TraceIndex(const trace::Trace& t) : trace_(&t) {
         }
       }
     }
-  }
+  };
 
   // Sort condvar signals by time for binary-search matching.
+  std::vector<CondIndex*> cond_list;
+  cond_list.reserve(conds_.size());
   for (auto& [id, ci] : conds_) {
     (void)id;
+    cond_list.push_back(&ci);
+  }
+  const auto sort_signals = [&](std::size_t k) {
+    auto& ci = *cond_list[k];
     std::stable_sort(ci.signals.begin(), ci.signals.end(),
                      [](const CondSignalRecord& a, const CondSignalRecord& b) {
                        return a.ts < b.ts;
                      });
+  };
+
+  const std::size_t n_mutexes = mutex_list.size();
+  const std::size_t n_barriers = barrier_list.size();
+  const std::size_t n_conds = cond_list.size();
+  const auto post_process = [&](std::size_t k) {
+    if (k < n_mutexes) {
+      sort_mutex(k);
+    } else if (k < n_mutexes + n_barriers) {
+      build_episodes(k - n_mutexes);
+    } else {
+      sort_signals(k - n_mutexes - n_barriers);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(n_mutexes + n_barriers + n_conds, post_process);
+  } else {
+    for (std::size_t k = 0; k < n_mutexes + n_barriers + n_conds; ++k) {
+      post_process(k);
+    }
+  }
+
+  for (auto& [id, mi] : mutexes_) {
+    (void)id;
+    for (std::uint32_t pos = 0; pos < mi.sections.size(); ++pos) {
+      const auto& cs = mi.sections[pos];
+      acquired_pos_[{cs.tid, cs.acquired_idx}] = pos;
+    }
   }
 
   // Last finished thread (max exit ts, ties toward lower tid).

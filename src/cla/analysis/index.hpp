@@ -15,6 +15,10 @@
 
 #include "cla/trace/trace.hpp"
 
+namespace cla::util {
+class ThreadPool;
+}
+
 namespace cla::analysis {
 
 /// Position of an event inside a trace: (thread, index into its stream).
@@ -114,6 +118,13 @@ class TraceIndex {
   explicit TraceIndex(const trace::Trace& trace);
   /// The index keeps a reference to the trace: temporaries are rejected.
   explicit TraceIndex(trace::Trace&&) = delete;
+
+  /// Pooled construction: the per-thread stream scans (the O(events) part)
+  /// fan out across `pool`, then partial results merge in thread-id order
+  /// so the index is bit-identical to sequential construction. A null pool
+  /// (or a pool of size 1) runs everything inline.
+  TraceIndex(const trace::Trace& trace, util::ThreadPool* pool);
+  TraceIndex(trace::Trace&&, util::ThreadPool*) = delete;
 
   const trace::Trace& trace() const noexcept { return *trace_; }
 

@@ -1,0 +1,221 @@
+#include "cla/analysis/pipeline.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "cla/trace/trace_io.hpp"
+#include "cla/util/clock.hpp"
+#include "cla/util/error.hpp"
+#include "cla/util/thread_pool.hpp"
+
+namespace cla::analysis {
+
+std::string_view stage_name(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::Load: return "load";
+    case Stage::Validate: return "validate";
+    case Stage::Index: return "index";
+    case Stage::Resolve: return "resolve";
+    case Stage::Walk: return "walk";
+    case Stage::Stats: return "stats";
+    case Stage::Report: return "report";
+  }
+  return "unknown";
+}
+
+std::uint64_t PipelineProfile::total_ns() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& timing : stages) total += timing.ns;
+  return total;
+}
+
+std::uint64_t PipelineProfile::stage_ns(Stage stage) const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& timing : stages)
+    if (timing.stage == stage) total += timing.ns;
+  return total;
+}
+
+std::string PipelineProfile::to_string() const {
+  std::ostringstream out;
+  out << "pipeline profile (per-stage wall clock):\n";
+  for (const auto& timing : stages) {
+    out << "  " << stage_name(timing.stage);
+    for (std::size_t pad = stage_name(timing.stage).size(); pad < 10; ++pad) {
+      out << ' ';
+    }
+    out << timing.ns << " ns\n";
+  }
+  out << "  total     " << total_ns() << " ns\n";
+  return out.str();
+}
+
+Pipeline::Pipeline(Options options) : options_(options) {}
+
+Pipeline::~Pipeline() = default;
+
+util::ThreadPool* Pipeline::pool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<util::ThreadPool>(
+        util::ThreadPool::resolve_num_threads(options_.execution.num_threads));
+  }
+  return pool_.get();
+}
+
+void Pipeline::record(Stage stage, std::uint64_t start_ns) {
+  profile_.stages.push_back(StageTiming{stage, util::now_ns() - start_ns});
+}
+
+void Pipeline::reset_stages() {
+  validated_ = false;
+  index_.reset();
+  resolver_.reset();
+  path_.reset();
+  result_.reset();
+}
+
+Pipeline& Pipeline::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CLA_CHECK(in.is_open(), "cannot open trace file: " + path);
+  return load_stream(in);
+}
+
+Pipeline& Pipeline::load_stream(std::istream& in) {
+  const std::uint64_t start = util::now_ns();
+  reset_stages();
+  trace::TraceStreamReader reader(in);
+  trace::Trace loaded;
+  for (const auto& [object, name] : reader.object_names()) {
+    loaded.set_object_name(object, name);
+  }
+  for (const auto& [tid, name] : reader.thread_names()) {
+    loaded.set_thread_name(tid, name);
+  }
+  const std::size_t chunk_events =
+      options_.load.chunk_events == 0 ? (1u << 16) : options_.load.chunk_events;
+  std::vector<trace::Event> buffer(chunk_events);
+  while (auto block = reader.next_thread()) {
+    if (block->event_count <= (1u << 24)) {
+      loaded.reserve_thread_events(
+          block->tid, static_cast<std::size_t>(block->event_count));
+    }
+    for (std::size_t n;
+         (n = reader.read_events(buffer.data(), chunk_events)) > 0;) {
+      loaded.append_thread_events(block->tid, {buffer.data(), n});
+    }
+  }
+  owned_trace_ = std::move(loaded);
+  trace_ = &*owned_trace_;
+  record(Stage::Load, start);
+  return *this;
+}
+
+Pipeline& Pipeline::use_trace(trace::Trace&& trace) {
+  reset_stages();
+  owned_trace_ = std::move(trace);
+  trace_ = &*owned_trace_;
+  return *this;
+}
+
+Pipeline& Pipeline::use_trace(const trace::Trace& trace) {
+  reset_stages();
+  owned_trace_.reset();
+  trace_ = &trace;
+  return *this;
+}
+
+const trace::Trace& Pipeline::trace() const {
+  CLA_CHECK(trace_ != nullptr,
+            "pipeline has no trace: call load_file/load_stream/use_trace first");
+  return *trace_;
+}
+
+Pipeline& Pipeline::validate_stage() {
+  if (validated_) return *this;
+  const trace::Trace& t = trace();
+  const std::uint64_t start = util::now_ns();
+  t.validate();
+  validated_ = true;
+  record(Stage::Validate, start);
+  return *this;
+}
+
+Pipeline& Pipeline::index_stage() {
+  if (index_.has_value()) return *this;
+  const trace::Trace& t = trace();
+  if (options_.validate) validate_stage();
+  const std::uint64_t start = util::now_ns();
+  index_.emplace(t, pool());
+  record(Stage::Index, start);
+  return *this;
+}
+
+Pipeline& Pipeline::resolve_stage() {
+  if (resolver_.has_value()) return *this;
+  index_stage();
+  const std::uint64_t start = util::now_ns();
+  resolver_.emplace(*index_);
+  record(Stage::Resolve, start);
+  return *this;
+}
+
+Pipeline& Pipeline::walk_stage() {
+  if (path_.has_value() || result_.has_value()) return *this;
+  resolve_stage();
+  const std::uint64_t start = util::now_ns();
+  path_ = compute_critical_path(*index_, *resolver_);
+  record(Stage::Walk, start);
+  return *this;
+}
+
+Pipeline& Pipeline::stats_stage() {
+  if (result_.has_value()) return *this;
+  walk_stage();
+  const std::uint64_t start = util::now_ns();
+  result_ = compute_stats(*index_, std::move(*path_), options_.stats, pool());
+  path_.reset();  // the path now lives inside the result
+  record(Stage::Stats, start);
+  return *this;
+}
+
+const TraceIndex& Pipeline::trace_index() {
+  index_stage();
+  return *index_;
+}
+
+const CriticalPath& Pipeline::critical_path() {
+  if (result_.has_value()) return result_->path;
+  walk_stage();
+  return *path_;
+}
+
+const AnalysisResult& Pipeline::result() {
+  stats_stage();
+  return *result_;
+}
+
+AnalysisResult Pipeline::take_result() {
+  stats_stage();
+  AnalysisResult out = std::move(*result_);
+  result_.reset();
+  return out;
+}
+
+std::string Pipeline::report() {
+  stats_stage();
+  const std::uint64_t start = util::now_ns();
+  std::string rendered = render_report(*result_, options_.report);
+  record(Stage::Report, start);
+  return rendered;
+}
+
+std::string Pipeline::report_json() {
+  stats_stage();
+  const std::uint64_t start = util::now_ns();
+  std::string rendered = render_json(*result_);
+  record(Stage::Report, start);
+  return rendered;
+}
+
+}  // namespace cla::analysis

@@ -1,0 +1,167 @@
+// Staged analysis pipeline — the paper's analysis module (Fig. 3, §III)
+// with every phase exposed as a named, individually invocable stage:
+//
+//   load -> validate -> index -> resolve -> walk -> stats -> report
+//
+// `load` streams a .clat file in bounded chunks (TraceStreamReader), so
+// large traces are ingested without a full intermediate copy. `index` and
+// `stats` fan out across an ExecutionPolicy-sized worker pool (per trace
+// thread and per lock respectively) and are bit-identical to the
+// sequential computation at any thread count. `walk` — the backward
+// critical-path construction — is inherently sequential: each hop depends
+// on where the previous one landed, so it always runs on one thread.
+//
+// Each stage records its wall-clock cost; `profile()` is the analyzer's
+// own observability layer (`cla-analyze --profile`).
+//
+// The legacy one-shot `cla::analyze()` is a thin wrapper over this class.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cla/analysis/critical_path.hpp"
+#include "cla/analysis/report.hpp"
+#include "cla/analysis/resolver.hpp"
+#include "cla/analysis/stats.hpp"
+#include "cla/trace/trace.hpp"
+
+namespace cla::util {
+class ThreadPool;
+}
+
+namespace cla::analysis {
+
+/// How the parallel stages (index, stats) execute.
+struct ExecutionPolicy {
+  /// Worker threads for the fan-out stages. 1 = fully sequential (the
+  /// legacy behaviour); 0 = one per hardware thread. The walk stage is
+  /// sequential regardless.
+  unsigned num_threads = 1;
+};
+
+/// Load-stage knobs (streaming .clat reader).
+struct LoadOptions {
+  /// Events per chunk handed from the streaming reader to the trace.
+  std::size_t chunk_events = 1u << 16;
+};
+
+/// One coherent options aggregate for the whole pipeline, with per-stage
+/// sub-structs. The historical scattered option structs survive:
+/// `AnalyzeOptions` is an alias of this type, and `StatsOptions` /
+/// `ReportOptions` are its per-stage sub-structs (see README, MIGRATION).
+struct Options {
+  /// Validate the trace's structural invariants before analyzing.
+  bool validate = true;
+  StatsOptions stats;        ///< stats stage (TYPE 1 / TYPE 2 aggregation)
+  ReportOptions report;      ///< report stage (table rendering)
+  ExecutionPolicy execution; ///< index/stats fan-out
+  LoadOptions load;          ///< load stage (streaming reader)
+};
+
+/// The pipeline's stages, in execution order.
+enum class Stage { Load, Validate, Index, Resolve, Walk, Stats, Report };
+
+/// Lower-case stage name as printed by --profile and --help.
+std::string_view stage_name(Stage stage) noexcept;
+
+struct StageTiming {
+  Stage stage = Stage::Load;
+  std::uint64_t ns = 0;
+};
+
+/// Per-stage wall-clock breakdown (the pipeline profiling itself).
+struct PipelineProfile {
+  std::vector<StageTiming> stages;  ///< in execution order
+
+  std::uint64_t total_ns() const noexcept;
+  /// Nanoseconds spent in `stage` (0 if it never ran).
+  std::uint64_t stage_ns(Stage stage) const noexcept;
+  /// Human-readable per-stage breakdown (the --profile output).
+  std::string to_string() const;
+};
+
+/// Staged analysis executor. Stages run lazily and at most once: each
+/// accessor triggers the stages it depends on, so
+///
+///   Pipeline p{{.execution = {.num_threads = 8}}};
+///   p.load_file("app.clat");
+///   const AnalysisResult& r = p.result();   // validate..stats on demand
+///
+/// is the common path, while `p.index_stage(); p.trace_index()` etc. allow
+/// phase-by-phase inspection. Not copyable or movable: the internal
+/// structures hold pointers into the owned trace.
+class Pipeline {
+ public:
+  explicit Pipeline(Options options = {});
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  const Options& options() const noexcept { return options_; }
+
+  // --- load stage (one of; each replaces any previously loaded trace) ---
+
+  /// Streams a .clat file in chunks (no full intermediate copy).
+  Pipeline& load_file(const std::string& path);
+  /// Same, from an already-open stream.
+  Pipeline& load_stream(std::istream& in);
+  /// Adopts an in-memory trace (no load cost recorded).
+  Pipeline& use_trace(trace::Trace&& trace);
+  /// Borrows a caller-owned trace; it must outlive the pipeline.
+  Pipeline& use_trace(const trace::Trace& trace);
+
+  // --- individually invocable stages (each pulls its prerequisites) ---
+
+  /// Structural invariant check; throws cla::util::Error on violation.
+  /// Runs even when options.validate is false (explicit call wins).
+  Pipeline& validate_stage();
+  /// Per-primitive forward indexing (parallel across trace threads).
+  Pipeline& index_stage();
+  /// Wake-up resolution ("find the segment that released me").
+  Pipeline& resolve_stage();
+  /// Backward critical-path walk (sequential by construction).
+  Pipeline& walk_stage();
+  /// TYPE 1 / TYPE 2 statistics (parallel across locks/barriers).
+  Pipeline& stats_stage();
+
+  // --- outputs (run any outstanding prerequisite stages) ---
+
+  const trace::Trace& trace() const;
+  const TraceIndex& trace_index();
+  const CriticalPath& critical_path();
+  const AnalysisResult& result();
+  /// Moves the result out; the pipeline is done afterwards.
+  AnalysisResult take_result();
+
+  /// Report stage: human-readable / JSON rendering of the result.
+  std::string report();
+  std::string report_json();
+
+  /// Per-stage timings of everything run so far.
+  const PipelineProfile& profile() const noexcept { return profile_; }
+
+ private:
+  util::ThreadPool* pool();
+  void record(Stage stage, std::uint64_t start_ns);
+  void reset_stages();
+
+  Options options_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::optional<trace::Trace> owned_trace_;
+  const trace::Trace* trace_ = nullptr;
+  bool validated_ = false;
+  std::optional<TraceIndex> index_;
+  std::optional<WakeupResolver> resolver_;
+  std::optional<CriticalPath> path_;
+  std::optional<AnalysisResult> result_;
+  PipelineProfile profile_;
+};
+
+}  // namespace cla::analysis

@@ -1,8 +1,10 @@
 #include "cla/analysis/stats.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "cla/util/stats.hpp"
+#include "cla/util/thread_pool.hpp"
 
 namespace cla::analysis {
 
@@ -16,6 +18,12 @@ const LockStats* AnalysisResult::find_lock(const std::string& lock_name) const {
 
 AnalysisResult compute_stats(const TraceIndex& index, CriticalPath path,
                              const StatsOptions& options) {
+  return compute_stats(index, std::move(path), options, nullptr);
+}
+
+AnalysisResult compute_stats(const TraceIndex& index, CriticalPath path,
+                             const StatsOptions& options,
+                             util::ThreadPool* pool) {
   const trace::Trace& t = index.trace();
   AnalysisResult result;
   result.completion_time = path.length();
@@ -44,7 +52,23 @@ AnalysisResult compute_stats(const TraceIndex& index, CriticalPath path,
   const double cp_len = static_cast<double>(path.length());
 
   // --- per-lock stats ---
+  // One task per lock. Each task writes only its own pre-sized slot of
+  // result.locks; the per-thread lock wait/hold accumulation crosses locks,
+  // so it lands in result.threads under a mutex — integer additions
+  // commute, so the totals are scheduling-independent.
+  std::vector<const MutexIndex*> mutex_list;
+  std::vector<trace::ObjectId> mutex_ids;
+  mutex_list.reserve(index.mutexes().size());
+  mutex_ids.reserve(index.mutexes().size());
   for (const auto& [id, mi] : index.mutexes()) {
+    mutex_ids.push_back(id);
+    mutex_list.push_back(&mi);
+  }
+  result.locks.resize(mutex_list.size());
+  std::mutex thread_totals_mutex;
+  const auto compute_lock = [&](std::size_t k) {
+    const trace::ObjectId id = mutex_ids[k];
+    const MutexIndex& mi = *mutex_list[k];
     LockStats ls;
     ls.id = id;
     ls.name = t.object_display_name(id, "mutex");
@@ -60,8 +84,6 @@ AnalysisResult compute_stats(const TraceIndex& index, CriticalPath path,
       ls.total_hold += cs.hold_time();
       wait_per_thread[cs.tid] += cs.wait_time();
       hold_per_thread[cs.tid] += cs.hold_time();
-      result.threads[cs.tid].lock_wait_time += cs.wait_time();
-      result.threads[cs.tid].lock_hold_time += cs.hold_time();
 
       // TYPE 1: does this critical section lie on the critical path?
       const std::uint64_t on_path =
@@ -97,7 +119,19 @@ AnalysisResult compute_stats(const TraceIndex& index, CriticalPath path,
         safe_ratio(static_cast<double>(ls.cp_invocations), ls.avg_invocations);
     ls.hold_increase = safe_ratio(ls.cp_time_fraction, ls.avg_hold_fraction);
 
-    result.locks.push_back(std::move(ls));
+    {
+      std::lock_guard<std::mutex> guard(thread_totals_mutex);
+      for (trace::ThreadId tid = 0; tid < t.thread_count(); ++tid) {
+        result.threads[tid].lock_wait_time += wait_per_thread[tid];
+        result.threads[tid].lock_hold_time += hold_per_thread[tid];
+      }
+    }
+    result.locks[k] = std::move(ls);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(mutex_list.size(), compute_lock);
+  } else {
+    for (std::size_t k = 0; k < mutex_list.size(); ++k) compute_lock(k);
   }
   std::sort(result.locks.begin(), result.locks.end(),
             [](const LockStats& a, const LockStats& b) {
@@ -107,11 +141,21 @@ AnalysisResult compute_stats(const TraceIndex& index, CriticalPath path,
               return a.name < b.name;
             });
 
-  // --- barrier stats ---
+  // --- barrier stats (same fan-out shape as the locks) ---
+  std::vector<const BarrierIndex*> barrier_list;
+  std::vector<trace::ObjectId> barrier_ids;
+  barrier_list.reserve(index.barriers().size());
+  barrier_ids.reserve(index.barriers().size());
   for (const auto& [id, bi] : index.barriers()) {
+    barrier_ids.push_back(id);
+    barrier_list.push_back(&bi);
+  }
+  result.barriers.resize(barrier_list.size());
+  const auto compute_barrier = [&](std::size_t k) {
+    const BarrierIndex& bi = *barrier_list[k];
     BarrierStats bs;
-    bs.id = id;
-    bs.name = t.object_display_name(id, "barrier");
+    bs.id = barrier_ids[k];
+    bs.name = t.object_display_name(bs.id, "barrier");
     bs.episodes = bi.episodes.size();
     bs.waits = bi.waits.size();
     std::vector<std::uint64_t> wait_per_thread(t.thread_count(), 0);
@@ -126,7 +170,12 @@ AnalysisResult compute_stats(const TraceIndex& index, CriticalPath path,
                                  static_cast<double>(index.threads()[tid].duration()));
     }
     bs.avg_wait_fraction = fraction_sum / static_cast<double>(workers);
-    result.barriers.push_back(std::move(bs));
+    result.barriers[k] = std::move(bs);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(barrier_list.size(), compute_barrier);
+  } else {
+    for (std::size_t k = 0; k < barrier_list.size(); ++k) compute_barrier(k);
   }
 
   // --- condvar stats ---

@@ -110,4 +110,13 @@ struct AnalysisResult {
 AnalysisResult compute_stats(const TraceIndex& index, CriticalPath path,
                              const StatsOptions& options = {});
 
+/// Pooled variant: the per-lock and per-barrier aggregations (TYPE 2 plus
+/// the TYPE 1 path overlaps) fan out across `pool`, one task per
+/// primitive, writing into pre-sized slots so the result — including the
+/// final ranking — is bit-identical to the sequential computation. A null
+/// pool (or a pool of size 1) runs inline.
+AnalysisResult compute_stats(const TraceIndex& index, CriticalPath path,
+                             const StatsOptions& options,
+                             util::ThreadPool* pool);
+
 }  // namespace cla::analysis

@@ -3,10 +3,14 @@
 namespace cla {
 
 RunAnalysis run_and_analyze(const std::string& workload,
-                            const workloads::WorkloadConfig& config) {
+                            const workloads::WorkloadConfig& config,
+                            const Options& options) {
   RunAnalysis out;
   out.run = workloads::run_workload(workload, config);
-  out.analysis = analyze(out.run.trace);
+  analysis::Pipeline pipeline(options);
+  pipeline.use_trace(out.run.trace);  // borrow: the trace stays in `out`
+  out.analysis = pipeline.take_result();
+  out.profile = pipeline.profile();
   return out;
 }
 

@@ -35,15 +35,30 @@ inline constexpr const char* kVersionString = "1.0.0";
 /// metrics). See cla::analysis::AnalysisResult for the outputs.
 using analysis::analyze;
 using analysis::AnalysisResult;
+
+/// Consolidated per-stage options aggregate (validate flag + stats /
+/// report / execution / load sub-structs). AnalyzeOptions is its
+/// historical alias — see README, MIGRATION.
+using analysis::Options;
 using analysis::AnalyzeOptions;
+
+/// Staged analysis executor: load -> validate -> index -> resolve ->
+/// walk -> stats -> report, with ExecutionPolicy-driven fan-out of the
+/// index/stats stages and per-stage self-profiling.
+using analysis::ExecutionPolicy;
+using analysis::Pipeline;
+using analysis::PipelineProfile;
+using analysis::Stage;
 
 /// Convenience: run a named workload and analyze its trace in one call.
 struct RunAnalysis {
   workloads::WorkloadResult run;
   AnalysisResult analysis;
+  analysis::PipelineProfile profile;  ///< per-stage analysis timings
 };
 
 RunAnalysis run_and_analyze(const std::string& workload,
-                            const workloads::WorkloadConfig& config = {});
+                            const workloads::WorkloadConfig& config = {},
+                            const Options& options = {});
 
 }  // namespace cla

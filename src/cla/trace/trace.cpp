@@ -46,6 +46,17 @@ void Trace::add_thread_stream(ThreadId tid, std::vector<Event> events) {
   }
 }
 
+void Trace::append_thread_events(ThreadId tid, std::span<const Event> events) {
+  if (tid >= threads_.size()) threads_.resize(tid + 1);
+  auto& stream = threads_[tid];
+  stream.insert(stream.end(), events.begin(), events.end());
+}
+
+void Trace::reserve_thread_events(ThreadId tid, std::size_t count) {
+  if (tid >= threads_.size()) threads_.resize(tid + 1);
+  threads_[tid].reserve(threads_[tid].size() + count);
+}
+
 std::span<const Event> Trace::thread_events(ThreadId tid) const {
   CLA_CHECK(tid < threads_.size(), "thread id out of range");
   return threads_[tid];

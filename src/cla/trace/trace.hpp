@@ -34,6 +34,15 @@ class Trace {
   /// runtime flush path). Stream must be sorted by timestamp.
   void add_thread_stream(ThreadId tid, std::vector<Event> events);
 
+  /// Appends a chunk to a thread's stream without re-sorting; chunks must
+  /// arrive in timestamp order (the streaming reader's contract). Used to
+  /// ingest large traces chunk by chunk without an intermediate copy.
+  void append_thread_events(ThreadId tid, std::span<const Event> events);
+
+  /// Pre-sizes a thread's stream (streaming ingestion knows the count up
+  /// front from the file header, so the vector grows exactly once).
+  void reserve_thread_events(ThreadId tid, std::size_t count);
+
   std::size_t thread_count() const noexcept { return threads_.size(); }
   std::span<const Event> thread_events(ThreadId tid) const;
 

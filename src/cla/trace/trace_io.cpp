@@ -1,5 +1,6 @@
 #include "cla/trace/trace_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -76,7 +77,7 @@ void write_trace_file(const Trace& trace, const std::string& path) {
   CLA_CHECK(out.good(), "failed writing trace file: " + path);
 }
 
-Trace read_trace(std::istream& in) {
+TraceStreamReader::TraceStreamReader(std::istream& in) : in_(&in) {
   char magic[4];
   in.read(magic, sizeof magic);
   CLA_CHECK(in.good() && std::memcmp(magic, kTraceMagic, 4) == 0,
@@ -84,38 +85,69 @@ Trace read_trace(std::istream& in) {
   const auto version = get<std::uint32_t>(in);
   CLA_CHECK(version == kTraceVersion,
             "unsupported trace version " + std::to_string(version));
-  const auto thread_count = get<std::uint32_t>(in);
-  CLA_CHECK(thread_count <= (1u << 20), "implausible thread count in trace");
+  thread_count_ = get<std::uint32_t>(in);
+  CLA_CHECK(thread_count_ <= (1u << 20), "implausible thread count in trace");
 
-  Trace trace;
   const auto object_names = get<std::uint32_t>(in);
   for (std::uint32_t i = 0; i < object_names; ++i) {
     const auto object = get<ObjectId>(in);
-    trace.set_object_name(object, get_string(in));
+    object_names_[object] = get_string(in);
   }
   const auto thread_names = get<std::uint32_t>(in);
   for (std::uint32_t i = 0; i < thread_names; ++i) {
     const auto tid = get<ThreadId>(in);
-    trace.set_thread_name(tid, get_string(in));
+    thread_names_[tid] = get_string(in);
   }
-  for (std::uint32_t t = 0; t < thread_count; ++t) {
-    const auto tid = get<ThreadId>(in);
-    CLA_CHECK(tid <= (1u << 20), "implausible thread id in trace");
-    const auto count = get<std::uint64_t>(in);
-    // Read in bounded chunks so a corrupted count fails with a clean
-    // truncation error instead of attempting a gigantic allocation.
-    constexpr std::uint64_t kChunk = 1u << 16;
-    std::vector<Event> events;
-    for (std::uint64_t done = 0; done < count;) {
-      const std::uint64_t now = std::min(kChunk, count - done);
-      const std::size_t old_size = events.size();
-      events.resize(old_size + now);
-      in.read(reinterpret_cast<char*>(events.data() + old_size),
-              static_cast<std::streamsize>(now * sizeof(Event)));
-      CLA_CHECK(in.good(), "trace stream truncated in event block");
-      done += now;
+}
+
+std::optional<TraceStreamReader::ThreadBlock> TraceStreamReader::next_thread() {
+  // Skip whatever the consumer left unread of the current block.
+  while (remaining_in_block_ > 0) {
+    Event discard[64];
+    read_events(discard, 64);
+  }
+  if (threads_seen_ >= thread_count_) return std::nullopt;
+  ++threads_seen_;
+  ThreadBlock block;
+  block.tid = get<ThreadId>(*in_);
+  CLA_CHECK(block.tid <= (1u << 20), "implausible thread id in trace");
+  block.event_count = get<std::uint64_t>(*in_);
+  remaining_in_block_ = block.event_count;
+  return block;
+}
+
+std::size_t TraceStreamReader::read_events(Event* buf, std::size_t max) {
+  const std::uint64_t now =
+      std::min<std::uint64_t>(max, remaining_in_block_);
+  if (now == 0) return 0;
+  in_->read(reinterpret_cast<char*>(buf),
+            static_cast<std::streamsize>(now * sizeof(Event)));
+  CLA_CHECK(in_->good(), "trace stream truncated in event block");
+  remaining_in_block_ -= now;
+  return static_cast<std::size_t>(now);
+}
+
+Trace read_trace(std::istream& in) {
+  TraceStreamReader reader(in);
+  Trace trace;
+  for (const auto& [object, name] : reader.object_names()) {
+    trace.set_object_name(object, name);
+  }
+  for (const auto& [tid, name] : reader.thread_names()) {
+    trace.set_thread_name(tid, name);
+  }
+  // Bounded chunks: a corrupted event count fails with a clean truncation
+  // error instead of attempting a gigantic up-front allocation.
+  constexpr std::size_t kChunk = 1u << 16;
+  std::vector<Event> buffer(kChunk);
+  while (auto block = reader.next_thread()) {
+    if (block->event_count <= (1u << 24)) {
+      trace.reserve_thread_events(
+          block->tid, static_cast<std::size_t>(block->event_count));
     }
-    trace.add_thread_stream(tid, std::move(events));
+    for (std::size_t n; (n = reader.read_events(buffer.data(), kChunk)) > 0;) {
+      trace.append_thread_events(block->tid, {buffer.data(), n});
+    }
   }
   return trace;
 }

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <iosfwd>
+#include <map>
+#include <optional>
 #include <string>
 
 #include "cla/trace/trace.hpp"
@@ -24,8 +26,58 @@ inline constexpr std::uint32_t kTraceVersion = 1;
 void write_trace(const Trace& trace, std::ostream& out);
 void write_trace_file(const Trace& trace, const std::string& path);
 
-/// Reads a trace back. Throws cla::util::Error on malformed input
-/// (bad magic, truncated stream, unsupported version).
+/// Streaming/chunked `.clat` reader (pipeline load stage).
+///
+/// Parses the header eagerly, then hands out each thread block's events in
+/// bounded chunks so a consumer can ingest a large trace straight into its
+/// final storage — no full intermediate event array is ever materialised.
+/// Throws cla::util::Error on malformed input (bad magic, unsupported
+/// version, implausible counts, truncation) exactly like read_trace.
+///
+/// Usage:
+///   TraceStreamReader reader(in);
+///   while (auto block = reader.next_thread()) {
+///     Event buf[4096];
+///     for (std::size_t n; (n = reader.read_events(buf, 4096)) > 0;)
+///       consume(block->tid, {buf, n});
+///   }
+class TraceStreamReader {
+ public:
+  /// Reads and validates the header (magic, version, name tables).
+  explicit TraceStreamReader(std::istream& in);
+
+  std::uint32_t thread_count() const noexcept { return thread_count_; }
+  const std::map<ObjectId, std::string>& object_names() const noexcept {
+    return object_names_;
+  }
+  const std::map<ThreadId, std::string>& thread_names() const noexcept {
+    return thread_names_;
+  }
+
+  struct ThreadBlock {
+    ThreadId tid = 0;
+    std::uint64_t event_count = 0;
+  };
+
+  /// Advances to the next per-thread event block (skipping any unread
+  /// remainder of the current one); nullopt once all blocks were visited.
+  std::optional<ThreadBlock> next_thread();
+
+  /// Reads up to `max` events of the current block into `buf`; returns the
+  /// number read, 0 when the block is exhausted.
+  std::size_t read_events(Event* buf, std::size_t max);
+
+ private:
+  std::istream* in_;
+  std::uint32_t thread_count_ = 0;
+  std::uint32_t threads_seen_ = 0;
+  std::uint64_t remaining_in_block_ = 0;
+  std::map<ObjectId, std::string> object_names_;
+  std::map<ThreadId, std::string> thread_names_;
+};
+
+/// Reads a trace back (one-shot convenience over TraceStreamReader).
+/// Throws cla::util::Error on malformed input.
 Trace read_trace(std::istream& in);
 Trace read_trace_file(const std::string& path);
 

@@ -27,7 +27,9 @@ Args::Args(int argc, const char* const* argv,
       name = name.substr(0, eq);
       has_value = true;
     }
-    CLA_CHECK(known(name), "unknown option --" + name + " (program " + program_ + ")");
+    if (!known(name)) {
+      throw ArgsError("unknown option --" + name + " (program " + program_ + ")");
+    }
     if (!has_value && i + 1 < argc &&
         std::string(argv[i + 1]).rfind("--", 0) != 0) {
       value = argv[++i];
@@ -56,7 +58,7 @@ std::int64_t Args::get_int(const std::string& name, std::int64_t fallback) const
   try {
     return std::stoll(*v);
   } catch (const std::exception&) {
-    throw Error("option --" + name + " expects an integer, got '" + *v + "'");
+    throw ArgsError("option --" + name + " expects an integer, got '" + *v + "'");
   }
 }
 
@@ -66,7 +68,7 @@ double Args::get_double(const std::string& name, double fallback) const {
   try {
     return std::stod(*v);
   } catch (const std::exception&) {
-    throw Error("option --" + name + " expects a number, got '" + *v + "'");
+    throw ArgsError("option --" + name + " expects a number, got '" + *v + "'");
   }
 }
 

@@ -10,7 +10,17 @@
 #include <string>
 #include <vector>
 
+#include "cla/util/error.hpp"
+
 namespace cla::util {
+
+/// Thrown for malformed command lines (unknown option, non-numeric value
+/// for a numeric option). Tools catch this separately from Error so usage
+/// mistakes exit 2 with a usage message while runtime failures exit 1.
+class ArgsError : public Error {
+ public:
+  explicit ArgsError(const std::string& what) : Error(what) {}
+};
 
 class Args {
  public:

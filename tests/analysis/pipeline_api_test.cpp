@@ -1,0 +1,167 @@
+// Staged Pipeline API: stage-by-stage invocation, lazy prerequisites,
+// self-profiling, options aggregate compatibility, and the streaming load
+// stage.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cla/analysis/analyzer.hpp"
+#include "cla/analysis/pipeline.hpp"
+#include "cla/trace/trace_io.hpp"
+#include "cla/util/error.hpp"
+#include "cla/workloads/workload.hpp"
+
+namespace cla::analysis {
+namespace {
+
+trace::Trace micro_trace() {
+  workloads::WorkloadConfig config;
+  config.threads = 4;
+  return workloads::run_workload("micro", config).trace;
+}
+
+TEST(PipelineApi, StageByStageMatchesOneShotAnalyze) {
+  const trace::Trace trace = micro_trace();
+  const AnalysisResult expected = analyze(trace);
+
+  Pipeline pipeline;
+  pipeline.use_trace(trace);
+  pipeline.validate_stage();
+  pipeline.index_stage();
+  pipeline.resolve_stage();
+  pipeline.walk_stage();
+  pipeline.stats_stage();
+  const AnalysisResult& staged = pipeline.result();
+
+  EXPECT_EQ(render_json(staged), render_json(expected));
+}
+
+TEST(PipelineApi, ResultPullsAllOutstandingStages) {
+  const trace::Trace trace = micro_trace();
+  Pipeline pipeline;
+  pipeline.use_trace(trace);
+  // No explicit stage calls: result() must run validate..stats itself.
+  EXPECT_EQ(render_json(pipeline.result()), render_json(analyze(trace)));
+}
+
+TEST(PipelineApi, ProfileRecordsEveryStageInOrder) {
+  const trace::Trace trace = micro_trace();
+  Pipeline pipeline;
+  pipeline.use_trace(trace);
+  (void)pipeline.report();
+
+  const PipelineProfile& profile = pipeline.profile();
+  ASSERT_EQ(profile.stages.size(), 6u);  // validate..report (no load stage)
+  EXPECT_EQ(profile.stages[0].stage, Stage::Validate);
+  EXPECT_EQ(profile.stages[1].stage, Stage::Index);
+  EXPECT_EQ(profile.stages[2].stage, Stage::Resolve);
+  EXPECT_EQ(profile.stages[3].stage, Stage::Walk);
+  EXPECT_EQ(profile.stages[4].stage, Stage::Stats);
+  EXPECT_EQ(profile.stages[5].stage, Stage::Report);
+
+  const std::string rendered = profile.to_string();
+  for (const char* name :
+       {"validate", "index", "resolve", "walk", "stats", "report", "total"}) {
+    EXPECT_NE(rendered.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(PipelineApi, StagesRunAtMostOnce) {
+  const trace::Trace trace = micro_trace();
+  Pipeline pipeline;
+  pipeline.use_trace(trace);
+  pipeline.index_stage();
+  pipeline.index_stage();
+  (void)pipeline.result();
+  (void)pipeline.result();
+  std::size_t index_runs = 0;
+  for (const auto& timing : pipeline.profile().stages) {
+    if (timing.stage == Stage::Index) ++index_runs;
+  }
+  EXPECT_EQ(index_runs, 1u);
+}
+
+TEST(PipelineApi, LoadStreamFeedsTheFullPipeline) {
+  const trace::Trace trace = micro_trace();
+  std::stringstream buffer;
+  trace::write_trace(trace, buffer);
+
+  Pipeline pipeline;
+  pipeline.load_stream(buffer);
+  EXPECT_EQ(render_json(pipeline.result()), render_json(analyze(trace)));
+  EXPECT_EQ(pipeline.profile().stages.front().stage, Stage::Load);
+}
+
+TEST(PipelineApi, MissingTraceIsACleanError) {
+  Pipeline pipeline;
+  EXPECT_THROW(pipeline.result(), util::Error);
+  EXPECT_THROW(pipeline.trace(), util::Error);
+}
+
+TEST(PipelineApi, LoadFileMissingIsACleanError) {
+  Pipeline pipeline;
+  EXPECT_THROW(pipeline.load_file("/nonexistent/dir/trace.clat"), util::Error);
+}
+
+TEST(PipelineApi, ValidateOffSkipsTheStage) {
+  Options options;
+  options.validate = false;
+  const trace::Trace trace = micro_trace();
+  Pipeline pipeline(options);
+  pipeline.use_trace(trace);
+  (void)pipeline.result();
+  for (const auto& timing : pipeline.profile().stages) {
+    EXPECT_NE(timing.stage, Stage::Validate);
+  }
+}
+
+TEST(PipelineApi, ExplicitValidateWinsOverDisabledOption) {
+  Options options;
+  options.validate = false;
+  trace::Trace empty;  // violates "trace has no threads"
+  Pipeline pipeline(options);
+  pipeline.use_trace(std::move(empty));
+  EXPECT_THROW(pipeline.validate_stage(), util::Error);
+}
+
+TEST(PipelineApi, OptionsAggregateKeepsLegacyFieldsAndAliases) {
+  // The consolidated cla::Options must stay source-compatible with the
+  // historical AnalyzeOptions usage...
+  AnalyzeOptions legacy;
+  legacy.validate = false;
+  legacy.stats.worker_threads_only = false;
+  static_assert(std::is_same_v<AnalyzeOptions, Options>);
+  // ...and carry the per-stage sub-structs.
+  Options options;
+  options.report.top_locks = 3;
+  options.execution.num_threads = 2;
+  options.load.chunk_events = 128;
+  const trace::Trace trace = micro_trace();
+  const AnalysisResult a = analyze(trace, legacy);
+  const AnalysisResult b = analyze(trace, options);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+}
+
+TEST(PipelineApi, ParallelExecutionPolicyMatchesSequential) {
+  const trace::Trace trace = micro_trace();
+  const std::string expected = render_json(analyze(trace));
+  for (unsigned threads : {2u, 4u}) {
+    Options options;
+    options.execution.num_threads = threads;
+    Pipeline pipeline(options);
+    pipeline.use_trace(trace);
+    EXPECT_EQ(pipeline.report_json(), expected) << threads << " threads";
+  }
+}
+
+TEST(PipelineApi, TakeResultMovesTheResultOut) {
+  const trace::Trace trace = micro_trace();
+  Pipeline pipeline;
+  pipeline.use_trace(trace);
+  const AnalysisResult result = pipeline.take_result();
+  EXPECT_GT(result.completion_time, 0u);
+  EXPECT_FALSE(result.locks.empty());
+}
+
+}  // namespace
+}  // namespace cla::analysis

@@ -1,0 +1,40 @@
+// Parallel-analysis determinism: the sharded executor must be a pure
+// performance change. For every bundled workload, running the Pipeline
+// with 1, 2 and 8 worker threads must produce render_json output that is
+// byte-identical to the legacy sequential analyze() path.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cla/core/cla.hpp"
+#include "cla/workloads/workload.hpp"
+
+namespace cla {
+namespace {
+
+class DeterminismTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(DeterminismTest, ParallelPipelineIsByteIdenticalToLegacyAnalyze) {
+  workloads::WorkloadConfig config;
+  config.threads = 8;
+  config.scale = 0.25;  // keep each workload fast; structure is unchanged
+  const trace::Trace trace = workloads::run_workload(GetParam(), config).trace;
+
+  const std::string expected = analysis::render_json(analyze(trace));
+
+  for (unsigned workers : {1u, 2u, 8u}) {
+    Options options;
+    options.execution.num_threads = workers;
+    Pipeline pipeline(options);
+    pipeline.use_trace(trace);
+    EXPECT_EQ(pipeline.report_json(), expected)
+        << GetParam() << " with " << workers << " analysis threads";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, DeterminismTest,
+                         testing::Values("micro", "radiosity", "tsp", "uts"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace cla

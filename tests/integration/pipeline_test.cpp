@@ -13,7 +13,7 @@ namespace {
 TEST(Pipeline, TraceFileRoundTripPreservesAnalysis) {
   workloads::WorkloadConfig config;
   config.threads = 4;
-  const auto [run, direct] = run_and_analyze("micro", config);
+  const auto [run, direct, profile] = run_and_analyze("micro", config);
 
   const auto path =
       (std::filesystem::temp_directory_path() / "cla_pipeline.clat").string();
@@ -49,7 +49,7 @@ TEST(Pipeline, PthreadBackendEndToEnd) {
   config.backend = "pthread";
   config.params["cs1"] = 200000;  // ~hundreds of microseconds per section
   config.params["cs2"] = 250000;
-  const auto [run, result] = run_and_analyze("micro", config);
+  const auto [run, result, profile] = run_and_analyze("micro", config);
   EXPECT_GT(run.completion_time, 0u);
   // On a loaded single-core machine, a preemption inside either critical
   // section can dwarf the intended 4:5 work ratio, so even the ranking is
@@ -68,7 +68,7 @@ TEST(Pipeline, ReportsRenderForRealRuns) {
   workloads::WorkloadConfig config;
   config.threads = 4;
   config.scale = 0.25;
-  const auto [run, result] = run_and_analyze("radiosity", config);
+  const auto [run, result, profile] = run_and_analyze("radiosity", config);
   const std::string report = analysis::render_report(result);
   EXPECT_NE(report.find("tq[0].qlock"), std::string::npos);
   EXPECT_NE(report.find("freeInter"), std::string::npos);
@@ -82,7 +82,7 @@ TEST(Pipeline, WhatIfRankingAgreesWithCpRanking) {
   workloads::WorkloadConfig config;
   config.threads = 8;
   config.scale = 0.25;
-  const auto [run, result] = run_and_analyze("radiosity", config);
+  const auto [run, result, profile] = run_and_analyze("radiosity", config);
   (void)run;
   const auto ranking = analysis::rank_optimization_targets(result);
   ASSERT_FALSE(ranking.empty());

@@ -24,7 +24,7 @@ void* worker(void*) {
     burn(2000);
     pthread_mutex_unlock(&g_small);
     pthread_mutex_lock(&g_big);
-    burn(20000);
+    burn(60000);  // keep g_big clearly dominant even under scheduler noise
     pthread_mutex_unlock(&g_big);
   }
   return nullptr;

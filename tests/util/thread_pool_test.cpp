@@ -1,0 +1,77 @@
+#include "cla/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace cla::util {
+namespace {
+
+TEST(ThreadPool, InlineModeRunsEveryIndexInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<std::size_t> seen;
+  pool.parallel_for(5, [&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SlotWritesAreRaceFree) {
+  // The determinism contract: iteration i writes slot i only.
+  ThreadPool pool(8);
+  std::vector<std::size_t> out(5000, ~std::size_t{0});
+  pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, HandlesZeroAndFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "must not run"; });
+  std::atomic<int> runs{0};
+  pool.parallel_for(2, [&](std::size_t) { ++runs; });
+  EXPECT_EQ(runs.load(), 2);
+}
+
+TEST(ThreadPool, IsReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(17, [&](std::size_t i) { total += i; });
+  }
+  EXPECT_EQ(total.load(), 50u * (16u * 17u / 2u));
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i == 42) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives an exception and keeps working.
+  std::atomic<int> runs{0};
+  pool.parallel_for(10, [&](std::size_t) { ++runs; });
+  EXPECT_EQ(runs.load(), 10);
+}
+
+TEST(ThreadPool, ResolveNumThreads) {
+  EXPECT_EQ(ThreadPool::resolve_num_threads(3), 3u);
+  EXPECT_GE(ThreadPool::resolve_num_threads(0), 1u);  // hardware-sized
+}
+
+}  // namespace
+}  // namespace cla::util

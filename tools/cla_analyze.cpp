@@ -3,61 +3,108 @@
 //
 // Typical use with the LD_PRELOAD interposer:
 //   CLA_TRACE_FILE=/tmp/app.clat LD_PRELOAD=libcla_interpose.so ./app
-//   cla-analyze /tmp/app.clat
+//   cla-analyze /tmp/app.clat --threads 8 --profile
+//
+// Exit codes: 0 success, 1 runtime failure (unreadable/corrupt trace),
+// 2 usage error (bad flags; usage goes to stderr).
 #include <cstdio>
 #include <iostream>
 
 #include "cla/core/cla.hpp"
 #include "cla/util/args.hpp"
 
-int main(int argc, char** argv) {
-  try {
-    cla::util::Args args(
-        argc, argv,
-        {"top", "json", "csv", "timeline", "whatif", "phase", "help"});
-    if (args.has("help") || args.positional().empty()) {
-      std::printf(
-          "usage: %s <trace.clat> [--top N] [--json] [--csv] [--timeline]\n"
-          "          [--phase K]     (restrict analysis to the K-th recorded\n"
-          "                           PhaseBegin/PhaseEnd region)\n"
-          "          [--whatif LOCK] (predicted upper-bound speedup from\n"
-          "                           eliminating LOCK's on-path time)\n",
-          argv[0]);
-      return args.has("help") ? 0 : 2;
-    }
-    cla::trace::Trace trace =
-        cla::trace::read_trace_file(args.positional().front());
-    if (args.has("phase")) {
-      trace = cla::trace::clip_to_phase(
-          trace, static_cast<std::size_t>(args.get_int("phase", 0)));
-    }
-    const cla::AnalysisResult result = cla::analyze(trace);
+namespace {
 
-    cla::analysis::ReportOptions report_options;
-    report_options.top_locks = static_cast<std::size_t>(args.get_int("top", 0));
+void print_usage(std::FILE* out, const char* prog) {
+  std::fprintf(
+      out,
+      "usage: %s <trace.clat> [options]\n"
+      "pipeline stages: load -> validate -> index -> resolve -> walk ->\n"
+      "                 stats -> report\n"
+      "options:\n"
+      "  --threads N     worker threads for the index/stats stages\n"
+      "                  (default 1 = sequential, 0 = one per core)\n"
+      "  --profile       print the per-stage timing breakdown to stderr\n"
+      "  --top N         show only the top-N locks\n"
+      "  --json          print the JSON report instead of text\n"
+      "  --csv           print TYPE1/TYPE2 tables as CSV\n"
+      "  --timeline      print the ASCII execution timeline\n"
+      "  --phase K       restrict analysis to the K-th recorded\n"
+      "                  PhaseBegin/PhaseEnd region\n"
+      "  --whatif LOCK   predicted upper-bound speedup from eliminating\n"
+      "                  LOCK's on-path time\n",
+      prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* prog = argc > 0 ? argv[0] : "cla-analyze";
+  try {
+    cla::util::Args args(argc, argv,
+                         {"top", "json", "csv", "timeline", "whatif", "phase",
+                          "threads", "profile", "help"});
+    if (args.has("help")) {
+      print_usage(stdout, prog);
+      return 0;
+    }
+    if (args.positional().empty()) {
+      print_usage(stderr, prog);
+      return 2;
+    }
+
+    cla::Options options;
+    options.execution.num_threads =
+        static_cast<unsigned>(args.get_int("threads", 1));
+    options.report.top_locks = static_cast<std::size_t>(args.get_int("top", 0));
+
+    cla::Pipeline pipeline(options);
+    if (args.has("phase")) {
+      // Phase clipping rewrites the trace, so load eagerly and clip before
+      // handing the trace to the pipeline.
+      cla::trace::Trace trace =
+          cla::trace::read_trace_file(args.positional().front());
+      pipeline.use_trace(cla::trace::clip_to_phase(
+          trace, static_cast<std::size_t>(args.get_int("phase", 0))));
+    } else {
+      pipeline.load_file(args.positional().front());
+    }
 
     if (args.has("json")) {
-      std::cout << cla::analysis::render_json(result);
+      std::cout << pipeline.report_json();
     } else if (args.has("csv")) {
-      std::cout << cla::analysis::type1_table(result, report_options).to_csv()
+      std::cout << cla::analysis::type1_table(pipeline.result(),
+                                              options.report)
+                       .to_csv()
                 << '\n'
-                << cla::analysis::type2_table(result, report_options).to_csv();
+                << cla::analysis::type2_table(pipeline.result(),
+                                              options.report)
+                       .to_csv();
     } else {
-      std::cout << cla::analysis::render_report(result, report_options);
+      std::cout << pipeline.report();
     }
     if (args.has("timeline")) {
-      const cla::analysis::TraceIndex index(trace);
-      std::cout << '\n' << cla::analysis::render_timeline(index, result.path);
+      std::cout << '\n'
+                << cla::analysis::render_timeline(pipeline.trace_index(),
+                                                  pipeline.result().path);
     }
     if (auto lock = args.get("whatif")) {
-      const auto est = cla::analysis::estimate_shrink(result, *lock, 1.0);
+      const auto est =
+          cla::analysis::estimate_shrink(pipeline.result(), *lock, 1.0);
       std::printf(
           "\nwhat-if: removing all on-path time of %s saves at most %llu ns "
           "(predicted speedup <= %.3fx)\n",
           lock->c_str(), static_cast<unsigned long long>(est.saved_ns),
           est.predicted_speedup);
     }
+    if (args.has("profile")) {
+      std::fputs(pipeline.profile().to_string().c_str(), stderr);
+    }
     return 0;
+  } catch (const cla::util::ArgsError& e) {
+    std::fprintf(stderr, "%s: %s\n", prog, e.what());
+    print_usage(stderr, prog);
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cla-analyze: %s\n", e.what());
     return 1;

@@ -5,7 +5,7 @@
 //   cla-run <workload> [--threads N] [--backend sim|pthread] [--optimized]
 //           [--seed S] [--scale X] [--param key=value ...]
 //           [--top N] [--timeline] [--json] [--csv]
-//           [--trace-out file.clat]
+//           [--trace-out file.clat] [--analysis-threads N] [--profile]
 //   cla-run --list
 #include <cstdio>
 #include <iostream>
@@ -17,8 +17,9 @@
 
 namespace {
 
-void print_usage(const char* prog) {
-  std::printf(
+void print_usage(const char* prog, std::FILE* out = stdout) {
+  std::fprintf(
+      out,
       "usage: %s <workload> [options]\n"
       "       %s --list\n"
       "options:\n"
@@ -34,7 +35,10 @@ void print_usage(const char* prog) {
       "  --timeline        print the ASCII execution timeline\n"
       "  --json            print the JSON report instead of text\n"
       "  --csv             print TYPE1/TYPE2 tables as CSV\n"
-      "  --trace-out FILE  also write the trace to FILE (.clat)\n",
+      "  --trace-out FILE  also write the trace to FILE (.clat)\n"
+      "  --analysis-threads N  worker threads for the analysis pipeline's\n"
+      "                    index/stats stages (default 1, 0 = per core)\n"
+      "  --profile         print the analysis per-stage timing to stderr\n",
       prog, prog);
 }
 
@@ -45,7 +49,8 @@ int main(int argc, char** argv) {
     cla::util::Args args(argc, argv,
                          {"threads", "backend", "optimized", "seed", "scale",
                           "param", "accelerate", "top", "timeline", "json",
-                          "csv", "trace-out", "list", "help"});
+                          "csv", "trace-out", "analysis-threads", "profile",
+                          "list", "help"});
     if (args.has("help")) {
       print_usage(argv[0]);
       return 0;
@@ -57,7 +62,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (args.positional().empty()) {
-      print_usage(argv[0]);
+      print_usage(argv[0], stderr);
       return 2;
     }
 
@@ -89,8 +94,14 @@ int main(int argc, char** argv) {
       parse_pairs(*accel, "--accelerate", config.accelerate);
     }
 
+    cla::Options options;
+    options.execution.num_threads =
+        static_cast<unsigned>(args.get_int("analysis-threads", 1));
+    options.report.top_locks = static_cast<std::size_t>(args.get_int("top", 0));
+
     const std::string workload = args.positional().front();
-    const auto [run, result] = cla::run_and_analyze(workload, config);
+    const auto [run, result, profile] =
+        cla::run_and_analyze(workload, config, options);
 
     std::printf("workload: %s  threads=%u backend=%s%s seed=%llu\n",
                 workload.c_str(), config.threads, config.backend.c_str(),
@@ -100,8 +111,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(run.completion_time),
                 run.trace.event_count());
 
-    cla::analysis::ReportOptions report_options;
-    report_options.top_locks = static_cast<std::size_t>(args.get_int("top", 0));
+    const cla::analysis::ReportOptions& report_options = options.report;
 
     if (args.has("json")) {
       std::cout << cla::analysis::render_json(result);
@@ -122,7 +132,14 @@ int main(int argc, char** argv) {
       cla::trace::write_trace_file(run.trace, *path);
       std::printf("\ntrace written to %s\n", path->c_str());
     }
+    if (args.has("profile")) {
+      std::fputs(profile.to_string().c_str(), stderr);
+    }
     return 0;
+  } catch (const cla::util::ArgsError& e) {
+    std::fprintf(stderr, "cla-run: %s\n", e.what());
+    print_usage(argv[0], stderr);
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cla-run: %s\n", e.what());
     return 1;

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "cla/trace/salvage.hpp"
 #include "cla/trace/trace_io.hpp"
 #include "cla/util/clock.hpp"
 #include "cla/util/error.hpp"
@@ -84,14 +85,17 @@ Pipeline& Pipeline::load_file(const std::string& path) {
 Pipeline& Pipeline::load_stream(std::istream& in) {
   const std::uint64_t start = util::now_ns();
   reset_stages();
+  salvage_report_.reset();
+  if (options_.load.salvage) {
+    trace::SalvageResult salvaged = trace::salvage_trace(in);
+    salvage_report_ = std::move(salvaged.report);
+    owned_trace_ = std::move(salvaged.trace);
+    trace_ = &*owned_trace_;
+    record(Stage::Load, start);
+    return *this;
+  }
   trace::TraceStreamReader reader(in);
   trace::Trace loaded;
-  for (const auto& [object, name] : reader.object_names()) {
-    loaded.set_object_name(object, name);
-  }
-  for (const auto& [tid, name] : reader.thread_names()) {
-    loaded.set_thread_name(tid, name);
-  }
   const std::size_t chunk_events =
       options_.load.chunk_events == 0 ? (1u << 16) : options_.load.chunk_events;
   std::vector<trace::Event> buffer(chunk_events);
@@ -105,6 +109,15 @@ Pipeline& Pipeline::load_stream(std::istream& in) {
       loaded.append_thread_events(block->tid, {buffer.data(), n});
     }
   }
+  // Names and the dropped-event count can trail the event chunks in v2
+  // files, so they are applied only after the stream is drained.
+  for (const auto& [object, name] : reader.object_names()) {
+    loaded.set_object_name(object, name);
+  }
+  for (const auto& [tid, name] : reader.thread_names()) {
+    loaded.set_thread_name(tid, name);
+  }
+  loaded.set_dropped_events(reader.dropped_events());
   owned_trace_ = std::move(loaded);
   trace_ = &*owned_trace_;
   record(Stage::Load, start);
@@ -113,6 +126,7 @@ Pipeline& Pipeline::load_stream(std::istream& in) {
 
 Pipeline& Pipeline::use_trace(trace::Trace&& trace) {
   reset_stages();
+  salvage_report_.reset();
   owned_trace_ = std::move(trace);
   trace_ = &*owned_trace_;
   return *this;
@@ -120,6 +134,7 @@ Pipeline& Pipeline::use_trace(trace::Trace&& trace) {
 
 Pipeline& Pipeline::use_trace(const trace::Trace& trace) {
   reset_stages();
+  salvage_report_.reset();
   owned_trace_.reset();
   trace_ = &trace;
   return *this;

@@ -29,6 +29,7 @@
 #include "cla/analysis/report.hpp"
 #include "cla/analysis/resolver.hpp"
 #include "cla/analysis/stats.hpp"
+#include "cla/trace/salvage.hpp"
 #include "cla/trace/trace.hpp"
 
 namespace cla::util {
@@ -49,6 +50,10 @@ struct ExecutionPolicy {
 struct LoadOptions {
   /// Events per chunk handed from the streaming reader to the trace.
   std::size_t chunk_events = 1u << 16;
+  /// Route the load through salvage_trace(): recover the intact chunks of
+  /// a torn/crashed recording, repair the event stream so validate()
+  /// passes, and expose the SalvageReport via Pipeline::salvage_report().
+  bool salvage = false;
 };
 
 /// One coherent options aggregate for the whole pipeline, with per-stage
@@ -147,6 +152,12 @@ class Pipeline {
   /// Per-stage timings of everything run so far.
   const PipelineProfile& profile() const noexcept { return profile_; }
 
+  /// Set when the trace was loaded with options.load.salvage; describes
+  /// what was recovered, dropped and repaired.
+  const std::optional<trace::SalvageReport>& salvage_report() const noexcept {
+    return salvage_report_;
+  }
+
  private:
   util::ThreadPool* pool();
   void record(Stage stage, std::uint64_t start_ns);
@@ -161,6 +172,7 @@ class Pipeline {
   std::optional<WakeupResolver> resolver_;
   std::optional<CriticalPath> path_;
   std::optional<AnalysisResult> result_;
+  std::optional<trace::SalvageReport> salvage_report_;
   PipelineProfile profile_;
 };
 

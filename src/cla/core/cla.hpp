@@ -20,6 +20,7 @@
 #include "cla/sim/engine.hpp"
 #include "cla/trace/builder.hpp"
 #include "cla/trace/clip.hpp"
+#include "cla/trace/salvage.hpp"
 #include "cla/trace/trace.hpp"
 #include "cla/trace/trace_io.hpp"
 #include "cla/workloads/workload.hpp"

@@ -8,8 +8,16 @@
 // Every pthread synchronization routine that can block is overridden; the
 // override records the paper's MAGIC() events around a call to the real
 // routine (resolved once with dlsym(RTLD_NEXT, ...)). Synchronization
-// object ids are the objects' addresses. The trace is flushed to
-// $CLA_TRACE_FILE at process exit.
+// object ids are the objects' addresses.
+//
+// Crash resilience: recording runs in the Recorder's streaming mode —
+// per-thread bounded buffers spill to $CLA_TRACE_FILE (default
+// cla_trace.clat) as checksummed `.clat` v2 chunks while the app runs, so
+// the trace survives the process. $CLA_BUFFER_EVENTS bounds each buffer
+// half (default 16384 events). Fatal signals (SIGSEGV, SIGABRT, SIGBUS,
+// SIGTERM) and _exit/_Exit trigger an async-signal-safe best-effort spill
+// of the still-buffered tail before the process dies; a torn final chunk
+// is dropped by `cla-analyze --salvage`'s CRC check.
 //
 // Re-entrancy: the recorder itself may take a std::mutex during thread
 // registration, which would recurse into these hooks; a thread-local
@@ -20,6 +28,8 @@
 
 #include <dlfcn.h>
 #include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
@@ -38,12 +48,16 @@ using cla::trace::ObjectId;
 
 // ---- real symbol resolution -------------------------------------------
 
+// Missing symbols degrade tracing instead of killing the host: warn once
+// per symbol and return nullptr; every hook null-checks its real function
+// and either passes through untraced or reports ENOSYS.
 template <typename Fn>
 Fn resolve(const char* name) {
   void* symbol = dlsym(RTLD_NEXT, name);
   if (symbol == nullptr) {
-    std::fprintf(stderr, "cla_interpose: cannot resolve %s\n", name);
-    std::abort();
+    std::fprintf(stderr,
+                 "cla_interpose: cannot resolve %s; tracing degraded\n", name);
+    return nullptr;
   }
   return reinterpret_cast<Fn>(symbol);
 }
@@ -76,6 +90,7 @@ struct RealPthread {
                       void*)>("pthread_create");
   int (*join)(pthread_t, void**) =
       resolve<int (*)(pthread_t, void**)>("pthread_join");
+  void (*exit_now)(int) = resolve<void (*)(int)>("_exit");
 };
 
 RealPthread& real() {
@@ -142,26 +157,96 @@ BarrierShadow* barrier_shadow(pthread_barrier_t* barrier, bool create_entry) {
   return shadow;
 }
 
-// ---- trace flushing ------------------------------------------------------
+// ---- fatal-signal spill --------------------------------------------------
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGTERM};
+
+void fatal_signal_handler(int sig) {
+  // Async-signal-safe: crash_spill only touches atomics and writev().
+  Recorder::instance().crash_spill();
+  struct sigaction dfl = {};
+  dfl.sa_handler = SIG_DFL;
+  sigemptyset(&dfl.sa_mask);
+  sigaction(sig, &dfl, nullptr);
+  raise(sig);  // delivered with default disposition on handler return
+}
+
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = &fatal_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  for (int sig : kFatalSignals) {
+    struct sigaction old = {};
+    if (sigaction(sig, nullptr, &old) == 0 && old.sa_handler == SIG_IGN &&
+        sig == SIGTERM) {
+      continue;  // respect an inherited "ignore SIGTERM"
+    }
+    sigaction(sig, &sa, nullptr);
+  }
+}
+
+std::size_t buffer_events_from_env() {
+  constexpr std::size_t kDefault = 16384;
+  const char* raw = std::getenv("CLA_BUFFER_EVENTS");
+  if (raw == nullptr || *raw == '\0') return kDefault;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0' || value == 0) {
+    std::fprintf(stderr,
+                 "cla_interpose: ignoring bad CLA_BUFFER_EVENTS=%s\n", raw);
+    return kDefault;
+  }
+  return static_cast<std::size_t>(value);
+}
+
+// ---- trace lifecycle -----------------------------------------------------
+
+const char* trace_path() {
+  const char* path = std::getenv("CLA_TRACE_FILE");
+  return path != nullptr ? path : "cla_trace.clat";
+}
 
 struct FlushAtExit {
+  bool streaming = false;
+
   FlushAtExit() {
-    // Ensure the main thread is thread 0 and real symbols are resolved
-    // before the application creates any threads.
+    // Resolve real symbols and register the main thread as thread 0
+    // before the application creates any threads. The guard keeps the
+    // recorder's own flusher std::thread out of the trace.
+    HookGuard guard;
     (void)real();
-    Recorder::instance().ensure_current_thread();
-  }
-  ~FlushAtExit() {
-    HookGuard guard;  // recorder may lock during collect()
     Recorder& recorder = Recorder::instance();
+    try {
+      recorder.start_streaming(trace_path(), buffer_events_from_env());
+      streaming = true;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "cla_interpose: cannot stream to %s (%s); "
+                   "falling back to in-memory recording\n",
+                   trace_path(), e.what());
+    }
+    recorder.ensure_current_thread();
+    install_signal_handlers();
+  }
+
+  ~FlushAtExit() {
+    HookGuard guard;  // recorder may lock/join during teardown
+    Recorder& recorder = Recorder::instance();
+    if (streaming) {
+      const std::uint64_t dropped = recorder.dropped_events();
+      recorder.finish_streaming();
+      std::fprintf(stderr, "cla_interpose: trace written to %s%s\n",
+                   trace_path(),
+                   dropped > 0 ? " (some events dropped; see header)" : "");
+      return;
+    }
     if (recorder.event_count() == 0) return;
-    const char* path = std::getenv("CLA_TRACE_FILE");
-    if (path == nullptr) path = "cla_trace.clat";
     try {
       cla::trace::Trace trace = recorder.collect();
-      cla::trace::write_trace_file(trace, path);
+      cla::trace::write_trace_file(trace, trace_path());
       std::fprintf(stderr, "cla_interpose: wrote %zu events to %s\n",
-                   trace.event_count(), path);
+                   trace.event_count(), trace_path());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "cla_interpose: failed to write trace: %s\n",
                    e.what());
@@ -207,13 +292,19 @@ extern "C" {
 
 int pthread_mutex_lock(pthread_mutex_t* mutex) {
   HookGuard guard;
+  if (real().mutex_lock == nullptr) return ENOSYS;
   if (!guard.armed) return real().mutex_lock(mutex);
   Recorder& recorder = Recorder::instance();
   recorder.record(EventType::MutexAcquire, oid(mutex));
   bool contended = false;
-  int rc = real().mutex_trylock(mutex);
-  if (rc == EBUSY) {
-    contended = true;
+  int rc;
+  if (real().mutex_trylock != nullptr) {
+    rc = real().mutex_trylock(mutex);
+    if (rc == EBUSY) {
+      contended = true;
+      rc = real().mutex_lock(mutex);
+    }
+  } else {
     rc = real().mutex_lock(mutex);
   }
   recorder.record(EventType::MutexAcquired, oid(mutex), contended ? 1 : 0);
@@ -222,6 +313,7 @@ int pthread_mutex_lock(pthread_mutex_t* mutex) {
 
 int pthread_mutex_unlock(pthread_mutex_t* mutex) {
   HookGuard guard;
+  if (real().mutex_unlock == nullptr) return ENOSYS;
   if (!guard.armed) return real().mutex_unlock(mutex);
   const int rc = real().mutex_unlock(mutex);
   Recorder::instance().record(EventType::MutexReleased, oid(mutex));
@@ -231,6 +323,7 @@ int pthread_mutex_unlock(pthread_mutex_t* mutex) {
 int pthread_barrier_init(pthread_barrier_t* barrier,
                          const pthread_barrierattr_t* attr, unsigned count) {
   HookGuard guard;
+  if (real().barrier_init == nullptr) return ENOSYS;
   if (guard.armed) {
     BarrierShadow* shadow = barrier_shadow(barrier, /*create_entry=*/true);
     shadow->participants = count;
@@ -241,6 +334,7 @@ int pthread_barrier_init(pthread_barrier_t* barrier,
 
 int pthread_barrier_wait(pthread_barrier_t* barrier) {
   HookGuard guard;
+  if (real().barrier_wait == nullptr) return ENOSYS;
   if (!guard.armed) return real().barrier_wait(barrier);
   Recorder& recorder = Recorder::instance();
   std::uint64_t episode = cla::trace::kNoArg;
@@ -257,6 +351,7 @@ int pthread_barrier_wait(pthread_barrier_t* barrier) {
 
 int pthread_cond_wait(pthread_cond_t* cond, pthread_mutex_t* mutex) {
   HookGuard guard;
+  if (real().cond_wait == nullptr) return ENOSYS;
   if (!guard.armed) return real().cond_wait(cond, mutex);
   Recorder& recorder = Recorder::instance();
   recorder.record(EventType::MutexReleased, oid(mutex));
@@ -271,6 +366,7 @@ int pthread_cond_wait(pthread_cond_t* cond, pthread_mutex_t* mutex) {
 int pthread_cond_timedwait(pthread_cond_t* cond, pthread_mutex_t* mutex,
                            const struct timespec* abstime) {
   HookGuard guard;
+  if (real().cond_timedwait == nullptr) return ENOSYS;
   if (!guard.armed) return real().cond_timedwait(cond, mutex, abstime);
   Recorder& recorder = Recorder::instance();
   recorder.record(EventType::MutexReleased, oid(mutex));
@@ -284,12 +380,14 @@ int pthread_cond_timedwait(pthread_cond_t* cond, pthread_mutex_t* mutex,
 
 int pthread_cond_signal(pthread_cond_t* cond) {
   HookGuard guard;
+  if (real().cond_signal == nullptr) return ENOSYS;
   if (guard.armed) Recorder::instance().record(EventType::CondSignal, oid(cond));
   return real().cond_signal(cond);
 }
 
 int pthread_cond_broadcast(pthread_cond_t* cond) {
   HookGuard guard;
+  if (real().cond_broadcast == nullptr) return ENOSYS;
   if (guard.armed)
     Recorder::instance().record(EventType::CondBroadcast, oid(cond));
   return real().cond_broadcast(cond);
@@ -298,6 +396,7 @@ int pthread_cond_broadcast(pthread_cond_t* cond) {
 int pthread_create(pthread_t* thread, const pthread_attr_t* attr,
                    void* (*start_routine)(void*), void* arg) {
   HookGuard guard;
+  if (real().create == nullptr) return ENOSYS;
   if (!guard.armed) return real().create(thread, attr, start_routine, arg);
   Recorder& recorder = Recorder::instance();
   const cla::trace::ThreadId parent = recorder.ensure_current_thread();
@@ -315,6 +414,7 @@ int pthread_create(pthread_t* thread, const pthread_attr_t* attr,
 
 int pthread_join(pthread_t thread, void** retval) {
   HookGuard guard;
+  if (real().join == nullptr) return ENOSYS;
   if (!guard.armed) return real().join(thread, retval);
   Recorder& recorder = Recorder::instance();
   const cla::trace::ThreadId target = lookup_thread(thread);
@@ -326,6 +426,21 @@ int pthread_join(pthread_t thread, void** retval) {
   const int rc = real().join(thread, retval);
   recorder.record(EventType::JoinEnd, static_cast<ObjectId>(target));
   return rc;
+}
+
+// _exit / _Exit skip atexit handlers and static destructors, so the
+// normal finish_streaming() path never runs: spill what the buffers hold
+// first. crash_spill is idempotent and cheap once recording is shut down.
+void _exit(int status) {
+  Recorder::instance().crash_spill();
+  if (real().exit_now != nullptr) real().exit_now(status);
+  _Exit(status);  // resolver failed; libc _Exit still terminates
+}
+
+void _Exit(int status) {
+  Recorder::instance().crash_spill();
+  if (real().exit_now != nullptr) real().exit_now(status);
+  abort();  // unreachable unless the resolver failed entirely
 }
 
 }  // extern "C"

@@ -1,5 +1,7 @@
 #include "cla/runtime/recorder.hpp"
 
+#include <time.h>
+
 #include <algorithm>
 
 #include "cla/util/clock.hpp"
@@ -17,36 +19,98 @@ struct TlsBinding {
 
 thread_local TlsBinding tls_binding;
 
+// Epochs are process-globally unique so a stale TLS binding can never
+// false-match a different (or re-created) Recorder that happens to live
+// at the same address.
+std::atomic<std::uint64_t> g_binding_epoch{0};
+
+std::uint64_t next_binding_epoch() {
+  return g_binding_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 }  // namespace
+
+/// Legacy unbounded in-memory buffer (collect() mode).
+struct Recorder::ThreadBuffer {
+  trace::ThreadId tid = 0;
+  std::vector<trace::Event> events;
+};
+
+/// Streaming-mode double buffer. The owning thread appends to the active
+/// half and flips when it fills; the flusher (or the crash handler)
+/// drains published halves. All cross-thread hand-off is via the atomics,
+/// so the crash handler can read any half without locks.
+struct Recorder::StreamBuffer {
+  trace::ThreadId tid = 0;
+  std::uint32_t capacity = 0;
+  std::unique_ptr<trace::Event[]> half[2];
+  std::atomic<std::uint32_t> count[2] = {0, 0};
+  std::atomic<bool> full[2] = {false, false};
+  std::atomic<bool> in_flight[2] = {false, false};
+  std::atomic<std::uint64_t> publish_seq[2] = {0, 0};  // flush ordering
+  std::atomic<std::uint64_t> last_ts{0};               // for exit synthesis
+  std::atomic<bool> saw_exit{false};
+
+  // Owner-thread-only state.
+  std::uint32_t active = 0;
+  std::uint64_t next_seq = 1;
+  std::uint64_t clamp_ts = 0;  // per-thread monotonic timestamp repair
+};
 
 Recorder& Recorder::instance() {
   static Recorder recorder;
   return recorder;
 }
 
+Recorder::Recorder() { epoch_.store(next_binding_epoch(), std::memory_order_relaxed); }
+
+Recorder::~Recorder() { finish_streaming(); }
+
 trace::ThreadId Recorder::allocate_thread() {
   return next_tid_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Recorder::bind_current_thread(trace::ThreadId tid, trace::ThreadId parent) {
-  auto buffer = std::make_unique<ThreadBuffer>();
-  buffer->tid = tid;
-  buffer->events.reserve(1024);
-  ThreadBuffer* raw = buffer.get();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    buffers_.push_back(std::move(buffer));
+  if (shutdown_.load(std::memory_order_acquire)) return;
+  void* raw = nullptr;
+  if (streaming_.load(std::memory_order_acquire)) {
+    auto buffer = std::make_unique<StreamBuffer>();
+    buffer->tid = tid;
+    buffer->capacity = static_cast<std::uint32_t>(stream_capacity_);
+    buffer->half[0] = std::make_unique<trace::Event[]>(stream_capacity_);
+    buffer->half[1] = std::make_unique<trace::Event[]>(stream_capacity_);
+    StreamBuffer* sb = buffer.get();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const std::uint32_t slot = stream_count_.load(std::memory_order_relaxed);
+      if (slot >= kMaxStreamThreads) return;  // fail soft; records will drop
+      stream_owned_.push_back(std::move(buffer));
+      stream_registry_[slot].store(sb, std::memory_order_release);
+      stream_count_.store(slot + 1, std::memory_order_release);
+    }
+    raw = sb;
+  } else {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = tid;
+    buffer->events.reserve(1024);
+    raw = buffer.get();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      buffers_.push_back(std::move(buffer));
+    }
   }
   tls_binding = TlsBinding{this, raw, epoch_.load(std::memory_order_relaxed)};
-  raw->events.push_back(trace::Event{
-      util::now_ns(),
-      parent == trace::kNoThread ? trace::kNoObject
-                                 : static_cast<trace::ObjectId>(parent),
-      trace::kNoArg, trace::EventType::ThreadStart, 0, tid});
+  record(trace::EventType::ThreadStart,
+         parent == trace::kNoThread ? trace::kNoObject
+                                    : static_cast<trace::ObjectId>(parent));
 }
 
 trace::ThreadId Recorder::ensure_current_thread() {
-  if (ThreadBuffer* buffer = current_buffer()) return buffer->tid;
+  if (streaming_.load(std::memory_order_acquire)) {
+    if (StreamBuffer* buffer = current_stream_buffer()) return buffer->tid;
+  } else if (ThreadBuffer* buffer = current_buffer()) {
+    return buffer->tid;
+  }
   const trace::ThreadId tid = allocate_thread();
   bind_current_thread(tid, trace::kNoThread);
   return tid;
@@ -61,6 +125,15 @@ Recorder::ThreadBuffer* Recorder::current_buffer() {
   return static_cast<ThreadBuffer*>(binding.buffer);
 }
 
+Recorder::StreamBuffer* Recorder::current_stream_buffer() {
+  const TlsBinding& binding = tls_binding;
+  if (binding.recorder != this ||
+      binding.epoch != epoch_.load(std::memory_order_relaxed)) {
+    return nullptr;
+  }
+  return static_cast<StreamBuffer*>(binding.buffer);
+}
+
 void Recorder::thread_exit() {
   record(trace::EventType::ThreadExit, trace::kNoObject);
 }
@@ -72,25 +145,110 @@ void Recorder::record(trace::EventType type, trace::ObjectId object,
 
 void Recorder::record_at(trace::EventType type, std::uint64_t ts,
                          trace::ObjectId object, std::uint64_t arg) {
+  if (shutdown_.load(std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (streaming_.load(std::memory_order_acquire)) {
+    StreamBuffer* buffer = current_stream_buffer();
+    if (buffer == nullptr) {
+      ensure_current_thread();
+      buffer = current_stream_buffer();
+    }
+    if (buffer == nullptr) {  // registry full or bound during teardown
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    stream_append(*buffer,
+                  trace::Event{ts, object, arg, type, 0, buffer->tid});
+    return;
+  }
   ThreadBuffer* buffer = current_buffer();
   if (buffer == nullptr) {
     ensure_current_thread();
     buffer = current_buffer();
   }
+  if (buffer == nullptr) {  // binding failed mid-teardown: fail soft
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   buffer->events.push_back(trace::Event{ts, object, arg, type, 0, buffer->tid});
+}
+
+void Recorder::stream_append(StreamBuffer& buffer, const trace::Event& event) {
+  trace::Event e = event;
+  // Per-thread monotone clamp at record time: the clean-exit repair of
+  // collect() never runs when chunks are already on disk.
+  if (e.ts < buffer.clamp_ts) {
+    e.ts = buffer.clamp_ts;
+  } else {
+    buffer.clamp_ts = e.ts;
+  }
+  std::uint32_t half = buffer.active;
+  std::uint32_t c = buffer.count[half].load(std::memory_order_relaxed);
+  if (c == buffer.capacity) {
+    // Publish the full half for the flusher and flip to the other one.
+    if (!buffer.full[half].load(std::memory_order_relaxed)) {
+      buffer.publish_seq[half].store(buffer.next_seq++,
+                                     std::memory_order_relaxed);
+      buffer.full[half].store(true, std::memory_order_release);
+    }
+    buffer.active ^= 1;
+    half = buffer.active;
+    if (buffer.full[half].load(std::memory_order_acquire)) {
+      // Flusher starved: both halves full. Drop instead of blocking.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    c = buffer.count[half].load(std::memory_order_relaxed);
+  }
+  buffer.half[half][c] = e;
+  buffer.count[half].store(c + 1, std::memory_order_release);
+  buffer.last_ts.store(e.ts, std::memory_order_relaxed);
+  if (e.type == trace::EventType::ThreadExit) {
+    buffer.saw_exit.store(true, std::memory_order_relaxed);
+  }
 }
 
 void Recorder::name_object(trace::ObjectId object, std::string name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  object_names_.emplace_back(object, std::move(name));
+  auto [it, inserted] = object_names_.try_emplace(object, name);
+  if (!inserted) {
+    if (it->second == name) return;  // idempotent re-registration
+    it->second = name;               // last write wins
+  }
+  if (streaming_.load(std::memory_order_acquire) && sink_ != nullptr &&
+      !shutdown_.load(std::memory_order_acquire)) {
+    sink_->write_object_name(object, name);
+  }
 }
 
 void Recorder::name_thread(trace::ThreadId tid, std::string name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  thread_names_.emplace_back(tid, std::move(name));
+  auto [it, inserted] = thread_names_.try_emplace(tid, name);
+  if (!inserted) {
+    if (it->second == name) return;
+    it->second = name;
+  }
+  if (streaming_.load(std::memory_order_acquire) && sink_ != nullptr &&
+      !shutdown_.load(std::memory_order_acquire)) {
+    sink_->write_thread_name(tid, name);
+  }
 }
 
 std::size_t Recorder::event_count() const {
+  if (streaming_.load(std::memory_order_acquire)) {
+    std::size_t total = 0;
+    const std::uint32_t n = stream_count_.load(std::memory_order_acquire);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const StreamBuffer* buffer =
+          stream_registry_[i].load(std::memory_order_acquire);
+      if (buffer == nullptr) continue;
+      total += buffer->count[0].load(std::memory_order_relaxed);
+      total += buffer->count[1].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;
   for (const auto& buffer : buffers_) total += buffer->events.size();
@@ -98,6 +256,8 @@ std::size_t Recorder::event_count() const {
 }
 
 trace::Trace Recorder::collect() {
+  CLA_CHECK(!streaming_.load(std::memory_order_acquire),
+            "collect() is invalid in streaming mode (the trace is on disk)");
   std::lock_guard<std::mutex> lock(mutex_);
   trace::Trace out;
 
@@ -129,12 +289,14 @@ trace::Trace Recorder::collect() {
   }
   for (auto& [object, name] : object_names_) out.set_object_name(object, name);
   for (auto& [tid, name] : thread_names_) out.set_thread_name(tid, name);
+  out.set_dropped_events(dropped_.load(std::memory_order_relaxed));
 
   buffers_.clear();
   object_names_.clear();
   thread_names_.clear();
   next_tid_.store(0, std::memory_order_relaxed);
-  epoch_.fetch_add(1, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_.store(next_binding_epoch(), std::memory_order_relaxed);
   return out;
 }
 
@@ -144,7 +306,144 @@ void Recorder::reset() {
   object_names_.clear();
   thread_names_.clear();
   next_tid_.store(0, std::memory_order_relaxed);
-  epoch_.fetch_add(1, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_.store(next_binding_epoch(), std::memory_order_relaxed);
+}
+
+// ---- streaming mode ------------------------------------------------------
+
+void Recorder::start_streaming(const std::string& path,
+                               std::size_t buffer_events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CLA_CHECK(!streaming_.load(std::memory_order_acquire),
+            "recorder is already streaming");
+  sink_ = std::make_unique<trace::ChunkedTraceWriter>(path);  // may throw
+  stream_capacity_ = std::clamp<std::size_t>(buffer_events, 64, 1u << 22);
+  flusher_stop_.store(false, std::memory_order_release);
+  streaming_.store(true, std::memory_order_release);
+  epoch_.store(next_binding_epoch(), std::memory_order_relaxed);  // rebind legacy TLS
+  flusher_ = std::thread([this] { flusher_main(); });
+}
+
+void Recorder::flusher_main() {
+  const struct timespec pause{0, 200'000};  // 200us between drain sweeps
+  while (!flusher_stop_.load(std::memory_order_acquire)) {
+    const std::uint32_t n = stream_count_.load(std::memory_order_acquire);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      StreamBuffer* buffer = stream_registry_[i].load(std::memory_order_acquire);
+      if (buffer == nullptr) continue;
+      const bool full0 = buffer->full[0].load(std::memory_order_acquire);
+      const bool full1 = buffer->full[1].load(std::memory_order_acquire);
+      if (full0 && full1) {
+        // Keep per-thread chunk order: lower publish sequence first.
+        const std::uint64_t s0 =
+            buffer->publish_seq[0].load(std::memory_order_relaxed);
+        const std::uint64_t s1 =
+            buffer->publish_seq[1].load(std::memory_order_relaxed);
+        flush_half(*buffer, s0 < s1 ? 0 : 1);
+        flush_half(*buffer, s0 < s1 ? 1 : 0);
+      } else if (full0) {
+        flush_half(*buffer, 0);
+      } else if (full1) {
+        flush_half(*buffer, 1);
+      }
+    }
+    nanosleep(&pause, nullptr);
+  }
+}
+
+void Recorder::flush_half(StreamBuffer& buffer, unsigned half) {
+  buffer.in_flight[half].store(true, std::memory_order_seq_cst);
+  if (shutdown_.load(std::memory_order_seq_cst)) {
+    // A crash handler owns the file now. Park with in_flight set so the
+    // handler never writes a half we may already have started.
+    return;
+  }
+  const std::uint32_t c = buffer.count[half].load(std::memory_order_acquire);
+  sink_->write_events(buffer.tid, buffer.half[half].get(), c);
+  buffer.count[half].store(0, std::memory_order_release);
+  buffer.full[half].store(false, std::memory_order_release);
+  buffer.in_flight[half].store(false, std::memory_order_release);
+}
+
+void Recorder::finish_streaming() {
+  if (!streaming_.load(std::memory_order_acquire)) return;
+  flusher_stop_.store(true, std::memory_order_release);
+  if (flusher_.joinable()) flusher_.join();
+  if (shutdown_.exchange(true, std::memory_order_seq_cst)) return;
+
+  const std::uint32_t n = stream_count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    StreamBuffer* buffer = stream_registry_[i].load(std::memory_order_acquire);
+    if (buffer == nullptr) continue;
+    // Published halves first (they hold the older events), then the
+    // partial active half.
+    const std::uint64_t s0 = buffer->publish_seq[0].load(std::memory_order_relaxed);
+    const std::uint64_t s1 = buffer->publish_seq[1].load(std::memory_order_relaxed);
+    const bool full0 = buffer->full[0].load(std::memory_order_acquire);
+    const bool full1 = buffer->full[1].load(std::memory_order_acquire);
+    unsigned order[2] = {0, 1};
+    if (full0 && full1) {
+      order[0] = s0 < s1 ? 0 : 1;
+      order[1] = s0 < s1 ? 1 : 0;
+    } else if (full1) {
+      order[0] = 1;
+      order[1] = 0;
+    }
+    for (unsigned half : order) {
+      const std::uint32_t c = buffer->count[half].load(std::memory_order_acquire);
+      if (c > 0) sink_->write_events(buffer->tid, buffer->half[half].get(), c);
+      buffer->count[half].store(0, std::memory_order_relaxed);
+      buffer->full[half].store(false, std::memory_order_relaxed);
+    }
+    if (!buffer->saw_exit.load(std::memory_order_relaxed)) {
+      const trace::Event exit_event{
+          buffer->last_ts.load(std::memory_order_relaxed), trace::kNoObject,
+          trace::kNoArg, trace::EventType::ThreadExit, 0, buffer->tid};
+      sink_->write_events(buffer->tid, &exit_event, 1);
+    }
+  }
+  sink_->write_meta(dropped_.load(std::memory_order_relaxed), /*clean_close=*/true);
+  sink_->close();
+}
+
+void Recorder::crash_spill() {
+  // First caller wins; everyone else (including any racing recorder) sees
+  // shutdown and drops. Deliberately lock-free and allocation-free: this
+  // runs inside fatal-signal handlers.
+  if (shutdown_.exchange(true, std::memory_order_seq_cst)) return;
+  if (!streaming_.load(std::memory_order_acquire) || sink_ == nullptr) return;
+
+  const std::uint32_t n = stream_count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    StreamBuffer* buffer = stream_registry_[i].load(std::memory_order_acquire);
+    if (buffer == nullptr) continue;
+    // Published-full halves carry the older events; write them (in
+    // publish order) before the partial active half.
+    const std::uint64_t s0 = buffer->publish_seq[0].load(std::memory_order_relaxed);
+    const std::uint64_t s1 = buffer->publish_seq[1].load(std::memory_order_relaxed);
+    const bool full0 = buffer->full[0].load(std::memory_order_acquire);
+    const bool full1 = buffer->full[1].load(std::memory_order_acquire);
+    unsigned order[2] = {0, 1};
+    if (full0 && full1) {
+      order[0] = s0 < s1 ? 0 : 1;
+      order[1] = s0 < s1 ? 1 : 0;
+    } else if (full1) {
+      order[0] = 1;
+      order[1] = 0;
+    }
+    for (unsigned half : order) {
+      if (buffer->in_flight[half].load(std::memory_order_seq_cst)) {
+        continue;  // the flusher may already be writing this half
+      }
+      const std::uint32_t c = buffer->count[half].load(std::memory_order_acquire);
+      if (c > 0) sink_->write_events(buffer->tid, buffer->half[half].get(), c);
+    }
+  }
+  sink_->write_meta(dropped_.load(std::memory_order_relaxed),
+                    /*clean_close=*/false);
+  // No close(): a concurrent flusher writev must not hit a recycled fd.
+  // The kernel flushes and closes on process death either way.
 }
 
 }  // namespace cla::rt

@@ -3,24 +3,46 @@
 //
 // Threads register once and then append events to a thread-local buffer
 // with one timestamp read and one store per MAGIC() point; no locks are
-// taken on the hot path. When the run completes, collect() stitches the
-// per-thread buffers into a trace::Trace (and the LD_PRELOAD interposer
-// flushes it to a .clat file).
+// taken on the hot path.
+//
+// Two collection modes:
+//
+//  * Legacy in-memory mode (default): buffers grow until the run ends and
+//    collect() stitches them into a trace::Trace.
+//
+//  * Streaming mode (start_streaming): each thread owns a pair of bounded
+//    event buffers. When the active half fills, the thread publishes it
+//    and flips to the other half; a dedicated flusher thread drains
+//    published halves to a ChunkedTraceWriter (`.clat` v2 chunks), so app
+//    threads never block on IO. If both halves are full (flusher starved)
+//    the event is dropped and counted instead of blocking or growing.
+//    crash_spill() writes every published-and-partial buffer with only
+//    async-signal-safe operations, so a fatal-signal handler can save the
+//    run's tail; finish_streaming() is the clean-exit path (synthesizes
+//    missing ThreadExit events and a clean-close Meta chunk).
+//
+// Recording never aborts the host application: if a thread cannot be
+// bound (registration races teardown) or a buffer has no room, the event
+// is dropped and counted; the count travels in the trace header.
 #pragma once
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cla/trace/trace.hpp"
+#include "cla/trace/trace_io.hpp"
 
 namespace cla::rt {
 
 class Recorder {
  public:
-  Recorder() = default;
+  Recorder();
+  ~Recorder();  // stops the flusher and closes the stream if still open
   Recorder(const Recorder&) = delete;
   Recorder& operator=(const Recorder&) = delete;
 
@@ -48,39 +70,97 @@ class Recorder {
               std::uint64_t arg = trace::kNoArg);
 
   /// Records with an explicit timestamp (used when the timestamp must be
-  /// taken before other bookkeeping, e.g. barrier arrival).
+  /// taken before other bookkeeping, e.g. barrier arrival). Fails soft:
+  /// if the thread cannot be bound or the buffers are full, the event is
+  /// dropped and dropped_events() incremented — never UB, never a throw.
   void record_at(trace::EventType type, std::uint64_t ts,
                  trace::ObjectId object, std::uint64_t arg = trace::kNoArg);
 
+  /// Attaches a name (last write wins; re-registering is idempotent).
   void name_object(trace::ObjectId object, std::string name);
   void name_thread(trace::ThreadId tid, std::string name);
 
-  /// Number of events currently buffered (all threads).
+  /// Events dropped at record time since the last reset/collect.
+  std::uint64_t dropped_events() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of events currently buffered (all threads, unflushed).
   std::size_t event_count() const;
+
+  // ---- legacy in-memory collection ----
 
   /// Assembles the trace: timestamps are shifted so the earliest event is
   /// at t=0, and any thread missing a ThreadExit gets one at its last
-  /// event's timestamp. Buffers are consumed.
+  /// event's timestamp. Buffers are consumed. Only valid outside
+  /// streaming mode.
   trace::Trace collect();
 
   /// Drops all buffered events and thread bindings (between runs). The
   /// calling thread must re-register afterwards.
   void reset();
 
+  // ---- streaming (crash-resilient) mode ----
+
+  /// Switches to streaming mode: opens `path` as a chunked v2 trace and
+  /// starts the flusher thread. `buffer_events` bounds each half of every
+  /// thread's double buffer (clamped to [64, 1<<22]). Must be called
+  /// before any thread registers events to be streamed; throws
+  /// cla::util::Error if the file cannot be opened.
+  void start_streaming(const std::string& path, std::size_t buffer_events);
+
+  bool streaming() const noexcept {
+    return streaming_.load(std::memory_order_acquire);
+  }
+
+  /// Clean-exit path: stops the flusher, drains every buffer, synthesizes
+  /// missing ThreadExit events, writes the clean-close Meta chunk and
+  /// closes the file. Idempotent.
+  void finish_streaming();
+
+  /// Best-effort crash-time spill; async-signal-safe (no locks, no
+  /// allocation, no iostreams). Writes all safely readable buffers plus a
+  /// Meta chunk without the clean flag, then flags the recorder shut down
+  /// so subsequent record() calls drop. Safe to call from a fatal-signal
+  /// handler; also the `_exit` interposition path. Idempotent — the first
+  /// caller wins, later callers return immediately.
+  void crash_spill();
+
+  /// True once crash_spill() ran (recording is permanently shut down).
+  bool shut_down() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
  private:
-  struct ThreadBuffer {
-    trace::ThreadId tid = 0;
-    std::vector<trace::Event> events;
-  };
+  struct ThreadBuffer;    // legacy unbounded buffer
+  struct StreamBuffer;    // streaming double buffer
 
   ThreadBuffer* current_buffer();
+  StreamBuffer* current_stream_buffer();
+  void stream_append(StreamBuffer& buffer, const trace::Event& event);
+  void flusher_main();
+  void flush_half(StreamBuffer& buffer, unsigned half);
 
   mutable std::mutex mutex_;  // guards registration and collection only
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::atomic<trace::ThreadId> next_tid_{0};
-  std::vector<std::pair<trace::ObjectId, std::string>> object_names_;
-  std::vector<std::pair<trace::ThreadId, std::string>> thread_names_;
+  std::map<trace::ObjectId, std::string> object_names_;
+  std::map<trace::ThreadId, std::string> thread_names_;
   std::atomic<std::uint64_t> epoch_{0};  // invalidates thread-local caches
+  std::atomic<std::uint64_t> dropped_{0};
+
+  // Streaming state. The registry is a fixed array of atomic slots so the
+  // crash handler can walk it without taking mutex_.
+  static constexpr std::size_t kMaxStreamThreads = 4096;
+  std::atomic<bool> streaming_{false};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> flusher_stop_{false};
+  std::size_t stream_capacity_ = 0;
+  std::unique_ptr<trace::ChunkedTraceWriter> sink_;
+  std::vector<std::unique_ptr<StreamBuffer>> stream_owned_;
+  std::atomic<StreamBuffer*> stream_registry_[kMaxStreamThreads] = {};
+  std::atomic<std::uint32_t> stream_count_{0};
+  std::thread flusher_;
 };
 
 }  // namespace cla::rt

@@ -1,0 +1,435 @@
+#include "cla/trace/salvage.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "cla/trace/trace_io.hpp"
+#include "cla/util/crc32.hpp"
+#include "cla/util/error.hpp"
+
+namespace cla::trace {
+
+namespace {
+
+/// Bounds-checked cursor over the fully buffered file. Salvage reads the
+/// whole stream up front: recovery is a cold path, and resynchronising on
+/// chunk magics needs random access.
+struct BufReader {
+  const char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  std::size_t remaining() const { return size - pos; }
+
+  template <typename T>
+  bool try_get(T& out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (remaining() < sizeof(T)) return false;
+    std::memcpy(&out, data + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+  }
+
+  bool try_get_bytes(void* dst, std::size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(dst, data + pos, n);
+    pos += n;
+    return true;
+  }
+
+  bool try_get_string(std::string& out) {
+    std::uint32_t len = 0;
+    if (!try_get(len) || len > (1u << 20) || remaining() < len) return false;
+    out.assign(data + pos, len);
+    pos += len;
+    return true;
+  }
+};
+
+// ---- v1 salvage ----------------------------------------------------------
+
+void salvage_v1(BufReader& in, Trace& trace, SalvageReport& report) {
+  auto torn = [&] {
+    report.torn_tail = true;
+    report.bytes_dropped += in.remaining();
+    in.pos = in.size;
+  };
+
+  std::uint32_t thread_count = 0;
+  if (!in.try_get(thread_count) || thread_count > (1u << 20)) return torn();
+
+  std::uint32_t object_names = 0;
+  if (!in.try_get(object_names)) return torn();
+  for (std::uint32_t i = 0; i < object_names; ++i) {
+    ObjectId object;
+    std::string name;
+    if (!in.try_get(object) || !in.try_get_string(name)) return torn();
+    trace.set_object_name(object, std::move(name));
+  }
+  std::uint32_t thread_names = 0;
+  if (!in.try_get(thread_names)) return torn();
+  for (std::uint32_t i = 0; i < thread_names; ++i) {
+    ThreadId tid;
+    std::string name;
+    if (!in.try_get(tid) || !in.try_get_string(name)) return torn();
+    trace.set_thread_name(tid, std::move(name));
+  }
+
+  for (std::uint32_t block = 0; block < thread_count; ++block) {
+    ThreadId tid;
+    std::uint64_t declared = 0;
+    if (!in.try_get(tid) || tid > (1u << 20) || !in.try_get(declared)) {
+      return torn();
+    }
+    // Keep every whole event that is actually present; a block cut short
+    // mid-event drops only the final partial record.
+    const std::uint64_t available = in.remaining() / sizeof(Event);
+    const std::uint64_t take = std::min(declared, available);
+    std::vector<Event> events(static_cast<std::size_t>(take));
+    in.try_get_bytes(events.data(), static_cast<std::size_t>(take) * sizeof(Event));
+    report.events_recovered += take;
+    trace.append_thread_events(tid, events);
+    if (take < declared) return torn();
+  }
+  report.clean_close = true;  // a complete v1 file is a clean-exit flush
+}
+
+// ---- v2 salvage ----------------------------------------------------------
+
+/// Index of the next chunk magic at or after `from`; npos if none.
+std::size_t find_chunk_magic(const BufReader& in, std::size_t from) {
+  if (from >= in.size) return std::string::npos;
+  std::string_view hay(in.data, in.size);
+  return hay.find(std::string_view(kChunkMagic, 4), from);
+}
+
+void salvage_v2(BufReader& in, Trace& trace, SalvageReport& report) {
+  while (in.pos < in.size) {
+    // Locate a plausible chunk header; resync past corruption.
+    if (in.remaining() < 16 ||
+        std::memcmp(in.data + in.pos, kChunkMagic, 4) != 0) {
+      const std::size_t next = find_chunk_magic(in, in.pos + 1);
+      ++report.chunks_dropped;
+      if (next == std::string::npos) {
+        report.torn_tail = true;
+        report.bytes_dropped += in.remaining();
+        return;
+      }
+      report.bytes_dropped += next - in.pos;
+      in.pos = next;
+      continue;
+    }
+
+    const std::size_t chunk_start = in.pos;
+    std::uint32_t kind, payload_bytes, crc;
+    in.pos += 4;  // magic
+    in.try_get(kind);
+    in.try_get(payload_bytes);
+    in.try_get(crc);
+    if (payload_bytes > kMaxChunkPayload) {
+      // Corrupt size field: this "header" is garbage; resync after it.
+      in.pos = chunk_start + 4;
+      ++report.chunks_dropped;
+      const std::size_t next = find_chunk_magic(in, in.pos);
+      report.bytes_dropped += (next == std::string::npos ? in.size : next) - chunk_start;
+      if (next == std::string::npos) {
+        report.torn_tail = true;
+        in.pos = in.size;
+        return;
+      }
+      in.pos = next;
+      continue;
+    }
+    if (in.remaining() < payload_bytes) {
+      // Torn tail: the final chunk was cut mid-write.
+      report.torn_tail = true;
+      ++report.chunks_dropped;
+      report.bytes_dropped += in.size - chunk_start;
+      in.pos = in.size;
+      return;
+    }
+    const char* payload = in.data + in.pos;
+    if (util::crc32(payload, payload_bytes) != crc) {
+      // Checksum failure: drop this chunk and resync just past its magic
+      // (its size field is untrustworthy).
+      ++report.chunks_dropped;
+      const std::size_t next = find_chunk_magic(in, chunk_start + 4);
+      report.bytes_dropped += (next == std::string::npos ? in.size : next) - chunk_start;
+      if (next == std::string::npos) {
+        report.torn_tail = true;
+        in.pos = in.size;
+        return;
+      }
+      in.pos = next;
+      continue;
+    }
+    in.pos += payload_bytes;
+
+    BufReader body{payload, payload_bytes};
+    bool intact = true;
+    switch (static_cast<ChunkKind>(kind)) {
+      case ChunkKind::ObjectNames: {
+        std::uint32_t count = 0;
+        intact = body.try_get(count);
+        for (std::uint32_t i = 0; intact && i < count; ++i) {
+          ObjectId object;
+          std::string name;
+          intact = body.try_get(object) && body.try_get_string(name);
+          if (intact) trace.set_object_name(object, std::move(name));
+        }
+        break;
+      }
+      case ChunkKind::ThreadNames: {
+        std::uint32_t count = 0;
+        intact = body.try_get(count);
+        for (std::uint32_t i = 0; intact && i < count; ++i) {
+          ThreadId tid;
+          std::string name;
+          intact = body.try_get(tid) && body.try_get_string(name);
+          if (intact) trace.set_thread_name(tid, std::move(name));
+        }
+        break;
+      }
+      case ChunkKind::Events: {
+        ThreadId tid = 0;
+        std::uint32_t count = 0;
+        intact = body.try_get(tid) && body.try_get(count) && tid <= (1u << 20) &&
+                 body.remaining() == count * sizeof(Event);
+        if (intact) {
+          std::vector<Event> events(count);
+          body.try_get_bytes(events.data(), count * sizeof(Event));
+          trace.append_thread_events(tid, events);
+          report.events_recovered += count;
+        }
+        break;
+      }
+      case ChunkKind::Meta: {
+        std::uint32_t flags = 0;
+        intact = body.try_get(report.runtime_dropped_events) &&
+                 body.try_get(flags);
+        if (intact && (flags & kMetaFlagCleanClose)) report.clean_close = true;
+        break;
+      }
+      default:
+        break;  // unknown kind, CRC was valid: skip silently
+    }
+    if (intact) {
+      ++report.chunks_recovered;
+    } else {
+      ++report.chunks_dropped;
+      report.bytes_dropped += 16 + payload_bytes;
+    }
+  }
+}
+
+}  // namespace
+
+// ---- repair --------------------------------------------------------------
+
+void repair_trace(Trace& trace, SalvageReport& report) {
+  Trace repaired;
+  for (ThreadId tid = 0; tid < trace.thread_count(); ++tid) {
+    const auto span = trace.thread_events(tid);
+    std::vector<Event> events(span.begin(), span.end());
+    std::uint64_t synthesized = 0;
+    bool touched = false;
+
+    if (events.empty()) {
+      // Every chunk of this thread was lost; keep the slot resolvable
+      // (other threads' ThreadCreate/Join events may reference it).
+      events.push_back(Event{0, kNoObject, kNoArg, EventType::ThreadStart, 0, tid});
+      events.push_back(Event{0, kNoObject, kNoArg, EventType::ThreadExit, 0, tid});
+      synthesized += 2;
+    }
+
+    // Clamp per-thread timestamps monotone (raw clock regressions are
+    // normally repaired by the clean-exit flush, which a crash skipped).
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      if (events[i].ts < events[i - 1].ts) {
+        events[i].ts = events[i - 1].ts;
+        touched = true;
+      }
+    }
+
+    if (events.front().type != EventType::ThreadStart) {
+      events.insert(events.begin(), Event{events.front().ts, kNoObject, kNoArg,
+                                          EventType::ThreadStart, 0, tid});
+      ++synthesized;
+    }
+
+    // Replay the protocol, dropping events a partial recording can no
+    // longer support and tracking what is left dangling at the end.
+    struct MutexState {
+      int depth = 0;
+      bool acquiring = false;
+    };
+    std::map<ObjectId, MutexState> mutexes;
+    std::map<ObjectId, std::uint64_t> inside_barrier;  // object -> episode arg
+    std::vector<Event> kept;
+    kept.reserve(events.size() + 4);
+    std::optional<Event> final_exit;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      Event e = events[i];
+      e.tid = tid;  // a corrupt tid inside an intact chunk body is repaired
+      bool keep = true;
+      switch (e.type) {
+        case EventType::ThreadStart:
+          keep = i == 0;
+          break;
+        case EventType::ThreadExit:
+          // Re-appended once, at the very end.
+          keep = false;
+          if (i + 1 == events.size()) final_exit = e;
+          break;
+        case EventType::MutexAcquire: {
+          auto& st = mutexes[e.object];
+          keep = !st.acquiring;
+          if (keep) st.acquiring = true;
+          break;
+        }
+        case EventType::MutexAcquired: {
+          auto& st = mutexes[e.object];
+          keep = st.acquiring;
+          if (keep) {
+            st.acquiring = false;
+            ++st.depth;
+          }
+          break;
+        }
+        case EventType::MutexReleased: {
+          auto& st = mutexes[e.object];
+          keep = st.depth > 0;
+          if (keep) --st.depth;
+          break;
+        }
+        case EventType::BarrierArrive:
+          keep = !inside_barrier.contains(e.object);
+          if (keep) inside_barrier[e.object] = e.arg;
+          break;
+        case EventType::BarrierLeave:
+          keep = inside_barrier.contains(e.object);
+          if (keep) inside_barrier.erase(e.object);
+          break;
+        default:
+          break;
+      }
+      if (keep) {
+        kept.push_back(e);
+      } else if (e.type != EventType::ThreadExit) {
+        ++report.events_discarded;
+        touched = true;
+      }
+    }
+
+    const std::uint64_t last_ts = kept.empty() ? 0 : kept.back().ts;
+
+    // Close dangling critical sections at the last-seen timestamp: a
+    // pending acquire collapses to a zero-length uncontended section, a
+    // held lock is released, an open barrier episode is left.
+    for (auto& [object, st] : mutexes) {
+      if (st.acquiring) {
+        kept.push_back(Event{last_ts, object, 0, EventType::MutexAcquired, 0, tid});
+        kept.push_back(Event{last_ts, object, kNoArg, EventType::MutexReleased, 0, tid});
+        synthesized += 2;
+      }
+      for (; st.depth > 0; --st.depth) {
+        kept.push_back(Event{last_ts, object, kNoArg, EventType::MutexReleased, 0, tid});
+        ++synthesized;
+      }
+    }
+    for (const auto& [object, episode] : inside_barrier) {
+      kept.push_back(Event{last_ts, object, episode, EventType::BarrierLeave, 0, tid});
+      ++synthesized;
+    }
+    if (final_exit.has_value() && final_exit->ts >= last_ts) {
+      kept.push_back(*final_exit);
+    } else {
+      kept.push_back(Event{last_ts, kNoObject, kNoArg, EventType::ThreadExit, 0, tid});
+      if (!final_exit.has_value()) ++synthesized;
+    }
+
+    if (synthesized > 0 || touched) ++report.threads_repaired;
+    report.synthesized_events += synthesized;
+    repaired.add_thread_stream(tid, std::move(kept));
+  }
+
+  for (const auto& [object, name] : trace.object_names()) {
+    repaired.set_object_name(object, name);
+  }
+  for (const auto& [tid, name] : trace.thread_names()) {
+    repaired.set_thread_name(tid, name);
+  }
+  repaired.set_dropped_events(trace.dropped_events());
+  trace = std::move(repaired);
+}
+
+// ---- entry points --------------------------------------------------------
+
+SalvageResult salvage_trace(std::istream& in) {
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  BufReader reader{bytes.data(), bytes.size()};
+
+  char magic[4];
+  std::uint32_t version = 0;
+  CLA_CHECK(reader.try_get_bytes(magic, 4) &&
+                std::memcmp(magic, kTraceMagic, 4) == 0,
+            "not a CLA trace (bad magic)");
+  CLA_CHECK(reader.try_get(version) &&
+                (version == kTraceVersion || version == kTraceVersionLegacy),
+            "unsupported trace version " + std::to_string(version));
+
+  SalvageResult out;
+  if (version == kTraceVersionLegacy) {
+    salvage_v1(reader, out.trace, out.report);
+  } else {
+    salvage_v2(reader, out.trace, out.report);
+  }
+  CLA_CHECK(out.report.events_recovered > 0,
+            "nothing to salvage: no intact events in trace");
+  out.trace.set_dropped_events(out.report.runtime_dropped_events);
+  repair_trace(out.trace, out.report);
+  return out;
+}
+
+SalvageResult salvage_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CLA_CHECK(in.is_open(), "cannot open trace file: " + path);
+  return salvage_trace(in);
+}
+
+std::string SalvageReport::to_string() const {
+  std::ostringstream out;
+  out << "salvage: " << events_recovered << " events recovered";
+  if (chunks_recovered > 0) out << " (" << chunks_recovered << " chunks)";
+  out << '\n';
+  if (bytes_dropped > 0 || chunks_dropped > 0) {
+    out << "salvage: dropped " << bytes_dropped << " torn/corrupt bytes ("
+        << chunks_dropped << " chunks)\n";
+  }
+  if (events_discarded > 0) {
+    out << "salvage: discarded " << events_discarded
+        << " protocol-inconsistent events\n";
+  }
+  if (synthesized_events > 0 || threads_repaired > 0) {
+    out << "salvage: synthesized " << synthesized_events << " events to repair "
+        << threads_repaired << " threads\n";
+  }
+  if (runtime_dropped_events > 0) {
+    out << "salvage: recorder dropped " << runtime_dropped_events
+        << " events at record time\n";
+  }
+  out << "salvage: recording "
+      << (clean_close ? "closed cleanly"
+                      : (torn_tail ? "torn mid-write" : "ended without clean close"))
+      << '\n';
+  return out.str();
+}
+
+}  // namespace cla::trace

@@ -64,6 +64,12 @@ class Trace {
   void set_thread_name(ThreadId tid, std::string name);
   std::string thread_display_name(ThreadId tid) const;
 
+  /// Events the producing runtime had to drop at record time (buffer
+  /// overrun, recording after teardown). Carried in the `.clat` v2 meta
+  /// chunk so the analyzer can report incomplete coverage.
+  void set_dropped_events(std::uint64_t count) noexcept { dropped_events_ = count; }
+  std::uint64_t dropped_events() const noexcept { return dropped_events_; }
+
   const std::map<ObjectId, std::string>& object_names() const noexcept {
     return object_names_;
   }
@@ -82,6 +88,7 @@ class Trace {
   std::vector<std::vector<Event>> threads_;
   std::map<ObjectId, std::string> object_names_;
   std::map<ThreadId, std::string> thread_names_;
+  std::uint64_t dropped_events_ = 0;
 };
 
 }  // namespace cla::trace

@@ -1,11 +1,17 @@
 #include "cla/trace/trace_io.hpp"
 
+#include <fcntl.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <limits>
 #include <ostream>
 
+#include "cla/util/crc32.hpp"
 #include "cla/util/error.hpp"
 
 namespace cla::trace {
@@ -42,13 +48,30 @@ std::string get_string(std::istream& in) {
   return s;
 }
 
-}  // namespace
+// ---- v2 chunk helpers ----------------------------------------------------
 
-void write_trace(const Trace& trace, std::ostream& out) {
-  out.write(kTraceMagic, sizeof kTraceMagic);
-  put(out, kTraceVersion);
+template <typename T>
+void append_raw(std::string& buf, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  buf.append(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+void append_string(std::string& buf, std::string_view s) {
+  CLA_CHECK(s.size() <= std::numeric_limits<std::uint32_t>::max(), "name too long");
+  append_raw(buf, static_cast<std::uint32_t>(s.size()));
+  buf.append(s.data(), s.size());
+}
+
+void put_chunk(std::ostream& out, ChunkKind kind, std::string_view payload) {
+  out.write(kChunkMagic, sizeof kChunkMagic);
+  put(out, static_cast<std::uint32_t>(kind));
+  put(out, static_cast<std::uint32_t>(payload.size()));
+  put(out, util::crc32(payload.data(), payload.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+void write_trace_v1(const Trace& trace, std::ostream& out) {
   put(out, static_cast<std::uint32_t>(trace.thread_count()));
-
   put(out, static_cast<std::uint32_t>(trace.object_names().size()));
   for (const auto& [object, name] : trace.object_names()) {
     put(out, object);
@@ -66,25 +89,179 @@ void write_trace(const Trace& trace, std::ostream& out) {
     out.write(reinterpret_cast<const char*>(events.data()),
               static_cast<std::streamsize>(events.size() * sizeof(Event)));
   }
+}
+
+void write_trace_v2(const Trace& trace, std::ostream& out) {
+  if (!trace.object_names().empty()) {
+    std::string payload;
+    append_raw(payload, static_cast<std::uint32_t>(trace.object_names().size()));
+    for (const auto& [object, name] : trace.object_names()) {
+      append_raw(payload, object);
+      append_string(payload, name);
+    }
+    put_chunk(out, ChunkKind::ObjectNames, payload);
+  }
+  if (!trace.thread_names().empty()) {
+    std::string payload;
+    append_raw(payload, static_cast<std::uint32_t>(trace.thread_names().size()));
+    for (const auto& [tid, name] : trace.thread_names()) {
+      append_raw(payload, tid);
+      append_string(payload, name);
+    }
+    put_chunk(out, ChunkKind::ThreadNames, payload);
+  }
+  // One Events chunk per bounded slice so salvage after a mid-file tear
+  // loses at most kSlice events of one thread, and readers stay bounded.
+  constexpr std::size_t kSlice = 1u << 16;
+  for (ThreadId tid = 0; tid < trace.thread_count(); ++tid) {
+    const auto events = trace.thread_events(tid);
+    for (std::size_t begin = 0; begin < events.size(); begin += kSlice) {
+      const std::size_t n = std::min(kSlice, events.size() - begin);
+      std::string payload;
+      payload.reserve(8 + n * sizeof(Event));
+      append_raw(payload, tid);
+      append_raw(payload, static_cast<std::uint32_t>(n));
+      payload.append(reinterpret_cast<const char*>(events.data() + begin),
+                     n * sizeof(Event));
+      put_chunk(out, ChunkKind::Events, payload);
+    }
+  }
+  std::string meta;
+  append_raw(meta, trace.dropped_events());
+  append_raw(meta, kMetaFlagCleanClose);
+  put_chunk(out, ChunkKind::Meta, meta);
+}
+
+}  // namespace
+
+void write_trace(const Trace& trace, std::ostream& out, std::uint32_t version) {
+  CLA_CHECK(version == kTraceVersion || version == kTraceVersionLegacy,
+            "unsupported trace version " + std::to_string(version));
+  out.write(kTraceMagic, sizeof kTraceMagic);
+  put(out, version);
+  if (version == kTraceVersionLegacy) {
+    write_trace_v1(trace, out);
+  } else {
+    write_trace_v2(trace, out);
+  }
   CLA_CHECK(out.good(), "failed writing trace stream");
 }
 
-void write_trace_file(const Trace& trace, const std::string& path) {
+void write_trace_file(const Trace& trace, const std::string& path,
+                      std::uint32_t version) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   CLA_CHECK(out.is_open(), "cannot open trace file for writing: " + path);
-  write_trace(trace, out);
+  write_trace(trace, out, version);
   out.flush();
   CLA_CHECK(out.good(), "failed writing trace file: " + path);
 }
+
+// ---- ChunkedTraceWriter --------------------------------------------------
+
+ChunkedTraceWriter::ChunkedTraceWriter(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  CLA_CHECK(fd_ >= 0, "cannot open trace file for writing: " + path + ": " +
+                          std::strerror(errno));
+  char preamble[8];
+  std::memcpy(preamble, kTraceMagic, 4);
+  const std::uint32_t version = kTraceVersion;
+  std::memcpy(preamble + 4, &version, 4);
+  if (::write(fd_, preamble, sizeof preamble) !=
+      static_cast<ssize_t>(sizeof preamble)) {
+    failed_ = true;
+  }
+}
+
+ChunkedTraceWriter::~ChunkedTraceWriter() { close(); }
+
+void ChunkedTraceWriter::write_chunk(ChunkKind kind, const void* head,
+                                     std::size_t head_len, const void* body,
+                                     std::size_t body_len) {
+  if (fd_ < 0 || failed_) return;
+  std::uint32_t crc = util::kCrc32Init;
+  crc = util::crc32_update(crc, head, head_len);
+  crc = util::crc32_update(crc, body, body_len);
+  crc = util::crc32_final(crc);
+
+  char header[16];
+  std::memcpy(header, kChunkMagic, 4);
+  const std::uint32_t kind_raw = static_cast<std::uint32_t>(kind);
+  const std::uint32_t payload_bytes =
+      static_cast<std::uint32_t>(head_len + body_len);
+  std::memcpy(header + 4, &kind_raw, 4);
+  std::memcpy(header + 8, &payload_bytes, 4);
+  std::memcpy(header + 12, &crc, 4);
+
+  // One writev per chunk: concurrent writers (flusher thread vs. crash
+  // handler) interleave at chunk granularity, never inside a chunk.
+  struct iovec iov[3];
+  iov[0] = {header, sizeof header};
+  iov[1] = {const_cast<void*>(head), head_len};
+  iov[2] = {const_cast<void*>(body), body_len};
+  const int iovcnt = body_len > 0 ? 3 : 2;
+  const ssize_t want = static_cast<ssize_t>(sizeof header + head_len + body_len);
+  ssize_t wrote;
+  do {
+    wrote = ::writev(fd_, iov, iovcnt);
+  } while (wrote < 0 && errno == EINTR);
+  if (wrote != want) failed_ = true;
+}
+
+void ChunkedTraceWriter::write_events(ThreadId tid, const Event* events,
+                                      std::size_t count) {
+  if (count == 0) return;
+  char head[8];
+  const std::uint32_t n = static_cast<std::uint32_t>(count);
+  std::memcpy(head, &tid, 4);
+  std::memcpy(head + 4, &n, 4);
+  write_chunk(ChunkKind::Events, head, sizeof head, events,
+              count * sizeof(Event));
+}
+
+void ChunkedTraceWriter::write_object_name(ObjectId object,
+                                           std::string_view name) {
+  std::string payload;
+  append_raw(payload, std::uint32_t{1});
+  append_raw(payload, object);
+  append_string(payload, name);
+  write_chunk(ChunkKind::ObjectNames, payload.data(), payload.size(), nullptr, 0);
+}
+
+void ChunkedTraceWriter::write_thread_name(ThreadId tid, std::string_view name) {
+  std::string payload;
+  append_raw(payload, std::uint32_t{1});
+  append_raw(payload, tid);
+  append_string(payload, name);
+  write_chunk(ChunkKind::ThreadNames, payload.data(), payload.size(), nullptr, 0);
+}
+
+void ChunkedTraceWriter::write_meta(std::uint64_t dropped_events,
+                                    bool clean_close) {
+  char head[12];
+  const std::uint32_t flags = clean_close ? kMetaFlagCleanClose : 0;
+  std::memcpy(head, &dropped_events, 8);
+  std::memcpy(head + 8, &flags, 4);
+  write_chunk(ChunkKind::Meta, head, sizeof head, nullptr, 0);
+}
+
+void ChunkedTraceWriter::close() noexcept {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+}
+
+// ---- TraceStreamReader ---------------------------------------------------
 
 TraceStreamReader::TraceStreamReader(std::istream& in) : in_(&in) {
   char magic[4];
   in.read(magic, sizeof magic);
   CLA_CHECK(in.good() && std::memcmp(magic, kTraceMagic, 4) == 0,
             "not a CLA trace (bad magic)");
-  const auto version = get<std::uint32_t>(in);
-  CLA_CHECK(version == kTraceVersion,
-            "unsupported trace version " + std::to_string(version));
+  version_ = get<std::uint32_t>(in);
+  CLA_CHECK(version_ == kTraceVersion || version_ == kTraceVersionLegacy,
+            "unsupported trace version " + std::to_string(version_));
+  if (version_ != kTraceVersionLegacy) return;  // v2: pure chunk stream
+
   thread_count_ = get<std::uint32_t>(in);
   CLA_CHECK(thread_count_ <= (1u << 20), "implausible thread count in trace");
 
@@ -106,6 +283,10 @@ std::optional<TraceStreamReader::ThreadBlock> TraceStreamReader::next_thread() {
     Event discard[64];
     read_events(discard, 64);
   }
+  return version_ == kTraceVersionLegacy ? next_thread_v1() : next_thread_v2();
+}
+
+std::optional<TraceStreamReader::ThreadBlock> TraceStreamReader::next_thread_v1() {
   if (threads_seen_ >= thread_count_) return std::nullopt;
   ++threads_seen_;
   ThreadBlock block;
@@ -116,13 +297,118 @@ std::optional<TraceStreamReader::ThreadBlock> TraceStreamReader::next_thread() {
   return block;
 }
 
+std::optional<TraceStreamReader::ThreadBlock> TraceStreamReader::next_thread_v2() {
+  std::string payload;
+  for (;;) {
+    char magic[4];
+    in_->read(magic, sizeof magic);
+    if (in_->eof() && in_->gcount() == 0) {
+      // Every clean v2 writer ends with a clean-close Meta chunk, so a
+      // stream that merely *stops* — even at a tidy chunk boundary — is a
+      // crashed or truncated recording and must not load strictly.
+      CLA_CHECK(clean_close_,
+                "trace has no clean-close marker (crashed or truncated "
+                "recording; use --salvage)");
+      return std::nullopt;
+    }
+    CLA_CHECK(in_->good() && std::memcmp(magic, kChunkMagic, 4) == 0,
+              "corrupt trace: bad chunk magic");
+    const auto kind = get<std::uint32_t>(*in_);
+    const auto payload_bytes = get<std::uint32_t>(*in_);
+    const auto crc = get<std::uint32_t>(*in_);
+    CLA_CHECK(payload_bytes <= kMaxChunkPayload,
+              "corrupt trace: implausible chunk size");
+    payload.resize(payload_bytes);
+    in_->read(payload.data(), payload_bytes);
+    CLA_CHECK(payload_bytes == 0 || in_->good(),
+              "trace stream truncated inside chunk");
+    CLA_CHECK(util::crc32(payload.data(), payload.size()) == crc,
+              "corrupt trace: chunk CRC mismatch");
+
+    const char* p = payload.data();
+    const char* end = p + payload.size();
+    auto take = [&](void* dst, std::size_t n) {
+      CLA_CHECK(static_cast<std::size_t>(end - p) >= n,
+                "corrupt trace: chunk payload too short");
+      std::memcpy(dst, p, n);
+      p += n;
+    };
+    switch (static_cast<ChunkKind>(kind)) {
+      case ChunkKind::ObjectNames: {
+        std::uint32_t count;
+        take(&count, 4);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          ObjectId object;
+          std::uint32_t len;
+          take(&object, 8);
+          take(&len, 4);
+          CLA_CHECK(len <= (1u << 20), "trace name record suspiciously large");
+          std::string name(len, '\0');
+          take(name.data(), len);
+          object_names_[object] = std::move(name);
+        }
+        break;
+      }
+      case ChunkKind::ThreadNames: {
+        std::uint32_t count;
+        take(&count, 4);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          ThreadId tid;
+          std::uint32_t len;
+          take(&tid, 4);
+          take(&len, 4);
+          CLA_CHECK(len <= (1u << 20), "trace name record suspiciously large");
+          std::string name(len, '\0');
+          take(name.data(), len);
+          thread_names_[tid] = std::move(name);
+        }
+        break;
+      }
+      case ChunkKind::Events: {
+        ThreadBlock block;
+        std::uint32_t count;
+        take(&block.tid, 4);
+        take(&count, 4);
+        CLA_CHECK(block.tid <= (1u << 20), "implausible thread id in trace");
+        CLA_CHECK(static_cast<std::size_t>(end - p) == count * sizeof(Event),
+                  "corrupt trace: events chunk size mismatch");
+        block.event_count = count;
+        v2_chunk_.resize(count);
+        std::memcpy(v2_chunk_.data(), p, count * sizeof(Event));
+        v2_chunk_offset_ = 0;
+        remaining_in_block_ = count;
+        if (!v2_tids_seen_.contains(block.tid)) {
+          v2_tids_seen_[block.tid] = true;
+          ++thread_count_;
+        }
+        return block;
+      }
+      case ChunkKind::Meta: {
+        std::uint32_t flags;
+        take(&dropped_events_, 8);
+        take(&flags, 4);
+        if ((flags & kMetaFlagCleanClose) != 0) clean_close_ = true;
+        break;
+      }
+      default:
+        // Unknown chunk kind from a newer minor writer: skip it.
+        break;
+    }
+  }
+}
+
 std::size_t TraceStreamReader::read_events(Event* buf, std::size_t max) {
-  const std::uint64_t now =
-      std::min<std::uint64_t>(max, remaining_in_block_);
+  const std::uint64_t now = std::min<std::uint64_t>(max, remaining_in_block_);
   if (now == 0) return 0;
-  in_->read(reinterpret_cast<char*>(buf),
-            static_cast<std::streamsize>(now * sizeof(Event)));
-  CLA_CHECK(in_->good(), "trace stream truncated in event block");
+  if (version_ == kTraceVersionLegacy) {
+    in_->read(reinterpret_cast<char*>(buf),
+              static_cast<std::streamsize>(now * sizeof(Event)));
+    CLA_CHECK(in_->good(), "trace stream truncated in event block");
+  } else {
+    std::copy_n(v2_chunk_.begin() + static_cast<std::ptrdiff_t>(v2_chunk_offset_),
+                now, buf);
+    v2_chunk_offset_ += now;
+  }
   remaining_in_block_ -= now;
   return static_cast<std::size_t>(now);
 }
@@ -130,12 +416,6 @@ std::size_t TraceStreamReader::read_events(Event* buf, std::size_t max) {
 Trace read_trace(std::istream& in) {
   TraceStreamReader reader(in);
   Trace trace;
-  for (const auto& [object, name] : reader.object_names()) {
-    trace.set_object_name(object, name);
-  }
-  for (const auto& [tid, name] : reader.thread_names()) {
-    trace.set_thread_name(tid, name);
-  }
   // Bounded chunks: a corrupted event count fails with a clean truncation
   // error instead of attempting a gigantic up-front allocation.
   constexpr std::size_t kChunk = 1u << 16;
@@ -149,6 +429,14 @@ Trace read_trace(std::istream& in) {
       trace.append_thread_events(block->tid, {buffer.data(), n});
     }
   }
+  // Names apply after the drain: v2 name chunks may follow event chunks.
+  for (const auto& [object, name] : reader.object_names()) {
+    trace.set_object_name(object, name);
+  }
+  for (const auto& [tid, name] : reader.thread_names()) {
+    trace.set_thread_name(tid, name);
+  }
+  trace.set_dropped_events(reader.dropped_events());
   return trace;
 }
 

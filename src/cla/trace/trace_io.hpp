@@ -1,38 +1,139 @@
 // Versioned binary trace file format (".clat").
 //
-// Layout (little-endian):
-//   magic "CLAT" | u32 version | u32 thread_count
+// v1 layout (little-endian), still fully readable:
+//   magic "CLAT" | u32 version=1 | u32 thread_count
 //   u32 object_name_count | { u64 object_id, u32 len, bytes }...
 //   u32 thread_name_count | { u32 tid, u32 len, bytes }...
 //   per thread: u32 tid | u64 event_count | event_count * 32-byte Event
 //
-// The format is what the instrumentation runtime flushes at process exit
-// and what `cla-analyze` consumes (paper Fig. 3's trace file).
+// v2 layout (the current write format) is crash-resilient: after the
+// 8-byte preamble (magic + u32 version=2) the file is a pure append-only
+// sequence of individually checksummed chunks:
+//
+//   chunk: "CLCH" | u32 kind | u32 payload_bytes | u32 crc32(payload) | payload
+//
+//   kind 1 ObjectNames: u32 count | { u64 object_id, u32 len, bytes }...
+//   kind 2 ThreadNames: u32 count | { u32 tid, u32 len, bytes }...
+//   kind 3 Events:      u32 tid | u32 count | count * 32-byte Event
+//   kind 4 Meta:        u64 dropped_events | u32 flags (bit0 = clean close)
+//
+// Chunks carry no global counts or offsets, so a writer can append them
+// incrementally as per-thread buffers fill and a reader can recover every
+// intact prefix of a torn file (see salvage.hpp). A clean writer close
+// appends a Meta chunk with the clean flag set; its absence marks a
+// crashed or truncated recording. Duplicate name entries resolve
+// last-write-wins; a thread's Events chunks must appear in timestamp
+// order relative to each other (the per-thread buffers flush in order).
+//
+// The format is what the instrumentation runtime flushes (incrementally
+// in v2) and what `cla-analyze` consumes (paper Fig. 3's trace file).
 #pragma once
 
+#include <atomic>
 #include <iosfwd>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "cla/trace/trace.hpp"
 
 namespace cla::trace {
 
 inline constexpr char kTraceMagic[4] = {'C', 'L', 'A', 'T'};
-inline constexpr std::uint32_t kTraceVersion = 1;
+inline constexpr std::uint32_t kTraceVersion = 2;
+inline constexpr std::uint32_t kTraceVersionLegacy = 1;
 
-/// Writes `trace` to a stream / file. Throws cla::util::Error on IO failure.
-void write_trace(const Trace& trace, std::ostream& out);
-void write_trace_file(const Trace& trace, const std::string& path);
+inline constexpr char kChunkMagic[4] = {'C', 'L', 'C', 'H'};
 
-/// Streaming/chunked `.clat` reader (pipeline load stage).
+/// v2 chunk kinds (see format comment above).
+enum class ChunkKind : std::uint32_t {
+  ObjectNames = 1,
+  ThreadNames = 2,
+  Events = 3,
+  Meta = 4,
+};
+
+/// Meta-chunk flag: the writer closed the stream deliberately (clean
+/// process exit). Salvage treats files without it as crashed recordings.
+inline constexpr std::uint32_t kMetaFlagCleanClose = 1u << 0;
+
+/// Hard upper bound on a single chunk's payload; a header whose size
+/// field exceeds it is treated as corruption, not a gigantic allocation.
+inline constexpr std::uint32_t kMaxChunkPayload = 1u << 26;  // 64 MiB
+
+/// Writes `trace` to a stream / file. Throws cla::util::Error on IO
+/// failure. `version` selects the on-disk format (v2 chunked by default;
+/// v1 kept for compatibility tests and old consumers).
+void write_trace(const Trace& trace, std::ostream& out,
+                 std::uint32_t version = kTraceVersion);
+void write_trace_file(const Trace& trace, const std::string& path,
+                      std::uint32_t version = kTraceVersion);
+
+/// Incremental, crash-tolerant `.clat` v2 writer over a raw POSIX fd.
 ///
-/// Parses the header eagerly, then hands out each thread block's events in
-/// bounded chunks so a consumer can ingest a large trace straight into its
-/// final storage — no full intermediate event array is ever materialised.
-/// Throws cla::util::Error on malformed input (bad magic, unsupported
-/// version, implausible counts, truncation) exactly like read_trace.
+/// Each append emits one self-contained checksummed chunk with a single
+/// writev() call, so concurrent appends (the runtime's flusher thread vs.
+/// a fatal-signal handler) interleave at chunk granularity only and a
+/// chunk torn by process death is detected — and dropped — by CRC at
+/// salvage time. write_events / write_meta / close allocate nothing and
+/// only touch the fd, making them async-signal-safe; the name writers
+/// build small heap buffers and must not be called from a handler.
+///
+/// IO errors after a successful open are recorded (ok() turns false) but
+/// never thrown: the writer is used on teardown paths where throwing
+/// would terminate the traced application.
+class ChunkedTraceWriter {
+ public:
+  /// Opens (creates/truncates) `path` and writes the v2 preamble.
+  /// Throws cla::util::Error if the file cannot be opened.
+  explicit ChunkedTraceWriter(const std::string& path);
+  ~ChunkedTraceWriter();
+
+  ChunkedTraceWriter(const ChunkedTraceWriter&) = delete;
+  ChunkedTraceWriter& operator=(const ChunkedTraceWriter&) = delete;
+
+  /// False once any append failed (disk full, bad fd...).
+  bool ok() const noexcept {
+    return fd_ >= 0 && !failed_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one Events chunk for `tid`. Async-signal-safe.
+  void write_events(ThreadId tid, const Event* events, std::size_t count);
+
+  /// Appends a single-entry name chunk (names stream out as they are
+  /// registered; readers apply duplicates last-write-wins).
+  void write_object_name(ObjectId object, std::string_view name);
+  void write_thread_name(ThreadId tid, std::string_view name);
+
+  /// Appends the Meta chunk (dropped-event count + clean-close flag).
+  /// Async-signal-safe.
+  void write_meta(std::uint64_t dropped_events, bool clean_close);
+
+  /// Flushes file-descriptor state and closes. Async-signal-safe.
+  void close() noexcept;
+
+ private:
+  void write_chunk(ChunkKind kind, const void* head, std::size_t head_len,
+                   const void* body, std::size_t body_len);
+
+  int fd_ = -1;
+  std::atomic<bool> failed_{false};
+};
+
+/// Streaming/chunked `.clat` reader (pipeline load stage), v1 and v2.
+///
+/// Parses the preamble eagerly, then hands out per-thread event runs in
+/// bounded chunks so a consumer can ingest a large trace straight into
+/// its final storage — no full intermediate event array is ever
+/// materialised. For v2 a thread's events may arrive as several blocks
+/// (one per on-disk chunk) and name tables may grow until the stream is
+/// exhausted, so consumers should apply object_names()/thread_names()
+/// after draining all blocks. Throws cla::util::Error on malformed input
+/// (bad magic, unsupported version, implausible counts, truncation, CRC
+/// mismatch) exactly like read_trace; use salvage_trace() to recover
+/// what a torn file still holds.
 ///
 /// Usage:
 ///   TraceStreamReader reader(in);
@@ -43,9 +144,13 @@ void write_trace_file(const Trace& trace, const std::string& path);
 ///   }
 class TraceStreamReader {
  public:
-  /// Reads and validates the header (magic, version, name tables).
+  /// Reads and validates the preamble (and, for v1, the name tables).
   explicit TraceStreamReader(std::istream& in);
 
+  std::uint32_t version() const noexcept { return version_; }
+
+  /// v1: the header's thread count. v2: number of distinct threads seen
+  /// so far (final only after the stream is drained).
   std::uint32_t thread_count() const noexcept { return thread_count_; }
   const std::map<ObjectId, std::string>& object_names() const noexcept {
     return object_names_;
@@ -54,26 +159,45 @@ class TraceStreamReader {
     return thread_names_;
   }
 
+  /// Dropped-event count from the v2 Meta chunk (0 until seen).
+  std::uint64_t dropped_events() const noexcept { return dropped_events_; }
+
+  /// True once a Meta chunk with the clean-close flag was read. The v2
+  /// strict reader requires it at end-of-stream: every clean writer ends
+  /// with one, so its absence means the recording crashed or the file was
+  /// truncated at a chunk boundary — salvage territory.
+  bool clean_close() const noexcept { return clean_close_; }
+
   struct ThreadBlock {
     ThreadId tid = 0;
     std::uint64_t event_count = 0;
   };
 
-  /// Advances to the next per-thread event block (skipping any unread
-  /// remainder of the current one); nullopt once all blocks were visited.
+  /// Advances to the next event block (skipping any unread remainder of
+  /// the current one); nullopt once the stream is exhausted. v2 blocks
+  /// map 1:1 to on-disk Events chunks, so one tid can recur.
   std::optional<ThreadBlock> next_thread();
 
-  /// Reads up to `max` events of the current block into `buf`; returns the
-  /// number read, 0 when the block is exhausted.
+  /// Reads up to `max` events of the current block into `buf`; returns
+  /// the number read, 0 when the block is exhausted.
   std::size_t read_events(Event* buf, std::size_t max);
 
  private:
+  std::optional<ThreadBlock> next_thread_v1();
+  std::optional<ThreadBlock> next_thread_v2();
+
   std::istream* in_;
+  std::uint32_t version_ = kTraceVersionLegacy;
   std::uint32_t thread_count_ = 0;
   std::uint32_t threads_seen_ = 0;
   std::uint64_t remaining_in_block_ = 0;
+  std::uint64_t dropped_events_ = 0;
+  bool clean_close_ = false;
   std::map<ObjectId, std::string> object_names_;
   std::map<ThreadId, std::string> thread_names_;
+  std::map<ThreadId, bool> v2_tids_seen_;
+  std::vector<Event> v2_chunk_;      // current v2 Events chunk, decoded
+  std::size_t v2_chunk_offset_ = 0;  // events already handed out
 };
 
 /// Reads a trace back (one-shot convenience over TraceStreamReader).

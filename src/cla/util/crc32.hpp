@@ -1,0 +1,56 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte ranges.
+//
+// Used to checksum `.clat` v2 chunk payloads. Header-only and free of
+// allocation or global constructors: the table is constexpr, so the
+// functions are safe to call from async-signal context (the crash-time
+// trace spill) and from static initialisation order-sensitive code.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace cla::util {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+/// Initial value for an incremental CRC-32 computation.
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+
+/// Folds `len` bytes into a running CRC state (start from kCrc32Init).
+constexpr std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                                     std::size_t len) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = detail::kCrc32Table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+/// Finalises a running CRC state into the standard CRC-32 value.
+constexpr std::uint32_t crc32_final(std::uint32_t crc) noexcept {
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a single byte range.
+constexpr std::uint32_t crc32(const void* data, std::size_t len) noexcept {
+  return crc32_final(crc32_update(kCrc32Init, data, len));
+}
+
+}  // namespace cla::util

@@ -2,6 +2,8 @@
 // workflow from a user's shell.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <array>
 #include <cstdio>
 #include <filesystem>
@@ -20,7 +22,10 @@ std::string run_command(const std::string& command, int& exit_code) {
   while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
     output += buffer.data();
   }
-  exit_code = pclose(pipe);
+  const int status = pclose(pipe);
+  // Surface the tool's actual exit code (tests assert on specific values,
+  // e.g. 3 = lossy salvage).
+  exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : status;
   return output;
 }
 
@@ -110,6 +115,37 @@ TEST(Cli, RunTimelineOutput) {
       run_command(tool("cla-run") + " micro --threads 4 --timeline", rc);
   EXPECT_EQ(rc, 0) << out;
   EXPECT_NE(out.find("legend:"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeSalvageRecoversTruncatedTrace) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cla_cli_salvage.clat")
+          .string();
+  std::remove(path.c_str());
+  int rc = 0;
+  const std::string run_out = run_command(
+      tool("cla-run") + " micro --threads 4 --trace-out " + path, rc);
+  ASSERT_EQ(rc, 0) << run_out;
+
+  // A clean file salvages losslessly: exit 0, same report.
+  const std::string clean_out =
+      run_command(tool("cla-analyze") + " " + path + " --salvage --top 2", rc);
+  EXPECT_EQ(rc, 0) << clean_out;
+  EXPECT_NE(clean_out.find("TYPE 1"), std::string::npos);
+
+  // Tear off the tail: the strict load must fail, the salvage load must
+  // produce a report and exit with the dedicated "lossy" code 3.
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size - full_size / 3);
+  const std::string strict_out =
+      run_command(tool("cla-analyze") + " " + path, rc);
+  EXPECT_EQ(rc, 1) << strict_out;
+  const std::string salvage_out =
+      run_command(tool("cla-analyze") + " " + path + " --salvage --top 2", rc);
+  EXPECT_EQ(rc, 3) << salvage_out;
+  EXPECT_NE(salvage_out.find("salvage:"), std::string::npos);
+  EXPECT_NE(salvage_out.find("TYPE 1"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST(Cli, AnalyzeRejectsMissingFile) {

@@ -1,0 +1,103 @@
+// Fault-injection workload for the crash-resilience integration test.
+//
+// Same lock structure as interpose_demo_app (a small and a clearly
+// dominant big critical section plus a barrier), but it runs many more
+// rounds and can kill itself mid-run in a selectable way:
+//
+//   crash_demo_app <mode> [crash_round]
+//     mode: run | segv | abort | term | exit
+//     crash_round: round (per worker) at which worker 0 dies (default 60)
+//
+// "run" completes normally; every other mode terminates the process while
+// the other three workers are mid-critical-section, so the recorder's
+// crash paths (fatal-signal handler, _exit interposition) must save the
+// trace tail for `cla-analyze --salvage`.
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace {
+
+pthread_mutex_t g_small = PTHREAD_MUTEX_INITIALIZER;
+pthread_mutex_t g_big = PTHREAD_MUTEX_INITIALIZER;
+pthread_barrier_t g_barrier;
+volatile long g_counter = 0;
+volatile int* g_null = nullptr;
+
+enum class Mode { Run, Segv, Abort, Term, Exit };
+Mode g_mode = Mode::Run;
+int g_crash_round = 60;
+
+constexpr int kThreads = 4;
+constexpr int kRounds = 150;
+
+void burn(long iterations) {
+  for (long i = 0; i < iterations; ++i) g_counter = g_counter + 1;
+}
+
+[[noreturn]] void die() {
+  switch (g_mode) {
+    case Mode::Segv:
+      *g_null = 1;  // SIGSEGV
+      break;
+    case Mode::Abort:
+      std::abort();  // SIGABRT
+    case Mode::Term:
+      raise(SIGTERM);
+      break;
+    case Mode::Exit:
+      _exit(7);  // skips atexit / static destructors
+    case Mode::Run:
+      break;
+  }
+  // Signal delivery is synchronous for the cases above; never reached.
+  std::abort();
+}
+
+void* worker(void* arg) {
+  const bool crasher = arg != nullptr;
+  pthread_barrier_wait(&g_barrier);
+  for (int round = 0; round < kRounds; ++round) {
+    pthread_mutex_lock(&g_small);
+    burn(2000);
+    pthread_mutex_unlock(&g_small);
+    pthread_mutex_lock(&g_big);
+    burn(60000);  // keep g_big clearly dominant even under scheduler noise
+    pthread_mutex_unlock(&g_big);
+    if (crasher && g_mode != Mode::Run && round == g_crash_round) die();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "segv") == 0) g_mode = Mode::Segv;
+    else if (std::strcmp(argv[1], "abort") == 0) g_mode = Mode::Abort;
+    else if (std::strcmp(argv[1], "term") == 0) g_mode = Mode::Term;
+    else if (std::strcmp(argv[1], "exit") == 0) g_mode = Mode::Exit;
+    else if (std::strcmp(argv[1], "run") != 0) {
+      std::fprintf(stderr, "unknown mode: %s\n", argv[1]);
+      return 2;
+    }
+  }
+  if (argc > 2) g_crash_round = std::atoi(argv[2]);
+
+  pthread_barrier_init(&g_barrier, nullptr, kThreads);
+  pthread_t threads[kThreads];
+  for (int i = 0; i < kThreads; ++i) {
+    pthread_create(&threads[i], nullptr, &worker,
+                   i == 0 ? reinterpret_cast<void*>(1) : nullptr);
+  }
+  for (pthread_t& thread : threads) {
+    pthread_join(thread, nullptr);
+  }
+  pthread_barrier_destroy(&g_barrier);
+  std::printf("counter=%ld\n", g_counter);
+  return 0;
+}

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
 #include <thread>
+
+#include "cla/trace/salvage.hpp"
+#include "cla/trace/trace_io.hpp"
+#include "cla/util/error.hpp"
 
 namespace cla::rt {
 namespace {
@@ -98,6 +104,21 @@ TEST_F(RecorderTest, CollectResetsForNextRun) {
   EXPECT_EQ(recorder.ensure_current_thread(), 0u);
 }
 
+TEST_F(RecorderTest, NameRegistrationDedupesLastWriteWins) {
+  Recorder& recorder = Recorder::instance();
+  recorder.ensure_current_thread();
+  recorder.name_object(42, "first");
+  recorder.name_object(42, "first");   // idempotent re-registration
+  recorder.name_object(42, "second");  // last write wins
+  recorder.name_thread(0, "a");
+  recorder.name_thread(0, "b");
+  recorder.thread_exit();
+  const trace::Trace t = recorder.collect();
+  ASSERT_NE(t.object_name(42), nullptr);
+  EXPECT_EQ(*t.object_name(42), "second");
+  EXPECT_EQ(t.thread_display_name(0), "b");
+}
+
 TEST_F(RecorderTest, PerThreadTimestampsAreMonotone) {
   Recorder& recorder = Recorder::instance();
   recorder.ensure_current_thread();
@@ -112,6 +133,142 @@ TEST_F(RecorderTest, PerThreadTimestampsAreMonotone) {
   for (std::size_t i = 1; i < events.size(); ++i) {
     EXPECT_GE(events[i].ts, events[i - 1].ts);
   }
+}
+
+// ---- streaming (crash-resilient) mode -----------------------------------
+//
+// These tests use their own Recorder instances (not the singleton):
+// streaming is a one-way door per recorder — finish_streaming closes the
+// trace file for good.
+
+std::string temp_trace_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(RecorderStreaming, MultithreadedRoundTripThroughDisk) {
+  const std::string path = temp_trace_path("cla_rec_stream.clat");
+  constexpr int kWorkers = 3;
+  constexpr int kEventsPerWorker = 500;
+  {
+    Recorder recorder;
+    recorder.start_streaming(path, /*buffer_events=*/4096);
+    ASSERT_TRUE(recorder.streaming());
+    recorder.name_object(7, "hot_lock");
+    recorder.name_thread(0, "main");
+    const auto parent = recorder.ensure_current_thread();
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kWorkers; ++w) {
+      const auto tid = recorder.allocate_thread();
+      recorder.record(trace::EventType::ThreadCreate,
+                      static_cast<trace::ObjectId>(tid));
+      workers.emplace_back([&recorder, tid, parent] {
+        recorder.bind_current_thread(tid, parent);
+        for (int i = 0; i < kEventsPerWorker; ++i) {
+          recorder.record(trace::EventType::MutexAcquire, 7);
+          recorder.record(trace::EventType::MutexAcquired, 7, 0);
+          recorder.record(trace::EventType::MutexReleased, 7);
+        }
+        recorder.thread_exit();
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    recorder.thread_exit();
+    recorder.finish_streaming();
+    EXPECT_EQ(recorder.dropped_events(), 0u);
+  }
+  const trace::Trace t = cla::trace::read_trace_file(path);
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_EQ(t.thread_count(), 1u + kWorkers);
+  // main: start + kWorkers creates + exit; workers: start + 3N + exit.
+  EXPECT_EQ(t.event_count(), (2u + kWorkers) +
+                                 kWorkers * (3u * kEventsPerWorker + 2u));
+  ASSERT_NE(t.object_name(7), nullptr);
+  EXPECT_EQ(*t.object_name(7), "hot_lock");
+  EXPECT_EQ(t.thread_display_name(0), "main");
+  EXPECT_EQ(t.dropped_events(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(RecorderStreaming, SmallBuffersFlushIncrementallyWithoutLoss) {
+  // Capacity is clamped to the 64-event minimum: every worker cycles its
+  // double buffer dozens of times, so this exercises publish/flip/flush
+  // plus the drop accounting (any drop is visible in the header).
+  const std::string path = temp_trace_path("cla_rec_small.clat");
+  constexpr int kEvents = 3000;
+  std::uint64_t dropped = 0;
+  {
+    Recorder recorder;
+    recorder.start_streaming(path, /*buffer_events=*/1);  // clamps to 64
+    recorder.ensure_current_thread();
+    // CondSignal has no pairing invariant, so the trace stays
+    // validate()-clean even when overflow drops some of these.
+    for (int i = 0; i < 2 * kEvents; ++i) {
+      recorder.record(trace::EventType::CondSignal, 9, i);
+    }
+    recorder.thread_exit();
+    recorder.finish_streaming();
+    dropped = recorder.dropped_events();
+  }
+  const trace::Trace t = cla::trace::read_trace_file(path);
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_EQ(t.dropped_events(), dropped);
+  // Everything not dropped must be on disk (start + pairs + exit), and a
+  // dropped Exit is re-synthesized, adding at most one event.
+  EXPECT_GE(t.event_count() + dropped, 2u * kEvents + 2u);
+  std::remove(path.c_str());
+}
+
+TEST(RecorderStreaming, CrashSpillLeavesSalvageableFile) {
+  const std::string path = temp_trace_path("cla_rec_crash.clat");
+  {
+    Recorder recorder;
+    recorder.start_streaming(path, /*buffer_events=*/4096);
+    recorder.ensure_current_thread();
+    recorder.record(trace::EventType::MutexAcquire, 5);
+    recorder.record(trace::EventType::MutexAcquired, 5, 0);
+    // Process "dies" holding lock 5: no release, no exit, no clean close.
+    recorder.crash_spill();
+    EXPECT_TRUE(recorder.shut_down());
+
+    // Satellite: recording after shutdown drops and counts, never UB.
+    const std::uint64_t before = recorder.dropped_events();
+    recorder.record(trace::EventType::MutexReleased, 5);
+    EXPECT_EQ(recorder.dropped_events(), before + 1);
+  }
+  cla::trace::SalvageResult got = cla::trace::salvage_trace_file(path);
+  EXPECT_NO_THROW(got.trace.validate());
+  EXPECT_FALSE(got.report.clean_close);
+  EXPECT_TRUE(got.report.lossy());
+  EXPECT_GE(got.report.events_recovered, 3u);  // start + acquire + acquired
+  // The dangling critical section was closed by the repair pass.
+  const auto events = got.trace.thread_events(0);
+  EXPECT_EQ(events.back().type, trace::EventType::ThreadExit);
+  std::remove(path.c_str());
+}
+
+TEST(RecorderStreaming, CrashSpillIsIdempotentFirstCallerWins) {
+  const std::string path = temp_trace_path("cla_rec_idem.clat");
+  Recorder recorder;
+  recorder.start_streaming(path, 4096);
+  recorder.ensure_current_thread();
+  recorder.record(trace::EventType::MutexAcquire, 1);
+  recorder.crash_spill();
+  recorder.crash_spill();  // no double write
+  recorder.finish_streaming();  // no clean-close overwrite either
+  cla::trace::SalvageResult got = cla::trace::salvage_trace_file(path);
+  EXPECT_FALSE(got.report.clean_close);
+  EXPECT_EQ(got.report.events_recovered, 2u);  // start + acquire, once
+  std::remove(path.c_str());
+}
+
+TEST(RecorderStreaming, CollectIsRejectedWhileStreaming) {
+  const std::string path = temp_trace_path("cla_rec_collect.clat");
+  Recorder recorder;
+  recorder.start_streaming(path, 4096);
+  recorder.ensure_current_thread();
+  EXPECT_THROW((void)recorder.collect(), cla::util::Error);
+  recorder.finish_streaming();
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // Streaming .clat reader: chunked ingestion must reproduce read_trace
-// exactly, and malformed inputs (truncation, corruption) must fail with
-// clean errors at every stage of the stream.
+// exactly for both on-disk versions, and malformed inputs (truncation,
+// corruption, CRC damage) must fail with clean errors at every stage of
+// the stream.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -26,15 +27,43 @@ Trace sample_trace() {
   return b.finish_unchecked();
 }
 
-std::string serialized(const Trace& trace) {
+std::string serialized(const Trace& trace,
+                       std::uint32_t version = kTraceVersion) {
   std::stringstream buffer;
-  write_trace(trace, buffer);
+  write_trace(trace, buffer, version);
   return buffer.str();
 }
 
-TEST(TraceStreamReader, HeaderExposesNamesAndThreadCount) {
+void drain(TraceStreamReader& reader, Trace* rebuilt = nullptr,
+           std::size_t chunk = 64) {
+  Event buf[64];
+  if (chunk > 64) chunk = 64;
+  while (auto block = reader.next_thread()) {
+    for (std::size_t n; (n = reader.read_events(buf, chunk)) > 0;) {
+      if (rebuilt != nullptr)
+        rebuilt->append_thread_events(block->tid, {buf, n});
+    }
+  }
+}
+
+TEST(TraceStreamReader, V1HeaderExposesNamesAndThreadCount) {
+  std::stringstream in(serialized(sample_trace(), kTraceVersionLegacy));
+  TraceStreamReader reader(in);
+  EXPECT_EQ(reader.version(), kTraceVersionLegacy);
+  EXPECT_EQ(reader.thread_count(), 2u);
+  ASSERT_EQ(reader.object_names().count(42), 1u);
+  EXPECT_EQ(reader.object_names().at(42), "L1");
+  EXPECT_EQ(reader.thread_names().at(0), "main");
+}
+
+TEST(TraceStreamReader, V2NamesAvailableAfterDrain) {
+  // v2 name chunks may trail the event chunks (the incremental writer
+  // streams names as they are registered), so they are complete only once
+  // the stream is drained.
   std::stringstream in(serialized(sample_trace()));
   TraceStreamReader reader(in);
+  EXPECT_EQ(reader.version(), kTraceVersion);
+  drain(reader);
   EXPECT_EQ(reader.thread_count(), 2u);
   ASSERT_EQ(reader.object_names().count(42), 1u);
   EXPECT_EQ(reader.object_names().at(42), "L1");
@@ -42,36 +71,35 @@ TEST(TraceStreamReader, HeaderExposesNamesAndThreadCount) {
 }
 
 TEST(TraceStreamReader, TinyChunksReproduceTheWholeTrace) {
-  const Trace original = sample_trace();
-  std::stringstream in(serialized(original));
-  TraceStreamReader reader(in);
-  Trace rebuilt;
-  Event buf[3];  // deliberately smaller than any thread's stream
-  while (auto block = reader.next_thread()) {
-    for (std::size_t n; (n = reader.read_events(buf, 3)) > 0;) {
-      rebuilt.append_thread_events(block->tid, {buf, n});
+  for (std::uint32_t version : {kTraceVersionLegacy, kTraceVersion}) {
+    const Trace original = sample_trace();
+    std::stringstream in(serialized(original, version));
+    TraceStreamReader reader(in);
+    Trace rebuilt;
+    drain(reader, &rebuilt, 3);  // deliberately smaller than any stream
+    ASSERT_EQ(rebuilt.thread_count(), original.thread_count());
+    for (ThreadId tid = 0; tid < original.thread_count(); ++tid) {
+      const auto ea = original.thread_events(tid);
+      const auto eb = rebuilt.thread_events(tid);
+      ASSERT_EQ(ea.size(), eb.size()) << "version=" << version;
+      for (std::size_t i = 0; i < ea.size(); ++i) EXPECT_EQ(ea[i], eb[i]);
     }
-  }
-  ASSERT_EQ(rebuilt.thread_count(), original.thread_count());
-  for (ThreadId tid = 0; tid < original.thread_count(); ++tid) {
-    const auto ea = original.thread_events(tid);
-    const auto eb = rebuilt.thread_events(tid);
-    ASSERT_EQ(ea.size(), eb.size());
-    for (std::size_t i = 0; i < ea.size(); ++i) EXPECT_EQ(ea[i], eb[i]);
   }
 }
 
 TEST(TraceStreamReader, NextThreadSkipsUnreadEvents) {
-  std::stringstream in(serialized(sample_trace()));
-  TraceStreamReader reader(in);
-  auto first = reader.next_thread();
-  ASSERT_TRUE(first.has_value());
-  // Read nothing from the first block; the reader must still find the
-  // second block's header.
-  auto second = reader.next_thread();
-  ASSERT_TRUE(second.has_value());
-  EXPECT_EQ(second->tid, 1u);
-  EXPECT_FALSE(reader.next_thread().has_value());
+  for (std::uint32_t version : {kTraceVersionLegacy, kTraceVersion}) {
+    std::stringstream in(serialized(sample_trace(), version));
+    TraceStreamReader reader(in);
+    auto first = reader.next_thread();
+    ASSERT_TRUE(first.has_value());
+    // Read nothing from the first block; the reader must still find the
+    // second block's header.
+    auto second = reader.next_thread();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->tid, 1u);
+    EXPECT_FALSE(reader.next_thread().has_value());
+  }
 }
 
 TEST(TraceStreamReader, RejectsBadMagic) {
@@ -87,54 +115,59 @@ TEST(TraceStreamReader, RejectsUnsupportedVersion) {
 }
 
 TEST(TraceStreamReader, RejectsTruncationAtEveryRegion) {
-  const std::string full = serialized(sample_trace());
-  // Header (magic/version/counts), name table, block header, event block.
-  for (std::size_t cut :
-       {std::size_t{2}, std::size_t{6}, std::size_t{14}, std::size_t{20},
-        full.size() / 2, full.size() - 5}) {
-    std::stringstream in(full.substr(0, cut));
-    EXPECT_THROW(
-        {
-          TraceStreamReader reader(in);
-          Event buf[64];
-          while (auto block = reader.next_thread()) {
-            while (reader.read_events(buf, 64) > 0) {
-            }
-          }
-        },
-        util::Error)
-        << "cut=" << cut;
+  for (std::uint32_t version : {kTraceVersionLegacy, kTraceVersion}) {
+    const std::string full = serialized(sample_trace(), version);
+    // Preamble, name/chunk headers, mid-payload, torn tail.
+    for (std::size_t cut :
+         {std::size_t{2}, std::size_t{6}, std::size_t{14}, std::size_t{20},
+          full.size() / 2, full.size() - 5}) {
+      std::stringstream in(full.substr(0, cut));
+      EXPECT_THROW(
+          {
+            TraceStreamReader reader(in);
+            drain(reader);
+          },
+          util::Error)
+          << "version=" << version << " cut=" << cut;
+    }
   }
 }
 
 TEST(TraceStreamReader, RejectsCorruptEventCount) {
-  // Patch a thread block's event count to an absurd value: the chunked
-  // read must fail with a truncation error, not attempt a giant allocation.
-  const Trace original = sample_trace();
-  std::string bytes = serialized(original);
-  // Locate thread 0's block: it follows the header. Rather than computing
-  // the offset by hand, corrupt the last 12 bytes (inside the final event)
-  // is not enough — instead append a trailing partial block for a third
-  // thread by patching thread_count.
+  // Patch the v1 thread count to an absurd value: the chunked read must
+  // fail with a truncation error, not attempt a giant allocation.
+  std::string bytes = serialized(sample_trace(), kTraceVersionLegacy);
   bytes[8] = 3;  // thread_count (little-endian u32 after magic+version)
   std::stringstream in(bytes);
   EXPECT_THROW(
       {
         TraceStreamReader reader(in);
-        Event buf[64];
-        while (auto block = reader.next_thread()) {
-          while (reader.read_events(buf, 64) > 0) {
-          }
-        }
+        drain(reader);
+      },
+      util::Error);
+}
+
+TEST(TraceStreamReader, RejectsCrcMismatch) {
+  // Flip one payload byte inside the first v2 chunk: the CRC check must
+  // reject the stream rather than hand out damaged events.
+  std::string bytes = serialized(sample_trace());
+  ASSERT_GT(bytes.size(), 30u);
+  bytes[26] ^= 0x40;  // inside the first chunk's payload
+  std::stringstream in(bytes);
+  EXPECT_THROW(
+      {
+        TraceStreamReader reader(in);
+        drain(reader);
       },
       util::Error);
 }
 
 TEST(TraceStreamReader, ReadTraceMatchesStreamedIngestion) {
-  const std::string bytes = serialized(sample_trace());
-  std::stringstream a(bytes);
-  const Trace via_read_trace = read_trace(a);
-  EXPECT_EQ(via_read_trace.event_count(), sample_trace().event_count());
+  for (std::uint32_t version : {kTraceVersionLegacy, kTraceVersion}) {
+    std::stringstream a(serialized(sample_trace(), version));
+    const Trace via_read_trace = read_trace(a);
+    EXPECT_EQ(via_read_trace.event_count(), sample_trace().event_count());
+  }
 }
 
 }  // namespace

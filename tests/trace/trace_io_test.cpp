@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
@@ -46,6 +47,58 @@ TEST(TraceIo, StreamRoundTrip) {
   write_trace(original, buffer);
   const Trace loaded = read_trace(buffer);
   expect_equal(original, loaded);
+}
+
+TEST(TraceIo, LegacyV1RoundTrip) {
+  // v1 files must stay writable (compat knob) and readable forever.
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  write_trace(original, buffer, kTraceVersionLegacy);
+  const std::string bytes = buffer.str();
+  EXPECT_EQ(bytes[4], 1);  // on-disk version byte
+  std::stringstream in(bytes);
+  const Trace loaded = read_trace(in);
+  expect_equal(original, loaded);
+}
+
+TEST(TraceIo, V2RoundTripsDroppedEventCount) {
+  Trace original = sample_trace();
+  original.set_dropped_events(17);
+  std::stringstream buffer;
+  write_trace(original, buffer);
+  const Trace loaded = read_trace(buffer);
+  EXPECT_EQ(loaded.dropped_events(), 17u);
+}
+
+TEST(TraceIo, ChunkedWriterMatchesWholeTraceWriter) {
+  // Writing a trace incrementally (per-thread slices through the fd-based
+  // chunked writer) must load back identical to write_trace.
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cla_io_chunked.clat").string();
+  const Trace original = sample_trace();
+  {
+    ChunkedTraceWriter writer(path);
+    for (const auto& [object, name] : original.object_names()) {
+      writer.write_object_name(object, name);
+    }
+    for (const auto& [tid, name] : original.thread_names()) {
+      writer.write_thread_name(tid, name);
+    }
+    for (ThreadId tid = 0; tid < original.thread_count(); ++tid) {
+      const auto events = original.thread_events(tid);
+      // Slice each thread into several chunks to exercise block stitching.
+      for (std::size_t at = 0; at < events.size(); at += 2) {
+        const std::size_t n = std::min<std::size_t>(2, events.size() - at);
+        writer.write_events(tid, events.data() + at, n);
+      }
+    }
+    writer.write_meta(/*dropped_events=*/0, /*clean_close=*/true);
+    ASSERT_TRUE(writer.ok());
+    writer.close();
+  }
+  const Trace loaded = read_trace_file(path);
+  expect_equal(original, loaded);
+  std::remove(path.c_str());
 }
 
 TEST(TraceIo, FileRoundTrip) {

@@ -6,7 +6,9 @@
 //   cla-analyze /tmp/app.clat --threads 8 --profile
 //
 // Exit codes: 0 success, 1 runtime failure (unreadable/corrupt trace),
-// 2 usage error (bad flags; usage goes to stderr).
+// 2 usage error (bad flags; usage goes to stderr), 3 success but the
+// --salvage load was lossy (events/chunks were dropped or repaired, so
+// the report describes a partial recording).
 #include <cstdio>
 #include <iostream>
 
@@ -32,7 +34,10 @@ void print_usage(std::FILE* out, const char* prog) {
       "  --phase K       restrict analysis to the K-th recorded\n"
       "                  PhaseBegin/PhaseEnd region\n"
       "  --whatif LOCK   predicted upper-bound speedup from eliminating\n"
-      "                  LOCK's on-path time\n",
+      "                  LOCK's on-path time\n"
+      "  --salvage       recover a torn/crashed recording: keep the intact\n"
+      "                  chunks, repair the event stream, report what was\n"
+      "                  lost (exit code 3 if the recovery was lossy)\n",
       prog);
 }
 
@@ -43,7 +48,7 @@ int main(int argc, char** argv) {
   try {
     cla::util::Args args(argc, argv,
                          {"top", "json", "csv", "timeline", "whatif", "phase",
-                          "threads", "profile", "help"});
+                          "threads", "profile", "salvage", "help"});
     if (args.has("help")) {
       print_usage(stdout, prog);
       return 0;
@@ -57,17 +62,38 @@ int main(int argc, char** argv) {
     options.execution.num_threads =
         static_cast<unsigned>(args.get_int("threads", 1));
     options.report.top_locks = static_cast<std::size_t>(args.get_int("top", 0));
+    options.load.salvage = args.has("salvage");
 
+    bool lossy_salvage = false;
     cla::Pipeline pipeline(options);
     if (args.has("phase")) {
       // Phase clipping rewrites the trace, so load eagerly and clip before
       // handing the trace to the pipeline.
-      cla::trace::Trace trace =
-          cla::trace::read_trace_file(args.positional().front());
+      cla::trace::Trace trace;
+      if (options.load.salvage) {
+        cla::trace::SalvageResult salvaged =
+            cla::trace::salvage_trace_file(args.positional().front());
+        std::fputs(salvaged.report.to_string().c_str(), stderr);
+        lossy_salvage = salvaged.report.lossy();
+        trace = std::move(salvaged.trace);
+      } else {
+        trace = cla::trace::read_trace_file(args.positional().front());
+      }
       pipeline.use_trace(cla::trace::clip_to_phase(
           trace, static_cast<std::size_t>(args.get_int("phase", 0))));
     } else {
       pipeline.load_file(args.positional().front());
+      if (const auto& report = pipeline.salvage_report()) {
+        std::fputs(report->to_string().c_str(), stderr);
+        lossy_salvage = report->lossy();
+      }
+    }
+    if (const std::uint64_t dropped = pipeline.trace().dropped_events();
+        dropped > 0) {
+      std::fprintf(stderr,
+                   "cla-analyze: warning: the recorder dropped %llu event(s) "
+                   "at record time (buffers full); totals are lower bounds\n",
+                   static_cast<unsigned long long>(dropped));
     }
 
     if (args.has("json")) {
@@ -100,7 +126,7 @@ int main(int argc, char** argv) {
     if (args.has("profile")) {
       std::fputs(pipeline.profile().to_string().c_str(), stderr);
     }
-    return 0;
+    return lossy_salvage ? 3 : 0;
   } catch (const cla::util::ArgsError& e) {
     std::fprintf(stderr, "%s: %s\n", prog, e.what());
     print_usage(stderr, prog);

@@ -35,7 +35,8 @@ std::uint64_t CriticalPath::overlap(trace::ThreadId tid, std::uint64_t begin,
 }
 
 CriticalPath compute_critical_path(const TraceIndex& index,
-                                   const WakeupResolver& resolver) {
+                                   const WakeupResolver& resolver,
+                                   const util::Deadline* deadline) {
   const trace::Trace& t = index.trace();
   CriticalPath path;
   path.last_thread = index.last_finished_thread();
@@ -50,7 +51,12 @@ CriticalPath compute_critical_path(const TraceIndex& index,
   // cycle (impossible for a consistent happens-before order).
   std::set<EventRef> jumped_from;
 
+  std::uint64_t steps = 0;
   for (;;) {
+    // Polling every step would make steady_clock::now() dominate the walk.
+    if (deadline != nullptr && (++steps & 0xffff) == 0) {
+      deadline->check("critical-path walk");
+    }
     const trace::Event& e = events[idx];
     if (trace::is_wakeup(e.type)) {
       const Resolution& r = resolver.resolve(tid, idx);

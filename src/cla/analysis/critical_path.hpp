@@ -11,6 +11,7 @@
 
 #include "cla/analysis/index.hpp"
 #include "cla/analysis/resolver.hpp"
+#include "cla/util/guard.hpp"
 
 namespace cla::analysis {
 
@@ -55,7 +56,10 @@ struct CriticalPath {
 };
 
 /// Runs the backward walk. The trace must satisfy Trace::validate().
+/// A non-null `deadline` is polled periodically; when it expires the walk
+/// aborts with a cla::util::ResourceLimitError.
 CriticalPath compute_critical_path(const TraceIndex& index,
-                                   const WakeupResolver& resolver);
+                                   const WakeupResolver& resolver,
+                                   const util::Deadline* deadline = nullptr);
 
 }  // namespace cla::analysis

@@ -6,6 +6,7 @@
 
 #include "cla/trace/salvage.hpp"
 #include "cla/trace/trace_io.hpp"
+#include "cla/trace/validate.hpp"
 #include "cla/util/clock.hpp"
 #include "cla/util/error.hpp"
 #include "cla/util/thread_pool.hpp"
@@ -60,8 +61,28 @@ util::ThreadPool* Pipeline::pool() {
   if (pool_ == nullptr) {
     pool_ = std::make_unique<util::ThreadPool>(
         util::ThreadPool::resolve_num_threads(options_.execution.num_threads));
+    if (deadline_armed_) pool_->set_deadline(deadline_);
   }
   return pool_.get();
+}
+
+const util::Deadline& Pipeline::deadline() {
+  if (!deadline_armed_) {
+    deadline_ = util::Deadline::after_ms(options_.limits.deadline_ms);
+    deadline_armed_ = true;
+    if (pool_ != nullptr) pool_->set_deadline(deadline_);
+  }
+  return deadline_;
+}
+
+void Pipeline::check_event_budget(std::uint64_t event_count) const {
+  if (options_.limits.max_events != 0 &&
+      event_count > options_.limits.max_events) {
+    throw util::ResourceLimitError(
+        "trace exceeds the event budget: " + std::to_string(event_count) +
+        " events > --max-events=" + std::to_string(options_.limits.max_events) +
+        " (CLA_E_EVENT_BUDGET_EXCEEDED)");
+  }
 }
 
 void Pipeline::record(Stage stage, std::uint64_t start_ns) {
@@ -70,6 +91,8 @@ void Pipeline::record(Stage stage, std::uint64_t start_ns) {
 
 void Pipeline::reset_stages() {
   validated_ = false;
+  repaired_ = false;
+  sink_.clear();
   index_.reset();
   resolver_.reset();
   path_.reset();
@@ -86,8 +109,10 @@ Pipeline& Pipeline::load_stream(std::istream& in) {
   const std::uint64_t start = util::now_ns();
   reset_stages();
   salvage_report_.reset();
+  const util::Deadline& dl = deadline();
   if (options_.load.salvage) {
     trace::SalvageResult salvaged = trace::salvage_trace(in);
+    check_event_budget(salvaged.trace.event_count());
     salvage_report_ = std::move(salvaged.report);
     owned_trace_ = std::move(salvaged.trace);
     trace_ = &*owned_trace_;
@@ -99,13 +124,19 @@ Pipeline& Pipeline::load_stream(std::istream& in) {
   const std::size_t chunk_events =
       options_.load.chunk_events == 0 ? (1u << 16) : options_.load.chunk_events;
   std::vector<trace::Event> buffer(chunk_events);
+  std::uint64_t total_events = 0;
   while (auto block = reader.next_thread()) {
+    dl.check("load");
     if (block->event_count <= (1u << 24)) {
       loaded.reserve_thread_events(
           block->tid, static_cast<std::size_t>(block->event_count));
     }
     for (std::size_t n;
          (n = reader.read_events(buffer.data(), chunk_events)) > 0;) {
+      // Checked as each chunk lands, so an over-budget trace stops
+      // inflating memory right away instead of after a full load.
+      total_events += n;
+      check_event_budget(total_events);
       loaded.append_thread_events(block->tid, {buffer.data(), n});
     }
   }
@@ -150,7 +181,39 @@ Pipeline& Pipeline::validate_stage() {
   if (validated_) return *this;
   const trace::Trace& t = trace();
   const std::uint64_t start = util::now_ns();
-  t.validate();
+  deadline().check("validate");
+  check_event_budget(t.event_count());
+  const bool clean = trace::validate_trace(t, sink_);
+  if (options_.strictness == util::Strictness::Strict) {
+    if (!clean) {
+      record(Stage::Validate, start);
+      std::string message = "trace failed validation: " +
+                            std::to_string(sink_.error_count()) +
+                            " error-severity diagnostic(s)";
+      if (const auto* first = sink_.first_at_least(util::Severity::Error)) {
+        message += "; first: " + first->to_string();
+      }
+      throw util::ValidationError(message);
+    }
+  } else if (sink_.fatal_count() > 0) {
+    // Fatal findings (no threads / no events) are beyond repair in any
+    // mode; downstream stages have nothing to work with.
+    record(Stage::Validate, start);
+    throw util::ValidationError(
+        "trace is irreparable: " +
+        std::to_string(sink_.fatal_count()) + " fatal diagnostic(s)");
+  } else if (!sink_.empty()) {
+    // Repair / lenient: fix the trace on a private copy (a borrowed trace
+    // is never mutated) and log every fix. A diagnostics-free trace skips
+    // this entirely, so clean inputs analyze byte-identically to strict.
+    if (!owned_trace_.has_value()) {
+      owned_trace_ = t;
+      trace_ = &*owned_trace_;
+    }
+    const trace::RepairSummary summary = trace::repair_trace_semantics(
+        *owned_trace_, options_.strictness, &sink_);
+    repaired_ = summary.changed();
+  }
   validated_ = true;
   record(Stage::Validate, start);
   return *this;
@@ -158,9 +221,13 @@ Pipeline& Pipeline::validate_stage() {
 
 Pipeline& Pipeline::index_stage() {
   if (index_.has_value()) return *this;
-  const trace::Trace& t = trace();
   if (options_.validate) validate_stage();
+  // Bind the trace only after validation: the repair path may have moved
+  // the analysis onto a private fixed-up copy.
+  const trace::Trace& t = trace();
   const std::uint64_t start = util::now_ns();
+  deadline().check("index");
+  check_event_budget(t.event_count());
   index_.emplace(t, pool());
   record(Stage::Index, start);
   return *this;
@@ -170,6 +237,7 @@ Pipeline& Pipeline::resolve_stage() {
   if (resolver_.has_value()) return *this;
   index_stage();
   const std::uint64_t start = util::now_ns();
+  deadline().check("resolve");
   resolver_.emplace(*index_);
   record(Stage::Resolve, start);
   return *this;
@@ -179,7 +247,10 @@ Pipeline& Pipeline::walk_stage() {
   if (path_.has_value() || result_.has_value()) return *this;
   resolve_stage();
   const std::uint64_t start = util::now_ns();
-  path_ = compute_critical_path(*index_, *resolver_);
+  const util::Deadline& dl = deadline();
+  dl.check("walk");
+  path_ = compute_critical_path(*index_, *resolver_,
+                                dl.unlimited() ? nullptr : &dl);
   record(Stage::Walk, start);
   return *this;
 }
@@ -188,6 +259,7 @@ Pipeline& Pipeline::stats_stage() {
   if (result_.has_value()) return *this;
   walk_stage();
   const std::uint64_t start = util::now_ns();
+  deadline().check("stats");
   result_ = compute_stats(*index_, std::move(*path_), options_.stats, pool());
   path_.reset();  // the path now lives inside the result
   record(Stage::Stats, start);
@@ -221,6 +293,28 @@ std::string Pipeline::report() {
   stats_stage();
   const std::uint64_t start = util::now_ns();
   std::string rendered = render_report(*result_, options_.report);
+  // Trace-health section: only when validation or repair actually found
+  // something, so a clean run's report stays byte-identical to the
+  // historic output.
+  if (!sink_.empty()) {
+    rendered += "\n--- trace health ---\n";
+    rendered += "strictness: ";
+    rendered += util::to_string(options_.strictness);
+    rendered += "; diagnostics: ";
+    rendered += std::to_string(sink_.count(util::Severity::Error) +
+                               sink_.count(util::Severity::Fatal));
+    rendered += " error(s), ";
+    rendered += std::to_string(sink_.count(util::Severity::Warning));
+    rendered += " warning(s), ";
+    rendered += std::to_string(sink_.count(util::Severity::Info));
+    rendered += " note(s)\n";
+    rendered += sink_.to_string(20);
+    if (repaired_) {
+      rendered +=
+          "note: the trace was repaired before analysis; critical-path "
+          "results are approximate\n";
+    }
+  }
   record(Stage::Report, start);
   return rendered;
 }

@@ -31,6 +31,8 @@
 #include "cla/analysis/stats.hpp"
 #include "cla/trace/salvage.hpp"
 #include "cla/trace/trace.hpp"
+#include "cla/util/diagnostics.hpp"
+#include "cla/util/guard.hpp"
 
 namespace cla::util {
 class ThreadPool;
@@ -67,6 +69,13 @@ struct Options {
   ReportOptions report;      ///< report stage (table rendering)
   ExecutionPolicy execution; ///< index/stats fan-out
   LoadOptions load;          ///< load stage (streaming reader)
+  /// How the validate stage reacts to semantic violations: Strict throws
+  /// a ValidationError (historic behaviour), Repair/Lenient fix the trace
+  /// deterministically and record every fix in diagnostics().
+  util::Strictness strictness = util::Strictness::Strict;
+  /// Wall-clock / event-count budgets; exceeding one aborts the run with
+  /// a ResourceLimitError (CLI exit code 4). 0 = unlimited.
+  util::ResourceLimits limits;
 };
 
 /// The pipeline's stages, in execution order.
@@ -124,8 +133,13 @@ class Pipeline {
 
   // --- individually invocable stages (each pulls its prerequisites) ---
 
-  /// Structural invariant check; throws cla::util::Error on violation.
-  /// Runs even when options.validate is false (explicit call wins).
+  /// Semantic validation per options.strictness. Strict: collects every
+  /// violation into diagnostics() and throws cla::util::ValidationError
+  /// if any reached error severity. Repair/Lenient: additionally runs the
+  /// deterministic repair engine on a private copy of the trace (the
+  /// borrowed original is never mutated) and records each fix as an
+  /// info-severity diagnostic. Runs even when options.validate is false
+  /// (explicit call wins).
   Pipeline& validate_stage();
   /// Per-primitive forward indexing (parallel across trace threads).
   Pipeline& index_stage();
@@ -158,16 +172,35 @@ class Pipeline {
     return salvage_report_;
   }
 
+  /// Everything the validate stage found and the repair engine did.
+  /// Empty after a clean strict run.
+  const util::DiagnosticSink& diagnostics() const noexcept { return sink_; }
+  /// diagnostics() rendered as JSON (the --diagnostics=json payload).
+  std::string diagnostics_json() const { return sink_.to_json(); }
+
+  /// True once the repair engine changed the trace: the analysis ran on a
+  /// fixed-up stream and its results are approximate.
+  bool repaired() const noexcept { return repaired_; }
+
  private:
   util::ThreadPool* pool();
   void record(Stage stage, std::uint64_t start_ns);
   void reset_stages();
+  /// Arms the wall-clock budget on first use (so it measures analysis
+  /// time, not the gap between construction and the first stage).
+  const util::Deadline& deadline();
+  /// Throws ResourceLimitError if `event_count` exceeds the event budget.
+  void check_event_budget(std::uint64_t event_count) const;
 
   Options options_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::optional<trace::Trace> owned_trace_;
   const trace::Trace* trace_ = nullptr;
   bool validated_ = false;
+  bool repaired_ = false;
+  bool deadline_armed_ = false;
+  util::Deadline deadline_;
+  util::DiagnosticSink sink_;
   std::optional<TraceIndex> index_;
   std::optional<WakeupResolver> resolver_;
   std::optional<CriticalPath> path_;

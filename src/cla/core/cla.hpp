@@ -23,6 +23,9 @@
 #include "cla/trace/salvage.hpp"
 #include "cla/trace/trace.hpp"
 #include "cla/trace/trace_io.hpp"
+#include "cla/trace/validate.hpp"
+#include "cla/util/diagnostics.hpp"
+#include "cla/util/guard.hpp"
 #include "cla/workloads/workload.hpp"
 
 namespace cla {
@@ -50,6 +53,18 @@ using analysis::ExecutionPolicy;
 using analysis::Pipeline;
 using analysis::PipelineProfile;
 using analysis::Stage;
+
+/// Hardened-analysis surface: structured diagnostics, trace repair
+/// policies and resource guards (see DESIGN §9).
+using util::DiagCode;
+using util::Diagnostic;
+using util::DiagnosticSink;
+using util::ResourceLimits;
+using util::Severity;
+using util::Strictness;
+using trace::RepairSummary;
+using trace::repair_trace_semantics;
+using trace::validate_trace;
 
 /// Convenience: run a named workload and analyze its trace in one call.
 struct RunAnalysis {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cla/trace/trace_io.hpp"
+#include "cla/trace/validate.hpp"
 #include "cla/util/crc32.hpp"
 #include "cla/util/error.hpp"
 
@@ -233,140 +234,14 @@ void salvage_v2(BufReader& in, Trace& trace, SalvageReport& report) {
 // ---- repair --------------------------------------------------------------
 
 void repair_trace(Trace& trace, SalvageReport& report) {
-  Trace repaired;
-  for (ThreadId tid = 0; tid < trace.thread_count(); ++tid) {
-    const auto span = trace.thread_events(tid);
-    std::vector<Event> events(span.begin(), span.end());
-    std::uint64_t synthesized = 0;
-    bool touched = false;
-
-    if (events.empty()) {
-      // Every chunk of this thread was lost; keep the slot resolvable
-      // (other threads' ThreadCreate/Join events may reference it).
-      events.push_back(Event{0, kNoObject, kNoArg, EventType::ThreadStart, 0, tid});
-      events.push_back(Event{0, kNoObject, kNoArg, EventType::ThreadExit, 0, tid});
-      synthesized += 2;
-    }
-
-    // Clamp per-thread timestamps monotone (raw clock regressions are
-    // normally repaired by the clean-exit flush, which a crash skipped).
-    for (std::size_t i = 1; i < events.size(); ++i) {
-      if (events[i].ts < events[i - 1].ts) {
-        events[i].ts = events[i - 1].ts;
-        touched = true;
-      }
-    }
-
-    if (events.front().type != EventType::ThreadStart) {
-      events.insert(events.begin(), Event{events.front().ts, kNoObject, kNoArg,
-                                          EventType::ThreadStart, 0, tid});
-      ++synthesized;
-    }
-
-    // Replay the protocol, dropping events a partial recording can no
-    // longer support and tracking what is left dangling at the end.
-    struct MutexState {
-      int depth = 0;
-      bool acquiring = false;
-    };
-    std::map<ObjectId, MutexState> mutexes;
-    std::map<ObjectId, std::uint64_t> inside_barrier;  // object -> episode arg
-    std::vector<Event> kept;
-    kept.reserve(events.size() + 4);
-    std::optional<Event> final_exit;
-    for (std::size_t i = 0; i < events.size(); ++i) {
-      Event e = events[i];
-      e.tid = tid;  // a corrupt tid inside an intact chunk body is repaired
-      bool keep = true;
-      switch (e.type) {
-        case EventType::ThreadStart:
-          keep = i == 0;
-          break;
-        case EventType::ThreadExit:
-          // Re-appended once, at the very end.
-          keep = false;
-          if (i + 1 == events.size()) final_exit = e;
-          break;
-        case EventType::MutexAcquire: {
-          auto& st = mutexes[e.object];
-          keep = !st.acquiring;
-          if (keep) st.acquiring = true;
-          break;
-        }
-        case EventType::MutexAcquired: {
-          auto& st = mutexes[e.object];
-          keep = st.acquiring;
-          if (keep) {
-            st.acquiring = false;
-            ++st.depth;
-          }
-          break;
-        }
-        case EventType::MutexReleased: {
-          auto& st = mutexes[e.object];
-          keep = st.depth > 0;
-          if (keep) --st.depth;
-          break;
-        }
-        case EventType::BarrierArrive:
-          keep = !inside_barrier.contains(e.object);
-          if (keep) inside_barrier[e.object] = e.arg;
-          break;
-        case EventType::BarrierLeave:
-          keep = inside_barrier.contains(e.object);
-          if (keep) inside_barrier.erase(e.object);
-          break;
-        default:
-          break;
-      }
-      if (keep) {
-        kept.push_back(e);
-      } else if (e.type != EventType::ThreadExit) {
-        ++report.events_discarded;
-        touched = true;
-      }
-    }
-
-    const std::uint64_t last_ts = kept.empty() ? 0 : kept.back().ts;
-
-    // Close dangling critical sections at the last-seen timestamp: a
-    // pending acquire collapses to a zero-length uncontended section, a
-    // held lock is released, an open barrier episode is left.
-    for (auto& [object, st] : mutexes) {
-      if (st.acquiring) {
-        kept.push_back(Event{last_ts, object, 0, EventType::MutexAcquired, 0, tid});
-        kept.push_back(Event{last_ts, object, kNoArg, EventType::MutexReleased, 0, tid});
-        synthesized += 2;
-      }
-      for (; st.depth > 0; --st.depth) {
-        kept.push_back(Event{last_ts, object, kNoArg, EventType::MutexReleased, 0, tid});
-        ++synthesized;
-      }
-    }
-    for (const auto& [object, episode] : inside_barrier) {
-      kept.push_back(Event{last_ts, object, episode, EventType::BarrierLeave, 0, tid});
-      ++synthesized;
-    }
-    if (final_exit.has_value() && final_exit->ts >= last_ts) {
-      kept.push_back(*final_exit);
-    } else {
-      kept.push_back(Event{last_ts, kNoObject, kNoArg, EventType::ThreadExit, 0, tid});
-      if (!final_exit.has_value()) ++synthesized;
-    }
-
-    if (synthesized > 0 || touched) ++report.threads_repaired;
-    report.synthesized_events += synthesized;
-    repaired.add_thread_stream(tid, std::move(kept));
-  }
-
-  for (const auto& [object, name] : trace.object_names()) {
-    repaired.set_object_name(object, name);
-  }
-  for (const auto& [tid, name] : trace.thread_names()) {
-    repaired.set_thread_name(tid, name);
-  }
-  repaired.set_dropped_events(trace.dropped_events());
-  trace = std::move(repaired);
+  // The protocol replay lives in the shared repair engine (validate.cpp)
+  // so --strictness=repair and salvage fix traces identically; only the
+  // bookkeeping is mapped back onto the salvage report here.
+  const RepairSummary summary =
+      repair_trace_semantics(trace, util::Strictness::Repair, nullptr);
+  report.synthesized_events += summary.synthesized_events;
+  report.events_discarded += summary.events_discarded;
+  report.threads_repaired += summary.threads_repaired;
 }
 
 // ---- entry points --------------------------------------------------------

@@ -65,7 +65,9 @@ SalvageResult salvage_trace_file(const std::string& path);
 
 /// The repair half of salvage, exposed for reuse and tests: mutates
 /// `trace` until validate() passes, accumulating what it did into
-/// `report` (synthesized_events, threads_repaired).
+/// `report` (synthesized_events, threads_repaired). Thin wrapper over
+/// repair_trace_semantics() in cla/trace/validate.hpp, which is also what
+/// `cla-analyze --strictness=repair` runs.
 void repair_trace(Trace& trace, SalvageReport& report);
 
 }  // namespace cla::trace

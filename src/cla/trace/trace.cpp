@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "cla/trace/validate.hpp"
+#include "cla/util/diagnostics.hpp"
 #include "cla/util/error.hpp"
 
 namespace cla::trace {
@@ -107,91 +109,16 @@ std::string Trace::thread_display_name(ThreadId tid) const {
   return "T" + std::to_string(tid);
 }
 
-namespace {
-
-/// Per-(thread, mutex) protocol state for validation. Recursive mutexes
-/// are allowed: depth counts nested Acquired/Released pairs.
-struct MutexState {
-  int depth = 0;
-  bool acquiring = false;
-};
-
-}  // namespace
-
 void Trace::validate() const {
-  CLA_CHECK(!threads_.empty(), "trace has no threads");
-  for (ThreadId tid = 0; tid < threads_.size(); ++tid) {
-    const auto& stream = threads_[tid];
-    const std::string tname = thread_display_name(tid);
-    CLA_CHECK(!stream.empty(), "thread " + tname + " has no events");
-    CLA_CHECK(stream.front().type == EventType::ThreadStart,
-              "thread " + tname + " does not begin with ThreadStart");
-    CLA_CHECK(stream.back().type == EventType::ThreadExit,
-              "thread " + tname + " does not end with ThreadExit");
-
-    std::map<ObjectId, MutexState> mutexes;
-    std::map<ObjectId, bool> barrier_inside;  // true between Arrive and Leave
-    std::uint64_t prev_ts = 0;
-    for (std::size_t i = 0; i < stream.size(); ++i) {
-      const Event& e = stream[i];
-      CLA_CHECK(e.tid == tid, "event tid mismatch in thread " + tname);
-      CLA_CHECK(e.ts >= prev_ts,
-                "timestamps of thread " + tname + " go backwards at event " +
-                    std::to_string(i) + " (" + std::string(to_string(e.type)) + ")");
-      prev_ts = e.ts;
-      auto protocol_error = [&](const char* what) {
-        ::cla::util::throw_error(
-            __FILE__, __LINE__,
-            "thread " + tname + ": " + what + " at event " + std::to_string(i) +
-                " (" + std::string(to_string(e.type)) + " object " +
-                std::to_string(e.object) + ")");
-      };
-      switch (e.type) {
-        case EventType::ThreadStart:
-          if (i != 0) protocol_error("ThreadStart not first");
-          break;
-        case EventType::ThreadExit:
-          if (i + 1 != stream.size()) protocol_error("ThreadExit not last");
-          break;
-        case EventType::MutexAcquire: {
-          auto& st = mutexes[e.object];
-          if (st.acquiring)
-            protocol_error("MutexAcquire while already acquiring");
-          st.acquiring = true;
-          break;
-        }
-        case EventType::MutexAcquired: {
-          auto& st = mutexes[e.object];
-          if (!st.acquiring)
-            protocol_error("MutexAcquired without MutexAcquire");
-          st.acquiring = false;
-          ++st.depth;
-          break;
-        }
-        case EventType::MutexReleased: {
-          auto& st = mutexes[e.object];
-          if (st.depth <= 0)
-            protocol_error("MutexReleased without holding");
-          --st.depth;
-          break;
-        }
-        case EventType::BarrierArrive: {
-          auto& inside = barrier_inside[e.object];
-          if (inside) protocol_error("BarrierArrive while inside barrier");
-          inside = true;
-          break;
-        }
-        case EventType::BarrierLeave: {
-          auto& inside = barrier_inside[e.object];
-          if (!inside) protocol_error("BarrierLeave without BarrierArrive");
-          inside = false;
-          break;
-        }
-        default:
-          break;
-      }
-    }
+  util::DiagnosticSink sink;
+  if (validate_trace(*this, sink)) return;
+  std::string message = "trace failed validation: " +
+                        std::to_string(sink.error_count()) +
+                        " error-severity diagnostic(s)";
+  if (const auto* first = sink.first_at_least(util::Severity::Error)) {
+    message += "; first: " + first->to_string();
   }
+  throw util::ValidationError(message);
 }
 
 std::string Trace::dump() const {

@@ -77,8 +77,10 @@ class Trace {
     return thread_names_;
   }
 
-  /// Checks the structural invariants above; throws cla::util::Error with
-  /// a precise diagnostic on the first violation.
+  /// Checks the structural invariants above; throws
+  /// cla::util::ValidationError summarising the violations. The underlying
+  /// checker (validate_trace in cla/trace/validate.hpp) reports every
+  /// violation as a structured diagnostic instead of stopping at the first.
   void validate() const;
 
   /// Renders a human-readable dump (debugging aid; O(events) big).

@@ -16,6 +16,20 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A trace failed semantic validation under --strictness=strict (the
+/// collected diagnostics contain error/fatal findings). CLI exit code 5.
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what) : Error(what) {}
+};
+
+/// The analysis hit a resource guard (--deadline-ms / --max-events) and
+/// stopped cleanly instead of hanging or exhausting memory. Exit code 4.
+class ResourceLimitError : public Error {
+ public:
+  explicit ResourceLimitError(const std::string& what) : Error(what) {}
+};
+
 /// Builds an Error message with "file:line: " prefix and throws it.
 [[noreturn]] void throw_error(const char* file, int line, const std::string& message);
 

@@ -1,0 +1,26 @@
+#include "cla/util/guard.hpp"
+
+#include <string>
+
+#include "cla/util/error.hpp"
+
+namespace cla::util {
+
+Deadline::Deadline() : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
+
+Deadline Deadline::after_ms(std::uint64_t ms) {
+  Deadline d;
+  if (ms != 0) {
+    d.has_deadline_ = true;
+    d.expiry_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  }
+  return d;
+}
+
+void Deadline::check(const char* what) const {
+  if (!should_stop()) return;
+  throw ResourceLimitError(std::string("analysis deadline exceeded during ") +
+                           what + " (CLA_E_DEADLINE_EXCEEDED)");
+}
+
+}  // namespace cla::util

@@ -1,0 +1,59 @@
+// Resource guards for the analysis pipeline.
+//
+// A Deadline is a copyable wall-clock budget plus a cooperative
+// cancellation flag. The pipeline creates one from --deadline-ms, hands
+// copies to every stage and to the ThreadPool, and each long loop polls
+// should_stop() (cheap: one atomic load + one steady_clock read) so a
+// hostile or enormous trace ends with a clean ResourceLimitError instead
+// of a wedged process. Copies share the cancellation flag, so cancel()
+// from any holder stops them all.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace cla::util {
+
+class Deadline {
+ public:
+  /// Unlimited deadline (never expires, still cancellable).
+  Deadline();
+
+  /// Expires `ms` milliseconds from now; 0 means unlimited.
+  static Deadline after_ms(std::uint64_t ms);
+
+  bool unlimited() const noexcept { return !has_deadline_; }
+
+  /// Flags every copy of this deadline as cancelled.
+  void cancel() noexcept { cancelled_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return cancelled_->load(std::memory_order_relaxed);
+  }
+
+  bool expired() const noexcept {
+    return has_deadline_ && std::chrono::steady_clock::now() >= expiry_;
+  }
+
+  /// True once the work should wind down (cancelled or past the expiry).
+  bool should_stop() const noexcept { return cancelled() || expired(); }
+
+  /// Throws ResourceLimitError mentioning `what` if should_stop().
+  void check(const char* what) const;
+
+ private:
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point expiry_{};
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+/// Knobs from --deadline-ms / --max-events; 0 = unlimited.
+struct ResourceLimits {
+  std::uint64_t deadline_ms = 0;  ///< wall-clock budget for the analysis
+  std::uint64_t max_events = 0;   ///< refuse traces with more events
+
+  bool any() const noexcept { return deadline_ms != 0 || max_events != 0; }
+};
+
+}  // namespace cla::util

@@ -6,6 +6,8 @@
 #include <exception>
 #include <mutex>
 
+#include "cla/util/error.hpp"
+
 namespace cla::util {
 
 struct ThreadPool::Impl {
@@ -24,12 +26,14 @@ struct ThreadPool::Impl {
   std::uint64_t generation = 0;  ///< bumped per job so workers see new work
   std::exception_ptr error;
   bool stopping = false;
+  Deadline deadline;  ///< copy installed per job; unlimited by default
 
   void drain(const std::function<void(std::size_t)>& job, std::size_t count) {
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
+        deadline.check("parallel task loop");
         job(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
@@ -92,7 +96,10 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (impl_ == nullptr || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      deadline_.check("parallel task loop");
+      fn(i);
+    }
     return;
   }
   {
@@ -102,6 +109,7 @@ void ThreadPool::parallel_for(std::size_t n,
     impl_->cursor.store(0, std::memory_order_relaxed);
     impl_->active = impl_->workers.size();
     impl_->error = nullptr;
+    impl_->deadline = deadline_;
     ++impl_->generation;
   }
   impl_->wake.notify_all();

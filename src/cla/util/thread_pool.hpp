@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "cla/util/guard.hpp"
+
 namespace cla::util {
 
 class ThreadPool {
@@ -39,12 +41,19 @@ class ThreadPool {
   /// not yet started when it was thrown are skipped.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Installs a cooperative deadline: every subsequent parallel_for polls
+  /// it between iterations and aborts the job with a ResourceLimitError
+  /// (rethrown on the caller) once it expires or is cancelled. Copies
+  /// share the cancellation flag with the caller's Deadline.
+  void set_deadline(const Deadline& deadline) { deadline_ = deadline; }
+
   /// Resolves a requested thread count: 0 means "one per hardware thread".
   static unsigned resolve_num_threads(unsigned requested) noexcept;
 
  private:
   struct Impl;
   Impl* impl_ = nullptr;  ///< null when the pool runs inline
+  Deadline deadline_;     ///< unlimited by default
 };
 
 }  // namespace cla::util

@@ -1,13 +1,20 @@
 // CLI smoke tests: the cla-run / cla-analyze binaries drive the full
-// workflow from a user's shell.
+// workflow from a user's shell. Includes the full exit-code contract
+// (0 clean, 1 error, 2 usage, 3 lossy, 4 resource limit, 5 strict
+// validation failure) — see tools/cla_analyze.cpp and README.
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
+
+#include "cla/trace/trace.hpp"
+#include "cla/trace/trace_io.hpp"
 
 namespace {
 
@@ -154,6 +161,141 @@ TEST(Cli, AnalyzeRejectsMissingFile) {
       run_command(tool("cla-analyze") + " /no/such/file.clat", rc);
   EXPECT_NE(rc, 0);
   EXPECT_NE(out.find("cannot open"), std::string::npos);
+}
+
+// Writes a well-formed .clat file whose event stream violates the
+// semantic protocol (an unpaired MutexReleased), so the strict validator
+// refuses it while repair mode can fix it.
+std::string write_semantically_broken_trace(const char* filename) {
+  using cla::trace::Event;
+  using cla::trace::EventType;
+  cla::trace::Trace trace;
+  trace.add(Event{0, cla::trace::kNoObject, cla::trace::kNoArg,
+                  EventType::ThreadStart, 0, 0});
+  trace.add(Event{5, 7, cla::trace::kNoArg, EventType::MutexReleased, 0, 0});
+  trace.add(Event{9, cla::trace::kNoObject, cla::trace::kNoArg,
+                  EventType::ThreadExit, 0, 0});
+  const auto path =
+      (std::filesystem::temp_directory_path() / filename).string();
+  cla::trace::write_trace_file(trace, path);
+  return path;
+}
+
+TEST(CliExitCodes, FullContract) {
+  const auto clean_path =
+      (std::filesystem::temp_directory_path() / "cla_cli_exit0.clat").string();
+  int rc = 0;
+  const std::string run_out = run_command(
+      tool("cla-run") + " micro --threads 4 --trace-out " + clean_path, rc);
+  ASSERT_EQ(rc, 0) << run_out;
+
+  // 0: clean trace, default (strict) mode.
+  run_command(tool("cla-analyze") + " " + clean_path, rc);
+  EXPECT_EQ(rc, 0);
+
+  // 1: runtime failure (corrupt header; not salvageable usage).
+  const auto junk_path =
+      (std::filesystem::temp_directory_path() / "cla_cli_junk.clat").string();
+  std::ofstream(junk_path, std::ios::binary) << "this is not a trace";
+  const std::string junk_out =
+      run_command(tool("cla-analyze") + " " + junk_path, rc);
+  EXPECT_EQ(rc, 1) << junk_out;  // a clean error message, no std::terminate
+  EXPECT_NE(junk_out.find("cla-analyze:"), std::string::npos);
+  EXPECT_EQ(junk_out.find("terminate"), std::string::npos) << junk_out;
+
+  // 2: usage errors.
+  run_command(tool("cla-analyze"), rc);
+  EXPECT_EQ(rc, 2);
+  const std::string bad_mode_out = run_command(
+      tool("cla-analyze") + " " + clean_path + " --strictness=never", rc);
+  EXPECT_EQ(rc, 2) << bad_mode_out;
+  EXPECT_NE(bad_mode_out.find("invalid --strictness"), std::string::npos);
+  run_command(tool("cla-analyze") + " " + clean_path + " --deadline-ms=-1", rc);
+  EXPECT_EQ(rc, 2);
+  run_command(tool("cla-analyze") + " " + clean_path + " --diagnostics=xml",
+              rc);
+  EXPECT_EQ(rc, 2);
+
+  // 3: lossy repair (semantic damage + --strictness=repair).
+  const auto broken_path =
+      write_semantically_broken_trace("cla_cli_exit3.clat");
+  const std::string repair_out = run_command(
+      tool("cla-analyze") + " " + broken_path + " --strictness=repair", rc);
+  EXPECT_EQ(rc, 3) << repair_out;
+  EXPECT_NE(repair_out.find("--- trace health ---"), std::string::npos);
+  EXPECT_NE(repair_out.find("results are approximate"), std::string::npos);
+
+  // 4: resource limits.
+  const std::string budget_out = run_command(
+      tool("cla-analyze") + " " + clean_path + " --max-events=10", rc);
+  EXPECT_EQ(rc, 4) << budget_out;
+  EXPECT_NE(budget_out.find("CLA_E_EVENT_BUDGET_EXCEEDED"), std::string::npos);
+
+  // 5: strict-mode validation failure.
+  const std::string strict_out =
+      run_command(tool("cla-analyze") + " " + broken_path, rc);
+  EXPECT_EQ(rc, 5) << strict_out;
+  EXPECT_NE(strict_out.find("validation failed"), std::string::npos);
+  EXPECT_NE(strict_out.find("CLA_E_UNPAIRED_UNLOCK"), std::string::npos);
+
+  // The contract is documented in --help.
+  const std::string help_out =
+      run_command(tool("cla-analyze") + " --help", rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(help_out.find("exit codes:"), std::string::npos);
+  EXPECT_NE(help_out.find("5 strict-mode validation failure"),
+            std::string::npos);
+
+  std::remove(clean_path.c_str());
+  std::remove(junk_path.c_str());
+  std::remove(broken_path.c_str());
+}
+
+TEST(CliExitCodes, DiagnosticsJsonOnDamagedTrace) {
+  const auto path = write_semantically_broken_trace("cla_cli_diagjson.clat");
+  int rc = 0;
+  const std::string out = run_command(
+      tool("cla-analyze") + " " + path +
+          " --strictness=repair --diagnostics=json",
+      rc);
+  EXPECT_EQ(rc, 3) << out;
+  EXPECT_NE(out.find("\"diagnostics\": ["), std::string::npos);
+  EXPECT_NE(out.find("\"CLA_E_UNPAIRED_UNLOCK\""), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+  std::remove(path.c_str());
+}
+
+TEST(CliExitCodes, MalformedInputNeverReachesTerminate) {
+  // Satellite 1's contract: no user input may escape as an unhandled
+  // exception. Feed a spread of malformed files through every mode; the
+  // tool must always exit with a documented code (never a signal death,
+  // never 134/139-style aborts).
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cla_cli_malformed.clat")
+          .string();
+  const std::string payloads[] = {
+      "",                                   // empty file
+      "CLAT",                               // bare magic
+      std::string("CLAT\x02\x00\x00\x00") + std::string(64, '\xff'),
+      std::string(256, '\0'),               // zero block
+  };
+  for (const std::string& payload : payloads) {
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << payload;
+    for (const char* flags :
+         {"", " --salvage", " --strictness=repair", " --strictness=lenient",
+          " --max-events=5", " --deadline-ms=1000"}) {
+      int rc = 0;
+      const std::string out =
+          run_command(tool("cla-analyze") + " " + path + flags, rc);
+      EXPECT_TRUE(rc >= 0 && rc <= 5)
+          << "payload size " << payload.size() << " flags '" << flags
+          << "' exited " << rc << ":\n"
+          << out;
+      EXPECT_EQ(out.find("terminate called"), std::string::npos) << out;
+    }
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "cla/core/cla.hpp"
+#include "cla/util/rng.hpp"
 #include "cla/workloads/workload.hpp"
 
 namespace cla {
@@ -35,6 +37,67 @@ TEST_P(DeterminismTest, ParallelPipelineIsByteIdenticalToLegacyAnalyze) {
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, DeterminismTest,
                          testing::Values("micro", "radiosity", "tsp", "uts"),
                          [](const auto& info) { return info.param; });
+
+// Deterministically damages a workload trace: drops one event, regresses
+// one timestamp and truncates one thread's tail, so repair has real work
+// to do on every workload.
+trace::Trace damage(const trace::Trace& base, util::Rng& rng) {
+  trace::Trace damaged;
+  for (trace::ThreadId tid = 0; tid < base.thread_count(); ++tid) {
+    const auto span = base.thread_events(tid);
+    std::vector<trace::Event> events(span.begin(), span.end());
+    if (events.size() > 4) {
+      events.erase(events.begin() +
+                   static_cast<std::ptrdiff_t>(1 + rng.below(events.size() - 2)));
+      events[1 + rng.below(events.size() - 2)].ts = 0;
+      if (rng.chance(0.5)) {
+        events.resize(2 + rng.below(events.size() - 2));
+      }
+    }
+    damaged.add_thread_stream(tid, std::move(events));
+  }
+  return damaged;
+}
+
+// Repair and lenient modes must also be worker-count invariant: the
+// repaired trace, the report (including the trace-health section) and the
+// diagnostics JSON are byte-identical at 1, 2 and 8 analysis threads.
+TEST_P(DeterminismTest, RepairModesAreWorkerCountInvariant) {
+  workloads::WorkloadConfig config;
+  config.threads = 8;
+  config.scale = 0.25;
+  const trace::Trace base = workloads::run_workload(GetParam(), config).trace;
+  util::Rng rng(0xde7e12u ^ std::string(GetParam()).size());
+  const trace::Trace damaged = damage(base, rng);
+
+  for (const util::Strictness mode :
+       {util::Strictness::Repair, util::Strictness::Lenient}) {
+    std::string expected_report;
+    std::string expected_json;
+    for (unsigned workers : {1u, 2u, 8u}) {
+      Options options;
+      options.strictness = mode;
+      options.execution.num_threads = workers;
+      Pipeline pipeline(options);
+      pipeline.use_trace(damaged);
+      const std::string report = pipeline.report();
+      const std::string json = pipeline.diagnostics_json();
+      if (workers == 1u) {
+        expected_report = report;
+        expected_json = json;
+        EXPECT_NE(report.find("--- trace health ---"), std::string::npos)
+            << GetParam() << ": damage() produced no diagnostics";
+      } else {
+        EXPECT_EQ(report, expected_report)
+            << GetParam() << " " << util::to_string(mode) << " with "
+            << workers << " analysis threads";
+        EXPECT_EQ(json, expected_json)
+            << GetParam() << " " << util::to_string(mode) << " with "
+            << workers << " analysis threads";
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace cla

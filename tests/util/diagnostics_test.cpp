@@ -1,0 +1,112 @@
+// DiagnosticSink / Severity / Strictness unit tests.
+#include "cla/util/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cla::util {
+namespace {
+
+TEST(Diagnostics, StrictnessRoundTrips) {
+  Strictness mode = Strictness::Strict;
+  EXPECT_TRUE(parse_strictness("repair", mode));
+  EXPECT_EQ(mode, Strictness::Repair);
+  EXPECT_TRUE(parse_strictness("lenient", mode));
+  EXPECT_EQ(mode, Strictness::Lenient);
+  EXPECT_TRUE(parse_strictness("strict", mode));
+  EXPECT_EQ(mode, Strictness::Strict);
+  EXPECT_FALSE(parse_strictness("Strict", mode));
+  EXPECT_FALSE(parse_strictness("", mode));
+  EXPECT_FALSE(parse_strictness("repairs", mode));
+  for (const Strictness m :
+       {Strictness::Strict, Strictness::Repair, Strictness::Lenient}) {
+    Strictness parsed = Strictness::Strict;
+    EXPECT_TRUE(parse_strictness(to_string(m), parsed));
+    EXPECT_EQ(parsed, m);
+  }
+}
+
+TEST(Diagnostics, CodeNamesAreStable) {
+  // These names are part of the output contract (README, JSON); changing
+  // one silently breaks downstream consumers.
+  EXPECT_EQ(to_string(DiagCode::CLA_E_UNPAIRED_UNLOCK),
+            "CLA_E_UNPAIRED_UNLOCK");
+  EXPECT_EQ(to_string(DiagCode::CLA_E_TS_REGRESSION), "CLA_E_TS_REGRESSION");
+  EXPECT_EQ(to_string(DiagCode::CLA_W_LOCK_HELD_AT_EXIT),
+            "CLA_W_LOCK_HELD_AT_EXIT");
+  EXPECT_EQ(to_string(DiagCode::CLA_R_SYNTHESIZED_EVENTS),
+            "CLA_R_SYNTHESIZED_EVENTS");
+  EXPECT_EQ(to_string(DiagCode::CLA_E_DEADLINE_EXCEEDED),
+            "CLA_E_DEADLINE_EXCEEDED");
+}
+
+TEST(Diagnostics, SinkCountsPerSeverity) {
+  DiagnosticSink sink;
+  EXPECT_TRUE(sink.empty());
+  sink.report(Severity::Info, DiagCode::CLA_R_SYNTHESIZED_EVENTS, 1, 2, "a");
+  sink.report(Severity::Warning, DiagCode::CLA_W_LOCK_HELD_AT_EXIT, 1, 9, "b");
+  sink.report(Severity::Error, DiagCode::CLA_E_UNPAIRED_UNLOCK, 2, 4, "c");
+  sink.report(Severity::Fatal, DiagCode::CLA_E_NO_THREADS,
+              Diagnostic::kNoTid, Diagnostic::kNoEvent, "d");
+  EXPECT_FALSE(sink.empty());
+  EXPECT_EQ(sink.count(Severity::Info), 1u);
+  EXPECT_EQ(sink.count(Severity::Warning), 1u);
+  EXPECT_EQ(sink.count(Severity::Error), 1u);
+  EXPECT_EQ(sink.count(Severity::Fatal), 1u);
+  EXPECT_EQ(sink.error_count(), 2u);  // error + fatal
+  EXPECT_EQ(sink.fatal_count(), 1u);
+  EXPECT_EQ(sink.diagnostics().size(), 4u);
+
+  const Diagnostic* first = sink.first_at_least(Severity::Error);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->code, DiagCode::CLA_E_UNPAIRED_UNLOCK);
+
+  sink.clear();
+  EXPECT_TRUE(sink.empty());
+  EXPECT_EQ(sink.error_count(), 0u);
+}
+
+TEST(Diagnostics, SinkCapSuppressesButKeepsCounting) {
+  DiagnosticSink sink(3);
+  for (int i = 0; i < 10; ++i) {
+    sink.report(Severity::Error, DiagCode::CLA_E_UNPAIRED_UNLOCK, 0, i, "x");
+  }
+  EXPECT_EQ(sink.diagnostics().size(), 3u);
+  EXPECT_EQ(sink.suppressed(), 7u);
+  EXPECT_EQ(sink.error_count(), 10u);  // counts are exact past the cap
+  EXPECT_NE(sink.to_string().find("7 more diagnostics"), std::string::npos);
+}
+
+TEST(Diagnostics, OneLineRendering) {
+  Diagnostic d;
+  d.severity = Severity::Error;
+  d.code = DiagCode::CLA_E_UNPAIRED_UNLOCK;
+  d.tid = 1;
+  d.event = 12;
+  d.message = "MutexReleased without holding mutex 7";
+  EXPECT_EQ(d.to_string(),
+            "[error] CLA_E_UNPAIRED_UNLOCK T1 event 12: "
+            "MutexReleased without holding mutex 7");
+
+  Diagnostic global;
+  global.severity = Severity::Fatal;
+  global.code = DiagCode::CLA_E_NO_THREADS;
+  global.message = "trace has no threads or no events";
+  // No thread/event qualifiers for trace-global findings.
+  EXPECT_EQ(global.to_string(),
+            "[fatal] CLA_E_NO_THREADS: trace has no threads or no events");
+}
+
+TEST(Diagnostics, JsonEscapesAndNulls) {
+  DiagnosticSink sink;
+  sink.report(Severity::Warning, DiagCode::CLA_W_UNKNOWN_THREAD_REF,
+              Diagnostic::kNoTid, Diagnostic::kNoEvent, "quote \" and \\ tab\t");
+  const std::string json = sink.to_json();
+  EXPECT_NE(json.find("\"tid\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"event\": null"), std::string::npos);
+  EXPECT_NE(json.find("quote \\\" and \\\\ tab\\t"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+}  // namespace
+}  // namespace cla::util

@@ -1,0 +1,89 @@
+// Deadline / ResourceLimits unit tests, including the ThreadPool
+// cooperative-cancellation path.
+#include "cla/util/guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "cla/util/error.hpp"
+#include "cla/util/thread_pool.hpp"
+
+namespace cla::util {
+namespace {
+
+TEST(Deadline, DefaultIsUnlimitedAndNeverStops) {
+  Deadline dl;
+  EXPECT_TRUE(dl.unlimited());
+  EXPECT_FALSE(dl.expired());
+  EXPECT_FALSE(dl.should_stop());
+  EXPECT_NO_THROW(dl.check("unit test"));
+  // after_ms(0) is the spelled-out unlimited form (--deadline-ms=0).
+  EXPECT_TRUE(Deadline::after_ms(0).unlimited());
+}
+
+TEST(Deadline, ExpiresAndThrowsWithContext) {
+  // 1ms deadline: spin until the steady clock passes it.
+  const Deadline dl = Deadline::after_ms(1);
+  EXPECT_FALSE(dl.unlimited());
+  while (!dl.expired()) {
+  }
+  EXPECT_TRUE(dl.should_stop());
+  try {
+    dl.check("stats stage");
+    FAIL() << "check() should have thrown";
+  } catch (const ResourceLimitError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stats stage"), std::string::npos) << what;
+    EXPECT_NE(what.find("CLA_E_DEADLINE_EXCEEDED"), std::string::npos) << what;
+  }
+}
+
+TEST(Deadline, CancelPropagatesAcrossCopies) {
+  Deadline original;
+  const Deadline copy = original;
+  EXPECT_FALSE(copy.should_stop());
+  original.cancel();
+  EXPECT_TRUE(copy.cancelled());
+  EXPECT_TRUE(copy.should_stop());
+  EXPECT_THROW(copy.check("copy"), ResourceLimitError);
+}
+
+TEST(Deadline, ThreadPoolAbortsParallelForOnCancelledDeadline) {
+  ThreadPool pool(4);
+  Deadline dl;
+  dl.cancel();  // already stopped: no iteration may run to completion
+  pool.set_deadline(dl);
+  std::atomic<std::uint64_t> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(std::size_t{10000},
+                        [&](std::size_t) {
+                          completed.fetch_add(1, std::memory_order_relaxed);
+                        }),
+      ResourceLimitError);
+  EXPECT_EQ(completed.load(), 0u);
+}
+
+TEST(Deadline, ThreadPoolRunsNormallyUnderUnlimitedDeadline) {
+  ThreadPool pool(4);
+  pool.set_deadline(Deadline{});
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(std::size_t{1000}, [&](std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 1000u * 999u / 2);
+}
+
+TEST(ResourceLimits, AnyReflectsEitherKnob) {
+  ResourceLimits limits;
+  EXPECT_FALSE(limits.any());
+  limits.deadline_ms = 5;
+  EXPECT_TRUE(limits.any());
+  limits.deadline_ms = 0;
+  limits.max_events = 100;
+  EXPECT_TRUE(limits.any());
+}
+
+}  // namespace
+}  // namespace cla::util

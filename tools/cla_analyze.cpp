@@ -5,10 +5,15 @@
 //   CLA_TRACE_FILE=/tmp/app.clat LD_PRELOAD=libcla_interpose.so ./app
 //   cla-analyze /tmp/app.clat --threads 8 --profile
 //
-// Exit codes: 0 success, 1 runtime failure (unreadable/corrupt trace),
-// 2 usage error (bad flags; usage goes to stderr), 3 success but the
-// --salvage load was lossy (events/chunks were dropped or repaired, so
-// the report describes a partial recording).
+// Exit codes (the full contract, also in README and --help):
+//   0  success, clean trace
+//   1  runtime failure (unreadable/corrupt trace, I/O error)
+//   2  usage error (bad flags; usage goes to stderr)
+//   3  success, but lossy: the --salvage load dropped data and/or the
+//      --strictness=repair/lenient engine changed the trace, so the
+//      report describes a partial or repaired recording
+//   4  resource limit hit (--deadline-ms / --max-events)
+//   5  strict-mode validation failure (error/fatal diagnostics)
 #include <cstdio>
 #include <iostream>
 
@@ -37,7 +42,20 @@ void print_usage(std::FILE* out, const char* prog) {
       "                  LOCK's on-path time\n"
       "  --salvage       recover a torn/crashed recording: keep the intact\n"
       "                  chunks, repair the event stream, report what was\n"
-      "                  lost (exit code 3 if the recovery was lossy)\n",
+      "                  lost (exit code 3 if the recovery was lossy)\n"
+      "  --strictness M  how to react to semantic violations in the trace:\n"
+      "                  strict  = refuse the trace (exit 5; default)\n"
+      "                  repair  = apply deterministic fixes and analyze\n"
+      "                  lenient = additionally drop irreparable threads\n"
+      "                  (repair/lenient exit 3 when the trace was changed)\n"
+      "  --deadline-ms N abort the analysis after N wall-clock ms (exit 4)\n"
+      "  --max-events N  refuse traces with more than N events (exit 4)\n"
+      "  --diagnostics=json\n"
+      "                  print the structured diagnostics as JSON instead\n"
+      "                  of the report\n"
+      "exit codes:\n"
+      "  0 clean  1 error  2 usage  3 lossy salvage/repair\n"
+      "  4 resource limit  5 strict-mode validation failure\n",
       prog);
 }
 
@@ -48,7 +66,8 @@ int main(int argc, char** argv) {
   try {
     cla::util::Args args(argc, argv,
                          {"top", "json", "csv", "timeline", "whatif", "phase",
-                          "threads", "profile", "salvage", "help"});
+                          "threads", "profile", "salvage", "strictness",
+                          "deadline-ms", "max-events", "diagnostics", "help"});
     if (args.has("help")) {
       print_usage(stdout, prog);
       return 0;
@@ -63,6 +82,28 @@ int main(int argc, char** argv) {
         static_cast<unsigned>(args.get_int("threads", 1));
     options.report.top_locks = static_cast<std::size_t>(args.get_int("top", 0));
     options.load.salvage = args.has("salvage");
+    if (const auto mode = args.get("strictness")) {
+      if (!cla::util::parse_strictness(*mode, options.strictness)) {
+        throw cla::util::ArgsError("invalid --strictness value '" + *mode +
+                                   "' (expected strict, repair or lenient)");
+      }
+    }
+    const std::int64_t deadline_ms = args.get_int("deadline-ms", 0);
+    const std::int64_t max_events = args.get_int("max-events", 0);
+    if (deadline_ms < 0 || max_events < 0) {
+      throw cla::util::ArgsError(
+          "--deadline-ms / --max-events must be non-negative");
+    }
+    options.limits.deadline_ms = static_cast<std::uint64_t>(deadline_ms);
+    options.limits.max_events = static_cast<std::uint64_t>(max_events);
+    bool diagnostics_json = false;
+    if (const auto fmt = args.get("diagnostics")) {
+      if (*fmt != "json") {
+        throw cla::util::ArgsError("invalid --diagnostics value '" + *fmt +
+                                   "' (only 'json' is supported)");
+      }
+      diagnostics_json = true;
+    }
 
     bool lossy_salvage = false;
     cla::Pipeline pipeline(options);
@@ -96,7 +137,12 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(dropped));
     }
 
-    if (args.has("json")) {
+    if (diagnostics_json) {
+      // Run the full analysis (fills the sink via validate/repair), then
+      // emit the machine-readable diagnostics instead of the report.
+      pipeline.result();
+      std::cout << pipeline.diagnostics_json();
+    } else if (args.has("json")) {
       std::cout << pipeline.report_json();
     } else if (args.has("csv")) {
       std::cout << cla::analysis::type1_table(pipeline.result(),
@@ -126,11 +172,23 @@ int main(int argc, char** argv) {
     if (args.has("profile")) {
       std::fputs(pipeline.profile().to_string().c_str(), stderr);
     }
-    return lossy_salvage ? 3 : 0;
+    if (pipeline.repaired()) {
+      std::fprintf(stderr,
+                   "cla-analyze: warning: the trace was repaired "
+                   "(--strictness=%s); results are approximate\n",
+                   std::string(cla::util::to_string(options.strictness)).c_str());
+    }
+    return (lossy_salvage || pipeline.repaired()) ? 3 : 0;
   } catch (const cla::util::ArgsError& e) {
     std::fprintf(stderr, "%s: %s\n", prog, e.what());
     print_usage(stderr, prog);
     return 2;
+  } catch (const cla::util::ResourceLimitError& e) {
+    std::fprintf(stderr, "cla-analyze: resource limit: %s\n", e.what());
+    return 4;
+  } catch (const cla::util::ValidationError& e) {
+    std::fprintf(stderr, "cla-analyze: validation failed: %s\n", e.what());
+    return 5;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cla-analyze: %s\n", e.what());
     return 1;

@@ -37,12 +37,12 @@ std::uint64_t CriticalPath::overlap(trace::ThreadId tid, std::uint64_t begin,
 CriticalPath compute_critical_path(const TraceIndex& index,
                                    const WakeupResolver& resolver,
                                    const util::Deadline* deadline) {
-  const trace::Trace& t = index.trace();
+  const trace::TraceView& t = index.view();
   CriticalPath path;
   path.last_thread = index.last_finished_thread();
 
   trace::ThreadId tid = path.last_thread;
-  auto events = t.thread_events(tid);
+  trace::EventsView events = t.thread_events(tid);
   std::uint32_t idx = static_cast<std::uint32_t>(events.size() - 1);
   std::uint64_t cur_time = events[idx].ts;
   path.end_ts = cur_time;

@@ -44,8 +44,8 @@ struct ThreadScan {
   std::map<trace::ObjectId, std::vector<CondSignalRecord>> signals;
 };
 
-ThreadScan scan_thread(const trace::Trace& t, trace::ThreadId tid) {
-  const auto events = t.thread_events(tid);
+ThreadScan scan_thread(const trace::TraceView& t, trace::ThreadId tid) {
+  const trace::EventsView& events = t.thread_events(tid);
   CLA_CHECK(!events.empty(), "trace thread has no events");
 
   ThreadScan scan;
@@ -203,8 +203,15 @@ ThreadScan scan_thread(const trace::Trace& t, trace::ThreadId tid) {
 
 TraceIndex::TraceIndex(const trace::Trace& t) : TraceIndex(t, nullptr) {}
 
+TraceIndex::TraceIndex(const trace::TraceView& v)
+    : TraceIndex(v, nullptr) {}
+
 TraceIndex::TraceIndex(const trace::Trace& t, util::ThreadPool* pool)
-    : trace_(&t) {
+    : TraceIndex(trace::TraceView(t), pool) {}
+
+TraceIndex::TraceIndex(const trace::TraceView& v, util::ThreadPool* pool)
+    : view_(v) {
+  const trace::TraceView& t = view_;
   const auto thread_count = static_cast<trace::ThreadId>(t.thread_count());
   threads_.resize(thread_count);
 

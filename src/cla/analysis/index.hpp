@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cla/trace/trace.hpp"
+#include "cla/trace/trace_view.hpp"
 
 namespace cla::util {
 class ThreadPool;
@@ -113,11 +114,18 @@ struct ThreadInfo {
 };
 
 /// Immutable per-primitive index over one trace.
+///
+/// The index consumes (and retains) a read-only TraceView, so it is
+/// storage-agnostic: an in-memory Trace, an mmap()ed file, and decoded
+/// v3 columns all index identically. Constructing from a Trace borrows
+/// it — the trace must outlive the index, exactly as before.
 class TraceIndex {
  public:
   explicit TraceIndex(const trace::Trace& trace);
-  /// The index keeps a reference to the trace: temporaries are rejected.
+  /// The index keeps a view of the trace: temporaries are rejected.
   explicit TraceIndex(trace::Trace&&) = delete;
+
+  explicit TraceIndex(const trace::TraceView& view);
 
   /// Pooled construction: the per-thread stream scans (the O(events) part)
   /// fan out across `pool`, then partial results merge in thread-id order
@@ -125,8 +133,11 @@ class TraceIndex {
   /// (or a pool of size 1) runs everything inline.
   TraceIndex(const trace::Trace& trace, util::ThreadPool* pool);
   TraceIndex(trace::Trace&&, util::ThreadPool*) = delete;
+  TraceIndex(const trace::TraceView& view, util::ThreadPool* pool);
 
-  const trace::Trace& trace() const noexcept { return *trace_; }
+  /// The viewed trace this index was built over (valid while the view's
+  /// backing store lives).
+  const trace::TraceView& view() const noexcept { return view_; }
 
   const std::map<trace::ObjectId, MutexIndex>& mutexes() const noexcept {
     return mutexes_;
@@ -162,7 +173,7 @@ class TraceIndex {
   static constexpr std::uint32_t npos32 = ~static_cast<std::uint32_t>(0);
 
  private:
-  const trace::Trace* trace_;
+  trace::TraceView view_;
   std::map<trace::ObjectId, MutexIndex> mutexes_;
   std::map<trace::ObjectId, BarrierIndex> barriers_;
   std::map<trace::ObjectId, CondIndex> conds_;

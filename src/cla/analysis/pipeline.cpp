@@ -100,6 +100,23 @@ void Pipeline::reset_stages() {
 }
 
 Pipeline& Pipeline::load_file(const std::string& path) {
+  if (!options_.load.salvage && options_.load.use_mmap &&
+      trace::mmap_supported()) {
+    const std::uint64_t start = util::now_ns();
+    reset_stages();
+    salvage_report_.reset();
+    const util::Deadline& dl = deadline();
+    auto mapped = std::make_unique<trace::MappedTrace>(path);
+    dl.check("load");
+    check_event_budget(mapped->view().event_count());
+    owned_trace_.reset();
+    trace_ = nullptr;
+    mapped_ = std::move(mapped);
+    view_ = mapped_->view();
+    has_trace_ = true;
+    record(Stage::Load, start);
+    return *this;
+  }
   std::ifstream in(path, std::ios::binary);
   CLA_CHECK(in.is_open(), "cannot open trace file: " + path);
   return load_stream(in);
@@ -116,6 +133,7 @@ Pipeline& Pipeline::load_stream(std::istream& in) {
     salvage_report_ = std::move(salvaged.report);
     owned_trace_ = std::move(salvaged.trace);
     trace_ = &*owned_trace_;
+    adopt_trace_storage();
     record(Stage::Load, start);
     return *this;
   }
@@ -151,6 +169,7 @@ Pipeline& Pipeline::load_stream(std::istream& in) {
   loaded.set_dropped_events(reader.dropped_events());
   owned_trace_ = std::move(loaded);
   trace_ = &*owned_trace_;
+  adopt_trace_storage();
   record(Stage::Load, start);
   return *this;
 }
@@ -160,6 +179,7 @@ Pipeline& Pipeline::use_trace(trace::Trace&& trace) {
   salvage_report_.reset();
   owned_trace_ = std::move(trace);
   trace_ = &*owned_trace_;
+  adopt_trace_storage();
   return *this;
 }
 
@@ -168,22 +188,47 @@ Pipeline& Pipeline::use_trace(const trace::Trace& trace) {
   salvage_report_.reset();
   owned_trace_.reset();
   trace_ = &trace;
+  adopt_trace_storage();
   return *this;
 }
 
-const trace::Trace& Pipeline::trace() const {
-  CLA_CHECK(trace_ != nullptr,
+void Pipeline::adopt_trace_storage() {
+  mapped_.reset();
+  view_ = trace::TraceView(*trace_);
+  has_trace_ = true;
+}
+
+trace::Trace& Pipeline::materialize_owned() {
+  if (!owned_trace_.has_value() || trace_ != &*owned_trace_) {
+    owned_trace_ = trace_ != nullptr ? *trace_ : view_.materialize();
+    trace_ = &*owned_trace_;
+  }
+  return *owned_trace_;
+}
+
+const trace::TraceView& Pipeline::view() const {
+  CLA_CHECK(has_trace_,
             "pipeline has no trace: call load_file/load_stream/use_trace first");
+  return view_;
+}
+
+const trace::Trace& Pipeline::trace() {
+  CLA_CHECK(has_trace_,
+            "pipeline has no trace: call load_file/load_stream/use_trace first");
+  // In mmap mode the first call materializes an owned copy; the mapping
+  // (and any views into it) stays alive, so existing stage results keep
+  // their backing store.
+  if (trace_ == nullptr) materialize_owned();
   return *trace_;
 }
 
 Pipeline& Pipeline::validate_stage() {
   if (validated_) return *this;
-  const trace::Trace& t = trace();
+  const trace::TraceView& v = view();
   const std::uint64_t start = util::now_ns();
   deadline().check("validate");
-  check_event_budget(t.event_count());
-  const bool clean = trace::validate_trace(t, sink_);
+  check_event_budget(v.event_count());
+  const bool clean = trace::validate_trace(v, sink_);
   if (options_.strictness == util::Strictness::Strict) {
     if (!clean) {
       record(Stage::Validate, start);
@@ -203,16 +248,15 @@ Pipeline& Pipeline::validate_stage() {
         "trace is irreparable: " +
         std::to_string(sink_.fatal_count()) + " fatal diagnostic(s)");
   } else if (!sink_.empty()) {
-    // Repair / lenient: fix the trace on a private copy (a borrowed trace
-    // is never mutated) and log every fix. A diagnostics-free trace skips
-    // this entirely, so clean inputs analyze byte-identically to strict.
-    if (!owned_trace_.has_value()) {
-      owned_trace_ = t;
-      trace_ = &*owned_trace_;
-    }
-    const trace::RepairSummary summary = trace::repair_trace_semantics(
-        *owned_trace_, options_.strictness, &sink_);
+    // Repair / lenient: fix the trace on a private copy (a borrowed or
+    // mapped trace is never mutated) and log every fix. A diagnostics-free
+    // trace skips this entirely, so clean inputs analyze byte-identically
+    // to strict — and the mmap fast path stays zero-copy.
+    trace::Trace& fixed = materialize_owned();
+    const trace::RepairSummary summary =
+        trace::repair_trace_semantics(fixed, options_.strictness, &sink_);
     repaired_ = summary.changed();
+    adopt_trace_storage();
   }
   validated_ = true;
   record(Stage::Validate, start);
@@ -222,13 +266,13 @@ Pipeline& Pipeline::validate_stage() {
 Pipeline& Pipeline::index_stage() {
   if (index_.has_value()) return *this;
   if (options_.validate) validate_stage();
-  // Bind the trace only after validation: the repair path may have moved
+  // Bind the view only after validation: the repair path may have moved
   // the analysis onto a private fixed-up copy.
-  const trace::Trace& t = trace();
+  const trace::TraceView& v = view();
   const std::uint64_t start = util::now_ns();
   deadline().check("index");
-  check_event_budget(t.event_count());
-  index_.emplace(t, pool());
+  check_event_budget(v.event_count());
+  index_.emplace(v, pool());
   record(Stage::Index, start);
   return *this;
 }

@@ -31,6 +31,7 @@
 #include "cla/analysis/stats.hpp"
 #include "cla/trace/salvage.hpp"
 #include "cla/trace/trace.hpp"
+#include "cla/trace/trace_view.hpp"
 #include "cla/util/diagnostics.hpp"
 #include "cla/util/guard.hpp"
 
@@ -48,7 +49,7 @@ struct ExecutionPolicy {
   unsigned num_threads = 1;
 };
 
-/// Load-stage knobs (streaming .clat reader).
+/// Load-stage knobs (streaming .clat reader / mmap view).
 struct LoadOptions {
   /// Events per chunk handed from the streaming reader to the trace.
   std::size_t chunk_events = 1u << 16;
@@ -56,6 +57,12 @@ struct LoadOptions {
   /// a torn/crashed recording, repair the event stream so validate()
   /// passes, and expose the SalvageReport via Pipeline::salvage_report().
   bool salvage = false;
+  /// load_file(): mmap the file and analyze it in place (zero-copy; v3
+  /// chunks decode once into columns). Falls back to the copying stream
+  /// reader on platforms without mmap; salvage always takes the copying
+  /// path (it must mutate). Disable to force the copying reader (the
+  /// bench's comparison baseline).
+  bool use_mmap = true;
 };
 
 /// One coherent options aggregate for the whole pipeline, with per-stage
@@ -122,7 +129,11 @@ class Pipeline {
 
   // --- load stage (one of; each replaces any previously loaded trace) ---
 
-  /// Streams a .clat file in chunks (no full intermediate copy).
+  /// Loads a .clat file. By default (options.load.use_mmap) the file is
+  /// mmap'd and analyzed in place through a TraceView — zero-copy for v2
+  /// event chunks, a single columnar decode for v3 — falling back to the
+  /// chunked streaming reader where mmap is unavailable or salvage is
+  /// requested.
   Pipeline& load_file(const std::string& path);
   /// Same, from an already-open stream.
   Pipeline& load_stream(std::istream& in);
@@ -152,7 +163,12 @@ class Pipeline {
 
   // --- outputs (run any outstanding prerequisite stages) ---
 
-  const trace::Trace& trace() const;
+  /// The loaded trace as a storage-agnostic view (the analysis input).
+  const trace::TraceView& view() const;
+  /// The loaded trace as an owned, mutable-representation Trace. In mmap
+  /// mode the first call materializes a copy (the view stays cheap); use
+  /// view() unless a Trace is specifically required.
+  const trace::Trace& trace();
   const TraceIndex& trace_index();
   const CriticalPath& critical_path();
   const AnalysisResult& result();
@@ -192,10 +208,19 @@ class Pipeline {
   /// Throws ResourceLimitError if `event_count` exceeds the event budget.
   void check_event_budget(std::uint64_t event_count) const;
 
+  /// Rebinds view_ (and drops any mmap) onto an owned/borrowed Trace.
+  void adopt_trace_storage();
+  /// Ensures owned_trace_ holds a mutable copy of the current view (the
+  /// repair path and trace() need one in mmap mode).
+  trace::Trace& materialize_owned();
+
   Options options_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::optional<trace::Trace> owned_trace_;
   const trace::Trace* trace_ = nullptr;
+  std::unique_ptr<trace::MappedTrace> mapped_;
+  trace::TraceView view_;
+  bool has_trace_ = false;
   bool validated_ = false;
   bool repaired_ = false;
   bool deadline_armed_ = false;

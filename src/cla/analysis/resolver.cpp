@@ -41,10 +41,10 @@ EventRef match_cond_signal(const CondIndex& ci, const CondWaitRecord& wait) {
 }  // namespace
 
 WakeupResolver::WakeupResolver(const TraceIndex& index) {
-  const trace::Trace& t = index.trace();
+  const trace::TraceView& t = index.view();
   per_thread_.resize(t.thread_count());
   for (trace::ThreadId tid = 0; tid < t.thread_count(); ++tid) {
-    const auto events = t.thread_events(tid);
+    const trace::EventsView& events = t.thread_events(tid);
     per_thread_[tid].resize(events.size());
     for (std::uint32_t i = 0; i < events.size(); ++i) {
       const Event& e = events[i];

@@ -24,7 +24,7 @@ AnalysisResult compute_stats(const TraceIndex& index, CriticalPath path,
 AnalysisResult compute_stats(const TraceIndex& index, CriticalPath path,
                              const StatsOptions& options,
                              util::ThreadPool* pool) {
-  const trace::Trace& t = index.trace();
+  const trace::TraceView& t = index.view();
   AnalysisResult result;
   result.completion_time = path.length();
 

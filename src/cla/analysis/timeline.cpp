@@ -42,7 +42,7 @@ void paint(std::string& lane, std::size_t width, std::uint64_t t0,
 
 std::string render_timeline(const TraceIndex& index, const CriticalPath& path,
                             const TimelineOptions& options) {
-  const trace::Trace& t = index.trace();
+  const trace::TraceView& t = index.view();
   const std::uint64_t t0 = t.start_ts();
   const std::uint64_t t1 = t.end_ts();
   const std::size_t width = std::max<std::size_t>(options.width, 10);
@@ -90,7 +90,7 @@ std::string render_timeline(const TraceIndex& index, const CriticalPath& path,
 }
 
 std::string timeline_csv(const TraceIndex& index, const CriticalPath& path) {
-  const trace::Trace& t = index.trace();
+  const trace::TraceView& t = index.view();
   std::ostringstream out;
   out << "thread,kind,begin_ts,end_ts,object,on_critical_path\n";
   for (const auto& [id, mi] : index.mutexes()) {

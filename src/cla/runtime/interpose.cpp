@@ -12,9 +12,10 @@
 //
 // Crash resilience: recording runs in the Recorder's streaming mode —
 // per-thread bounded buffers spill to $CLA_TRACE_FILE (default
-// cla_trace.clat) as checksummed `.clat` v2 chunks while the app runs, so
-// the trace survives the process. $CLA_BUFFER_EVENTS bounds each buffer
-// half (default 16384 events). Fatal signals (SIGSEGV, SIGABRT, SIGBUS,
+// cla_trace.clat) as checksummed `.clat` chunks while the app runs, so
+// the trace survives the process. $CLA_TRACE_FORMAT picks the chunk
+// encoding (v2 raw, v3 compact varint); $CLA_BUFFER_EVENTS bounds each
+// buffer half (default 16384 events). Fatal signals (SIGSEGV, SIGABRT, SIGBUS,
 // SIGTERM) and _exit/_Exit trigger an async-signal-safe best-effort spill
 // of the still-buffered tail before the process dies; a torn final chunk
 // is dropped by `cla-analyze --salvage`'s CRC check.
@@ -39,6 +40,7 @@
 
 #include "cla/runtime/recorder.hpp"
 #include "cla/trace/trace_io.hpp"
+#include "cla/util/clock.hpp"
 
 namespace {
 
@@ -67,6 +69,9 @@ struct RealPthread {
       resolve<int (*)(pthread_mutex_t*)>("pthread_mutex_lock");
   int (*mutex_trylock)(pthread_mutex_t*) =
       resolve<int (*)(pthread_mutex_t*)>("pthread_mutex_trylock");
+  int (*mutex_timedlock)(pthread_mutex_t*, const struct timespec*) =
+      resolve<int (*)(pthread_mutex_t*, const struct timespec*)>(
+          "pthread_mutex_timedlock");
   int (*mutex_unlock)(pthread_mutex_t*) =
       resolve<int (*)(pthread_mutex_t*)>("pthread_mutex_unlock");
   int (*barrier_init)(pthread_barrier_t*, const pthread_barrierattr_t*,
@@ -207,6 +212,23 @@ const char* trace_path() {
   return path != nullptr ? path : "cla_trace.clat";
 }
 
+// $CLA_TRACE_FORMAT selects the streamed `.clat` version: v2 (raw chunks,
+// default) or v3 (compact varint chunks). v1 has no chunk framing and
+// cannot be streamed.
+std::uint32_t trace_format_from_env() {
+  const char* raw = std::getenv("CLA_TRACE_FORMAT");
+  if (raw == nullptr || *raw == '\0') return cla::trace::kTraceVersion;
+  std::uint32_t version = cla::trace::kTraceVersion;
+  if (!cla::trace::parse_trace_format(raw, version) ||
+      version == cla::trace::kTraceVersionLegacy) {
+    std::fprintf(stderr,
+                 "cla_interpose: ignoring CLA_TRACE_FORMAT=%s (want v2|v3)\n",
+                 raw);
+    return cla::trace::kTraceVersion;
+  }
+  return version;
+}
+
 struct FlushAtExit {
   bool streaming = false;
 
@@ -218,7 +240,8 @@ struct FlushAtExit {
     (void)real();
     Recorder& recorder = Recorder::instance();
     try {
-      recorder.start_streaming(trace_path(), buffer_events_from_env());
+      recorder.start_streaming(trace_path(), buffer_events_from_env(),
+                               trace_format_from_env());
       streaming = true;
     } catch (const std::exception& e) {
       std::fprintf(stderr,
@@ -284,6 +307,15 @@ void* start_trampoline(void* raw) {
   return result;
 }
 
+// Acquisition events are recorded only once the real call reports the
+// lock is actually held (rc == 0, or EOWNERDEAD: a robust mutex was
+// acquired and the caller must recover it). A failed lock (EDEADLK on an
+// error-checking mutex, EINVAL, ETIMEDOUT, ...) records nothing, so lock
+// pairing in the trace can't be corrupted by error paths. The wait-start
+// timestamp is taken before the call and back-dated via record_at, so
+// contended waits still measure from arrival, not from acquisition.
+bool lock_acquired(int rc) { return rc == 0 || rc == EOWNERDEAD; }
+
 }  // namespace
 
 // ---- interposed entry points --------------------------------------------
@@ -295,19 +327,61 @@ int pthread_mutex_lock(pthread_mutex_t* mutex) {
   if (real().mutex_lock == nullptr) return ENOSYS;
   if (!guard.armed) return real().mutex_lock(mutex);
   Recorder& recorder = Recorder::instance();
-  recorder.record(EventType::MutexAcquire, oid(mutex));
+  const std::uint64_t wait_start = cla::util::now_ns();
+  bool contended = false;
+  int rc;
+  if (real().mutex_trylock != nullptr) {
+    // Contention probe. EBUSY marks the section contended; any other
+    // trylock failure (EINVAL, EAGAIN recursion limit, ...) proves
+    // nothing about contention, so both fall through to the real
+    // blocking lock and the application sees its verdict.
+    rc = real().mutex_trylock(mutex);
+    if (rc == EBUSY) contended = true;
+    if (!lock_acquired(rc)) rc = real().mutex_lock(mutex);
+  } else {
+    rc = real().mutex_lock(mutex);
+  }
+  if (lock_acquired(rc)) {
+    recorder.record_at(EventType::MutexAcquire, wait_start, oid(mutex));
+    recorder.record(EventType::MutexAcquired, oid(mutex), contended ? 1 : 0);
+  }
+  return rc;
+}
+
+int pthread_mutex_trylock(pthread_mutex_t* mutex) {
+  HookGuard guard;
+  if (real().mutex_trylock == nullptr) return ENOSYS;
+  if (!guard.armed) return real().mutex_trylock(mutex);
+  Recorder& recorder = Recorder::instance();
+  const std::uint64_t wait_start = cla::util::now_ns();
+  const int rc = real().mutex_trylock(mutex);
+  if (lock_acquired(rc)) {
+    recorder.record_at(EventType::MutexAcquire, wait_start, oid(mutex));
+    recorder.record(EventType::MutexAcquired, oid(mutex), 0);
+  }
+  return rc;
+}
+
+int pthread_mutex_timedlock(pthread_mutex_t* mutex,
+                            const struct timespec* abstime) {
+  HookGuard guard;
+  if (real().mutex_timedlock == nullptr) return ENOSYS;
+  if (!guard.armed) return real().mutex_timedlock(mutex, abstime);
+  Recorder& recorder = Recorder::instance();
+  const std::uint64_t wait_start = cla::util::now_ns();
   bool contended = false;
   int rc;
   if (real().mutex_trylock != nullptr) {
     rc = real().mutex_trylock(mutex);
-    if (rc == EBUSY) {
-      contended = true;
-      rc = real().mutex_lock(mutex);
-    }
+    if (rc == EBUSY) contended = true;
+    if (!lock_acquired(rc)) rc = real().mutex_timedlock(mutex, abstime);
   } else {
-    rc = real().mutex_lock(mutex);
+    rc = real().mutex_timedlock(mutex, abstime);
   }
-  recorder.record(EventType::MutexAcquired, oid(mutex), contended ? 1 : 0);
+  if (lock_acquired(rc)) {
+    recorder.record_at(EventType::MutexAcquire, wait_start, oid(mutex));
+    recorder.record(EventType::MutexAcquired, oid(mutex), contended ? 1 : 0);
+  }
   return rc;
 }
 
@@ -316,7 +390,9 @@ int pthread_mutex_unlock(pthread_mutex_t* mutex) {
   if (real().mutex_unlock == nullptr) return ENOSYS;
   if (!guard.armed) return real().mutex_unlock(mutex);
   const int rc = real().mutex_unlock(mutex);
-  Recorder::instance().record(EventType::MutexReleased, oid(mutex));
+  // EPERM (not the owner) and friends release nothing: recording would
+  // fabricate an unlock the analyzer pairs with someone else's hold.
+  if (rc == 0) Recorder::instance().record(EventType::MutexReleased, oid(mutex));
   return rc;
 }
 

@@ -62,7 +62,12 @@ Recorder& Recorder::instance() {
   return recorder;
 }
 
-Recorder::Recorder() { epoch_.store(next_binding_epoch(), std::memory_order_relaxed); }
+Recorder::Recorder() {
+  // Calibrate the TSC up front: the lazy path would charge the ~200µs
+  // busy window to the first critical section that takes a timestamp.
+  util::calibrate_clock();
+  epoch_.store(next_binding_epoch(), std::memory_order_relaxed);
+}
 
 Recorder::~Recorder() { finish_streaming(); }
 
@@ -313,11 +318,12 @@ void Recorder::reset() {
 // ---- streaming mode ------------------------------------------------------
 
 void Recorder::start_streaming(const std::string& path,
-                               std::size_t buffer_events) {
+                               std::size_t buffer_events,
+                               std::uint32_t version) {
   std::lock_guard<std::mutex> lock(mutex_);
   CLA_CHECK(!streaming_.load(std::memory_order_acquire),
             "recorder is already streaming");
-  sink_ = std::make_unique<trace::ChunkedTraceWriter>(path);  // may throw
+  sink_ = std::make_unique<trace::ChunkedTraceWriter>(path, version);  // may throw
   stream_capacity_ = std::clamp<std::size_t>(buffer_events, 64, 1u << 22);
   flusher_stop_.store(false, std::memory_order_release);
   streaming_.store(true, std::memory_order_release);

@@ -102,12 +102,14 @@ class Recorder {
 
   // ---- streaming (crash-resilient) mode ----
 
-  /// Switches to streaming mode: opens `path` as a chunked v2 trace and
-  /// starts the flusher thread. `buffer_events` bounds each half of every
-  /// thread's double buffer (clamped to [64, 1<<22]). Must be called
-  /// before any thread registers events to be streamed; throws
-  /// cla::util::Error if the file cannot be opened.
-  void start_streaming(const std::string& path, std::size_t buffer_events);
+  /// Switches to streaming mode: opens `path` as a chunked trace (v2 raw
+  /// chunks or compact v3 per `version`) and starts the flusher thread.
+  /// `buffer_events` bounds each half of every thread's double buffer
+  /// (clamped to [64, 1<<22]). Must be called before any thread registers
+  /// events to be streamed; throws cla::util::Error if the file cannot be
+  /// opened or `version` is not a chunked format.
+  void start_streaming(const std::string& path, std::size_t buffer_events,
+                       std::uint32_t version = trace::kTraceVersion);
 
   bool streaming() const noexcept {
     return streaming_.load(std::memory_order_acquire);

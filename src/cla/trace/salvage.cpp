@@ -210,6 +210,23 @@ void salvage_v2(BufReader& in, Trace& trace, SalvageReport& report) {
         }
         break;
       }
+      case ChunkKind::EventsV3: {
+        ThreadId tid = 0;
+        std::uint32_t count = 0;
+        intact = peek_events_v3(payload, payload_bytes, tid, count);
+        if (intact) {
+          // The CRC already passed, so a decode failure means a writer
+          // bug, not a torn file — but salvage stays fail-soft either way
+          // and just drops the chunk.
+          std::vector<Event> events(count);
+          intact = decode_events_v3(payload, payload_bytes, events.data());
+          if (intact) {
+            trace.append_thread_events(tid, events);
+            report.events_recovered += count;
+          }
+        }
+        break;
+      }
       case ChunkKind::Meta: {
         std::uint32_t flags = 0;
         intact = body.try_get(report.runtime_dropped_events) &&
@@ -256,8 +273,7 @@ SalvageResult salvage_trace(std::istream& in) {
   CLA_CHECK(reader.try_get_bytes(magic, 4) &&
                 std::memcmp(magic, kTraceMagic, 4) == 0,
             "not a CLA trace (bad magic)");
-  CLA_CHECK(reader.try_get(version) &&
-                (version == kTraceVersion || version == kTraceVersionLegacy),
+  CLA_CHECK(reader.try_get(version) && is_supported_trace_version(version),
             "unsupported trace version " + std::to_string(version));
 
   SalvageResult out;

@@ -6,17 +6,24 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstddef>
 #include <cstring>
 #include <fstream>
 #include <limits>
 #include <ostream>
 
+#include "cla/trace/varint.hpp"
 #include "cla/util/crc32.hpp"
 #include "cla/util/error.hpp"
 
 namespace cla::trace {
 
 namespace {
+
+// Bounded per-chunk event slice shared by the v2 and v3 writers: salvage
+// after a mid-file tear loses at most this many events of one thread, and
+// readers stay bounded.
+constexpr std::size_t kEventsPerChunk = 1u << 16;
 
 template <typename T>
 void put(std::ostream& out, const T& value) {
@@ -91,7 +98,8 @@ void write_trace_v1(const Trace& trace, std::ostream& out) {
   }
 }
 
-void write_trace_v2(const Trace& trace, std::ostream& out) {
+void write_trace_chunked(const Trace& trace, std::ostream& out,
+                         std::uint32_t version) {
   if (!trace.object_names().empty()) {
     std::string payload;
     append_raw(payload, static_cast<std::uint32_t>(trace.object_names().size()));
@@ -110,20 +118,24 @@ void write_trace_v2(const Trace& trace, std::ostream& out) {
     }
     put_chunk(out, ChunkKind::ThreadNames, payload);
   }
-  // One Events chunk per bounded slice so salvage after a mid-file tear
-  // loses at most kSlice events of one thread, and readers stay bounded.
-  constexpr std::size_t kSlice = 1u << 16;
+  std::string payload;
   for (ThreadId tid = 0; tid < trace.thread_count(); ++tid) {
     const auto events = trace.thread_events(tid);
-    for (std::size_t begin = 0; begin < events.size(); begin += kSlice) {
-      const std::size_t n = std::min(kSlice, events.size() - begin);
-      std::string payload;
-      payload.reserve(8 + n * sizeof(Event));
-      append_raw(payload, tid);
-      append_raw(payload, static_cast<std::uint32_t>(n));
-      payload.append(reinterpret_cast<const char*>(events.data() + begin),
-                     n * sizeof(Event));
-      put_chunk(out, ChunkKind::Events, payload);
+    for (std::size_t begin = 0; begin < events.size();
+         begin += kEventsPerChunk) {
+      const std::size_t n = std::min(kEventsPerChunk, events.size() - begin);
+      payload.clear();
+      if (version == kTraceVersionV3) {
+        encode_events_v3(tid, events.data() + begin, n, payload);
+        put_chunk(out, ChunkKind::EventsV3, payload);
+      } else {
+        payload.reserve(8 + n * sizeof(Event));
+        append_raw(payload, tid);
+        append_raw(payload, static_cast<std::uint32_t>(n));
+        payload.append(reinterpret_cast<const char*>(events.data() + begin),
+                       n * sizeof(Event));
+        put_chunk(out, ChunkKind::Events, payload);
+      }
     }
   }
   std::string meta;
@@ -132,17 +144,128 @@ void write_trace_v2(const Trace& trace, std::ostream& out) {
   put_chunk(out, ChunkKind::Meta, meta);
 }
 
+// Strided v3 field-group decode: one core serves the AoS (stride 32 into
+// Event fields) and SoA (stride = element size) callers. memcpy stores
+// keep the core alignment-agnostic.
+bool decode_events_v3_strided(const void* payload, std::size_t bytes,
+                              std::uint32_t count,                      //
+                              unsigned char* ts, std::size_t ts_stride,  //
+                              unsigned char* object, std::size_t object_stride,
+                              unsigned char* arg, std::size_t arg_stride,
+                              unsigned char* type, std::size_t type_stride) {
+  VarintReader r{static_cast<const unsigned char*>(payload) + 8, bytes - 8, 0};
+  std::uint64_t v = 0;
+  std::uint64_t prev = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!r.get(v)) return false;
+    prev += static_cast<std::uint64_t>(zigzag_decode(v));
+    std::memcpy(ts + i * ts_stride, &prev, 8);
+  }
+  prev = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!r.get(v)) return false;
+    prev += static_cast<std::uint64_t>(zigzag_decode(v));
+    std::memcpy(object + i * object_stride, &prev, 8);
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!r.get(v)) return false;
+    const std::uint64_t raw_arg = v - 1;  // 0 wraps back to kNoArg
+    std::memcpy(arg + i * arg_stride, &raw_arg, 8);
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!r.get(v)) return false;
+    if (v > std::numeric_limits<std::uint16_t>::max()) return false;
+    const std::uint16_t raw_type = static_cast<std::uint16_t>(v);
+    std::memcpy(type + i * type_stride, &raw_type, 2);
+  }
+  return r.remaining() == 0;
+}
+
 }  // namespace
 
+// ---- EventsV3 chunk codec ------------------------------------------------
+
+void encode_events_v3(ThreadId tid, const Event* events, std::size_t count,
+                      std::string& payload) {
+  if (count == 0) return;
+  CLA_CHECK(count <= std::numeric_limits<std::uint32_t>::max(),
+            "events chunk too large for v3 encoding");
+  append_raw(payload, tid);
+  append_raw(payload, static_cast<std::uint32_t>(count));
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    put_varint(payload,
+               zigzag_encode(static_cast<std::int64_t>(events[i].ts - prev)));
+    prev = events[i].ts;
+  }
+  prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    put_varint(payload, zigzag_encode(
+                            static_cast<std::int64_t>(events[i].object - prev)));
+    prev = events[i].object;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    put_varint(payload, events[i].arg + 1);  // kNoArg wraps to 0
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    put_varint(payload, static_cast<std::uint64_t>(events[i].type));
+  }
+}
+
+bool peek_events_v3(const void* payload, std::size_t bytes, ThreadId& tid,
+                    std::uint32_t& count) {
+  if (bytes < 8) return false;
+  const auto* p = static_cast<const unsigned char*>(payload);
+  std::memcpy(&tid, p, 4);
+  std::memcpy(&count, p + 4, 4);
+  if (tid > (1u << 20)) return false;
+  // Every event costs at least one varint byte per field group, so a
+  // count the payload cannot physically hold is corruption, not a huge
+  // allocation request.
+  return bytes - 8 >= 4ull * count;
+}
+
+bool decode_events_v3(const void* payload, std::size_t bytes, std::uint64_t* ts,
+                      ObjectId* object, std::uint64_t* arg,
+                      std::uint16_t* type) {
+  ThreadId tid = 0;
+  std::uint32_t count = 0;
+  if (!peek_events_v3(payload, bytes, tid, count)) return false;
+  return decode_events_v3_strided(
+      payload, bytes, count, reinterpret_cast<unsigned char*>(ts), 8,
+      reinterpret_cast<unsigned char*>(object), 8,
+      reinterpret_cast<unsigned char*>(arg), 8,
+      reinterpret_cast<unsigned char*>(type), 2);
+}
+
+bool decode_events_v3(const void* payload, std::size_t bytes, Event* out) {
+  ThreadId tid = 0;
+  std::uint32_t count = 0;
+  if (!peek_events_v3(payload, bytes, tid, count)) return false;
+  auto* base = reinterpret_cast<unsigned char*>(out);
+  if (!decode_events_v3_strided(payload, bytes, count,              //
+                                base + offsetof(Event, ts), sizeof(Event),
+                                base + offsetof(Event, object), sizeof(Event),
+                                base + offsetof(Event, arg), sizeof(Event),
+                                base + offsetof(Event, type), sizeof(Event))) {
+    return false;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out[i].reserved = 0;
+    out[i].tid = tid;
+  }
+  return true;
+}
+
 void write_trace(const Trace& trace, std::ostream& out, std::uint32_t version) {
-  CLA_CHECK(version == kTraceVersion || version == kTraceVersionLegacy,
+  CLA_CHECK(is_supported_trace_version(version),
             "unsupported trace version " + std::to_string(version));
   out.write(kTraceMagic, sizeof kTraceMagic);
   put(out, version);
   if (version == kTraceVersionLegacy) {
     write_trace_v1(trace, out);
   } else {
-    write_trace_v2(trace, out);
+    write_trace_chunked(trace, out, version);
   }
   CLA_CHECK(out.good(), "failed writing trace stream");
 }
@@ -158,14 +281,23 @@ void write_trace_file(const Trace& trace, const std::string& path,
 
 // ---- ChunkedTraceWriter --------------------------------------------------
 
-ChunkedTraceWriter::ChunkedTraceWriter(const std::string& path) {
+ChunkedTraceWriter::ChunkedTraceWriter(const std::string& path,
+                                       std::uint32_t version)
+    : version_(version) {
+  CLA_CHECK(version == kTraceVersion || version == kTraceVersionV3,
+            "ChunkedTraceWriter needs a chunk-framed version (2 or 3), got " +
+                std::to_string(version));
+  if (version_ == kTraceVersionV3) {
+    // All allocation happens here, up front: write_events must stay
+    // allocation-free to remain async-signal-safe.
+    v3_scratch_.reserve(events_v3_max_payload(kEventsPerChunk));
+  }
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   CLA_CHECK(fd_ >= 0, "cannot open trace file for writing: " + path + ": " +
                           std::strerror(errno));
   char preamble[8];
   std::memcpy(preamble, kTraceMagic, 4);
-  const std::uint32_t version = kTraceVersion;
-  std::memcpy(preamble + 4, &version, 4);
+  std::memcpy(preamble + 4, &version_, 4);
   if (::write(fd_, preamble, sizeof preamble) !=
       static_cast<ssize_t>(sizeof preamble)) {
     failed_ = true;
@@ -207,15 +339,34 @@ void ChunkedTraceWriter::write_chunk(ChunkKind kind, const void* head,
   if (wrote != want) failed_ = true;
 }
 
-void ChunkedTraceWriter::write_events(ThreadId tid, const Event* events,
-                                      std::size_t count) {
-  if (count == 0) return;
+void ChunkedTraceWriter::write_events_raw(ThreadId tid, const Event* events,
+                                          std::size_t count) {
   char head[8];
   const std::uint32_t n = static_cast<std::uint32_t>(count);
   std::memcpy(head, &tid, 4);
   std::memcpy(head + 4, &n, 4);
   write_chunk(ChunkKind::Events, head, sizeof head, events,
               count * sizeof(Event));
+}
+
+void ChunkedTraceWriter::write_events(ThreadId tid, const Event* events,
+                                      std::size_t count) {
+  for (std::size_t begin = 0; begin < count; begin += kEventsPerChunk) {
+    const std::size_t n = std::min(kEventsPerChunk, count - begin);
+    // v3 encoding needs the scratch buffer. Try-lock, never block: if a
+    // fatal-signal spill races the flusher thread mid-encode, the spill
+    // writes a raw v2 Events chunk instead — mixed-kind files are legal.
+    if (version_ == kTraceVersionV3 &&
+        !v3_scratch_busy_.test_and_set(std::memory_order_acquire)) {
+      v3_scratch_.clear();
+      encode_events_v3(tid, events + begin, n, v3_scratch_);
+      write_chunk(ChunkKind::EventsV3, v3_scratch_.data(), v3_scratch_.size(),
+                  nullptr, 0);
+      v3_scratch_busy_.clear(std::memory_order_release);
+    } else {
+      write_events_raw(tid, events + begin, n);
+    }
+  }
 }
 
 void ChunkedTraceWriter::write_object_name(ObjectId object,
@@ -258,9 +409,9 @@ TraceStreamReader::TraceStreamReader(std::istream& in) : in_(&in) {
   CLA_CHECK(in.good() && std::memcmp(magic, kTraceMagic, 4) == 0,
             "not a CLA trace (bad magic)");
   version_ = get<std::uint32_t>(in);
-  CLA_CHECK(version_ == kTraceVersion || version_ == kTraceVersionLegacy,
+  CLA_CHECK(is_supported_trace_version(version_),
             "unsupported trace version " + std::to_string(version_));
-  if (version_ != kTraceVersionLegacy) return;  // v2: pure chunk stream
+  if (version_ != kTraceVersionLegacy) return;  // v2/v3: pure chunk stream
 
   thread_count_ = get<std::uint32_t>(in);
   CLA_CHECK(thread_count_ <= (1u << 20), "implausible thread count in trace");
@@ -383,6 +534,25 @@ std::optional<TraceStreamReader::ThreadBlock> TraceStreamReader::next_thread_v2(
         }
         return block;
       }
+      case ChunkKind::EventsV3: {
+        ThreadBlock block;
+        std::uint32_t count;
+        CLA_CHECK(peek_events_v3(payload.data(), payload.size(), block.tid,
+                                 count),
+                  "corrupt trace: bad v3 events chunk header");
+        block.event_count = count;
+        v2_chunk_.resize(count);
+        CLA_CHECK(
+            decode_events_v3(payload.data(), payload.size(), v2_chunk_.data()),
+            "corrupt trace: bad v3 events chunk encoding");
+        v2_chunk_offset_ = 0;
+        remaining_in_block_ = count;
+        if (!v2_tids_seen_.contains(block.tid)) {
+          v2_tids_seen_[block.tid] = true;
+          ++thread_count_;
+        }
+        return block;
+      }
       case ChunkKind::Meta: {
         std::uint32_t flags;
         take(&dropped_events_, 8);
@@ -444,6 +614,27 @@ Trace read_trace_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   CLA_CHECK(in.is_open(), "cannot open trace file: " + path);
   return read_trace(in);
+}
+
+void convert_trace_file(const std::string& in_path,
+                        const std::string& out_path, std::uint32_t version) {
+  CLA_CHECK(is_supported_trace_version(version),
+            "unsupported trace version " + std::to_string(version));
+  const Trace trace = read_trace_file(in_path);
+  write_trace_file(trace, out_path, version);
+}
+
+bool parse_trace_format(std::string_view text, std::uint32_t& version) {
+  if (text == "v1" || text == "1") {
+    version = kTraceVersionLegacy;
+  } else if (text == "v2" || text == "2") {
+    version = kTraceVersion;
+  } else if (text == "v3" || text == "3") {
+    version = kTraceVersionV3;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace cla::trace

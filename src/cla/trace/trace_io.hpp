@@ -25,8 +25,25 @@
 // last-write-wins; a thread's Events chunks must appear in timestamp
 // order relative to each other (the per-thread buffers flush in order).
 //
+// v3 keeps the v2 preamble/chunk/CRC framing exactly and adds one chunk
+// kind, EventsV3 (5), holding the same per-thread event runs in a compact
+// delta/varint encoding (~4-8 bytes per event instead of 32):
+//
+//   kind 5 EventsV3: u32 tid | u32 count | four field groups, columnar:
+//     count * varint(zigzag(ts[i]     - ts[i-1]))      (ts[-1] = 0)
+//     count * varint(zigzag(object[i] - object[i-1]))  (object[-1] = 0)
+//     count * varint(arg[i] + 1)                       (kNoArg wraps to 0)
+//     count * varint(type[i])
+//
+// Deltas restart in every chunk, so each chunk stays self-contained and
+// salvage/resync semantics are identical to v2. A v3 file may also carry
+// raw kind-3 Events chunks (the async-signal-safe crash spill falls back
+// to them); readers dispatch on the chunk kind, never the file version.
+//
 // The format is what the instrumentation runtime flushes (incrementally
-// in v2) and what `cla-analyze` consumes (paper Fig. 3's trace file).
+// in v2/v3) and what `cla-analyze` consumes (paper Fig. 3's trace file).
+// `TraceStreamReader` below is the copying istream reader; the zero-copy
+// mmap path lives in trace_view.hpp and shares the chunk/varint codecs.
 #pragma once
 
 #include <atomic>
@@ -44,15 +61,17 @@ namespace cla::trace {
 inline constexpr char kTraceMagic[4] = {'C', 'L', 'A', 'T'};
 inline constexpr std::uint32_t kTraceVersion = 2;
 inline constexpr std::uint32_t kTraceVersionLegacy = 1;
+inline constexpr std::uint32_t kTraceVersionV3 = 3;
 
 inline constexpr char kChunkMagic[4] = {'C', 'L', 'C', 'H'};
 
-/// v2 chunk kinds (see format comment above).
+/// Chunk kinds (see format comment above).
 enum class ChunkKind : std::uint32_t {
   ObjectNames = 1,
   ThreadNames = 2,
   Events = 3,
   Meta = 4,
+  EventsV3 = 5,
 };
 
 /// Meta-chunk flag: the writer closed the stream deliberately (clean
@@ -63,15 +82,58 @@ inline constexpr std::uint32_t kMetaFlagCleanClose = 1u << 0;
 /// field exceeds it is treated as corruption, not a gigantic allocation.
 inline constexpr std::uint32_t kMaxChunkPayload = 1u << 26;  // 64 MiB
 
+/// Returns true for versions this library can read and write.
+constexpr bool is_supported_trace_version(std::uint32_t version) noexcept {
+  return version == kTraceVersionLegacy || version == kTraceVersion ||
+         version == kTraceVersionV3;
+}
+
+// ---- EventsV3 chunk codec ------------------------------------------------
+//
+// Shared by write_trace/ChunkedTraceWriter (encode) and by the strict
+// stream reader, the mmap TraceView loader, and salvage (decode). The
+// decoder is strictly bounds-checked and reports corruption by returning
+// false, so salvage can drop a bad chunk where the strict reader throws.
+
+/// Worst-case encoded payload size for `count` events (used to size
+/// preallocated scratch so the writer never allocates on a hot path).
+constexpr std::size_t events_v3_max_payload(std::size_t count) noexcept {
+  return 8 + count * (10 + 10 + 10 + 3);  // ts + object + arg + type varints
+}
+
+/// Appends the EventsV3 chunk payload (u32 tid | u32 count | field
+/// groups) for `events` to `payload`. Deltas start from 0, so the chunk
+/// is self-contained. Appends nothing when count == 0.
+void encode_events_v3(ThreadId tid, const Event* events, std::size_t count,
+                      std::string& payload);
+
+/// Reads the tid/count header of an EventsV3 payload. False when the
+/// payload is too short to hold the header or `count` events (each event
+/// occupies at least 4 payload bytes) or the tid/count are implausible.
+bool peek_events_v3(const void* payload, std::size_t bytes, ThreadId& tid,
+                    std::uint32_t& count);
+
+/// Decodes the field groups of an EventsV3 payload into four column
+/// arrays, each with capacity for the `count` peek_events_v3 reported.
+/// False on truncation, overlong varints, out-of-range type values, or
+/// trailing garbage; the output arrays are then unspecified.
+bool decode_events_v3(const void* payload, std::size_t bytes, std::uint64_t* ts,
+                      ObjectId* object, std::uint64_t* arg, std::uint16_t* type);
+
+/// AoS convenience over the columnar decoder: fills `out[0..count)`
+/// complete with tid and zeroed reserved field.
+bool decode_events_v3(const void* payload, std::size_t bytes, Event* out);
+
 /// Writes `trace` to a stream / file. Throws cla::util::Error on IO
 /// failure. `version` selects the on-disk format (v2 chunked by default;
-/// v1 kept for compatibility tests and old consumers).
+/// v3 for the compact varint encoding; v1 kept for compatibility tests
+/// and old consumers).
 void write_trace(const Trace& trace, std::ostream& out,
                  std::uint32_t version = kTraceVersion);
 void write_trace_file(const Trace& trace, const std::string& path,
                       std::uint32_t version = kTraceVersion);
 
-/// Incremental, crash-tolerant `.clat` v2 writer over a raw POSIX fd.
+/// Incremental, crash-tolerant `.clat` v2/v3 writer over a raw POSIX fd.
 ///
 /// Each append emits one self-contained checksummed chunk with a single
 /// writev() call, so concurrent appends (the runtime's flusher thread vs.
@@ -81,14 +143,22 @@ void write_trace_file(const Trace& trace, const std::string& path,
 /// only touch the fd, making them async-signal-safe; the name writers
 /// build small heap buffers and must not be called from a handler.
 ///
+/// In v3 mode write_events varint-encodes into a scratch buffer that is
+/// preallocated at construction and guarded by a try-lock: if a fatal
+/// signal lands while the flusher thread holds the scratch, the handler's
+/// spill falls back to a raw v2 Events chunk instead of blocking —
+/// mixed-kind files are legal, so nothing downstream notices.
+///
 /// IO errors after a successful open are recorded (ok() turns false) but
 /// never thrown: the writer is used on teardown paths where throwing
 /// would terminate the traced application.
 class ChunkedTraceWriter {
  public:
-  /// Opens (creates/truncates) `path` and writes the v2 preamble.
-  /// Throws cla::util::Error if the file cannot be opened.
-  explicit ChunkedTraceWriter(const std::string& path);
+  /// Opens (creates/truncates) `path` and writes the preamble for
+  /// `version` (2 or 3). Throws cla::util::Error if the file cannot be
+  /// opened or the version is not chunk-framed.
+  explicit ChunkedTraceWriter(const std::string& path,
+                              std::uint32_t version = kTraceVersion);
   ~ChunkedTraceWriter();
 
   ChunkedTraceWriter(const ChunkedTraceWriter&) = delete;
@@ -99,7 +169,11 @@ class ChunkedTraceWriter {
     return fd_ >= 0 && !failed_.load(std::memory_order_relaxed);
   }
 
-  /// Appends one Events chunk for `tid`. Async-signal-safe.
+  std::uint32_t version() const noexcept { return version_; }
+
+  /// Appends one Events (v2) or EventsV3 chunk for `tid`.
+  /// Async-signal-safe (v3 falls back to a raw v2 chunk under scratch
+  /// contention).
   void write_events(ThreadId tid, const Event* events, std::size_t count);
 
   /// Appends a single-entry name chunk (names stream out as they are
@@ -117,12 +191,19 @@ class ChunkedTraceWriter {
  private:
   void write_chunk(ChunkKind kind, const void* head, std::size_t head_len,
                    const void* body, std::size_t body_len);
+  void write_events_raw(ThreadId tid, const Event* events, std::size_t count);
 
   int fd_ = -1;
+  std::uint32_t version_ = kTraceVersion;
   std::atomic<bool> failed_{false};
+  // v3 encode scratch: capacity reserved up front so appends inside the
+  // reserved range never allocate (async-signal-safety), guarded by a
+  // try-lock so a handler never blocks on the flusher.
+  std::string v3_scratch_;
+  std::atomic_flag v3_scratch_busy_ = ATOMIC_FLAG_INIT;
 };
 
-/// Streaming/chunked `.clat` reader (pipeline load stage), v1 and v2.
+/// Streaming/chunked `.clat` reader (pipeline load stage), v1/v2/v3.
 ///
 /// Parses the preamble eagerly, then hands out per-thread event runs in
 /// bounded chunks so a consumer can ingest a large trace straight into
@@ -196,9 +277,18 @@ class TraceStreamReader {
   std::map<ObjectId, std::string> object_names_;
   std::map<ThreadId, std::string> thread_names_;
   std::map<ThreadId, bool> v2_tids_seen_;
-  std::vector<Event> v2_chunk_;      // current v2 Events chunk, decoded
+  std::vector<Event> v2_chunk_;      // current v2/v3 Events chunk, decoded
   std::size_t v2_chunk_offset_ = 0;  // events already handed out
 };
+
+/// Rewrites a `.clat` file in `version` (1, 2 or 3), preserving events,
+/// names and the dropped-event count. Backs `cla-analyze --convert`.
+void convert_trace_file(const std::string& in_path,
+                        const std::string& out_path, std::uint32_t version);
+
+/// Parses a user-facing format name ("v1"/"1", "v2"/"2", "v3"/"3") into a
+/// trace version; false on anything else.
+bool parse_trace_format(std::string_view text, std::uint32_t& version);
 
 /// Reads a trace back (one-shot convenience over TraceStreamReader).
 /// Throws cla::util::Error on malformed input.

@@ -1,0 +1,247 @@
+// Zero-copy, read-only view of a trace: the analysis stages' input.
+//
+// The analysis pipeline never mutates events, so it does not need the
+// owning AoS container (Trace) — it needs positional access to four
+// columns per thread: ts, object, arg, type. TraceView provides exactly
+// that through strided column accessors which uniformly describe
+//
+//   - a borrowed in-memory Trace (AoS, stride = sizeof(Event)),
+//   - event arrays mmap()ed straight out of a `.clat` v1/v2 file
+//     (AoS over file bytes, no alignment assumed — loads are memcpy),
+//   - SoA columns decoded from compact `.clat` v3 chunks
+//     (stride = element size).
+//
+// Lifetime/ownership rules (also DESIGN.md §10): a TraceView owns
+// nothing. It stays valid while its backing store lives and is not
+// modified — the Trace it borrows, or the MappedTrace that produced it
+// (which keeps the file mapping and any decoded columns alive). Paths
+// that must mutate (repair, phase clipping) call materialize() to get a
+// private Trace copy and drop the view.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cla/trace/event.hpp"
+
+namespace cla::trace {
+
+class Trace;
+
+/// True when this platform can mmap trace files (the zero-copy load
+/// path); false means callers should use the copying stream reader.
+bool mmap_supported() noexcept;
+
+/// Strided read-only column. `operator[]` loads via memcpy, so the base
+/// pointer may have any alignment (file bytes at arbitrary offsets).
+template <typename T>
+class Column {
+ public:
+  Column() = default;
+  Column(const void* base, std::size_t stride) noexcept
+      : base_(static_cast<const unsigned char*>(base)), stride_(stride) {}
+
+  T operator[](std::size_t i) const noexcept {
+    T value;
+    std::memcpy(&value, base_ + i * stride_, sizeof value);
+    return value;
+  }
+
+ private:
+  const unsigned char* base_ = nullptr;
+  std::size_t stride_ = 0;
+};
+
+/// One thread's event stream as four strided columns. Mimics the
+/// read-side API of std::span<const Event> (size / operator[] / front /
+/// back / iteration) so index/resolve/walk code is storage-agnostic;
+/// element access assembles an Event by value. Hot loops that only need
+/// one field should use the column accessors (ts_at etc.) instead.
+class EventsView {
+ public:
+  EventsView() = default;
+
+  /// AoS view over `count` tightly packed 32-byte event records starting
+  /// at `events` (any alignment — e.g. raw bytes of a mapped file).
+  EventsView(const void* events, std::size_t count, ThreadId tid) noexcept
+      : ts_(static_cast<const unsigned char*>(events) + offsetof(Event, ts),
+            sizeof(Event)),
+        object_(static_cast<const unsigned char*>(events) +
+                    offsetof(Event, object),
+                sizeof(Event)),
+        arg_(static_cast<const unsigned char*>(events) + offsetof(Event, arg),
+             sizeof(Event)),
+        type_(static_cast<const unsigned char*>(events) + offsetof(Event, type),
+              sizeof(Event)),
+        count_(count),
+        tid_(tid) {}
+
+  /// SoA view over four parallel column arrays of length `count`.
+  EventsView(const std::uint64_t* ts, const ObjectId* object,
+             const std::uint64_t* arg, const std::uint16_t* type,
+             std::size_t count, ThreadId tid) noexcept
+      : ts_(ts, sizeof *ts),
+        object_(object, sizeof *object),
+        arg_(arg, sizeof *arg),
+        type_(type, sizeof *type),
+        count_(count),
+        tid_(tid) {}
+
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  ThreadId tid() const noexcept { return tid_; }
+
+  std::uint64_t ts_at(std::size_t i) const noexcept { return ts_[i]; }
+  ObjectId object_at(std::size_t i) const noexcept { return object_[i]; }
+  std::uint64_t arg_at(std::size_t i) const noexcept { return arg_[i]; }
+  EventType type_at(std::size_t i) const noexcept {
+    return static_cast<EventType>(type_[i]);
+  }
+
+  Event operator[](std::size_t i) const noexcept {
+    return Event{ts_[i], object_[i], arg_[i],
+                 static_cast<EventType>(type_[i]), 0, tid_};
+  }
+  Event front() const noexcept { return (*this)[0]; }
+  Event back() const noexcept { return (*this)[count_ - 1]; }
+
+  /// Random-access iterator yielding Event by value (proxy iteration:
+  /// `for (const Event& e : view)` binds to a temporary per step).
+  class iterator {
+   public:
+    using value_type = Event;
+    using difference_type = std::ptrdiff_t;
+
+    iterator() = default;
+    iterator(const EventsView* view, std::size_t i) noexcept
+        : view_(view), i_(i) {}
+
+    Event operator*() const noexcept { return (*view_)[i_]; }
+    iterator& operator++() noexcept { ++i_; return *this; }
+    iterator operator++(int) noexcept { iterator t = *this; ++i_; return t; }
+    friend bool operator==(const iterator&, const iterator&) = default;
+    friend difference_type operator-(const iterator& a,
+                                     const iterator& b) noexcept {
+      return static_cast<difference_type>(a.i_) -
+             static_cast<difference_type>(b.i_);
+    }
+
+   private:
+    const EventsView* view_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  iterator begin() const noexcept { return {this, 0}; }
+  iterator end() const noexcept { return {this, count_}; }
+
+ private:
+  Column<std::uint64_t> ts_;
+  Column<ObjectId> object_;
+  Column<std::uint64_t> arg_;
+  Column<std::uint16_t> type_;
+  std::size_t count_ = 0;
+  ThreadId tid_ = 0;
+};
+
+/// Non-owning, cheaply copyable read-side handle on a whole trace:
+/// per-thread EventsViews plus the name tables and recorder metadata.
+/// Mirrors the read-only surface of Trace so the analysis stages can
+/// consume either storage through one type.
+class TraceView {
+ public:
+  TraceView() = default;
+
+  /// Borrows `trace` (zero-copy, AoS columns). The view is valid while
+  /// `trace` outlives it and is not modified.
+  explicit TraceView(const Trace& trace);
+
+  std::size_t thread_count() const noexcept { return threads_.size(); }
+  const EventsView& thread_events(ThreadId tid) const;
+
+  std::size_t event_count() const noexcept;
+  std::uint64_t start_ts() const noexcept;
+  std::uint64_t end_ts() const noexcept;
+
+  const std::map<ObjectId, std::string>& object_names() const noexcept {
+    return *object_names_;
+  }
+  const std::map<ThreadId, std::string>& thread_names() const noexcept {
+    return *thread_names_;
+  }
+  std::string object_display_name(ObjectId object,
+                                  std::string_view prefix) const;
+  std::string thread_display_name(ThreadId tid) const;
+
+  std::uint64_t dropped_events() const noexcept { return dropped_events_; }
+
+  /// Deep-copies the viewed events and names into an owning, mutable
+  /// Trace (the escape hatch for repair / phase clipping).
+  Trace materialize() const;
+
+ private:
+  friend class MappedTrace;
+
+  static const std::map<ObjectId, std::string>& empty_object_names() noexcept;
+  static const std::map<ThreadId, std::string>& empty_thread_names() noexcept;
+
+  std::vector<EventsView> threads_;
+  const std::map<ObjectId, std::string>* object_names_ = &empty_object_names();
+  const std::map<ThreadId, std::string>* thread_names_ = &empty_thread_names();
+  std::uint64_t dropped_events_ = 0;
+};
+
+/// Owning, mmap-backed `.clat` loader — the zero-copy counterpart of
+/// read_trace_file, with identical strictness (bad magic, CRC mismatch,
+/// missing clean-close marker and truncation all throw cla::util::Error,
+/// so `--salvage` guidance stays consistent across load paths).
+///
+/// v1/v2 event arrays are viewed directly in the file mapping (a thread
+/// split across several v2 chunks is compacted into one owned buffer);
+/// v3 chunks are varint-decoded once into owned SoA columns. view() and
+/// everything it hands out remain valid exactly as long as this object
+/// lives; it is immovable so those interior pointers can never dangle.
+class MappedTrace {
+ public:
+  /// Maps and parses `path`. Throws cla::util::Error on IO errors or
+  /// malformed input, and if mmap_supported() is false.
+  explicit MappedTrace(const std::string& path);
+  ~MappedTrace();
+
+  MappedTrace(const MappedTrace&) = delete;
+  MappedTrace& operator=(const MappedTrace&) = delete;
+
+  const TraceView& view() const noexcept { return view_; }
+  std::uint32_t version() const noexcept { return version_; }
+
+  /// Total mapped file size (bench reporting: bytes per event on disk).
+  std::size_t file_bytes() const noexcept { return map_size_; }
+
+ private:
+  struct Segment;  // one on-disk events chunk belonging to a thread
+
+  void load_v1(const unsigned char* p, std::size_t size);
+  void load_chunked(const unsigned char* p, std::size_t size);
+  void build_views(const std::vector<std::vector<Segment>>& segments);
+
+  struct SoaColumns {
+    std::vector<std::uint64_t> ts;
+    std::vector<ObjectId> object;
+    std::vector<std::uint64_t> arg;
+    std::vector<std::uint16_t> type;
+  };
+
+  const unsigned char* map_ = nullptr;
+  std::size_t map_size_ = 0;
+  std::uint32_t version_ = 0;
+  std::vector<SoaColumns> soa_;               // v3-decoded threads
+  std::vector<std::vector<Event>> compacted_;  // multi-chunk / mixed threads
+  std::map<ObjectId, std::string> object_names_;
+  std::map<ThreadId, std::string> thread_names_;
+  TraceView view_;
+};
+
+}  // namespace cla::trace

@@ -42,9 +42,10 @@ std::string event_context(const Event& e) {
   return out;
 }
 
-}  // namespace
-
-bool validate_trace(const Trace& trace, DiagnosticSink& sink) {
+/// The replay core, storage-generic: `TraceLike` is Trace (span streams)
+/// or TraceView (strided column streams) — same checks, same diagnostics.
+template <typename TraceLike>
+bool validate_trace_impl(const TraceLike& trace, DiagnosticSink& sink) {
   const std::uint64_t errors_before = sink.error_count();
   if (trace.thread_count() == 0 || trace.event_count() == 0) {
     sink.report(Severity::Fatal, DiagCode::CLA_E_NO_THREADS, Diagnostic::kNoTid,
@@ -222,6 +223,16 @@ bool validate_trace(const Trace& trace, DiagnosticSink& sink) {
     }
   }
   return sink.error_count() == errors_before;
+}
+
+}  // namespace
+
+bool validate_trace(const Trace& trace, DiagnosticSink& sink) {
+  return validate_trace_impl(trace, sink);
+}
+
+bool validate_trace(const TraceView& view, DiagnosticSink& sink) {
+  return validate_trace_impl(view, sink);
 }
 
 RepairSummary repair_trace_semantics(Trace& trace, Strictness mode,

@@ -23,14 +23,18 @@
 #include <cstdint>
 
 #include "cla/trace/trace.hpp"
+#include "cla/trace/trace_view.hpp"
 #include "cla/util/diagnostics.hpp"
 
 namespace cla::trace {
 
 /// Replays the whole trace and appends one diagnostic per violation to
 /// `sink` (bounded by the sink's cap). Returns true iff no error- or
-/// fatal-severity diagnostic was produced by this call.
+/// fatal-severity diagnostic was produced by this call. The TraceView
+/// overload runs the identical checks read-only over a view (e.g. an
+/// mmap-backed load), producing the same diagnostics.
 bool validate_trace(const Trace& trace, util::DiagnosticSink& sink);
+bool validate_trace(const TraceView& view, util::DiagnosticSink& sink);
 
 /// What repair_trace_semantics() did to a trace.
 struct RepairSummary {

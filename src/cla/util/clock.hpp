@@ -24,6 +24,11 @@ std::uint64_t now_ns() noexcept;
 /// The first call performs a short calibration against CLOCK_MONOTONIC.
 double ticks_per_ns() noexcept;
 
+/// Forces the one-time TSC calibration now (~200µs busy window). The
+/// recorder calls this at init so the stall lands at startup instead of
+/// inside whichever critical section first asks for a timestamp.
+void calibrate_clock() noexcept;
+
 /// Converts raw ticks to nanoseconds using the calibrated factor.
 std::uint64_t ticks_to_ns(std::uint64_t t) noexcept;
 

@@ -1,0 +1,84 @@
+// Cross-format compatibility: every `.clat` encoding of the same trace —
+// v1, v2 (raw chunks), v3 (compact varint) — must analyze to the
+// byte-identical report, whether loaded through the mmap view or the
+// copying stream reader. The golden fixtures in tests/data/ are files
+// written by an older build and checked in, so a decoder regression that
+// also changes the encoder cannot hide itself.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cla/analysis/pipeline.hpp"
+#include "cla/trace/trace_io.hpp"
+#include "cla/workloads/workload.hpp"
+
+namespace {
+
+std::string report_for_file(const std::string& path, bool use_mmap) {
+  cla::analysis::Options options;
+  options.load.use_mmap = use_mmap;
+  cla::analysis::Pipeline pipeline(options);
+  pipeline.load_file(path);
+  return pipeline.report();
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+cla::trace::Trace workload_trace() {
+  cla::workloads::WorkloadConfig config;
+  config.threads = 4;
+  config.seed = 7;
+  return cla::workloads::run_workload("micro", config).trace;
+}
+
+TEST(FormatCompat, ReportsIdenticalAcrossEncodingsAndLoaders) {
+  const cla::trace::Trace trace = workload_trace();
+  std::string reference;
+  for (std::uint32_t version : {1u, 2u, 3u}) {
+    const std::string path = temp_path("cla_format_compat.clat");
+    cla::trace::write_trace_file(trace, path, version);
+    const std::string mapped = report_for_file(path, /*use_mmap=*/true);
+    const std::string copied = report_for_file(path, /*use_mmap=*/false);
+    EXPECT_EQ(mapped, copied) << "loader mismatch for v" << version;
+    if (reference.empty()) {
+      reference = mapped;
+      EXPECT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(mapped, reference) << "report drift for v" << version;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(FormatCompat, GoldenFixturesProduceGoldenReport) {
+  const std::string data_dir = CLA_TEST_DATA_DIR;
+  std::ifstream golden(data_dir + "/golden_report.txt", std::ios::binary);
+  ASSERT_TRUE(golden.is_open());
+  std::stringstream expected;
+  expected << golden.rdbuf();
+  for (const char* fixture : {"/golden_v1.clat", "/golden_v2.clat"}) {
+    for (bool use_mmap : {true, false}) {
+      EXPECT_EQ(report_for_file(data_dir + fixture, use_mmap), expected.str())
+          << fixture << " mmap=" << use_mmap;
+    }
+  }
+}
+
+TEST(FormatCompat, GoldenFixturesSurviveV3Conversion) {
+  // Old file -> new compact format -> same report.
+  const std::string data_dir = CLA_TEST_DATA_DIR;
+  const std::string converted = temp_path("cla_golden_v3.clat");
+  cla::trace::convert_trace_file(data_dir + "/golden_v1.clat", converted,
+                                 cla::trace::kTraceVersionV3);
+  EXPECT_EQ(report_for_file(converted, true),
+            report_for_file(data_dir + "/golden_v2.clat", true));
+  std::remove(converted.c_str());
+}
+
+}  // namespace

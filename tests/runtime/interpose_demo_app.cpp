@@ -2,9 +2,18 @@
 // interposition integration test. Two locks with very different critical
 // section sizes, plus a barrier — enough structure for the analyzer to
 // find a critical lock.
+//
+// Invoked with the argument "errorcheck" it instead exercises every
+// pthread_mutex_* error path on a PTHREAD_MUTEX_ERRORCHECK mutex, so the
+// interposer's only-record-on-success rule has a regression scenario:
+// exactly three acquisitions succeed; every failed call must leave no
+// events behind or the trace stops validating.
+#include <errno.h>
 #include <pthread.h>
+#include <time.h>
 
 #include <cstdio>
+#include <cstring>
 
 namespace {
 
@@ -30,9 +39,38 @@ void* worker(void*) {
   return nullptr;
 }
 
+int run_errorcheck() {
+  pthread_mutexattr_t attr;
+  pthread_mutexattr_init(&attr);
+  pthread_mutexattr_settype(&attr, PTHREAD_MUTEX_ERRORCHECK);
+  pthread_mutex_t m;
+  pthread_mutex_init(&m, &attr);
+  pthread_mutexattr_destroy(&attr);
+
+  if (pthread_mutex_lock(&m) != 0) return 10;        // acquisition 1
+  if (pthread_mutex_lock(&m) != EDEADLK) return 11;  // failed relock
+  if (pthread_mutex_trylock(&m) != EBUSY) return 12; // failed trylock
+  if (pthread_mutex_unlock(&m) != 0) return 13;      // release 1
+  if (pthread_mutex_unlock(&m) != EPERM) return 14;  // failed unlock
+  if (pthread_mutex_trylock(&m) != 0) return 15;     // acquisition 2
+  if (pthread_mutex_unlock(&m) != 0) return 16;      // release 2
+  timespec abstime{};
+  clock_gettime(CLOCK_REALTIME, &abstime);
+  abstime.tv_sec += 5;
+  if (pthread_mutex_timedlock(&m, &abstime) != 0) return 17;  // acquisition 3
+  if (pthread_mutex_unlock(&m) != 0) return 18;               // release 3
+
+  pthread_mutex_destroy(&m);
+  std::printf("errorcheck ok\n");
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "errorcheck") == 0) {
+    return run_errorcheck();
+  }
   constexpr int kThreads = 4;
   pthread_barrier_init(&g_barrier, nullptr, kThreads);
   pthread_t threads[kThreads];

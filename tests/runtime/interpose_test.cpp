@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
 #include <string>
 
 #include "cla/analysis/analyzer.hpp"
@@ -23,10 +24,12 @@ class InterposeTest : public ::testing::Test {
   }
   void TearDown() override { std::remove(trace_path_.c_str()); }
 
-  int run_demo() const {
-    const std::string command = "CLA_TRACE_FILE=" + trace_path_ +
+  int run_demo(const std::string& mode = "",
+               const std::string& extra_env = "") const {
+    const std::string command = extra_env + " CLA_TRACE_FILE=" + trace_path_ +
                                 " LD_PRELOAD=" CLA_INTERPOSE_LIB
-                                " " CLA_DEMO_APP " > /dev/null 2>&1";
+                                " " CLA_DEMO_APP " " +
+                                mode + " > /dev/null 2>&1";
     return std::system(command.c_str());
   }
 
@@ -60,6 +63,57 @@ TEST_F(InterposeTest, PreloadedAppWritesAnalyzableTrace) {
   EXPECT_EQ(app_locks.front(), &result.locks.front());
   EXPECT_GT(app_locks.front()->cp_time_fraction, 0.2);
   EXPECT_GT(app_locks.front()->total_hold, app_locks.back()->total_hold);
+}
+
+TEST_F(InterposeTest, FailedLockCallsRecordNoEvents) {
+  // The errorcheck scenario makes exactly 3 successful acquisitions of
+  // its PTHREAD_MUTEX_ERRORCHECK mutex while EDEADLK relock, EBUSY
+  // trylock and EPERM unlock all fail in between. A failed call must not
+  // record: the buggy interposer logged an acquisition for the EDEADLK
+  // relock (a phantom re-acquire of a held mutex) and a release for the
+  // EPERM unlock, which breaks lock pairing.
+  ASSERT_EQ(run_demo("errorcheck"), 0);
+  const cla::trace::Trace trace = cla::trace::read_trace_file(trace_path_);
+  EXPECT_NO_THROW(trace.validate());
+
+  std::map<cla::trace::ObjectId, int> acquires, acquireds, releases;
+  for (cla::trace::ThreadId tid = 0; tid < trace.thread_count(); ++tid) {
+    for (const cla::trace::Event& e : trace.thread_events(tid)) {
+      if (e.type == cla::trace::EventType::MutexAcquire) ++acquires[e.object];
+      if (e.type == cla::trace::EventType::MutexAcquired)
+        ++acquireds[e.object];
+      if (e.type == cla::trace::EventType::MutexReleased)
+        ++releases[e.object];
+    }
+  }
+  // Identify the app mutex by its signature: exactly 3 acquisitions (the
+  // preloaded libc may take its own locks around startup).
+  int matching = 0;
+  for (const auto& [object, acquired] : acquireds) {
+    if (acquired != 3) continue;
+    ++matching;
+    EXPECT_EQ(acquires[object], 3) << "phantom wait-start on " << object;
+    EXPECT_EQ(releases[object], 3) << "phantom release on " << object;
+  }
+  EXPECT_GE(matching, 1) << "errorcheck mutex not found in trace";
+  // Pairing must hold for every lock in the trace, not just the app's.
+  for (const auto& [object, acquired] : acquireds) {
+    EXPECT_EQ(acquired, releases[object])
+        << "unbalanced acquire/release on " << object;
+  }
+}
+
+TEST_F(InterposeTest, StreamsCompactV3WhenRequested) {
+  // CLA_TRACE_FORMAT=v3 switches the streamed chunk encoding; the trace
+  // must load and analyze identically to a v2 recording.
+  ASSERT_EQ(run_demo("", "CLA_TRACE_FORMAT=v3"), 0);
+  const cla::trace::Trace trace = cla::trace::read_trace_file(trace_path_);
+  EXPECT_GE(trace.thread_count(), 5u);
+  EXPECT_GT(trace.event_count(), 100u);
+  EXPECT_NO_THROW(trace.validate());
+  const auto result = cla::analysis::analyze(trace);
+  EXPECT_GT(result.completion_time, 0u);
+  EXPECT_GE(result.locks.size(), 2u);
 }
 
 TEST_F(InterposeTest, JoinEdgesAllowPathToLeaveMainThread) {

@@ -156,5 +156,154 @@ TEST(TraceIo, EmptyTraceRoundTrips) {
   EXPECT_EQ(loaded.event_count(), 0u);
 }
 
+// ---- v3 compact format ---------------------------------------------------
+
+TEST(TraceIo, V3RoundTrip) {
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  write_trace(original, buffer, kTraceVersionV3);
+  const std::string bytes = buffer.str();
+  EXPECT_EQ(bytes[4], 3);  // on-disk version byte
+  std::stringstream in(bytes);
+  const Trace loaded = read_trace(in);
+  expect_equal(original, loaded);
+}
+
+TEST(TraceIo, V3IsSmallerThanV2) {
+  // Delta+varint compression must pay off on a realistic stream: nearby
+  // timestamps and a small object set. 4x is conservative (we see ~7x).
+  TraceBuilder b;
+  auto& t = b.thread(0).start(0);
+  std::uint64_t ts = 1'000'000'000;
+  for (int i = 0; i < 5'000; ++i) {
+    ts += 700 + (i % 13);
+    t.lock(42 + (i % 3), ts, ts + 40, ts + 400);
+    ts += 900;
+  }
+  t.exit(ts + 1);
+  const Trace trace = b.finish_unchecked();
+  std::stringstream v2, v3;
+  write_trace(trace, v2, kTraceVersion);
+  write_trace(trace, v3, kTraceVersionV3);
+  EXPECT_LT(v3.str().size() * 4, v2.str().size());
+  std::stringstream in(v3.str());
+  expect_equal(trace, read_trace(in));
+}
+
+TEST(TraceIo, V3ChunkedWriterRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cla_io_v3_chunked.clat")
+          .string();
+  const Trace original = sample_trace();
+  {
+    ChunkedTraceWriter writer(path, kTraceVersionV3);
+    EXPECT_EQ(writer.version(), kTraceVersionV3);
+    for (ThreadId tid = 0; tid < original.thread_count(); ++tid) {
+      const auto events = original.thread_events(tid);
+      // Two slices per thread: v3 deltas must restart per chunk.
+      const std::size_t half = events.size() / 2;
+      writer.write_events(tid, events.data(), half);
+      writer.write_events(tid, events.data() + half, events.size() - half);
+    }
+    for (const auto& [object, name] : original.object_names())
+      writer.write_object_name(object, name);
+    for (const auto& [tid, name] : original.thread_names())
+      writer.write_thread_name(tid, name);
+    writer.write_meta(/*dropped_events=*/0, /*clean_close=*/true);
+    ASSERT_TRUE(writer.ok());
+    writer.close();
+  }
+  expect_equal(original, read_trace_file(path));
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, V3ExtremeFieldValuesRoundTrip) {
+  // Worst-case varint inputs: kNoObject/kNoArg (all ones), backwards
+  // object deltas, 10-byte zigzag encodings.
+  TraceBuilder b;
+  auto& t = b.thread(0).start(0);
+  t.lock(kNoObject - 1, 10, 11, 12);
+  t.lock(1, 20, 21, 22);  // large negative object delta
+  t.lock(0x8000'0000'0000'0000ull, 30, 31, 32);
+  t.exit(40);
+  const Trace trace = b.finish_unchecked();
+  std::stringstream buffer;
+  write_trace(trace, buffer, kTraceVersionV3);
+  std::stringstream in(buffer.str());
+  expect_equal(trace, read_trace(in));
+}
+
+TEST(TraceIo, V3DecoderRejectsEveryTruncation) {
+  // The varint decoder sees raw file bytes; any prefix of a valid payload
+  // must be rejected cleanly (no crash, no over-read).
+  const Trace original = sample_trace();
+  const auto events = original.thread_events(1);
+  std::string payload;
+  encode_events_v3(1, events.data(), events.size(), payload);
+
+  ThreadId tid = 0;
+  std::uint32_t count = 0;
+  ASSERT_TRUE(peek_events_v3(payload.data(), payload.size(), tid, count));
+  ASSERT_EQ(tid, 1u);
+  ASSERT_EQ(count, events.size());
+  std::vector<Event> out(count);
+  ASSERT_TRUE(decode_events_v3(payload.data(), payload.size(), out.data()));
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], events[i]);
+
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    if (peek_events_v3(payload.data(), len, tid, count)) {
+      std::vector<Event> buf(count);
+      EXPECT_FALSE(decode_events_v3(payload.data(), len, buf.data()))
+          << "accepted truncation at " << len << "/" << payload.size();
+    }
+  }
+  // Trailing garbage (a length that overstates the stream) must also fail.
+  std::string padded = payload + std::string(3, '\x7f');
+  std::vector<Event> buf(count);
+  EXPECT_FALSE(decode_events_v3(padded.data(), padded.size(), buf.data()));
+}
+
+TEST(TraceIo, V3DecoderRejectsOverlongVarints) {
+  // 11-byte varints (continuation bit never clears) and 10-byte encodings
+  // with excess high bits are invalid; both would over-read u64.
+  std::string payload;
+  const std::uint32_t tid = 0, count = 1;
+  payload.append(reinterpret_cast<const char*>(&tid), 4);
+  payload.append(reinterpret_cast<const char*>(&count), 4);
+  payload.append(11, '\xff');  // never-terminating varint
+  std::vector<Event> buf(1);
+  EXPECT_FALSE(decode_events_v3(payload.data(), payload.size(), buf.data()));
+}
+
+TEST(TraceIo, ParseTraceFormat) {
+  std::uint32_t version = 0;
+  EXPECT_TRUE(parse_trace_format("v1", version));
+  EXPECT_EQ(version, kTraceVersionLegacy);
+  EXPECT_TRUE(parse_trace_format("v2", version));
+  EXPECT_EQ(version, kTraceVersion);
+  EXPECT_TRUE(parse_trace_format("v3", version));
+  EXPECT_EQ(version, kTraceVersionV3);
+  EXPECT_TRUE(parse_trace_format("3", version));
+  EXPECT_EQ(version, kTraceVersionV3);
+  EXPECT_FALSE(parse_trace_format("v4", version));
+  EXPECT_FALSE(parse_trace_format("", version));
+  EXPECT_FALSE(parse_trace_format("latest", version));
+}
+
+TEST(TraceIo, ConvertTraceFileAcrossAllVersions) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto src = (dir / "cla_convert_src.clat").string();
+  const Trace original = sample_trace();
+  write_trace_file(original, src, kTraceVersion);
+  for (std::uint32_t version : {1u, 2u, 3u}) {
+    const auto dst =
+        (dir / ("cla_convert_v" + std::to_string(version) + ".clat")).string();
+    convert_trace_file(src, dst, version);
+    expect_equal(original, read_trace_file(dst));
+    std::filesystem::remove(dst);
+  }
+  std::filesystem::remove(src);
+}
+
 }  // namespace
 }  // namespace cla::trace

@@ -53,6 +53,11 @@ void print_usage(std::FILE* out, const char* prog) {
       "  --diagnostics=json\n"
       "                  print the structured diagnostics as JSON instead\n"
       "                  of the report\n"
+      "  --convert OUT   convert the trace to OUT instead of analyzing it;\n"
+      "                  --format picks the target version (default v3).\n"
+      "                  The input version is auto-detected, so this both\n"
+      "                  compacts v1/v2 traces and expands v3 back to v2\n"
+      "  --format F      target .clat version for --convert: v1 | v2 | v3\n"
       "exit codes:\n"
       "  0 clean  1 error  2 usage  3 lossy salvage/repair\n"
       "  4 resource limit  5 strict-mode validation failure\n",
@@ -67,7 +72,8 @@ int main(int argc, char** argv) {
     cla::util::Args args(argc, argv,
                          {"top", "json", "csv", "timeline", "whatif", "phase",
                           "threads", "profile", "salvage", "strictness",
-                          "deadline-ms", "max-events", "diagnostics", "help"});
+                          "deadline-ms", "max-events", "diagnostics",
+                          "convert", "format", "help"});
     if (args.has("help")) {
       print_usage(stdout, prog);
       return 0;
@@ -75,6 +81,25 @@ int main(int argc, char** argv) {
     if (args.positional().empty()) {
       print_usage(stderr, prog);
       return 2;
+    }
+
+    if (const auto out_path = args.get("convert")) {
+      std::uint32_t version = cla::trace::kTraceVersionV3;
+      if (const auto format = args.get("format")) {
+        if (!cla::trace::parse_trace_format(*format, version)) {
+          throw cla::util::ArgsError("invalid --format value '" + *format +
+                                     "' (expected v1, v2 or v3)");
+        }
+      }
+      cla::trace::convert_trace_file(args.positional().front(), *out_path,
+                                     version);
+      std::fprintf(stderr, "cla-analyze: converted %s -> %s (v%u)\n",
+                   args.positional().front().c_str(), out_path->c_str(),
+                   version);
+      return 0;
+    }
+    if (args.has("format")) {
+      throw cla::util::ArgsError("--format is only meaningful with --convert");
     }
 
     cla::Options options;
@@ -129,7 +154,7 @@ int main(int argc, char** argv) {
         lossy_salvage = report->lossy();
       }
     }
-    if (const std::uint64_t dropped = pipeline.trace().dropped_events();
+    if (const std::uint64_t dropped = pipeline.view().dropped_events();
         dropped > 0) {
       std::fprintf(stderr,
                    "cla-analyze: warning: the recorder dropped %llu event(s) "

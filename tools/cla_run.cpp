@@ -36,6 +36,8 @@ void print_usage(const char* prog, std::FILE* out = stdout) {
       "  --json            print the JSON report instead of text\n"
       "  --csv             print TYPE1/TYPE2 tables as CSV\n"
       "  --trace-out FILE  also write the trace to FILE (.clat)\n"
+      "  --format F        .clat version for --trace-out: v1 | v2 | v3\n"
+      "                    (default v2; v3 is the compact varint format)\n"
       "  --analysis-threads N  worker threads for the analysis pipeline's\n"
       "                    index/stats stages (default 1, 0 = per core)\n"
       "  --profile         print the analysis per-stage timing to stderr\n",
@@ -49,8 +51,8 @@ int main(int argc, char** argv) {
     cla::util::Args args(argc, argv,
                          {"threads", "backend", "optimized", "seed", "scale",
                           "param", "accelerate", "top", "timeline", "json",
-                          "csv", "trace-out", "analysis-threads", "profile",
-                          "list", "help"});
+                          "csv", "trace-out", "format", "analysis-threads",
+                          "profile", "list", "help"});
     if (args.has("help")) {
       print_usage(argv[0]);
       return 0;
@@ -64,6 +66,9 @@ int main(int argc, char** argv) {
     if (args.positional().empty()) {
       print_usage(argv[0], stderr);
       return 2;
+    }
+    if (args.has("format") && !args.has("trace-out")) {
+      throw cla::util::ArgsError("--format is only meaningful with --trace-out");
     }
 
     cla::workloads::WorkloadConfig config;
@@ -129,8 +134,15 @@ int main(int argc, char** argv) {
                 << cla::analysis::render_timeline(index, result.path);
     }
     if (auto path = args.get("trace-out")) {
-      cla::trace::write_trace_file(run.trace, *path);
-      std::printf("\ntrace written to %s\n", path->c_str());
+      std::uint32_t version = cla::trace::kTraceVersion;
+      if (auto format = args.get("format")) {
+        if (!cla::trace::parse_trace_format(*format, version)) {
+          throw cla::util::ArgsError("invalid --format value '" + *format +
+                                     "' (expected v1, v2 or v3)");
+        }
+      }
+      cla::trace::write_trace_file(run.trace, *path, version);
+      std::printf("\ntrace written to %s (v%u)\n", path->c_str(), version);
     }
     if (args.has("profile")) {
       std::fputs(profile.to_string().c_str(), stderr);

@@ -229,7 +229,16 @@ Pipeline& Pipeline::validate_stage() {
   deadline().check("validate");
   check_event_budget(v.event_count());
   const bool clean = trace::validate_trace(v, sink_);
-  if (options_.strictness == util::Strictness::Strict) {
+  // Counted drops are declared loss, not corruption: when the recorder's
+  // degraded mode already accounted for every missing event (Meta chunk
+  // dropped counter), semantic holes are expected, so strict degrades to
+  // repair instead of rejecting a trace the writer itself flagged lossy.
+  const util::Strictness effective =
+      (options_.strictness == util::Strictness::Strict &&
+       v.dropped_events() > 0)
+          ? util::Strictness::Repair
+          : options_.strictness;
+  if (effective == util::Strictness::Strict) {
     if (!clean) {
       record(Stage::Validate, start);
       std::string message = "trace failed validation: " +
@@ -254,7 +263,7 @@ Pipeline& Pipeline::validate_stage() {
     // to strict — and the mmap fast path stays zero-copy.
     trace::Trace& fixed = materialize_owned();
     const trace::RepairSummary summary =
-        trace::repair_trace_semantics(fixed, options_.strictness, &sink_);
+        trace::repair_trace_semantics(fixed, effective, &sink_);
     repaired_ = summary.changed();
     adopt_trace_storage();
   }

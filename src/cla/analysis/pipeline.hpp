@@ -149,7 +149,10 @@ class Pipeline {
   /// if any reached error severity. Repair/Lenient: additionally runs the
   /// deterministic repair engine on a private copy of the trace (the
   /// borrowed original is never mutated) and records each fix as an
-  /// info-severity diagnostic. Runs even when options.validate is false
+  /// info-severity diagnostic. A trace whose Meta chunk declares dropped
+  /// events is treated as repair even under strict: the recorder already
+  /// accounted for the loss, so the expected semantic holes are mended
+  /// rather than rejected. Runs even when options.validate is false
   /// (explicit call wins).
   Pipeline& validate_stage();
   /// Per-primitive forward indexing (parallel across trace threads).

@@ -109,7 +109,13 @@ thread_local int tls_in_hook = 0;
 
 struct HookGuard {
   bool armed;
-  HookGuard() : armed(tls_in_hook == 0) { ++tls_in_hook; }
+  // Disarmed while re-entered from a hook AND while the calling thread is
+  // recorder machinery (the flusher loop, atfork handlers): the
+  // recorder's own pthread use must never surface as trace events.
+  HookGuard()
+      : armed(tls_in_hook == 0 && !Recorder::current_thread_internal()) {
+    ++tls_in_hook;
+  }
   ~HookGuard() { --tls_in_hook; }
   HookGuard(const HookGuard&) = delete;
   HookGuard& operator=(const HookGuard&) = delete;
@@ -258,10 +264,16 @@ struct FlushAtExit {
     Recorder& recorder = Recorder::instance();
     if (streaming) {
       const std::uint64_t dropped = recorder.dropped_events();
+      // stream_path(), not the env var: a forked child streams to its own
+      // <path>.<pid> file (and may have stopped streaming if that open
+      // failed).
+      const std::string path = recorder.stream_path();
       recorder.finish_streaming();
-      std::fprintf(stderr, "cla_interpose: trace written to %s%s\n",
-                   trace_path(),
-                   dropped > 0 ? " (some events dropped; see header)" : "");
+      if (recorder.streaming()) {
+        std::fprintf(stderr, "cla_interpose: trace written to %s%s\n",
+                     path.c_str(),
+                     dropped > 0 ? " (some events dropped; see header)" : "");
+      }
       return;
     }
     if (recorder.event_count() == 0) return;
@@ -307,6 +319,28 @@ void* start_trampoline(void* raw) {
   return result;
 }
 
+// A hook whose real symbol never resolved has nothing to delegate to.
+// Returning a bare ENOSYS with no context is a debugging dead end, so the
+// first hit per symbol leaves a stderr breadcrumb, and every hit counts
+// toward the CLA_W_PARTIAL_INTERPOSITION runtime warning in the trace —
+// the analyzer can tell the reader the recording has blind spots.
+int missing_real(const char* name, std::atomic<bool>& warned) {
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "cla_interpose: %s called but its real symbol never "
+                 "resolved; returning ENOSYS (tracing is partial)\n",
+                 name);
+  }
+  Recorder::instance().note_partial_interposition();
+  return ENOSYS;
+}
+
+#define CLA_MISSING_REAL(name)              \
+  do {                                      \
+    static std::atomic<bool> warned{false}; \
+    return missing_real(name, warned);      \
+  } while (0)
+
 // Acquisition events are recorded only once the real call reports the
 // lock is actually held (rc == 0, or EOWNERDEAD: a robust mutex was
 // acquired and the caller must recover it). A failed lock (EDEADLK on an
@@ -324,7 +358,7 @@ extern "C" {
 
 int pthread_mutex_lock(pthread_mutex_t* mutex) {
   HookGuard guard;
-  if (real().mutex_lock == nullptr) return ENOSYS;
+  if (real().mutex_lock == nullptr) CLA_MISSING_REAL("pthread_mutex_lock");
   if (!guard.armed) return real().mutex_lock(mutex);
   Recorder& recorder = Recorder::instance();
   const std::uint64_t wait_start = cla::util::now_ns();
@@ -350,7 +384,7 @@ int pthread_mutex_lock(pthread_mutex_t* mutex) {
 
 int pthread_mutex_trylock(pthread_mutex_t* mutex) {
   HookGuard guard;
-  if (real().mutex_trylock == nullptr) return ENOSYS;
+  if (real().mutex_trylock == nullptr) CLA_MISSING_REAL("pthread_mutex_trylock");
   if (!guard.armed) return real().mutex_trylock(mutex);
   Recorder& recorder = Recorder::instance();
   const std::uint64_t wait_start = cla::util::now_ns();
@@ -365,7 +399,7 @@ int pthread_mutex_trylock(pthread_mutex_t* mutex) {
 int pthread_mutex_timedlock(pthread_mutex_t* mutex,
                             const struct timespec* abstime) {
   HookGuard guard;
-  if (real().mutex_timedlock == nullptr) return ENOSYS;
+  if (real().mutex_timedlock == nullptr) CLA_MISSING_REAL("pthread_mutex_timedlock");
   if (!guard.armed) return real().mutex_timedlock(mutex, abstime);
   Recorder& recorder = Recorder::instance();
   const std::uint64_t wait_start = cla::util::now_ns();
@@ -387,7 +421,7 @@ int pthread_mutex_timedlock(pthread_mutex_t* mutex,
 
 int pthread_mutex_unlock(pthread_mutex_t* mutex) {
   HookGuard guard;
-  if (real().mutex_unlock == nullptr) return ENOSYS;
+  if (real().mutex_unlock == nullptr) CLA_MISSING_REAL("pthread_mutex_unlock");
   if (!guard.armed) return real().mutex_unlock(mutex);
   const int rc = real().mutex_unlock(mutex);
   // EPERM (not the owner) and friends release nothing: recording would
@@ -399,7 +433,7 @@ int pthread_mutex_unlock(pthread_mutex_t* mutex) {
 int pthread_barrier_init(pthread_barrier_t* barrier,
                          const pthread_barrierattr_t* attr, unsigned count) {
   HookGuard guard;
-  if (real().barrier_init == nullptr) return ENOSYS;
+  if (real().barrier_init == nullptr) CLA_MISSING_REAL("pthread_barrier_init");
   if (guard.armed) {
     BarrierShadow* shadow = barrier_shadow(barrier, /*create_entry=*/true);
     shadow->participants = count;
@@ -410,7 +444,7 @@ int pthread_barrier_init(pthread_barrier_t* barrier,
 
 int pthread_barrier_wait(pthread_barrier_t* barrier) {
   HookGuard guard;
-  if (real().barrier_wait == nullptr) return ENOSYS;
+  if (real().barrier_wait == nullptr) CLA_MISSING_REAL("pthread_barrier_wait");
   if (!guard.armed) return real().barrier_wait(barrier);
   Recorder& recorder = Recorder::instance();
   std::uint64_t episode = cla::trace::kNoArg;
@@ -427,7 +461,7 @@ int pthread_barrier_wait(pthread_barrier_t* barrier) {
 
 int pthread_cond_wait(pthread_cond_t* cond, pthread_mutex_t* mutex) {
   HookGuard guard;
-  if (real().cond_wait == nullptr) return ENOSYS;
+  if (real().cond_wait == nullptr) CLA_MISSING_REAL("pthread_cond_wait");
   if (!guard.armed) return real().cond_wait(cond, mutex);
   Recorder& recorder = Recorder::instance();
   recorder.record(EventType::MutexReleased, oid(mutex));
@@ -442,7 +476,7 @@ int pthread_cond_wait(pthread_cond_t* cond, pthread_mutex_t* mutex) {
 int pthread_cond_timedwait(pthread_cond_t* cond, pthread_mutex_t* mutex,
                            const struct timespec* abstime) {
   HookGuard guard;
-  if (real().cond_timedwait == nullptr) return ENOSYS;
+  if (real().cond_timedwait == nullptr) CLA_MISSING_REAL("pthread_cond_timedwait");
   if (!guard.armed) return real().cond_timedwait(cond, mutex, abstime);
   Recorder& recorder = Recorder::instance();
   recorder.record(EventType::MutexReleased, oid(mutex));
@@ -456,14 +490,14 @@ int pthread_cond_timedwait(pthread_cond_t* cond, pthread_mutex_t* mutex,
 
 int pthread_cond_signal(pthread_cond_t* cond) {
   HookGuard guard;
-  if (real().cond_signal == nullptr) return ENOSYS;
+  if (real().cond_signal == nullptr) CLA_MISSING_REAL("pthread_cond_signal");
   if (guard.armed) Recorder::instance().record(EventType::CondSignal, oid(cond));
   return real().cond_signal(cond);
 }
 
 int pthread_cond_broadcast(pthread_cond_t* cond) {
   HookGuard guard;
-  if (real().cond_broadcast == nullptr) return ENOSYS;
+  if (real().cond_broadcast == nullptr) CLA_MISSING_REAL("pthread_cond_broadcast");
   if (guard.armed)
     Recorder::instance().record(EventType::CondBroadcast, oid(cond));
   return real().cond_broadcast(cond);
@@ -472,7 +506,7 @@ int pthread_cond_broadcast(pthread_cond_t* cond) {
 int pthread_create(pthread_t* thread, const pthread_attr_t* attr,
                    void* (*start_routine)(void*), void* arg) {
   HookGuard guard;
-  if (real().create == nullptr) return ENOSYS;
+  if (real().create == nullptr) CLA_MISSING_REAL("pthread_create");
   if (!guard.armed) return real().create(thread, attr, start_routine, arg);
   Recorder& recorder = Recorder::instance();
   const cla::trace::ThreadId parent = recorder.ensure_current_thread();
@@ -490,7 +524,7 @@ int pthread_create(pthread_t* thread, const pthread_attr_t* attr,
 
 int pthread_join(pthread_t thread, void** retval) {
   HookGuard guard;
-  if (real().join == nullptr) return ENOSYS;
+  if (real().join == nullptr) CLA_MISSING_REAL("pthread_join");
   if (!guard.armed) return real().join(thread, retval);
   Recorder& recorder = Recorder::instance();
   const cla::trace::ThreadId target = lookup_thread(thread);

@@ -1,11 +1,16 @@
 #include "cla/runtime/recorder.hpp"
 
+#include <pthread.h>
 #include <time.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <new>
 
 #include "cla/util/clock.hpp"
+#include "cla/util/diagnostics.hpp"
 #include "cla/util/error.hpp"
+#include "cla/util/faultinject.hpp"
 
 namespace cla::rt {
 
@@ -28,7 +33,42 @@ std::uint64_t next_binding_epoch() {
   return g_binding_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
+// The recorder currently in streaming mode (at most one per process in
+// practice — the interposer singleton; a later start_streaming wins).
+// The atfork handlers and the TSD thread-exit destructor dispatch through
+// this pointer because both are process-global registrations.
+std::atomic<Recorder*> g_stream_recorder{nullptr};
+
+// A TSD slot whose destructor fires when a bound thread dies for any
+// reason pthread knows about — pthread_exit, pthread_cancel, or falling
+// off the start routine — recording the ThreadExit the thread never got
+// to record itself.
+pthread_key_t g_thread_exit_key;
+std::once_flag g_thread_exit_key_once;
+std::once_flag g_atfork_once;
+
+extern "C" void cla_thread_exit_destructor(void*) {
+  if (Recorder* recorder = g_stream_recorder.load(std::memory_order_acquire)) {
+    recorder->thread_exit_on_destroy();
+  }
+}
+
+// Set while the current thread runs recorder-internal machinery; the
+// interposer's HookGuard disarms on it (see current_thread_internal()).
+thread_local bool tls_internal_thread = false;
+
 }  // namespace
+
+bool Recorder::current_thread_internal() noexcept {
+  return tls_internal_thread;
+}
+
+Recorder::ScopedInternal::ScopedInternal() noexcept
+    : prev_(tls_internal_thread) {
+  tls_internal_thread = true;
+}
+
+Recorder::ScopedInternal::~ScopedInternal() { tls_internal_thread = prev_; }
 
 /// Legacy unbounded in-memory buffer (collect() mode).
 struct Recorder::ThreadBuffer {
@@ -66,10 +106,18 @@ Recorder::Recorder() {
   // Calibrate the TSC up front: the lazy path would charge the ~200µs
   // busy window to the first critical section that takes a timestamp.
   util::calibrate_clock();
+  util::fault::init();
   epoch_.store(next_binding_epoch(), std::memory_order_relaxed);
 }
 
-Recorder::~Recorder() { finish_streaming(); }
+Recorder::~Recorder() {
+  finish_streaming();
+  // Never leave the atfork/TSD dispatch pointer dangling at a destroyed
+  // recorder (unit tests create short-lived streaming recorders).
+  Recorder* self = this;
+  g_stream_recorder.compare_exchange_strong(self, nullptr,
+                                            std::memory_order_acq_rel);
+}
 
 trace::ThreadId Recorder::allocate_thread() {
   return next_tid_.fetch_add(1, std::memory_order_relaxed);
@@ -94,6 +142,14 @@ void Recorder::bind_current_thread(trace::ThreadId tid, trace::ThreadId parent) 
       stream_count_.store(slot + 1, std::memory_order_release);
     }
     raw = sb;
+    // Arm the per-thread exit destructor: if this thread is cancelled or
+    // exits without reaching thread_exit(), the destructor records the
+    // missing ThreadExit (value is a non-null sentinel; the destructor
+    // resolves the recorder through g_stream_recorder).
+    std::call_once(g_thread_exit_key_once, [] {
+      pthread_key_create(&g_thread_exit_key, cla_thread_exit_destructor);
+    });
+    pthread_setspecific(g_thread_exit_key, reinterpret_cast<void*>(1));
   } else {
     auto buffer = std::make_unique<ThreadBuffer>();
     buffer->tid = tid;
@@ -143,6 +199,25 @@ void Recorder::thread_exit() {
   record(trace::EventType::ThreadExit, trace::kNoObject);
 }
 
+void Recorder::thread_exit_on_destroy() noexcept {
+  if (!streaming_.load(std::memory_order_acquire) ||
+      shutdown_.load(std::memory_order_acquire)) {
+    return;
+  }
+  StreamBuffer* buffer = current_stream_buffer();
+  if (buffer == nullptr || buffer->saw_exit.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // A fresh timestamp (not last_ts): the thread died *after* its last
+  // recorded event, and the gap is real time its open critical sections
+  // were held.
+  record(trace::EventType::ThreadExit, trace::kNoObject);
+}
+
+void Recorder::note_partial_interposition() noexcept {
+  warn_partial_interpose_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void Recorder::record(trace::EventType type, trace::ObjectId object,
                       std::uint64_t arg) {
   record_at(type, util::now_ns(), object, arg);
@@ -150,6 +225,7 @@ void Recorder::record(trace::EventType type, trace::ObjectId object,
 
 void Recorder::record_at(trace::EventType type, std::uint64_t ts,
                          trace::ObjectId object, std::uint64_t arg) {
+  if (util::fault::enabled()) util::fault::on_event();
   if (shutdown_.load(std::memory_order_relaxed)) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -325,33 +401,152 @@ void Recorder::start_streaming(const std::string& path,
             "recorder is already streaming");
   sink_ = std::make_unique<trace::ChunkedTraceWriter>(path, version);  // may throw
   stream_capacity_ = std::clamp<std::size_t>(buffer_events, 64, 1u << 22);
+  stream_path_ = path;
+  stream_version_ = version;
   flusher_stop_.store(false, std::memory_order_release);
   streaming_.store(true, std::memory_order_release);
   epoch_.store(next_binding_epoch(), std::memory_order_relaxed);  // rebind legacy TLS
+  g_stream_recorder.store(this, std::memory_order_release);
+  // One process-wide registration; the handlers dispatch through
+  // g_stream_recorder so later recorders (unit tests) are covered too.
+  std::call_once(g_atfork_once, [] {
+    pthread_atfork(&Recorder::atfork_prepare, &Recorder::atfork_parent,
+                   &Recorder::atfork_child);
+  });
+  {
+    // The flusher must never appear in the trace: suppress the hooks both
+    // for its pthread_create and (inside flusher_main) for its lifetime.
+    ScopedInternal internal;
+    flusher_ = std::thread([this] { flusher_main(); });
+  }
+}
+
+// ---- fork safety ---------------------------------------------------------
+
+void Recorder::atfork_prepare() {
+  ScopedInternal internal;
+  if (Recorder* r = g_stream_recorder.load(std::memory_order_acquire)) {
+    r->prepare_fork();
+  }
+}
+
+void Recorder::atfork_parent() {
+  ScopedInternal internal;
+  if (Recorder* r = g_stream_recorder.load(std::memory_order_acquire)) {
+    r->resume_parent();
+  }
+}
+
+void Recorder::atfork_child() {
+  ScopedInternal internal;
+  if (Recorder* r = g_stream_recorder.load(std::memory_order_acquire)) {
+    r->reinit_child();
+  }
+}
+
+void Recorder::prepare_fork() {
+  // Quiesce registration and the flusher so the child's snapshot of the
+  // recorder (and of the trace file) is not mid-mutation. Lock order
+  // matches name_object -> sink writes: mutex_ first, then the gate.
+  mutex_.lock();
+  flush_gate_.lock();
+}
+
+void Recorder::resume_parent() {
+  flush_gate_.unlock();
+  mutex_.unlock();
+  if (streaming_.load(std::memory_order_acquire) &&
+      !shutdown_.load(std::memory_order_acquire)) {
+    warn_forks_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Recorder::reinit_child() {
+  flush_gate_.unlock();
+  mutex_.unlock();
+  if (!streaming_.load(std::memory_order_acquire) ||
+      shutdown_.load(std::memory_order_acquire)) {
+    return;
+  }
+  // The flusher thread does not exist in the child; its std::thread
+  // handle still claims joinable, so reset the handle in place (join or
+  // assignment would be UB / terminate).
+  new (&flusher_) std::thread();
+  // Invalidate every inherited thread binding *before* freeing the
+  // buffers they point to; only the forking thread survives, and it
+  // re-registers on its next event.
+  epoch_.store(next_binding_epoch(), std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kMaxStreamThreads; ++i) {
+    stream_registry_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  stream_count_.store(0, std::memory_order_relaxed);
+  stream_owned_.clear();
+  thread_names_.clear();
+  next_tid_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  io_dropped_.store(0, std::memory_order_relaxed);
+  warn_forks_.store(0, std::memory_order_relaxed);
+  // Drop the inherited sink (its close() only releases the shared fd —
+  // the parent's already-flushed chunks stay untouched) and open this
+  // process's own trace file. Nested forks compound the suffix.
+  sink_.reset();
+  stream_path_ += "." + std::to_string(::getpid());
+  try {
+    sink_ = std::make_unique<trace::ChunkedTraceWriter>(stream_path_,
+                                                        stream_version_);
+  } catch (...) {
+    // Child cannot trace (unwritable dir after chroot/setuid...): record
+    // nothing rather than crash the forked application.
+    streaming_.store(false, std::memory_order_release);
+    shutdown_.store(true, std::memory_order_release);
+    return;
+  }
+  // Object identities (lock addresses) persist across fork; replay their
+  // names so the child's trace is self-contained.
+  for (const auto& [object, name] : object_names_) {
+    sink_->write_object_name(object, name);
+  }
+  flusher_stop_.store(false, std::memory_order_release);
   flusher_ = std::thread([this] { flusher_main(); });
 }
 
 void Recorder::flusher_main() {
+  // The whole loop is recorder machinery: its flush_gate_ acquisitions
+  // must not surface as trace events through the interposed hooks.
+  ScopedInternal internal;
   const struct timespec pause{0, 200'000};  // 200us between drain sweeps
   while (!flusher_stop_.load(std::memory_order_acquire)) {
-    const std::uint32_t n = stream_count_.load(std::memory_order_acquire);
-    for (std::uint32_t i = 0; i < n; ++i) {
-      StreamBuffer* buffer = stream_registry_[i].load(std::memory_order_acquire);
-      if (buffer == nullptr) continue;
-      const bool full0 = buffer->full[0].load(std::memory_order_acquire);
-      const bool full1 = buffer->full[1].load(std::memory_order_acquire);
-      if (full0 && full1) {
-        // Keep per-thread chunk order: lower publish sequence first.
-        const std::uint64_t s0 =
-            buffer->publish_seq[0].load(std::memory_order_relaxed);
-        const std::uint64_t s1 =
-            buffer->publish_seq[1].load(std::memory_order_relaxed);
-        flush_half(*buffer, s0 < s1 ? 0 : 1);
-        flush_half(*buffer, s0 < s1 ? 1 : 0);
-      } else if (full0) {
-        flush_half(*buffer, 0);
-      } else if (full1) {
-        flush_half(*buffer, 1);
+    if (const std::uint32_t stall = util::fault::flusher_stall_ms();
+        stall != 0) {
+      const struct timespec ts{stall / 1000,
+                               static_cast<long>(stall % 1000) * 1'000'000};
+      nanosleep(&ts, nullptr);
+    }
+    {
+      // The gate quiesces this sweep around fork(): the atfork prepare
+      // handler takes it, so no writev is in flight while the file and
+      // the buffers get duplicated into the child.
+      std::lock_guard<std::mutex> gate(flush_gate_);
+      const std::uint32_t n = stream_count_.load(std::memory_order_acquire);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        StreamBuffer* buffer =
+            stream_registry_[i].load(std::memory_order_acquire);
+        if (buffer == nullptr) continue;
+        const bool full0 = buffer->full[0].load(std::memory_order_acquire);
+        const bool full1 = buffer->full[1].load(std::memory_order_acquire);
+        if (full0 && full1) {
+          // Keep per-thread chunk order: lower publish sequence first.
+          const std::uint64_t s0 =
+              buffer->publish_seq[0].load(std::memory_order_relaxed);
+          const std::uint64_t s1 =
+              buffer->publish_seq[1].load(std::memory_order_relaxed);
+          flush_half(*buffer, s0 < s1 ? 0 : 1);
+          flush_half(*buffer, s0 < s1 ? 1 : 0);
+        } else if (full0) {
+          flush_half(*buffer, 0);
+        } else if (full1) {
+          flush_half(*buffer, 1);
+        }
       }
     }
     nanosleep(&pause, nullptr);
@@ -366,7 +561,15 @@ void Recorder::flush_half(StreamBuffer& buffer, unsigned half) {
     return;
   }
   const std::uint32_t c = buffer.count[half].load(std::memory_order_acquire);
-  sink_->write_events(buffer.tid, buffer.half[half].get(), c);
+  const std::size_t wrote =
+      sink_->write_events(buffer.tid, buffer.half[half].get(), c);
+  if (wrote < c) {
+    // The sink ran out of retry budget (disk full past the backoff
+    // window): the unwritten tail is gone — count it, both in the meta
+    // drop counter and in the IO-specific warning.
+    dropped_.fetch_add(c - wrote, std::memory_order_relaxed);
+    io_dropped_.fetch_add(c - wrote, std::memory_order_relaxed);
+  }
   buffer.count[half].store(0, std::memory_order_release);
   buffer.full[half].store(false, std::memory_order_release);
   buffer.in_flight[half].store(false, std::memory_order_release);
@@ -374,6 +577,8 @@ void Recorder::flush_half(StreamBuffer& buffer, unsigned half) {
 
 void Recorder::finish_streaming() {
   if (!streaming_.load(std::memory_order_acquire)) return;
+  // Teardown joins the flusher and must not record its own pthread use.
+  ScopedInternal internal;
   flusher_stop_.store(true, std::memory_order_release);
   if (flusher_.joinable()) flusher_.join();
   if (shutdown_.exchange(true, std::memory_order_seq_cst)) return;
@@ -398,7 +603,14 @@ void Recorder::finish_streaming() {
     }
     for (unsigned half : order) {
       const std::uint32_t c = buffer->count[half].load(std::memory_order_acquire);
-      if (c > 0) sink_->write_events(buffer->tid, buffer->half[half].get(), c);
+      if (c > 0) {
+        const std::size_t wrote =
+            sink_->write_events(buffer->tid, buffer->half[half].get(), c);
+        if (wrote < c) {
+          dropped_.fetch_add(c - wrote, std::memory_order_relaxed);
+          io_dropped_.fetch_add(c - wrote, std::memory_order_relaxed);
+        }
+      }
       buffer->count[half].store(0, std::memory_order_relaxed);
       buffer->full[half].store(false, std::memory_order_relaxed);
     }
@@ -406,11 +618,36 @@ void Recorder::finish_streaming() {
       const trace::Event exit_event{
           buffer->last_ts.load(std::memory_order_relaxed), trace::kNoObject,
           trace::kNoArg, trace::EventType::ThreadExit, 0, buffer->tid};
-      sink_->write_events(buffer->tid, &exit_event, 1);
+      if (sink_->write_events(buffer->tid, &exit_event, 1) < 1) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        io_dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
+  write_stream_warnings();
   sink_->write_meta(dropped_.load(std::memory_order_relaxed), /*clean_close=*/true);
   sink_->close();
+}
+
+void Recorder::write_stream_warnings() {
+  // Fixed stack array, no allocation: this also runs on the crash-spill
+  // path inside fatal-signal handlers.
+  trace::RuntimeWarning warnings[trace::kRuntimeWarningSlots];
+  std::size_t n = 0;
+  const auto add = [&](util::DiagCode code, std::uint64_t value) {
+    if (value == 0 || n == trace::kRuntimeWarningSlots) return;
+    warnings[n].code = static_cast<std::uint32_t>(code);
+    warnings[n].value = value;
+    ++n;
+  };
+  add(util::DiagCode::CLA_W_IO_RETRIED, sink_->io_retries());
+  add(util::DiagCode::CLA_W_IO_DROPPED_EVENTS,
+      io_dropped_.load(std::memory_order_relaxed));
+  add(util::DiagCode::CLA_W_PARTIAL_INTERPOSITION,
+      warn_partial_interpose_.load(std::memory_order_relaxed));
+  add(util::DiagCode::CLA_W_FORKED_CHILD,
+      warn_forks_.load(std::memory_order_relaxed));
+  if (n > 0) sink_->write_warnings(warnings, n);
 }
 
 void Recorder::crash_spill() {
@@ -419,6 +656,10 @@ void Recorder::crash_spill() {
   // runs inside fatal-signal handlers.
   if (shutdown_.exchange(true, std::memory_order_seq_cst)) return;
   if (!streaming_.load(std::memory_order_acquire) || sink_ == nullptr) return;
+  // Teardown write policy: single retry, no backoff stalls, no append
+  // locking — a signal handler must never wait on state an interrupted
+  // thread owns.
+  sink_->set_teardown();
 
   const std::uint32_t n = stream_count_.load(std::memory_order_acquire);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -443,9 +684,17 @@ void Recorder::crash_spill() {
         continue;  // the flusher may already be writing this half
       }
       const std::uint32_t c = buffer->count[half].load(std::memory_order_acquire);
-      if (c > 0) sink_->write_events(buffer->tid, buffer->half[half].get(), c);
+      if (c > 0) {
+        const std::size_t wrote =
+            sink_->write_events(buffer->tid, buffer->half[half].get(), c);
+        if (wrote < c) {
+          dropped_.fetch_add(c - wrote, std::memory_order_relaxed);
+          io_dropped_.fetch_add(c - wrote, std::memory_order_relaxed);
+        }
+      }
     }
   }
+  write_stream_warnings();
   sink_->write_meta(dropped_.load(std::memory_order_relaxed),
                     /*clean_close=*/false);
   // No close(): a concurrent flusher writev must not hit a recycled fd.

@@ -24,6 +24,24 @@
 // Recording never aborts the host application: if a thread cannot be
 // bound (registration races teardown) or a buffer has no room, the event
 // is dropped and counted; the count travels in the trace header.
+//
+// Hostile-process survival (streaming mode):
+//
+//  * fork(): pthread_atfork handlers quiesce the flusher and registration
+//    around the fork. The parent resumes untouched (and counts the fork
+//    in a CLA_W_FORKED_CHILD warning); the child — which inherits the
+//    buffers but not the flusher thread — drops all inherited bindings
+//    and re-targets a fresh `<path>.<pid>` trace file, so parent and
+//    child each produce one valid stream with no duplicated events.
+//
+//  * pthread_cancel / pthread_exit: a TSD destructor records the missing
+//    ThreadExit when a bound thread dies without reaching thread_exit(),
+//    closing its open critical sections on disk instead of leaving a
+//    dangling lock-held stream for the repair pass.
+//
+//  * Write failures: the sink retries/backs off internally; events that
+//    still fail to land are accounted to dropped_events() and surfaced
+//    through the trace's RuntimeWarnings chunk (CLA_W_IO_*).
 #pragma once
 
 #include <atomic>
@@ -50,6 +68,25 @@ class Recorder {
   /// the LD_PRELOAD interposer.
   static Recorder& instance();
 
+  /// True while the calling thread is executing recorder-internal
+  /// machinery (the flusher loop, atfork handlers, flusher re-spawn). The
+  /// interposer consults this and disarms its hooks, so the recorder's
+  /// own pthread use — flush_gate_, std::thread creation — never leaks
+  /// synthetic threads or recorder-internal locks into the trace.
+  static bool current_thread_internal() noexcept;
+
+  /// RAII marker for recorder-internal execution on the calling thread.
+  class ScopedInternal {
+   public:
+    ScopedInternal() noexcept;
+    ~ScopedInternal();
+    ScopedInternal(const ScopedInternal&) = delete;
+    ScopedInternal& operator=(const ScopedInternal&) = delete;
+
+   private:
+    bool prev_;
+  };
+
   /// Reserves a thread id for a thread that is about to start (called by
   /// the creating thread so ThreadCreate can reference the child).
   trace::ThreadId allocate_thread();
@@ -64,6 +101,15 @@ class Recorder {
 
   /// Records ThreadExit for the calling thread.
   void thread_exit();
+
+  /// TSD-destructor hook: records ThreadExit for the calling thread if it
+  /// is bound, streaming and has not recorded one — the cancel/implicit-
+  /// exit cleanup path. No-op otherwise.
+  void thread_exit_on_destroy() noexcept;
+
+  /// Counts one interposed call that hit an unresolved real symbol
+  /// (surfaced as a CLA_W_PARTIAL_INTERPOSITION runtime warning).
+  void note_partial_interposition() noexcept;
 
   /// Appends an event for the calling thread; timestamps with now_ns().
   void record(trace::EventType type, trace::ObjectId object,
@@ -115,6 +161,10 @@ class Recorder {
     return streaming_.load(std::memory_order_acquire);
   }
 
+  /// Path of the stream this process is writing (the fork handler gives
+  /// each child its own `<path>.<pid>`). Empty outside streaming mode.
+  const std::string& stream_path() const noexcept { return stream_path_; }
+
   /// Clean-exit path: stops the flusher, drains every buffer, synthesizes
   /// missing ThreadExit events, writes the clean-close Meta chunk and
   /// closes the file. Idempotent.
@@ -142,8 +192,20 @@ class Recorder {
   void stream_append(StreamBuffer& buffer, const trace::Event& event);
   void flusher_main();
   void flush_half(StreamBuffer& buffer, unsigned half);
+  void write_stream_warnings();
+
+  // pthread_atfork trampolines (dispatch to the streaming recorder).
+  static void atfork_prepare();
+  static void atfork_parent();
+  static void atfork_child();
+  void prepare_fork();
+  void resume_parent();
+  void reinit_child();
 
   mutable std::mutex mutex_;  // guards registration and collection only
+  // Held by the flusher around each drain sweep so the fork handler can
+  // quiesce in-flight IO (lock order: mutex_ then flush_gate_).
+  std::mutex flush_gate_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::atomic<trace::ThreadId> next_tid_{0};
   std::map<trace::ObjectId, std::string> object_names_;
@@ -158,6 +220,11 @@ class Recorder {
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> flusher_stop_{false};
   std::size_t stream_capacity_ = 0;
+  std::string stream_path_;
+  std::uint32_t stream_version_ = trace::kTraceVersion;
+  std::atomic<std::uint64_t> io_dropped_{0};   // events lost to failed writes
+  std::atomic<std::uint64_t> warn_partial_interpose_{0};
+  std::atomic<std::uint64_t> warn_forks_{0};
   std::unique_ptr<trace::ChunkedTraceWriter> sink_;
   std::vector<std::unique_ptr<StreamBuffer>> stream_owned_;
   std::atomic<StreamBuffer*> stream_registry_[kMaxStreamThreads] = {};

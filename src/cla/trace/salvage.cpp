@@ -234,6 +234,16 @@ void salvage_v2(BufReader& in, Trace& trace, SalvageReport& report) {
         if (intact && (flags & kMetaFlagCleanClose)) report.clean_close = true;
         break;
       }
+      case ChunkKind::RuntimeWarnings: {
+        std::uint32_t count = 0;
+        intact = body.try_get(count) && body.remaining() == count * 12ull;
+        for (std::uint32_t i = 0; intact && i < count; ++i) {
+          RuntimeWarning w;
+          intact = body.try_get(w.code) && body.try_get(w.value);
+          if (intact && w.code != 0) trace.set_runtime_warning(w.code, w.value);
+        }
+        break;
+      }
       default:
         break;  // unknown kind, CRC was valid: skip silently
     }

@@ -70,6 +70,17 @@ class Trace {
   void set_dropped_events(std::uint64_t count) noexcept { dropped_events_ = count; }
   std::uint64_t dropped_events() const noexcept { return dropped_events_; }
 
+  /// Runtime warnings the producing process recorded in the `.clat`
+  /// RuntimeWarnings chunk: stable cla::util::DiagCode value (CLA_W_*) ->
+  /// count/value. The analyzer surfaces them in its trace-health section.
+  void set_runtime_warning(std::uint32_t code, std::uint64_t value) {
+    runtime_warnings_[code] = value;
+  }
+  const std::map<std::uint32_t, std::uint64_t>& runtime_warnings()
+      const noexcept {
+    return runtime_warnings_;
+  }
+
   const std::map<ObjectId, std::string>& object_names() const noexcept {
     return object_names_;
   }
@@ -91,6 +102,7 @@ class Trace {
   std::map<ObjectId, std::string> object_names_;
   std::map<ThreadId, std::string> thread_names_;
   std::uint64_t dropped_events_ = 0;
+  std::map<std::uint32_t, std::uint64_t> runtime_warnings_;
 };
 
 }  // namespace cla::trace

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <sys/uio.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -15,6 +16,7 @@
 #include "cla/trace/varint.hpp"
 #include "cla/util/crc32.hpp"
 #include "cla/util/error.hpp"
+#include "cla/util/faultinject.hpp"
 
 namespace cla::trace {
 
@@ -24,6 +26,68 @@ namespace {
 // after a mid-file tear loses at most this many events of one thread, and
 // readers stay bounded.
 constexpr std::size_t kEventsPerChunk = 1u << 16;
+
+// ---- fault-tolerant write layer ------------------------------------------
+
+// Retry ladder for transient write errors. Normal mode: ~8 backoffs from
+// 0.5ms doubling to 64ms (~250ms worst case per chunk, paid only while
+// the disk is full/busy). Teardown (crash spill) mode: one 1ms retry —
+// a dying process must not stall inside a signal handler.
+constexpr unsigned kMaxTransientRetries = 8;
+constexpr unsigned kTeardownRetries = 1;
+constexpr std::uint64_t kInitialBackoffNs = 500'000;
+constexpr std::uint64_t kMaxBackoffNs = 64'000'000;
+
+// On-disk layout of the in-place region right after the 8-byte preamble:
+// a reserved RuntimeWarnings chunk, then a reserved Meta chunk. Appended
+// data starts at kFirstAppendOffset.
+constexpr std::size_t kChunkHeaderBytes = 16;
+constexpr std::size_t kWarnPayloadBytes = 4 + kRuntimeWarningSlots * 12;
+constexpr std::uint64_t kWarnChunkOffset = 8;
+constexpr std::uint64_t kMetaChunkOffset =
+    kWarnChunkOffset + kChunkHeaderBytes + kWarnPayloadBytes;
+constexpr std::size_t kMetaPayloadBytes = 12;
+constexpr std::uint64_t kFirstAppendOffset =
+    kMetaChunkOffset + kChunkHeaderBytes + kMetaPayloadBytes;
+
+// ENOSPC-class conditions worth waiting out; anything else (EBADF, EFBIG,
+// a forcibly revoked fd...) is permanent.
+bool transient_write_errno(int err) noexcept {
+  return err == ENOSPC || err == EAGAIN || err == EWOULDBLOCK ||
+         err == EDQUOT || err == EIO;
+}
+
+void backoff_sleep(std::uint64_t ns) noexcept {
+  struct timespec ts{static_cast<time_t>(ns / 1'000'000'000),
+                     static_cast<long>(ns % 1'000'000'000)};
+  nanosleep(&ts, nullptr);  // async-signal-safe
+}
+
+// Builds a complete chunk image (header + payload) into `out`, which must
+// hold kChunkHeaderBytes + payload_len bytes. Used for the in-place
+// pwrite chunks, which are small and fixed-size.
+void render_chunk(unsigned char* out, ChunkKind kind, const void* payload,
+                  std::size_t payload_len) noexcept {
+  std::memcpy(out, kChunkMagic, 4);
+  const std::uint32_t kind_raw = static_cast<std::uint32_t>(kind);
+  const std::uint32_t payload_bytes = static_cast<std::uint32_t>(payload_len);
+  const std::uint32_t crc = util::crc32(payload, payload_len);
+  std::memcpy(out + 4, &kind_raw, 4);
+  std::memcpy(out + 8, &payload_bytes, 4);
+  std::memcpy(out + 12, &crc, 4);
+  std::memcpy(out + kChunkHeaderBytes, payload, payload_len);
+}
+
+void render_warn_payload(unsigned char* out, const RuntimeWarning* entries,
+                         std::size_t count) noexcept {
+  const std::uint32_t slots = static_cast<std::uint32_t>(kRuntimeWarningSlots);
+  std::memset(out, 0, kWarnPayloadBytes);
+  std::memcpy(out, &slots, 4);
+  for (std::size_t i = 0; i < count && i < kRuntimeWarningSlots; ++i) {
+    std::memcpy(out + 4 + i * 12, &entries[i].code, 4);
+    std::memcpy(out + 4 + i * 12 + 4, &entries[i].value, 8);
+  }
+}
 
 template <typename T>
 void put(std::ostream& out, const T& value) {
@@ -137,6 +201,16 @@ void write_trace_chunked(const Trace& trace, std::ostream& out,
         put_chunk(out, ChunkKind::Events, payload);
       }
     }
+  }
+  if (!trace.runtime_warnings().empty()) {
+    std::string warnings;
+    append_raw(warnings,
+               static_cast<std::uint32_t>(trace.runtime_warnings().size()));
+    for (const auto& [code, value] : trace.runtime_warnings()) {
+      append_raw(warnings, code);
+      append_raw(warnings, value);
+    }
+    put_chunk(out, ChunkKind::RuntimeWarnings, warnings);
   }
   std::string meta;
   append_raw(meta, trace.dropped_events());
@@ -287,6 +361,7 @@ ChunkedTraceWriter::ChunkedTraceWriter(const std::string& path,
   CLA_CHECK(version == kTraceVersion || version == kTraceVersionV3,
             "ChunkedTraceWriter needs a chunk-framed version (2 or 3), got " +
                 std::to_string(version));
+  util::fault::init();  // parse CLA_FAULT_* while getenv is still safe
   if (version_ == kTraceVersionV3) {
     // All allocation happens here, up front: write_events must stay
     // allocation-free to remain async-signal-safe.
@@ -295,21 +370,151 @@ ChunkedTraceWriter::ChunkedTraceWriter(const std::string& path,
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   CLA_CHECK(fd_ >= 0, "cannot open trace file for writing: " + path + ": " +
                           std::strerror(errno));
-  char preamble[8];
-  std::memcpy(preamble, kTraceMagic, 4);
-  std::memcpy(preamble + 4, &version_, 4);
-  if (::write(fd_, preamble, sizeof preamble) !=
-      static_cast<ssize_t>(sizeof preamble)) {
-    failed_ = true;
+  // Preamble plus the reserved in-place chunks (empty RuntimeWarnings,
+  // not-clean Meta). Writing them now, while the disk presumably has
+  // room, is what lets write_meta()/write_warnings() succeed later even
+  // when the disk has filled up: rewriting allocated bytes needs no new
+  // blocks.
+  unsigned char init[kFirstAppendOffset];
+  std::memcpy(init, kTraceMagic, 4);
+  std::memcpy(init + 4, &version_, 4);
+  unsigned char warn_payload[kWarnPayloadBytes];
+  render_warn_payload(warn_payload, nullptr, 0);
+  render_chunk(init + kWarnChunkOffset, ChunkKind::RuntimeWarnings,
+               warn_payload, sizeof warn_payload);
+  unsigned char meta_payload[kMetaPayloadBytes] = {};
+  render_chunk(init + kMetaChunkOffset, ChunkKind::Meta, meta_payload,
+               sizeof meta_payload);
+  if (!robust_pwrite(init, sizeof init, 0) ||
+      ::lseek(fd_, static_cast<off_t>(kFirstAppendOffset), SEEK_SET) < 0) {
+    failed_.store(true, std::memory_order_relaxed);
   }
 }
 
 ChunkedTraceWriter::~ChunkedTraceWriter() { close(); }
 
-void ChunkedTraceWriter::write_chunk(ChunkKind kind, const void* head,
+bool ChunkedTraceWriter::lock_appends() noexcept {
+  // ~4ms bounded spin. Only a fatal-signal handler interrupting the lock
+  // holder can spin this out; it then drops its chunk instead of
+  // deadlocking (and teardown mode never calls this at all).
+  for (int i = 0; i < 4000; ++i) {
+    if (!append_busy_.test_and_set(std::memory_order_acquire)) return true;
+    backoff_sleep(1'000);
+  }
+  return false;
+}
+
+bool ChunkedTraceWriter::robust_writev(::iovec* iov, int iovcnt,
+                                       std::size_t total) {
+  const bool teardown = teardown_.load(std::memory_order_relaxed);
+  // While degraded (the disk just rejected a full retry ladder) each
+  // chunk gets exactly one cheap attempt, so a persistently full disk
+  // costs the traced app one failed syscall per chunk, not 250ms of
+  // backoff per chunk.
+  const unsigned max_retries =
+      teardown ? kTeardownRetries
+               : (degraded_.load(std::memory_order_relaxed)
+                      ? 0
+                      : kMaxTransientRetries);
+  std::size_t remaining = total;
+  unsigned retries = 0;
+  std::uint64_t backoff = kInitialBackoffNs;
+  while (remaining > 0) {
+    const util::fault::WriteFault fault =
+        util::fault::enabled() ? util::fault::on_write(remaining)
+                               : util::fault::WriteFault{};
+    ssize_t wrote;
+    if (fault.fail) {
+      errno = fault.error;
+      wrote = -1;
+    } else if (fault.max_bytes < remaining) {
+      // Injected short write: submit a clamped iovec copy.
+      struct iovec clamped[8];
+      int clamped_cnt = 0;
+      std::size_t budget = fault.max_bytes;
+      for (int i = 0; i < iovcnt && budget > 0 && clamped_cnt < 8; ++i) {
+        if (iov[i].iov_len == 0) continue;
+        clamped[clamped_cnt] = iov[i];
+        if (clamped[clamped_cnt].iov_len > budget)
+          clamped[clamped_cnt].iov_len = budget;
+        budget -= clamped[clamped_cnt].iov_len;
+        ++clamped_cnt;
+      }
+      wrote = ::writev(fd_, clamped, clamped_cnt);
+    } else {
+      wrote = ::writev(fd_, iov, iovcnt);
+    }
+    if (wrote >= 0) {
+      remaining -= static_cast<std::size_t>(wrote);
+      // Short write: advance the iovec past the consumed bytes and
+      // continue immediately (no retry charged).
+      std::size_t consumed = static_cast<std::size_t>(wrote);
+      for (int i = 0; i < iovcnt && consumed > 0; ++i) {
+        const std::size_t take = std::min(consumed, iov[i].iov_len);
+        iov[i].iov_base = static_cast<char*>(iov[i].iov_base) + take;
+        iov[i].iov_len -= take;
+        consumed -= take;
+      }
+      continue;
+    }
+    if (errno == EINTR) {
+      io_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!transient_write_errno(errno)) {
+      failed_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    if (retries >= max_retries) return false;
+    ++retries;
+    io_retries_.fetch_add(1, std::memory_order_relaxed);
+    backoff_sleep(backoff);
+    backoff = std::min(backoff * 2, kMaxBackoffNs);
+  }
+  return true;
+}
+
+bool ChunkedTraceWriter::robust_pwrite(const void* buf, std::size_t len,
+                                       std::uint64_t offset) {
+  const unsigned max_retries = teardown_.load(std::memory_order_relaxed)
+                                   ? kTeardownRetries
+                                   : kMaxTransientRetries;
+  const char* p = static_cast<const char*>(buf);
+  std::size_t remaining = len;
+  unsigned retries = 0;
+  std::uint64_t backoff = kInitialBackoffNs;
+  while (remaining > 0) {
+    const ssize_t wrote =
+        ::pwrite(fd_, p, remaining, static_cast<off_t>(offset));
+    if (wrote >= 0) {
+      p += wrote;
+      offset += static_cast<std::uint64_t>(wrote);
+      remaining -= static_cast<std::size_t>(wrote);
+      continue;
+    }
+    if (errno == EINTR) {
+      io_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!transient_write_errno(errno) || retries >= max_retries) return false;
+    ++retries;
+    io_retries_.fetch_add(1, std::memory_order_relaxed);
+    backoff_sleep(backoff);
+    backoff = std::min(backoff * 2, kMaxBackoffNs);
+  }
+  return true;
+}
+
+bool ChunkedTraceWriter::write_chunk(ChunkKind kind, const void* head,
                                      std::size_t head_len, const void* body,
                                      std::size_t body_len) {
-  if (fd_ < 0 || failed_) return;
+  if (fd_ < 0 || failed_.load(std::memory_order_relaxed)) return false;
+  const bool teardown = teardown_.load(std::memory_order_relaxed);
+  if (!teardown && !lock_appends()) {
+    failed_chunks_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
   std::uint32_t crc = util::kCrc32Init;
   crc = util::crc32_update(crc, head, head_len);
   crc = util::crc32_update(crc, body, body_len);
@@ -324,49 +529,67 @@ void ChunkedTraceWriter::write_chunk(ChunkKind kind, const void* head,
   std::memcpy(header + 8, &payload_bytes, 4);
   std::memcpy(header + 12, &crc, 4);
 
-  // One writev per chunk: concurrent writers (flusher thread vs. crash
-  // handler) interleave at chunk granularity, never inside a chunk.
+  // One writev submission per chunk: concurrent writers (flusher thread
+  // vs. crash handler in teardown mode) interleave at chunk granularity,
+  // never inside a chunk.
   struct iovec iov[3];
   iov[0] = {header, sizeof header};
   iov[1] = {const_cast<void*>(head), head_len};
   iov[2] = {const_cast<void*>(body), body_len};
   const int iovcnt = body_len > 0 ? 3 : 2;
-  const ssize_t want = static_cast<ssize_t>(sizeof header + head_len + body_len);
-  ssize_t wrote;
-  do {
-    wrote = ::writev(fd_, iov, iovcnt);
-  } while (wrote < 0 && errno == EINTR);
-  if (wrote != want) failed_ = true;
+  const std::size_t total = sizeof header + head_len + body_len;
+
+  const off_t start = teardown ? -1 : ::lseek(fd_, 0, SEEK_CUR);
+  const bool ok = robust_writev(iov, iovcnt, total);
+  if (ok) {
+    degraded_.store(false, std::memory_order_relaxed);
+  } else {
+    // Roll the partial chunk back so the file stays structurally valid
+    // (CRC-clean chunks only), then drop into counted-drop mode. In
+    // teardown mode there is no rollback — a torn final chunk is exactly
+    // what salvage's CRC check exists for.
+    if (start >= 0 && ::ftruncate(fd_, start) == 0) {
+      ::lseek(fd_, start, SEEK_SET);
+    }
+    degraded_.store(true, std::memory_order_relaxed);
+    failed_chunks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!teardown) append_busy_.clear(std::memory_order_release);
+  return ok;
 }
 
-void ChunkedTraceWriter::write_events_raw(ThreadId tid, const Event* events,
+bool ChunkedTraceWriter::write_events_raw(ThreadId tid, const Event* events,
                                           std::size_t count) {
   char head[8];
   const std::uint32_t n = static_cast<std::uint32_t>(count);
   std::memcpy(head, &tid, 4);
   std::memcpy(head + 4, &n, 4);
-  write_chunk(ChunkKind::Events, head, sizeof head, events,
-              count * sizeof(Event));
+  return write_chunk(ChunkKind::Events, head, sizeof head, events,
+                     count * sizeof(Event));
 }
 
-void ChunkedTraceWriter::write_events(ThreadId tid, const Event* events,
-                                      std::size_t count) {
+std::size_t ChunkedTraceWriter::write_events(ThreadId tid, const Event* events,
+                                             std::size_t count) {
+  std::size_t written = 0;
   for (std::size_t begin = 0; begin < count; begin += kEventsPerChunk) {
     const std::size_t n = std::min(kEventsPerChunk, count - begin);
     // v3 encoding needs the scratch buffer. Try-lock, never block: if a
     // fatal-signal spill races the flusher thread mid-encode, the spill
     // writes a raw v2 Events chunk instead — mixed-kind files are legal.
+    bool ok;
     if (version_ == kTraceVersionV3 &&
         !v3_scratch_busy_.test_and_set(std::memory_order_acquire)) {
       v3_scratch_.clear();
       encode_events_v3(tid, events + begin, n, v3_scratch_);
-      write_chunk(ChunkKind::EventsV3, v3_scratch_.data(), v3_scratch_.size(),
-                  nullptr, 0);
+      ok = write_chunk(ChunkKind::EventsV3, v3_scratch_.data(),
+                       v3_scratch_.size(), nullptr, 0);
       v3_scratch_busy_.clear(std::memory_order_release);
     } else {
-      write_events_raw(tid, events + begin, n);
+      ok = write_events_raw(tid, events + begin, n);
     }
+    if (ok) written += n;
   }
+  return written;
 }
 
 void ChunkedTraceWriter::write_object_name(ObjectId object,
@@ -388,11 +611,24 @@ void ChunkedTraceWriter::write_thread_name(ThreadId tid, std::string_view name) 
 
 void ChunkedTraceWriter::write_meta(std::uint64_t dropped_events,
                                     bool clean_close) {
-  char head[12];
+  if (fd_ < 0) return;
+  unsigned char payload[kMetaPayloadBytes];
   const std::uint32_t flags = clean_close ? kMetaFlagCleanClose : 0;
-  std::memcpy(head, &dropped_events, 8);
-  std::memcpy(head + 8, &flags, 4);
-  write_chunk(ChunkKind::Meta, head, sizeof head, nullptr, 0);
+  std::memcpy(payload, &dropped_events, 8);
+  std::memcpy(payload + 8, &flags, 4);
+  unsigned char chunk[kChunkHeaderBytes + kMetaPayloadBytes];
+  render_chunk(chunk, ChunkKind::Meta, payload, sizeof payload);
+  robust_pwrite(chunk, sizeof chunk, kMetaChunkOffset);
+}
+
+void ChunkedTraceWriter::write_warnings(const RuntimeWarning* entries,
+                                        std::size_t count) {
+  if (fd_ < 0) return;
+  unsigned char payload[kWarnPayloadBytes];
+  render_warn_payload(payload, entries, count);
+  unsigned char chunk[kChunkHeaderBytes + kWarnPayloadBytes];
+  render_chunk(chunk, ChunkKind::RuntimeWarnings, payload, sizeof payload);
+  robust_pwrite(chunk, sizeof chunk, kWarnChunkOffset);
 }
 
 void ChunkedTraceWriter::close() noexcept {
@@ -560,6 +796,20 @@ std::optional<TraceStreamReader::ThreadBlock> TraceStreamReader::next_thread_v2(
         if ((flags & kMetaFlagCleanClose) != 0) clean_close_ = true;
         break;
       }
+      case ChunkKind::RuntimeWarnings: {
+        std::uint32_t count;
+        take(&count, 4);
+        CLA_CHECK(static_cast<std::size_t>(end - p) == count * 12ull,
+                  "corrupt trace: runtime-warnings chunk size mismatch");
+        for (std::uint32_t i = 0; i < count; ++i) {
+          RuntimeWarning w;
+          take(&w.code, 4);
+          take(&w.value, 8);
+          if (w.code == 0) continue;  // empty slot of the reserved chunk
+          runtime_warnings_[w.code] = w.value;
+        }
+        break;
+      }
       default:
         // Unknown chunk kind from a newer minor writer: skip it.
         break;
@@ -607,6 +857,9 @@ Trace read_trace(std::istream& in) {
     trace.set_thread_name(tid, name);
   }
   trace.set_dropped_events(reader.dropped_events());
+  for (const auto& [code, value] : reader.runtime_warnings()) {
+    trace.set_runtime_warning(code, value);
+  }
   return trace;
 }
 

@@ -16,14 +16,27 @@
 //   kind 2 ThreadNames: u32 count | { u32 tid, u32 len, bytes }...
 //   kind 3 Events:      u32 tid | u32 count | count * 32-byte Event
 //   kind 4 Meta:        u64 dropped_events | u32 flags (bit0 = clean close)
+//   kind 6 RuntimeWarnings: u32 count | count * { u32 code, u64 value }
+//          (code 0 = empty slot; codes are cla::util::DiagCode values,
+//          e.g. CLA_W_IO_DROPPED_EVENTS)
 //
 // Chunks carry no global counts or offsets, so a writer can append them
 // incrementally as per-thread buffers fill and a reader can recover every
 // intact prefix of a torn file (see salvage.hpp). A clean writer close
-// appends a Meta chunk with the clean flag set; its absence marks a
+// records a Meta chunk with the clean flag set; its absence marks a
 // crashed or truncated recording. Duplicate name entries resolve
-// last-write-wins; a thread's Events chunks must appear in timestamp
-// order relative to each other (the per-thread buffers flush in order).
+// last-write-wins (Meta and RuntimeWarnings likewise: the last chunk
+// read wins); a thread's Events chunks must appear in timestamp order
+// relative to each other (the per-thread buffers flush in order).
+//
+// ChunkedTraceWriter reserves a RuntimeWarnings chunk and a Meta chunk
+// directly after the preamble at construction time and REWRITES THEM IN
+// PLACE (pwrite) on close or crash spill. In-place rewrites of already
+// allocated file bytes need no new disk blocks, so the drop counter and
+// the warning trailer survive even a persistently full disk that made
+// every appending write fail. Readers accept Meta/RuntimeWarnings chunks
+// anywhere in the file (the ostream conversion path still appends them at
+// the end).
 //
 // v3 keeps the v2 preamble/chunk/CRC framing exactly and adds one chunk
 // kind, EventsV3 (5), holding the same per-thread event runs in a compact
@@ -56,6 +69,8 @@
 
 #include "cla/trace/trace.hpp"
 
+struct iovec;  // <sys/uio.h>; only trace_io.cpp needs the definition
+
 namespace cla::trace {
 
 inline constexpr char kTraceMagic[4] = {'C', 'L', 'A', 'T'};
@@ -72,7 +87,19 @@ enum class ChunkKind : std::uint32_t {
   Events = 3,
   Meta = 4,
   EventsV3 = 5,
+  RuntimeWarnings = 6,
 };
+
+/// One entry of a RuntimeWarnings chunk: a stable cla::util::DiagCode
+/// value (CLA_W_*) plus a count/value. Code 0 marks an empty slot.
+struct RuntimeWarning {
+  std::uint32_t code = 0;
+  std::uint64_t value = 0;
+};
+
+/// Fixed slot count of the in-place RuntimeWarnings chunk the incremental
+/// writer reserves after the preamble.
+inline constexpr std::size_t kRuntimeWarningSlots = 8;
 
 /// Meta-chunk flag: the writer closed the stream deliberately (clean
 /// process exit). Salvage treats files without it as crashed recordings.
@@ -149,9 +176,19 @@ void write_trace_file(const Trace& trace, const std::string& path,
 /// spill falls back to a raw v2 Events chunk instead of blocking —
 /// mixed-kind files are legal, so nothing downstream notices.
 ///
-/// IO errors after a successful open are recorded (ok() turns false) but
-/// never thrown: the writer is used on teardown paths where throwing
-/// would terminate the traced application.
+/// Fault tolerance: every append goes through a retrying write loop —
+/// EINTR restarts, short writes continue from where they stopped, and
+/// transient errors (ENOSPC, EAGAIN, EDQUOT, EIO) get a bounded
+/// exponential backoff. When the retry budget is exhausted the partially
+/// written chunk is rolled back (ftruncate to the chunk start) so the
+/// file stays structurally valid, and the writer enters a degraded
+/// counted-drop mode: subsequent appends are single-shot (no backoff
+/// stall on a full disk) until one succeeds again. The caller learns how
+/// many events actually landed from write_events' return value and
+/// accounts the rest as dropped. Hard errors (EBADF, ...) set failed_
+/// permanently. Nothing here ever throws after a successful open: the
+/// writer runs on teardown paths where throwing would kill the traced
+/// application.
 class ChunkedTraceWriter {
  public:
   /// Opens (creates/truncates) `path` and writes the preamble for
@@ -171,31 +208,72 @@ class ChunkedTraceWriter {
 
   std::uint32_t version() const noexcept { return version_; }
 
-  /// Appends one Events (v2) or EventsV3 chunk for `tid`.
-  /// Async-signal-safe (v3 falls back to a raw v2 chunk under scratch
-  /// contention).
-  void write_events(ThreadId tid, const Event* events, std::size_t count);
+  /// Appends Events (v2) or EventsV3 chunks for `tid` and returns how
+  /// many of the `count` events were durably written (less than `count`
+  /// only when the retry budget ran out — the caller counts the rest as
+  /// dropped). Async-signal-safe (v3 falls back to a raw v2 chunk under
+  /// scratch contention).
+  std::size_t write_events(ThreadId tid, const Event* events,
+                           std::size_t count);
 
   /// Appends a single-entry name chunk (names stream out as they are
   /// registered; readers apply duplicates last-write-wins).
   void write_object_name(ObjectId object, std::string_view name);
   void write_thread_name(ThreadId tid, std::string_view name);
 
-  /// Appends the Meta chunk (dropped-event count + clean-close flag).
-  /// Async-signal-safe.
+  /// Rewrites the reserved Meta chunk in place (dropped-event count +
+  /// clean-close flag). Async-signal-safe; succeeds even on a full disk
+  /// because the bytes are already allocated.
   void write_meta(std::uint64_t dropped_events, bool clean_close);
+
+  /// Rewrites the reserved RuntimeWarnings chunk in place with up to
+  /// kRuntimeWarningSlots entries. Async-signal-safe.
+  void write_warnings(const RuntimeWarning* entries, std::size_t count);
+
+  /// Switches to the teardown write policy: one retry, minimal backoff,
+  /// and no append serialization / rollback (fatal-signal handlers must
+  /// never spin on a lock an interrupted thread holds). Called by the
+  /// crash-spill path before it writes.
+  void set_teardown() noexcept {
+    teardown_.store(true, std::memory_order_release);
+  }
+
+  /// Total write retries caused by EINTR or transient errors.
+  std::uint64_t io_retries() const noexcept {
+    return io_retries_.load(std::memory_order_relaxed);
+  }
+  /// Chunks abandoned after the retry budget ran out.
+  std::uint64_t failed_chunks() const noexcept {
+    return failed_chunks_.load(std::memory_order_relaxed);
+  }
+  /// True while the last append failed and drop mode is active.
+  bool degraded() const noexcept {
+    return degraded_.load(std::memory_order_relaxed);
+  }
 
   /// Flushes file-descriptor state and closes. Async-signal-safe.
   void close() noexcept;
 
  private:
-  void write_chunk(ChunkKind kind, const void* head, std::size_t head_len,
+  bool write_chunk(ChunkKind kind, const void* head, std::size_t head_len,
                    const void* body, std::size_t body_len);
-  void write_events_raw(ThreadId tid, const Event* events, std::size_t count);
+  bool write_events_raw(ThreadId tid, const Event* events, std::size_t count);
+  bool robust_writev(::iovec* iov, int iovcnt, std::size_t total);
+  bool robust_pwrite(const void* buf, std::size_t len, std::uint64_t offset);
+  bool lock_appends() noexcept;
 
   int fd_ = -1;
   std::uint32_t version_ = kTraceVersion;
   std::atomic<bool> failed_{false};
+  std::atomic<bool> degraded_{false};
+  std::atomic<bool> teardown_{false};
+  std::atomic<std::uint64_t> io_retries_{0};
+  std::atomic<std::uint64_t> failed_chunks_{0};
+  // Serializes appending writers so the rollback of a failed chunk can
+  // never truncate a concurrent writer's complete chunk. Bounded-spin
+  // acquire: a signal handler that cannot get it drops the chunk instead
+  // of deadlocking (teardown mode skips it entirely).
+  std::atomic_flag append_busy_ = ATOMIC_FLAG_INIT;
   // v3 encode scratch: capacity reserved up front so appends inside the
   // reserved range never allocate (async-signal-safety), guarded by a
   // try-lock so a handler never blocks on the flusher.
@@ -243,6 +321,13 @@ class TraceStreamReader {
   /// Dropped-event count from the v2 Meta chunk (0 until seen).
   std::uint64_t dropped_events() const noexcept { return dropped_events_; }
 
+  /// Runtime warnings from RuntimeWarnings chunks (CLA_W_* DiagCode value
+  /// -> count; empty slots skipped; last chunk read wins per code).
+  const std::map<std::uint32_t, std::uint64_t>& runtime_warnings()
+      const noexcept {
+    return runtime_warnings_;
+  }
+
   /// True once a Meta chunk with the clean-close flag was read. The v2
   /// strict reader requires it at end-of-stream: every clean writer ends
   /// with one, so its absence means the recording crashed or the file was
@@ -274,6 +359,7 @@ class TraceStreamReader {
   std::uint64_t remaining_in_block_ = 0;
   std::uint64_t dropped_events_ = 0;
   bool clean_close_ = false;
+  std::map<std::uint32_t, std::uint64_t> runtime_warnings_;
   std::map<ObjectId, std::string> object_names_;
   std::map<ThreadId, std::string> thread_names_;
   std::map<ThreadId, bool> v2_tids_seen_;

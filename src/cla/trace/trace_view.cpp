@@ -27,6 +27,7 @@ bool mmap_supported() noexcept { return CLA_HAVE_MMAP != 0; }
 TraceView::TraceView(const Trace& trace)
     : object_names_(&trace.object_names()),
       thread_names_(&trace.thread_names()),
+      runtime_warnings_(&trace.runtime_warnings()),
       dropped_events_(trace.dropped_events()) {
   threads_.reserve(trace.thread_count());
   for (ThreadId tid = 0; tid < trace.thread_count(); ++tid) {
@@ -91,6 +92,9 @@ Trace TraceView::materialize() const {
     trace.set_thread_name(tid, name);
   }
   trace.set_dropped_events(dropped_events_);
+  for (const auto& [code, value] : *runtime_warnings_) {
+    trace.set_runtime_warning(code, value);
+  }
   return trace;
 }
 
@@ -103,6 +107,12 @@ TraceView::empty_object_names() noexcept {
 const std::map<ThreadId, std::string>&
 TraceView::empty_thread_names() noexcept {
   static const std::map<ThreadId, std::string> empty;
+  return empty;
+}
+
+const std::map<std::uint32_t, std::uint64_t>&
+TraceView::empty_runtime_warnings() noexcept {
+  static const std::map<std::uint32_t, std::uint64_t> empty;
   return empty;
 }
 
@@ -186,6 +196,7 @@ MappedTrace::MappedTrace(const std::string& path) {
     }
     view_.object_names_ = &object_names_;
     view_.thread_names_ = &thread_names_;
+    view_.runtime_warnings_ = &runtime_warnings_;
   } catch (...) {
     if (map_ != nullptr) ::munmap(const_cast<unsigned char*>(map_), map_size_);
     throw;
@@ -299,6 +310,18 @@ void MappedTrace::load_chunked(const unsigned char* p, std::size_t size) {
         view_.dropped_events_ = body.get<std::uint64_t>();
         if ((body.get<std::uint32_t>() & kMetaFlagCleanClose) != 0) {
           clean_close = true;
+        }
+        break;
+      }
+      case ChunkKind::RuntimeWarnings: {
+        Cursor body{payload, payload_bytes};
+        const auto count = body.get<std::uint32_t>();
+        CLA_CHECK(body.remaining() == count * 12ull,
+                  "corrupt trace: runtime-warnings chunk size mismatch");
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const auto code = body.get<std::uint32_t>();
+          const auto value = body.get<std::uint64_t>();
+          if (code != 0) runtime_warnings_[code] = value;
         }
         break;
       }

@@ -178,6 +178,13 @@ class TraceView {
 
   std::uint64_t dropped_events() const noexcept { return dropped_events_; }
 
+  /// Runtime warnings from the producing process (CLA_W_* DiagCode value
+  /// -> count), mirroring Trace::runtime_warnings().
+  const std::map<std::uint32_t, std::uint64_t>& runtime_warnings()
+      const noexcept {
+    return *runtime_warnings_;
+  }
+
   /// Deep-copies the viewed events and names into an owning, mutable
   /// Trace (the escape hatch for repair / phase clipping).
   Trace materialize() const;
@@ -187,10 +194,14 @@ class TraceView {
 
   static const std::map<ObjectId, std::string>& empty_object_names() noexcept;
   static const std::map<ThreadId, std::string>& empty_thread_names() noexcept;
+  static const std::map<std::uint32_t, std::uint64_t>&
+  empty_runtime_warnings() noexcept;
 
   std::vector<EventsView> threads_;
   const std::map<ObjectId, std::string>* object_names_ = &empty_object_names();
   const std::map<ThreadId, std::string>* thread_names_ = &empty_thread_names();
+  const std::map<std::uint32_t, std::uint64_t>* runtime_warnings_ =
+      &empty_runtime_warnings();
   std::uint64_t dropped_events_ = 0;
 };
 
@@ -241,6 +252,7 @@ class MappedTrace {
   std::vector<std::vector<Event>> compacted_;  // multi-chunk / mixed threads
   std::map<ObjectId, std::string> object_names_;
   std::map<ThreadId, std::string> thread_names_;
+  std::map<std::uint32_t, std::uint64_t> runtime_warnings_;
   TraceView view_;
 };
 

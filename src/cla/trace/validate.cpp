@@ -454,6 +454,9 @@ RepairSummary repair_trace_semantics(Trace& trace, Strictness mode,
     repaired.set_thread_name(tid, name);
   }
   repaired.set_dropped_events(trace.dropped_events());
+  for (const auto& [code, value] : trace.runtime_warnings()) {
+    repaired.set_runtime_warning(code, value);
+  }
   trace = std::move(repaired);
   return summary;
 }

@@ -119,6 +119,14 @@ std::string_view to_string(DiagCode code) noexcept {
       return "CLA_W_OPEN_BARRIER_AT_EXIT";
     case DiagCode::CLA_W_UNKNOWN_THREAD_REF:
       return "CLA_W_UNKNOWN_THREAD_REF";
+    case DiagCode::CLA_W_IO_RETRIED:
+      return "CLA_W_IO_RETRIED";
+    case DiagCode::CLA_W_IO_DROPPED_EVENTS:
+      return "CLA_W_IO_DROPPED_EVENTS";
+    case DiagCode::CLA_W_PARTIAL_INTERPOSITION:
+      return "CLA_W_PARTIAL_INTERPOSITION";
+    case DiagCode::CLA_W_FORKED_CHILD:
+      return "CLA_W_FORKED_CHILD";
     case DiagCode::CLA_R_SYNTHESIZED_EVENTS:
       return "CLA_R_SYNTHESIZED_EVENTS";
     case DiagCode::CLA_R_DROPPED_EVENTS:

@@ -70,6 +70,14 @@ enum class DiagCode : std::uint16_t {
   CLA_W_OPEN_BARRIER_AT_EXIT = 45,     ///< ended between Arrive and Leave
   CLA_W_UNKNOWN_THREAD_REF = 46,  ///< create/join references no known tid
 
+  // --- runtime warnings (carried in the .clat RuntimeWarnings chunk) ---
+  CLA_W_IO_RETRIED = 47,          ///< trace writes retried after errors
+  CLA_W_IO_DROPPED_EVENTS = 48,   ///< events lost to failed trace writes
+  CLA_W_PARTIAL_INTERPOSITION = 49,  ///< interposed calls hit unresolved
+                                     ///< symbols (tracing is partial)
+  CLA_W_FORKED_CHILD = 50,        ///< process forked; children wrote their
+                                  ///< own trace.clat.<pid> files
+
   // --- repair actions (info severity) ---
   CLA_R_SYNTHESIZED_EVENTS = 60,  ///< missing unlocks/exits/... synthesized
   CLA_R_DROPPED_EVENTS = 61,      ///< orphan events discarded

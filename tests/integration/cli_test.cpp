@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <array>
@@ -264,6 +265,98 @@ TEST(CliExitCodes, DiagnosticsJsonOnDamagedTrace) {
   EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
             std::count(out.begin(), out.end(), '}'));
   std::remove(path.c_str());
+}
+
+TEST(CliVersion, RunPrintsToolAndMaxTraceVersion) {
+  int rc = 0;
+  const std::string out = run_command(tool("cla-run") + " --version", rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("cla-run "), std::string::npos);
+  EXPECT_NE(out.find("v3"), std::string::npos);  // max supported .clat
+}
+
+TEST(CliVersion, AnalyzePrintsToolAndMaxTraceVersion) {
+  int rc = 0;
+  const std::string out = run_command(tool("cla-analyze") + " --version", rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("cla-analyze "), std::string::npos);
+  EXPECT_NE(out.find("v3"), std::string::npos);
+}
+
+// Supervised execution: cla-run --exec forks the command under the
+// interposer, enforces timeouts/retries, and salvage-analyzes the
+// partial trace of a crashed or hung child.
+class CliSupervise : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Per-process name: ctest runs sibling tests concurrently.
+    trace_path_ = (std::filesystem::temp_directory_path() /
+                   ("cla_cli_supervise_" + std::to_string(::getpid()) +
+                    ".clat"))
+                      .string();
+    std::remove(trace_path_.c_str());
+  }
+  void TearDown() override { std::remove(trace_path_.c_str()); }
+
+  std::string supervise(const std::string& extra_flags,
+                        const std::string& child_args, int& rc,
+                        const std::string& env_prefix = "") const {
+    return run_command(env_prefix + tool("cla-run") + " --trace " +
+                           trace_path_ + " --preload " CLA_INTERPOSE_LIB " " +
+                           extra_flags + " --exec " CLA_CRASH_APP " " +
+                           child_args,
+                       rc);
+  }
+
+  std::string trace_path_;
+};
+
+TEST_F(CliSupervise, CleanChildAnalyzesAndExitsZero) {
+  int rc = 0;
+  const std::string out = supervise("", "run", rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("TYPE 1"), std::string::npos);
+}
+
+TEST_F(CliSupervise, CrashedChildIsSalvageAnalyzedWithExitThree) {
+  int rc = 0;
+  const std::string out = supervise("", "segv 40", rc);
+  EXPECT_EQ(rc, 3) << out;
+  EXPECT_NE(out.find("killed by signal"), std::string::npos);
+  EXPECT_NE(out.find("salvaging partial trace"), std::string::npos);
+  EXPECT_NE(out.find("TYPE 1"), std::string::npos);  // the report made it out
+}
+
+TEST_F(CliSupervise, HungChildIsKilledRetriedThenSalvaged) {
+  // Small stream buffers so the flusher has landed chunks before the
+  // SIGKILL (a hung child gets no crash spill).
+  int rc = 0;
+  const std::string out = supervise(
+      "--buffer-events 64 --timeout-ms 1500 --retries 1 --backoff-ms 50",
+      "hang", rc);
+  EXPECT_EQ(rc, 3) << out;
+  EXPECT_NE(out.find("timed out"), std::string::npos);
+  EXPECT_NE(out.find("retrying in 50 ms"), std::string::npos);
+  EXPECT_NE(out.find("salvaging partial trace"), std::string::npos);
+}
+
+TEST_F(CliSupervise, FaultInjectedChildReportsLossyNotCrash) {
+  // Persistent disk-full inside the child's recorder: the child still
+  // runs to completion, the trace stays loadable, and the supervisor
+  // reports the loss with exit 3.
+  int rc = 0;
+  const std::string out = supervise(
+      "", "run", rc,
+      "CLA_FAULT_WRITE_ERRNO=ENOSPC CLA_FAULT_WRITE_AFTER_BYTES=4096 ");
+  EXPECT_EQ(rc, 3) << out;
+  EXPECT_NE(out.find("TYPE 1"), std::string::npos);
+}
+
+TEST(CliSuperviseUsage, ExecWithoutCommandIsUsageError) {
+  int rc = 0;
+  const std::string out = run_command(tool("cla-run") + " --exec", rc);
+  EXPECT_EQ(rc, 2) << out;
+  EXPECT_NE(out.find("--exec requires a command"), std::string::npos);
 }
 
 TEST(CliExitCodes, MalformedInputNeverReachesTerminate) {

@@ -1,0 +1,193 @@
+// Hostile-process integration tests: a preloaded app that forks must
+// yield one independently valid trace per process with exact event
+// accounting (nothing lost from the parent, nothing duplicated into the
+// child), and a pthread_cancel'ed thread must still get a real
+// ThreadExit event via the interposer's TSD-destructor cleanup.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cla/analysis/analyzer.hpp"
+#include "cla/trace/trace_io.hpp"
+#include "cla/util/diagnostics.hpp"
+
+namespace {
+
+// The demo app's per-process acquire totals (see fork_demo_app.cpp).
+constexpr std::uint64_t kParentAcquires = 351;
+constexpr std::uint64_t kChildAcquires = 173;
+
+class ForkCancelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = (std::filesystem::temp_directory_path() /
+             ("cla_fork_demo_" + std::to_string(::getpid()) + ".clat"))
+                .string();
+    cleanup();
+  }
+  void TearDown() override { cleanup(); }
+
+  void cleanup() const {
+    std::remove(base_.c_str());
+    for (const std::string& path : child_traces()) {
+      std::remove(path.c_str());
+    }
+  }
+
+  int run_app(const std::string& mode) const {
+    const std::string command = "CLA_TRACE_FILE=" + base_ +
+                                " CLA_BUFFER_EVENTS=4096"
+                                " LD_PRELOAD=" CLA_INTERPOSE_LIB
+                                " " CLA_FORK_APP " " +
+                                mode + " > /dev/null 2>&1";
+    return std::system(command.c_str());
+  }
+
+  /// Trace files of forked children: `<base>.<pid>` next to the parent's.
+  std::vector<std::string> child_traces() const {
+    std::vector<std::string> found;
+    const std::filesystem::path base(base_);
+    const std::string prefix = base.filename().string() + ".";
+    for (const auto& entry :
+         std::filesystem::directory_iterator(base.parent_path())) {
+      if (entry.path().filename().string().rfind(prefix, 0) == 0) {
+        found.push_back(entry.path().string());
+      }
+    }
+    return found;
+  }
+
+  static std::map<cla::trace::ObjectId, std::uint64_t> acquire_counts(
+      const cla::trace::Trace& trace) {
+    std::map<cla::trace::ObjectId, std::uint64_t> counts;
+    for (cla::trace::ThreadId tid = 0; tid < trace.thread_count(); ++tid) {
+      for (const cla::trace::Event& event : trace.thread_events(tid)) {
+        if (event.type == cla::trace::EventType::MutexAcquired) {
+          ++counts[event.object];
+        }
+      }
+    }
+    return counts;
+  }
+
+  /// The object (if any) acquired exactly `count` times.
+  static std::optional<cla::trace::ObjectId> object_with_count(
+      const std::map<cla::trace::ObjectId, std::uint64_t>& counts,
+      std::uint64_t count) {
+    for (const auto& [object, n] : counts) {
+      if (n == count) return object;
+    }
+    return std::nullopt;
+  }
+
+  std::string base_;
+};
+
+TEST_F(ForkCancelTest, ForkYieldsOneValidTracePerProcess) {
+  ASSERT_EQ(run_app("fork"), 0);
+
+  // Parent stream at the configured path, child stream at <path>.<pid>.
+  ASSERT_TRUE(std::filesystem::exists(base_));
+  const std::vector<std::string> children = child_traces();
+  ASSERT_EQ(children.size(), 1u);
+
+  // Both must strict-load: clean closes, CRC-clean chunks.
+  const cla::trace::Trace parent = cla::trace::read_trace_file(base_);
+  const cla::trace::Trace child = cla::trace::read_trace_file(children[0]);
+  EXPECT_NO_THROW(parent.validate());
+  EXPECT_NO_THROW(child.validate());
+  EXPECT_EQ(parent.dropped_events(), 0u);
+  EXPECT_EQ(child.dropped_events(), 0u);
+
+  // Exact accounting. The processes use disjoint locks with distinctive
+  // acquire totals; fork() copies the address space, so the same mutex
+  // has the same object id in both traces.
+  const auto parent_counts = acquire_counts(parent);
+  const auto child_counts = acquire_counts(child);
+  const auto parent_lock = object_with_count(parent_counts, kParentAcquires);
+  const auto child_lock = object_with_count(child_counts, kChildAcquires);
+  ASSERT_TRUE(parent_lock.has_value())
+      << "parent trace lost events: no lock with exactly "
+      << kParentAcquires << " acquisitions";
+  ASSERT_TRUE(child_lock.has_value())
+      << "child trace lost events: no lock with exactly " << kChildAcquires
+      << " acquisitions";
+  // No cross-contamination: the child must not replay inherited parent
+  // buffers, the parent must not absorb child events.
+  EXPECT_EQ(child_counts.count(*parent_lock), 0u)
+      << "child trace duplicated parent events";
+  EXPECT_EQ(parent_counts.count(*child_lock), 0u)
+      << "parent trace absorbed child events";
+
+  // The parent's trace advertises the fork.
+  const auto warning = parent.runtime_warnings().find(
+      static_cast<std::uint32_t>(cla::util::DiagCode::CLA_W_FORKED_CHILD));
+  ASSERT_NE(warning, parent.runtime_warnings().end());
+  EXPECT_EQ(warning->second, 1u);
+
+  // And both analyze cleanly.
+  EXPECT_GE(cla::analysis::analyze(parent).locks.size(), 1u);
+  EXPECT_GE(cla::analysis::analyze(child).locks.size(), 1u);
+}
+
+TEST_F(ForkCancelTest, CanceledThreadGetsRealThreadExit) {
+  ASSERT_EQ(run_app("cancel"), 0);
+
+  const cla::trace::Trace trace = cla::trace::read_trace_file(base_);
+  EXPECT_NO_THROW(trace.validate());
+  ASSERT_GE(trace.thread_count(), 2u);
+
+  // Thread-id binding order races between main and the victim, so find
+  // the victim structurally: it hammers its own lock for the whole
+  // pre-cancel window while main takes just a handful of rounds, so the
+  // victim owns the most-acquired object in the trace.
+  const auto counts = acquire_counts(trace);
+  ASSERT_FALSE(counts.empty());
+  const auto busiest =
+      std::max_element(counts.begin(), counts.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second < b.second;
+                       });
+  cla::trace::ThreadId victim = 0;
+  bool found = false;
+  for (cla::trace::ThreadId tid = 0; tid < trace.thread_count(); ++tid) {
+    for (const cla::trace::Event& event : trace.thread_events(tid)) {
+      if (event.type == cla::trace::EventType::MutexAcquired &&
+          event.object == busiest->first) {
+        victim = tid;
+        found = true;
+        break;
+      }
+    }
+    if (found) break;
+  }
+  ASSERT_TRUE(found);
+
+  // The victim's ThreadExit must come from the cancel-time TSD
+  // destructor — recorded with a fresh timestamp strictly after its last
+  // real event — not synthesized at close time (synthesized exits reuse
+  // the previous event's timestamp).
+  const auto events = trace.thread_events(victim);
+  ASSERT_GE(events.size(), 3u);
+  const cla::trace::Event& last = events[events.size() - 1];
+  const cla::trace::Event& prev = events[events.size() - 2];
+  EXPECT_EQ(last.type, cla::trace::EventType::ThreadExit);
+  EXPECT_GT(last.ts, prev.ts)
+      << "ThreadExit was synthesized at close time; the cancel cleanup "
+         "hook did not run";
+
+  // The canceled thread closed its critical sections: validate() above
+  // plus a clean analysis over the whole trace.
+  EXPECT_GE(cla::analysis::analyze(trace).locks.size(), 1u);
+}
+
+}  // namespace

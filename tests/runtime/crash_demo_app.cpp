@@ -5,13 +5,15 @@
 // rounds and can kill itself mid-run in a selectable way:
 //
 //   crash_demo_app <mode> [crash_round]
-//     mode: run | segv | abort | term | exit
+//     mode: run | segv | abort | term | exit | hang
 //     crash_round: round (per worker) at which worker 0 dies (default 60)
 //
 // "run" completes normally; every other mode terminates the process while
 // the other three workers are mid-critical-section, so the recorder's
 // crash paths (fatal-signal handler, _exit interposition) must save the
-// trace tail for `cla-analyze --salvage`.
+// trace tail for `cla-analyze --salvage`. "hang" grabs the big lock and
+// pauses forever -- the supervisor (`cla-run --exec --timeout-ms`) has to
+// SIGKILL it.
 #include <pthread.h>
 #include <signal.h>
 #include <unistd.h>
@@ -28,7 +30,7 @@ pthread_barrier_t g_barrier;
 volatile long g_counter = 0;
 volatile int* g_null = nullptr;
 
-enum class Mode { Run, Segv, Abort, Term, Exit };
+enum class Mode { Run, Segv, Abort, Term, Exit, Hang };
 Mode g_mode = Mode::Run;
 int g_crash_round = 60;
 
@@ -51,6 +53,11 @@ void burn(long iterations) {
       break;
     case Mode::Exit:
       _exit(7);  // skips atexit / static destructors
+    case Mode::Hang:
+      // Wedge while holding the dominant lock so the other workers are
+      // blocked mid-acquire when the supervisor's timeout fires.
+      pthread_mutex_lock(&g_big);
+      for (;;) pause();
     case Mode::Run:
       break;
   }
@@ -81,6 +88,7 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[1], "abort") == 0) g_mode = Mode::Abort;
     else if (std::strcmp(argv[1], "term") == 0) g_mode = Mode::Term;
     else if (std::strcmp(argv[1], "exit") == 0) g_mode = Mode::Exit;
+    else if (std::strcmp(argv[1], "hang") == 0) g_mode = Mode::Hang;
     else if (std::strcmp(argv[1], "run") != 0) {
       std::fprintf(stderr, "unknown mode: %s\n", argv[1]);
       return 2;

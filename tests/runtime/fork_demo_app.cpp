@@ -1,0 +1,123 @@
+// Hostile-process demo for the fork/cancel interposer integration tests.
+//
+//   fork_demo_app fork     parent threads + fork(); the child runs its own
+//                          threaded workload and exits normally
+//   fork_demo_app cancel   a worker is pthread_cancel'ed mid-loop
+//
+// The fork mode uses distinctive per-process acquire counts so the test
+// can account for every event: the parent acquires g_parent_lock exactly
+// kParentTotal times, the child acquires g_child_lock exactly kChildTotal
+// times, and neither process ever touches the other's lock. Any lost or
+// duplicated event after the fork shows up as a wrong exact count.
+#include <pthread.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace {
+
+pthread_mutex_t g_parent_lock = PTHREAD_MUTEX_INITIALIZER;
+pthread_mutex_t g_child_lock = PTHREAD_MUTEX_INITIALIZER;
+pthread_mutex_t g_cancel_lock = PTHREAD_MUTEX_INITIALIZER;
+pthread_mutex_t g_main_lock = PTHREAD_MUTEX_INITIALIZER;
+volatile long g_counter = 0;
+
+constexpr int kParentWorkerRounds = 100;  // x2 workers
+constexpr int kParentMainPre = 101;       // before the fork
+constexpr int kParentMainPost = 50;       // after the child exited
+constexpr int kChildWorkerRounds = 80;    // x2 workers
+constexpr int kChildMainRounds = 13;
+// Parent total 351, child total 173 (asserted by fork_cancel_test).
+
+void burn(long iterations) {
+  for (long i = 0; i < iterations; ++i) g_counter = g_counter + 1;
+}
+
+void lock_rounds(pthread_mutex_t* lock, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    pthread_mutex_lock(lock);
+    burn(300);
+    pthread_mutex_unlock(lock);
+  }
+}
+
+void* parent_worker(void*) {
+  lock_rounds(&g_parent_lock, kParentWorkerRounds);
+  return nullptr;
+}
+
+void* child_worker(void*) {
+  lock_rounds(&g_child_lock, kChildWorkerRounds);
+  return nullptr;
+}
+
+int run_fork_mode() {
+  pthread_t workers[2];
+  for (pthread_t& thread : workers) {
+    pthread_create(&thread, nullptr, &parent_worker, nullptr);
+  }
+  lock_rounds(&g_parent_lock, kParentMainPre);
+  for (pthread_t& thread : workers) pthread_join(thread, nullptr);
+
+  // Fork while the recorder still holds unflushed parent events: the
+  // child must not inherit (and re-write) them.
+  const pid_t child = fork();
+  if (child < 0) return 3;
+  if (child == 0) {
+    pthread_t kids[2];
+    for (pthread_t& thread : kids) {
+      pthread_create(&thread, nullptr, &child_worker, nullptr);
+    }
+    lock_rounds(&g_child_lock, kChildMainRounds);
+    for (pthread_t& thread : kids) pthread_join(thread, nullptr);
+    std::printf("child pid=%d done\n", static_cast<int>(getpid()));
+    return 0;  // normal exit: the child's interposer closes its own trace
+  }
+  int status = 0;
+  if (waitpid(child, &status, 0) != child) return 3;
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) return 4;
+  lock_rounds(&g_parent_lock, kParentMainPost);
+  std::printf("parent pid=%d done\n", static_cast<int>(getpid()));
+  return 0;
+}
+
+void* cancel_victim(void*) {
+  for (;;) {
+    pthread_mutex_lock(&g_cancel_lock);
+    burn(500);
+    pthread_mutex_unlock(&g_cancel_lock);
+    struct timespec nap{0, 2'000'000};
+    nanosleep(&nap, nullptr);  // cancellation point, outside the CS
+  }
+  return nullptr;
+}
+
+int run_cancel_mode() {
+  pthread_t victim;
+  pthread_create(&victim, nullptr, &cancel_victim, nullptr);
+  struct timespec warmup{0, 50'000'000};
+  nanosleep(&warmup, nullptr);
+  pthread_cancel(victim);
+  pthread_join(victim, nullptr);
+  // Post-cancel activity proves recording continues after a hostile
+  // thread death.
+  lock_rounds(&g_main_lock, 5);
+  std::printf("canceled and joined\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s fork|cancel\n", argv[0]);
+    return 2;
+  }
+  if (std::strcmp(argv[1], "fork") == 0) return run_fork_mode();
+  if (std::strcmp(argv[1], "cancel") == 0) return run_cancel_mode();
+  std::fprintf(stderr, "unknown mode: %s\n", argv[1]);
+  return 2;
+}

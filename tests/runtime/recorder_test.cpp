@@ -218,6 +218,40 @@ TEST(RecorderStreaming, SmallBuffersFlushIncrementallyWithoutLoss) {
   std::remove(path.c_str());
 }
 
+TEST(RecorderStreaming, ImplicitThreadDeathRecordsRealThreadExit) {
+  // A bound thread that dies without calling thread_exit() — a
+  // pthread_cancel'ed thread, or one that simply returns in a
+  // non-interposed app — must still close its stream: the recorder's TSD
+  // destructor records the missing ThreadExit with a fresh timestamp
+  // (finish_streaming's synthesized exits reuse the last event's ts, the
+  // observable difference).
+  const std::string path = temp_trace_path("cla_rec_tsd_exit.clat");
+  {
+    Recorder recorder;
+    recorder.start_streaming(path, /*buffer_events=*/4096);
+    const auto parent = recorder.ensure_current_thread();
+    const auto tid = recorder.allocate_thread();
+    recorder.record(trace::EventType::ThreadCreate,
+                    static_cast<trace::ObjectId>(tid));
+    std::thread([&recorder, tid, parent] {
+      recorder.bind_current_thread(tid, parent);
+      recorder.record(trace::EventType::CondSignal, 5);
+      // No thread_exit(): the TSD destructor has to cover for us.
+    }).join();
+    recorder.thread_exit();
+    recorder.finish_streaming();
+    EXPECT_EQ(recorder.dropped_events(), 0u);
+  }
+  const trace::Trace t = cla::trace::read_trace_file(path);
+  EXPECT_NO_THROW(t.validate());
+  ASSERT_EQ(t.thread_count(), 2u);
+  const auto events = t.thread_events(1);
+  ASSERT_EQ(events.size(), 3u);  // start, signal, destructor-recorded exit
+  EXPECT_EQ(events.back().type, trace::EventType::ThreadExit);
+  EXPECT_GT(events.back().ts, events[1].ts);
+  std::remove(path.c_str());
+}
+
 TEST(RecorderStreaming, CrashSpillLeavesSalvageableFile) {
   const std::string path = temp_trace_path("cla_rec_crash.clat");
   {

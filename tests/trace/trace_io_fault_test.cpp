@@ -1,0 +1,284 @@
+// Deterministic fault-injection tests for the fault-tolerant
+// ChunkedTraceWriter: EINTR retry, short-write continuation, transient
+// and persistent ENOSPC (degraded counted-drop mode), the reserved
+// in-place Meta/RuntimeWarnings region, and warning round-trips through
+// both the strict reader and salvage.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cla/trace/salvage.hpp"
+#include "cla/trace/trace.hpp"
+#include "cla/trace/trace_io.hpp"
+#include "cla/util/diagnostics.hpp"
+#include "cla/util/faultinject.hpp"
+
+namespace {
+
+using cla::trace::ChunkedTraceWriter;
+using cla::trace::Event;
+using cla::trace::EventType;
+using cla::trace::ThreadId;
+
+constexpr std::uint64_t kLock = 0x1000;
+
+/// A minimal structurally-valid per-thread stream: start, `pairs`
+/// uncontended lock/unlock cycles, exit.
+std::vector<Event> worker_stream(ThreadId tid, std::size_t pairs) {
+  std::vector<Event> events;
+  std::uint64_t ts = 100 * (tid + 1);
+  const auto add = [&](EventType type, std::uint64_t object,
+                       std::uint64_t arg) {
+    events.push_back(Event{ts++, object, arg, type, 0, tid});
+  };
+  add(EventType::ThreadStart, cla::trace::kNoObject, cla::trace::kNoArg);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    add(EventType::MutexAcquire, kLock, cla::trace::kNoArg);
+    add(EventType::MutexAcquired, kLock, 0);
+    add(EventType::MutexReleased, kLock, cla::trace::kNoArg);
+  }
+  add(EventType::ThreadExit, cla::trace::kNoObject, cla::trace::kNoArg);
+  return events;
+}
+
+class FaultInjectionTraceIo : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("cla_fault_io_" + std::to_string(::getpid()) + ".clat"))
+                .string();
+    std::remove(path_.c_str());
+    clear_knobs();
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    clear_knobs();
+  }
+
+  /// Resets the process-global fault config so cases cannot leak knobs
+  /// into each other.
+  static void clear_knobs() {
+    for (const char* knob :
+         {"CLA_FAULT_WRITE_ERRNO", "CLA_FAULT_WRITE_AFTER_BYTES",
+          "CLA_FAULT_WRITE_EVERY", "CLA_FAULT_WRITE_COUNT",
+          "CLA_FAULT_SHORT_WRITE", "CLA_FAULT_FLUSHER_STALL_MS",
+          "CLA_FAULT_DIE_AT_EVENT"}) {
+      ::unsetenv(knob);
+    }
+    cla::util::fault::reinit_for_tests();
+  }
+
+  static void arm(const char* name, const char* value) {
+    ::setenv(name, value, 1);
+  }
+
+  std::string path_;
+};
+
+TEST_F(FaultInjectionTraceIo, ReservedRegionMakesEmptyTraceLoadable) {
+  {
+    ChunkedTraceWriter writer(path_, cla::trace::kTraceVersion);
+    ASSERT_TRUE(writer.ok());
+    writer.write_meta(0, /*clean_close=*/true);
+    writer.close();
+  }
+  // The preamble, the zeroed RuntimeWarnings slot chunk and the Meta
+  // chunk are all pre-rendered at open, so a writer that never appended
+  // anything still leaves a strict-loadable file.
+  const cla::trace::Trace trace = cla::trace::read_trace_file(path_);
+  EXPECT_EQ(trace.event_count(), 0u);
+  EXPECT_EQ(trace.dropped_events(), 0u);
+  EXPECT_TRUE(trace.runtime_warnings().empty());
+}
+
+TEST_F(FaultInjectionTraceIo, EintrRetriesAreTransparent) {
+  arm("CLA_FAULT_WRITE_ERRNO", "EINTR");
+  arm("CLA_FAULT_WRITE_EVERY", "2");  // every other write call fails
+  cla::util::fault::reinit_for_tests();
+
+  const std::vector<Event> t0 = worker_stream(0, 50);
+  const std::vector<Event> t1 = worker_stream(1, 50);
+  {
+    ChunkedTraceWriter writer(path_, cla::trace::kTraceVersion);
+    EXPECT_EQ(writer.write_events(0, t0.data(), t0.size()), t0.size());
+    EXPECT_EQ(writer.write_events(1, t1.data(), t1.size()), t1.size());
+    EXPECT_GT(writer.io_retries(), 0u);
+    EXPECT_FALSE(writer.degraded());
+    writer.write_meta(0, true);
+    writer.close();
+  }
+  const cla::trace::Trace trace = cla::trace::read_trace_file(path_);
+  EXPECT_EQ(trace.event_count(), t0.size() + t1.size());
+  EXPECT_EQ(trace.dropped_events(), 0u);
+}
+
+TEST_F(FaultInjectionTraceIo, ShortWritesAreContinuedNotTruncated) {
+  arm("CLA_FAULT_WRITE_ERRNO", "EINTR");  // enables injection
+  arm("CLA_FAULT_WRITE_EVERY", "1000000");  // ...but never fails outright
+  arm("CLA_FAULT_SHORT_WRITE", "7");  // every write lands at most 7 bytes
+  cla::util::fault::reinit_for_tests();
+
+  const std::vector<Event> t0 = worker_stream(0, 40);
+  {
+    ChunkedTraceWriter writer(path_, cla::trace::kTraceVersion);
+    EXPECT_EQ(writer.write_events(0, t0.data(), t0.size()), t0.size());
+    writer.write_meta(0, true);
+    writer.close();
+  }
+  const cla::trace::Trace trace = cla::trace::read_trace_file(path_);
+  EXPECT_EQ(trace.event_count(), t0.size());
+}
+
+TEST_F(FaultInjectionTraceIo, TransientEnospcIsRetriedToSuccess) {
+  arm("CLA_FAULT_WRITE_ERRNO", "ENOSPC");
+  arm("CLA_FAULT_WRITE_COUNT", "2");  // fails twice, then the disk "clears"
+  cla::util::fault::reinit_for_tests();
+
+  const std::vector<Event> t0 = worker_stream(0, 30);
+  {
+    ChunkedTraceWriter writer(path_, cla::trace::kTraceVersion);
+    EXPECT_EQ(writer.write_events(0, t0.data(), t0.size()), t0.size());
+    EXPECT_GE(writer.io_retries(), 2u);
+    EXPECT_FALSE(writer.degraded());
+    EXPECT_EQ(writer.failed_chunks(), 0u);
+    writer.write_meta(0, true);
+    writer.close();
+  }
+  const cla::trace::Trace trace = cla::trace::read_trace_file(path_);
+  EXPECT_EQ(trace.event_count(), t0.size());
+}
+
+TEST_F(FaultInjectionTraceIo, PersistentEnospcDegradesToCountedDropMode) {
+  arm("CLA_FAULT_WRITE_ERRNO", "ENOSPC");  // COUNT defaults to persistent
+  cla::util::fault::reinit_for_tests();
+
+  const std::vector<Event> t0 = worker_stream(0, 30);
+  std::uint64_t dropped = 0;
+  {
+    ChunkedTraceWriter writer(path_, cla::trace::kTraceVersion);
+    const std::size_t wrote = writer.write_events(0, t0.data(), t0.size());
+    EXPECT_EQ(wrote, 0u);
+    dropped += t0.size() - wrote;
+    // The failed chunk was rolled back and the writer entered drop mode:
+    // later appends fail fast instead of stalling in backoff.
+    EXPECT_TRUE(writer.degraded());
+    EXPECT_GE(writer.failed_chunks(), 1u);
+    const std::size_t wrote2 = writer.write_events(0, t0.data(), t0.size());
+    EXPECT_EQ(wrote2, 0u);
+    dropped += t0.size() - wrote2;
+    // The reserved region is already allocated on disk, so accounting
+    // still lands under a full disk.
+    const cla::trace::RuntimeWarning warning{
+        static_cast<std::uint32_t>(
+            cla::util::DiagCode::CLA_W_IO_DROPPED_EVENTS),
+        dropped};
+    writer.write_warnings(&warning, 1);
+    writer.write_meta(dropped, /*clean_close=*/true);
+    writer.close();
+  }
+  // Strict load (not salvage): the file must be structurally valid.
+  const cla::trace::Trace trace = cla::trace::read_trace_file(path_);
+  EXPECT_EQ(trace.event_count(), 0u);
+  EXPECT_EQ(trace.dropped_events(), dropped);
+  const auto it = trace.runtime_warnings().find(static_cast<std::uint32_t>(
+      cla::util::DiagCode::CLA_W_IO_DROPPED_EVENTS));
+  ASSERT_NE(it, trace.runtime_warnings().end());
+  EXPECT_EQ(it->second, dropped);
+}
+
+TEST_F(FaultInjectionTraceIo, PersistentEnospcDegradesV3Too) {
+  arm("CLA_FAULT_WRITE_ERRNO", "ENOSPC");
+  cla::util::fault::reinit_for_tests();
+
+  const std::vector<Event> t0 = worker_stream(0, 30);
+  {
+    ChunkedTraceWriter writer(path_, cla::trace::kTraceVersionV3);
+    EXPECT_EQ(writer.write_events(0, t0.data(), t0.size()), 0u);
+    EXPECT_TRUE(writer.degraded());
+    writer.write_meta(t0.size(), true);
+    writer.close();
+  }
+  const cla::trace::Trace trace = cla::trace::read_trace_file(path_);
+  EXPECT_EQ(trace.event_count(), 0u);
+  EXPECT_EQ(trace.dropped_events(), t0.size());
+}
+
+TEST_F(FaultInjectionTraceIo, FaultsClearMidRunAndAppendingResumes) {
+  arm("CLA_FAULT_WRITE_ERRNO", "ENOSPC");
+  cla::util::fault::reinit_for_tests();
+
+  const std::vector<Event> t0 = worker_stream(0, 25);
+  {
+    ChunkedTraceWriter writer(path_, cla::trace::kTraceVersion);
+    EXPECT_EQ(writer.write_events(0, t0.data(), t0.size()), 0u);
+    EXPECT_TRUE(writer.degraded());
+    // Disk frees up: drop mode must end with the first success.
+    clear_knobs();
+    const std::vector<Event> t1 = worker_stream(1, 25);
+    EXPECT_EQ(writer.write_events(1, t1.data(), t1.size()), t1.size());
+    EXPECT_FALSE(writer.degraded());
+    writer.write_meta(t0.size(), true);
+    writer.close();
+  }
+  const cla::trace::Trace trace = cla::trace::read_trace_file(path_);
+  EXPECT_EQ(trace.event_count(), t0.size());
+  EXPECT_EQ(trace.dropped_events(), t0.size());
+}
+
+TEST_F(FaultInjectionTraceIo, RuntimeWarningsRoundTripThroughStrictReader) {
+  const std::vector<Event> t0 = worker_stream(0, 10);
+  {
+    ChunkedTraceWriter writer(path_, cla::trace::kTraceVersion);
+    ASSERT_EQ(writer.write_events(0, t0.data(), t0.size()), t0.size());
+    const cla::trace::RuntimeWarning warnings[] = {
+        {static_cast<std::uint32_t>(cla::util::DiagCode::CLA_W_IO_RETRIED), 3},
+        {static_cast<std::uint32_t>(cla::util::DiagCode::CLA_W_FORKED_CHILD),
+         1}};
+    writer.write_warnings(warnings, 2);
+    writer.write_meta(0, true);
+    writer.close();
+  }
+  const cla::trace::Trace trace = cla::trace::read_trace_file(path_);
+  ASSERT_EQ(trace.runtime_warnings().size(), 2u);
+  EXPECT_EQ(trace.runtime_warnings().at(static_cast<std::uint32_t>(
+                cla::util::DiagCode::CLA_W_IO_RETRIED)),
+            3u);
+  EXPECT_EQ(trace.runtime_warnings().at(static_cast<std::uint32_t>(
+                cla::util::DiagCode::CLA_W_FORKED_CHILD)),
+            1u);
+}
+
+TEST_F(FaultInjectionTraceIo, RuntimeWarningsSurviveSalvageOfTornFile) {
+  const std::vector<Event> t0 = worker_stream(0, 10);
+  const std::vector<Event> t1 = worker_stream(1, 10);
+  {
+    ChunkedTraceWriter writer(path_, cla::trace::kTraceVersion);
+    ASSERT_EQ(writer.write_events(0, t0.data(), t0.size()), t0.size());
+    ASSERT_EQ(writer.write_events(1, t1.data(), t1.size()), t1.size());
+    const cla::trace::RuntimeWarning warning{
+        static_cast<std::uint32_t>(cla::util::DiagCode::CLA_W_IO_RETRIED), 9};
+    writer.write_warnings(&warning, 1);
+    writer.write_meta(5, /*clean_close=*/false);  // crash-style close
+    writer.close();
+  }
+  // Tear the tail the way SIGKILL mid-flush does.
+  {
+    const auto size = std::filesystem::file_size(path_);
+    std::filesystem::resize_file(path_, size - 5);
+  }
+  const cla::trace::SalvageResult got = cla::trace::salvage_trace_file(path_);
+  EXPECT_TRUE(got.report.lossy());
+  EXPECT_EQ(got.trace.runtime_warnings().at(static_cast<std::uint32_t>(
+                cla::util::DiagCode::CLA_W_IO_RETRIED)),
+            9u);
+}
+
+}  // namespace

@@ -9,9 +9,10 @@
 //   0  success, clean trace
 //   1  runtime failure (unreadable/corrupt trace, I/O error)
 //   2  usage error (bad flags; usage goes to stderr)
-//   3  success, but lossy: the --salvage load dropped data and/or the
-//      --strictness=repair/lenient engine changed the trace, so the
-//      report describes a partial or repaired recording
+//   3  success, but lossy: the --salvage load dropped data, the
+//      --strictness=repair/lenient engine changed the trace, or the
+//      recorder itself dropped events (full buffers / full disk), so
+//      the report describes a partial or repaired recording
 //   4  resource limit hit (--deadline-ms / --max-events)
 //   5  strict-mode validation failure (error/fatal diagnostics)
 #include <cstdio>
@@ -19,6 +20,11 @@
 
 #include "cla/core/cla.hpp"
 #include "cla/util/args.hpp"
+#include "cla/util/diagnostics.hpp"
+
+#ifndef CLA_VERSION_STRING
+#define CLA_VERSION_STRING "unknown"
+#endif
 
 namespace {
 
@@ -58,8 +64,9 @@ void print_usage(std::FILE* out, const char* prog) {
       "                  The input version is auto-detected, so this both\n"
       "                  compacts v1/v2 traces and expands v3 back to v2\n"
       "  --format F      target .clat version for --convert: v1 | v2 | v3\n"
+      "  --version       print the tool version and supported .clat range\n"
       "exit codes:\n"
-      "  0 clean  1 error  2 usage  3 lossy salvage/repair\n"
+      "  0 clean  1 error  2 usage  3 lossy (salvage/repair/dropped events)\n"
       "  4 resource limit  5 strict-mode validation failure\n",
       prog);
 }
@@ -73,9 +80,14 @@ int main(int argc, char** argv) {
                          {"top", "json", "csv", "timeline", "whatif", "phase",
                           "threads", "profile", "salvage", "strictness",
                           "deadline-ms", "max-events", "diagnostics",
-                          "convert", "format", "help"});
+                          "convert", "format", "version", "help"});
     if (args.has("help")) {
       print_usage(stdout, prog);
+      return 0;
+    }
+    if (args.has("version")) {
+      std::printf("cla-analyze %s (.clat formats v1-v%u)\n", CLA_VERSION_STRING,
+                  cla::trace::kTraceVersionV3);
       return 0;
     }
     if (args.positional().empty()) {
@@ -154,12 +166,21 @@ int main(int argc, char** argv) {
         lossy_salvage = report->lossy();
       }
     }
-    if (const std::uint64_t dropped = pipeline.view().dropped_events();
-        dropped > 0) {
+    const std::uint64_t dropped = pipeline.view().dropped_events();
+    if (dropped > 0) {
       std::fprintf(stderr,
                    "cla-analyze: warning: the recorder dropped %llu event(s) "
-                   "at record time (buffers full); totals are lower bounds\n",
+                   "at record time (buffers full or unwritable); totals are "
+                   "lower bounds\n",
                    static_cast<unsigned long long>(dropped));
+    }
+    for (const auto& [code, value] : pipeline.view().runtime_warnings()) {
+      std::fprintf(
+          stderr, "cla-analyze: runtime warning: %s = %llu\n",
+          std::string(cla::util::to_string(
+                          static_cast<cla::util::DiagCode>(code)))
+              .c_str(),
+          static_cast<unsigned long long>(value));
     }
 
     if (diagnostics_json) {
@@ -203,7 +224,10 @@ int main(int argc, char** argv) {
                    "(--strictness=%s); results are approximate\n",
                    std::string(cla::util::to_string(options.strictness)).c_str());
     }
-    return (lossy_salvage || pipeline.repaired()) ? 3 : 0;
+    // Dropped events make the report a lower bound even when the file
+    // itself loaded cleanly (e.g. the recorder hit a full disk and
+    // degraded to counted-drop mode) — same lossy contract as salvage.
+    return (lossy_salvage || pipeline.repaired() || dropped > 0) ? 3 : 0;
   } catch (const cla::util::ArgsError& e) {
     std::fprintf(stderr, "%s: %s\n", prog, e.what());
     print_usage(stderr, prog);

@@ -3,7 +3,7 @@
 // realistic trace (the 16-thread Radiosity workload, ~80k events).
 #include <benchmark/benchmark.h>
 
-#include "cla/analysis/analyzer.hpp"
+#include "cla/analysis/pipeline.hpp"
 #include "cla/sim/engine.hpp"
 #include "cla/trace/builder.hpp"
 #include "cla/util/thread_pool.hpp"
@@ -94,7 +94,9 @@ BENCHMARK(BM_CriticalPathWalk);
 void BM_FullAnalysis(benchmark::State& state) {
   const auto& trace = radiosity_trace();
   for (auto _ : state) {
-    auto result = cla::analysis::analyze(trace);
+    cla::analysis::Pipeline pipeline;
+    pipeline.use_trace(trace);
+    auto result = pipeline.take_result();
     benchmark::DoNotOptimize(result.locks.size());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *

@@ -44,7 +44,9 @@ int main() {
   });
 
   const trace::Trace trace = engine.take_trace();
-  const AnalysisResult result = analyze(trace);
+  Pipeline pipeline;
+  pipeline.use_trace(trace);
+  const AnalysisResult result = pipeline.take_result();
 
   std::printf("critical path length: %llu units\n",
               static_cast<unsigned long long>(result.completion_time));

@@ -56,7 +56,9 @@ int main(int argc, char** argv) {
 
   std::printf("backend=%s completion=%llu ns\n", backend_name.c_str(),
               static_cast<unsigned long long>(backend->completion_time()));
-  const AnalysisResult result = analyze(backend->take_trace());
+  Pipeline pipeline;
+  pipeline.use_trace(backend->take_trace());
+  const AnalysisResult result = pipeline.take_result();
   std::printf("%s", analysis::render_report(result, {.top_locks = 4}).c_str());
 
   const analysis::LockStats* out = result.find_lock("output_lock");

@@ -45,7 +45,9 @@ int main() {
   // 2. Analyze the trace: identification (which locks are critical) and
   //    quantification (how much of the critical path they occupy).
   const trace::Trace trace = engine.take_trace();
-  const AnalysisResult result = analyze(trace);
+  Pipeline pipeline;
+  pipeline.use_trace(trace);
+  const AnalysisResult result = pipeline.take_result();
 
   std::printf("%s\n", analysis::render_report(result, {.top_locks = 3}).c_str());
 

@@ -80,7 +80,9 @@ int main(int argc, char** argv) {
               recorded.event_count());
 
   const trace::Trace loaded = trace::read_trace_file(path);
-  const AnalysisResult result = analyze(loaded);
+  Pipeline pipeline;
+  pipeline.use_trace(loaded);
+  const AnalysisResult result = pipeline.take_result();
   std::printf("\n%s", analysis::render_report(result, {.top_locks = 4}).c_str());
   return 0;
 }

@@ -2,10 +2,16 @@
 
 namespace cla::analysis {
 
-AnalysisResult analyze(const trace::Trace& trace, const AnalyzeOptions& options) {
+// The shim itself is the one allowed caller of the deprecated surface.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+AnalysisResult analyze(const trace::Trace& trace, const Options& options) {
   Pipeline pipeline(options);
   pipeline.use_trace(trace);
   return pipeline.take_result();
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace cla::analysis

@@ -1,8 +1,10 @@
-// One-call entry point of the analysis module (paper Fig. 3, right box).
+// DEPRECATED one-call entry point of the analysis module.
 //
-// This is a thin wrapper over the staged cla::analysis::Pipeline — use the
-// Pipeline directly for stage-by-stage control, per-stage profiling, or a
-// multi-threaded ExecutionPolicy.
+// The analysis API is now the staged cla::analysis::Pipeline
+// (pipeline.hpp), which builds the segment DAG, supports multi-threaded
+// walks, bounded-RSS streaming and per-stage profiling. This shim stays
+// for one release so downstream code keeps compiling with a warning;
+// see README "Migrating from analyze()" for the mechanical rewrite.
 #pragma once
 
 #include "cla/analysis/pipeline.hpp"
@@ -13,10 +15,14 @@ namespace cla::analysis {
 /// Historical name of the consolidated options aggregate. The fields the
 /// old struct carried (`validate`, `stats`) are unchanged; the aggregate
 /// additionally carries the report/execution/load sub-structs.
-using AnalyzeOptions = Options;
+using AnalyzeOptions [[deprecated(
+    "use cla::analysis::Options (cla/analysis/options.hpp)")]] = Options;
 
-/// Runs the full pipeline: validate -> index -> resolve wake-ups ->
-/// backward critical-path walk -> TYPE 1 / TYPE 2 statistics.
-AnalysisResult analyze(const trace::Trace& trace, const AnalyzeOptions& options = {});
+/// Runs the full pipeline: validate -> index -> build segment DAG ->
+/// critical-path walk -> TYPE 1 / TYPE 2 statistics.
+[[deprecated(
+    "use cla::analysis::Pipeline (cla/analysis/pipeline.hpp): "
+    "Pipeline p(options); p.use_trace(trace); p.result()")]]
+AnalysisResult analyze(const trace::Trace& trace, const Options& options = {});
 
 }  // namespace cla::analysis

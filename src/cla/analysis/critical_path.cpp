@@ -4,6 +4,7 @@
 #include <set>
 
 #include "cla/util/error.hpp"
+#include "cla/util/thread_pool.hpp"
 
 namespace cla::analysis {
 
@@ -33,6 +34,45 @@ std::uint64_t CriticalPath::overlap(trace::ThreadId tid, std::uint64_t begin,
   // Guard against marginal double counting from overlapping raw intervals.
   return std::min(total, end - begin);
 }
+
+namespace {
+
+/// Shared tail of both walk engines: reverse the emission order into
+/// chronological order and build the per-thread merged interval lists.
+/// Each thread's list depends only on that thread's intervals, so the
+/// merge fans out across `pool` (slot tid written only by task tid).
+void finalize_path(CriticalPath& path, std::size_t thread_count,
+                   util::ThreadPool* pool) {
+  std::reverse(path.intervals.begin(), path.intervals.end());
+  std::reverse(path.jumps.begin(), path.jumps.end());
+
+  path.per_thread.resize(thread_count);
+  for (const auto& iv : path.intervals) path.per_thread[iv.tid].push_back(iv);
+  const auto merge_thread = [&](std::size_t tid) {
+    auto& ivs = path.per_thread[tid];
+    std::sort(ivs.begin(), ivs.end(),
+              [](const PathInterval& a, const PathInterval& b) {
+                return a.begin_ts < b.begin_ts;
+              });
+    // Merge touching/overlapping intervals.
+    std::vector<PathInterval> merged;
+    for (const auto& iv : ivs) {
+      if (!merged.empty() && iv.begin_ts <= merged.back().end_ts) {
+        merged.back().end_ts = std::max(merged.back().end_ts, iv.end_ts);
+      } else {
+        merged.push_back(iv);
+      }
+    }
+    ivs = std::move(merged);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(thread_count, merge_thread);
+  } else {
+    for (std::size_t tid = 0; tid < thread_count; ++tid) merge_thread(tid);
+  }
+}
+
+}  // namespace
 
 CriticalPath compute_critical_path(const TraceIndex& index,
                                    const WakeupResolver& resolver,
@@ -97,28 +137,80 @@ CriticalPath compute_critical_path(const TraceIndex& index,
     --idx;
   }
 
-  std::reverse(path.intervals.begin(), path.intervals.end());
-  std::reverse(path.jumps.begin(), path.jumps.end());
+  finalize_path(path, t.thread_count(), nullptr);
+  return path;
+}
 
-  // Build per-thread merged interval lists.
-  path.per_thread.resize(t.thread_count());
-  for (const auto& iv : path.intervals) path.per_thread[iv.tid].push_back(iv);
-  for (auto& ivs : path.per_thread) {
-    std::sort(ivs.begin(), ivs.end(),
-              [](const PathInterval& a, const PathInterval& b) {
-                return a.begin_ts < b.begin_ts;
-              });
-    // Merge touching/overlapping intervals.
-    std::vector<PathInterval> merged;
-    for (const auto& iv : ivs) {
-      if (!merged.empty() && iv.begin_ts <= merged.back().end_ts) {
-        merged.back().end_ts = std::max(merged.back().end_ts, iv.end_ts);
-      } else {
-        merged.push_back(iv);
-      }
-    }
-    ivs = std::move(merged);
+CriticalPath compute_critical_path(const SegmentDag& dag,
+                                   util::ThreadPool* pool,
+                                   const util::Deadline* deadline,
+                                   DagWalkStats* stats_out) {
+  const trace::TraceView& t = dag.view();
+  CriticalPath path;
+  path.last_thread = dag.last_finished_thread();
+
+  trace::ThreadId tid = path.last_thread;
+  {
+    const trace::EventsView& events = t.thread_events(tid);
+    path.end_ts = events.ts_at(events.size() - 1);
   }
+  std::uint64_t cur_time = path.end_ts;
+  std::uint32_t local = dag.segment_at(
+      tid, static_cast<std::uint32_t>(t.thread_events(tid).size() - 1));
+
+  // Merge walk: stitch the speculative hop chain into the path. visited
+  // plays the sequential walker's jumped_from role — segment begins and
+  // blocking wake-ups are in bijection, so guarding per segment guards
+  // exactly the same event set.
+  std::vector<std::uint8_t> visited(dag.segment_count(), 0);
+  DagWalkStats stats;
+  stats.segments = dag.segment_count();
+  for (;;) {
+    if (deadline != nullptr && (++stats.merge_steps & 0xffff) == 0) {
+      deadline->check("critical-path walk");
+    }
+    const Segment& s = dag.thread_segments(tid)[local];
+    const std::size_t g = dag.global_id(tid, local);
+    if (s.has_jump() && visited[g] == 0) {
+      visited[g] = 1;
+      ++stats.jumps_taken;
+      if (cur_time > s.begin_ts) {
+        path.intervals.push_back(PathInterval{tid, s.begin_ts, cur_time});
+      }
+      path.jumps.push_back(
+          PathJump{EventRef{tid, s.begin_idx}, s.jump_to, s.kind, s.object});
+      cur_time = std::min(cur_time, s.jump_ts);
+      tid = s.jump_to.tid;
+      local = s.jump_seg;
+      continue;
+    }
+    if (s.begin_idx == 0) {
+      // The start of the walk's final thread: either its begin never
+      // blocked or the cycle guard already consumed its hop.
+      if (cur_time > s.begin_ts) {
+        path.intervals.push_back(PathInterval{tid, s.begin_ts, cur_time});
+      }
+      path.start_ts = s.begin_ts;
+      break;
+    }
+    // Cycle guard: this segment's hop was already consumed; the sequential
+    // walker keeps scanning backwards, which lands in the previous segment
+    // on the same thread (every segment with begin_idx > 0 has a hop, so
+    // local 0 always takes the terminal branch above).
+    --local;
+  }
+
+  std::uint64_t jump_segments = 0;
+  for (trace::ThreadId tt = 0;
+       tt < static_cast<trace::ThreadId>(dag.thread_count()); ++tt) {
+    for (const Segment& s : dag.thread_segments(tt)) {
+      jump_segments += s.has_jump() ? 1 : 0;
+    }
+  }
+  stats.speculation_misses = jump_segments - stats.jumps_taken;
+
+  finalize_path(path, t.thread_count(), pool);
+  if (stats_out != nullptr) *stats_out = stats;
   return path;
 }
 

@@ -11,7 +11,12 @@
 
 #include "cla/analysis/index.hpp"
 #include "cla/analysis/resolver.hpp"
+#include "cla/analysis/segment_dag.hpp"
 #include "cla/util/guard.hpp"
+
+namespace cla::util {
+class ThreadPool;
+}
 
 namespace cla::analysis {
 
@@ -61,5 +66,16 @@ struct CriticalPath {
 CriticalPath compute_critical_path(const TraceIndex& index,
                                    const WakeupResolver& resolver,
                                    const util::Deadline* deadline = nullptr);
+
+/// DAG walk engine: reconciles the speculatively precomputed per-segment
+/// hops into the critical path. The hop table and the per-thread interval
+/// finalization fan out across `pool`; the merge itself is a cheap
+/// O(path-segments) chain stitch. Produces output bit-identical to the
+/// sequential walk at any worker count (the determinism suite pins this).
+/// `stats_out` (optional) receives the speculation counters.
+CriticalPath compute_critical_path(const SegmentDag& dag,
+                                   util::ThreadPool* pool,
+                                   const util::Deadline* deadline = nullptr,
+                                   DagWalkStats* stats_out = nullptr);
 
 }  // namespace cla::analysis

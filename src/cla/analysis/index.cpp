@@ -12,7 +12,7 @@ namespace {
 using trace::Event;
 using trace::EventType;
 
-constexpr std::uint64_t kUnreleased = ~static_cast<std::uint64_t>(0);
+constexpr std::uint64_t kUnreleased = ThreadScanState::kUnreleasedTs;
 
 bool is_sync_op(EventType type) noexcept {
   switch (type) {
@@ -31,74 +31,45 @@ bool is_sync_op(EventType type) noexcept {
   }
 }
 
-/// Partial index produced by scanning one thread's stream in isolation.
-/// Merging these in thread-id order reproduces, record for record, the
-/// structures a single forward scan over all threads would build — which
-/// is what makes pooled construction bit-identical to sequential.
-struct ThreadScan {
-  ThreadInfo info;
-  std::vector<std::pair<trace::ThreadId, EventRef>> creates;  ///< child, ref
-  std::map<trace::ObjectId, std::vector<CsRecord>> sections;
-  std::map<trace::ObjectId, std::vector<BarrierWaitRecord>> barrier_waits;
-  std::map<trace::ObjectId, std::vector<CondWaitRecord>> cond_waits;
-  std::map<trace::ObjectId, std::vector<CondSignalRecord>> signals;
-};
+}  // namespace
 
-ThreadScan scan_thread(const trace::TraceView& t, trace::ThreadId tid) {
-  const trace::EventsView& events = t.thread_events(tid);
+void ThreadScanState::consume(const trace::EventsView& events,
+                              trace::ThreadId tid) {
+  consume(events, tid, static_cast<std::uint32_t>(events.size()));
+}
+
+void ThreadScanState::consume(const trace::EventsView& events,
+                              trace::ThreadId tid, std::uint32_t limit) {
   CLA_CHECK(!events.empty(), "trace thread has no events");
-
-  ThreadScan scan;
-  ThreadInfo& info = scan.info;
-  info.start_ts = events.front().ts;
-  info.exit_ts = events.back().ts;
-  info.exit_idx = static_cast<std::uint32_t>(events.size() - 1);
-  if (events.front().type == EventType::ThreadStart &&
-      events.front().object != trace::kNoObject) {
-    info.parent = static_cast<trace::ThreadId>(events.front().object);
+  CLA_CHECK(limit <= events.size(), "scan limit beyond the event stream");
+  if (limit <= next_) return;
+  if (next_ == 0) {
+    info.start_ts = events.front().ts;
+    if (events.front().type == EventType::ThreadStart &&
+        events.front().object != trace::kNoObject) {
+      info.parent = static_cast<trace::ThreadId>(events.front().object);
+    }
   }
+  info.exit_ts = events.ts_at(limit - 1);
+  info.exit_idx = limit - 1;
 
-  // Per-(thread, object) in-flight state while scanning forward.
-  struct PendingCs {
-    std::uint32_t acquire_idx = 0;
-    std::uint64_t acquire_ts = 0;
-    bool open = false;
-  };
-  struct PendingBarrier {
-    std::uint32_t arrive_idx = 0;
-    std::uint64_t arrive_ts = 0;
-    std::uint64_t recorded_episode = trace::kNoArg;
-    std::uint32_t ordinal = 0;  ///< how many waits this thread completed
-    bool open = false;
-  };
-  struct PendingCond {
-    std::uint32_t begin_idx = 0;
-    std::uint64_t begin_ts = 0;
-    bool open = false;
-  };
-
-  std::map<trace::ObjectId, PendingCs> pending_cs;
-  std::map<trace::ObjectId, PendingBarrier> pending_barrier;
-  PendingCond pending_cond;  // waits cannot nest on one thread
-  trace::ObjectId pending_cond_id = trace::kNoObject;
-
-  for (std::uint32_t i = 0; i < events.size(); ++i) {
-    const Event& e = events[i];
+  for (std::uint32_t i = next_; i < limit; ++i) {
+    const Event e = events[i];
     if (is_sync_op(e.type)) ++info.sync_ops;
     switch (e.type) {
       case EventType::ThreadCreate:
-        scan.creates.emplace_back(static_cast<trace::ThreadId>(e.object),
-                                  EventRef{tid, i});
+        creates.emplace_back(static_cast<trace::ThreadId>(e.object),
+                             EventRef{tid, i});
         break;
       case EventType::MutexAcquire: {
-        auto& p = pending_cs[e.object];
+        auto& p = pending_cs_[e.object];
         if (!p.open) {  // ignore recursive re-acquire of a held lock
           p = PendingCs{i, e.ts, true};
         }
         break;
       }
       case EventType::MutexAcquired: {
-        auto& p = pending_cs[e.object];
+        auto& p = pending_cs_[e.object];
         if (p.open) {
           CsRecord cs;
           cs.tid = tid;
@@ -106,9 +77,9 @@ ThreadScan scan_thread(const trace::TraceView& t, trace::ThreadId tid) {
           cs.acquired_idx = i;
           cs.acquire_ts = p.acquire_ts;
           cs.acquired_ts = e.ts;
-          cs.released_ts = kUnreleased;  // filled on MutexReleased
+          cs.released_ts = kUnreleasedTs;  // filled on MutexReleased
           cs.contended = (e.arg != trace::kNoArg) && (e.arg & 1);
-          scan.sections[e.object].push_back(cs);
+          sections[e.object].push_back(cs);
           p.open = false;
         }
         break;
@@ -116,9 +87,9 @@ ThreadScan scan_thread(const trace::TraceView& t, trace::ThreadId tid) {
       case EventType::MutexReleased: {
         // This thread scans its events in order and its sections append in
         // acquisition order, so its open section is the rearmost one.
-        auto& secs = scan.sections[e.object];
+        auto& secs = sections[e.object];
         for (auto it = secs.rbegin(); it != secs.rend(); ++it) {
-          if (it->released_ts == kUnreleased) {
+          if (it->released_ts == kUnreleasedTs) {
             it->released_idx = i;
             it->released_ts = e.ts;
             break;
@@ -127,7 +98,7 @@ ThreadScan scan_thread(const trace::TraceView& t, trace::ThreadId tid) {
         break;
       }
       case EventType::BarrierArrive: {
-        auto& p = pending_barrier[e.object];
+        auto& p = pending_barrier_[e.object];
         p.arrive_idx = i;
         p.arrive_ts = e.ts;
         p.recorded_episode = e.arg;
@@ -135,7 +106,7 @@ ThreadScan scan_thread(const trace::TraceView& t, trace::ThreadId tid) {
         break;
       }
       case EventType::BarrierLeave: {
-        auto& p = pending_barrier[e.object];
+        auto& p = pending_barrier_[e.object];
         if (p.open) {
           BarrierWaitRecord w;
           w.tid = tid;
@@ -150,33 +121,33 @@ ThreadScan scan_thread(const trace::TraceView& t, trace::ThreadId tid) {
                               p.recorded_episode <= (1u << 24)
                           ? static_cast<std::uint32_t>(p.recorded_episode)
                           : p.ordinal;
-          scan.barrier_waits[e.object].push_back(w);
+          barrier_waits[e.object].push_back(w);
           ++p.ordinal;
           p.open = false;
         }
         break;
       }
       case EventType::CondWaitBegin: {
-        pending_cond = PendingCond{i, e.ts, true};
-        pending_cond_id = e.object;
+        pending_cond_ = PendingCond{i, e.ts, true};
+        pending_cond_id_ = e.object;
         break;
       }
       case EventType::CondWaitEnd: {
-        if (pending_cond.open && pending_cond_id == e.object) {
+        if (pending_cond_.open && pending_cond_id_ == e.object) {
           CondWaitRecord w;
           w.tid = tid;
-          w.begin_idx = pending_cond.begin_idx;
+          w.begin_idx = pending_cond_.begin_idx;
           w.end_idx = i;
-          w.begin_ts = pending_cond.begin_ts;
+          w.begin_ts = pending_cond_.begin_ts;
           w.end_ts = e.ts;
-          scan.cond_waits[e.object].push_back(w);
-          pending_cond.open = false;
+          cond_waits[e.object].push_back(w);
+          pending_cond_.open = false;
         }
         break;
       }
       case EventType::CondSignal:
       case EventType::CondBroadcast: {
-        scan.signals[e.object].push_back(CondSignalRecord{
+        signals[e.object].push_back(CondSignalRecord{
             tid, i, e.ts, e.type == EventType::CondBroadcast});
         break;
       }
@@ -184,22 +155,34 @@ ThreadScan scan_thread(const trace::TraceView& t, trace::ThreadId tid) {
         break;
     }
   }
+  next_ = limit;
+}
 
-  // Close any sections missing a release (thread exited holding a lock —
-  // tolerated: treat the exit as the release point).
-  for (auto& [object, secs] : scan.sections) {
+std::uint64_t ThreadScanState::earliest_open_ts() const noexcept {
+  std::uint64_t earliest = ~static_cast<std::uint64_t>(0);
+  for (const auto& [object, secs] : sections) {
     (void)object;
-    for (auto& cs : secs) {
-      if (cs.released_ts == kUnreleased) {
-        cs.released_ts = info.exit_ts;
-        cs.released_idx = info.exit_idx;
+    for (const auto& cs : secs) {
+      if (cs.released_ts == kUnreleasedTs && cs.acquire_ts < earliest) {
+        earliest = cs.acquire_ts;
       }
     }
   }
-  return scan;
+  // A pending acquire/arrive/wait-begin with no completing event yet can
+  // still complete in a later round, changing resolutions from its start.
+  for (const auto& [object, p] : pending_cs_) {
+    (void)object;
+    if (p.open && p.acquire_ts < earliest) earliest = p.acquire_ts;
+  }
+  for (const auto& [object, p] : pending_barrier_) {
+    (void)object;
+    if (p.open && p.arrive_ts < earliest) earliest = p.arrive_ts;
+  }
+  if (pending_cond_.open && pending_cond_.begin_ts < earliest) {
+    earliest = pending_cond_.begin_ts;
+  }
+  return earliest;
 }
-
-}  // namespace
 
 TraceIndex::TraceIndex(const trace::Trace& t) : TraceIndex(t, nullptr) {}
 
@@ -213,24 +196,56 @@ TraceIndex::TraceIndex(const trace::TraceView& v, util::ThreadPool* pool)
     : view_(v) {
   const trace::TraceView& t = view_;
   const auto thread_count = static_cast<trace::ThreadId>(t.thread_count());
-  threads_.resize(thread_count);
 
   // --- per-thread scans: the O(events) part, fanned out across the pool.
   // Slot tid is written only by iteration tid, so scheduling order cannot
   // affect the result.
-  std::vector<ThreadScan> scans(thread_count);
+  std::vector<ThreadScanState> scans(thread_count);
   const auto scan_one = [&](std::size_t tid) {
-    scans[tid] = scan_thread(t, static_cast<trace::ThreadId>(tid));
+    scans[tid].consume(t.thread_events(static_cast<trace::ThreadId>(tid)),
+                       static_cast<trace::ThreadId>(tid));
   };
   if (pool != nullptr) {
     pool->parallel_for(thread_count, scan_one);
   } else {
     for (trace::ThreadId tid = 0; tid < thread_count; ++tid) scan_one(tid);
   }
+  assemble(std::move(scans), pool);
+}
+
+TraceIndex::TraceIndex(const trace::TraceView& v,
+                       std::vector<ThreadScanState> scans,
+                       util::ThreadPool* pool)
+    : view_(v) {
+  CLA_CHECK(scans.size() == view_.thread_count(),
+            "scan states do not cover the trace's threads");
+  assemble(std::move(scans), pool);
+}
+
+void TraceIndex::assemble(std::vector<ThreadScanState> scans,
+                          util::ThreadPool* pool) {
+  const trace::TraceView& t = view_;
+  const auto thread_count = static_cast<trace::ThreadId>(t.thread_count());
+  threads_.resize(thread_count);
+
+  // Close any sections missing a release (thread exited holding a lock —
+  // tolerated: treat the exit as the release point). Done on the scans
+  // owned here, so a resumable caller's copy keeps them open.
+  for (auto& scan : scans) {
+    for (auto& [object, secs] : scan.sections) {
+      (void)object;
+      for (auto& cs : secs) {
+        if (cs.released_ts == kUnreleased) {
+          cs.released_ts = scan.info.exit_ts;
+          cs.released_idx = scan.info.exit_idx;
+        }
+      }
+    }
+  }
 
   // --- merge in thread-id order (reproduces the single-scan ordering).
   for (trace::ThreadId tid = 0; tid < thread_count; ++tid) {
-    ThreadScan& scan = scans[tid];
+    ThreadScanState& scan = scans[tid];
     threads_[tid] = scan.info;
     for (const auto& [child, ref] : scan.creates) creates_[child] = ref;
     for (auto& [object, secs] : scan.sections) {

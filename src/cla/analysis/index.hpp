@@ -113,6 +113,79 @@ struct ThreadInfo {
   std::uint64_t duration() const noexcept { return exit_ts - start_ts; }
 };
 
+/// Resumable forward scan of one thread's event stream — the per-thread
+/// half of TraceIndex construction, exposed so the incremental analyzer
+/// can extend a scan as events append and the bounded-RSS engine can
+/// rescan one thread transiently.
+///
+/// consume() may be called repeatedly as the stream grows; it picks up at
+/// next_index(). Records whose closing event has not arrived yet stay
+/// open (a section's released_ts == kUnreleasedTs) — TraceIndex
+/// materialization closes them at thread exit on its *own copies*, so a
+/// record that closes for real in a later round is unharmed.
+///
+/// Callers that only aggregate (the streaming engine) may drain closed
+/// records out of the public vectors between consume() calls: the scan
+/// itself only ever revisits open records.
+class ThreadScanState {
+ public:
+  /// released_ts sentinel of a section still held after the last
+  /// consumed event.
+  static constexpr std::uint64_t kUnreleasedTs = ~static_cast<std::uint64_t>(0);
+
+  ThreadInfo info;
+  std::vector<std::pair<trace::ThreadId, EventRef>> creates;  ///< child, ref
+  std::map<trace::ObjectId, std::vector<CsRecord>> sections;
+  std::map<trace::ObjectId, std::vector<BarrierWaitRecord>> barrier_waits;
+  std::map<trace::ObjectId, std::vector<CondWaitRecord>> cond_waits;
+  std::map<trace::ObjectId, std::vector<CondSignalRecord>> signals;
+
+  /// Index of the first event consume() has not seen yet.
+  std::uint32_t next_index() const noexcept { return next_; }
+
+  /// Scans events [next_index(), events.size()) of `tid`'s stream.
+  void consume(const trace::EventsView& events, trace::ThreadId tid);
+
+  /// Chunked variant: scans events [next_index(), limit) only, so callers
+  /// that drain closed records between calls (the bounded-RSS engine) can
+  /// keep the transient footprint at one chunk plus the open records.
+  /// Thread exit facts track the last *consumed* event until the final
+  /// call reaches events.size().
+  void consume(const trace::EventsView& events, trace::ThreadId tid,
+               std::uint32_t limit);
+
+  /// Earliest start timestamp (acquire/arrive/begin) among records still
+  /// open after the last consume; ~0 if none. The incremental analyzer's
+  /// re-resolution boundary needs it: a record that closes later can
+  /// change resolutions from its start onwards.
+  std::uint64_t earliest_open_ts() const noexcept;
+
+ private:
+  struct PendingCs {
+    std::uint32_t acquire_idx = 0;
+    std::uint64_t acquire_ts = 0;
+    bool open = false;
+  };
+  struct PendingBarrier {
+    std::uint32_t arrive_idx = 0;
+    std::uint64_t arrive_ts = 0;
+    std::uint64_t recorded_episode = trace::kNoArg;
+    std::uint32_t ordinal = 0;  ///< how many waits this thread completed
+    bool open = false;
+  };
+  struct PendingCond {
+    std::uint32_t begin_idx = 0;
+    std::uint64_t begin_ts = 0;
+    bool open = false;
+  };
+
+  std::map<trace::ObjectId, PendingCs> pending_cs_;
+  std::map<trace::ObjectId, PendingBarrier> pending_barrier_;
+  PendingCond pending_cond_;  // waits cannot nest on one thread
+  trace::ObjectId pending_cond_id_ = trace::kNoObject;
+  std::uint32_t next_ = 0;
+};
+
 /// Immutable per-primitive index over one trace.
 ///
 /// The index consumes (and retains) a read-only TraceView, so it is
@@ -134,6 +207,15 @@ class TraceIndex {
   TraceIndex(const trace::Trace& trace, util::ThreadPool* pool);
   TraceIndex(trace::Trace&&, util::ThreadPool*) = delete;
   TraceIndex(const trace::TraceView& view, util::ThreadPool* pool);
+
+  /// Materializes an index from externally progressed scans (one per
+  /// thread, fully caught up with `view`). The incremental analyzer keeps
+  /// its ThreadScanStates across rounds and passes copies here, so the
+  /// O(records) materialization replaces the O(events) rescan. Still-open
+  /// sections are closed at thread exit on the copies, exactly as the
+  /// one-shot constructors do.
+  TraceIndex(const trace::TraceView& view, std::vector<ThreadScanState> scans,
+             util::ThreadPool* pool);
 
   /// The viewed trace this index was built over (valid while the view's
   /// backing store lives).
@@ -173,6 +255,10 @@ class TraceIndex {
   static constexpr std::uint32_t npos32 = ~static_cast<std::uint32_t>(0);
 
  private:
+  /// Shared tail of every constructor: apply the exit-closes, merge the
+  /// scans in thread-id order, post-process per primitive.
+  void assemble(std::vector<ThreadScanState> scans, util::ThreadPool* pool);
+
   trace::TraceView view_;
   std::map<trace::ObjectId, MutexIndex> mutexes_;
   std::map<trace::ObjectId, BarrierIndex> barriers_;

@@ -1,6 +1,8 @@
 #include "cla/analysis/pipeline.hpp"
 
 #include <fstream>
+
+#include "cla/analysis/streaming.hpp"
 #include <sstream>
 #include <utility>
 
@@ -19,6 +21,7 @@ std::string_view stage_name(Stage stage) noexcept {
     case Stage::Validate: return "validate";
     case Stage::Index: return "index";
     case Stage::Resolve: return "resolve";
+    case Stage::BuildDag: return "builddag";
     case Stage::Walk: return "walk";
     case Stage::Stats: return "stats";
     case Stage::Report: return "report";
@@ -95,8 +98,13 @@ void Pipeline::reset_stages() {
   sink_.clear();
   index_.reset();
   resolver_.reset();
+  dag_.reset();
+  dag_stats_ = DagWalkStats{};
   path_.reset();
   result_.reset();
+  streaming_segments_ = 0;
+  streaming_threads_ = 0;
+  streaming_peak_bytes_ = 0;
 }
 
 Pipeline& Pipeline::load_file(const std::string& path) {
@@ -296,20 +304,49 @@ Pipeline& Pipeline::resolve_stage() {
   return *this;
 }
 
+Pipeline& Pipeline::dag_stage() {
+  if (dag_.has_value()) return *this;
+  index_stage();
+  const std::uint64_t start = util::now_ns();
+  const util::Deadline& dl = deadline();
+  dl.check("builddag");
+  dag_ = SegmentDag::build(*index_, pool(), dl.unlimited() ? nullptr : &dl);
+  record(Stage::BuildDag, start);
+  return *this;
+}
+
 Pipeline& Pipeline::walk_stage() {
   if (path_.has_value() || result_.has_value()) return *this;
-  resolve_stage();
+  if (bounded()) {
+    streaming_stage();
+    return *this;
+  }
+  if (options_.execution.walk == WalkEngine::Sequential) {
+    resolve_stage();
+    const std::uint64_t start = util::now_ns();
+    const util::Deadline& dl = deadline();
+    dl.check("walk");
+    path_ = compute_critical_path(*index_, *resolver_,
+                                  dl.unlimited() ? nullptr : &dl);
+    record(Stage::Walk, start);
+    return *this;
+  }
+  dag_stage();
   const std::uint64_t start = util::now_ns();
   const util::Deadline& dl = deadline();
   dl.check("walk");
-  path_ = compute_critical_path(*index_, *resolver_,
-                                dl.unlimited() ? nullptr : &dl);
+  path_ = compute_critical_path(*dag_, pool(),
+                                dl.unlimited() ? nullptr : &dl, &dag_stats_);
   record(Stage::Walk, start);
   return *this;
 }
 
 Pipeline& Pipeline::stats_stage() {
   if (result_.has_value()) return *this;
+  if (bounded()) {
+    streaming_stage();
+    return *this;
+  }
   walk_stage();
   const std::uint64_t start = util::now_ns();
   deadline().check("stats");
@@ -319,9 +356,37 @@ Pipeline& Pipeline::stats_stage() {
   return *this;
 }
 
+void Pipeline::streaming_stage() {
+  if (result_.has_value()) return;
+  if (options_.validate) validate_stage();
+  const trace::TraceView& v = view();
+  deadline().check("stream");
+  check_event_budget(v.event_count());
+  const util::Deadline& dl = deadline();
+  StreamingOutcome outcome = analyze_streaming(
+      v, options_.stats, pool(), options_.limits.max_rss_mb << 20,
+      dl.unlimited() ? nullptr : &dl);
+  result_ = std::move(outcome.result);
+  dag_stats_ = outcome.walk_stats;
+  streaming_segments_ = outcome.dag_segments;
+  streaming_threads_ = outcome.dag_threads;
+  streaming_peak_bytes_ = outcome.peak_bytes;
+  profile_.stages.push_back(StageTiming{Stage::Index, outcome.timings.sweep_ns});
+  profile_.stages.push_back(
+      StageTiming{Stage::BuildDag, outcome.timings.dag_ns});
+  profile_.stages.push_back(StageTiming{Stage::Walk, outcome.timings.walk_ns});
+  profile_.stages.push_back(
+      StageTiming{Stage::Stats, outcome.timings.stats_ns});
+}
+
 const TraceIndex& Pipeline::trace_index() {
   index_stage();
   return *index_;
+}
+
+const SegmentDag& Pipeline::segment_dag() {
+  dag_stage();
+  return *dag_;
 }
 
 const CriticalPath& Pipeline::critical_path() {
@@ -375,7 +440,28 @@ std::string Pipeline::report() {
 std::string Pipeline::report_json() {
   stats_stage();
   const std::uint64_t start = util::now_ns();
-  std::string rendered = render_json(*result_);
+  JsonReportMeta meta;
+  meta.has_dag = true;
+  if (bounded()) {
+    // The streaming engine discarded its DAG after the walk; it recorded
+    // the counts (identical to a full build's — same boundary rules).
+    meta.dag_segments = streaming_segments_;
+    meta.dag_threads = streaming_threads_;
+  } else {
+    // Built on demand even under WalkEngine::Sequential so the payload is
+    // engine-independent (the determinism suite compares them bytewise).
+    dag_stage();
+    meta.dag_segments = dag_->segment_count();
+    meta.dag_threads = dag_->thread_count();
+  }
+  if (options_.report.json_profile) {
+    meta.include_profile = true;
+    for (const auto& timing : profile_.stages) {
+      meta.profile.emplace_back(std::string(stage_name(timing.stage)),
+                                timing.ns);
+    }
+  }
+  std::string rendered = render_json(*result_, meta);
   record(Stage::Report, start);
   return rendered;
 }

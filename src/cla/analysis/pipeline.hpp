@@ -1,20 +1,32 @@
 // Staged analysis pipeline — the paper's analysis module (Fig. 3, §III)
 // with every phase exposed as a named, individually invocable stage:
 //
-//   load -> validate -> index -> resolve -> walk -> stats -> report
+//   load -> validate -> index -> builddag -> walk -> stats -> report
 //
 // `load` streams a .clat file in bounded chunks (TraceStreamReader), so
-// large traces are ingested without a full intermediate copy. `index` and
-// `stats` fan out across an ExecutionPolicy-sized worker pool (per trace
-// thread and per lock respectively) and are bit-identical to the
-// sequential computation at any thread count. `walk` — the backward
-// critical-path construction — is inherently sequential: each hop depends
-// on where the previous one landed, so it always runs on one thread.
+// large traces are ingested without a full intermediate copy. `index`,
+// `builddag` and `stats` fan out across an ExecutionPolicy-sized worker
+// pool and are bit-identical to the sequential computation at any thread
+// count. `builddag` condenses the trace into the segment DAG
+// (segment_dag.hpp) with every hop speculatively resolved in parallel;
+// `walk` then merges the hop chain into the critical path — byte-for-byte
+// the path the legacy sequential backward walk produces
+// (ExecutionPolicy::walk selects the engine; the `resolve` stage only
+// runs under WalkEngine::Sequential).
+//
+// A non-zero ResourceLimits::max_rss_mb reroutes the analysis through the
+// bounded-RSS streaming engine (streaming.hpp): a single cursor sweep
+// builds the DAG without ever materializing the per-event index, and the
+// statistics are recomputed in windowed per-thread rescans, so traces
+// larger than RAM analyze under a fixed memory budget — with the same
+// report bytes.
 //
 // Each stage records its wall-clock cost; `profile()` is the analyzer's
-// own observability layer (`cla-analyze --profile`).
+// own observability layer (`cla-analyze --profile`, and the JSON report's
+// "profile" array when ReportOptions::json_profile is set).
 //
-// The legacy one-shot `cla::analyze()` is a thin wrapper over this class.
+// The deprecated one-shot `cla::analyze()` is a thin wrapper over this
+// class (see README, MIGRATION).
 #pragma once
 
 #include <cstdint>
@@ -41,12 +53,22 @@ class ThreadPool;
 
 namespace cla::analysis {
 
-/// How the parallel stages (index, stats) execute.
+/// Which critical-path construction the walk stage runs. Both produce
+/// bit-identical output (the determinism suite pins this); Sequential
+/// exists as the reference implementation and comparison baseline.
+enum class WalkEngine {
+  Dag,         ///< segment-DAG build + speculative parallel hop merge
+  Sequential,  ///< the paper's event-by-event backward walk
+};
+
+/// How the parallel stages (index, builddag, walk, stats) execute.
 struct ExecutionPolicy {
   /// Worker threads for the fan-out stages. 1 = fully sequential (the
-  /// legacy behaviour); 0 = one per hardware thread. The walk stage is
-  /// sequential regardless.
+  /// legacy behaviour); 0 = one per hardware thread.
   unsigned num_threads = 1;
+  /// Walk engine; Dag is the default. Sequential restores the legacy
+  /// resolve+walk stages (and is the only consumer of `resolve`).
+  WalkEngine walk = WalkEngine::Dag;
 };
 
 /// Load-stage knobs (streaming .clat reader / mmap view).
@@ -85,8 +107,9 @@ struct Options {
   util::ResourceLimits limits;
 };
 
-/// The pipeline's stages, in execution order.
-enum class Stage { Load, Validate, Index, Resolve, Walk, Stats, Report };
+/// The pipeline's stages, in execution order. Resolve only runs under
+/// WalkEngine::Sequential; BuildDag only under WalkEngine::Dag.
+enum class Stage { Load, Validate, Index, Resolve, BuildDag, Walk, Stats, Report };
 
 /// Lower-case stage name as printed by --profile and --help.
 std::string_view stage_name(Stage stage) noexcept;
@@ -157,11 +180,19 @@ class Pipeline {
   Pipeline& validate_stage();
   /// Per-primitive forward indexing (parallel across trace threads).
   Pipeline& index_stage();
-  /// Wake-up resolution ("find the segment that released me").
+  /// Wake-up resolution ("find the segment that released me"). Only the
+  /// sequential walk engine consumes the result; the DAG engine resolves
+  /// wake-ups on the fly while building segments.
   Pipeline& resolve_stage();
-  /// Backward critical-path walk (sequential by construction).
+  /// Segment-DAG construction: shard-parallel boundary discovery plus
+  /// chunked speculative hop resolution (see segment_dag.hpp).
+  Pipeline& dag_stage();
+  /// Backward critical-path construction via the engine selected by
+  /// ExecutionPolicy::walk.
   Pipeline& walk_stage();
-  /// TYPE 1 / TYPE 2 statistics (parallel across locks/barriers).
+  /// TYPE 1 / TYPE 2 statistics (parallel across locks/barriers). With a
+  /// non-zero limits.max_rss_mb this instead runs the bounded-RSS
+  /// streaming engine end to end (sweep + DAG + walk + stats).
   Pipeline& stats_stage();
 
   // --- outputs (run any outstanding prerequisite stages) ---
@@ -173,12 +204,19 @@ class Pipeline {
   /// view() unless a Trace is specifically required.
   const trace::Trace& trace();
   const TraceIndex& trace_index();
+  /// The segment DAG (builds it on demand, regardless of walk engine).
+  const SegmentDag& segment_dag();
+  /// Counters from the DAG merge walk; zeros until a DAG walk ran.
+  const DagWalkStats& dag_walk_stats() const noexcept { return dag_stats_; }
   const CriticalPath& critical_path();
   const AnalysisResult& result();
   /// Moves the result out; the pipeline is done afterwards.
   AnalysisResult take_result();
 
-  /// Report stage: human-readable / JSON rendering of the result.
+  /// Report stage: human-readable / JSON rendering of the result. The
+  /// JSON payload is versioned ("schema": 2) and includes the DAG's
+  /// segment counts — and, when options.report.json_profile is set, the
+  /// per-stage wall-clock profile.
   std::string report();
   std::string report_json();
 
@@ -201,10 +239,22 @@ class Pipeline {
   /// fixed-up stream and its results are approximate.
   bool repaired() const noexcept { return repaired_; }
 
+  /// True when limits.max_rss_mb routes this pipeline through the
+  /// bounded-RSS streaming engine.
+  bool bounded() const noexcept { return options_.limits.max_rss_mb != 0; }
+  /// Peak bytes the streaming engine accounted against the budget
+  /// (0 until a bounded run completed).
+  std::uint64_t streaming_peak_bytes() const noexcept {
+    return streaming_peak_bytes_;
+  }
+
  private:
   util::ThreadPool* pool();
   void record(Stage stage, std::uint64_t start_ns);
   void reset_stages();
+  /// Runs the bounded-RSS streaming engine end to end (stats_stage body
+  /// when bounded()).
+  void streaming_stage();
   /// Arms the wall-clock budget on first use (so it measures analysis
   /// time, not the gap between construction and the first stage).
   const util::Deadline& deadline();
@@ -231,8 +281,16 @@ class Pipeline {
   util::DiagnosticSink sink_;
   std::optional<TraceIndex> index_;
   std::optional<WakeupResolver> resolver_;
+  std::optional<SegmentDag> dag_;
+  DagWalkStats dag_stats_;
   std::optional<CriticalPath> path_;
   std::optional<AnalysisResult> result_;
+  /// Filled by streaming_stage(): the DAG counts for the JSON report
+  /// (the streaming engine discards its DAG after the walk) and the peak
+  /// accounted bytes.
+  std::uint64_t streaming_segments_ = 0;
+  std::uint64_t streaming_threads_ = 0;
+  std::uint64_t streaming_peak_bytes_ = 0;
   std::optional<trace::SalvageReport> salvage_report_;
   PipelineProfile profile_;
 };

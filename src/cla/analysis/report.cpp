@@ -154,12 +154,22 @@ void json_string(std::ostringstream& out, const std::string& s) {
 
 }  // namespace
 
-std::string render_json(const AnalysisResult& result) {
+std::string render_json(const AnalysisResult& result,
+                        const JsonReportMeta& meta) {
   std::ostringstream out;
-  out << "{\n  \"completion_time_ns\": " << result.completion_time
+  out << "{\n  \"schema\": 2"
+      << ",\n  \"completion_time_ns\": " << result.completion_time
       << ",\n  \"worker_threads\": " << result.worker_threads
+      << ",\n  \"path_intervals\": " << result.path.intervals.size()
       << ",\n  \"path_jumps\": " << result.path.jumps.size()
-      << ",\n  \"locks\": [\n";
+      << ",\n  \"dag\": ";
+  if (meta.has_dag) {
+    out << "{\"segments\": " << meta.dag_segments
+        << ", \"threads\": " << meta.dag_threads << "}";
+  } else {
+    out << "null";
+  }
+  out << ",\n  \"locks\": [\n";
   for (std::size_t i = 0; i < result.locks.size(); ++i) {
     const LockStats& ls = result.locks[i];
     out << "    {\"name\": ";
@@ -186,8 +196,23 @@ std::string render_json(const AnalysisResult& result) {
         << ", \"cp_crossings\": " << bs.cp_jumps << "}"
         << (i + 1 < result.barriers.size() ? "," : "") << '\n';
   }
-  out << "  ]\n}\n";
+  out << "  ]";
+  if (meta.include_profile) {
+    out << ",\n  \"profile\": [\n";
+    for (std::size_t i = 0; i < meta.profile.size(); ++i) {
+      out << "    {\"stage\": ";
+      json_string(out, meta.profile[i].first);
+      out << ", \"ns\": " << meta.profile[i].second << "}"
+          << (i + 1 < meta.profile.size() ? "," : "") << '\n';
+    }
+    out << "  ]";
+  }
+  out << "\n}\n";
   return out.str();
+}
+
+std::string render_json(const AnalysisResult& result) {
+  return render_json(result, JsonReportMeta{});
 }
 
 }  // namespace cla::analysis

@@ -4,7 +4,10 @@
 // the paper's Figs. 6, 8, 9, 10, 11, 13 and 14.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cla/analysis/stats.hpp"
 #include "cla/util/table.hpp"
@@ -14,6 +17,10 @@ namespace cla::analysis {
 /// How many locks a table includes (paper figures show the top 2-3).
 struct ReportOptions {
   std::size_t top_locks = 0;  ///< 0 = all
+  /// Include the per-stage wall-clock breakdown in the JSON report's
+  /// "profile" array. Off by default: timings are nondeterministic, and
+  /// the determinism suite pins the profile-free payload byte-for-byte.
+  bool json_profile = false;
 };
 
 /// TYPE 1 table: Lock | CP Time % | Invo. # on CP | Cont. Prob. on CP %.
@@ -38,7 +45,23 @@ util::Table size_table(const AnalysisResult& result, const ReportOptions& = {});
 /// Full human-readable report: summary, TYPE 1, TYPE 2, barriers, threads.
 std::string render_report(const AnalysisResult& result, const ReportOptions& = {});
 
-/// Machine-readable JSON export of every metric.
+/// Pipeline-side context for the JSON report (schema 2). Plain data so
+/// this header stays independent of pipeline.hpp: Pipeline fills it from
+/// its segment DAG and profile; standalone render_json(result) callers
+/// get "dag": null and no profile block.
+struct JsonReportMeta {
+  bool has_dag = false;            ///< emit the "dag" object (else null)
+  std::uint64_t dag_segments = 0;  ///< nodes in the segment DAG
+  std::uint64_t dag_threads = 0;   ///< per-thread segment chains
+  bool include_profile = false;    ///< emit the "profile" array
+  /// (stage name, wall-clock ns) in execution order.
+  std::vector<std::pair<std::string, std::uint64_t>> profile;
+};
+
+/// Machine-readable JSON export of every metric (versioned: "schema": 2).
+std::string render_json(const AnalysisResult& result,
+                        const JsonReportMeta& meta);
+/// Same with an empty meta: "dag": null, no "profile" array.
 std::string render_json(const AnalysisResult& result);
 
 }  // namespace cla::analysis

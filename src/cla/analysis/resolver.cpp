@@ -8,7 +8,6 @@ namespace cla::analysis {
 
 namespace {
 
-using trace::Event;
 using trace::EventType;
 
 /// Latest signal/broadcast of `ci` with ts in (begin, end], preferring a
@@ -40,6 +39,97 @@ EventRef match_cond_signal(const CondIndex& ci, const CondWaitRecord& wait) {
 
 }  // namespace
 
+Resolution resolve_wakeup(const TraceIndex& index, trace::ThreadId tid,
+                          std::uint32_t idx) {
+  const trace::TraceView& t = index.view();
+  CLA_ASSERT(tid < t.thread_count(), "resolve_wakeup thread out of range");
+  const trace::EventsView& events = t.thread_events(tid);
+  CLA_ASSERT(idx < events.size(), "resolve_wakeup index out of range");
+
+  Resolution r;
+  switch (events.type_at(idx)) {
+    case EventType::ThreadStart: {
+      if (tid == 0) break;  // initial thread: nothing released it
+      const EventRef create = index.create_event(tid);
+      if (create.valid()) {
+        r.releaser = create;
+        r.blocked = true;  // a thread can never run before creation
+      }
+      break;
+    }
+    case EventType::JoinEnd: {
+      const trace::ObjectId object = events.object_at(idx);
+      const auto target = static_cast<trace::ThreadId>(object);
+      if (target >= index.threads().size()) break;
+      const ThreadInfo& ti = index.threads()[target];
+      // Find the matching JoinBegin (the previous event on this thread
+      // with the same target); blocked iff the target outlived it.
+      std::uint64_t begin_ts = events.ts_at(idx);
+      for (std::uint32_t j = idx; j-- > 0;) {
+        if (events.type_at(j) == EventType::JoinBegin &&
+            events.object_at(j) == object) {
+          begin_ts = events.ts_at(j);
+          break;
+        }
+      }
+      if (ti.exit_ts > begin_ts) {
+        r.releaser = EventRef{target, ti.exit_idx};
+        r.blocked = true;
+      }
+      break;
+    }
+    case EventType::MutexAcquired: {
+      const std::uint64_t arg = events.arg_at(idx);
+      const bool contended = (arg != trace::kNoArg) && (arg & 1);
+      if (!contended) break;
+      r.blocked = true;
+      auto mit = index.mutexes().find(events.object_at(idx));
+      if (mit == index.mutexes().end()) break;
+      const auto pos = index.section_of(tid, idx);
+      if (pos == TraceIndex::npos32 || pos == 0) break;
+      const CsRecord& prev = mit->second.sections[pos - 1];
+      r.releaser = EventRef{prev.tid, prev.released_idx};
+      break;
+    }
+    case EventType::BarrierLeave: {
+      auto bit = index.barriers().find(events.object_at(idx));
+      if (bit == index.barriers().end()) break;
+      const auto wpos = index.barrier_wait_of(tid, idx);
+      if (wpos == TraceIndex::npos32) break;
+      const BarrierIndex& bi = bit->second;
+      const BarrierWaitRecord& w = bi.waits[wpos];
+      CLA_ASSERT(w.episode < bi.episodes.size(), "barrier episode out of range");
+      const BarrierEpisode& ep = bi.episodes[w.episode];
+      if (ep.waits.empty()) break;
+      const BarrierWaitRecord& last = bi.waits[ep.last_arriver];
+      if (last.tid == tid && ep.last_arriver == wpos) {
+        // The last arriver never blocked; the path stays on its thread.
+        break;
+      }
+      r.blocked = true;
+      r.releaser = EventRef{last.tid, last.arrive_idx};
+      break;
+    }
+    case EventType::CondWaitEnd: {
+      auto cit = index.conds().find(events.object_at(idx));
+      if (cit == index.conds().end()) break;
+      const auto wpos = index.cond_wait_of(tid, idx);
+      if (wpos == TraceIndex::npos32) break;
+      const CondWaitRecord& wait = cit->second.waits[wpos];
+      if (wait.end_ts == wait.begin_ts) break;  // did not block
+      const EventRef signal = match_cond_signal(cit->second, wait);
+      if (signal.valid()) {
+        r.blocked = true;
+        r.releaser = signal;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return r;
+}
+
 WakeupResolver::WakeupResolver(const TraceIndex& index) {
   const trace::TraceView& t = index.view();
   per_thread_.resize(t.thread_count());
@@ -47,87 +137,8 @@ WakeupResolver::WakeupResolver(const TraceIndex& index) {
     const trace::EventsView& events = t.thread_events(tid);
     per_thread_[tid].resize(events.size());
     for (std::uint32_t i = 0; i < events.size(); ++i) {
-      const Event& e = events[i];
-      if (!trace::is_wakeup(e.type)) continue;
-      Resolution& r = per_thread_[tid][i];
-      switch (e.type) {
-        case EventType::ThreadStart: {
-          if (tid == 0) break;  // initial thread: nothing released it
-          const EventRef create = index.create_event(tid);
-          if (create.valid()) {
-            r.releaser = create;
-            r.blocked = true;  // a thread can never run before creation
-          }
-          break;
-        }
-        case EventType::JoinEnd: {
-          const auto target = static_cast<trace::ThreadId>(e.object);
-          if (target >= index.threads().size()) break;
-          const ThreadInfo& ti = index.threads()[target];
-          // Find the matching JoinBegin (the previous event on this thread
-          // with the same target); blocked iff the target outlived it.
-          std::uint64_t begin_ts = e.ts;
-          for (std::uint32_t j = i; j-- > 0;) {
-            if (events[j].type == EventType::JoinBegin &&
-                events[j].object == e.object) {
-              begin_ts = events[j].ts;
-              break;
-            }
-          }
-          if (ti.exit_ts > begin_ts) {
-            r.releaser = EventRef{target, ti.exit_idx};
-            r.blocked = true;
-          }
-          break;
-        }
-        case EventType::MutexAcquired: {
-          const bool contended = (e.arg != trace::kNoArg) && (e.arg & 1);
-          if (!contended) break;
-          r.blocked = true;
-          auto mit = index.mutexes().find(e.object);
-          if (mit == index.mutexes().end()) break;
-          const auto pos = index.section_of(tid, i);
-          if (pos == TraceIndex::npos32 || pos == 0) break;
-          const CsRecord& prev = mit->second.sections[pos - 1];
-          r.releaser = EventRef{prev.tid, prev.released_idx};
-          break;
-        }
-        case EventType::BarrierLeave: {
-          auto bit = index.barriers().find(e.object);
-          if (bit == index.barriers().end()) break;
-          const auto wpos = index.barrier_wait_of(tid, i);
-          if (wpos == TraceIndex::npos32) break;
-          const BarrierIndex& bi = bit->second;
-          const BarrierWaitRecord& w = bi.waits[wpos];
-          CLA_ASSERT(w.episode < bi.episodes.size(), "barrier episode out of range");
-          const BarrierEpisode& ep = bi.episodes[w.episode];
-          if (ep.waits.empty()) break;
-          const BarrierWaitRecord& last = bi.waits[ep.last_arriver];
-          if (last.tid == tid && ep.last_arriver == wpos) {
-            // The last arriver never blocked; the path stays on its thread.
-            break;
-          }
-          r.blocked = true;
-          r.releaser = EventRef{last.tid, last.arrive_idx};
-          break;
-        }
-        case EventType::CondWaitEnd: {
-          auto cit = index.conds().find(e.object);
-          if (cit == index.conds().end()) break;
-          const auto wpos = index.cond_wait_of(tid, i);
-          if (wpos == TraceIndex::npos32) break;
-          const CondWaitRecord& wait = cit->second.waits[wpos];
-          if (wait.end_ts == wait.begin_ts) break;  // did not block
-          const EventRef signal = match_cond_signal(cit->second, wait);
-          if (signal.valid()) {
-            r.blocked = true;
-            r.releaser = signal;
-          }
-          break;
-        }
-        default:
-          break;
-      }
+      if (!trace::is_wakeup(events.type_at(i))) continue;
+      per_thread_[tid][i] = resolve_wakeup(index, tid, i);
     }
   }
 }

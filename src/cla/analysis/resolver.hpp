@@ -29,6 +29,15 @@ struct Resolution {
   bool blocked = false;  ///< whether the wait actually blocked
 };
 
+/// Resolves the wake-up event at (tid, idx) directly against the index,
+/// reading only the event columns it needs (no per-event materialization).
+/// Events that are not wake-ups resolve to {invalid, false}. This is the
+/// single source of truth for the resolution rules: WakeupResolver and the
+/// segment-DAG builder both delegate here, so the two walk engines can
+/// never disagree on a releaser.
+Resolution resolve_wakeup(const TraceIndex& index, trace::ThreadId tid,
+                          std::uint32_t idx);
+
 class WakeupResolver {
  public:
   explicit WakeupResolver(const TraceIndex& index);

@@ -1,0 +1,969 @@
+// Bounded-RSS streaming analysis engine — see streaming.hpp for the
+// phase breakdown and DESIGN §12 for the correctness argument.
+//
+// The sweep mirrors, rule for rule, the resolution semantics of
+// resolve_wakeup() (resolver.cpp) and the record-pairing semantics of
+// ThreadScanState::consume (index.cpp), but holds only carry state:
+// per-mutex "previous owner", per-barrier live episode window, per-cond
+// latest-signal-per-thread, plus the pairing mirrors. Two documented
+// divergences exist, both requiring physically impossible interleavings:
+//   - a barrier member arriving after another member of the *same*
+//     episode already left (the episode may be mis-resolved), and
+//   - more than kEpisodeWindow distinct barrier generations opening at a
+//     single timestamp (an episode can be retired while a leave at that
+//     timestamp still references it).
+#include "cla/analysis/streaming.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "cla/analysis/critical_path.hpp"
+#include "cla/analysis/index.hpp"
+#include "cla/util/clock.hpp"
+#include "cla/util/error.hpp"
+#include "cla/util/stats.hpp"
+#include "cla/util/thread_pool.hpp"
+
+namespace cla::analysis {
+
+namespace {
+
+using trace::EventType;
+using util::safe_ratio;
+
+/// Live barrier generations kept per barrier; the oldest retires beyond
+/// this (windowed carry-state retirement).
+constexpr std::size_t kEpisodeWindow = 64;
+/// Events between deadline/budget polls.
+constexpr std::uint64_t kPollMask = 0xffff;
+/// Events per pass-2 rescan chunk (drain interval).
+constexpr std::uint32_t kRescanChunk = 1u << 16;
+
+/// Coarse byte accounting of retained state, shared across pool tasks.
+class Budget {
+ public:
+  Budget(std::uint64_t limit, const util::Deadline* deadline)
+      : limit_(limit), deadline_(deadline) {}
+
+  void charge(std::uint64_t bytes) {
+    const std::uint64_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+    if (limit_ != 0 && now > limit_) {
+      throw util::ResourceLimitError(
+          "streaming analysis exceeds the memory budget: " +
+          std::to_string(now) + " bytes retained > --max-rss-mb budget of " +
+          std::to_string(limit_) + " bytes (CLA_E_RSS_BUDGET_EXCEEDED)");
+    }
+  }
+  void release(std::uint64_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  void poll(const char* what) const {
+    if (deadline_ != nullptr) deadline_->check(what);
+  }
+  std::uint64_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t limit_;
+  const util::Deadline* deadline_;
+  std::atomic<std::uint64_t> current_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
+/// Position of a segment in its thread's *unsorted* vector, registered to
+/// receive a releaser EventRef once the closing event streams by.
+struct SegPatch {
+  trace::ThreadId tid = 0;
+  std::uint32_t pos = 0;
+};
+
+/// One still-open critical section of a (thread, mutex) pair.
+struct OpenSection {
+  std::uint32_t acquired_idx = 0;
+  std::vector<SegPatch> waiters;  ///< segments blocked on this release
+};
+
+/// Per-(thread, mutex) pairing mirror of ThreadScanState's PendingCs plus
+/// the open-section stack (closes are rearmost-first, i.e. pop_back).
+struct ThreadMutexState {
+  bool acquire_open = false;
+  std::vector<OpenSection> open;
+};
+
+/// Per-(thread, barrier) pairing mirror of PendingBarrier.
+struct ThreadBarrierState {
+  bool open = false;
+  std::uint32_t arrive_idx = 0;
+  std::uint64_t arrive_ts = 0;
+  std::uint64_t recorded_episode = trace::kNoArg;
+  std::uint32_t ordinal = 0;
+};
+
+/// Running best-arriver of one barrier generation. The strict compare
+/// (greater ts, or equal ts and smaller tid) never replaces on an exact
+/// tie, which reproduces the full index's first-record-wins rule.
+struct EpisodeState {
+  bool has = false;
+  bool counted = false;  ///< a completed wait counted this episode
+  std::uint64_t best_ts = 0;
+  trace::ThreadId best_tid = 0;
+  std::uint32_t best_arrive_idx = 0;
+};
+
+struct BarrierCarry {
+  std::map<std::uint32_t, EpisodeState> live;  ///< generation key -> state
+  std::uint64_t episodes_completed = 0;        ///< distinct keys with a wait
+};
+
+/// Per-mutex carry: the most recently *acquired* section (= sections[pos-1]
+/// of the next acquirer in the full index's acquired_ts-sorted order —
+/// the sweep streams Acquired events in exactly that order).
+struct MutexCarry {
+  bool has_last = false;
+  trace::ThreadId last_tid = 0;
+  bool last_released = false;
+  std::uint32_t last_released_idx = 0;
+  std::uint32_t last_open_pos = 0;  ///< stack pos while !last_released
+};
+
+/// A BarrierLeave / CondWaitEnd whose resolution waits until the sweep
+/// strictly passes its timestamp (so every same-ts arrive/signal, from
+/// any thread, lands first — exactly the set the full index consults).
+struct Deferred {
+  bool is_barrier = false;
+  trace::ThreadId tid = 0;
+  std::uint32_t idx = 0;
+  std::uint64_t ts = 0;
+  trace::ObjectId object = trace::kNoObject;
+  std::uint32_t key = 0;              ///< barrier: episode key
+  std::uint32_t self_arrive_idx = 0;  ///< barrier: own arrive event
+  std::uint64_t begin_ts = 0;         ///< cond: wait begin timestamp
+};
+
+struct JoinCandidate {
+  trace::ThreadId tid = 0;
+  std::uint32_t idx = 0;
+  std::uint64_t begin_ts = 0;
+  trace::ThreadId target = 0;
+};
+
+struct StartCandidate {
+  trace::ThreadId tid = 0;
+  std::uint32_t idx = 0;
+};
+
+// --- pass 2 per-thread aggregates (integer, so merge order only matters
+// --- for map key creation — done in tid order like the full merge) ---
+
+struct LockAgg {
+  std::uint64_t invocations = 0;
+  std::uint64_t contended = 0;
+  std::uint64_t wait = 0;
+  std::uint64_t hold = 0;
+  std::uint64_t cp_invocations = 0;
+  std::uint64_t cp_contended = 0;
+  std::uint64_t cp_hold = 0;
+};
+struct BarAgg {
+  std::uint64_t waits = 0;
+  std::uint64_t wait_sum = 0;
+};
+struct CondAgg {
+  std::uint64_t waits = 0;
+  std::uint64_t wait_sum = 0;
+  std::uint64_t signals = 0;
+};
+struct ThreadAgg {
+  std::map<trace::ObjectId, LockAgg> locks;
+  std::map<trace::ObjectId, BarAgg> bars;
+  std::map<trace::ObjectId, CondAgg> conds;
+  std::uint64_t sync_ops = 0;
+  std::uint64_t lock_wait = 0;
+  std::uint64_t lock_hold = 0;
+  std::uint64_t duration = 0;
+};
+
+/// The sweep: resolves every blocking wake-up into per-thread segment
+/// vectors using carry state only.
+class Sweep {
+ public:
+  Sweep(const trace::TraceView& view, Budget& budget)
+      : view_(view), budget_(budget) {
+    const auto thread_count = static_cast<trace::ThreadId>(view.thread_count());
+    segs_.resize(thread_count);
+    mutex_states_.resize(thread_count);
+    barrier_states_.resize(thread_count);
+    cond_begin_.resize(thread_count);
+    join_begins_.resize(thread_count);
+    creates_.resize(thread_count);
+    exit_idx_.resize(thread_count);
+    exit_ts_.resize(thread_count);
+    for (trace::ThreadId tid = 0; tid < thread_count; ++tid) {
+      const trace::EventsView& events = view.thread_events(tid);
+      CLA_CHECK(!events.empty(), "trace thread has no events");
+      exit_idx_[tid] = static_cast<std::uint32_t>(events.size() - 1);
+      exit_ts_[tid] = events.ts_at(exit_idx_[tid]);
+      // Every thread opens with its initial segment (event 0), exactly as
+      // SegmentDag::build does; a blocking boundary at event 0 attaches
+      // its hop to this segment instead of opening a second one.
+      Segment s;
+      s.begin_idx = 0;
+      s.begin_ts = events.ts_at(0);
+      s.kind = events.type_at(0);
+      s.object = events.object_at(0);
+      segs_[tid].push_back(s);
+    }
+  }
+
+  void run() {
+    const auto thread_count = static_cast<trace::ThreadId>(view_.thread_count());
+    // k-way merge of the per-thread streams in (ts, tid) order.
+    using HeapItem = std::pair<std::uint64_t, trace::ThreadId>;
+    std::vector<HeapItem> heap;
+    std::vector<std::uint32_t> cursor(thread_count, 0);
+    heap.reserve(thread_count);
+    for (trace::ThreadId tid = 0; tid < thread_count; ++tid) {
+      heap.emplace_back(view_.thread_events(tid).ts_at(0), tid);
+    }
+    const auto heap_greater = [](const HeapItem& a, const HeapItem& b) {
+      return a > b;  // min-heap on (ts, tid)
+    };
+    std::make_heap(heap.begin(), heap.end(), heap_greater);
+
+    std::uint64_t steps = 0;
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), heap_greater);
+      const auto [ts, tid] = heap.back();
+      heap.pop_back();
+      flush_deferred(ts);
+      if ((++steps & kPollMask) == 0) {
+        budget_.poll("streaming sweep");
+        account();
+      }
+      const std::uint32_t idx = cursor[tid];
+      process(tid, idx, ts);
+      const trace::EventsView& events = view_.thread_events(tid);
+      if (++cursor[tid] < events.size()) {
+        heap.emplace_back(events.ts_at(cursor[tid]), tid);
+        std::push_heap(heap.begin(), heap.end(), heap_greater);
+      }
+    }
+    finish();
+  }
+
+  /// Sorted per-thread segment vectors (move out after run()).
+  std::vector<std::vector<Segment>> take_segments() { return std::move(segs_); }
+
+  trace::ThreadId last_finished_thread() const {
+    trace::ThreadId last = 0;
+    for (trace::ThreadId tid = 1;
+         tid < static_cast<trace::ThreadId>(view_.thread_count()); ++tid) {
+      if (exit_ts_[tid] > exit_ts_[last]) last = tid;
+    }
+    return last;
+  }
+
+  /// Distinct completed barrier generations, per barrier object.
+  std::uint64_t episodes_of(trace::ObjectId object) const {
+    auto it = barrier_carry_.find(object);
+    return it == barrier_carry_.end() ? 0 : it->second.episodes_completed;
+  }
+
+ private:
+  void emit_boundary(trace::ThreadId tid, std::uint32_t idx, std::uint64_t ts,
+                     EventType kind, trace::ObjectId object, EventRef jump,
+                     std::vector<SegPatch>* patch_into) {
+    std::vector<Segment>& segs = segs_[tid];
+    if (idx == 0) {
+      // Merge into the initial segment (mirrors SegmentDag::build).
+      if (jump.valid()) segs[0].jump_to = jump;
+      if (patch_into != nullptr) patch_into->push_back(SegPatch{tid, 0});
+      return;
+    }
+    Segment s;
+    s.begin_idx = idx;
+    s.begin_ts = ts;
+    s.jump_to = jump;
+    s.kind = kind;
+    s.object = object;
+    if (patch_into != nullptr) {
+      patch_into->push_back(
+          SegPatch{tid, static_cast<std::uint32_t>(segs.size())});
+    }
+    segs.push_back(s);
+  }
+
+  void process(trace::ThreadId tid, std::uint32_t idx, std::uint64_t ts) {
+    const trace::EventsView& events = view_.thread_events(tid);
+    const EventType type = events.type_at(idx);
+    switch (type) {
+      case EventType::ThreadStart:
+        if (tid != 0) starts_.push_back(StartCandidate{tid, idx});
+        break;
+      case EventType::ThreadCreate:
+        creates_[tid].emplace_back(
+            static_cast<trace::ThreadId>(events.object_at(idx)),
+            EventRef{tid, idx});
+        break;
+      case EventType::JoinBegin:
+        join_begins_[tid][events.object_at(idx)] = ts;
+        break;
+      case EventType::JoinEnd: {
+        const trace::ObjectId object = events.object_at(idx);
+        const auto target = static_cast<trace::ThreadId>(object);
+        if (target >= view_.thread_count()) break;
+        auto it = join_begins_[tid].find(object);
+        const std::uint64_t begin_ts =
+            it == join_begins_[tid].end() ? ts : it->second;
+        joins_.push_back(JoinCandidate{tid, idx, begin_ts, target});
+        break;
+      }
+      case EventType::MutexAcquire: {
+        auto& st = mutex_states_[tid][events.object_at(idx)];
+        // Recursive re-acquire of a held pending request is ignored, like
+        // ThreadScanState: only the pairing flag matters here.
+        if (!st.acquire_open) st.acquire_open = true;
+        break;
+      }
+      case EventType::MutexAcquired:
+        on_acquired(tid, idx, ts, events);
+        break;
+      case EventType::MutexReleased:
+        on_released(tid, idx, events.object_at(idx));
+        break;
+      case EventType::BarrierArrive: {
+        const trace::ObjectId object = events.object_at(idx);
+        auto& st = barrier_states_[tid][object];
+        st.open = true;
+        st.arrive_idx = idx;
+        st.arrive_ts = ts;
+        st.recorded_episode = events.arg_at(idx);
+        // The episode key is determined here: the ordinal cannot change
+        // before the matching Leave (ThreadScanState increments it there).
+        const std::uint32_t key =
+            st.recorded_episode != trace::kNoArg &&
+                    st.recorded_episode <= (1u << 24)
+                ? static_cast<std::uint32_t>(st.recorded_episode)
+                : st.ordinal;
+        note_arrival(tid, object, key, ts, idx);
+        break;
+      }
+      case EventType::BarrierLeave:
+        on_barrier_leave(tid, idx, ts, events.object_at(idx));
+        break;
+      case EventType::CondWaitBegin:
+        cond_begin_[tid] = {events.object_at(idx), ts, true};
+        break;
+      case EventType::CondWaitEnd: {
+        auto& pending = cond_begin_[tid];
+        if (!pending.open || pending.object != events.object_at(idx)) break;
+        pending.open = false;
+        if (ts == pending.begin_ts) break;  // did not block
+        Deferred d;
+        d.is_barrier = false;
+        d.tid = tid;
+        d.idx = idx;
+        d.ts = ts;
+        d.object = pending.object;
+        d.begin_ts = pending.begin_ts;
+        deferred_.push_back(d);
+        break;
+      }
+      case EventType::CondSignal:
+      case EventType::CondBroadcast: {
+        auto& latest = cond_signals_[events.object_at(idx)][tid];
+        latest = {ts, idx};
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void on_acquired(trace::ThreadId tid, std::uint32_t idx, std::uint64_t ts,
+                   const trace::EventsView& events) {
+    (void)ts;
+    const trace::ObjectId object = events.object_at(idx);
+    auto& st = mutex_states_[tid][object];
+    if (!st.acquire_open) return;  // unpaired: no record in the full index
+    st.acquire_open = false;
+    MutexCarry& carry = mutex_carry_[object];
+    const std::uint64_t arg = events.arg_at(idx);
+    const bool contended = (arg != trace::kNoArg) && (arg & 1);
+    if (contended && carry.has_last) {
+      // resolve_wakeup(MutexAcquired): releaser = sections[pos-1]'s
+      // release event. The sweep streams Acquired events in the sorted
+      // section order, so carry == sections[pos-1].
+      if (carry.last_released) {
+        emit_boundary(tid, idx, events.ts_at(idx), EventType::MutexAcquired,
+                      object,
+                      EventRef{carry.last_tid, carry.last_released_idx},
+                      nullptr);
+      } else {
+        // Previous owner still inside: the releaser index is unknown
+        // until its MutexReleased (or thread exit) streams by.
+        auto& owner = mutex_states_[carry.last_tid][object];
+        CLA_ASSERT(carry.last_open_pos < owner.open.size(),
+                   "stale open-section reference");
+        emit_boundary(tid, idx, events.ts_at(idx), EventType::MutexAcquired,
+                      object, EventRef{},
+                      &owner.open[carry.last_open_pos].waiters);
+      }
+    }
+    // This section becomes the new "previous" for the next acquirer.
+    st.open.push_back(OpenSection{idx, {}});
+    carry.has_last = true;
+    carry.last_tid = tid;
+    carry.last_released = false;
+    carry.last_open_pos = static_cast<std::uint32_t>(st.open.size() - 1);
+    ++open_sections_;
+  }
+
+  void on_released(trace::ThreadId tid, std::uint32_t idx,
+                   trace::ObjectId object) {
+    auto& st = mutex_states_[tid][object];
+    if (st.open.empty()) return;  // unpaired release
+    // Rearmost unreleased section closes first (ThreadScanState rule).
+    OpenSection closing = std::move(st.open.back());
+    st.open.pop_back();
+    --open_sections_;
+    patch(closing.waiters, EventRef{tid, idx});
+    MutexCarry& carry = mutex_carry_[object];
+    if (carry.has_last && !carry.last_released && carry.last_tid == tid &&
+        carry.last_open_pos == static_cast<std::uint32_t>(st.open.size())) {
+      carry.last_released = true;
+      carry.last_released_idx = idx;
+    }
+  }
+
+  void on_barrier_leave(trace::ThreadId tid, std::uint32_t idx,
+                        std::uint64_t ts, trace::ObjectId object) {
+    auto& st = barrier_states_[tid][object];
+    if (!st.open) return;  // unpaired leave: no record in the full index
+    st.open = false;
+    const std::uint32_t key =
+        st.recorded_episode != trace::kNoArg && st.recorded_episode <= (1u << 24)
+            ? static_cast<std::uint32_t>(st.recorded_episode)
+            : st.ordinal;
+    ++st.ordinal;
+    Deferred d;
+    d.is_barrier = true;
+    d.tid = tid;
+    d.idx = idx;
+    d.ts = ts;
+    d.object = object;
+    d.key = key;
+    d.self_arrive_idx = st.arrive_idx;
+    deferred_.push_back(d);
+  }
+
+  /// Registers an arrive into its episode window (called on Arrive — the
+  /// key is already determined there, because no other wait of this
+  /// (thread, barrier) completes before the matching Leave).
+  void note_arrival(trace::ThreadId tid, trace::ObjectId object,
+                    std::uint32_t key, std::uint64_t arrive_ts,
+                    std::uint32_t arrive_idx) {
+    BarrierCarry& carry = barrier_carry_[object];
+    auto [it, inserted] = carry.live.try_emplace(key);
+    EpisodeState& ep = it->second;
+    if (inserted && carry.live.size() > kEpisodeWindow) {
+      // Windowed retirement: the oldest generation leaves the carry.
+      carry.live.erase(carry.live.begin());
+    }
+    if (!ep.has || arrive_ts > ep.best_ts ||
+        (arrive_ts == ep.best_ts && tid < ep.best_tid)) {
+      ep.has = true;
+      ep.best_ts = arrive_ts;
+      ep.best_tid = tid;
+      ep.best_arrive_idx = arrive_idx;
+    }
+  }
+
+  void flush_deferred(std::uint64_t now_ts) {
+    while (!deferred_.empty() && deferred_.front().ts < now_ts) {
+      resolve_deferred(deferred_.front());
+      deferred_.pop_front();
+    }
+  }
+
+  void resolve_deferred(const Deferred& d) {
+    if (d.is_barrier) {
+      BarrierCarry& carry = barrier_carry_[d.object];
+      auto it = carry.live.find(d.key);
+      if (it == carry.live.end()) return;  // retired (documented divergence)
+      EpisodeState& ep = it->second;
+      if (!ep.counted) {
+        ep.counted = true;
+        ++carry.episodes_completed;
+      }
+      if (!ep.has) return;
+      if (ep.best_tid == d.tid && ep.best_arrive_idx == d.self_arrive_idx) {
+        return;  // the last arriver never blocked
+      }
+      emit_boundary(d.tid, d.idx, d.ts, EventType::BarrierLeave, d.object,
+                    EventRef{ep.best_tid, ep.best_arrive_idx}, nullptr);
+      return;
+    }
+    // Cond wait end: latest foreign signal in (begin, end], falling back
+    // to the latest foreign signal <= end (match_cond_signal's rules;
+    // every signal with ts <= end has streamed by flush time, and the
+    // per-thread latest dominates its thread's earlier signals).
+    auto cit = cond_signals_.find(d.object);
+    if (cit == cond_signals_.end()) return;
+    bool have_primary = false, have_fallback = false;
+    std::uint64_t best_ts = 0, fb_ts = 0;
+    trace::ThreadId best_tid = 0, fb_tid = 0;
+    std::uint32_t best_idx = 0, fb_idx = 0;
+    for (const auto& [stid, sig] : cit->second) {
+      if (stid == d.tid) continue;  // a thread cannot signal itself awake
+      const auto [sts, sidx] = sig;
+      if (sts > d.begin_ts) {
+        if (!have_primary || sts > best_ts ||
+            (sts == best_ts && stid > best_tid)) {
+          have_primary = true;
+          best_ts = sts;
+          best_tid = stid;
+          best_idx = sidx;
+        }
+      }
+      if (!have_fallback || sts > fb_ts || (sts == fb_ts && stid > fb_tid)) {
+        have_fallback = true;
+        fb_ts = sts;
+        fb_tid = stid;
+        fb_idx = sidx;
+      }
+    }
+    EventRef signal;
+    if (have_primary) {
+      signal = EventRef{best_tid, best_idx};
+    } else if (have_fallback) {
+      signal = EventRef{fb_tid, fb_idx};
+    }
+    if (signal.valid()) {
+      emit_boundary(d.tid, d.idx, d.ts, EventType::CondWaitEnd, d.object,
+                    signal, nullptr);
+    }
+  }
+
+  void patch(const std::vector<SegPatch>& waiters, EventRef releaser) {
+    for (const SegPatch& w : waiters) {
+      segs_[w.tid][w.pos].jump_to = releaser;
+    }
+  }
+
+  void finish() {
+    // Everything has streamed: flush the tail of the deferral queue.
+    while (!deferred_.empty()) {
+      resolve_deferred(deferred_.front());
+      deferred_.pop_front();
+    }
+    // Sections never released close at their owner's exit.
+    for (trace::ThreadId tid = 0;
+         tid < static_cast<trace::ThreadId>(view_.thread_count()); ++tid) {
+      for (auto& [object, st] : mutex_states_[tid]) {
+        (void)object;
+        for (OpenSection& open : st.open) {
+          patch(open.waiters, EventRef{tid, exit_idx_[tid]});
+        }
+      }
+    }
+    // The creates map replicates the full index's last-writer-wins merge
+    // (tid-ascending, then event order).
+    std::map<trace::ThreadId, EventRef> creates;
+    for (const auto& per_thread : creates_) {
+      for (const auto& [child, ref] : per_thread) creates[child] = ref;
+    }
+    for (const StartCandidate& s : starts_) {
+      auto it = creates.find(s.tid);
+      if (it == creates.end()) continue;
+      emit_boundary(s.tid, s.idx, view_.thread_events(s.tid).ts_at(s.idx),
+                    EventType::ThreadStart, trace::kNoObject, it->second,
+                    nullptr);
+    }
+    // Joins: blocked iff the target outlived the matching JoinBegin.
+    for (const JoinCandidate& j : joins_) {
+      if (exit_ts_[j.target] <= j.begin_ts) continue;
+      emit_boundary(j.tid, j.idx, view_.thread_events(j.tid).ts_at(j.idx),
+                    EventType::JoinEnd,
+                    static_cast<trace::ObjectId>(j.target),
+                    EventRef{j.target, exit_idx_[j.target]}, nullptr);
+    }
+    // Deferred resolutions appended out of event order; restore it.
+    for (auto& segs : segs_) {
+      std::sort(segs.begin(), segs.end(),
+                [](const Segment& a, const Segment& b) {
+                  return a.begin_idx < b.begin_idx;
+                });
+    }
+    account();
+  }
+
+  /// Coarse retained-state charge: recomputed periodically, charged as a
+  /// delta against the shared budget.
+  void account() {
+    std::uint64_t bytes = 0;
+    for (const auto& segs : segs_) bytes += segs.capacity() * sizeof(Segment);
+    bytes += open_sections_ * (sizeof(OpenSection) + 2 * sizeof(SegPatch));
+    bytes += deferred_.size() * sizeof(Deferred);
+    bytes += joins_.size() * sizeof(JoinCandidate);
+    bytes += starts_.size() * sizeof(StartCandidate);
+    for (const auto& c : creates_) {
+      bytes += c.size() * (sizeof(trace::ThreadId) + sizeof(EventRef));
+    }
+    for (const auto& [object, carry] : barrier_carry_) {
+      (void)object;
+      bytes += carry.live.size() * (sizeof(EpisodeState) + 32);
+    }
+    for (const auto& [object, sigs] : cond_signals_) {
+      (void)object;
+      bytes += sigs.size() * 48;
+    }
+    for (const auto& jb : join_begins_) bytes += jb.size() * 48;
+    if (bytes > accounted_) {
+      budget_.charge(bytes - accounted_);
+    } else {
+      budget_.release(accounted_ - bytes);
+    }
+    accounted_ = bytes;
+  }
+
+  struct PendingCond {
+    trace::ObjectId object = trace::kNoObject;
+    std::uint64_t begin_ts = 0;
+    bool open = false;
+  };
+
+  const trace::TraceView& view_;
+  Budget& budget_;
+  std::vector<std::vector<Segment>> segs_;
+  std::vector<std::map<trace::ObjectId, ThreadMutexState>> mutex_states_;
+  std::vector<std::map<trace::ObjectId, ThreadBarrierState>> barrier_states_;
+  std::vector<PendingCond> cond_begin_;
+  std::vector<std::map<trace::ObjectId, std::uint64_t>> join_begins_;
+  std::vector<std::vector<std::pair<trace::ThreadId, EventRef>>> creates_;
+  std::vector<std::uint32_t> exit_idx_;
+  std::vector<std::uint64_t> exit_ts_;
+  std::map<trace::ObjectId, MutexCarry> mutex_carry_;
+  std::map<trace::ObjectId, BarrierCarry> barrier_carry_;
+  std::map<trace::ObjectId,
+           std::map<trace::ThreadId, std::pair<std::uint64_t, std::uint32_t>>>
+      cond_signals_;
+  std::deque<Deferred> deferred_;
+  std::vector<JoinCandidate> joins_;
+  std::vector<StartCandidate> starts_;
+  std::uint64_t open_sections_ = 0;
+  std::uint64_t accounted_ = 0;
+};
+
+/// Pass 2: per-thread chunked rescan deriving the integer aggregates the
+/// stats assembly needs, draining closed records after every chunk so the
+/// transient footprint stays bounded by open records + one chunk.
+ThreadAgg rescan_thread(const trace::TraceView& view, trace::ThreadId tid,
+                        const CriticalPath& path, Budget& budget) {
+  const trace::EventsView& events = view.thread_events(tid);
+  ThreadAgg agg;
+  ThreadScanState state;
+  std::uint64_t accounted = 0;
+
+  const auto drain = [&](bool final_pass) {
+    for (auto& [object, secs] : state.sections) {
+      LockAgg& la = agg.locks[object];  // keeps empty keys, like the merge
+      auto keep = secs.begin();
+      for (auto& cs : secs) {
+        if (cs.released_ts == ThreadScanState::kUnreleasedTs) {
+          if (!final_pass) {
+            *keep++ = cs;
+            continue;
+          }
+          // Thread exited holding the lock: close at exit, exactly as
+          // TraceIndex materialization does.
+          cs.released_ts = state.info.exit_ts;
+          cs.released_idx = state.info.exit_idx;
+        }
+        ++la.invocations;
+        if (cs.contended) ++la.contended;
+        la.wait += cs.wait_time();
+        la.hold += cs.hold_time();
+        const std::uint64_t on_path =
+            path.overlap(tid, cs.acquired_ts, cs.released_ts);
+        if (on_path > 0) {
+          ++la.cp_invocations;
+          if (cs.contended) ++la.cp_contended;
+          la.cp_hold += on_path;
+        }
+      }
+      secs.erase(keep, secs.end());
+    }
+    for (auto& [object, waits] : state.barrier_waits) {
+      BarAgg& ba = agg.bars[object];
+      for (const auto& w : waits) {
+        ++ba.waits;
+        ba.wait_sum += w.leave_ts - w.arrive_ts;
+      }
+      waits.clear();
+    }
+    for (auto& [object, waits] : state.cond_waits) {
+      CondAgg& ca = agg.conds[object];
+      for (const auto& w : waits) {
+        ++ca.waits;
+        ca.wait_sum += w.end_ts - w.begin_ts;
+      }
+      waits.clear();
+    }
+    for (auto& [object, sigs] : state.signals) {
+      agg.conds[object].signals += sigs.size();
+      sigs.clear();
+    }
+    state.creates.clear();
+  };
+
+  for (trace::ChunkCursor cursor = view.thread_cursor(tid); !cursor.done();) {
+    budget.poll("streaming stats rescan");
+    state.consume(events, tid, cursor.next(kRescanChunk).end);
+    drain(false);
+    std::uint64_t open = 0;
+    for (const auto& [object, secs] : state.sections) open += secs.size();
+    const std::uint64_t bytes = open * sizeof(CsRecord) + 4096;
+    if (bytes > accounted) {
+      budget.charge(bytes - accounted);
+    } else {
+      budget.release(accounted - bytes);
+    }
+    accounted = bytes;
+  }
+  drain(true);
+  budget.release(accounted);
+  agg.sync_ops = state.info.sync_ops;
+  agg.duration = state.info.duration();
+  for (const auto& [object, la] : agg.locks) {
+    (void)object;
+    agg.lock_wait += la.wait;
+    agg.lock_hold += la.hold;
+  }
+  return agg;
+}
+
+}  // namespace
+
+StreamingOutcome analyze_streaming(const trace::TraceView& view,
+                                   const StatsOptions& options,
+                                   util::ThreadPool* pool,
+                                   std::uint64_t budget_bytes,
+                                   const util::Deadline* deadline) {
+  CLA_CHECK(view.thread_count() > 0, "streaming analysis of an empty trace");
+  StreamingOutcome out;
+  Budget budget(budget_bytes, deadline);
+
+  // --- phase 1: the sweep ---
+  std::uint64_t t0 = util::now_ns();
+  Sweep sweep(view, budget);
+  sweep.run();
+  const trace::ThreadId last_thread = sweep.last_finished_thread();
+  out.timings.sweep_ns = util::now_ns() - t0;
+
+  // --- phase 2: hop resolution over the retained segments ---
+  t0 = util::now_ns();
+  SegmentDag dag(view, sweep.take_segments(), last_thread, pool, deadline);
+  out.dag_segments = dag.segment_count();
+  out.dag_threads = dag.thread_count();
+  budget.charge(dag.segment_count() * sizeof(Segment));
+  out.timings.dag_ns = util::now_ns() - t0;
+
+  // --- phase 3: the merge walk ---
+  t0 = util::now_ns();
+  CriticalPath path = compute_critical_path(dag, pool, deadline,
+                                            &out.walk_stats);
+  budget.charge(path.intervals.size() * sizeof(PathInterval) * 2 +
+                path.jumps.size() * sizeof(PathJump));
+  out.timings.walk_ns = util::now_ns() - t0;
+
+  // --- phase 4: stats from per-thread rescans ---
+  t0 = util::now_ns();
+  const auto thread_count = static_cast<trace::ThreadId>(view.thread_count());
+  std::vector<ThreadAgg> per_thread(thread_count);
+  const auto rescan_one = [&](std::size_t tid) {
+    per_thread[tid] =
+        rescan_thread(view, static_cast<trace::ThreadId>(tid), path, budget);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(thread_count, rescan_one);
+  } else {
+    for (trace::ThreadId tid = 0; tid < thread_count; ++tid) rescan_one(tid);
+  }
+
+  // Merge in tid order, then assemble the result with compute_stats'
+  // exact iteration order and floating-point expressions.
+  struct LockGlobal {
+    LockAgg tot;
+    std::vector<std::uint64_t> wait_per_tid, hold_per_tid;
+  };
+  std::map<trace::ObjectId, LockGlobal> locks;
+  struct BarGlobal {
+    std::uint64_t waits = 0, wait_sum = 0;
+    std::vector<std::uint64_t> wait_per_tid;
+  };
+  std::map<trace::ObjectId, BarGlobal> bars;
+  struct CondGlobal {
+    std::uint64_t waits = 0, wait_sum = 0, signals = 0;
+  };
+  std::map<trace::ObjectId, CondGlobal> conds;
+  for (trace::ThreadId tid = 0; tid < thread_count; ++tid) {
+    const ThreadAgg& agg = per_thread[tid];
+    for (const auto& [object, la] : agg.locks) {
+      LockGlobal& lg = locks[object];
+      if (lg.wait_per_tid.empty()) {
+        lg.wait_per_tid.resize(thread_count, 0);
+        lg.hold_per_tid.resize(thread_count, 0);
+      }
+      lg.tot.invocations += la.invocations;
+      lg.tot.contended += la.contended;
+      lg.tot.wait += la.wait;
+      lg.tot.hold += la.hold;
+      lg.tot.cp_invocations += la.cp_invocations;
+      lg.tot.cp_contended += la.cp_contended;
+      lg.tot.cp_hold += la.cp_hold;
+      lg.wait_per_tid[tid] = la.wait;
+      lg.hold_per_tid[tid] = la.hold;
+    }
+    for (const auto& [object, ba] : agg.bars) {
+      BarGlobal& bg = bars[object];
+      if (bg.wait_per_tid.empty()) bg.wait_per_tid.resize(thread_count, 0);
+      bg.waits += ba.waits;
+      bg.wait_sum += ba.wait_sum;
+      bg.wait_per_tid[tid] = ba.wait_sum;
+    }
+    for (const auto& [object, ca] : agg.conds) {
+      CondGlobal& cg = conds[object];
+      cg.waits += ca.waits;
+      cg.wait_sum += ca.wait_sum;
+      cg.signals += ca.signals;
+    }
+  }
+  budget.charge(locks.size() * 2 * thread_count * sizeof(std::uint64_t));
+
+  AnalysisResult result;
+  result.completion_time = path.length();
+  std::vector<bool> is_worker(thread_count, false);
+  for (trace::ThreadId tid = 0; tid < thread_count; ++tid) {
+    const ThreadAgg& agg = per_thread[tid];
+    ThreadStats ts;
+    ts.tid = tid;
+    ts.name = view.thread_display_name(tid);
+    ts.duration = agg.duration;
+    ts.cp_time = path.thread_time(tid);
+    ts.sync_ops = agg.sync_ops;
+    ts.lock_wait_time = agg.lock_wait;
+    ts.lock_hold_time = agg.lock_hold;
+    result.threads.push_back(std::move(ts));
+    is_worker[tid] = !options.worker_threads_only || agg.sync_ops > 0;
+  }
+  std::size_t workers = 0;
+  for (bool w : is_worker) workers += w ? 1 : 0;
+  if (workers == 0) {
+    std::fill(is_worker.begin(), is_worker.end(), true);
+    workers = thread_count;
+  }
+  result.worker_threads = workers;
+  const double cp_len = static_cast<double>(path.length());
+
+  for (const auto& [id, lg] : locks) {
+    LockStats ls;
+    ls.id = id;
+    ls.name = view.object_display_name(id, "mutex");
+    ls.invocations = lg.tot.invocations;
+    ls.contended = lg.tot.contended;
+    ls.total_wait = lg.tot.wait;
+    ls.total_hold = lg.tot.hold;
+    ls.cp_invocations = lg.tot.cp_invocations;
+    ls.cp_contended = lg.tot.cp_contended;
+    ls.cp_hold_time = lg.tot.cp_hold;
+    double wait_fraction_sum = 0.0;
+    double hold_fraction_sum = 0.0;
+    for (trace::ThreadId tid = 0; tid < thread_count; ++tid) {
+      if (!is_worker[tid]) continue;
+      const double dur = static_cast<double>(per_thread[tid].duration);
+      wait_fraction_sum +=
+          safe_ratio(static_cast<double>(lg.wait_per_tid[tid]), dur);
+      hold_fraction_sum +=
+          safe_ratio(static_cast<double>(lg.hold_per_tid[tid]), dur);
+    }
+    const auto worker_count = static_cast<double>(workers);
+    ls.avg_wait_fraction = wait_fraction_sum / worker_count;
+    ls.avg_hold_fraction = hold_fraction_sum / worker_count;
+    ls.avg_invocations = static_cast<double>(ls.invocations) / worker_count;
+    ls.avg_contention_prob = safe_ratio(static_cast<double>(ls.contended),
+                                        static_cast<double>(ls.invocations));
+    ls.cp_time_fraction =
+        safe_ratio(static_cast<double>(ls.cp_hold_time), cp_len);
+    ls.cp_contention_prob =
+        safe_ratio(static_cast<double>(ls.cp_contended),
+                   static_cast<double>(ls.cp_invocations));
+    ls.invocation_increase =
+        safe_ratio(static_cast<double>(ls.cp_invocations), ls.avg_invocations);
+    ls.hold_increase = safe_ratio(ls.cp_time_fraction, ls.avg_hold_fraction);
+    result.locks.push_back(std::move(ls));
+  }
+  std::sort(result.locks.begin(), result.locks.end(),
+            [](const LockStats& a, const LockStats& b) {
+              if (a.cp_hold_time != b.cp_hold_time)
+                return a.cp_hold_time > b.cp_hold_time;
+              if (a.total_wait != b.total_wait) return a.total_wait > b.total_wait;
+              return a.name < b.name;
+            });
+
+  for (const auto& [id, bg] : bars) {
+    BarrierStats bs;
+    bs.id = id;
+    bs.name = view.object_display_name(id, "barrier");
+    bs.episodes = sweep.episodes_of(id);
+    bs.waits = bg.waits;
+    bs.total_wait_time = bg.wait_sum;
+    double fraction_sum = 0.0;
+    for (trace::ThreadId tid = 0; tid < thread_count; ++tid) {
+      if (!is_worker[tid]) continue;
+      fraction_sum +=
+          safe_ratio(static_cast<double>(bg.wait_per_tid[tid]),
+                     static_cast<double>(per_thread[tid].duration));
+    }
+    bs.avg_wait_fraction = fraction_sum / static_cast<double>(workers);
+    result.barriers.push_back(std::move(bs));
+  }
+
+  for (const auto& [id, cg] : conds) {
+    CondStats cs;
+    cs.id = id;
+    cs.name = view.object_display_name(id, "cond");
+    cs.waits = cg.waits;
+    cs.signals = cg.signals;
+    cs.total_wait_time = cg.wait_sum;
+    result.conds.push_back(std::move(cs));
+  }
+
+  for (const PathJump& jump : path.jumps) {
+    if (jump.kind == EventType::BarrierLeave) {
+      for (auto& bs : result.barriers)
+        if (bs.id == jump.object) ++bs.cp_jumps;
+    } else if (jump.kind == EventType::CondWaitEnd) {
+      for (auto& cs : result.conds)
+        if (cs.id == jump.object) ++cs.cp_jumps;
+    }
+  }
+
+  result.path = std::move(path);
+  out.timings.stats_ns = util::now_ns() - t0;
+  out.peak_bytes = budget.peak();
+  out.result = std::move(result);
+  return out;
+}
+
+}  // namespace cla::analysis

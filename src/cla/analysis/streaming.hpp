@@ -1,0 +1,66 @@
+// Bounded-RSS streaming analysis engine.
+//
+// The regular pipeline materializes a full per-primitive TraceIndex —
+// O(sync events) of heap — before anything else runs. For traces larger
+// than RAM that is fatal, so this engine computes the *same* report a
+// different way:
+//
+//   1. sweep   — one k-way cursor sweep over the per-thread event columns
+//                in (ts, tid) order resolves every blocking wake-up with
+//                O(open records) of carry state and emits segments only;
+//   2. dag     — the retained segments become a SegmentDag (hop
+//                resolution pass as usual);
+//   3. walk    — the speculative merge walk produces the critical path;
+//   4. stats   — per-thread rescans re-derive the TYPE 1 / TYPE 2
+//                aggregates with transient per-thread state, merged in
+//                tid order so every float sums in the exact order
+//                compute_stats uses.
+//
+// Retained state is byte-accounted against `budget_bytes`; exceeding the
+// budget aborts with a ResourceLimitError (CLI exit code 4). The report
+// is byte-identical to the unbounded pipeline's on well-formed traces
+// (the determinism suite pins this); see DESIGN §12 for the two
+// documented divergences on physically impossible interleavings.
+#pragma once
+
+#include <cstdint>
+
+#include "cla/analysis/segment_dag.hpp"
+#include "cla/analysis/stats.hpp"
+#include "cla/trace/trace_view.hpp"
+#include "cla/util/guard.hpp"
+
+namespace cla::util {
+class ThreadPool;
+}
+
+namespace cla::analysis {
+
+/// Wall-clock of the engine's four phases, mapped onto the pipeline's
+/// Index/BuildDag/Walk/Stats profile entries.
+struct StreamingTimings {
+  std::uint64_t sweep_ns = 0;
+  std::uint64_t dag_ns = 0;
+  std::uint64_t walk_ns = 0;
+  std::uint64_t stats_ns = 0;
+};
+
+struct StreamingOutcome {
+  AnalysisResult result;
+  std::uint64_t dag_segments = 0;  ///< for the JSON "dag" block
+  std::uint64_t dag_threads = 0;
+  DagWalkStats walk_stats;
+  std::uint64_t peak_bytes = 0;  ///< peak accounted retained bytes
+  StreamingTimings timings;
+};
+
+/// Runs the streaming engine end to end. `budget_bytes` bounds the
+/// retained analysis state (0 = account but never abort); `pool` fans out
+/// the hop resolution and the per-thread stats rescans.
+StreamingOutcome analyze_streaming(const trace::TraceView& view,
+                                   const StatsOptions& options,
+                                   util::ThreadPool* pool,
+                                   std::uint64_t budget_bytes,
+                                   const util::Deadline* deadline = nullptr);
+
+}  // namespace cla::analysis

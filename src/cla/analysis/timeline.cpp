@@ -119,4 +119,30 @@ std::string timeline_csv(const TraceIndex& index, const CriticalPath& path) {
   return out.str();
 }
 
+std::string dag_segments_csv(const SegmentDag& dag) {
+  const trace::TraceView& t = dag.view();
+  std::ostringstream out;
+  out << "thread,segment,begin_idx,begin_ts,kind,object,jump_thread,jump_idx\n";
+  for (trace::ThreadId tid = 0;
+       tid < static_cast<trace::ThreadId>(dag.thread_count()); ++tid) {
+    const auto& segs = dag.thread_segments(tid);
+    for (std::size_t k = 0; k < segs.size(); ++k) {
+      const Segment& s = segs[k];
+      out << t.thread_display_name(tid) << ',' << k << ',' << s.begin_idx
+          << ',' << s.begin_ts << ',' << trace::to_string(s.kind) << ',';
+      if (s.object != trace::kNoObject) {
+        out << t.object_display_name(s.object, "object");
+      }
+      out << ',';
+      if (s.has_jump()) {
+        out << t.thread_display_name(s.jump_to.tid) << ',' << s.jump_to.index;
+      } else {
+        out << ',';
+      }
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
 }  // namespace cla::analysis

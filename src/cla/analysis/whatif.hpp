@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cla/analysis/segment_dag.hpp"
 #include "cla/analysis/stats.hpp"
 
 namespace cla::analysis {
@@ -30,5 +31,26 @@ WhatIfEstimate estimate_shrink(const AnalysisResult& result,
 /// Ranks all locks by predicted benefit of a full (factor 1.0) shrink —
 /// the "which lock should I optimize first" answer of the paper.
 std::vector<WhatIfEstimate> rank_optimization_targets(const AnalysisResult& result);
+
+/// Result of a segment-DAG replay with shrunk critical sections.
+struct WhatIfReplay {
+  std::string lock;
+  double shrink_factor = 0.0;
+  std::uint64_t original_span_ns = 0;   ///< first start .. last exit, as traced
+  std::uint64_t predicted_span_ns = 0;  ///< same span after the replay
+  double predicted_speedup = 1.0;       ///< original / predicted
+  std::uint64_t checkpoints = 0;        ///< replayed timeline points
+};
+
+/// Re-walks the segment DAG with `lock_name`'s critical sections shrunk
+/// by `shrink_factor` (1.0 = eliminated) and predicts the new completion
+/// span. Unlike estimate_shrink's closed-form upper bound, the replay
+/// models the wake-up structure: every blocking dependency re-evaluates
+/// `max(own arrival, releaser + wake-up latency)` in dependency order, so
+/// waits that stop being on the critical path stop contributing — this is
+/// how the paper explains a 39% CP-time lock yielding only a 7% gain.
+/// Returns speedup 1.0 for unknown locks.
+WhatIfReplay replay_shrink(const SegmentDag& dag, const TraceIndex& index,
+                           const std::string& lock_name, double shrink_factor);
 
 }  // namespace cla::analysis

@@ -35,16 +35,23 @@ inline constexpr int kVersionMajor = 1;
 inline constexpr int kVersionMinor = 0;
 inline constexpr const char* kVersionString = "1.0.0";
 
-/// Runs critical lock analysis on a trace (validate -> critical path ->
-/// metrics). See cla::analysis::AnalysisResult for the outputs.
+/// DEPRECATED one-shot entry point — use cla::Pipeline. The using-decl
+/// is exempted from the warning so including this umbrella stays clean;
+/// calling cla::analyze() still warns at the call site.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 using analysis::analyze;
+#pragma GCC diagnostic pop
 using analysis::AnalysisResult;
 
 /// Consolidated per-stage options aggregate (validate flag + stats /
 /// report / execution / load sub-structs). AnalyzeOptions is its
 /// historical alias — see README, MIGRATION.
 using analysis::Options;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 using analysis::AnalyzeOptions;
+#pragma GCC diagnostic pop
 
 /// Staged analysis executor: load -> validate -> index -> resolve ->
 /// walk -> stats -> report, with ExecutionPolicy-driven fan-out of the

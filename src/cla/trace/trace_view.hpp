@@ -19,6 +19,7 @@
 // private Trace copy and drop the view.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstring>
 #include <map>
@@ -147,6 +148,70 @@ class EventsView {
   ThreadId tid_ = 0;
 };
 
+/// Forward cursor over one thread's event stream, built for chunked and
+/// append-aware scans: pass-2 rescans pull bounded index ranges with
+/// next(), and incremental analysis re-attaches a saved position to the
+/// refreshed view after the backing trace grows, then seek_ts()es to the
+/// re-resolution boundary. The cursor borrows its EventsView and never
+/// rewinds; it is only as valid as the view it was constructed from, so
+/// after an append, rebuild it from the new view at the old position().
+class ChunkCursor {
+ public:
+  /// Half-open index range [begin, end) within the thread's stream.
+  struct Range {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    bool empty() const noexcept { return begin == end; }
+    std::uint32_t size() const noexcept { return end - begin; }
+  };
+
+  ChunkCursor() = default;
+  explicit ChunkCursor(const EventsView& events,
+                       std::uint32_t start = 0) noexcept
+      : events_(&events),
+        pos_(std::min<std::uint32_t>(
+            start, static_cast<std::uint32_t>(events.size()))) {}
+
+  std::uint32_t position() const noexcept { return pos_; }
+  bool done() const noexcept {
+    return events_ == nullptr || pos_ >= events_->size();
+  }
+  std::uint32_t remaining() const noexcept {
+    return done() ? 0 : static_cast<std::uint32_t>(events_->size()) - pos_;
+  }
+
+  /// Claims the next at-most-`max_events` events, advancing the cursor.
+  /// Returns an empty Range at end of stream (until the trace grows and
+  /// the cursor is re-attached).
+  Range next(std::uint32_t max_events) noexcept {
+    const Range r{pos_, pos_ + std::min(max_events, remaining())};
+    pos_ = r.end;
+    return r;
+  }
+
+  /// Advances to the first unconsumed event with ts >= `ts` (binary
+  /// search over the monotone ts column; never rewinds). Returns the new
+  /// position.
+  std::uint32_t seek_ts(std::uint64_t ts) noexcept {
+    std::uint32_t lo = pos_;
+    auto hi = static_cast<std::uint32_t>(events_ ? events_->size() : 0);
+    while (lo < hi) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      if (events_->ts_at(mid) < ts) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    pos_ = std::max(pos_, lo);
+    return pos_;
+  }
+
+ private:
+  const EventsView* events_ = nullptr;
+  std::uint32_t pos_ = 0;
+};
+
 /// Non-owning, cheaply copyable read-side handle on a whole trace:
 /// per-thread EventsViews plus the name tables and recorder metadata.
 /// Mirrors the read-only surface of Trace so the analysis stages can
@@ -161,6 +226,12 @@ class TraceView {
 
   std::size_t thread_count() const noexcept { return threads_.size(); }
   const EventsView& thread_events(ThreadId tid) const;
+
+  /// Cursor over `tid`'s stream starting at index `start` (clamped to
+  /// the stream size) — the entry point for chunked/append-aware scans.
+  ChunkCursor thread_cursor(ThreadId tid, std::uint32_t start = 0) const {
+    return ChunkCursor(thread_events(tid), start);
+  }
 
   std::size_t event_count() const noexcept;
   std::uint64_t start_ts() const noexcept;

@@ -48,12 +48,17 @@ class Deadline {
   std::shared_ptr<std::atomic<bool>> cancelled_;
 };
 
-/// Knobs from --deadline-ms / --max-events; 0 = unlimited.
+/// Knobs from --deadline-ms / --max-events / --max-rss-mb; 0 = unlimited.
 struct ResourceLimits {
   std::uint64_t deadline_ms = 0;  ///< wall-clock budget for the analysis
   std::uint64_t max_events = 0;   ///< refuse traces with more events
+  std::uint64_t max_rss_mb = 0;   ///< analysis-memory budget; a non-zero
+                                  ///< value routes the pipeline through the
+                                  ///< bounded-RSS streaming engine
 
-  bool any() const noexcept { return deadline_ms != 0 || max_events != 0; }
+  bool any() const noexcept {
+    return deadline_ms != 0 || max_events != 0 || max_rss_mb != 0;
+  }
 };
 
 }  // namespace cla::util

@@ -18,7 +18,7 @@
 //       holds [11,14); CS3 = L3[14,16); computes until exit 32.
 #include <gtest/gtest.h>
 
-#include "cla/analysis/analyzer.hpp"
+#include "support/analyze.hpp"
 #include "cla/sim/engine.hpp"
 #include "cla/trace/builder.hpp"
 
@@ -56,7 +56,7 @@ trace::Trace fig1_trace() {
 
 class Fig1Test : public ::testing::Test {
  protected:
-  Fig1Test() : result_(analyze(fig1_trace())) {}
+  Fig1Test() : result_(test_support::analyze(fig1_trace())) {}
 
   const LockStats& lock(const std::string& name) const {
     const LockStats* ls = result_.find_lock(name);
@@ -195,7 +195,7 @@ TEST(Fig1Sim, EngineReproducesTheExampleNumbers) {
   });
 
   EXPECT_EQ(engine.completion_time(), 33u);
-  const AnalysisResult result = analyze(engine.take_trace());
+  const AnalysisResult result = test_support::analyze(engine.take_trace());
   EXPECT_EQ(result.completion_time, 33u);
   const LockStats* l2s = result.find_lock("L2");
   ASSERT_NE(l2s, nullptr);

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "cla/analysis/analyzer.hpp"
+#include "support/analyze.hpp"
 #include "cla/core/cla.hpp"
 #include "cla/trace/builder.hpp"
 #include "cla/util/error.hpp"
@@ -74,7 +74,7 @@ TEST(Model, FitFromSingleThreadProfile) {
   b.name_object(1, "big");
   b.name_object(2, "small");
   b.thread(0).start(0).lock(1, 0, 0, 30).lock(2, 40, 40, 50).exit(100);
-  const AnalysisResult profile = analyze(b.finish());
+  const AnalysisResult profile = test_support::analyze(b.finish());
   const SpeedupModel model = fit_model(profile);
   ASSERT_EQ(model.locks.size(), 2u);
   EXPECT_EQ(model.locks[0].name, "big");
@@ -85,7 +85,7 @@ TEST(Model, FitFromSingleThreadProfile) {
 TEST(Model, FitRejectsBadSequentialFraction) {
   trace::TraceBuilder b;
   b.thread(0).start(0).lock(1, 0, 0, 3).exit(10);
-  const AnalysisResult profile = analyze(b.finish());
+  const AnalysisResult profile = test_support::analyze(b.finish());
   EXPECT_THROW(fit_model(profile, -0.1), util::Error);
   EXPECT_THROW(fit_model(profile, 1.0), util::Error);
 }
@@ -94,14 +94,14 @@ TEST(Model, CalibrateTakesMeasuredContention) {
   trace::TraceBuilder b;
   b.name_object(1, "L");
   b.thread(0).start(0).lock(1, 0, 0, 30).exit(100);
-  const AnalysisResult t1 = analyze(b.finish());
+  const AnalysisResult t1 = test_support::analyze(b.finish());
   SpeedupModel model = fit_model(t1);
 
   trace::TraceBuilder b2;
   b2.name_object(1, "L");
   b2.thread(0).start(0).lock(1, 0, 0, 30).exit(100);
   b2.thread(1).start(0, trace::kNoThread).lock(1, 5, 30, 60).exit(100);
-  const AnalysisResult t2 = analyze(b2.finish_unchecked());
+  const AnalysisResult t2 = test_support::analyze(b2.finish_unchecked());
   calibrate_contention(model, t2);
   EXPECT_DOUBLE_EQ(model.locks[0].contention_prob, 0.5);  // 1 of 2 contended
 }

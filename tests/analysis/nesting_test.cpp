@@ -3,7 +3,7 @@
 // that occur while other locks are held.
 #include <gtest/gtest.h>
 
-#include "cla/analysis/analyzer.hpp"
+#include "support/analyze.hpp"
 #include "cla/sim/engine.hpp"
 #include "cla/trace/builder.hpp"
 
@@ -20,7 +20,7 @@ TEST(Nesting, InnerAndOuterBothChargedOnPath) {
   t0.released(2, 25);
   t0.released(1, 40);
   t0.exit(50);
-  const AnalysisResult result = analyze(b.finish());
+  const AnalysisResult result = test_support::analyze(b.finish());
   const LockStats* outer = result.find_lock("outer");
   const LockStats* inner = result.find_lock("inner");
   ASSERT_NE(outer, nullptr);
@@ -57,7 +57,7 @@ TEST(Nesting, BlockedInnerAcquisitionSplitsOuterHoldOnPath) {
     main.join(t0);
     main.join(t1);
   });
-  const AnalysisResult result = analyze(engine.take_trace());
+  const AnalysisResult result = test_support::analyze(engine.take_trace());
   const LockStats* outer_stats = result.find_lock("outer");
   ASSERT_NE(outer_stats, nullptr);
   // outer held [10,40); path on T1 resumes at 30 (post-block), so only
@@ -84,7 +84,7 @@ TEST(Nesting, RecursiveStyleDoubleAcquireTolerated) {
   t0.exit(10);
   trace::Trace t = b.finish_unchecked();
   EXPECT_NO_THROW(t.validate());
-  const AnalysisResult result = analyze(t);
+  const AnalysisResult result = test_support::analyze(t);
   const LockStats* rec = result.find_lock("rec");
   ASSERT_NE(rec, nullptr);
   // Each Acquired/Released pair counts as one invocation, so a recursive

@@ -5,6 +5,7 @@
 
 #include <sstream>
 
+#include "support/analyze.hpp"
 #include "cla/analysis/analyzer.hpp"
 #include "cla/analysis/pipeline.hpp"
 #include "cla/trace/trace_io.hpp"
@@ -22,7 +23,7 @@ trace::Trace micro_trace() {
 
 TEST(PipelineApi, StageByStageMatchesOneShotAnalyze) {
   const trace::Trace trace = micro_trace();
-  const AnalysisResult expected = analyze(trace);
+  const AnalysisResult expected = test_support::analyze(trace);
 
   Pipeline pipeline;
   pipeline.use_trace(trace);
@@ -41,7 +42,7 @@ TEST(PipelineApi, ResultPullsAllOutstandingStages) {
   Pipeline pipeline;
   pipeline.use_trace(trace);
   // No explicit stage calls: result() must run validate..stats itself.
-  EXPECT_EQ(render_json(pipeline.result()), render_json(analyze(trace)));
+  EXPECT_EQ(render_json(pipeline.result()), render_json(test_support::analyze(trace)));
 }
 
 TEST(PipelineApi, ProfileRecordsEveryStageInOrder) {
@@ -54,16 +55,31 @@ TEST(PipelineApi, ProfileRecordsEveryStageInOrder) {
   ASSERT_EQ(profile.stages.size(), 6u);  // validate..report (no load stage)
   EXPECT_EQ(profile.stages[0].stage, Stage::Validate);
   EXPECT_EQ(profile.stages[1].stage, Stage::Index);
-  EXPECT_EQ(profile.stages[2].stage, Stage::Resolve);
+  EXPECT_EQ(profile.stages[2].stage, Stage::BuildDag);
   EXPECT_EQ(profile.stages[3].stage, Stage::Walk);
   EXPECT_EQ(profile.stages[4].stage, Stage::Stats);
   EXPECT_EQ(profile.stages[5].stage, Stage::Report);
 
   const std::string rendered = profile.to_string();
   for (const char* name :
-       {"validate", "index", "resolve", "walk", "stats", "report", "total"}) {
+       {"validate", "index", "builddag", "walk", "stats", "report", "total"}) {
     EXPECT_NE(rendered.find(name), std::string::npos) << name;
   }
+}
+
+TEST(PipelineApi, SequentialEngineProfilesAResolveStageInsteadOfBuildDag) {
+  Options options;
+  options.execution.walk = WalkEngine::Sequential;
+  const trace::Trace trace = micro_trace();
+  Pipeline pipeline(options);
+  pipeline.use_trace(trace);
+  (void)pipeline.result();
+  bool saw_resolve = false;
+  for (const auto& timing : pipeline.profile().stages) {
+    saw_resolve = saw_resolve || timing.stage == Stage::Resolve;
+    EXPECT_NE(timing.stage, Stage::BuildDag);
+  }
+  EXPECT_TRUE(saw_resolve);
 }
 
 TEST(PipelineApi, StagesRunAtMostOnce) {
@@ -88,7 +104,7 @@ TEST(PipelineApi, LoadStreamFeedsTheFullPipeline) {
 
   Pipeline pipeline;
   pipeline.load_stream(buffer);
-  EXPECT_EQ(render_json(pipeline.result()), render_json(analyze(trace)));
+  EXPECT_EQ(render_json(pipeline.result()), render_json(test_support::analyze(trace)));
   EXPECT_EQ(pipeline.profile().stages.front().stage, Stage::Load);
 }
 
@@ -124,27 +140,38 @@ TEST(PipelineApi, ExplicitValidateWinsOverDisabledOption) {
   EXPECT_THROW(pipeline.validate_stage(), util::Error);
 }
 
-TEST(PipelineApi, OptionsAggregateKeepsLegacyFieldsAndAliases) {
-  // The consolidated cla::Options must stay source-compatible with the
-  // historical AnalyzeOptions usage...
+TEST(PipelineApi, DeprecatedAnalyzeShimStillMatchesThePipeline) {
+  // The retired one-shot surface must keep working (with a warning)
+  // for one release and agree with the Pipeline it now wraps.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   AnalyzeOptions legacy;
   legacy.validate = false;
   legacy.stats.worker_threads_only = false;
   static_assert(std::is_same_v<AnalyzeOptions, Options>);
-  // ...and carry the per-stage sub-structs.
+  const trace::Trace trace = micro_trace();
+  const AnalysisResult shimmed = analyze(trace, legacy);
+#pragma GCC diagnostic pop
+  const AnalysisResult staged = test_support::analyze(trace, legacy);
+  EXPECT_EQ(render_json(shimmed), render_json(staged));
+}
+
+TEST(PipelineApi, OptionsAggregateCarriesPerStageSubStructs) {
   Options options;
   options.report.top_locks = 3;
   options.execution.num_threads = 2;
   options.load.chunk_events = 128;
   const trace::Trace trace = micro_trace();
-  const AnalysisResult a = analyze(trace, legacy);
-  const AnalysisResult b = analyze(trace, options);
+  const AnalysisResult a = test_support::analyze(trace);
+  const AnalysisResult b = test_support::analyze(trace, options);
   EXPECT_EQ(a.completion_time, b.completion_time);
 }
 
 TEST(PipelineApi, ParallelExecutionPolicyMatchesSequential) {
   const trace::Trace trace = micro_trace();
-  const std::string expected = render_json(analyze(trace));
+  Pipeline reference;
+  reference.use_trace(trace);
+  const std::string expected = reference.report_json();
   for (unsigned threads : {2u, 4u}) {
     Options options;
     options.execution.num_threads = threads;

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "cla/analysis/analyzer.hpp"
+#include "support/analyze.hpp"
 #include "cla/trace/builder.hpp"
 
 namespace cla::analysis {
@@ -25,7 +25,7 @@ trace::Trace sample_trace() {
 
 class ReportTest : public ::testing::Test {
  protected:
-  ReportTest() : result_(analyze(sample_trace())) {}
+  ReportTest() : result_(test_support::analyze(sample_trace())) {}
   AnalysisResult result_;
 };
 
@@ -94,11 +94,54 @@ TEST_F(ReportTest, JsonContainsLockRecords) {
             std::count(json.begin(), json.end(), ']'));
 }
 
+TEST_F(ReportTest, GoldenJsonPinsTheVersionedSchema) {
+  // The full schema-2 payload for sample_trace(), byte-for-byte. Any
+  // field rename, reorder or formatting change must bump "schema" and
+  // update this literal consciously — downstream dashboards parse it.
+  Pipeline pipeline;
+  pipeline.use_trace(sample_trace());
+  const char* expected = R"({
+  "schema": 2,
+  "completion_time_ns": 20,
+  "worker_threads": 2,
+  "path_intervals": 2,
+  "path_jumps": 1,
+  "dag": {"segments": 4, "threads": 2},
+  "locks": [
+    {"name": "L1", "critical": true, "cp_time_fraction": 0.4, "cp_invocations": 2, "cp_contention_prob": 0.5, "wait_time_fraction": 0.125, "avg_invocations": 1, "avg_contention_prob": 0.5, "avg_hold_fraction": 0.35, "invocation_increase": 2, "hold_increase": 1.14286},
+    {"name": "L2", "critical": true, "cp_time_fraction": 0.05, "cp_invocations": 1, "cp_contention_prob": 0, "wait_time_fraction": 0, "avg_invocations": 0.5, "avg_contention_prob": 0, "avg_hold_fraction": 0.025, "invocation_increase": 2, "hold_increase": 2}
+  ],
+  "barriers": [
+    {"name": "bar", "episodes": 1, "waits": 2, "avg_wait_fraction": 0.15, "cp_crossings": 0}
+  ]
+}
+)";
+  EXPECT_EQ(pipeline.report_json(), expected);
+}
+
+TEST_F(ReportTest, JsonProfileArrayIsOptInAndCarriesStageTimings) {
+  Options options;
+  options.report.json_profile = true;
+  Pipeline pipeline(options);
+  pipeline.use_trace(sample_trace());
+  const std::string json = pipeline.report_json();
+  EXPECT_NE(json.find("\"profile\": ["), std::string::npos);
+  for (const char* stage : {"validate", "index", "builddag", "walk", "stats"}) {
+    EXPECT_NE(json.find(std::string("\"stage\": \"") + stage),
+              std::string::npos)
+        << stage;
+  }
+  // The profile block must be the only difference vs. the pinned payload.
+  Pipeline plain;
+  plain.use_trace(sample_trace());
+  EXPECT_NE(json, plain.report_json());
+}
+
 TEST_F(ReportTest, JsonEscapesSpecialNames) {
   trace::TraceBuilder b;
   b.name_object(1, "lock\"with\\quote");
   b.thread(0).start(0).lock(1, 0, 0, 5).exit(10);
-  const AnalysisResult result = analyze(b.finish());
+  const AnalysisResult result = test_support::analyze(b.finish());
   const std::string json = render_json(result);
   EXPECT_NE(json.find("lock\\\"with\\\\quote"), std::string::npos);
 }

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "cla/analysis/analyzer.hpp"
+#include "support/analyze.hpp"
 #include "cla/trace/builder.hpp"
 
 namespace cla::analysis {
@@ -20,7 +20,7 @@ trace::Trace handoff_trace() {
 }
 
 TEST(Stats, Type2TotalsAndAverages) {
-  const AnalysisResult result = analyze(handoff_trace());
+  const AnalysisResult result = test_support::analyze(handoff_trace());
   const LockStats* q = result.find_lock("Q");
   ASSERT_NE(q, nullptr);
   EXPECT_EQ(q->invocations, 2u);
@@ -36,7 +36,7 @@ TEST(Stats, Type2TotalsAndAverages) {
 }
 
 TEST(Stats, Type1OnPathMetrics) {
-  const AnalysisResult result = analyze(handoff_trace());
+  const AnalysisResult result = test_support::analyze(handoff_trace());
   const LockStats* q = result.find_lock("Q");
   ASSERT_NE(q, nullptr);
   EXPECT_EQ(q->cp_invocations, 2u);
@@ -61,7 +61,7 @@ TEST(Stats, PartialOverlapCountsOnlyOnPathTime) {
   t1.lock(2, 1, 8, 12);                    // blocks on M from 1 to 8
   t1.released(1, 14);                      // releases L at 14
   t1.exit(20);
-  const AnalysisResult result = analyze(b.finish_unchecked());
+  const AnalysisResult result = test_support::analyze(b.finish_unchecked());
   const LockStats* l = result.find_lock("L");
   ASSERT_NE(l, nullptr);
   // L is held [0,14) but the backward walk leaves T1 at its blocked
@@ -79,14 +79,14 @@ TEST(Stats, WorkerThreadsOnlyExcludesCoordinators) {
   b.thread(2).start(0, 0).lock(9, 2, 9, 15).exit(19);
   const trace::Trace t = b.finish();
 
-  AnalyzeOptions workers_only;
+  Options workers_only;
   workers_only.stats.worker_threads_only = true;
-  const AnalysisResult with_workers = analyze(t, workers_only);
+  const AnalysisResult with_workers = test_support::analyze(t, workers_only);
   EXPECT_EQ(with_workers.worker_threads, 2u);
 
-  AnalyzeOptions all_threads;
+  Options all_threads;
   all_threads.stats.worker_threads_only = false;
-  const AnalysisResult with_all = analyze(t, all_threads);
+  const AnalysisResult with_all = test_support::analyze(t, all_threads);
   EXPECT_EQ(with_all.worker_threads, 3u);
 
   const LockStats* q_workers = with_workers.find_lock("Q");
@@ -102,7 +102,7 @@ TEST(Stats, LocksSortedByCpHoldTime) {
   b.name_object(1, "small");
   b.name_object(2, "big");
   b.thread(0).start(0).lock(1, 0, 0, 2).lock(2, 3, 3, 15).exit(20);
-  const AnalysisResult result = analyze(b.finish());
+  const AnalysisResult result = test_support::analyze(b.finish());
   ASSERT_EQ(result.locks.size(), 2u);
   EXPECT_EQ(result.locks[0].name, "big");
   EXPECT_EQ(result.locks[1].name, "small");
@@ -115,7 +115,7 @@ TEST(Stats, BarrierStatsAggregate) {
   b.name_object(7, "pbar");
   b.thread(0).start(0).barrier(7, 2, 8, 0).exit(12);
   b.thread(1).start(0, trace::kNoThread).barrier(7, 8, 8, 0).exit(10);
-  const AnalysisResult result = analyze(b.finish_unchecked());
+  const AnalysisResult result = test_support::analyze(b.finish_unchecked());
   ASSERT_EQ(result.barriers.size(), 1u);
   const BarrierStats& bs = result.barriers[0];
   EXPECT_EQ(bs.name, "pbar");
@@ -133,7 +133,7 @@ TEST(Stats, CondStatsAggregate) {
   waiter.cond_wait(8, 4, 2, 9);
   waiter.released(4, 10).exit(15);
   b.thread(1).start(0, trace::kNoThread).cond_signal(8, 9).exit(10);
-  const AnalysisResult result = analyze(b.finish_unchecked());
+  const AnalysisResult result = test_support::analyze(b.finish_unchecked());
   ASSERT_EQ(result.conds.size(), 1u);
   EXPECT_EQ(result.conds[0].waits, 1u);
   EXPECT_EQ(result.conds[0].signals, 1u);
@@ -142,7 +142,7 @@ TEST(Stats, CondStatsAggregate) {
 }
 
 TEST(Stats, ThreadStatsComputed) {
-  const AnalysisResult result = analyze(handoff_trace());
+  const AnalysisResult result = test_support::analyze(handoff_trace());
   ASSERT_EQ(result.threads.size(), 2u);
   EXPECT_EQ(result.threads[0].duration, 10u);
   EXPECT_EQ(result.threads[1].duration, 20u);
@@ -152,14 +152,14 @@ TEST(Stats, ThreadStatsComputed) {
 }
 
 TEST(Stats, FindLockReturnsNullForUnknown) {
-  const AnalysisResult result = analyze(handoff_trace());
+  const AnalysisResult result = test_support::analyze(handoff_trace());
   EXPECT_EQ(result.find_lock("nonexistent"), nullptr);
 }
 
 TEST(Stats, UnnamedLockGetsDisplayName) {
   TraceBuilder b;
   b.thread(0).start(0).lock(1234, 1, 1, 4).exit(10);
-  const AnalysisResult result = analyze(b.finish());
+  const AnalysisResult result = test_support::analyze(b.finish());
   ASSERT_EQ(result.locks.size(), 1u);
   EXPECT_EQ(result.locks[0].name, "mutex@1234");
 }

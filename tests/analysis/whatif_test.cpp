@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "cla/analysis/analyzer.hpp"
+#include "support/analyze.hpp"
 #include "cla/trace/builder.hpp"
 #include "cla/util/error.hpp"
 
@@ -18,34 +18,34 @@ trace::Trace sample_trace() {
 }
 
 TEST(WhatIf, EstimatesSavingFromCpHoldTime) {
-  const AnalysisResult result = analyze(sample_trace());
+  const AnalysisResult result = test_support::analyze(sample_trace());
   const WhatIfEstimate est = estimate_shrink(result, "L2", 1.0);
   EXPECT_EQ(est.saved_ns, 30u);
   EXPECT_NEAR(est.predicted_speedup, 100.0 / 70.0, 1e-12);
 }
 
 TEST(WhatIf, PartialShrinkScalesLinearly) {
-  const AnalysisResult result = analyze(sample_trace());
+  const AnalysisResult result = test_support::analyze(sample_trace());
   const WhatIfEstimate est = estimate_shrink(result, "L2", 0.5);
   EXPECT_EQ(est.saved_ns, 15u);
   EXPECT_NEAR(est.predicted_speedup, 100.0 / 85.0, 1e-12);
 }
 
 TEST(WhatIf, UnknownLockGivesNeutralEstimate) {
-  const AnalysisResult result = analyze(sample_trace());
+  const AnalysisResult result = test_support::analyze(sample_trace());
   const WhatIfEstimate est = estimate_shrink(result, "nope", 1.0);
   EXPECT_EQ(est.saved_ns, 0u);
   EXPECT_DOUBLE_EQ(est.predicted_speedup, 1.0);
 }
 
 TEST(WhatIf, RejectsBadShrinkFactor) {
-  const AnalysisResult result = analyze(sample_trace());
+  const AnalysisResult result = test_support::analyze(sample_trace());
   EXPECT_THROW(estimate_shrink(result, "L1", -0.1), util::Error);
   EXPECT_THROW(estimate_shrink(result, "L1", 1.5), util::Error);
 }
 
 TEST(WhatIf, RankingOrdersByBenefit) {
-  const AnalysisResult result = analyze(sample_trace());
+  const AnalysisResult result = test_support::analyze(sample_trace());
   const auto ranking = rank_optimization_targets(result);
   ASSERT_EQ(ranking.size(), 2u);
   EXPECT_EQ(ranking[0].lock, "L2");
@@ -62,10 +62,78 @@ TEST(WhatIf, OffPathLockPredictsNoBenefit) {
   b.thread(0).start(0).lock(1, 0, 0, 30).exit(31);
   b.thread(1).start(0, trace::kNoThread).lock(4, 0, 0, 10).exit(11);
   b.thread(2).start(0, trace::kNoThread).lock(4, 1, 10, 12).exit(13);
-  const AnalysisResult result = analyze(b.finish_unchecked());
+  const AnalysisResult result = test_support::analyze(b.finish_unchecked());
   const WhatIfEstimate est = estimate_shrink(result, "L4", 1.0);
   EXPECT_EQ(est.saved_ns, 0u);
   EXPECT_DOUBLE_EQ(est.predicted_speedup, 1.0);
+}
+
+WhatIfReplay replay(const trace::Trace& t, const std::string& lock,
+                    double factor) {
+  const trace::TraceView view(t);
+  const TraceIndex index(view);
+  const SegmentDag dag = SegmentDag::build(index, nullptr);
+  return replay_shrink(dag, index, lock, factor);
+}
+
+TEST(WhatIfReplayTest, SerialTraceMatchesClosedFormEstimate) {
+  // One thread, no blocking: the replay degenerates to "subtract the
+  // shrunk hold time", which is exactly the closed-form bound.
+  const trace::Trace t = sample_trace();
+  const WhatIfReplay r = replay(t, "L2", 1.0);
+  EXPECT_EQ(r.original_span_ns, 100u);
+  EXPECT_EQ(r.predicted_span_ns, 70u);
+  EXPECT_NEAR(r.predicted_speedup, 100.0 / 70.0, 1e-12);
+}
+
+TEST(WhatIfReplayTest, UnknownLockIsNeutral) {
+  const WhatIfReplay r = replay(sample_trace(), "nope", 1.0);
+  EXPECT_EQ(r.predicted_span_ns, r.original_span_ns);
+  EXPECT_DOUBLE_EQ(r.predicted_speedup, 1.0);
+}
+
+TEST(WhatIfReplayTest, SecondaryPathCapsTheGain) {
+  // The paper's core observation: eliminating a lock that dominates the
+  // critical path only helps until a previously overlapped thread
+  // becomes the new bottleneck. T0 spends 60/100 ns holding L1 (closed
+  // form predicts 2.5x), but T1 runs 90 ns regardless — the replay must
+  // see it and cap the prediction at 100/90.
+  trace::TraceBuilder b;
+  b.name_object(1, "L1");
+  b.thread(0).start(0).lock(1, 0, 0, 60).exit(100);
+  b.thread(1).start(0, trace::kNoThread).exit(90);
+  const trace::Trace t = b.finish_unchecked();
+  const WhatIfReplay r = replay(t, "L1", 1.0);
+  EXPECT_EQ(r.original_span_ns, 100u);
+  EXPECT_EQ(r.predicted_span_ns, 90u);
+  EXPECT_NEAR(r.predicted_speedup, 100.0 / 90.0, 1e-12);
+}
+
+TEST(WhatIfReplayTest, ContendedWaitersRideTheShrunkReleases) {
+  // T1 and T2 serialize on L; T0 joins both. Shrinking L's critical
+  // sections must propagate through the wake-up chain (T1's release ->
+  // T2's acquisition -> T0's joins) and shorten the whole program.
+  trace::TraceBuilder b;
+  b.name_object(7, "L");
+  b.thread(0).start(0).create(0, 1).create(0, 2).join(1, 1, 51).join(2, 51, 81).exit(82);
+  b.thread(1).start(0, 0).lock(7, 1, 1, 41).exit(50);
+  b.thread(2).start(0, 0).lock(7, 2, 41, 80).exit(80);
+  const trace::Trace t = b.finish_unchecked();
+  const WhatIfReplay full = replay(t, "L", 1.0);
+  EXPECT_LT(full.predicted_span_ns, full.original_span_ns);
+  EXPECT_GT(full.predicted_speedup, 1.5);
+  const WhatIfReplay half = replay(t, "L", 0.5);
+  EXPECT_GT(half.predicted_speedup, 1.0);
+  EXPECT_LT(half.predicted_speedup, full.predicted_speedup);
+}
+
+TEST(WhatIfReplayTest, RejectsBadShrinkFactor) {
+  const trace::Trace t = sample_trace();
+  const trace::TraceView view(t);
+  const TraceIndex index(view);
+  const SegmentDag dag = SegmentDag::build(index, nullptr);
+  EXPECT_THROW(replay_shrink(dag, index, "L1", -0.1), util::Error);
+  EXPECT_THROW(replay_shrink(dag, index, "L1", 1.5), util::Error);
 }
 
 }  // namespace

@@ -6,7 +6,7 @@
 
 #include <atomic>
 
-#include "cla/analysis/analyzer.hpp"
+#include "support/analyze.hpp"
 #include "cla/util/error.hpp"
 
 namespace cla::exec {
@@ -39,7 +39,7 @@ TEST_P(BackendParamTest, RunsAndProducesValidTrace) {
 TEST_P(BackendParamTest, TraceHasExpectedInvocationCounts) {
   auto backend = make_backend(GetParam());
   simple_workload(*backend, 3);
-  const auto result = analysis::analyze(backend->take_trace());
+  const auto result = test_support::analyze(backend->take_trace());
   const analysis::LockStats* lock = result.find_lock("L");
   ASSERT_NE(lock, nullptr);
   EXPECT_EQ(lock->invocations, 15u);  // 3 threads x 5

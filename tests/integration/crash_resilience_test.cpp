@@ -12,7 +12,7 @@
 #include <random>
 #include <string>
 
-#include "cla/analysis/analyzer.hpp"
+#include "support/analyze.hpp"
 #include "cla/analysis/pipeline.hpp"
 #include "cla/trace/salvage.hpp"
 #include "cla/trace/trace_io.hpp"
@@ -49,7 +49,7 @@ class CrashResilienceTest : public ::testing::Test {
   /// 30x the small lock's, so even a truncated run preserves dominance).
   void expect_dominant_lock_ranks_first(const cla::trace::Trace& trace) {
     ASSERT_NO_THROW(trace.validate());
-    const auto result = cla::analysis::analyze(trace);
+    const auto result = cla::test_support::analyze(trace);
     ASSERT_GE(result.locks.size(), 2u);
     const auto& top = result.locks.front();
     // The app's locks are the only repeatedly contended ones; glibc
@@ -134,14 +134,14 @@ TEST_F(CrashResilienceTest, SalvagedTraceMatchesCleanRanking) {
   // dominance must not).
   ASSERT_EQ(run_app("run", 0), 0);
   const cla::trace::Trace clean = cla::trace::read_trace_file(trace_path_);
-  const auto clean_result = cla::analysis::analyze(clean);
+  const auto clean_result = cla::test_support::analyze(clean);
   ASSERT_FALSE(clean_result.locks.empty());
   const auto clean_top_invocations = clean_result.locks.front().invocations;
 
   std::remove(trace_path_.c_str());
   ASSERT_NE(run_app("segv", random_crash_round()), 0);
   cla::trace::SalvageResult got = salvage();
-  const auto salvaged_result = cla::analysis::analyze(got.trace);
+  const auto salvaged_result = cla::test_support::analyze(got.trace);
   ASSERT_FALSE(salvaged_result.locks.empty());
   // Same workload, same dominant lock: the big-CS lock has the most
   // acquisitions of any app lock in both runs (4 workers x rounds), and

@@ -1,13 +1,16 @@
-// Parallel-analysis determinism: the sharded executor must be a pure
-// performance change. For every bundled workload, running the Pipeline
-// with 1, 2 and 8 worker threads must produce render_json output that is
-// byte-identical to the legacy sequential analyze() path.
+// Parallel-analysis determinism: the sharded executor and the segment-DAG
+// walk must be pure performance changes. For every bundled workload, every
+// (engine, worker-count) combination must produce report output that is
+// byte-identical to the sequential single-threaded reference, and the
+// incremental analyzer fed the trace in halves must agree too.
 #include <gtest/gtest.h>
 
 #include <string>
 #include <vector>
 
 #include "cla/core/cla.hpp"
+#include "support/analyze.hpp"
+#include "cla/analysis/incremental.hpp"
 #include "cla/util/rng.hpp"
 #include "cla/workloads/workload.hpp"
 
@@ -16,26 +19,75 @@ namespace {
 
 class DeterminismTest : public testing::TestWithParam<const char*> {};
 
-TEST_P(DeterminismTest, ParallelPipelineIsByteIdenticalToLegacyAnalyze) {
+trace::Trace workload_trace(const char* name) {
   workloads::WorkloadConfig config;
   config.threads = 8;
   config.scale = 0.25;  // keep each workload fast; structure is unchanged
-  const trace::Trace trace = workloads::run_workload(GetParam(), config).trace;
+  return workloads::run_workload(name, config).trace;
+}
 
-  const std::string expected = analysis::render_json(analyze(trace));
+TEST_P(DeterminismTest, DagWalkIsByteIdenticalToSequentialAtAnyWorkerCount) {
+  const trace::Trace trace = workload_trace(GetParam());
 
-  for (unsigned workers : {1u, 2u, 8u}) {
-    Options options;
-    options.execution.num_threads = workers;
-    Pipeline pipeline(options);
-    pipeline.use_trace(trace);
-    EXPECT_EQ(pipeline.report_json(), expected)
-        << GetParam() << " with " << workers << " analysis threads";
+  // Reference: sequential resolver walk, single analysis thread.
+  Options reference_options;
+  reference_options.execution.walk = analysis::WalkEngine::Sequential;
+  reference_options.execution.num_threads = 1;
+  Pipeline reference(reference_options);
+  reference.use_trace(trace);
+  const std::string expected = reference.report_json();
+
+  for (const analysis::WalkEngine engine :
+       {analysis::WalkEngine::Sequential, analysis::WalkEngine::Dag}) {
+    for (unsigned workers : {1u, 2u, 8u}) {
+      Options options;
+      options.execution.walk = engine;
+      options.execution.num_threads = workers;
+      Pipeline pipeline(options);
+      pipeline.use_trace(trace);
+      EXPECT_EQ(pipeline.report_json(), expected)
+          << GetParam() << " with "
+          << (engine == analysis::WalkEngine::Dag ? "dag" : "sequential")
+          << " walk and " << workers << " analysis threads";
+    }
   }
 }
 
+TEST_P(DeterminismTest, IncrementalHalvesMatchTheOneShotWalk) {
+  const trace::Trace trace = workload_trace(GetParam());
+  Pipeline pipeline;
+  pipeline.use_trace(trace);
+  const std::string expected = pipeline.report_json();
+
+  // Split every thread's stream roughly in half, preserving names on the
+  // first chunk, and feed the two chunks through the incremental DAG.
+  trace::Trace first, second;
+  for (const auto& [id, name] : trace.object_names()) {
+    first.set_object_name(id, name);
+  }
+  for (const auto& [tid, name] : trace.thread_names()) {
+    first.set_thread_name(tid, name);
+  }
+  for (trace::ThreadId tid = 0; tid < trace.thread_count(); ++tid) {
+    const auto events = trace.thread_events(tid);
+    const std::size_t cut = events.size() / 2;
+    first.append_thread_events(tid, events.subspan(0, cut));
+    second.append_thread_events(tid, events.subspan(cut));
+  }
+
+  Options inc_options;
+  inc_options.validate = false;  // a half-trace has no clean thread exits
+  analysis::IncrementalAnalyzer inc(inc_options);
+  inc.append(first);
+  (void)inc.result();  // force a mid-stream round
+  inc.append(second);
+  EXPECT_EQ(inc.report_json(), expected) << GetParam();
+}
+
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, DeterminismTest,
-                         testing::Values("micro", "radiosity", "tsp", "uts"),
+                         testing::Values("micro", "radiosity", "tsp", "uts",
+                                         "water", "volrend", "raytrace",
+                                         "ldap"),
                          [](const auto& info) { return info.param; });
 
 // Deterministically damages a workload trace: drops one event, regresses

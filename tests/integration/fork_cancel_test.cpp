@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "cla/analysis/analyzer.hpp"
+#include "support/analyze.hpp"
 #include "cla/trace/trace_io.hpp"
 #include "cla/util/diagnostics.hpp"
 
@@ -135,8 +135,8 @@ TEST_F(ForkCancelTest, ForkYieldsOneValidTracePerProcess) {
   EXPECT_EQ(warning->second, 1u);
 
   // And both analyze cleanly.
-  EXPECT_GE(cla::analysis::analyze(parent).locks.size(), 1u);
-  EXPECT_GE(cla::analysis::analyze(child).locks.size(), 1u);
+  EXPECT_GE(cla::test_support::analyze(parent).locks.size(), 1u);
+  EXPECT_GE(cla::test_support::analyze(child).locks.size(), 1u);
 }
 
 TEST_F(ForkCancelTest, CanceledThreadGetsRealThreadExit) {
@@ -187,7 +187,7 @@ TEST_F(ForkCancelTest, CanceledThreadGetsRealThreadExit) {
 
   // The canceled thread closed its critical sections: validate() above
   // plus a clean analysis over the whole trace.
-  EXPECT_GE(cla::analysis::analyze(trace).locks.size(), 1u);
+  EXPECT_GE(cla::test_support::analyze(trace).locks.size(), 1u);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "cla/core/cla.hpp"
+#include "support/analyze.hpp"
 
 namespace cla {
 namespace {
@@ -21,7 +22,7 @@ TEST(Pipeline, TraceFileRoundTripPreservesAnalysis) {
   const trace::Trace reloaded = trace::read_trace_file(path);
   std::remove(path.c_str());
 
-  const AnalysisResult from_file = analyze(reloaded);
+  const AnalysisResult from_file = test_support::analyze(reloaded);
   EXPECT_EQ(from_file.completion_time, direct.completion_time);
   ASSERT_EQ(from_file.locks.size(), direct.locks.size());
   for (std::size_t i = 0; i < direct.locks.size(); ++i) {
@@ -38,7 +39,7 @@ TEST(Pipeline, RunAndAnalyzeConvenienceMatchesManualSteps) {
   config.threads = 4;
   const auto combined = run_and_analyze("micro", config);
   const auto manual_run = workloads::run_workload("micro", config);
-  const auto manual_result = analyze(manual_run.trace);
+  const auto manual_result = test_support::analyze(manual_run.trace);
   EXPECT_EQ(combined.analysis.completion_time, manual_result.completion_time);
   EXPECT_EQ(combined.analysis.locks.size(), manual_result.locks.size());
 }

@@ -5,7 +5,7 @@
 
 #include <algorithm>
 
-#include "cla/analysis/analyzer.hpp"
+#include "support/analyze.hpp"
 #include "cla/sim/engine.hpp"
 #include "cla/util/rng.hpp"
 
@@ -68,7 +68,7 @@ TEST_P(PropertyTest, TraceIsStructurallyValid) {
 
 TEST_P(PropertyTest, CriticalPathSpansTheExecution) {
   const trace::Trace t = random_execution(GetParam());
-  const auto result = analysis::analyze(t);
+  const auto result = test_support::analyze(t);
   // The path runs from the very beginning to the very end of the trace.
   EXPECT_EQ(result.path.start_ts, t.start_ts());
   EXPECT_EQ(result.path.end_ts, t.end_ts());
@@ -77,7 +77,7 @@ TEST_P(PropertyTest, CriticalPathSpansTheExecution) {
 
 TEST_P(PropertyTest, PathIntervalsAreOrderedAndWithinThreadLifetimes) {
   const trace::Trace t = random_execution(GetParam());
-  const auto result = analysis::analyze(t);
+  const auto result = test_support::analyze(t);
   const analysis::TraceIndex index(t);
   for (trace::ThreadId tid = 0; tid < t.thread_count(); ++tid) {
     const auto& info = index.threads()[tid];
@@ -94,7 +94,7 @@ TEST_P(PropertyTest, PathIntervalsAreOrderedAndWithinThreadLifetimes) {
 
 TEST_P(PropertyTest, PathIntervalTotalNeverExceedsCompletionTime) {
   const trace::Trace t = random_execution(GetParam());
-  const auto result = analysis::analyze(t);
+  const auto result = test_support::analyze(t);
   std::uint64_t total = 0;
   for (const auto& iv : result.path.intervals) total += iv.length();
   EXPECT_LE(total, result.completion_time);
@@ -102,7 +102,7 @@ TEST_P(PropertyTest, PathIntervalTotalNeverExceedsCompletionTime) {
 
 TEST_P(PropertyTest, JumpsGoBackwardsInTime) {
   const trace::Trace t = random_execution(GetParam());
-  const auto result = analysis::analyze(t);
+  const auto result = test_support::analyze(t);
   for (const auto& jump : result.path.jumps) {
     const auto& from = t.thread_events(jump.from.tid)[jump.from.index];
     const auto& to = t.thread_events(jump.to.tid)[jump.to.index];
@@ -114,7 +114,7 @@ TEST_P(PropertyTest, JumpsGoBackwardsInTime) {
 
 TEST_P(PropertyTest, LockStatisticsAreInternallyConsistent) {
   const trace::Trace t = random_execution(GetParam());
-  const auto result = analysis::analyze(t);
+  const auto result = test_support::analyze(t);
   for (const auto& lock : result.locks) {
     EXPECT_LE(lock.cp_invocations, lock.invocations) << lock.name;
     EXPECT_LE(lock.cp_contended, lock.cp_invocations) << lock.name;
@@ -135,7 +135,7 @@ TEST_P(PropertyTest, SumOfLockCpTimesBoundedByPathTime) {
   // each interval is attributed per lock), the per-lock on-path hold of
   // any single lock is bounded by the total on-path interval time.
   const trace::Trace t = random_execution(GetParam());
-  const auto result = analysis::analyze(t);
+  const auto result = test_support::analyze(t);
   std::uint64_t path_total = 0;
   for (const auto& iv : result.path.intervals) path_total += iv.length();
   for (const auto& lock : result.locks) {
@@ -146,8 +146,8 @@ TEST_P(PropertyTest, SumOfLockCpTimesBoundedByPathTime) {
 TEST_P(PropertyTest, AnalysisIsDeterministic) {
   const trace::Trace t1 = random_execution(GetParam());
   const trace::Trace t2 = random_execution(GetParam());
-  const auto r1 = analysis::analyze(t1);
-  const auto r2 = analysis::analyze(t2);
+  const auto r1 = test_support::analyze(t1);
+  const auto r2 = test_support::analyze(t2);
   EXPECT_EQ(r1.completion_time, r2.completion_time);
   ASSERT_EQ(r1.locks.size(), r2.locks.size());
   for (std::size_t i = 0; i < r1.locks.size(); ++i) {

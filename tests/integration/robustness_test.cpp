@@ -4,7 +4,7 @@
 
 #include <sstream>
 
-#include "cla/analysis/analyzer.hpp"
+#include "support/analyze.hpp"
 #include "cla/trace/builder.hpp"
 #include "cla/trace/trace_io.hpp"
 #include "cla/util/error.hpp"
@@ -45,7 +45,7 @@ TEST(Robustness, BitFlippedTracesNeverCrashTheReader) {
       // If it parsed, analysis must still terminate (validation may
       // reject it, which is also acceptable).
       try {
-        (void)analysis::analyze(t);
+        (void)test_support::analyze(t);
       } catch (const util::Error&) {
       }
     } catch (const util::Error&) {
@@ -56,7 +56,7 @@ TEST(Robustness, BitFlippedTracesNeverCrashTheReader) {
 
 TEST(Robustness, EventLevelMutationsNeverHangTheAnalyzer) {
   // Mutate structurally valid traces at the event level (types, args,
-  // objects) and require analyze() to terminate with a result or Error.
+  // objects) and require test_support::analyze() to terminate with a result or Error.
   util::Rng rng(555);
   for (int attempt = 0; attempt < 200; ++attempt) {
     trace::TraceBuilder b;
@@ -85,7 +85,7 @@ TEST(Robustness, EventLevelMutationsNeverHangTheAnalyzer) {
       }
     }
     try {
-      (void)analysis::analyze(mutated);
+      (void)test_support::analyze(mutated);
     } catch (const util::Error&) {
       // clean rejection is fine
     }
@@ -103,10 +103,10 @@ TEST(Robustness, AnalyzeWithoutValidationSurvivesProtocolViolations) {
   t0.cond_signal(8, 6);
   t0.exit(10);
   trace::Trace t = b.finish_unchecked();
-  analysis::AnalyzeOptions options;
+  analysis::Options options;
   options.validate = false;
   EXPECT_NO_THROW({
-    const auto result = analysis::analyze(t, options);
+    const auto result = test_support::analyze(t, options);
     (void)result;
   });
 }
@@ -115,9 +115,9 @@ TEST(Robustness, SingleEventThreads) {
   trace::Trace t;
   t.add(trace::Event{5, trace::kNoObject, trace::kNoArg,
                      trace::EventType::ThreadStart, 0, 0});
-  analysis::AnalyzeOptions options;
+  analysis::Options options;
   options.validate = false;
-  const auto result = analysis::analyze(t, options);
+  const auto result = test_support::analyze(t, options);
   EXPECT_EQ(result.completion_time, 0u);
 }
 

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "cla/analysis/analyzer.hpp"
+#include "support/analyze.hpp"
 
 namespace cla::queue {
 namespace {
@@ -108,7 +108,7 @@ TEST(Queues, LockNamesMatchPaperConventions) {
     (void)coarse.dequeue(ctx);
     (void)split.dequeue(ctx);
   });
-  const auto result = analysis::analyze(backend->take_trace());
+  const auto result = test_support::analyze(backend->take_trace());
   EXPECT_NE(result.find_lock("tq[0].qlock"), nullptr);
   EXPECT_NE(result.find_lock("tq[1].q_head_lock"), nullptr);
   EXPECT_NE(result.find_lock("tq[1].q_tail_lock"), nullptr);

@@ -7,7 +7,7 @@
 #include <set>
 #include <thread>
 
-#include "cla/analysis/analyzer.hpp"
+#include "support/analyze.hpp"
 
 namespace cla::rt {
 namespace {
@@ -107,7 +107,7 @@ TEST_F(HooksTest, CondVarProtocolAnalyzable) {
   recorder.thread_exit();
   const trace::Trace t = recorder.collect();
   EXPECT_NO_THROW(t.validate());
-  const auto result = analysis::analyze(t);
+  const auto result = test_support::analyze(t);
   EXPECT_GT(result.completion_time, 0u);
   ASSERT_EQ(result.conds.size(), 1u);
   EXPECT_GE(result.conds[0].waits, 1u);
@@ -133,7 +133,7 @@ TEST_F(HooksTest, CoordinatorRecordsCreateAndJoinEdges) {
   EXPECT_EQ(creates, 3u);
   EXPECT_EQ(join_ends, 3u);
   // Full pipeline: the real-thread trace analyzes without errors.
-  const auto result = analysis::analyze(t);
+  const auto result = test_support::analyze(t);
   EXPECT_EQ(result.completion_time, t.end_ts() - t.start_ts());
 }
 

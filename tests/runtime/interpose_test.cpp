@@ -9,7 +9,7 @@
 #include <map>
 #include <string>
 
-#include "cla/analysis/analyzer.hpp"
+#include "support/analyze.hpp"
 #include "cla/trace/trace_io.hpp"
 
 namespace {
@@ -48,7 +48,7 @@ TEST_F(InterposeTest, PreloadedAppWritesAnalyzableTrace) {
   EXPECT_GT(trace.event_count(), 100u);
   EXPECT_NO_THROW(trace.validate());
 
-  const auto result = cla::analysis::analyze(trace);
+  const auto result = cla::test_support::analyze(trace);
   EXPECT_GT(result.completion_time, 0u);
   EXPECT_GE(result.locks.size(), 2u);
   EXPECT_GE(result.barriers.size(), 1u);
@@ -111,7 +111,7 @@ TEST_F(InterposeTest, StreamsCompactV3WhenRequested) {
   EXPECT_GE(trace.thread_count(), 5u);
   EXPECT_GT(trace.event_count(), 100u);
   EXPECT_NO_THROW(trace.validate());
-  const auto result = cla::analysis::analyze(trace);
+  const auto result = cla::test_support::analyze(trace);
   EXPECT_GT(result.completion_time, 0u);
   EXPECT_GE(result.locks.size(), 2u);
 }
@@ -119,7 +119,7 @@ TEST_F(InterposeTest, StreamsCompactV3WhenRequested) {
 TEST_F(InterposeTest, JoinEdgesAllowPathToLeaveMainThread) {
   ASSERT_EQ(run_demo(), 0);
   const cla::trace::Trace trace = cla::trace::read_trace_file(trace_path_);
-  const auto result = cla::analysis::analyze(trace);
+  const auto result = cla::test_support::analyze(trace);
   // The critical path must not be confined to the coordinator: at least
   // one jump goes through a join or a lock hand-off.
   EXPECT_FALSE(result.path.jumps.empty());

@@ -1,0 +1,21 @@
+// Test-local one-shot analysis helper.
+//
+// The public one-shot cla::analyze() is deprecated in favour of the
+// staged cla::analysis::Pipeline (see README "Migrating from analyze()").
+// The test suites still want the old one-liner ergonomics, so this
+// header provides it on top of the supported API.
+#pragma once
+
+#include "cla/analysis/pipeline.hpp"
+#include "cla/trace/trace.hpp"
+
+namespace cla::test_support {
+
+inline analysis::AnalysisResult analyze(const trace::Trace& trace,
+                                        const analysis::Options& options = {}) {
+  analysis::Pipeline pipeline(options);
+  pipeline.use_trace(trace);
+  return pipeline.result();
+}
+
+}  // namespace cla::test_support

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "cla/analysis/analyzer.hpp"
+#include "support/analyze.hpp"
 #include "cla/sim/engine.hpp"
 #include "cla/trace/builder.hpp"
 #include "cla/util/error.hpp"
@@ -61,7 +61,7 @@ TEST(Clip, RepairsSectionHeldAcrossLeftEdge) {
   const Trace clipped = clip_trace(t, Window{10, 50});
   EXPECT_NO_THROW(clipped.validate());
   // The hold [1,40) becomes [10,40): a synthetic acquisition at the edge.
-  const auto result = analysis::analyze(clipped);
+  const auto result = test_support::analyze(clipped);
   const auto* l = result.find_lock("L");
   ASSERT_NE(l, nullptr);
   EXPECT_EQ(l->invocations, 1u);
@@ -75,7 +75,7 @@ TEST(Clip, RepairsSectionHeldAcrossRightEdge) {
   const Trace t = b.finish();
   const Trace clipped = clip_trace(t, Window{10, 50});
   EXPECT_NO_THROW(clipped.validate());
-  const auto result = analysis::analyze(clipped);
+  const auto result = test_support::analyze(clipped);
   const auto* l = result.find_lock("L");
   ASSERT_NE(l, nullptr);
   EXPECT_EQ(l->total_hold, 30u);  // [20,50) with a synthetic release
@@ -175,12 +175,12 @@ TEST(Phase, SimPhaseMarkersDriveClippedAnalysis) {
     main.phase_end();
   });
   const trace::Trace full = engine.take_trace();
-  const auto full_result = analysis::analyze(full);
+  const auto full_result = test_support::analyze(full);
   EXPECT_EQ(full_result.locks.front().name, "A");
 
   const trace::Trace phase = clip_to_phase(full, 0);
   EXPECT_NO_THROW(phase.validate());
-  const auto phase_result = analysis::analyze(phase);
+  const auto phase_result = test_support::analyze(phase);
   EXPECT_EQ(phase_result.locks.front().name, "B");
   EXPECT_EQ(phase_result.completion_time, 80u);  // two serialized 40s
 }

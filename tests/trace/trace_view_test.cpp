@@ -258,5 +258,57 @@ TEST(TraceView, MappedTruncationFuzzNeverCrashes) {
   std::remove(path.c_str());
 }
 
+TEST(ChunkCursor, NextClaimsBoundedRangesUntilDone) {
+  const Trace t = sample_trace();
+  const TraceView view(t);
+  ChunkCursor cur = view.thread_cursor(1);
+  const auto n = static_cast<std::uint32_t>(view.thread_events(1).size());
+  ASSERT_GT(n, 2u);
+  std::uint32_t seen = 0;
+  while (!cur.done()) {
+    const ChunkCursor::Range r = cur.next(2);
+    ASSERT_FALSE(r.empty());
+    ASSERT_LE(r.size(), 2u);
+    EXPECT_EQ(r.begin, seen);
+    seen = r.end;
+  }
+  EXPECT_EQ(seen, n);
+  EXPECT_EQ(cur.remaining(), 0u);
+  EXPECT_TRUE(cur.next(2).empty());  // sticky at end of stream
+}
+
+TEST(ChunkCursor, SeekTsFindsTheBoundaryAndNeverRewinds) {
+  const Trace t = sample_trace();
+  const TraceView view(t);
+  // Thread 1 ts column: 0, 1,1,5 (lock 42), 6,9,15 (lock 43), 16,18, 20.
+  ChunkCursor cur = view.thread_cursor(1);
+  EXPECT_EQ(cur.seek_ts(6), 4u);
+  EXPECT_EQ(view.thread_events(1).ts_at(cur.position()), 6u);
+  EXPECT_EQ(cur.seek_ts(0), 4u);  // earlier ts must not rewind
+  EXPECT_EQ(cur.seek_ts(1000), view.thread_events(1).size());
+  EXPECT_TRUE(cur.done());
+}
+
+TEST(ChunkCursor, StartClampsAndReattachesAfterGrowth) {
+  Trace t = sample_trace();
+  {
+    const TraceView view(t);
+    EXPECT_TRUE(view.thread_cursor(0, 9999).done());
+  }
+  // Simulate incremental append: remember the position, grow the trace,
+  // re-attach a cursor to the refreshed view at the saved position.
+  const TraceView before(t);
+  ChunkCursor cur = before.thread_cursor(0);
+  while (!cur.done()) cur.next(64);
+  const std::uint32_t pos = cur.position();
+  const Event extra{30, kNoObject, 0, EventType::ThreadExit, 0, 0};
+  t.append_thread_events(0, std::span<const Event>(&extra, 1));
+  const TraceView after(t);
+  ChunkCursor resumed = after.thread_cursor(0, pos);
+  EXPECT_FALSE(resumed.done());
+  EXPECT_EQ(resumed.remaining(), 1u);
+  EXPECT_EQ(after.thread_events(0).ts_at(resumed.position()), 30u);
+}
+
 }  // namespace
 }  // namespace cla::trace

@@ -2,7 +2,7 @@
 // with systematically varied configurations.
 #include <gtest/gtest.h>
 
-#include "cla/analysis/analyzer.hpp"
+#include "support/analyze.hpp"
 #include "cla/workloads/workload.hpp"
 
 namespace cla::workloads {
@@ -61,7 +61,7 @@ TEST(Metamorphic, RadiosityContentionGrowsWithThreads) {
   for (const std::uint32_t threads : {4u, 12u, 24u}) {
     config.threads = threads;
     const auto run = run_workload("radiosity", config);
-    const auto result = analysis::analyze(run.trace);
+    const auto result = test_support::analyze(run.trace);
     const auto* tq0 = result.find_lock("tq[0].qlock");
     ASSERT_NE(tq0, nullptr);
     EXPECT_GT(tq0->avg_contention_prob, prev) << threads;

@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "cla/analysis/analyzer.hpp"
+#include "support/analyze.hpp"
 #include "cla/trace/clip.hpp"
 #include "cla/util/error.hpp"
 
@@ -33,7 +33,7 @@ TEST_P(AllWorkloadsTest, RunsAndValidates) {
 
 TEST_P(AllWorkloadsTest, AnalysisCompletes) {
   const WorkloadResult run = run_workload(GetParam(), small_config(4));
-  const auto result = analysis::analyze(run.trace);
+  const auto result = test_support::analyze(run.trace);
   EXPECT_EQ(result.completion_time, run.completion_time);
   EXPECT_FALSE(result.locks.empty());
 }
@@ -81,7 +81,7 @@ TEST(Micro, CpTimeMatchesFig6Exactly) {
   WorkloadConfig config;
   config.threads = 4;
   const auto run = run_workload("micro", config);
-  const auto result = analysis::analyze(run.trace);
+  const auto result = test_support::analyze(run.trace);
   const auto* l1 = result.find_lock("L1");
   const auto* l2 = result.find_lock("L2");
   ASSERT_NE(l1, nullptr);
@@ -125,7 +125,7 @@ TEST(Radiosity, RecordsClippablePhases) {
   for (std::size_t phase = 0; phase < 3; ++phase) {
     const trace::Trace clipped = trace::clip_to_phase(run.trace, phase);
     EXPECT_NO_THROW(clipped.validate()) << "phase " << phase;
-    const auto result = analysis::analyze(clipped);
+    const auto result = test_support::analyze(clipped);
     EXPECT_NE(result.find_lock("tq[0].qlock"), nullptr) << "phase " << phase;
     EXPECT_LT(result.completion_time, run.completion_time);
   }
@@ -135,7 +135,7 @@ TEST(Radiosity, RecordsClippablePhases) {
 TEST(Radiosity, Tq0DominatesAtHighThreadCounts) {
   WorkloadConfig config = small_config(16);
   const auto run = run_workload("radiosity", config);
-  const auto result = analysis::analyze(run.trace);
+  const auto result = test_support::analyze(run.trace);
   ASSERT_FALSE(result.locks.empty());
   EXPECT_EQ(result.locks.front().name, "tq[0].qlock");
   const auto* tq0 = result.find_lock("tq[0].qlock");
@@ -154,7 +154,7 @@ TEST(Radiosity, OptimizedVariantUsesSplitLocksAndIsFaster) {
   config.optimized = true;
   const auto optimized = run_workload("radiosity", config);
   EXPECT_LT(optimized.completion_time, original.completion_time);
-  const auto result = analysis::analyze(optimized.trace);
+  const auto result = test_support::analyze(optimized.trace);
   EXPECT_NE(result.find_lock("tq[0].q_head_lock"), nullptr);
   EXPECT_NE(result.find_lock("tq[0].q_tail_lock"), nullptr);
   EXPECT_EQ(result.find_lock("tq[0].qlock"), nullptr);
@@ -165,7 +165,7 @@ TEST(Tsp, QlockDominatesCriticalPath) {
   config.threads = 8;
   config.params["cities"] = 8;  // keep the tree small for tests
   const auto run = run_workload("tsp", config);
-  const auto result = analysis::analyze(run.trace);
+  const auto result = test_support::analyze(run.trace);
   const auto* qlock = result.find_lock("Q.qlock");
   ASSERT_NE(qlock, nullptr);
   // With the CI-sized 8-city tree Qlock is already the top critical lock;
@@ -189,7 +189,7 @@ TEST(Uts, HotStackLockOnPathWithoutContention) {
   config.threads = 8;
   config.scale = 0.5;
   const auto run = run_workload("uts", config);
-  const auto result = analysis::analyze(run.trace);
+  const auto result = test_support::analyze(run.trace);
   const auto* hot = result.find_lock("stackLock[5].qlock");
   ASSERT_NE(hot, nullptr);
   // The paper's UTS finding: on the critical path with a visible share...
@@ -203,7 +203,7 @@ TEST(Water, BarriersDominateLocksBarelyMatter) {
   WorkloadConfig config;
   config.threads = 8;
   const auto run = run_workload("water", config);
-  const auto result = analysis::analyze(run.trace);
+  const auto result = test_support::analyze(run.trace);
   const auto* index_lock = result.find_lock("gl->IndexLock");
   ASSERT_NE(index_lock, nullptr);
   EXPECT_LT(index_lock->cp_time_fraction, 0.15);
@@ -215,7 +215,7 @@ TEST(Water, BarriersDominateLocksBarelyMatter) {
 TEST(Volrend, GlobalQlockModerate) {
   WorkloadConfig config = small_config(8);
   const auto run = run_workload("volrend", config);
-  const auto result = analysis::analyze(run.trace);
+  const auto result = test_support::analyze(run.trace);
   const auto* qlock = result.find_lock("Global->QLock");
   ASSERT_NE(qlock, nullptr);
   EXPECT_GT(qlock->cp_time_fraction, 0.01);
@@ -225,7 +225,7 @@ TEST(Volrend, GlobalQlockModerate) {
 TEST(Raytrace, MemLockCpTimeExceedsWaitTime) {
   WorkloadConfig config = small_config(8);
   const auto run = run_workload("raytrace", config);
-  const auto result = analysis::analyze(run.trace);
+  const auto result = test_support::analyze(run.trace);
   const auto* mem = result.find_lock("mem");
   ASSERT_NE(mem, nullptr);
   // Fig. 8 discussion: Wait Time significantly underestimates mem.
@@ -238,7 +238,7 @@ TEST(Ldap, NoSignificantCriticalSectionBottleneck) {
   config.threads = 8;
   config.scale = 0.2;
   const auto run = run_workload("ldap", config);
-  const auto result = analysis::analyze(run.trace);
+  const auto result = test_support::analyze(run.trace);
   // The paper's negative result: every lock is a small fraction of the
   // critical path.
   for (const auto& lock : result.locks) {
@@ -251,7 +251,7 @@ TEST(Ldap, EntryLocksAreFineGrained) {
   config.threads = 4;
   config.scale = 0.1;
   const auto run = run_workload("ldap", config);
-  const auto result = analysis::analyze(run.trace);
+  const auto result = test_support::analyze(run.trace);
   std::size_t entry_locks = 0;
   for (const auto& lock : result.locks) {
     if (lock.name.rfind("entry_lock[", 0) == 0) {

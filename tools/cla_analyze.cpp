@@ -32,11 +32,17 @@ void print_usage(std::FILE* out, const char* prog) {
   std::fprintf(
       out,
       "usage: %s <trace.clat> [options]\n"
-      "pipeline stages: load -> validate -> index -> resolve -> walk ->\n"
+      "pipeline stages: load -> validate -> index -> builddag -> walk ->\n"
       "                 stats -> report\n"
       "options:\n"
-      "  --threads N     worker threads for the index/stats stages\n"
-      "                  (default 1 = sequential, 0 = one per core)\n"
+      "  --threads N     worker threads for the index/builddag/walk/stats\n"
+      "                  stages (default 1 = sequential, 0 = one per core)\n"
+      "  --engine E      critical-path walk engine: dag (segment-DAG\n"
+      "                  speculative walk; default) | sequential (the\n"
+      "                  reference backward walk; reports are identical)\n"
+      "  --max-rss-mb N  bound the analysis working set to ~N MiB by\n"
+      "                  routing through the streaming engine (exit 4 if\n"
+      "                  the bound cannot be met)\n"
       "  --profile       print the per-stage timing breakdown to stderr\n"
       "  --top N         show only the top-N locks\n"
       "  --json          print the JSON report instead of text\n"
@@ -44,8 +50,11 @@ void print_usage(std::FILE* out, const char* prog) {
       "  --timeline      print the ASCII execution timeline\n"
       "  --phase K       restrict analysis to the K-th recorded\n"
       "                  PhaseBegin/PhaseEnd region\n"
-      "  --whatif LOCK   predicted upper-bound speedup from eliminating\n"
-      "                  LOCK's on-path time\n"
+      "  --whatif LOCK[=PCT%%]\n"
+      "                  re-walk the segment DAG with LOCK's critical\n"
+      "                  sections shrunk by PCT%% (default 100%% =\n"
+      "                  eliminated): prints the closed-form upper bound\n"
+      "                  and the DAG-replay prediction\n"
       "  --salvage       recover a torn/crashed recording: keep the intact\n"
       "                  chunks, repair the event stream, report what was\n"
       "                  lost (exit code 3 if the recovery was lossy)\n"
@@ -78,9 +87,10 @@ int main(int argc, char** argv) {
   try {
     cla::util::Args args(argc, argv,
                          {"top", "json", "csv", "timeline", "whatif", "phase",
-                          "threads", "profile", "salvage", "strictness",
-                          "deadline-ms", "max-events", "diagnostics",
-                          "convert", "format", "version", "help"});
+                          "threads", "engine", "max-rss-mb", "profile",
+                          "salvage", "strictness", "deadline-ms",
+                          "max-events", "diagnostics", "convert", "format",
+                          "version", "help"});
     if (args.has("help")) {
       print_usage(stdout, prog);
       return 0;
@@ -117,6 +127,21 @@ int main(int argc, char** argv) {
     cla::Options options;
     options.execution.num_threads =
         static_cast<unsigned>(args.get_int("threads", 1));
+    if (const auto engine = args.get("engine")) {
+      if (*engine == "dag") {
+        options.execution.walk = cla::analysis::WalkEngine::Dag;
+      } else if (*engine == "sequential") {
+        options.execution.walk = cla::analysis::WalkEngine::Sequential;
+      } else {
+        throw cla::util::ArgsError("invalid --engine value '" + *engine +
+                                   "' (expected dag or sequential)");
+      }
+    }
+    const std::int64_t max_rss_mb = args.get_int("max-rss-mb", 0);
+    if (max_rss_mb < 0) {
+      throw cla::util::ArgsError("--max-rss-mb must be non-negative");
+    }
+    options.limits.max_rss_mb = static_cast<std::uint64_t>(max_rss_mb);
     options.report.top_locks = static_cast<std::size_t>(args.get_int("top", 0));
     options.load.salvage = args.has("salvage");
     if (const auto mode = args.get("strictness")) {
@@ -206,14 +231,50 @@ int main(int argc, char** argv) {
                 << cla::analysis::render_timeline(pipeline.trace_index(),
                                                   pipeline.result().path);
     }
-    if (auto lock = args.get("whatif")) {
+    if (auto spec = args.get("whatif")) {
+      // LOCK or LOCK=PCT% — the percentage of critical-section time
+      // removed (100% = eliminate the lock's critical sections).
+      std::string lock = *spec;
+      double factor = 1.0;
+      if (const auto eq = spec->rfind('='); eq != std::string::npos) {
+        lock = spec->substr(0, eq);
+        std::string pct = spec->substr(eq + 1);
+        if (!pct.empty() && pct.back() == '%') pct.pop_back();
+        try {
+          factor = std::stod(pct) / 100.0;
+        } catch (const std::exception&) {
+          factor = -1.0;
+        }
+        if (factor < 0.0 || factor > 1.0) {
+          throw cla::util::ArgsError("invalid --whatif shrink '" + *spec +
+                                     "' (expected LOCK or LOCK=PCT%% with "
+                                     "PCT in 0..100)");
+        }
+      }
       const auto est =
-          cla::analysis::estimate_shrink(pipeline.result(), *lock, 1.0);
+          cla::analysis::estimate_shrink(pipeline.result(), lock, factor);
       std::printf(
-          "\nwhat-if: removing all on-path time of %s saves at most %llu ns "
-          "(predicted speedup <= %.3fx)\n",
-          lock->c_str(), static_cast<unsigned long long>(est.saved_ns),
+          "\nwhat-if: shrinking %s's critical sections by %.0f%% saves at "
+          "most %llu ns (upper bound <= %.3fx)\n",
+          lock.c_str(), factor * 100.0,
+          static_cast<unsigned long long>(est.saved_ns),
           est.predicted_speedup);
+      if (pipeline.bounded()) {
+        std::fprintf(stderr,
+                     "cla-analyze: note: --whatif replay needs the full "
+                     "index; under --max-rss-mb only the upper bound is "
+                     "reported\n");
+      } else {
+        const auto replay = cla::analysis::replay_shrink(
+            pipeline.segment_dag(), pipeline.trace_index(), lock, factor);
+        std::printf(
+            "what-if: DAG replay predicts %llu ns -> %llu ns "
+            "(predicted speedup %.3fx across %llu checkpoints)\n",
+            static_cast<unsigned long long>(replay.original_span_ns),
+            static_cast<unsigned long long>(replay.predicted_span_ns),
+            replay.predicted_speedup,
+            static_cast<unsigned long long>(replay.checkpoints));
+      }
     }
     if (args.has("profile")) {
       std::fputs(pipeline.profile().to_string().c_str(), stderr);

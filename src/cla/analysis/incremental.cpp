@@ -7,6 +7,7 @@
 #include "cla/analysis/report.hpp"
 #include "cla/analysis/resolver.hpp"
 #include "cla/util/error.hpp"
+#include "cla/util/guard.hpp"
 #include "cla/util/thread_pool.hpp"
 
 namespace cla::analysis {
@@ -61,13 +62,30 @@ std::string IncrementalAnalyzer::report_json() {
 void IncrementalAnalyzer::refresh() {
   CLA_CHECK(trace_.thread_count() > 0,
             "incremental analyzer has no trace yet");
+  // Each refresh gets a fresh wall-clock budget from --deadline-ms (the
+  // whole point of incremental analysis is that one round is small); the
+  // event budget applies to the accumulated trace. A breach throws
+  // ResourceLimitError out of result() — always-on callers catch it and
+  // shed the window instead of dying.
+  const util::Deadline deadline =
+      util::Deadline::after_ms(options_.limits.deadline_ms);
+  if (options_.limits.max_events != 0 &&
+      trace_.event_count() > options_.limits.max_events) {
+    throw util::ResourceLimitError(
+        "accumulated trace exceeds the event budget: " +
+        std::to_string(trace_.event_count()) + " events > max-events=" +
+        std::to_string(options_.limits.max_events) +
+        " (CLA_E_EVENT_BUDGET_EXCEEDED)");
+  }
   if (options_.validate) trace_.validate();
+  deadline.check("incremental-validate");
   const trace::TraceView view(trace_);
   const auto thread_count = static_cast<trace::ThreadId>(view.thread_count());
   if (pool_ == nullptr) {
     pool_ = std::make_unique<util::ThreadPool>(
         util::ThreadPool::resolve_num_threads(options_.execution.num_threads));
   }
+  pool_->set_deadline(deadline);
   scans_.resize(thread_count);
   segments_.resize(thread_count);
 
@@ -89,16 +107,20 @@ void IncrementalAnalyzer::refresh() {
                         static_cast<trace::ThreadId>(tid));
   });
 
+  deadline.check("incremental-scan");
+
   // Materialize the index from copies: O(records), not O(events), and the
   // retained scans stay resumable for the next round.
   std::vector<ThreadScanState> copies(scans_.begin(), scans_.end());
   const TraceIndex index(view, std::move(copies), pool_.get());
+  deadline.check("incremental-index");
 
   // --- prune retained segments past the boundary, re-resolve the tail ---
   std::uint64_t kept_total = 0;
   pool_->parallel_for(thread_count, [&](std::size_t t) {
     const auto tid = static_cast<trace::ThreadId>(t);
     const trace::EventsView& events = view.thread_events(tid);
+    if (events.empty()) return;  // placeholder thread in a live tail
     std::vector<Segment>& segs = segments_[tid];
     if (segs.empty()) {
       Segment initial;
@@ -123,6 +145,8 @@ void IncrementalAnalyzer::refresh() {
     trace::ChunkCursor cursor = view.thread_cursor(tid);
     cursor.seek_ts(boundary);
     for (std::uint32_t i = cursor.position(); i < n; ++i) {
+      // Cooperative early-out; the throw happens on the main thread.
+      if ((i & 0xfff) == 0 && deadline.should_stop()) return;
       if (!trace::is_wakeup(events.type_at(i))) continue;
       const Resolution r = resolve_wakeup(index, tid, i);
       if (!r.blocked || !r.releaser.valid()) continue;
@@ -140,6 +164,8 @@ void IncrementalAnalyzer::refresh() {
     }
   });
 
+  deadline.check("incremental-resolve");
+
   rescanned_ = 0;
   for (trace::ThreadId tid = 0; tid < thread_count; ++tid) {
     kept_total += segments_[tid].size();
@@ -154,8 +180,10 @@ void IncrementalAnalyzer::refresh() {
   SegmentDag dag(view, segments_, index.last_finished_thread(), pool_.get());
   dag_segments_ = dag.segment_count();
   dag_threads_ = dag.thread_count();
+  deadline.check("incremental-builddag");
   CriticalPath path =
       compute_critical_path(dag, pool_.get(), nullptr, &walk_stats_);
+  deadline.check("incremental-walk");
   result_ = compute_stats(index, std::move(path), options_.stats, pool_.get());
   dirty_ = false;
 }

@@ -40,7 +40,10 @@ void ThreadScanState::consume(const trace::EventsView& events,
 
 void ThreadScanState::consume(const trace::EventsView& events,
                               trace::ThreadId tid, std::uint32_t limit) {
-  CLA_CHECK(!events.empty(), "trace thread has no events");
+  // Empty streams are legal mid-tail: a live trace can surface tid N's
+  // first chunk before tid N-1's, leaving a placeholder thread with no
+  // events yet. Its scan stays at the default (zero) info.
+  if (events.empty()) return;
   CLA_CHECK(limit <= events.size(), "scan limit beyond the event stream");
   if (limit <= next_) return;
   if (next_ == 0) {
@@ -375,10 +378,17 @@ void TraceIndex::assemble(std::vector<ThreadScanState> scans,
     }
   }
 
-  // Last finished thread (max exit ts, ties toward lower tid).
+  // Last finished thread (max exit ts, ties toward lower tid). Empty
+  // placeholder threads never win: the critical-path walk starts here and
+  // needs at least one event to stand on.
   last_thread_ = 0;
-  for (trace::ThreadId tid = 1; tid < thread_count; ++tid) {
-    if (threads_[tid].exit_ts > threads_[last_thread_].exit_ts) last_thread_ = tid;
+  bool have_last = false;
+  for (trace::ThreadId tid = 0; tid < thread_count; ++tid) {
+    if (t.thread_events(tid).empty()) continue;
+    if (!have_last || threads_[tid].exit_ts > threads_[last_thread_].exit_ts) {
+      last_thread_ = tid;
+      have_last = true;
+    }
   }
 }
 

@@ -49,7 +49,7 @@ SegmentDag SegmentDag::build(const TraceIndex& index, util::ThreadPool* pool,
   const auto build_thread = [&](std::size_t task) {
     const auto tid = static_cast<trace::ThreadId>(task);
     const trace::EventsView& events = t.thread_events(tid);
-    CLA_CHECK(!events.empty(), "trace thread has no events");
+    if (events.empty()) return;  // placeholder thread in a live tail
     std::vector<Segment>& segs = dag.threads_[tid];
     for (std::uint32_t i = 0; i < events.size(); ++i) {
       if (deadline != nullptr && (i & kPollMask) == kPollMask) {

@@ -211,6 +211,22 @@ std::size_t buffer_events_from_env() {
   return static_cast<std::size_t>(value);
 }
 
+// $CLA_TRACE_MAX_BYTES enables ring retention: a byte cap on the trace
+// file's on-disk size (0 / unset = unbounded). The writer retires the
+// oldest complete chunks as counted loss once the cap is hit.
+std::uint64_t ring_bytes_from_env() {
+  const char* raw = std::getenv("CLA_TRACE_MAX_BYTES");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    std::fprintf(stderr,
+                 "cla_interpose: ignoring bad CLA_TRACE_MAX_BYTES=%s\n", raw);
+    return 0;
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
 // ---- trace lifecycle -----------------------------------------------------
 
 const char* trace_path() {
@@ -247,7 +263,8 @@ struct FlushAtExit {
     Recorder& recorder = Recorder::instance();
     try {
       recorder.start_streaming(trace_path(), buffer_events_from_env(),
-                               trace_format_from_env());
+                               trace_format_from_env(),
+                               ring_bytes_from_env());
       streaming = true;
     } catch (const std::exception& e) {
       std::fprintf(stderr,

@@ -395,14 +395,17 @@ void Recorder::reset() {
 
 void Recorder::start_streaming(const std::string& path,
                                std::size_t buffer_events,
-                               std::uint32_t version) {
+                               std::uint32_t version,
+                               std::uint64_t ring_bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
   CLA_CHECK(!streaming_.load(std::memory_order_acquire),
             "recorder is already streaming");
-  sink_ = std::make_unique<trace::ChunkedTraceWriter>(path, version);  // may throw
+  sink_ = std::make_unique<trace::ChunkedTraceWriter>(path, version,
+                                                      ring_bytes);  // may throw
   stream_capacity_ = std::clamp<std::size_t>(buffer_events, 64, 1u << 22);
   stream_path_ = path;
   stream_version_ = version;
+  stream_ring_bytes_ = ring_bytes;
   flusher_stop_.store(false, std::memory_order_release);
   streaming_.store(true, std::memory_order_release);
   epoch_.store(next_binding_epoch(), std::memory_order_relaxed);  // rebind legacy TLS
@@ -492,8 +495,8 @@ void Recorder::reinit_child() {
   sink_.reset();
   stream_path_ += "." + std::to_string(::getpid());
   try {
-    sink_ = std::make_unique<trace::ChunkedTraceWriter>(stream_path_,
-                                                        stream_version_);
+    sink_ = std::make_unique<trace::ChunkedTraceWriter>(
+        stream_path_, stream_version_, stream_ring_bytes_);
   } catch (...) {
     // Child cannot trace (unwritable dir after chroot/setuid...): record
     // nothing rather than crash the forked application.
@@ -515,6 +518,7 @@ void Recorder::flusher_main() {
   // must not surface as trace events through the interposed hooks.
   ScopedInternal internal;
   const struct timespec pause{0, 200'000};  // 200us between drain sweeps
+  std::uint64_t sweeps = 0;
   while (!flusher_stop_.load(std::memory_order_acquire)) {
     if (const std::uint32_t stall = util::fault::flusher_stall_ms();
         stall != 0) {
@@ -547,6 +551,17 @@ void Recorder::flusher_main() {
         } else if (full1) {
           flush_half(*buffer, 1);
         }
+      }
+      // Refresh the in-place Meta/RuntimeWarnings chunks every ~50ms so
+      // live tailers and point-in-time snapshots see current loss counts
+      // (ring retirement, IO drops) instead of zeros until process exit.
+      // Both are bounded pwrites of already-allocated bytes.
+      if (++sweeps % 256 == 0 &&
+          !shutdown_.load(std::memory_order_acquire)) {
+        write_stream_warnings();
+        sink_->write_meta(dropped_.load(std::memory_order_relaxed) +
+                              sink_->ring_retired_events(),
+                          /*clean_close=*/false);
       }
     }
     nanosleep(&pause, nullptr);
@@ -625,7 +640,9 @@ void Recorder::finish_streaming() {
     }
   }
   write_stream_warnings();
-  sink_->write_meta(dropped_.load(std::memory_order_relaxed), /*clean_close=*/true);
+  sink_->write_meta(dropped_.load(std::memory_order_relaxed) +
+                        sink_->ring_retired_events(),
+                    /*clean_close=*/true);
   sink_->close();
 }
 
@@ -647,6 +664,7 @@ void Recorder::write_stream_warnings() {
       warn_partial_interpose_.load(std::memory_order_relaxed));
   add(util::DiagCode::CLA_W_FORKED_CHILD,
       warn_forks_.load(std::memory_order_relaxed));
+  add(util::DiagCode::CLA_W_RING_RETIRED_EVENTS, sink_->ring_retired_events());
   if (n > 0) sink_->write_warnings(warnings, n);
 }
 
@@ -695,7 +713,8 @@ void Recorder::crash_spill() {
     }
   }
   write_stream_warnings();
-  sink_->write_meta(dropped_.load(std::memory_order_relaxed),
+  sink_->write_meta(dropped_.load(std::memory_order_relaxed) +
+                        sink_->ring_retired_events(),
                     /*clean_close=*/false);
   // No close(): a concurrent flusher writev must not hit a recycled fd.
   // The kernel flushes and closes on process death either way.

@@ -151,11 +151,15 @@ class Recorder {
   /// Switches to streaming mode: opens `path` as a chunked trace (v2 raw
   /// chunks or compact v3 per `version`) and starts the flusher thread.
   /// `buffer_events` bounds each half of every thread's double buffer
-  /// (clamped to [64, 1<<22]). Must be called before any thread registers
-  /// events to be streamed; throws cla::util::Error if the file cannot be
-  /// opened or `version` is not a chunked format.
+  /// (clamped to [64, 1<<22]). A non-zero `ring_bytes` caps the trace's
+  /// on-disk size: the writer retires the oldest complete chunks as
+  /// counted loss (CLA_W_RING_RETIRED_EVENTS) when the file outgrows the
+  /// cap. Must be called before any thread registers events to be
+  /// streamed; throws cla::util::Error if the file cannot be opened or
+  /// `version` is not a chunked format.
   void start_streaming(const std::string& path, std::size_t buffer_events,
-                       std::uint32_t version = trace::kTraceVersion);
+                       std::uint32_t version = trace::kTraceVersion,
+                       std::uint64_t ring_bytes = 0);
 
   bool streaming() const noexcept {
     return streaming_.load(std::memory_order_acquire);
@@ -222,6 +226,7 @@ class Recorder {
   std::size_t stream_capacity_ = 0;
   std::string stream_path_;
   std::uint32_t stream_version_ = trace::kTraceVersion;
+  std::uint64_t stream_ring_bytes_ = 0;
   std::atomic<std::uint64_t> io_dropped_{0};   // events lost to failed writes
   std::atomic<std::uint64_t> warn_partial_interpose_{0};
   std::atomic<std::uint64_t> warn_forks_{0};

@@ -1,6 +1,7 @@
 #include "cla/trace/salvage.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -301,7 +302,11 @@ SalvageResult salvage_trace(std::istream& in) {
 
 SalvageResult salvage_trace_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  CLA_CHECK(in.is_open(), "cannot open trace file: " + path);
+  if (!in.is_open()) {
+    const int err = errno;
+    throw util::TraceIoError(
+        "cannot open trace file: " + path + ": " + std::strerror(err), err);
+  }
   return salvage_trace(in);
 }
 

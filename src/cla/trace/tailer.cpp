@@ -1,0 +1,465 @@
+#include "cla/trace/tailer.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "cla/trace/trace_io.hpp"
+#include "cla/util/crc32.hpp"
+#include "cla/util/faultinject.hpp"
+
+namespace cla::trace {
+
+namespace {
+
+constexpr std::size_t kChunkHeaderBytes = 16;
+// Bytes scanned per resync step while hunting for the next chunk magic.
+constexpr std::size_t kResyncWindow = 64 * 1024;
+// Read-retry ladder for transient errors (EIO, EAGAIN): 4 attempts with
+// 1/2/4/8ms backoff. The *poll*-level exponential backoff is the caller's
+// job via suggested_backoff_ms(); this ladder only smooths over blips.
+constexpr unsigned kMaxReadRetries = 4;
+// In-place rewritten chunks (Meta, RuntimeWarnings) are small; anything
+// claiming to be one but larger than this is treated as corruption.
+constexpr std::size_t kMaxInplacePayload = 4096;
+
+bool transient_read_errno(int err) noexcept {
+  return err == EIO || err == EAGAIN || err == EWOULDBLOCK;
+}
+
+std::uint64_t monotonic_ns() noexcept {
+  struct timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+void backoff_sleep_ms(std::uint64_t ms) noexcept {
+  struct timespec ts{static_cast<time_t>(ms / 1000),
+                     static_cast<long>(ms % 1000) * 1'000'000};
+  ::nanosleep(&ts, nullptr);
+}
+
+template <typename T>
+bool read_pod(const std::vector<unsigned char>& buf, std::size_t& pos, T& out) {
+  if (buf.size() - pos < sizeof(T) || pos > buf.size()) return false;
+  std::memcpy(&out, buf.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+TraceTailer::TraceTailer(std::string path)
+    : TraceTailer(std::move(path), Options()) {}
+
+TraceTailer::TraceTailer(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {
+  util::fault::init();
+  if (options_.backoff_initial_ms == 0) options_.backoff_initial_ms = 1;
+  if (options_.backoff_max_ms < options_.backoff_initial_ms) {
+    options_.backoff_max_ms = options_.backoff_initial_ms;
+  }
+}
+
+TraceTailer::~TraceTailer() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TraceTailer::ReadResult TraceTailer::robust_pread(void* buf, std::size_t len,
+                                                  std::uint64_t offset,
+                                                  std::size_t& got) {
+  got = 0;
+  char* p = static_cast<char*>(buf);
+  unsigned retries = 0;
+  std::uint64_t backoff = 1;
+  while (got < len) {
+    const std::size_t want = len - got;
+    const util::fault::ReadFault fault =
+        util::fault::enabled() ? util::fault::on_read(want)
+                               : util::fault::ReadFault{};
+    ssize_t n;
+    if (fault.fail) {
+      errno = fault.error;
+      n = -1;
+    } else {
+      n = ::pread(fd_, p + got, std::min(want, fault.max_bytes),
+                  static_cast<off_t>(offset + got));
+    }
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) return ReadResult::Short;  // EOF before `len`
+    if (errno == EINTR) {
+      ++io_retries_;
+      continue;
+    }
+    if (!transient_read_errno(errno) || retries >= kMaxReadRetries) {
+      return ReadResult::Failed;
+    }
+    ++retries;
+    ++io_retries_;
+    backoff_sleep_ms(backoff);
+    backoff = std::min<std::uint64_t>(backoff * 2, 8);
+  }
+  return ReadResult::Ok;
+}
+
+bool TraceTailer::open_file() {
+  fd_ = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  return fd_ >= 0;
+}
+
+void TraceTailer::reset_for_rotation() {
+  consumed_ = 0;
+  preamble_ok_ = false;
+  version_ = 0;
+  clean_close_ = false;
+  dropped_events_ = 0;
+  runtime_warnings_.clear();
+  inplace_offsets_.clear();
+  ++generation_;
+}
+
+bool TraceTailer::deadline_hit(std::uint64_t start_ns) const {
+  if (options_.poll_deadline_ms == 0) return false;
+  return monotonic_ns() - start_ns >= options_.poll_deadline_ms * 1'000'000ull;
+}
+
+// Applies one CRC-valid chunk to the delta. Returns true when the chunk
+// changed anything the caller should report as progress. CRC-valid but
+// structurally malformed chunks are ignored (the writer never produces
+// them; a fuzzer might).
+bool TraceTailer::consume_chunk(std::uint32_t kind,
+                                const std::vector<unsigned char>& payload,
+                                Delta& delta) {
+  std::size_t pos = 0;
+  switch (static_cast<ChunkKind>(kind)) {
+    case ChunkKind::Events: {
+      std::uint32_t tid = 0;
+      std::uint32_t count = 0;
+      if (!read_pod(payload, pos, tid) || !read_pod(payload, pos, count)) {
+        return false;
+      }
+      if (tid > (1u << 20) ||
+          payload.size() - pos != static_cast<std::size_t>(count) * sizeof(Event)) {
+        return false;
+      }
+      if (count == 0) return false;
+      event_buf_.resize(count);
+      std::memcpy(event_buf_.data(), payload.data() + pos,
+                  static_cast<std::size_t>(count) * sizeof(Event));
+      delta.chunk.append_thread_events(tid, {event_buf_.data(), count});
+      delta.events += count;
+      return true;
+    }
+    case ChunkKind::EventsV3: {
+      ThreadId tid = 0;
+      std::uint32_t count = 0;
+      if (!peek_events_v3(payload.data(), payload.size(), tid, count) ||
+          count == 0) {
+        return false;
+      }
+      event_buf_.resize(count);
+      if (!decode_events_v3(payload.data(), payload.size(),
+                            event_buf_.data())) {
+        return false;
+      }
+      delta.chunk.append_thread_events(tid, {event_buf_.data(), count});
+      delta.events += count;
+      return true;
+    }
+    case ChunkKind::ObjectNames: {
+      std::uint32_t count = 0;
+      if (!read_pod(payload, pos, count) || count > (1u << 20)) return false;
+      bool changed = false;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ObjectId object = 0;
+        std::uint32_t len = 0;
+        if (!read_pod(payload, pos, object) || !read_pod(payload, pos, len) ||
+            payload.size() - pos < len) {
+          return changed;
+        }
+        delta.chunk.set_object_name(
+            object, std::string(reinterpret_cast<const char*>(payload.data()) + pos,
+                                len));
+        pos += len;
+        changed = true;
+      }
+      return changed;
+    }
+    case ChunkKind::ThreadNames: {
+      std::uint32_t count = 0;
+      if (!read_pod(payload, pos, count) || count > (1u << 20)) return false;
+      bool changed = false;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ThreadId tid = 0;
+        std::uint32_t len = 0;
+        if (!read_pod(payload, pos, tid) || !read_pod(payload, pos, len) ||
+            payload.size() - pos < len) {
+          return changed;
+        }
+        delta.chunk.set_thread_name(
+            tid, std::string(reinterpret_cast<const char*>(payload.data()) + pos,
+                             len));
+        pos += len;
+        changed = true;
+      }
+      return changed;
+    }
+    case ChunkKind::Meta: {
+      std::uint64_t dropped = 0;
+      std::uint32_t flags = 0;
+      if (!read_pod(payload, pos, dropped) || !read_pod(payload, pos, flags)) {
+        return false;
+      }
+      bool changed = false;
+      if (dropped > dropped_events_) {
+        delta.dropped_delta += dropped - dropped_events_;
+        dropped_events_ = dropped;
+        changed = true;
+      }
+      if ((flags & kMetaFlagCleanClose) != 0 && !clean_close_) {
+        clean_close_ = true;
+        delta.clean_close = true;
+        changed = true;
+      }
+      return changed;
+    }
+    case ChunkKind::RuntimeWarnings: {
+      std::uint32_t count = 0;
+      if (!read_pod(payload, pos, count) || count > 1024) return false;
+      bool changed = false;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint32_t code = 0;
+        std::uint64_t value = 0;
+        if (!read_pod(payload, pos, code) || !read_pod(payload, pos, value)) {
+          return changed;
+        }
+        if (code == 0) continue;  // empty slot
+        auto [it, inserted] = runtime_warnings_.try_emplace(code, value);
+        if (!inserted) {
+          if (it->second == value) continue;
+          it->second = value;
+        }
+        changed = true;
+      }
+      return changed;
+    }
+    default:
+      return false;  // unknown chunk kind: skip (forward compatibility)
+  }
+}
+
+// Re-reads the Meta/RuntimeWarnings chunks the writer rewrites in place
+// after we first consumed them. A rewrite torn mid-read fails CRC and is
+// skipped — the previous good counters stand until the next poll.
+void TraceTailer::refresh_inplace_chunks(Delta& delta, bool& progress) {
+  unsigned char header[kChunkHeaderBytes];
+  for (const std::uint64_t offset : inplace_offsets_) {
+    std::size_t got = 0;
+    if (robust_pread(header, sizeof header, offset, got) != ReadResult::Ok) {
+      continue;
+    }
+    if (std::memcmp(header, kChunkMagic, 4) != 0) continue;
+    std::uint32_t kind = 0;
+    std::uint32_t payload_bytes = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&kind, header + 4, 4);
+    std::memcpy(&payload_bytes, header + 8, 4);
+    std::memcpy(&crc, header + 12, 4);
+    if (kind != static_cast<std::uint32_t>(ChunkKind::Meta) &&
+        kind != static_cast<std::uint32_t>(ChunkKind::RuntimeWarnings)) {
+      continue;
+    }
+    if (payload_bytes > kMaxInplacePayload) continue;
+    payload_buf_.resize(payload_bytes);
+    if (robust_pread(payload_buf_.data(), payload_bytes,
+                     offset + kChunkHeaderBytes, got) != ReadResult::Ok) {
+      continue;
+    }
+    if (util::crc32(payload_buf_.data(), payload_bytes) != crc) continue;
+    if (consume_chunk(kind, payload_buf_, delta)) progress = true;
+  }
+}
+
+TraceTailer::PollStatus TraceTailer::poll(Delta& delta) {
+  delta = Delta{};
+  const std::uint64_t start_ns = monotonic_ns();
+  const auto finish = [&](PollStatus status) {
+    if (status == PollStatus::Idle) {
+      if (idle_polls_ < 31) ++idle_polls_;
+    } else {
+      idle_polls_ = 0;
+    }
+    delta.runtime_warnings = runtime_warnings_;
+    return status;
+  };
+
+  // Open (or re-open after rotation). A file that does not exist yet is
+  // Idle — always-on monitors routinely start before their writers.
+  if (fd_ < 0 && !open_file()) {
+    return finish(errno == ENOENT ? PollStatus::Idle : PollStatus::IoError);
+  }
+
+  // Rotation / removal detection: compare the path's identity with the
+  // fd we are draining.
+  struct stat path_st{};
+  const bool path_exists = ::stat(path_.c_str(), &path_st) == 0;
+  struct stat fd_st{};
+  if (::fstat(fd_, &fd_st) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return finish(PollStatus::IoError);
+  }
+  if (path_exists && (path_st.st_ino != fd_st.st_ino ||
+                      path_st.st_dev != fd_st.st_dev)) {
+    // Replaced under us (ring compaction rename, log rotation). Restart
+    // at the new file on the next poll; the caller resets its analysis.
+    ::close(fd_);
+    fd_ = -1;
+    reset_for_rotation();
+    return finish(PollStatus::Rotated);
+  }
+  const std::uint64_t size = static_cast<std::uint64_t>(fd_st.st_size);
+  if (size < consumed_) {
+    // Truncated in place (a restarted writer O_TRUNCed the same inode).
+    reset_for_rotation();
+    return finish(PollStatus::Rotated);
+  }
+
+  bool progress = false;
+
+  // Preamble: 8 bytes of magic + version. Fewer bytes = the writer has
+  // not finished its first write; wrong bytes = not a trace file.
+  if (!preamble_ok_) {
+    if (size < 8) return finish(PollStatus::Idle);
+    unsigned char preamble[8];
+    std::size_t got = 0;
+    const ReadResult r = robust_pread(preamble, sizeof preamble, 0, got);
+    if (r == ReadResult::Failed) return finish(PollStatus::IoError);
+    if (r == ReadResult::Short) return finish(PollStatus::Idle);
+    std::uint32_t version = 0;
+    std::memcpy(&version, preamble + 4, 4);
+    if (std::memcmp(preamble, kTraceMagic, 4) != 0 ||
+        !is_supported_trace_version(version) ||
+        version == kTraceVersionLegacy) {
+      return finish(PollStatus::IoError);  // v1 has no chunks to tail
+    }
+    version_ = version;
+    preamble_ok_ = true;
+    consumed_ = 8;
+  }
+
+  refresh_inplace_chunks(delta, progress);
+
+  // Main loop: consume complete CRC-valid chunks until the tail runs out,
+  // turns out to be torn, or the poll deadline hits.
+  unsigned char header[kChunkHeaderBytes];
+  while (consumed_ + kChunkHeaderBytes <= size) {
+    if (deadline_hit(start_ns)) break;
+    std::size_t got = 0;
+    ReadResult r = robust_pread(header, sizeof header, consumed_, got);
+    if (r == ReadResult::Failed) {
+      return finish(progress ? PollStatus::Progress : PollStatus::IoError);
+    }
+    if (r == ReadResult::Short) break;
+
+    bool resync = false;
+    std::uint32_t kind = 0;
+    std::uint32_t payload_bytes = 0;
+    std::uint32_t crc = 0;
+    if (std::memcmp(header, kChunkMagic, 4) != 0) {
+      resync = true;
+    } else {
+      std::memcpy(&kind, header + 4, 4);
+      std::memcpy(&payload_bytes, header + 8, 4);
+      std::memcpy(&crc, header + 12, 4);
+      if (payload_bytes > kMaxChunkPayload) resync = true;
+    }
+
+    if (!resync) {
+      const std::uint64_t chunk_end =
+          consumed_ + kChunkHeaderBytes + payload_bytes;
+      if (chunk_end > size) break;  // partial tail: "not yet"
+      payload_buf_.resize(payload_bytes);
+      r = robust_pread(payload_buf_.data(), payload_bytes,
+                       consumed_ + kChunkHeaderBytes, got);
+      if (r == ReadResult::Failed) {
+        return finish(progress ? PollStatus::Progress : PollStatus::IoError);
+      }
+      if (r == ReadResult::Short) break;
+      if (util::crc32(payload_buf_.data(), payload_bytes) == crc) {
+        if (consume_chunk(kind, payload_buf_, delta)) progress = true;
+        if ((kind == static_cast<std::uint32_t>(ChunkKind::Meta) ||
+             kind == static_cast<std::uint32_t>(ChunkKind::RuntimeWarnings)) &&
+            inplace_offsets_.size() < 8 &&
+            std::find(inplace_offsets_.begin(), inplace_offsets_.end(),
+                      consumed_) == inplace_offsets_.end()) {
+          inplace_offsets_.push_back(consumed_);
+        }
+        consumed_ = chunk_end;
+        continue;
+      }
+      if (chunk_end == size) break;  // torn final chunk: wait for the writer
+      resync = true;  // CRC-bad with data behind it: genuine corruption
+    }
+
+    // Resync: scan forward for the next chunk magic, counting everything
+    // skipped as loss. Bounded per iteration; the loop condition and the
+    // deadline keep a pathological file from monopolizing the poll.
+    std::uint64_t scan = consumed_ + 1;
+    std::uint64_t found = 0;
+    while (found == 0 && scan + 4 <= size) {
+      if (deadline_hit(start_ns)) break;
+      const std::size_t want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kResyncWindow, size - scan));
+      payload_buf_.resize(want);
+      std::size_t scan_got = 0;
+      if (robust_pread(payload_buf_.data(), want, scan, scan_got) ==
+          ReadResult::Failed) {
+        return finish(progress ? PollStatus::Progress : PollStatus::IoError);
+      }
+      if (scan_got < 4) break;
+      for (std::size_t i = 0; i + 4 <= scan_got; ++i) {
+        if (std::memcmp(payload_buf_.data() + i, kChunkMagic, 4) == 0) {
+          found = scan + i;
+          break;
+        }
+      }
+      if (found == 0) scan += scan_got - 3;  // keep a 3-byte overlap
+    }
+    if (found == 0) {
+      // No magic ahead: skip what we scanned and wait for more data.
+      const std::uint64_t skipped = std::max(scan, consumed_ + 1) - consumed_;
+      delta.skipped_bytes += skipped;
+      skipped_total_ += skipped;
+      consumed_ += skipped;
+      break;
+    }
+    delta.skipped_bytes += found - consumed_;
+    skipped_total_ += found - consumed_;
+    consumed_ = found;
+  }
+
+  if (progress || delta.skipped_bytes > 0) return finish(PollStatus::Progress);
+  if (!path_exists && consumed_ >= size) return finish(PollStatus::Removed);
+  return finish(PollStatus::Idle);
+}
+
+std::uint32_t TraceTailer::suggested_backoff_ms() const noexcept {
+  if (idle_polls_ == 0) return 0;
+  const std::uint64_t shifted = static_cast<std::uint64_t>(
+                                    options_.backoff_initial_ms)
+                                << std::min(idle_polls_ - 1, 20u);
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(shifted, options_.backoff_max_ms));
+}
+
+}  // namespace cla::trace

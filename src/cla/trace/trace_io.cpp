@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstddef>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -356,18 +357,26 @@ void write_trace_file(const Trace& trace, const std::string& path,
 // ---- ChunkedTraceWriter --------------------------------------------------
 
 ChunkedTraceWriter::ChunkedTraceWriter(const std::string& path,
-                                       std::uint32_t version)
-    : version_(version) {
+                                       std::uint32_t version,
+                                       std::uint64_t ring_bytes)
+    : version_(version), path_(path), ring_bytes_(ring_bytes) {
   CLA_CHECK(version == kTraceVersion || version == kTraceVersionV3,
             "ChunkedTraceWriter needs a chunk-framed version (2 or 3), got " +
                 std::to_string(version));
   util::fault::init();  // parse CLA_FAULT_* while getenv is still safe
+  if (ring_bytes_ != 0 && ring_bytes_ < kMinRingBytes) {
+    ring_bytes_ = kMinRingBytes;
+  }
+  if (ring_bytes_ != 0) ring_chunks_.reserve(1024);
   if (version_ == kTraceVersionV3) {
     // All allocation happens here, up front: write_events must stay
     // allocation-free to remain async-signal-safe.
     v3_scratch_.reserve(events_v3_max_payload(kEventsPerChunk));
   }
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  // Ring mode reads surviving chunks back during compaction, so the fd
+  // must be readable too; a plain writer stays write-only.
+  const int rw = ring_bytes_ != 0 ? O_RDWR : O_WRONLY;
+  fd_ = ::open(path.c_str(), rw | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   CLA_CHECK(fd_ >= 0, "cannot open trace file for writing: " + path + ": " +
                           std::strerror(errno));
   // Preamble plus the reserved in-place chunks (empty RuntimeWarnings,
@@ -507,7 +516,8 @@ bool ChunkedTraceWriter::robust_pwrite(const void* buf, std::size_t len,
 
 bool ChunkedTraceWriter::write_chunk(ChunkKind kind, const void* head,
                                      std::size_t head_len, const void* body,
-                                     std::size_t body_len) {
+                                     std::size_t body_len,
+                                     std::size_t event_count) {
   if (fd_ < 0 || failed_.load(std::memory_order_relaxed)) return false;
   const bool teardown = teardown_.load(std::memory_order_relaxed);
   if (!teardown && !lock_appends()) {
@@ -543,6 +553,13 @@ bool ChunkedTraceWriter::write_chunk(ChunkKind kind, const void* head,
   const bool ok = robust_writev(iov, iovcnt, total);
   if (ok) {
     degraded_.store(false, std::memory_order_relaxed);
+    if (ring_bytes_ != 0 && !teardown && start >= 0) {
+      ring_chunks_.push_back({static_cast<std::uint64_t>(start),
+                              static_cast<std::uint32_t>(total), kind,
+                              static_cast<std::uint32_t>(event_count)});
+      append_bytes_ += total;
+      maybe_compact();
+    }
   } else {
     // Roll the partial chunk back so the file stays structurally valid
     // (CRC-clean chunks only), then drop into counted-drop mode. In
@@ -565,7 +582,7 @@ bool ChunkedTraceWriter::write_events_raw(ThreadId tid, const Event* events,
   std::memcpy(head, &tid, 4);
   std::memcpy(head + 4, &n, 4);
   return write_chunk(ChunkKind::Events, head, sizeof head, events,
-                     count * sizeof(Event));
+                     count * sizeof(Event), count);
 }
 
 std::size_t ChunkedTraceWriter::write_events(ThreadId tid, const Event* events,
@@ -582,7 +599,7 @@ std::size_t ChunkedTraceWriter::write_events(ThreadId tid, const Event* events,
       v3_scratch_.clear();
       encode_events_v3(tid, events + begin, n, v3_scratch_);
       ok = write_chunk(ChunkKind::EventsV3, v3_scratch_.data(),
-                       v3_scratch_.size(), nullptr, 0);
+                       v3_scratch_.size(), nullptr, 0, n);
       v3_scratch_busy_.clear(std::memory_order_release);
     } else {
       ok = write_events_raw(tid, events + begin, n);
@@ -629,6 +646,158 @@ void ChunkedTraceWriter::write_warnings(const RuntimeWarning* entries,
   unsigned char chunk[kChunkHeaderBytes + kWarnPayloadBytes];
   render_chunk(chunk, ChunkKind::RuntimeWarnings, payload, sizeof payload);
   robust_pwrite(chunk, sizeof chunk, kWarnChunkOffset);
+}
+
+namespace {
+
+// Compaction-local I/O helpers: plain EINTR-restarting loops that fail on
+// the first hard error. Compaction is opportunistic — when the disk is
+// unhealthy it simply aborts and is retried later — so it does not need
+// the appending writers' backoff ladder. Writes still consult the fault
+// injector so tests can stage a compaction-time ENOSPC deterministically.
+bool full_pread(int fd, void* buf, std::size_t len, std::uint64_t offset) {
+  char* p = static_cast<char*>(buf);
+  while (len > 0) {
+    const ssize_t got = ::pread(fd, p, len, static_cast<off_t>(offset));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // shorter file than the chunk records say
+    p += got;
+    offset += static_cast<std::uint64_t>(got);
+    len -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool full_write(int fd, const void* buf, std::size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    const util::fault::WriteFault fault =
+        util::fault::enabled() ? util::fault::on_write(len)
+                               : util::fault::WriteFault{};
+    if (fault.fail) {
+      errno = fault.error;
+      return false;
+    }
+    const std::size_t attempt = std::min(len, fault.max_bytes);
+    const ssize_t wrote = ::write(fd, p, attempt);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += wrote;
+    len -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+}  // namespace
+
+void ChunkedTraceWriter::maybe_compact() {
+  if (kFirstAppendOffset + append_bytes_ <= ring_bytes_) return;
+  if (compact_retry_at_ != 0 && append_bytes_ < compact_retry_at_) return;
+
+  // Choose what survives: every name chunk (small, and required to keep
+  // the retained events attributable) plus the newest event chunks up to
+  // half the cap — leaving the other half as append headroom so
+  // compactions amortize instead of firing on every chunk.
+  const std::uint64_t keep_budget = ring_bytes_ / 2;
+  std::uint64_t kept_bytes = 0;
+  for (const ChunkRecord& c : ring_chunks_) {
+    if (c.kind != ChunkKind::Events && c.kind != ChunkKind::EventsV3) {
+      kept_bytes += c.bytes;
+    }
+  }
+  std::size_t first_kept_event = ring_chunks_.size();
+  bool kept_any_events = false;
+  for (std::size_t i = ring_chunks_.size(); i-- > 0;) {
+    const ChunkRecord& c = ring_chunks_[i];
+    if (c.kind != ChunkKind::Events && c.kind != ChunkKind::EventsV3) continue;
+    if (kept_any_events && kept_bytes + c.bytes > keep_budget) break;
+    kept_bytes += c.bytes;
+    kept_any_events = true;
+    first_kept_event = i;
+  }
+  std::uint64_t retired_events = 0;
+  std::uint64_t retired_chunks = 0;
+  for (std::size_t i = 0; i < first_kept_event; ++i) {
+    const ChunkRecord& c = ring_chunks_[i];
+    if (c.kind != ChunkKind::Events && c.kind != ChunkKind::EventsV3) continue;
+    retired_events += c.events;
+    ++retired_chunks;
+  }
+  if (retired_chunks == 0) {
+    // Nothing retirable (names dominate or one giant chunk): try again
+    // only after meaningful growth so a stuck ring does not thrash.
+    compact_retry_at_ = append_bytes_ + ring_bytes_ / 4;
+    return;
+  }
+
+  const std::string tmp_path = path_ + ".ring";
+  // O_RDWR, not O_WRONLY: after dup2 this becomes the writer's fd, and
+  // the *next* compaction must be able to pread chunks back out of it.
+  const int tmp_fd =
+      ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tmp_fd < 0) {
+    compact_retry_at_ = append_bytes_ + ring_bytes_ / 4;
+    return;
+  }
+  const auto abort_compaction = [&] {
+    ::close(tmp_fd);
+    ::unlink(tmp_path.c_str());
+    compact_retry_at_ = append_bytes_ + ring_bytes_ / 4;
+  };
+
+  // Reserved region first (preamble + in-place warnings/meta), copied
+  // verbatim so the latest counters written by write_meta/write_warnings
+  // survive the rewrite.
+  unsigned char reserved[kFirstAppendOffset];
+  if (!full_pread(fd_, reserved, sizeof reserved, 0) ||
+      !full_write(tmp_fd, reserved, sizeof reserved)) {
+    abort_compaction();
+    return;
+  }
+  std::vector<ChunkRecord> kept;
+  kept.reserve(ring_chunks_.size() - retired_chunks);
+  std::vector<unsigned char> copy_buf;
+  std::uint64_t out_offset = kFirstAppendOffset;
+  bool ok = true;
+  for (std::size_t i = 0; i < ring_chunks_.size() && ok; ++i) {
+    const ChunkRecord& c = ring_chunks_[i];
+    const bool is_events =
+        c.kind == ChunkKind::Events || c.kind == ChunkKind::EventsV3;
+    if (is_events && i < first_kept_event) continue;
+    copy_buf.resize(c.bytes);
+    ok = full_pread(fd_, copy_buf.data(), c.bytes, c.offset) &&
+         full_write(tmp_fd, copy_buf.data(), c.bytes);
+    if (ok) {
+      ChunkRecord moved = c;
+      moved.offset = out_offset;
+      out_offset += c.bytes;
+      kept.push_back(moved);
+    }
+  }
+  if (!ok || ::fsync(tmp_fd) != 0 ||
+      ::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    abort_compaction();
+    return;
+  }
+  // Atomically re-point the writer's fd at the new file. dup2 keeps the
+  // fd *number* stable, so a fatal-signal teardown writer racing this
+  // swap lands its spill in one file or the other — never in a closed fd.
+  if (::dup2(tmp_fd, fd_) < 0) {
+    ::close(tmp_fd);
+    failed_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  ::close(tmp_fd);
+  ring_chunks_ = std::move(kept);
+  append_bytes_ = out_offset - kFirstAppendOffset;
+  compact_retry_at_ = 0;
+  ring_retired_events_.fetch_add(retired_events, std::memory_order_relaxed);
+  ring_compactions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ChunkedTraceWriter::close() noexcept {
@@ -865,7 +1034,11 @@ Trace read_trace(std::istream& in) {
 
 Trace read_trace_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  CLA_CHECK(in.is_open(), "cannot open trace file: " + path);
+  if (!in.is_open()) {
+    const int err = errno;
+    throw util::TraceIoError(
+        "cannot open trace file: " + path + ": " + std::strerror(err), err);
+  }
   return read_trace(in);
 }
 

@@ -189,14 +189,34 @@ void write_trace_file(const Trace& trace, const std::string& path,
 /// permanently. Nothing here ever throws after a successful open: the
 /// writer runs on teardown paths where throwing would kill the traced
 /// application.
+/// Ring retention (always-on mode): a non-zero `ring_bytes` caps the
+/// file's on-disk size. When an append pushes the file past the cap the
+/// writer compacts: it rewrites the preamble, the reserved in-place
+/// chunks, every name chunk, and the *newest* event chunks (up to half
+/// the cap) into a temp file, fsyncs, and rename()s it over the trace —
+/// so any point-in-time snapshot of the path is either the old complete
+/// file or the new complete file, never a mix, and both salvage cleanly.
+/// Retired chunks' events are counted in ring_retired_events(); callers
+/// fold them into the Meta dropped count so downstream analysis treats
+/// retention exactly like any other counted loss. Compaction runs only on
+/// the normal append path (never in teardown mode — fatal-signal handlers
+/// must not allocate or rename) and swaps files with dup2(), so the fd
+/// number concurrent teardown writers hold stays valid throughout.
 class ChunkedTraceWriter {
  public:
   /// Opens (creates/truncates) `path` and writes the preamble for
   /// `version` (2 or 3). Throws cla::util::Error if the file cannot be
-  /// opened or the version is not chunk-framed.
+  /// opened or the version is not chunk-framed. A non-zero `ring_bytes`
+  /// enables ring retention (clamped up to kMinRingBytes).
   explicit ChunkedTraceWriter(const std::string& path,
-                              std::uint32_t version = kTraceVersion);
+                              std::uint32_t version = kTraceVersion,
+                              std::uint64_t ring_bytes = 0);
   ~ChunkedTraceWriter();
+
+  /// Smallest accepted ring cap: room for the reserved region, the name
+  /// chunks and at least a few event chunks, so compaction converges
+  /// instead of thrashing.
+  static constexpr std::uint64_t kMinRingBytes = 256 * 1024;
 
   ChunkedTraceWriter(const ChunkedTraceWriter&) = delete;
   ChunkedTraceWriter& operator=(const ChunkedTraceWriter&) = delete;
@@ -251,19 +271,47 @@ class ChunkedTraceWriter {
     return degraded_.load(std::memory_order_relaxed);
   }
 
+  /// Events retired by ring compaction (counted loss, like drops).
+  std::uint64_t ring_retired_events() const noexcept {
+    return ring_retired_events_.load(std::memory_order_relaxed);
+  }
+  /// Number of completed ring compactions (file rewrites).
+  std::uint64_t ring_compactions() const noexcept {
+    return ring_compactions_.load(std::memory_order_relaxed);
+  }
+
   /// Flushes file-descriptor state and closes. Async-signal-safe.
   void close() noexcept;
 
  private:
   bool write_chunk(ChunkKind kind, const void* head, std::size_t head_len,
-                   const void* body, std::size_t body_len);
+                   const void* body, std::size_t body_len,
+                   std::size_t event_count = 0);
   bool write_events_raw(ThreadId tid, const Event* events, std::size_t count);
   bool robust_writev(::iovec* iov, int iovcnt, std::size_t total);
   bool robust_pwrite(const void* buf, std::size_t len, std::uint64_t offset);
   bool lock_appends() noexcept;
+  void maybe_compact();  // caller holds the append lock
 
   int fd_ = -1;
   std::uint32_t version_ = kTraceVersion;
+  std::string path_;
+
+  // Ring-retention bookkeeping (all flusher-thread-only, mutated under
+  // the append lock; teardown-mode writers never touch it).
+  struct ChunkRecord {
+    std::uint64_t offset = 0;   // chunk start in the current file
+    std::uint32_t bytes = 0;    // header + payload
+    ChunkKind kind = ChunkKind::Events;
+    std::uint32_t events = 0;   // events lost if this chunk is retired
+  };
+  std::uint64_t ring_bytes_ = 0;  // 0 = unbounded (ring mode off)
+  std::uint64_t append_bytes_ = 0;
+  std::uint64_t compact_retry_at_ = 0;  // back off after a failed compaction
+  std::vector<ChunkRecord> ring_chunks_;
+  std::atomic<std::uint64_t> ring_retired_events_{0};
+  std::atomic<std::uint64_t> ring_compactions_{0};
+
   std::atomic<bool> failed_{false};
   std::atomic<bool> degraded_{false};
   std::atomic<bool> teardown_{false};

@@ -164,20 +164,26 @@ struct MappedTrace::Segment {
 MappedTrace::MappedTrace(const std::string& path) {
 #if CLA_HAVE_MMAP
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  CLA_CHECK(fd >= 0,
-            "cannot open trace file: " + path + ": " + std::strerror(errno));
+  if (fd < 0) {
+    throw util::TraceIoError(
+        "cannot open trace file: " + path + ": " + std::strerror(errno),
+        errno);
+  }
   struct stat st{};
   if (::fstat(fd, &st) != 0) {
+    const int err = errno;
     ::close(fd);
-    CLA_CHECK(false, "cannot stat trace file: " + path);
+    throw util::TraceIoError(
+        "cannot stat trace file: " + path + ": " + std::strerror(err), err);
   }
   map_size_ = static_cast<std::size_t>(st.st_size);
   if (map_size_ > 0) {
     void* map = ::mmap(nullptr, map_size_, PROT_READ, MAP_PRIVATE, fd, 0);
     if (map == MAP_FAILED) {
+      const int err = errno;
       ::close(fd);
-      CLA_CHECK(false, "cannot mmap trace file: " + path + ": " +
-                           std::strerror(errno));
+      throw util::TraceIoError(
+          "cannot mmap trace file: " + path + ": " + std::strerror(err), err);
     }
     map_ = static_cast<const unsigned char*>(map);
   }

@@ -127,6 +127,14 @@ std::string_view to_string(DiagCode code) noexcept {
       return "CLA_W_PARTIAL_INTERPOSITION";
     case DiagCode::CLA_W_FORKED_CHILD:
       return "CLA_W_FORKED_CHILD";
+    case DiagCode::CLA_W_RING_RETIRED_EVENTS:
+      return "CLA_W_RING_RETIRED_EVENTS";
+    case DiagCode::CLA_W_TRACE_ROTATED:
+      return "CLA_W_TRACE_ROTATED";
+    case DiagCode::CLA_W_ANALYSIS_WINDOW_SHED:
+      return "CLA_W_ANALYSIS_WINDOW_SHED";
+    case DiagCode::CLA_W_READ_RETRIED:
+      return "CLA_W_READ_RETRIED";
     case DiagCode::CLA_R_SYNTHESIZED_EVENTS:
       return "CLA_R_SYNTHESIZED_EVENTS";
     case DiagCode::CLA_R_DROPPED_EVENTS:
@@ -141,6 +149,8 @@ std::string_view to_string(DiagCode code) noexcept {
       return "CLA_E_DEADLINE_EXCEEDED";
     case DiagCode::CLA_E_EVENT_BUDGET_EXCEEDED:
       return "CLA_E_EVENT_BUDGET_EXCEEDED";
+    case DiagCode::CLA_E_TRACE_IO:
+      return "CLA_E_TRACE_IO";
   }
   return "CLA_UNKNOWN";
 }

@@ -77,6 +77,13 @@ enum class DiagCode : std::uint16_t {
                                      ///< symbols (tracing is partial)
   CLA_W_FORKED_CHILD = 50,        ///< process forked; children wrote their
                                   ///< own trace.clat.<pid> files
+  CLA_W_RING_RETIRED_EVENTS = 51,  ///< ring retention retired old chunks;
+                                   ///< their events count as loss
+  CLA_W_TRACE_ROTATED = 52,       ///< live trace rotated under the reader;
+                                  ///< analysis restarted from the new file
+  CLA_W_ANALYSIS_WINDOW_SHED = 53,  ///< monitor shed its analysis window
+                                    ///< after a resource-budget breach
+  CLA_W_READ_RETRIED = 54,        ///< trace reads retried after errors
 
   // --- repair actions (info severity) ---
   CLA_R_SYNTHESIZED_EVENTS = 60,  ///< missing unlocks/exits/... synthesized
@@ -88,6 +95,10 @@ enum class DiagCode : std::uint16_t {
   // --- resource guards ---
   CLA_E_DEADLINE_EXCEEDED = 80,   ///< analysis ran past its deadline
   CLA_E_EVENT_BUDGET_EXCEEDED = 81,  ///< trace larger than --max-events
+
+  // --- trace I/O failures (the file itself, not its contents) ---
+  CLA_E_TRACE_IO = 82,            ///< trace unreadable: ENOENT/EACCES/EIO
+                                  ///< on open, stat, mmap, or read
 };
 
 /// Stable code name ("CLA_E_UNPAIRED_UNLOCK") as printed in reports.

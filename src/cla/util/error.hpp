@@ -30,6 +30,19 @@ class ResourceLimitError : public Error {
   explicit ResourceLimitError(const std::string& what) : Error(what) {}
 };
 
+/// The trace *file* could not be read — unlinked mid-analysis, permission
+/// denied, device error — as opposed to a readable file with bad contents.
+/// Reported as CLA_E_TRACE_IO with the captured errno; CLI exit code 1.
+class TraceIoError : public Error {
+ public:
+  TraceIoError(const std::string& what, int error)
+      : Error(what), errno_(error) {}
+  int saved_errno() const noexcept { return errno_; }
+
+ private:
+  int errno_ = 0;
+};
+
 /// Builds an Error message with "file:line: " prefix and throws it.
 [[noreturn]] void throw_error(const char* file, int line, const std::string& message);
 

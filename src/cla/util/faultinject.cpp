@@ -21,6 +21,11 @@ struct Config {
   std::size_t short_write = 0;
   std::uint32_t stall_ms = 0;
   std::uint64_t die_at_event = 0;
+  bool read_faults = false;
+  int read_errno = 0;
+  std::uint64_t read_every = 1;
+  std::uint64_t read_count = 0;  // 0 = persistent
+  std::size_t short_read = 0;
 };
 
 // Written only by init()/reinit_for_tests() (setup paths), read via the
@@ -32,6 +37,8 @@ std::atomic<std::uint64_t> g_bytes_attempted{0};
 std::atomic<std::uint64_t> g_eligible_calls{0};
 std::atomic<std::uint64_t> g_injected{0};
 std::atomic<std::uint64_t> g_events{0};
+std::atomic<std::uint64_t> g_read_calls{0};
+std::atomic<std::uint64_t> g_read_injected{0};
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const char* raw = std::getenv(name);
@@ -69,9 +76,20 @@ void parse_environment() {
   config.stall_ms =
       static_cast<std::uint32_t>(env_u64("CLA_FAULT_FLUSHER_STALL_MS", 0));
   config.die_at_event = env_u64("CLA_FAULT_DIE_AT_EVENT", 0);
+  if (const char* raw = std::getenv("CLA_FAULT_READ_ERRNO");
+      raw != nullptr && *raw != '\0') {
+    config.read_errno = parse_errno_name(raw);
+    config.read_faults = config.read_errno != 0;
+  }
+  config.read_every = env_u64("CLA_FAULT_READ_EVERY", 1);
+  if (config.read_every == 0) config.read_every = 1;
+  config.read_count = env_u64("CLA_FAULT_READ_COUNT", 0);
+  config.short_read =
+      static_cast<std::size_t>(env_u64("CLA_FAULT_SHORT_READ", 0));
   g_config = config;
   g_enabled.store(config.write_faults || config.short_write != 0 ||
-                      config.stall_ms != 0 || config.die_at_event != 0,
+                      config.stall_ms != 0 || config.die_at_event != 0 ||
+                      config.read_faults || config.short_read != 0,
                   std::memory_order_release);
 }
 
@@ -103,6 +121,25 @@ WriteFault on_write(std::size_t bytes) noexcept {
   return fault;
 }
 
+ReadFault on_read(std::size_t bytes) noexcept {
+  ReadFault fault;
+  if (!enabled()) return fault;
+  (void)bytes;
+  if (g_config.short_read != 0) fault.max_bytes = g_config.short_read;
+  if (!g_config.read_faults) return fault;
+  const std::uint64_t call =
+      g_read_calls.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (call % g_config.read_every != 0) return fault;
+  if (g_config.read_count != 0 &&
+      g_read_injected.fetch_add(1, std::memory_order_relaxed) >=
+          g_config.read_count) {
+    return fault;
+  }
+  fault.fail = true;
+  fault.error = g_config.read_errno;
+  return fault;
+}
+
 std::uint32_t flusher_stall_ms() noexcept {
   return enabled() ? g_config.stall_ms : 0;
 }
@@ -122,6 +159,8 @@ void reinit_for_tests() noexcept {
   g_eligible_calls.store(0, std::memory_order_relaxed);
   g_injected.store(0, std::memory_order_relaxed);
   g_events.store(0, std::memory_order_relaxed);
+  g_read_calls.store(0, std::memory_order_relaxed);
+  g_read_injected.store(0, std::memory_order_relaxed);
   g_initialized.store(true, std::memory_order_release);
   parse_environment();
 }

@@ -22,6 +22,18 @@
 //   CLA_FAULT_DIE_AT_EVENT=N        SIGKILL the process at the N-th
 //                                   recorded event (no spill, no cleanup)
 //
+// The read side mirrors the write side so tailers/loaders get the same
+// deterministic treatment:
+//
+//   CLA_FAULT_READ_ERRNO=EIO|EINTR|<number>
+//       fail injected trace reads with this errno (enables injection)
+//   CLA_FAULT_READ_EVERY=K          fail every K-th eligible read call
+//                                   (default 1 = every call)
+//   CLA_FAULT_READ_COUNT=M          stop after M injected failures
+//                                   (default 0 = persistent)
+//   CLA_FAULT_SHORT_READ=B          cap every successful read at B bytes
+//                                   (exercises short-read continuation)
+//
 // The knobs are parsed once by init() (called from the Recorder and
 // ChunkedTraceWriter constructors — getenv is not async-signal-safe, the
 // probes below are). After init, on_write()/on_event()/flusher_stall_ms()
@@ -54,6 +66,19 @@ bool enabled() noexcept;
 /// Consults the write-fault knobs for an attempt of `bytes` bytes and
 /// advances the injection counters. Async-signal-safe after init().
 WriteFault on_write(std::size_t bytes) noexcept;
+
+/// Verdict for one read attempt (mirrors WriteFault).
+struct ReadFault {
+  bool fail = false;  ///< fail the attempt with `error` instead of reading
+  int error = 0;      ///< errno to report when `fail`
+  /// Cap on the bytes the attempt may return (short-read clamp);
+  /// SIZE_MAX when unconstrained.
+  std::size_t max_bytes = static_cast<std::size_t>(-1);
+};
+
+/// Consults the read-fault knobs for an attempt of `bytes` bytes and
+/// advances the injection counters. Async-signal-safe after init().
+ReadFault on_read(std::size_t bytes) noexcept;
 
 /// Milliseconds each flusher sweep must stall (0 = no stall).
 std::uint32_t flusher_stall_ms() noexcept;

@@ -1,0 +1,232 @@
+// Ring-retention golden tests (always-on mode): a ChunkedTraceWriter
+// with CLA_TRACE_MAX_BYTES-style cap must (a) keep the on-disk file
+// bounded, (b) retire only the *oldest complete* event chunks, counted
+// as loss, (c) leave every point-in-time snapshot salvageable, and
+// (d) analyze to the same per-lock CP shares as an unrotated trace of
+// the surviving suffix — at 1, 2 and 8 analysis workers.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cla/analysis/pipeline.hpp"
+#include "cla/trace/salvage.hpp"
+#include "cla/trace/trace.hpp"
+#include "cla/trace/trace_io.hpp"
+#include "cla/util/diagnostics.hpp"
+
+namespace {
+
+using cla::analysis::AnalysisResult;
+using cla::trace::ChunkedTraceWriter;
+using cla::trace::Event;
+using cla::trace::EventType;
+using cla::trace::ThreadId;
+
+constexpr std::uint64_t kLockA = 0x1000;
+constexpr std::uint64_t kLockB = 0x2000;
+
+/// One batch of a structurally complete single-thread stream: the
+/// ThreadStart/ThreadExit markers live in the first/last batch only, so
+/// concatenating all batches yields one valid stream and any suffix is a
+/// torn stream the repair engine must mend (exactly what ring retention
+/// produces).
+std::vector<Event> batch_events(ThreadId tid, int batch, int batches,
+                                std::size_t pairs) {
+  std::vector<Event> events;
+  std::uint64_t ts = 1'000'000ull * (batch + 1) + 100 * (tid + 1);
+  const auto add = [&](EventType type, std::uint64_t object,
+                       std::uint64_t arg) {
+    events.push_back(Event{ts++, object, arg, type, 0, tid});
+  };
+  if (batch == 0) {
+    add(EventType::ThreadStart, cla::trace::kNoObject, cla::trace::kNoArg);
+  }
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const std::uint64_t lock = (i % 3 == 0) ? kLockB : kLockA;
+    add(EventType::MutexAcquire, lock, cla::trace::kNoArg);
+    add(EventType::MutexAcquired, lock, 0);
+    ts += (lock == kLockB) ? 40 : 10;  // LockB holds longer
+    add(EventType::MutexReleased, lock, cla::trace::kNoArg);
+  }
+  if (batch == batches - 1) {
+    add(EventType::ThreadExit, cla::trace::kNoObject, cla::trace::kNoArg);
+  }
+  return events;
+}
+
+AnalysisResult analyze_repair(const std::string& path, int workers) {
+  cla::analysis::Options options;
+  options.strictness = cla::util::Strictness::Repair;
+  options.execution.num_threads = workers;
+  options.load.salvage = true;
+  cla::analysis::Pipeline pipeline(options);
+  pipeline.load_file(path);
+  return pipeline.result();
+}
+
+AnalysisResult analyze_repair(const cla::trace::Trace& trace, int workers) {
+  cla::analysis::Options options;
+  options.strictness = cla::util::Strictness::Repair;
+  options.execution.num_threads = workers;
+  cla::analysis::Pipeline pipeline(options);
+  pipeline.use_trace(trace);
+  return pipeline.result();
+}
+
+class RingRetentionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("cla_ring_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter_++) + ".clat"))
+                .string();
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+  static int counter_;
+};
+
+int RingRetentionTest::counter_ = 0;
+
+TEST_F(RingRetentionTest, BoundsDiskAndRetiresOldestChunksAsCountedLoss) {
+  const std::uint64_t ring = ChunkedTraceWriter::kMinRingBytes;  // 256 KiB
+  std::vector<Event> all;
+  std::uint64_t retired = 0;
+  std::uint64_t compactions = 0;
+  const int kBatches = 48;
+  const std::size_t kPairs = 170;  // ~512 events * 32 B = 16 KiB per chunk
+  {
+    ChunkedTraceWriter writer(path_, cla::trace::kTraceVersion, ring);
+    ASSERT_TRUE(writer.ok());
+    writer.write_object_name(kLockA, "lock_a");
+    writer.write_object_name(kLockB, "lock_b");
+    std::uint64_t max_size = 0;
+    for (int b = 0; b < kBatches; ++b) {
+      const std::vector<Event> events = batch_events(0, b, kBatches, kPairs);
+      ASSERT_EQ(writer.write_events(0, events.data(), events.size()),
+                events.size());
+      all.insert(all.end(), events.begin(), events.end());
+      max_size = std::max(
+          max_size,
+          std::uint64_t(std::filesystem::file_size(path_)));
+    }
+    retired = writer.ring_retired_events();
+    compactions = writer.ring_compactions();
+    EXPECT_GT(compactions, 0u);
+    EXPECT_GT(retired, 0u);
+    // The bound: compaction fires as soon as an append crosses the cap,
+    // so the file never grows past cap + one chunk (+ reserved region).
+    EXPECT_LE(max_size, ring + 32 * 1024);
+    // The recorder folds retired events into the Meta dropped count —
+    // mirror that here, exactly like Recorder::finish_streaming does.
+    writer.write_meta(retired, /*clean_close=*/true);
+    writer.close();
+  }
+
+  // The survivor must be a strict reader-loadable file whose events are
+  // a contiguous SUFFIX of the original stream (oldest chunks retired,
+  // never newest, never from the middle).
+  const cla::trace::Trace kept = cla::trace::read_trace_file(path_);
+  ASSERT_EQ(kept.event_count() + retired, all.size());
+  EXPECT_EQ(kept.dropped_events(), retired);
+  const auto survivors = kept.thread_events(0);
+  ASSERT_FALSE(survivors.empty());
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    EXPECT_EQ(survivors[i].ts, all[retired + i].ts) << "at survivor " << i;
+    EXPECT_EQ(survivors[i].object, all[retired + i].object);
+  }
+  // Names survive compaction (name chunks are never retired).
+  EXPECT_EQ(kept.object_names().at(kLockA), "lock_a");
+  EXPECT_EQ(kept.object_names().at(kLockB), "lock_b");
+}
+
+TEST_F(RingRetentionTest, RotatedTraceMatchesUnrotatedSuffixAtAllWorkerCounts) {
+  const std::uint64_t ring = ChunkedTraceWriter::kMinRingBytes;
+  std::vector<Event> all;
+  std::uint64_t retired = 0;
+  const int kBatches = 40;
+  const std::size_t kPairs = 170;
+  {
+    ChunkedTraceWriter writer(path_, cla::trace::kTraceVersion, ring);
+    ASSERT_TRUE(writer.ok());
+    writer.write_object_name(kLockA, "lock_a");
+    writer.write_object_name(kLockB, "lock_b");
+    for (int b = 0; b < kBatches; ++b) {
+      const std::vector<Event> events = batch_events(0, b, kBatches, kPairs);
+      ASSERT_EQ(writer.write_events(0, events.data(), events.size()),
+                events.size());
+      all.insert(all.end(), events.begin(), events.end());
+    }
+    retired = writer.ring_retired_events();
+    ASSERT_GT(retired, 0u);
+    writer.write_meta(retired, true);
+    writer.close();
+  }
+
+  // Reference: an in-memory trace holding exactly the surviving suffix
+  // with the same counted loss, analyzed without any file round-trip.
+  cla::trace::Trace reference;
+  reference.add_thread_stream(
+      0, std::vector<Event>(all.begin() + retired, all.end()));
+  reference.set_object_name(kLockA, "lock_a");
+  reference.set_object_name(kLockB, "lock_b");
+  reference.set_dropped_events(retired);
+
+  for (const int workers : {1, 2, 8}) {
+    const AnalysisResult from_ring = analyze_repair(path_, workers);
+    const AnalysisResult from_suffix = analyze_repair(reference, workers);
+    ASSERT_EQ(from_ring.locks.size(), from_suffix.locks.size())
+        << "workers=" << workers;
+    EXPECT_EQ(from_ring.completion_time, from_suffix.completion_time)
+        << "workers=" << workers;
+    for (std::size_t i = 0; i < from_ring.locks.size(); ++i) {
+      const auto& a = from_ring.locks[i];
+      const auto& b = from_suffix.locks[i];
+      EXPECT_EQ(a.name, b.name) << "workers=" << workers << " rank " << i;
+      EXPECT_EQ(a.cp_hold_time, b.cp_hold_time)
+          << "workers=" << workers << " lock " << a.name;
+      EXPECT_EQ(a.cp_invocations, b.cp_invocations)
+          << "workers=" << workers << " lock " << a.name;
+      EXPECT_DOUBLE_EQ(a.cp_time_fraction, b.cp_time_fraction)
+          << "workers=" << workers << " lock " << a.name;
+      EXPECT_EQ(a.total_wait, b.total_wait)
+          << "workers=" << workers << " lock " << a.name;
+      EXPECT_EQ(a.total_hold, b.total_hold)
+          << "workers=" << workers << " lock " << a.name;
+    }
+  }
+}
+
+TEST_F(RingRetentionTest, MidStreamSnapshotSalvagesCleanly) {
+  // Ring mode's atomic rename guarantee: copying the path at ANY moment
+  // yields either the old or the new complete file. Simulate the
+  // snapshot a monitor's final report takes after a writer SIGKILL: no
+  // clean close, compactions have happened, salvage must still recover.
+  const std::uint64_t ring = ChunkedTraceWriter::kMinRingBytes;
+  const int kBatches = 40;
+  const std::size_t kPairs = 170;
+  ChunkedTraceWriter writer(path_, cla::trace::kTraceVersion, ring);
+  for (int b = 0; b < kBatches; ++b) {
+    const std::vector<Event> events = batch_events(0, b, kBatches, kPairs);
+    ASSERT_EQ(writer.write_events(0, events.data(), events.size()),
+              events.size());
+  }
+  ASSERT_GT(writer.ring_compactions(), 0u);
+  // No write_meta, no close: the "writer died" snapshot.
+
+  const cla::trace::SalvageResult salvaged =
+      cla::trace::salvage_trace_file(path_);
+  EXPECT_GT(salvaged.report.events_recovered, 0u);
+  EXPECT_EQ(salvaged.report.bytes_dropped, 0u);  // every chunk is intact
+  writer.close();
+}
+
+}  // namespace

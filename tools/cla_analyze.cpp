@@ -293,6 +293,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: %s\n", prog, e.what());
     print_usage(stderr, prog);
     return 2;
+  } catch (const cla::util::TraceIoError& e) {
+    // Stable shape for tooling: the trace vanished or turned unreadable
+    // mid-analysis (unlinked under us, ENOENT, EIO...).
+    std::fprintf(stderr, "cla-analyze: [%s] %s\n",
+                 std::string(cla::util::to_string(
+                                 cla::util::DiagCode::CLA_E_TRACE_IO))
+                     .c_str(),
+                 e.what());
+    return 1;
   } catch (const cla::util::ResourceLimitError& e) {
     std::fprintf(stderr, "cla-analyze: resource limit: %s\n", e.what());
     return 4;

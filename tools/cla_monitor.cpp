@@ -1,0 +1,325 @@
+// cla-monitor: supervised always-on daemon over live `.clat` traces.
+//
+//   cla-monitor trace.clat [more.clat...] [--http PORT] [--socket PATH]
+//
+// Tails each trace as it is written (torn tails are "not yet", not
+// errors), feeds complete chunks to an incremental analyzer, and serves
+// the rolling CP-Time lock rankings as a JSON document over a local HTTP
+// endpoint and/or a unix socket. Degradation ladder (see
+// cla/analysis/monitor.hpp): writer death -> salvage what landed and emit
+// a final report; rotation -> reset that source's window and keep going;
+// analysis budget breach -> shed the window; I/O errors -> retry with
+// backoff. The daemon only ever exits on its own terms:
+//   0  all sources closed cleanly, no counted loss
+//   1  internal error (cannot bind the socket, bad trace path...)
+//   2  usage error
+//   3  finished with counted loss (drops, ring retirement, corrupt bytes
+//      resynced over, rotations, shed windows)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cla/analysis/monitor.hpp"
+#include "cla/util/args.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+// Minimal local responder: every accepted connection receives the current
+// JSON document and is closed. The HTTP listener speaks just enough
+// HTTP/1.0 for `curl localhost:PORT`; the unix socket sends the raw JSON.
+// One background thread multiplexes both listeners with poll(), so a
+// stalled client can only delay other clients, never the monitor loop.
+class RankingServer {
+ public:
+  ~RankingServer() { stop(); }
+
+  bool listen_http(std::uint16_t port, std::string& error) {
+    http_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (http_fd_ < 0) {
+      error = std::strerror(errno);
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(http_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(http_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+        ::listen(http_fd_, 16) < 0) {
+      error = std::strerror(errno);
+      ::close(http_fd_);
+      http_fd_ = -1;
+      return false;
+    }
+    return true;
+  }
+
+  bool listen_unix(const std::string& path, std::string& error) {
+    sockaddr_un addr{};
+    if (path.size() >= sizeof addr.sun_path) {
+      error = "socket path too long";
+      return false;
+    }
+    ::unlink(path.c_str());
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (unix_fd_ < 0) {
+      error = std::strerror(errno);
+      return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+        ::listen(unix_fd_, 16) < 0) {
+      error = std::strerror(errno);
+      ::close(unix_fd_);
+      unix_fd_ = -1;
+      return false;
+    }
+    unix_path_ = path;
+    return true;
+  }
+
+  bool active() const noexcept { return http_fd_ >= 0 || unix_fd_ >= 0; }
+
+  void set_json(std::string json) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    json_ = std::move(json);
+  }
+
+  void start() {
+    if (!active()) return;
+    thread_ = std::thread([this] { serve(); });
+  }
+
+  void stop() {
+    stopping_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+    if (http_fd_ >= 0) ::close(http_fd_);
+    if (unix_fd_ >= 0) ::close(unix_fd_);
+    http_fd_ = unix_fd_ = -1;
+    if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+
+ private:
+  void serve() {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      pollfd fds[2];
+      nfds_t n = 0;
+      if (http_fd_ >= 0) fds[n++] = {http_fd_, POLLIN, 0};
+      if (unix_fd_ >= 0) fds[n++] = {unix_fd_, POLLIN, 0};
+      const int ready = ::poll(fds, n, 100);
+      if (ready <= 0) continue;
+      for (nfds_t i = 0; i < n; ++i) {
+        if ((fds[i].revents & POLLIN) == 0) continue;
+        const int client = ::accept(fds[i].fd, nullptr, nullptr);
+        if (client < 0) continue;
+        respond(client, fds[i].fd == http_fd_);
+        ::close(client);
+      }
+    }
+  }
+
+  void respond(int client, bool http) {
+    std::string body;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      body = json_;
+    }
+    std::string out;
+    if (http) {
+      // Drain whatever request line arrived; the response is the same
+      // for every path.
+      char buf[1024];
+      (void)::recv(client, buf, sizeof buf, MSG_DONTWAIT);
+      out = "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\n"
+            "Content-Length: " +
+            std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
+    }
+    out += body;
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t w = ::send(client, out.data() + sent, out.size() - sent,
+                               MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        break;  // client went away; its problem, not ours
+      }
+      sent += static_cast<std::size_t>(w);
+    }
+  }
+
+  int http_fd_ = -1;
+  int unix_fd_ = -1;
+  std::string unix_path_;
+  std::mutex mutex_;
+  std::string json_ = "{\"schema\":1,\"sources\":[]}";
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+void print_usage(std::ostream& out) {
+  out << "usage: cla-monitor TRACE.clat [TRACE2.clat ...] [options]\n"
+         "\n"
+         "Tail live .clat traces, analyze incrementally, serve rolling\n"
+         "CP-Time lock rankings as JSON.\n"
+         "\n"
+         "  --http PORT          serve HTTP/1.0 on 127.0.0.1:PORT\n"
+         "  --socket PATH        serve raw JSON per connection on a unix socket\n"
+         "  --interval-ms N      ranking refresh interval (default 200)\n"
+         "  --top N              locks reported per source (default 10)\n"
+         "  --duration-ms N      stop after N ms (default: until writers finish)\n"
+         "  --exit-on-idle-ms N  stop after N ms without progress (default 0 = never)\n"
+         "  --deadline-ms N      per-refresh analysis budget; a breach sheds\n"
+         "                       the window instead of stalling (default 0)\n"
+         "  --poll-deadline-ms N per-poll tail-read budget (default 0)\n"
+         "  --json-out FILE      write the final ranking JSON to FILE\n"
+         "  --version            print version and exit\n"
+         "\n"
+         "exit: 0 clean, 1 error, 2 usage, 3 finished with counted loss\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::uint16_t http_port = 0;
+  std::string socket_path;
+  std::int64_t interval_ms = 200;
+  std::int64_t duration_ms = 0;
+  std::int64_t exit_on_idle_ms = 0;
+  std::string json_out;
+  cla::analysis::MonitorCore::Options options;
+  std::vector<std::string> paths;
+
+  try {
+    cla::util::Args args(argc, argv,
+                         {"http", "socket", "interval-ms", "top", "duration-ms",
+                          "exit-on-idle-ms", "deadline-ms", "poll-deadline-ms",
+                          "json-out", "help", "version"});
+    if (args.has("help")) {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (args.has("version")) {
+      std::cout << "cla-monitor " << CLA_VERSION_STRING << "\n";
+      return 0;
+    }
+    paths = args.positional();
+    if (paths.empty()) {
+      throw cla::util::ArgsError("at least one trace path is required");
+    }
+    const std::int64_t port = args.get_int("http", 0);
+    if (port < 0 || port > 65535) {
+      throw cla::util::ArgsError("--http expects a port in [1, 65535]");
+    }
+    http_port = static_cast<std::uint16_t>(port);
+    socket_path = args.get_or("socket", "");
+    interval_ms = args.get_int("interval-ms", 200);
+    duration_ms = args.get_int("duration-ms", 0);
+    exit_on_idle_ms = args.get_int("exit-on-idle-ms", 0);
+    json_out = args.get_or("json-out", "");
+    const std::int64_t top = args.get_int("top", 10);
+    const std::int64_t deadline = args.get_int("deadline-ms", 0);
+    const std::int64_t poll_deadline = args.get_int("poll-deadline-ms", 0);
+    if (interval_ms < 0 || duration_ms < 0 || exit_on_idle_ms < 0 || top < 0 ||
+        deadline < 0 || poll_deadline < 0) {
+      throw cla::util::ArgsError("negative values are not accepted");
+    }
+    options.top = static_cast<std::size_t>(top);
+    options.analysis.limits.deadline_ms = static_cast<std::uint64_t>(deadline);
+    options.tailer.poll_deadline_ms = static_cast<std::uint64_t>(poll_deadline);
+  } catch (const cla::util::ArgsError& e) {
+    std::cerr << "cla-monitor: " << e.what() << "\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  RankingServer server;
+  if (http_port != 0 || !socket_path.empty()) {
+    std::string error;
+    if (http_port != 0 && !server.listen_http(http_port, error)) {
+      std::cerr << "cla-monitor: cannot listen on 127.0.0.1:" << http_port
+                << ": " << error << "\n";
+      return 1;
+    }
+    if (!socket_path.empty() && !server.listen_unix(socket_path, error)) {
+      std::cerr << "cla-monitor: cannot listen on " << socket_path << ": "
+                << error << "\n";
+      return 1;
+    }
+    server.start();
+  }
+
+  cla::analysis::MonitorCore core(paths, options);
+  const auto start = Clock::now();
+  auto last_refresh = start;
+  auto last_progress = start;
+  bool ever_refreshed = false;
+
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    const bool progress = core.step();
+    const auto now = Clock::now();
+    if (progress) last_progress = now;
+    const auto ms_since = [&](Clock::time_point t) {
+      return std::chrono::duration_cast<std::chrono::milliseconds>(now - t)
+          .count();
+    };
+    if (progress || !ever_refreshed || ms_since(last_refresh) >= interval_ms) {
+      server.set_json(core.ranking_json());
+      last_refresh = now;
+      ever_refreshed = true;
+    }
+    if (duration_ms > 0 && ms_since(start) >= duration_ms) break;
+    if (core.all_finished()) break;
+    if (exit_on_idle_ms > 0 && ms_since(last_progress) >= exit_on_idle_ms) {
+      break;
+    }
+    const std::uint32_t backoff = core.suggested_backoff_ms();
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::min<std::int64_t>(backoff == 0 ? 1 : backoff, interval_ms > 0
+                                                               ? interval_ms
+                                                               : 200)));
+  }
+
+  // Final sweep: drain whatever completed after the last poll, then emit
+  // the final report everywhere it is expected.
+  core.step();
+  const std::string final_json = core.ranking_json();
+  server.set_json(final_json);
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::trunc);
+    out << final_json << "\n";
+    if (!out) {
+      std::cerr << "cla-monitor: cannot write " << json_out << "\n";
+    }
+  }
+  std::cout << final_json << std::endl;
+  server.stop();
+  return core.lossy() ? 3 : 0;
+}

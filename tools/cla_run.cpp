@@ -71,6 +71,8 @@ void print_usage(const char* prog, std::FILE* out = stdout) {
       "  --preload LIB     LD_PRELOAD library injected into the child\n"
       "                    (default: keep the inherited environment)\n"
       "  --buffer-events N per-thread stream buffer size for the child\n"
+      "  --ring-bytes N    cap the child's trace file at N bytes; the\n"
+      "                    oldest chunks are retired as counted loss\n"
       "  --timeout-ms N    SIGKILL the child after N ms (0 = no timeout)\n"
       "  --retries N       re-run a crashed or timed-out child up to N times\n"
       "  --backoff-ms N    initial retry backoff, doubled per attempt\n"
@@ -101,6 +103,7 @@ struct SuperviseConfig {
   std::string preload;
   std::string format;
   std::int64_t buffer_events = 0;
+  std::int64_t ring_bytes = 0;
   std::int64_t timeout_ms = 0;
   std::int64_t retries = 0;
   std::int64_t backoff_ms = 200;
@@ -124,6 +127,10 @@ ChildOutcome run_child_once(char* const* child_argv,
     if (config.buffer_events > 0) {
       ::setenv("CLA_BUFFER_EVENTS",
                std::to_string(config.buffer_events).c_str(), 1);
+    }
+    if (config.ring_bytes > 0) {
+      ::setenv("CLA_TRACE_MAX_BYTES",
+               std::to_string(config.ring_bytes).c_str(), 1);
     }
     if (!config.preload.empty()) {
       ::setenv("LD_PRELOAD", config.preload.c_str(), 1);
@@ -194,7 +201,8 @@ int run_supervised(int exec_index, int /*argc*/, char** argv,
                    char* const* child_argv, int child_argc) {
   cla::util::Args args(exec_index, argv,
                        {"trace", "preload", "format", "buffer-events",
-                        "timeout-ms", "retries", "backoff-ms", "help"});
+                        "ring-bytes", "timeout-ms", "retries", "backoff-ms",
+                        "help"});
   if (args.has("help")) {
     print_usage(argv[0]);
     return 0;
@@ -212,6 +220,10 @@ int run_supervised(int exec_index, int /*argc*/, char** argv,
   config.preload = args.get_or("preload", "");
   config.format = args.get_or("format", "");
   config.buffer_events = args.get_int("buffer-events", 0);
+  config.ring_bytes = args.get_int("ring-bytes", 0);
+  if (config.ring_bytes < 0) {
+    throw cla::util::ArgsError("--ring-bytes must be non-negative");
+  }
   config.timeout_ms = args.get_int("timeout-ms", 0);
   config.retries = args.get_int("retries", 0);
   config.backoff_ms = args.get_int("backoff-ms", 200);

@@ -1,0 +1,96 @@
+// Cross-run merging and differential regression detection.
+//
+// merge_records() folds any set of RunRecords — many runs, many hosts,
+// monitor window snapshots, imported JSON summaries — into one
+// MergedReport: integer totals are summed (after merge_duplicates()
+// dedup), fractions are derived from the sums, and locks are ranked by
+// their merged CP share. Because dedup and summation are commutative and
+// associative and the final sort has a total order, the report (and its
+// renderings) are byte-identical for every ingest order.
+//
+// diff_reports() compares a current report against a baseline and emits
+// RegressionAlerts per lock/metric when the regression clears both an
+// absolute and a relative threshold (both must trip, so tiny fractions
+// cannot alert on relative noise and large fractions cannot hide behind
+// the absolute floor). `cla-agg diff` exits 4 when any alert fires.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cla/agg/record.hpp"
+
+namespace cla::agg {
+
+/// One lock aggregated across every merged run.
+struct MergedLock {
+  std::string name;
+  std::uint64_t runs = 0;  ///< runs in which the lock appears
+  LockAgg totals;          ///< integer sums across those runs
+  // Derived from the sums (not averaged per run — runs with more work
+  // weigh more, matching the paper's whole-execution CP share):
+  double cp_share = 0;       ///< Σcp_hold_ns / Σwall_ns
+  double cp_contention = 0;  ///< Σcp_contended / Σcp_invocations
+  double contention = 0;     ///< Σcontended / Σinvocations
+  double wait_share = 0;     ///< Σwait_ns / Σ(wall_ns · worker_threads)
+};
+
+/// Deterministic cross-run aggregate of a record set.
+struct MergedReport {
+  std::uint64_t runs = 0;
+  std::uint64_t wall_ns = 0;        ///< Σ critical-path (completion) time
+  std::uint64_t thread_ns = 0;      ///< Σ wall_ns · worker_threads
+  std::uint64_t events = 0;         ///< Σ events analyzed
+  std::uint64_t dropped_events = 0; ///< Σ writer-side counted loss
+  std::uint64_t skipped_bytes = 0;
+  std::uint64_t windows_shed = 0;
+  std::uint64_t rotations = 0;
+  std::vector<std::string> hosts;   ///< sorted unique origin hosts
+  std::vector<std::string> labels;  ///< sorted unique labels
+  std::vector<MergedLock> locks;    ///< by cp_share desc, then name
+};
+
+/// Dedups (merge_duplicates) and folds `records` into one report.
+MergedReport merge_records(std::vector<RunRecord> records);
+
+/// The subset of `records` carrying `label` (used by diff baselines).
+std::vector<RunRecord> filter_label(const std::vector<RunRecord>& records,
+                                    const std::string& label);
+
+/// Human-readable ranking table (deterministic formatting).
+std::string merged_report_text(const MergedReport& report);
+
+/// Machine-readable rendering (deterministic formatting; schema 1).
+std::string merged_report_json(const MergedReport& report);
+
+/// Regression gates. A metric alerts only when the increase clears BOTH
+/// its absolute floor and the relative factor.
+struct DiffThresholds {
+  double relative = 0.10;        ///< current > baseline * (1 + relative)
+  double cp_share_abs = 0.01;    ///< CP-share increase floor (fraction)
+  double contention_abs = 0.05;  ///< contention-probability increase floor
+};
+
+/// One lock/metric pair that regressed past the thresholds.
+struct RegressionAlert {
+  std::string lock;
+  std::string metric;  ///< "cp_share" | "contention" | "new_lock"
+  double baseline = 0;
+  double current = 0;
+};
+
+/// Baseline-vs-current comparison.
+struct DiffResult {
+  std::vector<RegressionAlert> alerts;  ///< by lock, then metric
+  std::vector<std::string> notes;       ///< non-alerting observations
+};
+
+DiffResult diff_reports(const MergedReport& baseline,
+                        const MergedReport& current,
+                        const DiffThresholds& thresholds);
+
+std::string diff_text(const DiffResult& diff);
+std::string diff_json(const DiffResult& diff);
+
+}  // namespace cla::agg

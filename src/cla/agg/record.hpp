@@ -1,0 +1,126 @@
+// Cross-run aggregation records (the unit the `cla::agg` store persists).
+//
+// One RunRecord summarizes one analyzed run (or one cla-monitor window
+// snapshot) of one process on one host: identity (run_id, host, label,
+// window sequence), run-level totals, the loss counters that make the
+// summary a lower bound, and the per-lock statistics the paper's CP-Time
+// metric ranks. Records are schema-versioned (kRunRecordSchema tracks the
+// `--report json` schema) so stores ingest summaries produced by older
+// and newer binaries alike.
+//
+// The binary payload codec here carries no framing: the store wraps each
+// encoded payload in the same magic/kind/size/CRC record frame the `.clat`
+// chunk format uses (see store.hpp), so torn and corrupt records are
+// detected the same way torn trace chunks are.
+//
+// Identity and dedup: (run_id, seq) is the dedup key. Ingest is
+// at-least-once — cla-monitor re-flushes cumulative window snapshots, a
+// retried CI step re-ingests a JSON file — so duplicates are expected and
+// resolved by merge_duplicates(): the "largest" record per key wins
+// (most events, then most locks, then lexicographically largest payload),
+// a commutative, associative rule that makes every downstream report
+// byte-identical regardless of ingest order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cla::analysis {
+struct AnalysisResult;
+}
+
+namespace cla::agg {
+
+/// Schema of the run-summary payload; matches the versioned
+/// `cla-analyze --report json` schema so cross-host JSON ingest and the
+/// binary store describe the same shape.
+inline constexpr std::uint32_t kRunRecordSchema = 2;
+
+/// Per-lock aggregate inside one run summary. Integer totals only:
+/// fractions (CP share, contention probability) are derived at merge
+/// time, so sums across runs stay exact and order-independent.
+struct LockAgg {
+  std::string name;
+  std::uint64_t cp_hold_ns = 0;      ///< hot-CS ns on the critical path
+  std::uint64_t cp_invocations = 0;  ///< critical sections on the path
+  std::uint64_t cp_contended = 0;    ///< of those, contended
+  std::uint64_t invocations = 0;     ///< total acquisitions, all threads
+  std::uint64_t contended = 0;       ///< of those, contended
+  std::uint64_t wait_ns = 0;         ///< total acquisition wait
+  std::uint64_t hold_ns = 0;         ///< total hold time
+
+  bool operator==(const LockAgg&) const = default;
+};
+
+/// One run (or monitor-window) summary — the aggregation store's record.
+struct RunRecord {
+  std::uint32_t schema = kRunRecordSchema;
+  std::string run_id;  ///< unique per run; dedup key with `seq`
+  std::string host;    ///< origin host (informational)
+  std::string label;   ///< release/build tag; `cla-agg diff --baseline` key
+  /// Window sequence for periodic monitor flushes (the source's rotation
+  /// generation): each flush of the same window supersedes the previous
+  /// one through dedup. 0 for one-shot `cla-analyze` summaries.
+  std::uint64_t seq = 0;
+  std::uint64_t wall_ns = 0;  ///< completion time (critical-path length)
+  std::uint32_t worker_threads = 0;
+  std::uint64_t events = 0;          ///< events analyzed (0 if unknown)
+  std::uint64_t dropped_events = 0;  ///< writer-side counted loss
+  std::uint64_t skipped_bytes = 0;   ///< corrupt trace bytes resynced over
+  std::uint64_t windows_shed = 0;    ///< monitor budget-breach resets
+  std::uint64_t rotations = 0;       ///< trace rotations observed
+  std::vector<LockAgg> locks;
+
+  bool operator==(const RunRecord&) const = default;
+};
+
+/// Serializes `record` into the store's binary payload (no framing).
+std::string encode_run_record(const RunRecord& record);
+
+/// Decodes a payload produced by encode_run_record (or a newer writer:
+/// unknown trailing fields of a higher same-major schema are ignored).
+/// False on truncation, implausible counts, or trailing garbage.
+bool decode_run_record(const void* payload, std::size_t bytes,
+                       RunRecord& out);
+
+/// Identity metadata for building a record from an analysis result.
+struct RunMeta {
+  std::string run_id;
+  std::string host;
+  std::string label;
+  std::uint64_t seq = 0;
+  std::uint64_t events = 0;
+  std::uint64_t dropped_events = 0;
+  std::uint64_t skipped_bytes = 0;
+  std::uint64_t windows_shed = 0;
+  std::uint64_t rotations = 0;
+};
+
+/// Builds a RunRecord from a finished analysis (every lock, by CP rank).
+RunRecord make_run_record(const analysis::AnalysisResult& result,
+                          const RunMeta& meta);
+
+/// Parses a `cla-analyze --json` report (schema 2) produced on any host
+/// into a RunRecord. Identity fields come from `meta` (the JSON itself
+/// carries none). Integer totals absent from the report (wait/hold ns,
+/// invocation counts) are reconstructed from its published fractions and
+/// averages — exact where the report is exact, rounded otherwise. False
+/// with `error` set on malformed JSON or an unsupported schema.
+bool parse_report_json(const std::string& text, const RunMeta& meta,
+                       RunRecord& out, std::string& error);
+
+/// Renders one record as a JSON object (used by `cla-agg report --json`
+/// record dumps and tests; deterministic formatting).
+std::string run_record_json(const RunRecord& record);
+
+/// Applies the dedup rule: one record per (run_id, seq), the "largest"
+/// duplicate winning (events, then lock count, then encoded payload).
+/// Output is sorted by (run_id, seq) — byte-identical results for every
+/// input permutation.
+std::vector<RunRecord> merge_duplicates(std::vector<RunRecord> records);
+
+/// This machine's hostname ("unknown" if it cannot be determined).
+std::string local_host();
+
+}  // namespace cla::agg

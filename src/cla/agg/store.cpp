@@ -1,0 +1,551 @@
+#include "cla/agg/store.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "cla/util/crc32.hpp"
+#include "cla/util/error.hpp"
+#include "cla/util/faultinject.hpp"
+
+namespace cla::agg {
+
+namespace {
+
+constexpr char kStoreMagic[4] = {'C', 'L', 'A', 'G'};
+constexpr char kRecordMagic[4] = {'C', 'L', 'A', 'R'};
+constexpr std::uint32_t kStoreVersion = 1;
+
+enum RecordKind : std::uint32_t {
+  kKindStoreMeta = 1,
+  kKindRunSummary = 2,
+};
+
+constexpr std::size_t kRecordHeaderBytes = 16;
+// Five used counters plus reserved zeros; fixed size keeps the StoreMeta
+// record rewritable in place (no allocation on a full disk).
+constexpr std::size_t kMetaPayloadBytes = 64;
+constexpr std::uint64_t kMetaOffset = 8;
+constexpr std::uint64_t kFirstAppendOffset =
+    kMetaOffset + kRecordHeaderBytes + kMetaPayloadBytes;
+// A frame whose payload length claims more than this is corruption, not a
+// large record (a whole run summary is a few KB per thousand locks).
+constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+
+// Same retry ladder as the trace writer: wait out ENOSPC-class errors
+// with bounded exponential backoff, give up on anything permanent.
+constexpr unsigned kMaxTransientRetries = 8;
+constexpr std::uint64_t kInitialBackoffNs = 500'000;
+constexpr std::uint64_t kMaxBackoffNs = 64'000'000;
+
+bool transient_io_errno(int err) noexcept {
+  return err == ENOSPC || err == EAGAIN || err == EWOULDBLOCK ||
+         err == EDQUOT || err == EIO;
+}
+
+void backoff_sleep(std::uint64_t ns) noexcept {
+  struct timespec ts{static_cast<time_t>(ns / 1'000'000'000),
+                     static_cast<long>(ns % 1'000'000'000)};
+  ::nanosleep(&ts, nullptr);
+}
+
+void put_u32(unsigned char* out, std::uint32_t v) { std::memcpy(out, &v, 4); }
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+void put_u64(unsigned char* out, std::uint64_t v) { std::memcpy(out, &v, 8); }
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+// Renders "CLAR" | kind | payload_bytes | crc | payload into `out`.
+void render_record(std::string& out, std::uint32_t kind, const void* payload,
+                   std::size_t payload_bytes) {
+  unsigned char header[kRecordHeaderBytes];
+  std::memcpy(header, kRecordMagic, 4);
+  put_u32(header + 4, kind);
+  put_u32(header + 8, static_cast<std::uint32_t>(payload_bytes));
+  put_u32(header + 12, util::crc32(payload, payload_bytes));
+  out.append(reinterpret_cast<const char*>(header), sizeof header);
+  out.append(static_cast<const char*>(payload), payload_bytes);
+}
+
+void render_meta_payload(unsigned char* out, const StoreLoss& loss) {
+  std::memset(out, 0, kMetaPayloadBytes);
+  put_u64(out + 0, loss.truncated_records);
+  put_u64(out + 8, loss.truncated_bytes);
+  put_u64(out + 16, loss.skipped_bytes);
+  put_u64(out + 24, loss.failed_appends);
+  put_u64(out + 32, loss.meta_resets);
+}
+
+// Parsed view of one frame inside the scan buffer.
+struct Frame {
+  std::uint32_t kind = 0;
+  std::uint32_t payload_bytes = 0;
+  const unsigned char* payload = nullptr;
+  std::size_t total_bytes = 0;  ///< header + payload
+};
+
+// Validates the frame starting at buf[pos]; CRC-checked.
+bool parse_frame(const unsigned char* buf, std::size_t size, std::size_t pos,
+                 Frame& out) {
+  if (pos + kRecordHeaderBytes > size) return false;
+  const unsigned char* p = buf + pos;
+  if (std::memcmp(p, kRecordMagic, 4) != 0) return false;
+  out.kind = get_u32(p + 4);
+  out.payload_bytes = get_u32(p + 8);
+  if (out.payload_bytes > kMaxPayloadBytes) return false;
+  if (pos + kRecordHeaderBytes + out.payload_bytes > size) return false;
+  out.payload = p + kRecordHeaderBytes;
+  if (util::crc32(out.payload, out.payload_bytes) != get_u32(p + 12)) {
+    return false;
+  }
+  out.total_bytes = kRecordHeaderBytes + out.payload_bytes;
+  return true;
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+std::string AggStore::store_file(const std::string& dir) {
+  return dir + "/agg.claa";
+}
+
+AggStore::AggStore(const std::string& dir, Mode mode) : mode_(mode) {
+  util::fault::init();
+  path_ = store_file(dir);
+  if (mode_ == Mode::ReadWrite) {
+    // Best-effort: open() reports the real failure if this did not help.
+    ::mkdir(dir.c_str(), 0755);
+  }
+  open_locked(path_);
+  try {
+    if (mode_ == Mode::ReadWrite) {
+      // A .tmp here is a compaction the process died inside; the rename
+      // never happened, so it is garbage by construction.
+      ::unlink((path_ + ".tmp").c_str());
+    }
+    struct stat st{};
+    CLA_CHECK(::fstat(fd_, &st) == 0,
+              "cannot stat aggregation store: " + path_ + ": " +
+                  std::strerror(errno));
+    const auto size = static_cast<std::uint64_t>(st.st_size);
+
+    if (size < kFirstAppendOffset) {
+      // Empty file, or an initialization this process' predecessor died
+      // inside (no record can exist yet either way). Re-initialize in
+      // read-write mode; read-only mode just sees an empty store. A
+      // non-matching magic prefix means a foreign file — refuse.
+      unsigned char prefix[4] = {};
+      const std::size_t probe = std::min<std::uint64_t>(size, 4);
+      if (probe > 0) {
+        CLA_CHECK(robust_pread_all(prefix, probe, 0),
+                  "cannot read aggregation store: " + path_);
+        CLA_CHECK(std::memcmp(prefix, kStoreMagic, probe) == 0,
+                  path_ + " is not an aggregation store");
+      }
+      if (mode_ == Mode::ReadWrite) {
+        init_empty();
+      } else {
+        end_offset_ = size;
+      }
+      return;
+    }
+
+    unsigned char preamble[8];
+    CLA_CHECK(robust_pread_all(preamble, sizeof preamble, 0),
+              "cannot read aggregation store: " + path_);
+    CLA_CHECK(std::memcmp(preamble, kStoreMagic, 4) == 0,
+              path_ + " is not an aggregation store");
+    const std::uint32_t version = get_u32(preamble + 4);
+    CLA_CHECK(version == kStoreVersion,
+              path_ + ": unsupported aggregation store version " +
+                  std::to_string(version));
+
+    load_meta();
+    recovery_scan();
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+AggStore::~AggStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void AggStore::open_locked(const std::string& file) {
+  const int flags = (mode_ == Mode::ReadWrite ? O_RDWR | O_CREAT : O_RDONLY) |
+                    O_CLOEXEC;
+  const int lock_op = mode_ == Mode::ReadWrite ? LOCK_EX : LOCK_SH;
+  // Acquire-then-recheck loop: compaction replaces the store inode via
+  // rename, so a waiter that locked the pre-rename inode must notice the
+  // path moved on and start over.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const int fd = ::open(file.c_str(), flags, 0644);
+    if (fd < 0) {
+      if (mode_ == Mode::ReadOnly && errno == ENOENT) {
+        CLA_CHECK(false, "no aggregation store at " + file);
+      }
+      CLA_CHECK(false, "cannot open aggregation store: " + file + ": " +
+                           std::strerror(errno));
+    }
+    while (::flock(fd, lock_op) != 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      CLA_CHECK(false, "cannot lock aggregation store: " + file + ": " +
+                           std::strerror(err));
+    }
+    struct stat by_fd{}, by_path{};
+    if (::fstat(fd, &by_fd) == 0 && ::stat(file.c_str(), &by_path) == 0 &&
+        by_fd.st_dev == by_path.st_dev && by_fd.st_ino == by_path.st_ino) {
+      fd_ = fd;
+      return;
+    }
+    ::close(fd);  // renamed or unlinked underneath us; retry on the path
+  }
+  CLA_CHECK(false, "cannot obtain a stable lock on " + file);
+}
+
+void AggStore::init_empty() {
+  std::string image;
+  image.append(kStoreMagic, 4);
+  unsigned char version[4];
+  put_u32(version, kStoreVersion);
+  image.append(reinterpret_cast<const char*>(version), 4);
+  unsigned char meta[kMetaPayloadBytes];
+  render_meta_payload(meta, StoreLoss{});
+  render_record(image, kKindStoreMeta, meta, sizeof meta);
+  // Clear any torn previous initialization first so a failure below
+  // cannot leave stale bytes past what we rewrote.
+  while (::ftruncate(fd_, 0) != 0 && errno == EINTR) {
+  }
+  CLA_CHECK(robust_pwrite_all(fd_, image.data(), image.size(), 0, true),
+            "cannot initialize aggregation store: " + path_ + ": " +
+                std::strerror(errno));
+  end_offset_ = kFirstAppendOffset;
+}
+
+void AggStore::load_meta() {
+  unsigned char frame[kRecordHeaderBytes + kMetaPayloadBytes];
+  CLA_CHECK(robust_pread_all(frame, sizeof frame, kMetaOffset),
+            "cannot read aggregation store metadata: " + path_);
+  Frame parsed;
+  if (parse_frame(frame, sizeof frame, 0, parsed) &&
+      parsed.kind == kKindStoreMeta &&
+      parsed.payload_bytes == kMetaPayloadBytes) {
+    loss_.truncated_records = get_u64(parsed.payload + 0);
+    loss_.truncated_bytes = get_u64(parsed.payload + 8);
+    loss_.skipped_bytes = get_u64(parsed.payload + 16);
+    loss_.failed_appends = get_u64(parsed.payload + 24);
+    loss_.meta_resets = get_u64(parsed.payload + 32);
+    return;
+  }
+  // The loss ledger itself is unreadable. Restarting it from zero would
+  // silently forget real loss, so the reset is itself counted as loss
+  // and the store stays flagged lossy forever after.
+  loss_ = StoreLoss{};
+  loss_.meta_resets = 1;
+  note(util::DiagCode::CLA_W_AGG_META_RESET,
+       "store metadata record was unreadable; loss counters restarted");
+  if (mode_ == Mode::ReadWrite) write_meta();
+}
+
+void AggStore::write_meta() {
+  if (mode_ != Mode::ReadWrite) return;
+  unsigned char payload[kMetaPayloadBytes];
+  render_meta_payload(payload, loss_);
+  std::string frame;
+  render_record(frame, kKindStoreMeta, payload, sizeof payload);
+  // Rewrites allocated bytes only — succeeds on a full disk. If even
+  // that fails the counters survive in memory for this process' report;
+  // the next successful writer persists its own scan's findings.
+  robust_pwrite_all(fd_, frame.data(), frame.size(), kMetaOffset, true);
+}
+
+void AggStore::recovery_scan() {
+  struct stat st{};
+  CLA_CHECK(::fstat(fd_, &st) == 0,
+            "cannot stat aggregation store: " + path_ + ": " +
+                std::strerror(errno));
+  const auto size = static_cast<std::uint64_t>(st.st_size);
+  end_offset_ = kFirstAppendOffset;
+  if (size <= kFirstAppendOffset) return;
+
+  std::vector<unsigned char> buf(size - kFirstAppendOffset);
+  CLA_CHECK(robust_pread_all(buf.data(), buf.size(), kFirstAppendOffset),
+            "cannot read aggregation store: " + path_);
+
+  const StoreLoss before = loss_;
+  std::size_t pos = 0;
+  std::uint64_t resynced = 0;
+  bool torn_tail = false;
+  while (pos < buf.size()) {
+    Frame frame;
+    if (parse_frame(buf.data(), buf.size(), pos, frame)) {
+      pos += frame.total_bytes;
+      end_offset_ = kFirstAppendOffset + pos;
+      continue;
+    }
+    // Damage at `pos`. Valid data behind it (a frame that parses at some
+    // later offset) makes this mid-file corruption to resync over; damage
+    // running to EOF is a torn tail.
+    std::size_t next = pos + 1;
+    for (; next + kRecordHeaderBytes <= buf.size(); ++next) {
+      if (std::memcmp(buf.data() + next, kRecordMagic, 4) != 0) continue;
+      Frame probe;
+      if (parse_frame(buf.data(), buf.size(), next, probe)) break;
+    }
+    if (next + kRecordHeaderBytes <= buf.size()) {
+      resynced += next - pos;
+      pos = next;
+      continue;
+    }
+    torn_tail = true;
+    break;
+  }
+
+  if (resynced > 0) {
+    loss_.skipped_bytes += resynced;
+    note(util::DiagCode::CLA_W_AGG_SKIPPED_BYTES,
+         std::to_string(resynced) +
+             " corrupt bytes inside the store were skipped");
+  }
+  if (torn_tail) {
+    const std::uint64_t torn = size - end_offset_;
+    if (mode_ == Mode::ReadWrite) {
+      // Under LOCK_EX nobody is mid-append: the torn frame is crash
+      // damage. Remove it so the next append extends a clean tail, and
+      // count what was removed.
+      while (::ftruncate(fd_, static_cast<off_t>(end_offset_)) != 0) {
+        if (errno != EINTR) break;
+      }
+      loss_.truncated_records += 1;
+      loss_.truncated_bytes += torn;
+      note(util::DiagCode::CLA_W_AGG_TRUNCATED_TAIL,
+           "torn record (" + std::to_string(torn) +
+               " bytes) truncated from the store tail");
+    }
+    // Read-only: a shared lock cannot rule out a concurrent in-flight
+    // append, so the tail is neither removed nor judged loss.
+  }
+  if (mode_ == Mode::ReadWrite && !(loss_ == before)) write_meta();
+}
+
+bool AggStore::append(const RunRecord& record) {
+  CLA_CHECK(mode_ == Mode::ReadWrite,
+            "append to read-only aggregation store: " + path_);
+  const std::string payload = encode_run_record(record);
+  CLA_CHECK(payload.size() <= kMaxPayloadBytes,
+            "run record too large for the aggregation store");
+  std::string frame;
+  render_record(frame, kKindRunSummary, payload.data(), payload.size());
+  if (!robust_pwrite_all(fd_, frame.data(), frame.size(), end_offset_, true)) {
+    const int err = errno;
+    // Roll the file back so a half-written frame cannot masquerade as a
+    // torn tail for the next recovery scan — this loss is counted here.
+    while (::ftruncate(fd_, static_cast<off_t>(end_offset_)) != 0) {
+      if (errno != EINTR) break;
+    }
+    loss_.failed_appends += 1;
+    note(util::DiagCode::CLA_W_AGG_APPEND_FAILED,
+         "append of run " + record.run_id + " abandoned: " +
+             std::strerror(err));
+    write_meta();
+    return false;
+  }
+  end_offset_ += frame.size();
+  ::fdatasync(fd_);  // best-effort durability; integrity comes from CRC
+  return true;
+}
+
+std::vector<RunRecord> AggStore::read_records() {
+  std::vector<RunRecord> records;
+  if (end_offset_ <= kFirstAppendOffset) return records;
+  std::vector<unsigned char> buf(end_offset_ - kFirstAppendOffset);
+  CLA_CHECK(robust_pread_all(buf.data(), buf.size(), kFirstAppendOffset),
+            "cannot read aggregation store: " + path_);
+  std::size_t pos = 0;
+  while (pos < buf.size()) {
+    Frame frame;
+    if (!parse_frame(buf.data(), buf.size(), pos, frame)) {
+      // Mid-file damage the recovery scan already counted as
+      // skipped_bytes: mirror its resync so every record behind the
+      // corruption is still returned.
+      std::size_t next = pos + 1;
+      for (; next + kRecordHeaderBytes <= buf.size(); ++next) {
+        if (std::memcmp(buf.data() + next, kRecordMagic, 4) != 0) continue;
+        Frame probe;
+        if (parse_frame(buf.data(), buf.size(), next, probe)) break;
+      }
+      if (next + kRecordHeaderBytes > buf.size()) break;
+      pos = next;
+      continue;
+    }
+    pos += frame.total_bytes;
+    if (frame.kind != kKindRunSummary) continue;  // forward compatibility
+    RunRecord record;
+    if (decode_run_record(frame.payload, frame.payload_bytes, record)) {
+      records.push_back(std::move(record));
+    } else {
+      note(util::DiagCode::CLA_W_AGG_SKIPPED_BYTES,
+           "undecodable run record (" + std::to_string(frame.total_bytes) +
+               " bytes) skipped");
+    }
+  }
+  return records;
+}
+
+bool AggStore::compact() {
+  CLA_CHECK(mode_ == Mode::ReadWrite,
+            "compact on read-only aggregation store: " + path_);
+  const std::vector<RunRecord> records = merge_duplicates(read_records());
+
+  std::string image;
+  image.append(kStoreMagic, 4);
+  unsigned char version[4];
+  put_u32(version, kStoreVersion);
+  image.append(reinterpret_cast<const char*>(version), 4);
+  unsigned char meta[kMetaPayloadBytes];
+  render_meta_payload(meta, loss_);  // loss history survives compaction
+  render_record(image, kKindStoreMeta, meta, sizeof meta);
+  for (const RunRecord& record : records) {
+    const std::string payload = encode_run_record(record);
+    render_record(image, kKindRunSummary, payload.data(), payload.size());
+  }
+
+  const std::string tmp = path_ + ".tmp";
+  const int tfd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tfd < 0) return false;
+  const bool wrote =
+      robust_pwrite_all(tfd, image.data(), image.size(), 0, true) &&
+      ::fsync(tfd) == 0;
+  ::close(tfd);
+  if (!wrote || ::rename(tmp.c_str(), path_.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Make the rename itself durable.
+  const int dfd = ::open(parent_dir(path_).c_str(), O_RDONLY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  // Switch to the new inode: lock it first, then release the old one so
+  // blocked writers wake, re-check the path, and find the new file.
+  const int nfd = ::open(path_.c_str(), O_RDWR | O_CLOEXEC);
+  CLA_CHECK(nfd >= 0, "cannot reopen compacted aggregation store: " + path_ +
+                          ": " + std::strerror(errno));
+  while (::flock(nfd, LOCK_EX) != 0) {
+    if (errno == EINTR) continue;
+    const int err = errno;
+    ::close(nfd);
+    CLA_CHECK(false, "cannot relock compacted aggregation store: " + path_ +
+                         ": " + std::strerror(err));
+  }
+  ::close(fd_);
+  fd_ = nfd;
+  end_offset_ = image.size();
+  return true;
+}
+
+bool AggStore::robust_pwrite_all(int fd, const void* buf, std::size_t len,
+                                 std::uint64_t offset, bool inject) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t remaining = len;
+  unsigned retries = 0;
+  std::uint64_t backoff = kInitialBackoffNs;
+  while (remaining > 0) {
+    const util::fault::WriteFault fault =
+        inject && util::fault::enabled() ? util::fault::on_write(remaining)
+                                         : util::fault::WriteFault{};
+    ssize_t wrote;
+    if (fault.fail) {
+      errno = fault.error;
+      wrote = -1;
+    } else {
+      const std::size_t attempt = std::min(remaining, fault.max_bytes);
+      wrote = ::pwrite(fd, p, attempt, static_cast<off_t>(offset));
+    }
+    if (wrote >= 0) {
+      p += wrote;
+      offset += static_cast<std::uint64_t>(wrote);
+      remaining -= static_cast<std::size_t>(wrote);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (!transient_io_errno(errno) || retries >= kMaxTransientRetries) {
+      return false;
+    }
+    ++retries;
+    backoff_sleep(backoff);
+    backoff = std::min(backoff * 2, kMaxBackoffNs);
+  }
+  return true;
+}
+
+bool AggStore::robust_pread_all(void* buf, std::size_t len,
+                                std::uint64_t offset) {
+  char* p = static_cast<char*>(buf);
+  std::size_t remaining = len;
+  unsigned retries = 0;
+  std::uint64_t backoff = kInitialBackoffNs;
+  while (remaining > 0) {
+    const util::fault::ReadFault fault = util::fault::enabled()
+                                            ? util::fault::on_read(remaining)
+                                            : util::fault::ReadFault{};
+    ssize_t got;
+    if (fault.fail) {
+      errno = fault.error;
+      got = -1;
+    } else {
+      const std::size_t attempt = std::min(remaining, fault.max_bytes);
+      got = ::pread(fd_, p, attempt, static_cast<off_t>(offset));
+    }
+    if (got > 0) {
+      p += got;
+      offset += static_cast<std::uint64_t>(got);
+      remaining -= static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) return false;  // EOF before the expected bytes
+    if (errno == EINTR) continue;
+    if (!transient_io_errno(errno) || retries >= kMaxTransientRetries) {
+      return false;
+    }
+    ++retries;
+    backoff_sleep(backoff);
+    backoff = std::min(backoff * 2, kMaxBackoffNs);
+  }
+  return true;
+}
+
+void AggStore::note(util::DiagCode code, const std::string& message) {
+  util::Diagnostic diagnostic;
+  diagnostic.severity = util::Severity::Warning;
+  diagnostic.code = code;
+  diagnostic.message = message;
+  open_diagnostics_.push_back(std::move(diagnostic));
+}
+
+}  // namespace cla::agg

@@ -173,29 +173,7 @@ std::string MonitorCore::ranking_json() {
         << ",\"writer_finished\":" << (state.writer_finished ? "true" : "false")
         << ",\"removed\":" << (state.removed ? "true" : "false");
 
-    const AnalysisResult* result = nullptr;
-    try {
-      // An empty window (fresh start, just rotated, or just shed) has
-      // nothing to analyze — that is not an error, just no ranking yet.
-      if (state.events > 0) {
-        result = &source.analyzer->result();
-        state.last_error.clear();
-      }
-    } catch (const util::ResourceLimitError& e) {
-      // Budget breach: shed the window. The next deltas start a fresh,
-      // affordable window; the breach itself is counted loss.
-      state.last_error = e.what();
-      ++state.windows_shed;
-      state.runtime_warnings[static_cast<std::uint32_t>(
-          util::DiagCode::CLA_W_ANALYSIS_WINDOW_SHED)] = state.windows_shed;
-      reset_analyzer(i);
-    } catch (const util::Error& e) {
-      state.last_error = e.what();
-      ++state.windows_shed;
-      state.runtime_warnings[static_cast<std::uint32_t>(
-          util::DiagCode::CLA_W_ANALYSIS_WINDOW_SHED)] = state.windows_shed;
-      reset_analyzer(i);
-    }
+    const AnalysisResult* result = snapshot(i);
 
     out << ",\"last_error\":";
     json_string(out, state.last_error);
@@ -233,6 +211,30 @@ std::string MonitorCore::ranking_json() {
   }
   out << "]}";
   return out.str();
+}
+
+const AnalysisResult* MonitorCore::snapshot(std::size_t i) {
+  Source& source = *sources_[i];
+  SourceState& state = states_[i];
+  try {
+    // An empty window (fresh start, just rotated, or just shed) has
+    // nothing to analyze — that is not an error, just no ranking yet.
+    if (state.events > 0) {
+      const AnalysisResult* result = &source.analyzer->result();
+      state.last_error.clear();
+      return result;
+    }
+  } catch (const util::Error& e) {
+    // ResourceLimitError (budget breach) or a hostile window: shed it.
+    // The next deltas start a fresh, affordable window; the shed itself
+    // is counted loss.
+    state.last_error = e.what();
+    ++state.windows_shed;
+    state.runtime_warnings[static_cast<std::uint32_t>(
+        util::DiagCode::CLA_W_ANALYSIS_WINDOW_SHED)] = state.windows_shed;
+    reset_analyzer(i);
+  }
+  return nullptr;
 }
 
 std::uint32_t MonitorCore::suggested_backoff_ms() const noexcept {

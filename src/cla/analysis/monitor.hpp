@@ -82,6 +82,13 @@ class MonitorCore {
   /// this never throws and always returns a complete document.
   std::string ranking_json();
 
+  /// Refreshes and returns source `i`'s current analysis, or nullptr when
+  /// the window is empty or the refresh had to shed (budget breach,
+  /// hostile delta — same degradation ladder as ranking_json(), including
+  /// the counted CLA_W_ANALYSIS_WINDOW_SHED). The pointer stays valid
+  /// until the next step()/snapshot()/ranking_json() call. Never throws.
+  const AnalysisResult* snapshot(std::size_t i);
+
   /// Smallest suggested backoff over all sources (0 after progress).
   std::uint32_t suggested_backoff_ms() const noexcept;
 

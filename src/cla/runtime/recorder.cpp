@@ -665,6 +665,8 @@ void Recorder::write_stream_warnings() {
   add(util::DiagCode::CLA_W_FORKED_CHILD,
       warn_forks_.load(std::memory_order_relaxed));
   add(util::DiagCode::CLA_W_RING_RETIRED_EVENTS, sink_->ring_retired_events());
+  add(util::DiagCode::CLA_W_RING_COMPACTION_NOOP,
+      sink_->ring_compaction_noops());
   if (n > 0) sink_->write_warnings(warnings, n);
 }
 

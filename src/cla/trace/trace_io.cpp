@@ -728,9 +728,14 @@ void ChunkedTraceWriter::maybe_compact() {
     retired_events += c.events;
     ++retired_chunks;
   }
-  if (retired_chunks == 0) {
-    // Nothing retirable (names dominate or one giant chunk): try again
-    // only after meaningful growth so a stuck ring does not thrash.
+  if (!kept_any_events || retired_chunks == 0) {
+    // Nothing retirable: either the file holds no complete event chunk at
+    // all (degenerate trace — name chunks + the reserved region only) or
+    // every event chunk must be kept (names dominate, or one giant
+    // chunk). Rewriting would produce an event-free ring file and retire
+    // nothing, so no-op with a counted warning and try again only after
+    // meaningful growth so a stuck ring does not thrash.
+    ring_compaction_noops_.fetch_add(1, std::memory_order_relaxed);
     compact_retry_at_ = append_bytes_ + ring_bytes_ / 4;
     return;
   }

@@ -279,6 +279,14 @@ class ChunkedTraceWriter {
   std::uint64_t ring_compactions() const noexcept {
     return ring_compactions_.load(std::memory_order_relaxed);
   }
+  /// Compactions that no-op'd because the file held no retirable complete
+  /// event chunk (degenerate trace: names + reserved region only, or one
+  /// giant chunk). The ring bound is temporarily exceeded; callers surface
+  /// the condition as CLA_W_RING_COMPACTION_NOOP instead of rewriting an
+  /// event-free file.
+  std::uint64_t ring_compaction_noops() const noexcept {
+    return ring_compaction_noops_.load(std::memory_order_relaxed);
+  }
 
   /// Flushes file-descriptor state and closes. Async-signal-safe.
   void close() noexcept;
@@ -311,6 +319,7 @@ class ChunkedTraceWriter {
   std::vector<ChunkRecord> ring_chunks_;
   std::atomic<std::uint64_t> ring_retired_events_{0};
   std::atomic<std::uint64_t> ring_compactions_{0};
+  std::atomic<std::uint64_t> ring_compaction_noops_{0};
 
   std::atomic<bool> failed_{false};
   std::atomic<bool> degraded_{false};

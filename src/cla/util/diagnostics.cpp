@@ -135,6 +135,16 @@ std::string_view to_string(DiagCode code) noexcept {
       return "CLA_W_ANALYSIS_WINDOW_SHED";
     case DiagCode::CLA_W_READ_RETRIED:
       return "CLA_W_READ_RETRIED";
+    case DiagCode::CLA_W_RING_COMPACTION_NOOP:
+      return "CLA_W_RING_COMPACTION_NOOP";
+    case DiagCode::CLA_W_AGG_TRUNCATED_TAIL:
+      return "CLA_W_AGG_TRUNCATED_TAIL";
+    case DiagCode::CLA_W_AGG_SKIPPED_BYTES:
+      return "CLA_W_AGG_SKIPPED_BYTES";
+    case DiagCode::CLA_W_AGG_APPEND_FAILED:
+      return "CLA_W_AGG_APPEND_FAILED";
+    case DiagCode::CLA_W_AGG_META_RESET:
+      return "CLA_W_AGG_META_RESET";
     case DiagCode::CLA_R_SYNTHESIZED_EVENTS:
       return "CLA_R_SYNTHESIZED_EVENTS";
     case DiagCode::CLA_R_DROPPED_EVENTS:

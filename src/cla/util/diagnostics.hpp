@@ -84,6 +84,19 @@ enum class DiagCode : std::uint16_t {
   CLA_W_ANALYSIS_WINDOW_SHED = 53,  ///< monitor shed its analysis window
                                     ///< after a resource-budget breach
   CLA_W_READ_RETRIED = 54,        ///< trace reads retried after errors
+  CLA_W_RING_COMPACTION_NOOP = 55,  ///< ring over its cap but no complete
+                                    ///< event chunk was retirable; the
+                                    ///< compaction no-op'd (file temporarily
+                                    ///< exceeds the ring bound)
+
+  // --- aggregation store (cla::agg, carried in its StoreMeta record) ---
+  CLA_W_AGG_TRUNCATED_TAIL = 56,  ///< torn final record truncated by the
+                                  ///< recovery scan; counted loss
+  CLA_W_AGG_SKIPPED_BYTES = 57,   ///< corrupt mid-file bytes resynced over
+  CLA_W_AGG_APPEND_FAILED = 58,   ///< appends abandoned after the retry
+                                  ///< budget (ENOSPC...); counted loss
+  CLA_W_AGG_META_RESET = 59,      ///< StoreMeta record unreadable; loss
+                                  ///< counters restarted from zero
 
   // --- repair actions (info severity) ---
   CLA_R_SYNTHESIZED_EVENTS = 60,  ///< missing unlocks/exits/... synthesized

@@ -19,6 +19,7 @@ struct Config {
   std::uint64_t every = 1;
   std::uint64_t count = 0;  // 0 = persistent
   std::size_t short_write = 0;
+  std::uint64_t kill_at_bytes = 0;
   std::uint32_t stall_ms = 0;
   std::uint64_t die_at_event = 0;
   bool read_faults = false;
@@ -73,6 +74,7 @@ void parse_environment() {
   config.count = env_u64("CLA_FAULT_WRITE_COUNT", 0);
   config.short_write =
       static_cast<std::size_t>(env_u64("CLA_FAULT_SHORT_WRITE", 0));
+  config.kill_at_bytes = env_u64("CLA_FAULT_WRITE_KILL_AT_BYTES", 0);
   config.stall_ms =
       static_cast<std::uint32_t>(env_u64("CLA_FAULT_FLUSHER_STALL_MS", 0));
   config.die_at_event = env_u64("CLA_FAULT_DIE_AT_EVENT", 0);
@@ -88,8 +90,9 @@ void parse_environment() {
       static_cast<std::size_t>(env_u64("CLA_FAULT_SHORT_READ", 0));
   g_config = config;
   g_enabled.store(config.write_faults || config.short_write != 0 ||
-                      config.stall_ms != 0 || config.die_at_event != 0 ||
-                      config.read_faults || config.short_read != 0,
+                      config.kill_at_bytes != 0 || config.stall_ms != 0 ||
+                      config.die_at_event != 0 || config.read_faults ||
+                      config.short_read != 0,
                   std::memory_order_release);
 }
 
@@ -107,6 +110,13 @@ WriteFault on_write(std::size_t bytes) noexcept {
   if (!enabled()) return fault;
   const std::uint64_t seen =
       g_bytes_attempted.fetch_add(bytes, std::memory_order_relaxed);
+  if (g_config.kill_at_bytes != 0 && seen < g_config.kill_at_bytes &&
+      seen + bytes >= g_config.kill_at_bytes) {
+    // SIGKILL on purpose, mid-"write": the process dies at an exact byte
+    // offset inside the attempt, the hardest torn-append/torn-compaction
+    // case the recovery scans must cope with.
+    ::kill(::getpid(), SIGKILL);
+  }
   if (g_config.short_write != 0) fault.max_bytes = g_config.short_write;
   if (!g_config.write_faults || seen < g_config.after_bytes) return fault;
   const std::uint64_t call =

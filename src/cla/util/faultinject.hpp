@@ -17,6 +17,11 @@
 //                                   (default 0 = persistent)
 //   CLA_FAULT_SHORT_WRITE=B         cap every successful write at B bytes
 //                                   (exercises short-write continuation)
+//   CLA_FAULT_WRITE_KILL_AT_BYTES=N SIGKILL the process the moment the
+//                                   cumulative bytes attempted by injected
+//                                   writes reach N (no spill, no cleanup —
+//                                   stages a death at an exact byte offset
+//                                   inside an append or a compaction)
 //   CLA_FAULT_FLUSHER_STALL_MS=T    stall each flusher sweep by T ms
 //                                   (starves the double buffers)
 //   CLA_FAULT_DIE_AT_EVENT=N        SIGKILL the process at the N-th

@@ -1,0 +1,301 @@
+// cla-agg CLI tests: the full exit-code contract (0 clean, 1 error,
+// 2 usage, 3 loss in store, 4 regression detected), cross-host JSON
+// ingest with order-independent byte-identical reports, differential
+// regression gating, and the cla-analyze --agg-store end-to-end path
+// with run-id dedup on re-analysis.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+std::string run_command(const std::string& command, int& exit_code) {
+  std::array<char, 4096> buffer{};
+  std::string output;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) {
+    exit_code = -1;
+    return output;
+  }
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : status;
+  return output;
+}
+
+std::string tool(const char* name) {
+  return (std::filesystem::path(CLA_TOOLS_DIR) / name).string();
+}
+
+// stdout only — diagnostics on stderr (ingest-order warnings, recovery
+// notes) are expected to differ between equivalent invocations.
+std::string run_stdout(const std::string& command, int& exit_code) {
+  std::array<char, 4096> buffer{};
+  std::string output;
+  FILE* pipe = popen((command + " 2>/dev/null").c_str(), "r");
+  if (pipe == nullptr) {
+    exit_code = -1;
+    return output;
+  }
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : status;
+  return output;
+}
+
+/// A minimal but complete schema-2 `cla-analyze --json` report, the shape
+/// `cla-agg ingest` accepts from any host. `cp_frac` seeds regressions.
+std::string report_json(double cp_frac, double contention) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"schema\":2,\"completion_time_ns\":10000000,\"worker_threads\":4,"
+      "\"locks\":[{\"name\":\"giant_lock\",\"cp_time_fraction\":%.4f,"
+      "\"cp_invocations\":100,\"cp_contention_prob\":%.4f,"
+      "\"avg_invocations\":50,\"avg_contention_prob\":%.4f,"
+      "\"wait_time_fraction\":0.02,\"avg_hold_fraction\":0.10},"
+      "{\"name\":\"queue_lock\",\"cp_time_fraction\":0.05,"
+      "\"cp_invocations\":40,\"cp_contention_prob\":0.1,"
+      "\"avg_invocations\":20,\"avg_contention_prob\":0.05,"
+      "\"wait_time_fraction\":0.005,\"avg_hold_fraction\":0.02}]}",
+      cp_frac, contention, contention);
+  return buf;
+}
+
+class AggCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = (std::filesystem::temp_directory_path() /
+             ("cla_agg_cli_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter_++)))
+                .string();
+    std::filesystem::remove_all(base_);
+    std::filesystem::create_directories(base_);
+  }
+  void TearDown() override { std::filesystem::remove_all(base_); }
+
+  std::string write_report(const std::string& name, double cp_frac,
+                           double contention = 0.2) {
+    const std::string path = base_ + "/" + name;
+    std::ofstream(path) << report_json(cp_frac, contention);
+    return path;
+  }
+
+  // `cla-agg ingest` with identity flags; asserts the expected exit code
+  // (3 when the target store already carries counted loss).
+  void ingest(const std::string& store, const std::string& file,
+              const std::string& run_id, const std::string& label,
+              int expected_rc = 0) {
+    int rc = 0;
+    const std::string out = run_command(
+        tool("cla-agg") + " ingest " + file + " --store " + store +
+            " --run-id " + run_id + " --host ci-box --label " + label,
+        rc);
+    ASSERT_EQ(rc, expected_rc) << out;
+  }
+
+  std::string base_;
+  static int counter_;
+};
+
+int AggCliTest::counter_ = 0;
+
+TEST_F(AggCliTest, UsageErrorsExitTwo) {
+  int rc = 0;
+  run_command(tool("cla-agg"), rc);
+  EXPECT_EQ(rc, 2);
+  std::string out = run_command(tool("cla-agg") + " report", rc);
+  EXPECT_EQ(rc, 2) << out;  // --store is required
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+  run_command(tool("cla-agg") + " frobnicate --store " + base_, rc);
+  EXPECT_EQ(rc, 2);
+  run_command(tool("cla-agg") + " diff --store " + base_, rc);
+  EXPECT_EQ(rc, 2);  // --baseline is required
+  run_command(tool("cla-agg") + " ingest missing.json --store " + base_, rc);
+  EXPECT_EQ(rc, 2);  // --run-id is required
+  out = run_command(tool("cla-agg") + " --version", rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("cla-agg"), std::string::npos);
+}
+
+TEST_F(AggCliTest, IngestOrderNeverChangesTheReport) {
+  const std::string a = write_report("a.json", 0.30);
+  const std::string b = write_report("b.json", 0.20);
+  const std::string c = write_report("c.json", 0.10);
+
+  const std::string s1 = base_ + "/store1";
+  ingest(s1, a, "run-a", "v1");
+  ingest(s1, b, "run-b", "v1");
+  ingest(s1, c, "run-c", "v2");
+
+  // Same runs, reversed order, plus a duplicate re-ingest of run-b (an
+  // at-least-once retry) that dedup must absorb.
+  const std::string s2 = base_ + "/store2";
+  ingest(s2, c, "run-c", "v2");
+  ingest(s2, b, "run-b", "v1");
+  ingest(s2, a, "run-a", "v1");
+  ingest(s2, b, "run-b", "v1");
+
+  int rc1 = 0, rc2 = 0;
+  const std::string json1 =
+      run_stdout(tool("cla-agg") + " report --json --store " + s1, rc1);
+  const std::string json2 =
+      run_stdout(tool("cla-agg") + " report --json --store " + s2, rc2);
+  EXPECT_EQ(rc1, 0);
+  EXPECT_EQ(rc2, 0);
+  EXPECT_FALSE(json1.empty());
+  EXPECT_EQ(json1, json2);  // bit-identical, ingest order be damned
+  EXPECT_NE(json1.find("\"runs\":3"), std::string::npos) << json1;
+  EXPECT_NE(json1.find("giant_lock"), std::string::npos);
+
+  const std::string text1 =
+      run_stdout(tool("cla-agg") + " report --store " + s1, rc1);
+  const std::string text2 =
+      run_stdout(tool("cla-agg") + " report --store " + s2, rc2);
+  EXPECT_EQ(text1, text2);
+
+  // Compaction rewrites the file but must not change the report.
+  int rc = 0;
+  run_command(tool("cla-agg") + " compact --store " + s2, rc);
+  EXPECT_EQ(rc, 0);
+  const std::string json2c =
+      run_stdout(tool("cla-agg") + " report --json --store " + s2, rc2);
+  EXPECT_EQ(json1, json2c);
+}
+
+TEST_F(AggCliTest, DiffExitCodesCleanRegressionAndBadBaseline) {
+  const std::string store = base_ + "/store";
+  ingest(store, write_report("base1.json", 0.20), "base-1", "v1");
+  ingest(store, write_report("base2.json", 0.20), "base-2", "v1");
+  // v2 is statistically the same run: well inside every gate.
+  ingest(store, write_report("same.json", 0.205), "cur-1", "v2");
+
+  int rc = 0;
+  std::string out = run_command(
+      tool("cla-agg") + " diff --store " + store + " --baseline v1", rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("no regressions"), std::string::npos) << out;
+
+  // v3 doubles giant_lock's CP share: past both gates, exit 4.
+  ingest(store, write_report("worse.json", 0.40), "cur-2", "v3");
+  out = run_command(tool("cla-agg") + " diff --store " + store +
+                        " --baseline v1 --label v3 --json",
+                    rc);
+  EXPECT_EQ(rc, 4) << out;
+  EXPECT_NE(out.find("giant_lock"), std::string::npos) << out;
+  EXPECT_NE(out.find("cp_share"), std::string::npos) << out;
+
+  // Cranking the relative gate above the regression silences it.
+  out = run_command(tool("cla-agg") + " diff --store " + store +
+                        " --baseline v1 --label v3 --rel 150",
+                    rc);
+  EXPECT_EQ(rc, 0) << out;
+
+  // A second store works as a directory baseline.
+  const std::string other = base_ + "/baseline_store";
+  ingest(other, write_report("ob.json", 0.20), "base-1", "v1");
+  out = run_command(tool("cla-agg") + " diff --store " + store +
+                        " --baseline " + other + " --label v3",
+                    rc);
+  EXPECT_EQ(rc, 4) << out;
+
+  // A baseline that is neither a directory nor a label is an error.
+  out = run_command(tool("cla-agg") + " diff --store " + store +
+                        " --baseline no-such-label",
+                    rc);
+  EXPECT_EQ(rc, 1) << out;
+  EXPECT_NE(out.find("neither a store directory nor a label"),
+            std::string::npos)
+      << out;
+}
+
+TEST_F(AggCliTest, CountedLossTurnsSuccessIntoExitThree) {
+  const std::string store = base_ + "/store";
+  ingest(store, write_report("a.json", 0.20), "run-a", "v1");
+  // Tear the store's tail the way a crashed writer would.
+  {
+    std::ofstream f(store + "/agg.claa",
+                    std::ios::binary | std::ios::app);
+    f.write("CLAR\x02\x00\x00\x00 torn half-record", 25);
+  }
+  // compact opens read-write: the scan truncates the tail, counts the
+  // loss, and every later command reports the store as a lower bound.
+  int rc = 0;
+  std::string out = run_command(
+      tool("cla-agg") + " compact --store " + store, rc);
+  EXPECT_EQ(rc, 3) << out;
+  EXPECT_NE(out.find("truncated"), std::string::npos) << out;
+
+  out = run_command(tool("cla-agg") + " report --store " + store, rc);
+  EXPECT_EQ(rc, 3) << out;
+  EXPECT_TRUE(out.find("giant_lock") != std::string::npos) << out;
+
+  // Loss yields to a regression alert: 4 takes precedence over 3.
+  ingest(store, write_report("worse.json", 0.40), "run-b", "v2",
+         /*expected_rc=*/3);
+  out = run_command(tool("cla-agg") + " diff --store " + store +
+                        " --baseline v1",
+                    rc);
+  EXPECT_EQ(rc, 4) << out;
+  // ...but a clean diff over a lossy store still reports 3.
+  out = run_command(tool("cla-agg") + " diff --store " + store +
+                        " --baseline v1 --label v1",
+                    rc);
+  EXPECT_EQ(rc, 3) << out;
+}
+
+TEST_F(AggCliTest, AnalyzeFeedsTheStoreAndReanalysisDedups) {
+  const std::string trace = base_ + "/micro.clat";
+  const std::string store = base_ + "/store";
+  int rc = 0;
+  std::string out = run_command(
+      tool("cla-run") + " micro --threads 4 --trace-out " + trace, rc);
+  ASSERT_EQ(rc, 0) << out;
+
+  out = run_command(tool("cla-analyze") + " " + trace + " --agg-store " +
+                        store + " --agg-label nightly",
+                    rc);
+  ASSERT_EQ(rc, 0) << out;
+  std::string report =
+      run_stdout(tool("cla-agg") + " report --json --store " + store, rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(report.find("\"runs\":1"), std::string::npos) << report;
+
+  // Re-analyzing the same trace reuses the default run id (host:basename)
+  // and dedups instead of double-counting.
+  out = run_command(tool("cla-analyze") + " " + trace + " --agg-store " +
+                        store + " --agg-label nightly",
+                    rc);
+  ASSERT_EQ(rc, 0) << out;
+  report =
+      run_stdout(tool("cla-agg") + " report --json --store " + store, rc);
+  EXPECT_NE(report.find("\"runs\":1"), std::string::npos) << report;
+
+  // An explicit distinct run id is a genuinely new run.
+  out = run_command(tool("cla-analyze") + " " + trace + " --agg-store " +
+                        store + " --agg-label nightly --agg-run-id second",
+                    rc);
+  ASSERT_EQ(rc, 0) << out;
+  report =
+      run_stdout(tool("cla-agg") + " report --json --store " + store, rc);
+  EXPECT_NE(report.find("\"runs\":2"), std::string::npos) << report;
+
+  // The self-diff of a healthy store is the CI happy path: exit 0.
+  out = run_command(tool("cla-agg") + " diff --store " + store +
+                        " --baseline nightly --label nightly",
+                    rc);
+  EXPECT_EQ(rc, 0) << out;
+}
+
+}  // namespace

@@ -229,4 +229,46 @@ TEST_F(RingRetentionTest, MidStreamSnapshotSalvagesCleanly) {
   writer.close();
 }
 
+TEST_F(RingRetentionTest, DegenerateTraceWithoutEventChunksNoopsWithWarning) {
+  // A trace that is all name chunks (plus the reserved region) can cross
+  // the ring cap without holding a single retirable event chunk.
+  // Compacting it would rewrite the file into an event-free ring and
+  // retire nothing — the writer must no-op with a counted warning
+  // instead, and keep the degenerate file intact.
+  const std::uint64_t ring = ChunkedTraceWriter::kMinRingBytes;
+  ChunkedTraceWriter writer(path_, cla::trace::kTraceVersion, ring);
+  ASSERT_TRUE(writer.ok());
+  const std::string filler(240, 'n');
+  // ~256 bytes per name chunk; 2x the cap guarantees several over-cap
+  // appends (and thus several no-op decisions past the retry hysteresis).
+  const std::size_t kNames = (2 * ring) / 256;
+  for (std::size_t i = 0; i < kNames; ++i) {
+    writer.write_object_name(0x4000 + i, filler + std::to_string(i));
+  }
+  EXPECT_GT(writer.ring_compaction_noops(), 0u);
+  EXPECT_EQ(writer.ring_compactions(), 0u);
+  EXPECT_EQ(writer.ring_retired_events(), 0u);
+  // The cap is overrun (that is the documented cost of the no-op), but
+  // nothing was rewritten or lost: every name survives.
+  EXPECT_GT(std::filesystem::file_size(path_), ring);
+
+  // Once complete event chunks do land, compaction resumes normally and
+  // still preserves every name chunk.
+  const int kBatches = 24;
+  const std::size_t kPairs = 170;
+  for (int b = 0; b < kBatches; ++b) {
+    const std::vector<Event> events = batch_events(0, b, kBatches, kPairs);
+    ASSERT_EQ(writer.write_events(0, events.data(), events.size()),
+              events.size());
+  }
+  EXPECT_GT(writer.ring_compactions(), 0u);
+  writer.write_meta(writer.ring_retired_events(), true);
+  writer.close();
+
+  const cla::trace::Trace kept = cla::trace::read_trace_file(path_);
+  EXPECT_EQ(kept.object_names().size(), kNames);
+  EXPECT_EQ(kept.object_names().at(0x4000), filler + "0");
+  EXPECT_GT(kept.event_count(), 0u);
+}
+
 }  // namespace

@@ -323,6 +323,69 @@ TEST_F(TraceTailerTest, RenameRotationRestartsAtTheNewFile) {
   EXPECT_TRUE(tailer.writer_finished());
 }
 
+TEST_F(TraceTailerTest, DoubleRotationBetweenPollsIsOneRotationNoLostCounters) {
+  // Corrupt bytes with valid data behind them, so the tailer accumulates
+  // a non-zero cumulative skip counter before any rotation.
+  {
+    ChunkedTraceWriter writer(path_, cla::trace::kTraceVersion);
+    const std::vector<Event> a = worker_stream(0, 10);
+    ASSERT_EQ(writer.write_events(0, a.data(), a.size()), a.size());
+    writer.close();
+  }
+  const std::vector<unsigned char> junk(24, 0xee);
+  append_bytes(path_, junk.data(), junk.size());
+  {
+    const std::vector<Event> more = worker_stream(1, 4);
+    const auto chunk = raw_events_chunk(1, more);
+    append_bytes(path_, chunk.data(), chunk.size());
+  }
+  TraceTailer tailer(path_);
+  TraceTailer::Delta delta;
+  ASSERT_EQ(tailer.poll(delta), TraceTailer::PollStatus::Progress);
+  ASSERT_EQ(tailer.generation(), 0u);
+  const std::uint64_t skipped_before = tailer.total_skipped_bytes();
+  ASSERT_EQ(skipped_before, junk.size());
+
+  // TWO whole-file replacements land between consecutive polls (writer
+  // restarted twice, or restart + ring compaction). The tailer can only
+  // observe the inode it finds at the next poll: exactly one Rotated,
+  // generation bumped at least once, and the middle file's contents are
+  // simply never seen.
+  const std::vector<Event> middle = worker_stream(0, 7);
+  {
+    ChunkedTraceWriter writer(path_ + ".r1", cla::trace::kTraceVersion);
+    ASSERT_EQ(writer.write_events(0, middle.data(), middle.size()),
+              middle.size());
+    writer.close();
+  }
+  ASSERT_EQ(std::rename((path_ + ".r1").c_str(), path_.c_str()), 0);
+  const std::vector<Event> final_stream = worker_stream(0, 3);
+  {
+    ChunkedTraceWriter writer(path_ + ".r2", cla::trace::kTraceVersionV3);
+    ASSERT_EQ(writer.write_events(0, final_stream.data(),
+                                  final_stream.size()),
+              final_stream.size());
+    writer.write_meta(0, true);
+    writer.close();
+  }
+  ASSERT_EQ(std::rename((path_ + ".r2").c_str(), path_.c_str()), 0);
+
+  ASSERT_EQ(tailer.poll(delta), TraceTailer::PollStatus::Rotated);
+  EXPECT_GE(tailer.generation(), 1u);
+  const std::uint64_t generation = tailer.generation();
+  EXPECT_EQ(tailer.consumed_bytes(), 0u);
+  // Cumulative loss counters survive the rotation reset.
+  EXPECT_EQ(tailer.total_skipped_bytes(), skipped_before);
+
+  // The next poll delivers the *last* replacement from its top — no
+  // second Rotated for the missed middle inode.
+  ASSERT_EQ(tailer.poll(delta), TraceTailer::PollStatus::Progress);
+  EXPECT_EQ(tailer.generation(), generation);
+  EXPECT_EQ(delta.events, final_stream.size());
+  EXPECT_TRUE(tailer.writer_finished());
+  EXPECT_EQ(tailer.total_skipped_bytes(), skipped_before);
+}
+
 TEST_F(TraceTailerTest, InPlaceTruncationRotates) {
   {
     ChunkedTraceWriter writer(path_, cla::trace::kTraceVersion);

@@ -1,0 +1,260 @@
+// cla-agg: crash-safe cross-run aggregation store and differential
+// regression alerts (the fleet-level companion to cla-analyze).
+//
+// Typical CI flow:
+//   cla-analyze trace.clat --agg-store ./agg --agg-label release-1.4
+//   cla-agg report --store ./agg
+//   cla-agg diff --store ./agg --label release-1.4 --baseline release-1.3
+//
+// Exit codes (the full contract, also in README and --help):
+//   0  success, no regressions, store fully intact
+//   1  runtime failure (unreadable store, malformed ingest JSON)
+//   2  usage error (bad flags; usage goes to stderr)
+//   3  success, but the store has counted loss (torn tails truncated,
+//      corrupt bytes skipped, failed appends): aggregates are lower
+//      bounds
+//   4  diff detected a regression past the thresholds (takes precedence
+//      over 3 — the alert is the actionable signal)
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "cla/agg/merge.hpp"
+#include "cla/agg/store.hpp"
+#include "cla/util/args.hpp"
+
+#ifndef CLA_VERSION_STRING
+#define CLA_VERSION_STRING "unknown"
+#endif
+
+namespace {
+
+using cla::agg::AggStore;
+
+void print_usage(std::FILE* out, const char* prog) {
+  std::fprintf(
+      out,
+      "usage: %s <command> --store DIR [options]\n"
+      "commands:\n"
+      "  ingest FILE.json  import a `cla-analyze --json` report (schema 2,\n"
+      "                    any host) as one run summary\n"
+      "      --run-id ID   unique run identity (required; dedup key)\n"
+      "      --host H      origin host (default: this host)\n"
+      "      --label L     release/build tag (diff baseline key)\n"
+      "      --seq N       window sequence (default 0)\n"
+      "  report            merged cross-run ranking\n"
+      "      --label L     restrict to runs with this label\n"
+      "      --json        machine-readable output\n"
+      "  diff              compare against a baseline, alert on regressions\n"
+      "      --baseline R  REQUIRED: a label inside the store, or a path\n"
+      "                    to another store directory\n"
+      "      --label L     restrict the current side to this label\n"
+      "      --json        machine-readable output\n"
+      "      --rel PCT     relative gate, percent (default 10: alert only\n"
+      "                    when current > baseline * 1.10)\n"
+      "      --abs-share F       absolute CP-share increase floor (0.01)\n"
+      "      --abs-contention F  absolute contention increase floor (0.05)\n"
+      "  compact           rewrite the store as a deduplicated snapshot\n"
+      "                    (atomic rename; loss history is preserved)\n"
+      "  --version         print the tool version\n"
+      "exit codes:\n"
+      "  0 clean  1 error  2 usage  3 loss in store (aggregates are lower\n"
+      "  bounds)  4 regression detected\n",
+      prog);
+}
+
+void print_open_diagnostics(const AggStore& store) {
+  for (const auto& diagnostic : store.open_diagnostics()) {
+    std::fprintf(stderr, "cla-agg: warning: %s\n",
+                 diagnostic.to_string().c_str());
+  }
+}
+
+bool is_directory(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+bool read_file(const std::string& path, std::string& out,
+               std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    error = "cannot read " + path;
+    return false;
+  }
+  out = buf.str();
+  return true;
+}
+
+int run_ingest(const cla::util::Args& args, const std::string& store_dir) {
+  if (args.positional().size() != 2) {
+    throw cla::util::ArgsError("ingest needs exactly one report file");
+  }
+  const auto run_id = args.get("run-id");
+  if (!run_id || run_id->empty()) {
+    throw cla::util::ArgsError("ingest requires --run-id");
+  }
+  const std::string& file = args.positional()[1];
+  std::string text, error;
+  if (!read_file(file, text, error)) {
+    std::fprintf(stderr, "cla-agg: %s\n", error.c_str());
+    return 1;
+  }
+  cla::agg::RunMeta meta;
+  meta.run_id = *run_id;
+  meta.host = args.get_or("host", cla::agg::local_host());
+  meta.label = args.get_or("label", "");
+  meta.seq = static_cast<std::uint64_t>(args.get_int("seq", 0));
+  cla::agg::RunRecord record;
+  if (!cla::agg::parse_report_json(text, meta, record, error)) {
+    std::fprintf(stderr, "cla-agg: %s: %s\n", file.c_str(), error.c_str());
+    return 1;
+  }
+  AggStore store(store_dir, AggStore::Mode::ReadWrite);
+  print_open_diagnostics(store);
+  if (!store.append(record)) {
+    std::fprintf(stderr,
+                 "cla-agg: append failed; the loss was counted in the "
+                 "store\n");
+    return 3;
+  }
+  return store.lossy() ? 3 : 0;
+}
+
+int run_report(const cla::util::Args& args, const std::string& store_dir) {
+  AggStore store(store_dir, AggStore::Mode::ReadOnly);
+  print_open_diagnostics(store);
+  std::vector<cla::agg::RunRecord> records = store.read_records();
+  if (const auto label = args.get("label")) {
+    records = cla::agg::filter_label(records, *label);
+  }
+  const cla::agg::MergedReport merged =
+      cla::agg::merge_records(std::move(records));
+  if (args.has("json")) {
+    std::fputs((cla::agg::merged_report_json(merged) + "\n").c_str(), stdout);
+  } else {
+    std::fputs(cla::agg::merged_report_text(merged).c_str(), stdout);
+  }
+  return store.lossy() ? 3 : 0;
+}
+
+int run_diff(const cla::util::Args& args, const std::string& store_dir) {
+  const auto baseline_ref = args.get("baseline");
+  if (!baseline_ref || baseline_ref->empty()) {
+    throw cla::util::ArgsError("diff requires --baseline");
+  }
+  cla::agg::DiffThresholds thresholds;
+  thresholds.relative = args.get_double("rel", 10.0) / 100.0;
+  thresholds.cp_share_abs = args.get_double("abs-share", 0.01);
+  thresholds.contention_abs = args.get_double("abs-contention", 0.05);
+
+  AggStore store(store_dir, AggStore::Mode::ReadOnly);
+  print_open_diagnostics(store);
+  bool lossy = store.lossy();
+  std::vector<cla::agg::RunRecord> current = store.read_records();
+  if (const auto label = args.get("label")) {
+    current = cla::agg::filter_label(current, *label);
+  }
+
+  std::vector<cla::agg::RunRecord> baseline;
+  if (is_directory(*baseline_ref)) {
+    AggStore base_store(*baseline_ref, AggStore::Mode::ReadOnly);
+    print_open_diagnostics(base_store);
+    lossy = lossy || base_store.lossy();
+    baseline = base_store.read_records();
+  } else {
+    baseline = cla::agg::filter_label(store.read_records(), *baseline_ref);
+    if (baseline.empty()) {
+      std::fprintf(stderr,
+                   "cla-agg: baseline \"%s\" is neither a store directory "
+                   "nor a label present in the store\n",
+                   baseline_ref->c_str());
+      return 1;
+    }
+    // A label baseline compares against the rest of the store unless the
+    // current side was narrowed explicitly.
+    if (!args.get("label")) {
+      std::vector<cla::agg::RunRecord> rest;
+      for (cla::agg::RunRecord& record : current) {
+        if (record.label != *baseline_ref) rest.push_back(std::move(record));
+      }
+      current = std::move(rest);
+    }
+  }
+
+  const cla::agg::DiffResult diff = cla::agg::diff_reports(
+      cla::agg::merge_records(std::move(baseline)),
+      cla::agg::merge_records(std::move(current)), thresholds);
+  if (args.has("json")) {
+    std::fputs((cla::agg::diff_json(diff) + "\n").c_str(), stdout);
+  } else {
+    std::fputs(cla::agg::diff_text(diff).c_str(), stdout);
+  }
+  if (!diff.alerts.empty()) return 4;
+  return lossy ? 3 : 0;
+}
+
+int run_compact(const std::string& store_dir) {
+  AggStore store(store_dir, AggStore::Mode::ReadWrite);
+  print_open_diagnostics(store);
+  if (!store.compact()) {
+    std::fprintf(stderr,
+                 "cla-agg: compaction failed; the store is unchanged\n");
+    return 1;
+  }
+  return store.lossy() ? 3 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const cla::util::Args args(
+        argc, argv,
+        {"store", "run-id", "host", "label", "seq", "json", "baseline",
+         "rel", "abs-share", "abs-contention", "help", "version"});
+    if (args.has("help")) {
+      print_usage(stdout, args.program().c_str());
+      return 0;
+    }
+    if (args.has("version")) {
+      std::printf("cla-agg %s (store format v1, report schema 2)\n",
+                  CLA_VERSION_STRING);
+      return 0;
+    }
+    if (args.positional().empty()) {
+      throw cla::util::ArgsError("missing command");
+    }
+    const std::string& command = args.positional()[0];
+    const std::string store_dir = args.get_or("store", "");
+    if (store_dir.empty()) {
+      throw cla::util::ArgsError("--store DIR is required");
+    }
+    if (command == "ingest") return run_ingest(args, store_dir);
+    if (command == "report") return run_report(args, store_dir);
+    if (command == "diff") return run_diff(args, store_dir);
+    if (command == "compact") {
+      if (args.positional().size() != 1) {
+        throw cla::util::ArgsError("compact takes no positional arguments");
+      }
+      return run_compact(store_dir);
+    }
+    throw cla::util::ArgsError("unknown command: " + command);
+  } catch (const cla::util::ArgsError& e) {
+    std::fprintf(stderr, "cla-agg: %s\n", e.what());
+    print_usage(stderr, argv[0] != nullptr ? argv[0] : "cla-agg");
+    return 2;
+  } catch (const cla::util::Error& e) {
+    std::fprintf(stderr, "cla-agg: %s\n", e.what());
+    return 1;
+  }
+}

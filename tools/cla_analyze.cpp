@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "cla/agg/store.hpp"
 #include "cla/core/cla.hpp"
 #include "cla/util/args.hpp"
 #include "cla/util/diagnostics.hpp"
@@ -73,6 +74,13 @@ void print_usage(std::FILE* out, const char* prog) {
       "                  The input version is auto-detected, so this both\n"
       "                  compacts v1/v2 traces and expands v3 back to v2\n"
       "  --format F      target .clat version for --convert: v1 | v2 | v3\n"
+      "  --agg-store DIR append this run's summary to the crash-safe\n"
+      "                  cross-run aggregation store in DIR (see cla-agg)\n"
+      "  --agg-run-id ID run identity for the store (default: this host\n"
+      "                  and the trace file name, so re-analyzing the same\n"
+      "                  trace dedups instead of double-counting)\n"
+      "  --agg-host H    origin host stored with the summary\n"
+      "  --agg-label L   release/build tag (cla-agg diff baseline key)\n"
       "  --version       print the tool version and supported .clat range\n"
       "exit codes:\n"
       "  0 clean  1 error  2 usage  3 lossy (salvage/repair/dropped events)\n"
@@ -90,6 +98,7 @@ int main(int argc, char** argv) {
                           "threads", "engine", "max-rss-mb", "profile",
                           "salvage", "strictness", "deadline-ms",
                           "max-events", "diagnostics", "convert", "format",
+                          "agg-store", "agg-run-id", "agg-host", "agg-label",
                           "version", "help"});
     if (args.has("help")) {
       print_usage(stdout, prog);
@@ -284,6 +293,41 @@ int main(int argc, char** argv) {
                    "cla-analyze: warning: the trace was repaired "
                    "(--strictness=%s); results are approximate\n",
                    std::string(cla::util::to_string(options.strictness)).c_str());
+    }
+    if (const auto agg_dir = args.get("agg-store")) {
+      // Persist the run summary after the report so a store problem can
+      // never cost the user the analysis output. Store failures warn and
+      // leave the exit code to the analysis contract; the store itself
+      // counts what it could not keep.
+      const std::string& trace_path = args.positional().front();
+      const std::size_t slash = trace_path.find_last_of('/');
+      const std::string base =
+          slash == std::string::npos ? trace_path : trace_path.substr(slash + 1);
+      cla::agg::RunMeta meta;
+      meta.host = args.get_or("agg-host", cla::agg::local_host());
+      meta.run_id = args.get_or("agg-run-id", meta.host + ":" + base);
+      meta.label = args.get_or("agg-label", "");
+      meta.events = pipeline.view().event_count();
+      meta.dropped_events = dropped;
+      try {
+        cla::agg::AggStore store(*agg_dir,
+                                 cla::agg::AggStore::Mode::ReadWrite);
+        for (const auto& diagnostic : store.open_diagnostics()) {
+          std::fprintf(stderr, "cla-analyze: agg-store warning: %s\n",
+                       diagnostic.to_string().c_str());
+        }
+        if (!store.append(
+                cla::agg::make_run_record(pipeline.result(), meta))) {
+          std::fprintf(stderr,
+                       "cla-analyze: warning: aggregation store append "
+                       "failed (counted in the store)\n");
+        }
+      } catch (const cla::util::Error& e) {
+        std::fprintf(stderr,
+                     "cla-analyze: warning: aggregation store unusable: "
+                     "%s\n",
+                     e.what());
+      }
     }
     // Dropped events make the report a lower bound even when the file
     // itself loaded cleanly (e.g. the recorder hit a full disk and

@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "cla/agg/store.hpp"
 #include "cla/analysis/monitor.hpp"
 #include "cla/util/args.hpp"
 
@@ -80,6 +81,32 @@ class RankingServer {
     if (path.size() >= sizeof addr.sun_path) {
       error = "socket path too long";
       return false;
+    }
+    // Probe an existing socket file before taking it over: a live server
+    // accepts the connect (refuse to steal its endpoint), a leftover from
+    // a SIGKILLed predecessor refuses it (stale — remove and rebind).
+    struct stat st{};
+    if (::lstat(path.c_str(), &st) == 0) {
+      if (!S_ISSOCK(st.st_mode)) {
+        error = path + " exists and is not a socket";
+        return false;
+      }
+      const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      if (probe >= 0) {
+        addr.sun_family = AF_UNIX;
+        std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+        int rc;
+        do {
+          rc = ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof addr);
+        } while (rc < 0 && errno == EINTR);
+        ::close(probe);
+        if (rc == 0) {
+          error = "another server is live on " + path;
+          return false;
+        }
+      }
+      addr = {};
     }
     ::unlink(path.c_str());
     unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
@@ -195,9 +222,57 @@ void print_usage(std::ostream& out) {
          "                       the window instead of stalling (default 0)\n"
          "  --poll-deadline-ms N per-poll tail-read budget (default 0)\n"
          "  --json-out FILE      write the final ranking JSON to FILE\n"
+         "  --agg-store DIR      flush window summaries to the crash-safe\n"
+         "                       cross-run aggregation store in DIR (see\n"
+         "                       cla-agg); flushes are at-least-once and\n"
+         "                       dedup on (run, window) at merge time\n"
+         "  --agg-label L        release/build tag stored with each flush\n"
+         "  --agg-interval-ms N  flush cadence (default 5000); a final\n"
+         "                       flush always runs at shutdown, including\n"
+         "                       SIGTERM/SIGINT\n"
          "  --version            print version and exit\n"
          "\n"
          "exit: 0 clean, 1 error, 2 usage, 3 finished with counted loss\n";
+}
+
+// One at-least-once flush of every source's current window into the
+// aggregation store. The store is opened per flush so the exclusive lock
+// is never held between flushes (CI queries interleave freely). Failures
+// warn and return false — the daemon must keep monitoring regardless, and
+// a re-flush of the same window dedups at merge time.
+bool flush_agg(cla::analysis::MonitorCore& core, const std::string& dir,
+               const std::string& label, const std::string& host) {
+  try {
+    cla::agg::AggStore store(dir, cla::agg::AggStore::Mode::ReadWrite);
+    for (const auto& diagnostic : store.open_diagnostics()) {
+      std::cerr << "cla-monitor: agg-store warning: "
+                << diagnostic.to_string() << "\n";
+    }
+    bool ok = true;
+    for (std::size_t i = 0; i < core.sources().size(); ++i) {
+      const cla::analysis::AnalysisResult* result = core.snapshot(i);
+      if (result == nullptr) continue;  // empty or just-shed window
+      const auto& state = core.sources()[i];
+      cla::agg::RunMeta meta;
+      meta.host = host;
+      meta.run_id = host + ":" + state.path;
+      meta.label = label;
+      // Window identity: this source's rotation generation. Flushes of
+      // the same window are cumulative, so dedup's largest-wins rule
+      // keeps exactly the newest flush per window.
+      meta.seq = state.generation;
+      meta.events = state.events;
+      meta.dropped_events = state.dropped_events;
+      meta.skipped_bytes = state.skipped_bytes;
+      meta.windows_shed = state.windows_shed;
+      meta.rotations = state.rotations;
+      ok = store.append(cla::agg::make_run_record(*result, meta)) && ok;
+    }
+    return ok;
+  } catch (const cla::util::Error& e) {
+    std::cerr << "cla-monitor: agg-store warning: " << e.what() << "\n";
+    return false;
+  }
 }
 
 }  // namespace
@@ -214,6 +289,9 @@ int main(int argc, char** argv) {
   std::int64_t duration_ms = 0;
   std::int64_t exit_on_idle_ms = 0;
   std::string json_out;
+  std::string agg_store;
+  std::string agg_label;
+  std::int64_t agg_interval_ms = 5000;
   cla::analysis::MonitorCore::Options options;
   std::vector<std::string> paths;
 
@@ -221,7 +299,8 @@ int main(int argc, char** argv) {
     cla::util::Args args(argc, argv,
                          {"http", "socket", "interval-ms", "top", "duration-ms",
                           "exit-on-idle-ms", "deadline-ms", "poll-deadline-ms",
-                          "json-out", "help", "version"});
+                          "json-out", "agg-store", "agg-label",
+                          "agg-interval-ms", "help", "version"});
     if (args.has("help")) {
       print_usage(std::cout);
       return 0;
@@ -244,6 +323,12 @@ int main(int argc, char** argv) {
     duration_ms = args.get_int("duration-ms", 0);
     exit_on_idle_ms = args.get_int("exit-on-idle-ms", 0);
     json_out = args.get_or("json-out", "");
+    agg_store = args.get_or("agg-store", "");
+    agg_label = args.get_or("agg-label", "");
+    agg_interval_ms = args.get_int("agg-interval-ms", 5000);
+    if (agg_interval_ms < 0) {
+      throw cla::util::ArgsError("negative values are not accepted");
+    }
     const std::int64_t top = args.get_int("top", 10);
     const std::int64_t deadline = args.get_int("deadline-ms", 0);
     const std::int64_t poll_deadline = args.get_int("poll-deadline-ms", 0);
@@ -277,9 +362,11 @@ int main(int argc, char** argv) {
   }
 
   cla::analysis::MonitorCore core(paths, options);
+  const std::string agg_host = cla::agg::local_host();
   const auto start = Clock::now();
   auto last_refresh = start;
   auto last_progress = start;
+  auto last_agg_flush = start;
   bool ever_refreshed = false;
 
   while (!g_stop.load(std::memory_order_relaxed)) {
@@ -295,6 +382,10 @@ int main(int argc, char** argv) {
       last_refresh = now;
       ever_refreshed = true;
     }
+    if (!agg_store.empty() && ms_since(last_agg_flush) >= agg_interval_ms) {
+      flush_agg(core, agg_store, agg_label, agg_host);
+      last_agg_flush = now;
+    }
     if (duration_ms > 0 && ms_since(start) >= duration_ms) break;
     if (core.all_finished()) break;
     if (exit_on_idle_ms > 0 && ms_since(last_progress) >= exit_on_idle_ms) {
@@ -308,10 +399,15 @@ int main(int argc, char** argv) {
   }
 
   // Final sweep: drain whatever completed after the last poll, then emit
-  // the final report everywhere it is expected.
+  // the final report everywhere it is expected. This also runs on
+  // SIGTERM/SIGINT, so a supervised shutdown always leaves a final
+  // aggregation snapshot behind and removes the unix socket file.
   core.step();
   const std::string final_json = core.ranking_json();
   server.set_json(final_json);
+  if (!agg_store.empty()) {
+    flush_agg(core, agg_store, agg_label, agg_host);
+  }
   if (!json_out.empty()) {
     std::ofstream out(json_out, std::ios::trunc);
     out << final_json << "\n";

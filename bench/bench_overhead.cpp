@@ -106,6 +106,103 @@ void BM_InstrumentedWorkload(benchmark::State& state) {
 }
 BENCHMARK(BM_InstrumentedWorkload);
 
+// ---- acquisition call-stack capture overhead -----------------------------
+//
+// Mirrors the interposer's steady-state CLA_STACK_DEPTH path (capture up
+// to 4 return addresses, FNV-hash into a per-thread intern cache, record
+// with the id) so `record vs record+capture` bounds the recording
+// overhead of callsite attribution. Budget: <= 2x the no-capture cost.
+
+struct StackCacheEntry {
+  std::size_t depth = 0;
+  std::uint64_t pcs[cla::trace::kMaxCallStackDepth] = {};
+  std::uint64_t id = 0;
+};
+thread_local StackCacheEntry tls_bench_stack_cache[64];
+
+__attribute__((noinline)) std::size_t bench_capture_stack(std::uint64_t* pcs,
+                                                          std::size_t depth) {
+  if (depth == 0) return 0;
+  void* ra = __builtin_return_address(0);
+  if (ra == nullptr) return 0;
+  pcs[0] = reinterpret_cast<std::uint64_t>(ra);
+  if (depth == 1) return 1;
+  void* prev_frame = __builtin_frame_address(0);
+#define CLA_BENCH_FRAME(i)                                   \
+  {                                                          \
+    void* frame = __builtin_frame_address(i);                \
+    if (frame == nullptr || frame <= prev_frame) return (i); \
+    void* pc = __builtin_return_address(i);                  \
+    if (pc == nullptr) return (i);                           \
+    pcs[i] = reinterpret_cast<std::uint64_t>(pc);            \
+    if (depth == (i) + 1) return (i) + 1;                    \
+    prev_frame = frame;                                      \
+  }
+  CLA_BENCH_FRAME(1)
+  CLA_BENCH_FRAME(2)
+  CLA_BENCH_FRAME(3)
+#undef CLA_BENCH_FRAME
+  return 4;
+}
+
+std::uint64_t bench_intern_stack(const std::uint64_t* pcs, std::size_t depth) {
+  if (depth == 0) return cla::trace::kNoArg;
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < depth; ++i) {
+    h ^= pcs[i];
+    h *= 1099511628211ull;
+  }
+  StackCacheEntry& slot = tls_bench_stack_cache[h % 64];
+  if (slot.id != 0 && slot.depth == depth &&
+      std::equal(pcs, pcs + depth, slot.pcs)) {
+    return slot.id;
+  }
+  const std::uint64_t id = Recorder::instance().register_call_stack(pcs, depth);
+  if (id == 0) return cla::trace::kNoArg;
+  slot.depth = depth;
+  std::copy(pcs, pcs + depth, slot.pcs);
+  slot.id = id;
+  return id;
+}
+
+void BM_RecorderRecordWithStackCapture(benchmark::State& state) {
+  Recorder& recorder = Recorder::instance();
+  recorder.reset();
+  recorder.ensure_current_thread();
+  for (auto _ : state) {
+    std::uint64_t pcs[cla::trace::kMaxCallStackDepth];
+    const std::size_t captured = bench_capture_stack(pcs, 4);
+    const std::uint64_t id = bench_intern_stack(pcs, captured);
+    recorder.record(cla::trace::EventType::MutexAcquire, 42, id);
+  }
+  state.SetItemsProcessed(state.iterations());
+  recorder.reset();
+}
+BENCHMARK(BM_RecorderRecordWithStackCapture);
+
+void BM_InstrumentedMutexRoundTripWithStackCapture(benchmark::State& state) {
+  Recorder& recorder = Recorder::instance();
+  recorder.reset();
+  recorder.ensure_current_thread();
+  cla::rt::InstrumentedMutex mutex("bench");
+  for (auto _ : state) {
+    std::uint64_t pcs[cla::trace::kMaxCallStackDepth];
+    const std::size_t captured = bench_capture_stack(pcs, 4);
+    benchmark::DoNotOptimize(bench_intern_stack(pcs, captured));
+    mutex.lock();
+    benchmark::ClobberMemory();
+    mutex.unlock();
+    if (recorder.event_count() > 8'000'000) {
+      state.PauseTiming();
+      recorder.reset();
+      recorder.ensure_current_thread();
+      state.ResumeTiming();
+    }
+  }
+  recorder.reset();
+}
+BENCHMARK(BM_InstrumentedMutexRoundTripWithStackCapture);
+
 void BM_TraceSerialization(benchmark::State& state) {
   Recorder& recorder = Recorder::instance();
   recorder.reset();

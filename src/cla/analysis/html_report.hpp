@@ -1,0 +1,32 @@
+// Self-contained HTML report (`cla-analyze --report html`).
+//
+// One file, no external fetches: inline CSS/JS renders
+//   - a critical-path flame graph of the per-(lock, callsite)
+//     attribution (per-lock bars when the trace has no callsite capture),
+//   - a per-thread lane timeline (critical sections, waits, barrier
+//     waits, and the critical path),
+// and embeds the machine-readable JSON report (schema 2 or 3) verbatim
+// so the file doubles as a data exchange format.
+#pragma once
+
+#include <string>
+
+#include "cla/analysis/index.hpp"
+#include "cla/analysis/report.hpp"
+
+namespace cla::analysis {
+
+struct HtmlReportOptions {
+  std::string title = "Critical Lock Analysis";
+};
+
+/// Renders the report as one self-contained HTML document. `index`
+/// supplies the timeline lanes; pass nullptr (e.g. bounded-RSS mode,
+/// where materializing the index would defeat the budget) to omit the
+/// timeline section and keep the flame graph + embedded JSON.
+std::string render_html(const AnalysisResult& result,
+                        const JsonReportMeta& meta,
+                        const TraceIndex* index = nullptr,
+                        const HtmlReportOptions& options = {});
+
+}  // namespace cla::analysis

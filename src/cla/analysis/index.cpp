@@ -67,7 +67,10 @@ void ThreadScanState::consume(const trace::EventsView& events,
       case EventType::MutexAcquire: {
         auto& p = pending_cs_[e.object];
         if (!p.open) {  // ignore recursive re-acquire of a held lock
-          p = PendingCs{i, e.ts, true};
+          // arg carries the acquisition call-stack id when the trace was
+          // recorded with callsite capture (0 / kNoArg = none).
+          const std::uint64_t sid = e.arg != trace::kNoArg ? e.arg : 0;
+          p = PendingCs{i, e.ts, sid, true};
         }
         break;
       }
@@ -81,6 +84,7 @@ void ThreadScanState::consume(const trace::EventsView& events,
           cs.acquire_ts = p.acquire_ts;
           cs.acquired_ts = e.ts;
           cs.released_ts = kUnreleasedTs;  // filled on MutexReleased
+          cs.stack_id = p.stack_id;
           cs.contended = (e.arg != trace::kNoArg) && (e.arg & 1);
           sections[e.object].push_back(cs);
           p.open = false;

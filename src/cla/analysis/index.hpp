@@ -41,6 +41,9 @@ struct CsRecord {
   std::uint64_t acquire_ts = 0;   ///< request issued
   std::uint64_t acquired_ts = 0;  ///< lock obtained
   std::uint64_t released_ts = 0;  ///< lock released
+  /// Acquisition call-stack id from MutexAcquire's arg (the trace's
+  /// CallStacks table); 0 when the trace carries no callsite capture.
+  std::uint64_t stack_id = 0;
   bool contended = false;
 
   std::uint64_t wait_time() const noexcept { return acquired_ts - acquire_ts; }
@@ -164,6 +167,7 @@ class ThreadScanState {
   struct PendingCs {
     std::uint32_t acquire_idx = 0;
     std::uint64_t acquire_ts = 0;
+    std::uint64_t stack_id = 0;
     bool open = false;
   };
   struct PendingBarrier {

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "cla/analysis/html_report.hpp"
 #include "cla/analysis/streaming.hpp"
 #include <sstream>
 #include <utility>
@@ -175,6 +176,12 @@ Pipeline& Pipeline::load_stream(std::istream& in) {
     loaded.set_thread_name(tid, name);
   }
   loaded.set_dropped_events(reader.dropped_events());
+  for (const auto& [id, pcs] : reader.call_stacks()) {
+    loaded.set_call_stack(id, pcs);
+  }
+  for (const auto& [pc, name] : reader.frame_symbols()) {
+    loaded.set_frame_symbol(pc, name);
+  }
   owned_trace_ = std::move(loaded);
   trace_ = &*owned_trace_;
   adopt_trace_storage();
@@ -462,6 +469,25 @@ std::string Pipeline::report_json() {
     }
   }
   std::string rendered = render_json(*result_, meta);
+  record(Stage::Report, start);
+  return rendered;
+}
+
+std::string Pipeline::report_html() {
+  stats_stage();
+  JsonReportMeta meta;
+  meta.has_dag = true;
+  if (bounded()) {
+    meta.dag_segments = streaming_segments_;
+    meta.dag_threads = streaming_threads_;
+  } else {
+    dag_stage();
+    meta.dag_segments = dag_->segment_count();
+    meta.dag_threads = dag_->thread_count();
+  }
+  const std::uint64_t start = util::now_ns();
+  const TraceIndex* index = bounded() ? nullptr : &trace_index();
+  std::string rendered = render_html(*result_, meta, index);
   record(Stage::Report, start);
   return rendered;
 }

@@ -219,6 +219,10 @@ class Pipeline {
   /// per-stage wall-clock profile.
   std::string report();
   std::string report_json();
+  /// Self-contained HTML report (flame graph + timeline + embedded JSON).
+  /// Bounded-RSS runs omit the timeline: materializing the full index
+  /// would defeat the memory budget.
+  std::string report_html();
 
   /// Per-stage timings of everything run so far.
   const PipelineProfile& profile() const noexcept { return profile_; }

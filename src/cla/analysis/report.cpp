@@ -1,5 +1,6 @@
 #include "cla/analysis/report.hpp"
 
+#include <set>
 #include <sstream>
 
 #include "cla/util/stats.hpp"
@@ -16,6 +17,13 @@ std::size_t lock_limit(const AnalysisResult& result, const ReportOptions& option
   return options.top_locks == 0
              ? result.locks.size()
              : std::min(options.top_locks, result.locks.size());
+}
+
+/// Display label of a callsite: innermost frame, or "stack#<id>" when the
+/// trace carried the id but no resolvable stack (truncated table).
+std::string callsite_label(const CallsiteStats& cs) {
+  if (!cs.frames.empty()) return cs.frames.front();
+  return "stack#" + std::to_string(cs.stack_id);
 }
 
 }  // namespace
@@ -80,6 +88,27 @@ Table size_table(const AnalysisResult& result, const ReportOptions& options) {
   return table;
 }
 
+Table callsite_table(const AnalysisResult& result, const ReportOptions& options) {
+  Table table({"Lock", "Callsite", "CP Time %", "Invo. # on CP",
+               "Cont. Prob. on CP %", "Invo. #"});
+  // top_locks bounds the callsite rows too: the table is already ranked
+  // by CP hold time, so the cap keeps the hottest rows.
+  const std::size_t limit = options.top_locks == 0
+                                ? result.callsites.size()
+                                : std::min(options.top_locks, result.callsites.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const CallsiteStats& cs = result.callsites[i];
+    const double prob =
+        util::safe_ratio(static_cast<double>(cs.cp_contended),
+                         static_cast<double>(cs.cp_invocations));
+    table.add_row({cs.lock_name, callsite_label(cs),
+                   percent_string(cs.cp_time_fraction),
+                   std::to_string(cs.cp_invocations), percent_string(prob),
+                   std::to_string(cs.invocations)});
+  }
+  return table;
+}
+
 std::string render_report(const AnalysisResult& result, const ReportOptions& options) {
   std::ostringstream out;
   out << "=== Critical Lock Analysis ===\n";
@@ -100,6 +129,24 @@ std::string render_report(const AnalysisResult& result, const ReportOptions& opt
       << type1_table(result, options).to_text() << '\n';
   out << "--- TYPE 2: per-lock statistics (previous approaches) ---\n"
       << type2_table(result, options).to_text() << '\n';
+
+  if (!result.callsites.empty()) {
+    out << "--- callsites: CP time per (lock, acquisition site) ---\n"
+        << callsite_table(result, options).to_text();
+    out << "call stacks (innermost first):\n";
+    std::set<std::uint64_t> listed;
+    for (const CallsiteStats& cs : result.callsites) {
+      if (!listed.insert(cs.stack_id).second) continue;  // shared across locks
+      out << "  #" << cs.stack_id << ":";
+      if (cs.frames.empty()) {
+        out << " <unresolved>\n";
+        continue;
+      }
+      for (std::size_t f = 0; f < cs.frames.size(); ++f)
+        out << (f == 0 ? " " : "     ") << cs.frames[f] << '\n';
+    }
+    out << '\n';
+  }
 
   if (!result.barriers.empty()) {
     Table barriers({"Barrier", "Episodes", "Waits", "Avg. Wait Time %",
@@ -157,7 +204,10 @@ void json_string(std::ostringstream& out, const std::string& s) {
 std::string render_json(const AnalysisResult& result,
                         const JsonReportMeta& meta) {
   std::ostringstream out;
-  out << "{\n  \"schema\": 2"
+  // Traces without callsite capture must keep producing the schema-2
+  // payload byte-for-byte; the "callsites" array bumps it to 3.
+  const bool with_callsites = !result.callsites.empty();
+  out << "{\n  \"schema\": " << (with_callsites ? 3 : 2)
       << ",\n  \"completion_time_ns\": " << result.completion_time
       << ",\n  \"worker_threads\": " << result.worker_threads
       << ",\n  \"path_intervals\": " << result.path.intervals.size()
@@ -186,7 +236,31 @@ std::string render_json(const AnalysisResult& result,
         << ", \"hold_increase\": " << ls.hold_increase << "}"
         << (i + 1 < result.locks.size() ? "," : "") << '\n';
   }
-  out << "  ],\n  \"barriers\": [\n";
+  out << "  ]";
+  if (with_callsites) {
+    out << ",\n  \"callsites\": [\n";
+    for (std::size_t i = 0; i < result.callsites.size(); ++i) {
+      const CallsiteStats& cs = result.callsites[i];
+      out << "    {\"lock\": ";
+      json_string(out, cs.lock_name);
+      out << ", \"stack_id\": " << cs.stack_id << ", \"frames\": [";
+      for (std::size_t f = 0; f < cs.frames.size(); ++f) {
+        if (f != 0) out << ", ";
+        json_string(out, cs.frames[f]);
+      }
+      out << "], \"cp_time_fraction\": " << cs.cp_time_fraction
+          << ", \"cp_hold_time_ns\": " << cs.cp_hold_time
+          << ", \"cp_invocations\": " << cs.cp_invocations
+          << ", \"cp_contended\": " << cs.cp_contended
+          << ", \"invocations\": " << cs.invocations
+          << ", \"contended\": " << cs.contended
+          << ", \"total_wait_ns\": " << cs.total_wait
+          << ", \"total_hold_ns\": " << cs.total_hold << "}"
+          << (i + 1 < result.callsites.size() ? "," : "") << '\n';
+    }
+    out << "  ]";
+  }
+  out << ",\n  \"barriers\": [\n";
   for (std::size_t i = 0; i < result.barriers.size(); ++i) {
     const BarrierStats& bs = result.barriers[i];
     out << "    {\"name\": ";

@@ -42,6 +42,12 @@ util::Table contention_table(const AnalysisResult& result, const ReportOptions& 
 /// Lock | CP Time % | Avg. Hold Time % | Incr. Times of CS Size.
 util::Table size_table(const AnalysisResult& result, const ReportOptions& = {});
 
+/// Per-(lock, callsite) table: Lock | Callsite | CP Time % | Invo. # on CP
+/// | Cont. Prob. on CP % | Invo. #. The callsite column shows the
+/// innermost symbolized frame (or the raw PC). Empty table when the trace
+/// carries no callsite capture.
+util::Table callsite_table(const AnalysisResult& result, const ReportOptions& = {});
+
 /// Full human-readable report: summary, TYPE 1, TYPE 2, barriers, threads.
 std::string render_report(const AnalysisResult& result, const ReportOptions& = {});
 
@@ -58,7 +64,10 @@ struct JsonReportMeta {
   std::vector<std::pair<std::string, std::uint64_t>> profile;
 };
 
-/// Machine-readable JSON export of every metric (versioned: "schema": 2).
+/// Machine-readable JSON export of every metric. Versioned: "schema": 2
+/// for traces without callsite capture (byte-identical to the pre-callsite
+/// format), "schema": 3 — adding a "callsites" array — when the analysis
+/// produced per-(lock, callsite) attribution.
 std::string render_json(const AnalysisResult& result,
                         const JsonReportMeta& meta);
 /// Same with an empty meta: "dag": null, no "profile" array.

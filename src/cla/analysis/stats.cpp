@@ -1,6 +1,7 @@
 #include "cla/analysis/stats.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <mutex>
 
 #include "cla/util/stats.hpp"
@@ -65,6 +66,10 @@ AnalysisResult compute_stats(const TraceIndex& index, CriticalPath path,
     mutex_list.push_back(&mi);
   }
   result.locks.resize(mutex_list.size());
+  // Per-lock callsite groups, keyed by stack id (slot per lock so the
+  // fan-out stays write-disjoint); merged after the barrier below.
+  std::vector<std::map<std::uint64_t, CallsiteStats>> callsites_per_lock(
+      mutex_list.size());
   std::mutex thread_totals_mutex;
   const auto compute_lock = [&](std::size_t k) {
     const trace::ObjectId id = mutex_ids[k];
@@ -77,6 +82,7 @@ AnalysisResult compute_stats(const TraceIndex& index, CriticalPath path,
     std::vector<std::uint64_t> wait_per_thread(t.thread_count(), 0);
     std::vector<std::uint64_t> hold_per_thread(t.thread_count(), 0);
 
+    std::map<std::uint64_t, CallsiteStats>& groups = callsites_per_lock[k];
     for (const CsRecord& cs : mi.sections) {
       ++ls.invocations;
       if (cs.contended) ++ls.contended;
@@ -92,6 +98,25 @@ AnalysisResult compute_stats(const TraceIndex& index, CriticalPath path,
         ++ls.cp_invocations;
         if (cs.contended) ++ls.cp_contended;
         ls.cp_hold_time += on_path;
+      }
+
+      // Callsite breakdown — only for sections that carried a stack id.
+      if (cs.stack_id != 0) {
+        CallsiteStats& g = groups[cs.stack_id];
+        if (g.invocations == 0) {
+          g.lock_id = id;
+          g.lock_name = ls.name;
+          g.stack_id = cs.stack_id;
+        }
+        ++g.invocations;
+        if (cs.contended) ++g.contended;
+        g.total_wait += cs.wait_time();
+        g.total_hold += cs.hold_time();
+        if (on_path > 0) {
+          ++g.cp_invocations;
+          if (cs.contended) ++g.cp_contended;
+          g.cp_hold_time += on_path;
+        }
       }
     }
 
@@ -139,6 +164,40 @@ AnalysisResult compute_stats(const TraceIndex& index, CriticalPath path,
                 return a.cp_hold_time > b.cp_hold_time;
               if (a.total_wait != b.total_wait) return a.total_wait > b.total_wait;
               return a.name < b.name;
+            });
+
+  // Merge the per-lock callsite groups; iteration order (lock slot, then
+  // stack id) is fixed, and the final sort is a strict ranking, so the
+  // result is pool-independent. Frames resolve against the trace's symbol
+  // table here, falling back to raw hex PCs (crash spills carry none).
+  const auto& stack_table = t.call_stacks();
+  const auto& symbol_table = t.frame_symbols();
+  for (auto& groups : callsites_per_lock)
+    for (auto& [sid, g] : groups) {
+      g.cp_time_fraction =
+          safe_ratio(static_cast<double>(g.cp_hold_time), cp_len);
+      if (auto it = stack_table.find(g.stack_id); it != stack_table.end()) {
+        g.frames.reserve(it->second.size());
+        for (std::uint64_t pc : it->second) {
+          if (auto sym = symbol_table.find(pc); sym != symbol_table.end()) {
+            g.frames.push_back(sym->second);
+          } else {
+            char buf[2 + 16 + 1];
+            std::snprintf(buf, sizeof(buf), "0x%llx",
+                          static_cast<unsigned long long>(pc));
+            g.frames.emplace_back(buf);
+          }
+        }
+      }
+      result.callsites.push_back(std::move(g));
+    }
+  std::sort(result.callsites.begin(), result.callsites.end(),
+            [](const CallsiteStats& a, const CallsiteStats& b) {
+              if (a.cp_hold_time != b.cp_hold_time)
+                return a.cp_hold_time > b.cp_hold_time;
+              if (a.total_wait != b.total_wait) return a.total_wait > b.total_wait;
+              if (a.lock_name != b.lock_name) return a.lock_name < b.lock_name;
+              return a.stack_id < b.stack_id;
             });
 
   // --- barrier stats (same fan-out shape as the locks) ---

@@ -52,6 +52,31 @@ struct LockStats {
   bool is_critical() const noexcept { return cp_invocations > 0; }
 };
 
+/// Per-(lock, acquisition callsite) statistics. Populated only when the
+/// trace carries callsite capture (CsRecord::stack_id != 0); traces
+/// recorded with CLA_STACK_DEPTH=0 — and every pre-callsite trace —
+/// produce an empty vector.
+struct CallsiteStats {
+  trace::ObjectId lock_id = trace::kNoObject;
+  std::string lock_name;
+  std::uint64_t stack_id = 0;  ///< key into TraceView::call_stacks()
+
+  std::uint64_t cp_hold_time = 0;    ///< ns of hot-CS execution on the path
+  std::uint64_t cp_invocations = 0;
+  std::uint64_t cp_contended = 0;
+  double cp_time_fraction = 0.0;     ///< cp_hold_time / path length (0..1)
+
+  std::uint64_t invocations = 0;
+  std::uint64_t contended = 0;
+  std::uint64_t total_wait = 0;      ///< ns, summed across threads
+  std::uint64_t total_hold = 0;      ///< ns, summed across threads
+
+  /// Symbolized acquisition frames, innermost first. Resolved from the
+  /// trace's FrameSymbols table when the recording process symbolized at
+  /// close; raw "0x..." program counters otherwise (e.g. crash spills).
+  std::vector<std::string> frames;
+};
+
 /// Per-barrier statistics (extension; the paper reports locks only).
 struct BarrierStats {
   trace::ObjectId id = trace::kNoObject;
@@ -96,6 +121,9 @@ struct StatsOptions {
 struct AnalysisResult {
   CriticalPath path;
   std::vector<LockStats> locks;       ///< sorted by cp_hold_time descending
+  /// Per-(lock, callsite) breakdown, sorted by cp_hold_time descending;
+  /// empty unless the trace carries acquisition call stacks.
+  std::vector<CallsiteStats> callsites;
   std::vector<BarrierStats> barriers;
   std::vector<CondStats> conds;
   std::vector<ThreadStats> threads;

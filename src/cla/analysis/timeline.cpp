@@ -26,6 +26,9 @@ int glyph_rank(char ch) {
 void paint(std::string& lane, std::size_t width, std::uint64_t t0,
            std::uint64_t t1, std::uint64_t begin, std::uint64_t end, char ch) {
   if (t1 <= t0 || end <= begin) return;
+  // An interval entirely outside [t0, t1) must not paint at all; without
+  // this, clamp_col maps it onto the edge cell (column 0 or width-1).
+  if (end <= t0 || begin >= t1) return;
   const double scale = static_cast<double>(width) / static_cast<double>(t1 - t0);
   auto clamp_col = [&](std::uint64_t ts) {
     const double col = static_cast<double>(ts - std::min(ts, t0)) * scale;

@@ -32,6 +32,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -227,6 +228,103 @@ std::uint64_t ring_bytes_from_env() {
   return static_cast<std::uint64_t>(value);
 }
 
+// ---- acquisition call-stack capture --------------------------------------
+//
+// $CLA_STACK_DEPTH (default 0 = off) enables recording the application
+// call site of every successful mutex acquisition: up to that many return
+// addresses, innermost first, interned into the trace's dedup'd
+// CallStacks table and referenced through MutexAcquire's arg field.
+// Depth 1 reads only this frame's return address and is always safe;
+// deeper levels follow the frame-pointer chain, which requires the
+// application to keep frame pointers (-fno-omit-frame-pointer) — each
+// step is guarded by a null/monotonicity check on the frame address, the
+// standard mitigation for a broken chain.
+
+std::size_t stack_depth_from_env() {
+  const char* raw = std::getenv("CLA_STACK_DEPTH");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    std::fprintf(stderr, "cla_interpose: ignoring bad CLA_STACK_DEPTH=%s\n",
+                 raw);
+    return 0;
+  }
+  return std::min<std::size_t>(static_cast<std::size_t>(value),
+                               cla::trace::kMaxCallStackDepth);
+}
+
+std::size_t stack_depth() {
+  static const std::size_t depth = stack_depth_from_env();
+  return depth;
+}
+
+// Captures up to `depth` return addresses of the calling application,
+// innermost first. always_inline so that, expanded inside an interposed
+// entry point, level 0 is the application's call site (the hook's own
+// return address), not a frame inside this library.
+__attribute__((always_inline)) inline std::size_t capture_stack(
+    std::uint64_t* pcs, std::size_t depth) {
+  if (depth == 0) return 0;
+  void* ra = __builtin_return_address(0);
+  if (ra == nullptr) return 0;
+  pcs[0] = reinterpret_cast<std::uint64_t>(ra);
+  if (depth == 1) return 1;
+  void* prev_frame = __builtin_frame_address(0);
+#define CLA_FRAME(i)                                              \
+  {                                                               \
+    void* frame = __builtin_frame_address(i);                     \
+    if (frame == nullptr || frame <= prev_frame) return (i);      \
+    void* pc = __builtin_return_address(i);                       \
+    if (pc == nullptr) return (i);                                \
+    pcs[i] = reinterpret_cast<std::uint64_t>(pc);                 \
+    if (depth == (i) + 1) return (i) + 1;                         \
+    prev_frame = frame;                                           \
+  }
+  CLA_FRAME(1)
+  CLA_FRAME(2)
+  CLA_FRAME(3)
+  CLA_FRAME(4)
+  CLA_FRAME(5)
+  CLA_FRAME(6)
+  CLA_FRAME(7)
+#undef CLA_FRAME
+  return cla::trace::kMaxCallStackDepth;
+}
+
+// Per-thread intern cache in front of Recorder::register_call_stack: lock
+// acquisitions cluster on a handful of call sites, so nearly every capture
+// resolves to an id without touching the recorder's registration mutex —
+// this is what keeps depth-4 capture within the ~2x overhead budget.
+struct StackCacheEntry {
+  std::size_t depth = 0;
+  std::uint64_t pcs[cla::trace::kMaxCallStackDepth] = {};
+  std::uint64_t id = 0;
+};
+constexpr std::size_t kStackCacheSlots = 64;
+thread_local StackCacheEntry tls_stack_cache[kStackCacheSlots];
+
+std::uint64_t intern_stack(const std::uint64_t* pcs, std::size_t depth) {
+  if (depth == 0) return cla::trace::kNoArg;
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the pc chain
+  for (std::size_t i = 0; i < depth; ++i) {
+    h ^= pcs[i];
+    h *= 1099511628211ull;
+  }
+  StackCacheEntry& slot = tls_stack_cache[h % kStackCacheSlots];
+  if (slot.id != 0 && slot.depth == depth &&
+      std::equal(pcs, pcs + depth, slot.pcs)) {
+    return slot.id;
+  }
+  const std::uint64_t id =
+      Recorder::instance().register_call_stack(pcs, depth);
+  if (id == 0) return cla::trace::kNoArg;  // recorder shut down
+  slot.depth = depth;
+  std::copy(pcs, pcs + depth, slot.pcs);
+  slot.id = id;
+  return id;
+}
+
 // ---- trace lifecycle -----------------------------------------------------
 
 const char* trace_path() {
@@ -378,6 +476,8 @@ int pthread_mutex_lock(pthread_mutex_t* mutex) {
   if (real().mutex_lock == nullptr) CLA_MISSING_REAL("pthread_mutex_lock");
   if (!guard.armed) return real().mutex_lock(mutex);
   Recorder& recorder = Recorder::instance();
+  std::uint64_t pcs[cla::trace::kMaxCallStackDepth];
+  const std::size_t captured = capture_stack(pcs, stack_depth());
   const std::uint64_t wait_start = cla::util::now_ns();
   bool contended = false;
   int rc;
@@ -393,7 +493,8 @@ int pthread_mutex_lock(pthread_mutex_t* mutex) {
     rc = real().mutex_lock(mutex);
   }
   if (lock_acquired(rc)) {
-    recorder.record_at(EventType::MutexAcquire, wait_start, oid(mutex));
+    recorder.record_at(EventType::MutexAcquire, wait_start, oid(mutex),
+                       intern_stack(pcs, captured));
     recorder.record(EventType::MutexAcquired, oid(mutex), contended ? 1 : 0);
   }
   return rc;
@@ -404,10 +505,13 @@ int pthread_mutex_trylock(pthread_mutex_t* mutex) {
   if (real().mutex_trylock == nullptr) CLA_MISSING_REAL("pthread_mutex_trylock");
   if (!guard.armed) return real().mutex_trylock(mutex);
   Recorder& recorder = Recorder::instance();
+  std::uint64_t pcs[cla::trace::kMaxCallStackDepth];
+  const std::size_t captured = capture_stack(pcs, stack_depth());
   const std::uint64_t wait_start = cla::util::now_ns();
   const int rc = real().mutex_trylock(mutex);
   if (lock_acquired(rc)) {
-    recorder.record_at(EventType::MutexAcquire, wait_start, oid(mutex));
+    recorder.record_at(EventType::MutexAcquire, wait_start, oid(mutex),
+                       intern_stack(pcs, captured));
     recorder.record(EventType::MutexAcquired, oid(mutex), 0);
   }
   return rc;
@@ -419,6 +523,8 @@ int pthread_mutex_timedlock(pthread_mutex_t* mutex,
   if (real().mutex_timedlock == nullptr) CLA_MISSING_REAL("pthread_mutex_timedlock");
   if (!guard.armed) return real().mutex_timedlock(mutex, abstime);
   Recorder& recorder = Recorder::instance();
+  std::uint64_t pcs[cla::trace::kMaxCallStackDepth];
+  const std::size_t captured = capture_stack(pcs, stack_depth());
   const std::uint64_t wait_start = cla::util::now_ns();
   bool contended = false;
   int rc;
@@ -430,7 +536,8 @@ int pthread_mutex_timedlock(pthread_mutex_t* mutex,
     rc = real().mutex_timedlock(mutex, abstime);
   }
   if (lock_acquired(rc)) {
-    recorder.record_at(EventType::MutexAcquire, wait_start, oid(mutex));
+    recorder.record_at(EventType::MutexAcquire, wait_start, oid(mutex),
+                       intern_stack(pcs, captured));
     recorder.record(EventType::MutexAcquired, oid(mutex), contended ? 1 : 0);
   }
   return rc;
@@ -481,11 +588,14 @@ int pthread_cond_wait(pthread_cond_t* cond, pthread_mutex_t* mutex) {
   if (real().cond_wait == nullptr) CLA_MISSING_REAL("pthread_cond_wait");
   if (!guard.armed) return real().cond_wait(cond, mutex);
   Recorder& recorder = Recorder::instance();
+  std::uint64_t pcs[cla::trace::kMaxCallStackDepth];
+  const std::size_t captured = capture_stack(pcs, stack_depth());
   recorder.record(EventType::MutexReleased, oid(mutex));
   recorder.record(EventType::CondWaitBegin, oid(cond), oid(mutex));
   const int rc = real().cond_wait(cond, mutex);
   recorder.record(EventType::CondWaitEnd, oid(cond), oid(mutex));
-  recorder.record(EventType::MutexAcquire, oid(mutex));
+  recorder.record(EventType::MutexAcquire, oid(mutex),
+                  intern_stack(pcs, captured));
   recorder.record(EventType::MutexAcquired, oid(mutex), 0);
   return rc;
 }
@@ -496,11 +606,14 @@ int pthread_cond_timedwait(pthread_cond_t* cond, pthread_mutex_t* mutex,
   if (real().cond_timedwait == nullptr) CLA_MISSING_REAL("pthread_cond_timedwait");
   if (!guard.armed) return real().cond_timedwait(cond, mutex, abstime);
   Recorder& recorder = Recorder::instance();
+  std::uint64_t pcs[cla::trace::kMaxCallStackDepth];
+  const std::size_t captured = capture_stack(pcs, stack_depth());
   recorder.record(EventType::MutexReleased, oid(mutex));
   recorder.record(EventType::CondWaitBegin, oid(cond), oid(mutex));
   const int rc = real().cond_timedwait(cond, mutex, abstime);
   recorder.record(EventType::CondWaitEnd, oid(cond), oid(mutex));
-  recorder.record(EventType::MutexAcquire, oid(mutex));
+  recorder.record(EventType::MutexAcquire, oid(mutex),
+                  intern_stack(pcs, captured));
   recorder.record(EventType::MutexAcquired, oid(mutex), 0);
   return rc;
 }

@@ -1,11 +1,19 @@
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE  // dladdr (glibc); must precede the first system header
+#endif
+
 #include "cla/runtime/recorder.hpp"
 
+#include <dlfcn.h>
 #include <pthread.h>
 #include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <new>
+#include <set>
 
 #include "cla/util/clock.hpp"
 #include "cla/util/diagnostics.hpp"
@@ -56,6 +64,38 @@ extern "C" void cla_thread_exit_destructor(void*) {
 // Set while the current thread runs recorder-internal machinery; the
 // interposer's HookGuard disarms on it (see current_thread_internal()).
 thread_local bool tls_internal_thread = false;
+
+// Resolves one recorded return address to "symbol+0xoff (module)" via
+// dladdr. Only meaningful in the recording process (the PCs index *its*
+// address space), which is why symbols travel in the trace instead of
+// being resolved at analysis time. Empty string when dladdr knows
+// nothing about the address (static binary, stripped JIT page...).
+std::string symbolize_pc(std::uint64_t pc) {
+  Dl_info info{};
+  const auto addr = reinterpret_cast<void*>(static_cast<std::uintptr_t>(pc));
+  if (dladdr(addr, &info) == 0) return {};
+  char buf[32];
+  std::string out;
+  if (info.dli_sname != nullptr) {
+    out = info.dli_sname;
+    const auto base = reinterpret_cast<std::uintptr_t>(info.dli_saddr);
+    if (base != 0 && static_cast<std::uintptr_t>(pc) >= base) {
+      std::snprintf(buf, sizeof buf, "+0x%llx",
+                    static_cast<unsigned long long>(pc - base));
+      out += buf;
+    }
+  }
+  if (info.dli_fname != nullptr && *info.dli_fname != '\0') {
+    // Module basename only: full build paths churn golden outputs.
+    const char* slash = std::strrchr(info.dli_fname, '/');
+    const char* module = slash != nullptr ? slash + 1 : info.dli_fname;
+    if (!out.empty()) out += ' ';
+    out += '(';
+    out += module;
+    out += ')';
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -317,6 +357,24 @@ void Recorder::name_thread(trace::ThreadId tid, std::string name) {
   }
 }
 
+std::uint64_t Recorder::register_call_stack(const std::uint64_t* pcs,
+                                            std::size_t depth) {
+  if (depth == 0 || pcs == nullptr ||
+      shutdown_.load(std::memory_order_acquire)) {
+    return 0;
+  }
+  if (depth > trace::kMaxCallStackDepth) depth = trace::kMaxCallStackDepth;
+  std::vector<std::uint64_t> chain(pcs, pcs + depth);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t next_id = call_stack_ids_.size() + 1;
+  auto [it, inserted] = call_stack_ids_.try_emplace(std::move(chain), next_id);
+  if (inserted && streaming_.load(std::memory_order_acquire) &&
+      sink_ != nullptr && !shutdown_.load(std::memory_order_acquire)) {
+    sink_->write_call_stack(it->second, it->first.data(), it->first.size());
+  }
+  return it->second;
+}
+
 std::size_t Recorder::event_count() const {
   if (streaming_.load(std::memory_order_acquire)) {
     std::size_t total = 0;
@@ -370,11 +428,20 @@ trace::Trace Recorder::collect() {
   }
   for (auto& [object, name] : object_names_) out.set_object_name(object, name);
   for (auto& [tid, name] : thread_names_) out.set_thread_name(tid, name);
+  for (const auto& [chain, id] : call_stack_ids_) {
+    out.set_call_stack(id, chain);
+    for (const std::uint64_t pc : chain) {
+      if (std::string sym = symbolize_pc(pc); !sym.empty()) {
+        out.set_frame_symbol(pc, std::move(sym));
+      }
+    }
+  }
   out.set_dropped_events(dropped_.load(std::memory_order_relaxed));
 
   buffers_.clear();
   object_names_.clear();
   thread_names_.clear();
+  call_stack_ids_.clear();
   next_tid_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
   epoch_.store(next_binding_epoch(), std::memory_order_relaxed);
@@ -386,6 +453,7 @@ void Recorder::reset() {
   buffers_.clear();
   object_names_.clear();
   thread_names_.clear();
+  call_stack_ids_.clear();
   next_tid_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
   epoch_.store(next_binding_epoch(), std::memory_order_relaxed);
@@ -505,9 +573,14 @@ void Recorder::reinit_child() {
     return;
   }
   // Object identities (lock addresses) persist across fork; replay their
-  // names so the child's trace is self-contained.
+  // names so the child's trace is self-contained. Interned call stacks
+  // (and their ids) persist the same way — the child's MutexAcquire
+  // events keep referencing them.
   for (const auto& [object, name] : object_names_) {
     sink_->write_object_name(object, name);
+  }
+  for (const auto& [chain, id] : call_stack_ids_) {
+    sink_->write_call_stack(id, chain.data(), chain.size());
   }
   flusher_stop_.store(false, std::memory_order_release);
   flusher_ = std::thread([this] { flusher_main(); });
@@ -636,6 +709,22 @@ void Recorder::finish_streaming() {
       if (sink_->write_events(buffer->tid, &exit_event, 1) < 1) {
         dropped_.fetch_add(1, std::memory_order_relaxed);
         io_dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  // Lazy frame symbolization: resolve each distinct recorded PC exactly
+  // once, here on the clean-exit path — never on the lock hot path. The
+  // crash-spill handler skips this entirely (dladdr allocates and is not
+  // async-signal-safe); a salvaged trace simply reports hex frames.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::set<std::uint64_t> pcs;
+    for (const auto& [chain, id] : call_stack_ids_) {
+      pcs.insert(chain.begin(), chain.end());
+    }
+    for (const std::uint64_t pc : pcs) {
+      if (const std::string sym = symbolize_pc(pc); !sym.empty()) {
+        sink_->write_frame_symbol(pc, sym);
       }
     }
   }

@@ -126,6 +126,16 @@ class Recorder {
   void name_object(trace::ObjectId object, std::string name);
   void name_thread(trace::ThreadId tid, std::string name);
 
+  /// Interns an acquisition call stack (`pcs[0..depth)`, innermost frame
+  /// first) and returns its stable id (>= 1); identical chains dedupe to
+  /// one id. In streaming mode the first sighting emits a CallStacks
+  /// chunk. Takes mutex_ — callers (the interposer's lock hooks) are on a
+  /// slow path already (about to block on a mutex) and must not hold
+  /// recorder-internal locks. Returns 0 (= "no stack") when depth is 0 or
+  /// the recorder has shut down.
+  std::uint64_t register_call_stack(const std::uint64_t* pcs,
+                                    std::size_t depth);
+
   /// Events dropped at record time since the last reset/collect.
   std::uint64_t dropped_events() const noexcept {
     return dropped_.load(std::memory_order_relaxed);
@@ -214,6 +224,9 @@ class Recorder {
   std::atomic<trace::ThreadId> next_tid_{0};
   std::map<trace::ObjectId, std::string> object_names_;
   std::map<trace::ThreadId, std::string> thread_names_;
+  // Call-stack intern table: pc chain -> id (ids start at 1, streamed as
+  // CallStacks chunks; replayed to the child's sink after fork).
+  std::map<std::vector<std::uint64_t>, std::uint64_t> call_stack_ids_;
   std::atomic<std::uint64_t> epoch_{0};  // invalidates thread-local caches
   std::atomic<std::uint64_t> dropped_{0};
 

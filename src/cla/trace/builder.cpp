@@ -45,6 +45,18 @@ ThreadScript& ThreadScript::lock_uncontended(ObjectId mutex, std::uint64_t ts,
   return lock(mutex, ts, ts, released_ts);
 }
 
+ThreadScript& ThreadScript::lock_at(ObjectId mutex, std::uint64_t stack_id,
+                                    std::uint64_t acquire_ts,
+                                    std::uint64_t acquired_ts,
+                                    std::uint64_t released_ts) {
+  CLA_CHECK(acquire_ts <= acquired_ts && acquired_ts <= released_ts,
+            "lock timestamps must be ordered");
+  emit(EventType::MutexAcquire, acquire_ts, mutex, stack_id);
+  emit(EventType::MutexAcquired, acquired_ts, mutex,
+       acquired_ts > acquire_ts ? 1 : 0);
+  return emit(EventType::MutexReleased, released_ts, mutex);
+}
+
 ThreadScript& ThreadScript::acquire(ObjectId mutex, std::uint64_t ts) {
   return emit(EventType::MutexAcquire, ts, mutex);
 }

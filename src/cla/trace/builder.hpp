@@ -37,6 +37,13 @@ class ThreadScript {
   ThreadScript& lock_uncontended(ObjectId mutex, std::uint64_t ts,
                                  std::uint64_t released_ts);
 
+  /// Full critical section whose MutexAcquire carries an acquisition
+  /// call-stack id (pair with Trace::set_call_stack on the finished
+  /// trace); ids are 1-based, matching the recorder.
+  ThreadScript& lock_at(ObjectId mutex, std::uint64_t stack_id,
+                        std::uint64_t acquire_ts, std::uint64_t acquired_ts,
+                        std::uint64_t released_ts);
+
   /// Individual mutex events, for tests that need partial protocols.
   ThreadScript& acquire(ObjectId mutex, std::uint64_t ts);
   ThreadScript& acquired(ObjectId mutex, std::uint64_t ts, bool contended);

@@ -235,6 +235,34 @@ void salvage_v2(BufReader& in, Trace& trace, SalvageReport& report) {
         if (intact && (flags & kMetaFlagCleanClose)) report.clean_close = true;
         break;
       }
+      case ChunkKind::CallStacks: {
+        std::uint32_t count = 0;
+        intact = body.try_get(count);
+        for (std::uint32_t i = 0; intact && i < count; ++i) {
+          std::uint64_t id = 0;
+          std::uint32_t depth = 0;
+          intact = body.try_get(id) && body.try_get(depth) &&
+                   depth <= kMaxCallStackDepth;
+          if (!intact) break;
+          std::vector<std::uint64_t> pcs(depth);
+          for (std::uint32_t f = 0; intact && f < depth; ++f) {
+            intact = body.try_get(pcs[f]);
+          }
+          if (intact) trace.set_call_stack(id, std::move(pcs));
+        }
+        break;
+      }
+      case ChunkKind::FrameSymbols: {
+        std::uint32_t count = 0;
+        intact = body.try_get(count);
+        for (std::uint32_t i = 0; intact && i < count; ++i) {
+          std::uint64_t pc = 0;
+          std::string name;
+          intact = body.try_get(pc) && body.try_get_string(name);
+          if (intact) trace.set_frame_symbol(pc, std::move(name));
+        }
+        break;
+      }
       case ChunkKind::RuntimeWarnings: {
         std::uint32_t count = 0;
         intact = body.try_get(count) && body.remaining() == count * 12ull;

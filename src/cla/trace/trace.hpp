@@ -88,6 +88,33 @@ class Trace {
     return thread_names_;
   }
 
+  /// Acquisition call-stack table (`.clat` CallStacks chunk): stack id ->
+  /// return-address chain, outermost frame last. Ids start at 1; id 0 (and
+  /// kNoArg) mean "no stack recorded". MutexAcquire events carry the id of
+  /// the acquiring callsite in their `arg` field when capture was enabled.
+  void set_call_stack(std::uint64_t id, std::vector<std::uint64_t> pcs) {
+    call_stacks_[id] = std::move(pcs);
+  }
+  const std::vector<std::uint64_t>* call_stack(std::uint64_t id) const {
+    auto it = call_stacks_.find(id);
+    return it == call_stacks_.end() ? nullptr : &it->second;
+  }
+  const std::map<std::uint64_t, std::vector<std::uint64_t>>& call_stacks()
+      const noexcept {
+    return call_stacks_;
+  }
+
+  /// Frame-symbol table (`.clat` FrameSymbols chunk): program counter ->
+  /// "symbol+0xoff (module)" string resolved by the *recording* process
+  /// (dladdr at clean shutdown). Carried in the trace because raw PCs are
+  /// meaningless in any other process's address space.
+  void set_frame_symbol(std::uint64_t pc, std::string name) {
+    frame_symbols_[pc] = std::move(name);
+  }
+  const std::map<std::uint64_t, std::string>& frame_symbols() const noexcept {
+    return frame_symbols_;
+  }
+
   /// Checks the structural invariants above; throws
   /// cla::util::ValidationError summarising the violations. The underlying
   /// checker (validate_trace in cla/trace/validate.hpp) reports every
@@ -103,6 +130,8 @@ class Trace {
   std::map<ThreadId, std::string> thread_names_;
   std::uint64_t dropped_events_ = 0;
   std::map<std::uint32_t, std::uint64_t> runtime_warnings_;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> call_stacks_;
+  std::map<std::uint64_t, std::string> frame_symbols_;
 };
 
 }  // namespace cla::trace

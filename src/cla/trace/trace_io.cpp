@@ -183,6 +183,26 @@ void write_trace_chunked(const Trace& trace, std::ostream& out,
     }
     put_chunk(out, ChunkKind::ThreadNames, payload);
   }
+  if (!trace.call_stacks().empty()) {
+    std::string payload;
+    append_raw(payload, static_cast<std::uint32_t>(trace.call_stacks().size()));
+    for (const auto& [id, pcs] : trace.call_stacks()) {
+      append_raw(payload, id);
+      append_raw(payload, static_cast<std::uint32_t>(pcs.size()));
+      for (const std::uint64_t pc : pcs) append_raw(payload, pc);
+    }
+    put_chunk(out, ChunkKind::CallStacks, payload);
+  }
+  if (!trace.frame_symbols().empty()) {
+    std::string payload;
+    append_raw(payload,
+               static_cast<std::uint32_t>(trace.frame_symbols().size()));
+    for (const auto& [pc, name] : trace.frame_symbols()) {
+      append_raw(payload, pc);
+      append_string(payload, name);
+    }
+    put_chunk(out, ChunkKind::FrameSymbols, payload);
+  }
   std::string payload;
   for (ThreadId tid = 0; tid < trace.thread_count(); ++tid) {
     const auto events = trace.thread_events(tid);
@@ -626,6 +646,29 @@ void ChunkedTraceWriter::write_thread_name(ThreadId tid, std::string_view name) 
   write_chunk(ChunkKind::ThreadNames, payload.data(), payload.size(), nullptr, 0);
 }
 
+void ChunkedTraceWriter::write_call_stack(std::uint64_t stack_id,
+                                          const std::uint64_t* pcs,
+                                          std::size_t depth) {
+  if (depth > kMaxCallStackDepth) depth = kMaxCallStackDepth;
+  std::string payload;
+  append_raw(payload, std::uint32_t{1});
+  append_raw(payload, stack_id);
+  append_raw(payload, static_cast<std::uint32_t>(depth));
+  for (std::size_t i = 0; i < depth; ++i) append_raw(payload, pcs[i]);
+  write_chunk(ChunkKind::CallStacks, payload.data(), payload.size(), nullptr,
+              0);
+}
+
+void ChunkedTraceWriter::write_frame_symbol(std::uint64_t pc,
+                                            std::string_view name) {
+  std::string payload;
+  append_raw(payload, std::uint32_t{1});
+  append_raw(payload, pc);
+  append_string(payload, name);
+  write_chunk(ChunkKind::FrameSymbols, payload.data(), payload.size(), nullptr,
+              0);
+}
+
 void ChunkedTraceWriter::write_meta(std::uint64_t dropped_events,
                                     bool clean_close) {
   if (fd_ < 0) return;
@@ -984,6 +1027,37 @@ std::optional<TraceStreamReader::ThreadBlock> TraceStreamReader::next_thread_v2(
         }
         break;
       }
+      case ChunkKind::CallStacks: {
+        std::uint32_t count;
+        take(&count, 4);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          std::uint64_t id;
+          std::uint32_t depth;
+          take(&id, 8);
+          take(&depth, 4);
+          CLA_CHECK(depth <= kMaxCallStackDepth,
+                    "corrupt trace: implausible call-stack depth");
+          std::vector<std::uint64_t> pcs(depth);
+          for (std::uint32_t f = 0; f < depth; ++f) take(&pcs[f], 8);
+          call_stacks_[id] = std::move(pcs);
+        }
+        break;
+      }
+      case ChunkKind::FrameSymbols: {
+        std::uint32_t count;
+        take(&count, 4);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          std::uint64_t pc;
+          std::uint32_t len;
+          take(&pc, 8);
+          take(&len, 4);
+          CLA_CHECK(len <= (1u << 20), "trace name record suspiciously large");
+          std::string name(len, '\0');
+          take(name.data(), len);
+          frame_symbols_[pc] = std::move(name);
+        }
+        break;
+      }
       default:
         // Unknown chunk kind from a newer minor writer: skip it.
         break;
@@ -1033,6 +1107,12 @@ Trace read_trace(std::istream& in) {
   trace.set_dropped_events(reader.dropped_events());
   for (const auto& [code, value] : reader.runtime_warnings()) {
     trace.set_runtime_warning(code, value);
+  }
+  for (const auto& [id, pcs] : reader.call_stacks()) {
+    trace.set_call_stack(id, pcs);
+  }
+  for (const auto& [pc, name] : reader.frame_symbols()) {
+    trace.set_frame_symbol(pc, name);
   }
   return trace;
 }

@@ -19,6 +19,17 @@
 //   kind 6 RuntimeWarnings: u32 count | count * { u32 code, u64 value }
 //          (code 0 = empty slot; codes are cla::util::DiagCode values,
 //          e.g. CLA_W_IO_DROPPED_EVENTS)
+//   kind 7 CallStacks:   u32 count | count * { u64 stack_id, u32 depth,
+//          depth * u64 pc } — dedup'd acquisition call-stack table.
+//          Stack ids start at 1 (0 = "no stack"); MutexAcquire events
+//          reference them through their otherwise-unused `arg` field.
+//          Frames are ordered innermost (the lock call's caller) first.
+//   kind 8 FrameSymbols: u32 count | count * { u64 pc, u32 len, bytes } —
+//          program counter -> symbol string, resolved by the recording
+//          process (dladdr at clean close; raw PCs are meaningless in any
+//          other address space). Both kinds apply last-write-wins and are
+//          skipped by pre-callsite readers, so traces without them load
+//          byte-identically to v2/v3 files written before kind 7/8 existed.
 //
 // Chunks carry no global counts or offsets, so a writer can append them
 // incrementally as per-thread buffers fill and a reader can recover every
@@ -88,7 +99,13 @@ enum class ChunkKind : std::uint32_t {
   Meta = 4,
   EventsV3 = 5,
   RuntimeWarnings = 6,
+  CallStacks = 7,
+  FrameSymbols = 8,
 };
+
+/// Hard cap on frames per recorded call stack (the interposer clamps
+/// CLA_STACK_DEPTH to this; readers treat larger depths as corruption).
+inline constexpr std::uint32_t kMaxCallStackDepth = 8;
 
 /// One entry of a RuntimeWarnings chunk: a stable cla::util::DiagCode
 /// value (CLA_W_*) plus a count/value. Code 0 marks an empty slot.
@@ -241,6 +258,16 @@ class ChunkedTraceWriter {
   void write_object_name(ObjectId object, std::string_view name);
   void write_thread_name(ThreadId tid, std::string_view name);
 
+  /// Appends a single-entry CallStacks chunk (stacks stream out as the
+  /// recorder interns them; duplicates last-write-wins). `depth` is
+  /// clamped to kMaxCallStackDepth. Not async-signal-safe.
+  void write_call_stack(std::uint64_t stack_id, const std::uint64_t* pcs,
+                        std::size_t depth);
+
+  /// Appends a single-entry FrameSymbols chunk (pc -> symbol string).
+  /// Written by the recorder's clean-close path after dladdr resolution.
+  void write_frame_symbol(std::uint64_t pc, std::string_view name);
+
   /// Rewrites the reserved Meta chunk in place (dropped-event count +
   /// clean-close flag). Async-signal-safe; succeeds even on a full disk
   /// because the bytes are already allocated.
@@ -385,6 +412,17 @@ class TraceStreamReader {
     return runtime_warnings_;
   }
 
+  /// Call-stack table from CallStacks chunks (stack id -> pc chain) and
+  /// frame symbols from FrameSymbols chunks (pc -> name). Like the name
+  /// tables, they may grow until the stream is drained.
+  const std::map<std::uint64_t, std::vector<std::uint64_t>>& call_stacks()
+      const noexcept {
+    return call_stacks_;
+  }
+  const std::map<std::uint64_t, std::string>& frame_symbols() const noexcept {
+    return frame_symbols_;
+  }
+
   /// True once a Meta chunk with the clean-close flag was read. The v2
   /// strict reader requires it at end-of-stream: every clean writer ends
   /// with one, so its absence means the recording crashed or the file was
@@ -419,6 +457,8 @@ class TraceStreamReader {
   std::map<std::uint32_t, std::uint64_t> runtime_warnings_;
   std::map<ObjectId, std::string> object_names_;
   std::map<ThreadId, std::string> thread_names_;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> call_stacks_;
+  std::map<std::uint64_t, std::string> frame_symbols_;
   std::map<ThreadId, bool> v2_tids_seen_;
   std::vector<Event> v2_chunk_;      // current v2/v3 Events chunk, decoded
   std::size_t v2_chunk_offset_ = 0;  // events already handed out

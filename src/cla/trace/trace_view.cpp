@@ -28,6 +28,8 @@ TraceView::TraceView(const Trace& trace)
     : object_names_(&trace.object_names()),
       thread_names_(&trace.thread_names()),
       runtime_warnings_(&trace.runtime_warnings()),
+      call_stacks_(&trace.call_stacks()),
+      frame_symbols_(&trace.frame_symbols()),
       dropped_events_(trace.dropped_events()) {
   threads_.reserve(trace.thread_count());
   for (ThreadId tid = 0; tid < trace.thread_count(); ++tid) {
@@ -95,6 +97,12 @@ Trace TraceView::materialize() const {
   for (const auto& [code, value] : *runtime_warnings_) {
     trace.set_runtime_warning(code, value);
   }
+  for (const auto& [id, pcs] : *call_stacks_) {
+    trace.set_call_stack(id, pcs);
+  }
+  for (const auto& [pc, name] : *frame_symbols_) {
+    trace.set_frame_symbol(pc, name);
+  }
   return trace;
 }
 
@@ -113,6 +121,18 @@ TraceView::empty_thread_names() noexcept {
 const std::map<std::uint32_t, std::uint64_t>&
 TraceView::empty_runtime_warnings() noexcept {
   static const std::map<std::uint32_t, std::uint64_t> empty;
+  return empty;
+}
+
+const std::map<std::uint64_t, std::vector<std::uint64_t>>&
+TraceView::empty_call_stacks() noexcept {
+  static const std::map<std::uint64_t, std::vector<std::uint64_t>> empty;
+  return empty;
+}
+
+const std::map<std::uint64_t, std::string>&
+TraceView::empty_frame_symbols() noexcept {
+  static const std::map<std::uint64_t, std::string> empty;
   return empty;
 }
 
@@ -203,6 +223,8 @@ MappedTrace::MappedTrace(const std::string& path) {
     view_.object_names_ = &object_names_;
     view_.thread_names_ = &thread_names_;
     view_.runtime_warnings_ = &runtime_warnings_;
+    view_.call_stacks_ = &call_stacks_;
+    view_.frame_symbols_ = &frame_symbols_;
   } catch (...) {
     if (map_ != nullptr) ::munmap(const_cast<unsigned char*>(map_), map_size_);
     throw;
@@ -328,6 +350,31 @@ void MappedTrace::load_chunked(const unsigned char* p, std::size_t size) {
           const auto code = body.get<std::uint32_t>();
           const auto value = body.get<std::uint64_t>();
           if (code != 0) runtime_warnings_[code] = value;
+        }
+        break;
+      }
+      case ChunkKind::CallStacks: {
+        Cursor body{payload, payload_bytes};
+        const auto count = body.get<std::uint32_t>();
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const auto id = body.get<std::uint64_t>();
+          const auto depth = body.get<std::uint32_t>();
+          CLA_CHECK(depth <= kMaxCallStackDepth,
+                    "corrupt trace: implausible call-stack depth");
+          std::vector<std::uint64_t> pcs(depth);
+          for (std::uint32_t f = 0; f < depth; ++f) {
+            pcs[f] = body.get<std::uint64_t>();
+          }
+          call_stacks_[id] = std::move(pcs);
+        }
+        break;
+      }
+      case ChunkKind::FrameSymbols: {
+        Cursor body{payload, payload_bytes};
+        const auto count = body.get<std::uint32_t>();
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const auto pc = body.get<std::uint64_t>();
+          frame_symbols_[pc] = body.get_string();
         }
         break;
       }

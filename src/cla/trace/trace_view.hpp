@@ -256,6 +256,17 @@ class TraceView {
     return *runtime_warnings_;
   }
 
+  /// Acquisition call-stack table (stack id -> pc chain) and frame-symbol
+  /// table (pc -> name), mirroring Trace::call_stacks()/frame_symbols().
+  /// Empty for traces recorded without callsite capture.
+  const std::map<std::uint64_t, std::vector<std::uint64_t>>& call_stacks()
+      const noexcept {
+    return *call_stacks_;
+  }
+  const std::map<std::uint64_t, std::string>& frame_symbols() const noexcept {
+    return *frame_symbols_;
+  }
+
   /// Deep-copies the viewed events and names into an owning, mutable
   /// Trace (the escape hatch for repair / phase clipping).
   Trace materialize() const;
@@ -267,12 +278,20 @@ class TraceView {
   static const std::map<ThreadId, std::string>& empty_thread_names() noexcept;
   static const std::map<std::uint32_t, std::uint64_t>&
   empty_runtime_warnings() noexcept;
+  static const std::map<std::uint64_t, std::vector<std::uint64_t>>&
+  empty_call_stacks() noexcept;
+  static const std::map<std::uint64_t, std::string>&
+  empty_frame_symbols() noexcept;
 
   std::vector<EventsView> threads_;
   const std::map<ObjectId, std::string>* object_names_ = &empty_object_names();
   const std::map<ThreadId, std::string>* thread_names_ = &empty_thread_names();
   const std::map<std::uint32_t, std::uint64_t>* runtime_warnings_ =
       &empty_runtime_warnings();
+  const std::map<std::uint64_t, std::vector<std::uint64_t>>* call_stacks_ =
+      &empty_call_stacks();
+  const std::map<std::uint64_t, std::string>* frame_symbols_ =
+      &empty_frame_symbols();
   std::uint64_t dropped_events_ = 0;
 };
 
@@ -324,6 +343,8 @@ class MappedTrace {
   std::map<ObjectId, std::string> object_names_;
   std::map<ThreadId, std::string> thread_names_;
   std::map<std::uint32_t, std::uint64_t> runtime_warnings_;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> call_stacks_;
+  std::map<std::uint64_t, std::string> frame_symbols_;
   TraceView view_;
 };
 

@@ -457,6 +457,12 @@ RepairSummary repair_trace_semantics(Trace& trace, Strictness mode,
   for (const auto& [code, value] : trace.runtime_warnings()) {
     repaired.set_runtime_warning(code, value);
   }
+  for (const auto& [id, pcs] : trace.call_stacks()) {
+    repaired.set_call_stack(id, pcs);
+  }
+  for (const auto& [pc, name] : trace.frame_symbols()) {
+    repaired.set_frame_symbol(pc, name);
+  }
   trace = std::move(repaired);
   return summary;
 }

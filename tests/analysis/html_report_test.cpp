@@ -1,0 +1,100 @@
+// `--report html` smoke tests: the document must be self-contained (no
+// external fetches), embed the schema-3 JSON verbatim, and survive
+// hostile lock names without breaking out of its <script> blocks.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cla/analysis/html_report.hpp"
+#include "support/analyze.hpp"
+#include "cla/trace/builder.hpp"
+
+namespace cla::analysis {
+namespace {
+
+std::size_t count_of(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+trace::Trace callsite_trace() {
+  trace::TraceBuilder b;
+  b.name_object(1, "queue");
+  b.thread(0).start(0).lock_at(1, 1, 10, 10, 40).exit(100);
+  trace::Trace trace = b.finish();
+  trace.set_call_stack(1, {0x1000});
+  trace.set_frame_symbol(0x1000, "push+0x10 (demo)");
+  return trace;
+}
+
+std::string render(const trace::Trace& trace, bool with_index) {
+  const AnalysisResult result = cla::test_support::analyze(trace);
+  JsonReportMeta meta;
+  if (!with_index) return render_html(result, meta);
+  const TraceIndex index(trace);
+  return render_html(result, meta, &index);
+}
+
+TEST(HtmlReport, IsAWellFormedStandaloneDocument) {
+  const std::string html = render(callsite_trace(), /*with_index=*/true);
+  EXPECT_EQ(html.rfind("<!doctype html>", 0), 0u);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  // Every <script> is closed; every embedded JSON block is present.
+  EXPECT_EQ(count_of(html, "<script"), count_of(html, "</script>"));
+  EXPECT_NE(html.find("id=\"cla-report\""), std::string::npos);
+  EXPECT_NE(html.find("id=\"cla-timeline\""), std::string::npos);
+}
+
+TEST(HtmlReport, EmbedsSchema3JsonWithCallsites) {
+  const std::string html = render(callsite_trace(), /*with_index=*/true);
+  EXPECT_NE(html.find("\"schema\": 3"), std::string::npos);
+  EXPECT_NE(html.find("push+0x10 (demo)"), std::string::npos);
+}
+
+TEST(HtmlReport, StackFreeTraceEmbedsSchema2Json) {
+  trace::TraceBuilder b;
+  b.thread(0).start(0).lock_uncontended(1, 10, 50).exit(100);
+  const std::string html = render(b.finish(), /*with_index=*/true);
+  EXPECT_NE(html.find("\"schema\": 2"), std::string::npos);
+  EXPECT_EQ(html.find("\"callsites\""), std::string::npos);
+}
+
+TEST(HtmlReport, MakesNoExternalFetches) {
+  const std::string html = render(callsite_trace(), /*with_index=*/true);
+  // Nothing that could trigger a network request. (The inline JS does
+  // contain the SVG namespace URL, which the browser never fetches, so
+  // the check is on fetch vectors, not on "http".)
+  EXPECT_EQ(html.find("src="), std::string::npos);
+  EXPECT_EQ(html.find("href="), std::string::npos);
+  EXPECT_EQ(html.find("fetch("), std::string::npos);
+  EXPECT_EQ(html.find("@import"), std::string::npos);
+  EXPECT_EQ(html.find("XMLHttpRequest"), std::string::npos);
+}
+
+TEST(HtmlReport, NullIndexEmbedsNullTimelineData) {
+  // Bounded-memory analysis has no index: the timeline data block is
+  // `null` and the page explains the omission instead of drawing lanes.
+  const std::string with = render(callsite_trace(), /*with_index=*/true);
+  EXPECT_NE(with.find("id=\"cla-timeline\">\n{"), std::string::npos);
+  const std::string without = render(callsite_trace(), /*with_index=*/false);
+  EXPECT_NE(without.find("id=\"cla-timeline\">\nnull"), std::string::npos);
+  EXPECT_NE(without.find("id=\"cla-report\""), std::string::npos);
+}
+
+TEST(HtmlReport, HostileLockNameCannotCloseTheScriptBlock) {
+  trace::TraceBuilder b;
+  b.name_object(1, "x</script><b>");
+  b.thread(0).start(0).lock_uncontended(1, 10, 50).exit(100);
+  const std::string html = render(b.finish(), /*with_index=*/true);
+  // The embedded JSON rewrites "</" so the parser cannot see a closing
+  // tag inside the data block.
+  EXPECT_NE(html.find("x<\\/script><b>"), std::string::npos);
+  EXPECT_EQ(html.find("x</script><b>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cla::analysis

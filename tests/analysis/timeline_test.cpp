@@ -79,5 +79,34 @@ TEST_F(TimelineTest, CsvMarksOnPathSections) {
   EXPECT_NE(csv.find("T0,cs,0,60,Q,1"), std::string::npos);
 }
 
+TEST_F(TimelineTest, OutOfRangeIntervalsPaintNothing) {
+  // Regression: an interval entirely outside the trace's time range used
+  // to clamp onto the edge column and paint a stray glyph there. Clipped
+  // traces legitimately carry such path intervals.
+  CriticalPath clipped = path_;
+  clipped.per_thread[0].push_back(PathInterval{0, 500, 900});   // past end
+  const std::string base = render_timeline(index_, path_);
+  const std::string text = render_timeline(index_, clipped);
+  EXPECT_EQ(text, base);
+}
+
+TEST_F(TimelineTest, ZeroDurationTraceRendersWithoutPainting) {
+  trace::TraceBuilder b;
+  b.thread(0).start(5).exit(5);
+  const trace::Trace trace = b.finish();
+  const TraceIndex index(trace);
+  WakeupResolver resolver(index);
+  const CriticalPath path = compute_critical_path(index, resolver);
+  const std::string text = render_timeline(index, path);
+  EXPECT_NE(text.find("time range: [5, 5]"), std::string::npos);
+  // Degenerate range: the lane exists but no glyph is painted in it.
+  const auto open = text.find('|');
+  ASSERT_NE(open, std::string::npos);
+  const auto close = text.find('|', open + 1);
+  ASSERT_NE(close, std::string::npos);
+  const std::string lane = text.substr(open + 1, close - open - 1);
+  EXPECT_EQ(lane.find_first_not_of(' '), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cla::analysis

@@ -182,6 +182,63 @@ std::string write_semantically_broken_trace(const char* filename) {
   return path;
 }
 
+TEST(CliReportAndWhatif, StrictInputValidation) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cla_cli_report.clat").string();
+  int rc = 0;
+  const std::string run_out = run_command(
+      tool("cla-run") + " micro --threads 4 --trace-out " + path, rc);
+  ASSERT_EQ(rc, 0) << run_out;
+  const std::string analyze = tool("cla-analyze") + " " + path;
+
+  // Trailing garbage after the percentage is a usage error, detected
+  // before any analysis work: no report reaches stdout.
+  std::string out = run_command(analyze + " '--whatif=L2=50junk%'", rc);
+  EXPECT_EQ(rc, 2) << out;
+  EXPECT_NE(out.find("invalid --whatif shrink"), std::string::npos);
+  EXPECT_EQ(out.find("TYPE 1"), std::string::npos);
+
+  // Out-of-range percentages are rejected.
+  out = run_command(analyze + " '--whatif=L2=150%'", rc);
+  EXPECT_EQ(rc, 2) << out;
+
+  // An '=' inside the lock name is not an attempted percentage: the spec
+  // names a (here unknown) lock and the run completes normally.
+  out = run_command(analyze + " '--whatif=a=b'", rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("what-if"), std::string::npos);
+
+  // A well-formed percentage still works.
+  out = run_command(analyze + " '--whatif=L2=50%'", rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("what-if"), std::string::npos);
+
+  // Unknown --report values and conflicting format flags are usage errors.
+  out = run_command(analyze + " --report bogus", rc);
+  EXPECT_EQ(rc, 2) << out;
+  EXPECT_NE(out.find("invalid --report value"), std::string::npos);
+  out = run_command(analyze + " --json --report csv", rc);
+  EXPECT_EQ(rc, 2) << out;
+  out = run_command(analyze + " --json --csv", rc);
+  EXPECT_EQ(rc, 2) << out;
+
+  // --report html emits one self-contained document with embedded JSON.
+  out = run_command(analyze + " --report html", rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(out.rfind("<!doctype html>", 0), 0u) << out.substr(0, 200);
+  EXPECT_NE(out.find("id=\"cla-report\""), std::string::npos);
+  EXPECT_NE(out.find("\"schema\": 2"), std::string::npos);
+
+  // --report json matches --json byte for byte.
+  int rc_alias = 0;
+  const std::string via_report = run_command(analyze + " --report json", rc);
+  const std::string via_flag = run_command(analyze + " --json", rc_alias);
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(rc_alias, 0);
+  EXPECT_EQ(via_report, via_flag);
+  std::remove(path.c_str());
+}
+
 TEST(CliExitCodes, FullContract) {
   const auto clean_path =
       (std::filesystem::temp_directory_path() / "cla_cli_exit0.clat").string();

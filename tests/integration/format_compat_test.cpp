@@ -13,6 +13,7 @@
 #include <string>
 
 #include "cla/analysis/pipeline.hpp"
+#include "cla/trace/builder.hpp"
 #include "cla/trace/trace_io.hpp"
 #include "cla/workloads/workload.hpp"
 
@@ -67,6 +68,55 @@ TEST(FormatCompat, GoldenFixturesProduceGoldenReport) {
       EXPECT_EQ(report_for_file(data_dir + fixture, use_mmap), expected.str())
           << fixture << " mmap=" << use_mmap;
     }
+  }
+}
+
+TEST(FormatCompat, CallsiteTraceReportsIdenticalAcrossEncodingsAndLoaders) {
+  // Same invariant as above, but the trace carries acquisition call
+  // stacks (CallStacks/FrameSymbols chunks; v1 cannot encode them, so
+  // only the chunked formats participate) and its events reference them,
+  // so the report includes the callsite attribution section.
+  cla::trace::TraceBuilder b;
+  b.name_object(1, "queue");
+  b.thread(0)
+      .start(0)
+      .lock_at(1, 1, 10, 10, 400)
+      .lock_at(1, 2, 420, 420, 460)
+      .exit(500);
+  cla::trace::Trace trace = b.finish();
+  trace.set_call_stack(1, {0x4000, 0x5000});
+  trace.set_call_stack(2, {0x6000});
+  trace.set_frame_symbol(0x4000, "enqueue+0x10 (demo)");
+  trace.set_frame_symbol(0x5000, "main+0x44 (demo)");
+  std::string reference;
+  for (std::uint32_t version : {2u, 3u}) {
+    const std::string path = temp_path("cla_format_compat_cs.clat");
+    cla::trace::write_trace_file(trace, path, version);
+    const std::string mapped = report_for_file(path, /*use_mmap=*/true);
+    const std::string copied = report_for_file(path, /*use_mmap=*/false);
+    EXPECT_EQ(mapped, copied) << "loader mismatch for v" << version;
+    EXPECT_NE(mapped.find("enqueue+0x10 (demo)"), std::string::npos);
+    if (reference.empty()) {
+      reference = mapped;
+      EXPECT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(mapped, reference) << "report drift for v" << version;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(FormatCompat, GoldenFixturesStayOnJsonSchema2) {
+  // Pre-callsite fixtures must keep producing the schema-2 JSON report:
+  // the "callsites" extension may only appear when a trace actually
+  // carries call-stack chunks.
+  const std::string data_dir = CLA_TEST_DATA_DIR;
+  for (const char* fixture : {"/golden_v1.clat", "/golden_v2.clat"}) {
+    cla::analysis::Pipeline pipeline;
+    pipeline.load_file(data_dir + fixture);
+    const std::string json = pipeline.report_json();
+    EXPECT_NE(json.find("\"schema\": 2"), std::string::npos) << fixture;
+    EXPECT_EQ(json.find("callsites"), std::string::npos) << fixture;
   }
 }
 

@@ -26,7 +26,13 @@ void burn(long iterations) {
   for (long i = 0; i < iterations; ++i) g_counter = g_counter + 1;
 }
 
-void* worker(void*) {
+}  // namespace
+
+// External linkage on purpose: the binary links with -rdynamic so the
+// interposer's CLA_STACK_DEPTH capture can symbolize this callsite by
+// name (an internal-linkage function never reaches the dynamic symbol
+// table and dladdr would fall back to the bare module name).
+extern "C" void* demo_worker(void*) {
   pthread_barrier_wait(&g_barrier);
   for (int round = 0; round < 20; ++round) {
     pthread_mutex_lock(&g_small);
@@ -38,6 +44,8 @@ void* worker(void*) {
   }
   return nullptr;
 }
+
+namespace {
 
 int run_errorcheck() {
   pthread_mutexattr_t attr;
@@ -75,7 +83,7 @@ int main(int argc, char** argv) {
   pthread_barrier_init(&g_barrier, nullptr, kThreads);
   pthread_t threads[kThreads];
   for (auto& thread : threads) {
-    pthread_create(&thread, nullptr, &worker, nullptr);
+    pthread_create(&thread, nullptr, &demo_worker, nullptr);
   }
   for (auto& thread : threads) {
     pthread_join(thread, nullptr);

@@ -116,6 +116,61 @@ TEST_F(InterposeTest, StreamsCompactV3WhenRequested) {
   EXPECT_GE(result.locks.size(), 2u);
 }
 
+TEST_F(InterposeTest, StackDepthCapturesSymbolizedCallsites) {
+  // CLA_STACK_DEPTH=4 turns on acquisition call-stack capture; the demo
+  // app is linked -rdynamic, so dladdr can name its functions and the
+  // analysis attributes CP time to symbolized (lock, callsite) pairs.
+  ASSERT_EQ(run_demo("", "CLA_STACK_DEPTH=4"), 0);
+  const cla::trace::Trace trace = cla::trace::read_trace_file(trace_path_);
+  EXPECT_NO_THROW(trace.validate());
+  ASSERT_FALSE(trace.call_stacks().empty());
+  EXPECT_FALSE(trace.frame_symbols().empty());
+  for (const auto& [id, pcs] : trace.call_stacks()) {
+    EXPECT_GE(id, 1u);
+    EXPECT_LE(pcs.size(), cla::trace::kMaxCallStackDepth);
+    EXPECT_FALSE(pcs.empty());
+  }
+
+  const auto result = cla::test_support::analyze(trace);
+  ASSERT_FALSE(result.callsites.empty());
+  // At least one callsite resolves into the demo app itself, and the
+  // exported lock-calling function symbolizes by name.
+  bool app_frame = false;
+  bool named_frame = false;
+  for (const auto& cs : result.callsites) {
+    for (const std::string& frame : cs.frames) {
+      if (frame.find("interpose_demo_app") != std::string::npos) {
+        app_frame = true;
+      }
+      if (frame.find("demo_worker") != std::string::npos) named_frame = true;
+    }
+  }
+  EXPECT_TRUE(app_frame);
+  EXPECT_TRUE(named_frame);
+  // Attribution never invents time: each lock's callsite CP total stays
+  // within its lock's CP total.
+  for (const auto& lock : result.locks) {
+    std::uint64_t callsite_cp = 0;
+    for (const auto& cs : result.callsites) {
+      if (cs.lock_id == lock.id) callsite_cp += cs.cp_hold_time;
+    }
+    EXPECT_LE(callsite_cp, lock.cp_hold_time);
+  }
+}
+
+TEST_F(InterposeTest, StackCaptureIsOffByDefault) {
+  ASSERT_EQ(run_demo(), 0);
+  const cla::trace::Trace trace = cla::trace::read_trace_file(trace_path_);
+  EXPECT_TRUE(trace.call_stacks().empty());
+  EXPECT_TRUE(trace.frame_symbols().empty());
+  const auto result = cla::test_support::analyze(trace);
+  EXPECT_TRUE(result.callsites.empty());
+
+  ASSERT_EQ(run_demo("", "CLA_STACK_DEPTH=0"), 0);
+  const cla::trace::Trace off = cla::trace::read_trace_file(trace_path_);
+  EXPECT_TRUE(off.call_stacks().empty());
+}
+
 TEST_F(InterposeTest, JoinEdgesAllowPathToLeaveMainThread) {
   ASSERT_EQ(run_demo(), 0);
   const cla::trace::Trace trace = cla::trace::read_trace_file(trace_path_);

@@ -295,6 +295,56 @@ TEST(RecorderStreaming, CrashSpillIsIdempotentFirstCallerWins) {
   std::remove(path.c_str());
 }
 
+TEST(RecorderCallStacks, InternsDedupesClampsAndSurvivesCollect) {
+  Recorder recorder;
+  recorder.ensure_current_thread();
+  const std::uint64_t a[2] = {0x10, 0x20};
+  const std::uint64_t b[2] = {0x10, 0x30};
+  // Depth 0 / null chains mean "no stack".
+  EXPECT_EQ(recorder.register_call_stack(nullptr, 4), 0u);
+  EXPECT_EQ(recorder.register_call_stack(a, 0), 0u);
+  // Ids are 1-based and stable; identical chains dedupe.
+  const std::uint64_t id_a = recorder.register_call_stack(a, 2);
+  EXPECT_EQ(id_a, 1u);
+  EXPECT_EQ(recorder.register_call_stack(a, 2), id_a);
+  EXPECT_EQ(recorder.register_call_stack(b, 2), 2u);
+  // Over-deep chains clamp to the format maximum and dedupe against
+  // their clamped form.
+  std::vector<std::uint64_t> deep(trace::kMaxCallStackDepth + 3, 0x40);
+  const std::uint64_t id_deep =
+      recorder.register_call_stack(deep.data(), deep.size());
+  EXPECT_EQ(id_deep, 3u);
+  EXPECT_EQ(recorder.register_call_stack(deep.data(), trace::kMaxCallStackDepth),
+            id_deep);
+
+  recorder.record(trace::EventType::MutexAcquire, 7, id_a);
+  recorder.record(trace::EventType::MutexAcquired, 7, 0);
+  recorder.record(trace::EventType::MutexReleased, 7);
+  trace::Trace trace = recorder.collect();
+  ASSERT_EQ(trace.call_stacks().size(), 3u);
+  EXPECT_EQ(trace.call_stacks().at(id_a),
+            (std::vector<std::uint64_t>{0x10, 0x20}));
+  EXPECT_EQ(trace.call_stacks().at(id_deep).size(), trace::kMaxCallStackDepth);
+}
+
+TEST(RecorderCallStacks, StreamingModeEmitsChunksOnFirstSighting) {
+  const std::string path = temp_trace_path("cla_rec_stacks.clat");
+  Recorder recorder;
+  recorder.start_streaming(path, 4096);
+  recorder.ensure_current_thread();
+  const std::uint64_t a[1] = {0x99};
+  const std::uint64_t id = recorder.register_call_stack(a, 1);
+  EXPECT_EQ(recorder.register_call_stack(a, 1), id);  // no duplicate chunk
+  recorder.record(trace::EventType::MutexAcquire, 7, id);
+  recorder.record(trace::EventType::MutexAcquired, 7, 0);
+  recorder.record(trace::EventType::MutexReleased, 7);
+  recorder.finish_streaming();
+  const trace::Trace loaded = cla::trace::read_trace_file(path);
+  ASSERT_EQ(loaded.call_stacks().size(), 1u);
+  EXPECT_EQ(loaded.call_stacks().at(id), (std::vector<std::uint64_t>{0x99}));
+  std::remove(path.c_str());
+}
+
 TEST(RecorderStreaming, CollectIsRejectedWhileStreaming) {
   const std::string path = temp_trace_path("cla_rec_collect.clat");
   Recorder recorder;

@@ -15,10 +15,15 @@
 //      the report describes a partial or repaired recording
 //   4  resource limit hit (--deadline-ms / --max-events)
 //   5  strict-mode validation failure (error/fatal diagnostics)
+#include <cctype>
+#include <charconv>
 #include <cstdio>
 #include <iostream>
+#include <optional>
+#include <string_view>
 
 #include "cla/agg/store.hpp"
+#include "cla/analysis/html_report.hpp"
 #include "cla/core/cla.hpp"
 #include "cla/util/args.hpp"
 #include "cla/util/diagnostics.hpp"
@@ -46,8 +51,12 @@ void print_usage(std::FILE* out, const char* prog) {
       "                  the bound cannot be met)\n"
       "  --profile       print the per-stage timing breakdown to stderr\n"
       "  --top N         show only the top-N locks\n"
-      "  --json          print the JSON report instead of text\n"
-      "  --csv           print TYPE1/TYPE2 tables as CSV\n"
+      "  --report F      output format: text (default) | json | csv | html.\n"
+      "                  html is a single self-contained file (flame graph\n"
+      "                  of CP time per (lock, callsite), per-thread\n"
+      "                  timeline, embedded JSON report)\n"
+      "  --json          alias for --report json\n"
+      "  --csv           alias for --report csv (TYPE1/TYPE2 tables)\n"
       "  --timeline      print the ASCII execution timeline\n"
       "  --phase K       restrict analysis to the K-th recorded\n"
       "                  PhaseBegin/PhaseEnd region\n"
@@ -55,7 +64,9 @@ void print_usage(std::FILE* out, const char* prog) {
       "                  re-walk the segment DAG with LOCK's critical\n"
       "                  sections shrunk by PCT%% (default 100%% =\n"
       "                  eliminated): prints the closed-form upper bound\n"
-      "                  and the DAG-replay prediction\n"
+      "                  and the DAG-replay prediction. PCT must be a\n"
+      "                  complete number in 0..100; a non-numeric suffix\n"
+      "                  is treated as part of the lock name\n"
       "  --salvage       recover a torn/crashed recording: keep the intact\n"
       "                  chunks, repair the event stream, report what was\n"
       "                  lost (exit code 3 if the recovery was lossy)\n"
@@ -88,13 +99,92 @@ void print_usage(std::FILE* out, const char* prog) {
       prog);
 }
 
+enum class ReportFormat { Text, Json, Csv, Html };
+
+/// Resolves --report plus the --json/--csv aliases; any disagreement
+/// between them is a usage error.
+ReportFormat parse_report_format(const cla::util::Args& args) {
+  ReportFormat format = ReportFormat::Text;
+  bool chosen = false;
+  if (const auto value = args.get("report")) {
+    if (*value == "text") {
+      format = ReportFormat::Text;
+    } else if (*value == "json") {
+      format = ReportFormat::Json;
+    } else if (*value == "csv") {
+      format = ReportFormat::Csv;
+    } else if (*value == "html") {
+      format = ReportFormat::Html;
+    } else {
+      throw cla::util::ArgsError("invalid --report value '" + *value +
+                                 "' (expected text, json, csv or html)");
+    }
+    chosen = true;
+  }
+  if (args.has("json")) {
+    if (chosen && format != ReportFormat::Json) {
+      throw cla::util::ArgsError("--json conflicts with the --report value");
+    }
+    format = ReportFormat::Json;
+    chosen = true;
+  }
+  if (args.has("csv")) {
+    if (chosen && format != ReportFormat::Csv) {
+      throw cla::util::ArgsError(
+          "--csv conflicts with --json / the --report value");
+    }
+    format = ReportFormat::Csv;
+  }
+  return format;
+}
+
+struct WhatifSpec {
+  std::string lock;
+  double factor = 1.0;  ///< fraction of CS time removed (1.0 = eliminate)
+};
+
+/// Strict LOCK[=PCT%] parse. The percentage must consume the whole
+/// suffix ("=50junk%" is a usage error, stod's silent prefix parse is
+/// not acceptable here) and lie in 0..100. A suffix that does not even
+/// start like a number is taken as part of the lock name, so locks named
+/// with '=' still resolve.
+WhatifSpec parse_whatif(const std::string& spec) {
+  WhatifSpec out{spec, 1.0};
+  const auto eq = spec.rfind('=');
+  if (eq == std::string::npos) return out;
+  std::string_view pct(spec);
+  pct.remove_prefix(eq + 1);
+  bool had_percent = false;
+  if (!pct.empty() && pct.back() == '%') {
+    pct.remove_suffix(1);
+    had_percent = true;
+  }
+  const bool numeric_looking =
+      !pct.empty() && (std::isdigit(static_cast<unsigned char>(pct.front())) ||
+                       pct.front() == '.' || pct.front() == '+' ||
+                       pct.front() == '-');
+  if (!numeric_looking && !had_percent) return out;  // '=' inside the name
+  double value = 0.0;
+  const char* const last = pct.data() + pct.size();
+  const auto [end, ec] = std::from_chars(pct.data(), last, value);
+  if (ec != std::errc() || end != last || value < 0.0 || value > 100.0) {
+    throw cla::util::ArgsError("invalid --whatif shrink '" + spec +
+                               "' (expected LOCK or LOCK=PCT% with PCT "
+                               "in 0..100)");
+  }
+  out.lock = spec.substr(0, eq);
+  out.factor = value / 100.0;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* prog = argc > 0 ? argv[0] : "cla-analyze";
   try {
     cla::util::Args args(argc, argv,
-                         {"top", "json", "csv", "timeline", "whatif", "phase",
+                         {"top", "json", "csv", "report", "timeline", "whatif",
+                          "phase",
                           "threads", "engine", "max-rss-mb", "profile",
                           "salvage", "strictness", "deadline-ms",
                           "max-events", "diagnostics", "convert", "format",
@@ -175,6 +265,12 @@ int main(int argc, char** argv) {
       }
       diagnostics_json = true;
     }
+    // Validate every value-carrying flag before any analysis runs: a
+    // malformed --report/--whatif must exit 2 with nothing but usage on
+    // the streams, not fail after minutes of pipeline work.
+    const ReportFormat report_format = parse_report_format(args);
+    std::optional<WhatifSpec> whatif;
+    if (const auto spec = args.get("whatif")) whatif = parse_whatif(*spec);
 
     bool lossy_salvage = false;
     cla::Pipeline pipeline(options);
@@ -209,12 +305,15 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(dropped));
     }
     for (const auto& [code, value] : pipeline.view().runtime_warnings()) {
-      std::fprintf(
-          stderr, "cla-analyze: runtime warning: %s = %llu\n",
-          std::string(cla::util::to_string(
-                          static_cast<cla::util::DiagCode>(code)))
-              .c_str(),
-          static_cast<unsigned long long>(value));
+      // Pre-format the whole line and emit it with one write: stderr is
+      // unbuffered, so a multi-conversion fprintf may interleave with
+      // other processes sharing the stream mid-line.
+      std::string line = "cla-analyze: runtime warning: ";
+      line += cla::util::to_string(static_cast<cla::util::DiagCode>(code));
+      line += " = ";
+      line += std::to_string(value);
+      line += '\n';
+      std::fputs(line.c_str(), stderr);
     }
 
     if (diagnostics_json) {
@@ -222,9 +321,9 @@ int main(int argc, char** argv) {
       // emit the machine-readable diagnostics instead of the report.
       pipeline.result();
       std::cout << pipeline.diagnostics_json();
-    } else if (args.has("json")) {
+    } else if (report_format == ReportFormat::Json) {
       std::cout << pipeline.report_json();
-    } else if (args.has("csv")) {
+    } else if (report_format == ReportFormat::Csv) {
       std::cout << cla::analysis::type1_table(pipeline.result(),
                                               options.report)
                        .to_csv()
@@ -232,6 +331,8 @@ int main(int argc, char** argv) {
                 << cla::analysis::type2_table(pipeline.result(),
                                               options.report)
                        .to_csv();
+    } else if (report_format == ReportFormat::Html) {
+      std::cout << pipeline.report_html();
     } else {
       std::cout << pipeline.report();
     }
@@ -240,26 +341,9 @@ int main(int argc, char** argv) {
                 << cla::analysis::render_timeline(pipeline.trace_index(),
                                                   pipeline.result().path);
     }
-    if (auto spec = args.get("whatif")) {
-      // LOCK or LOCK=PCT% — the percentage of critical-section time
-      // removed (100% = eliminate the lock's critical sections).
-      std::string lock = *spec;
-      double factor = 1.0;
-      if (const auto eq = spec->rfind('='); eq != std::string::npos) {
-        lock = spec->substr(0, eq);
-        std::string pct = spec->substr(eq + 1);
-        if (!pct.empty() && pct.back() == '%') pct.pop_back();
-        try {
-          factor = std::stod(pct) / 100.0;
-        } catch (const std::exception&) {
-          factor = -1.0;
-        }
-        if (factor < 0.0 || factor > 1.0) {
-          throw cla::util::ArgsError("invalid --whatif shrink '" + *spec +
-                                     "' (expected LOCK or LOCK=PCT%% with "
-                                     "PCT in 0..100)");
-        }
-      }
+    if (whatif) {
+      const std::string& lock = whatif->lock;
+      const double factor = whatif->factor;
       const auto est =
           cla::analysis::estimate_shrink(pipeline.result(), lock, factor);
       std::printf(
